@@ -1,0 +1,68 @@
+#pragma once
+
+// Shared plumbing for the experiment-reproduction binaries (one binary per
+// paper table/figure; see DESIGN.md §4). Each binary prints the paper's
+// rows/series as a Markdown table and writes a CSV next to the binary.
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/hrf.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace hrf::bench {
+
+/// Standard options shared by all experiment binaries.
+struct CommonOptions {
+  /// Dataset scale relative to the paper's sample counts (Table 1).
+  /// The default 0.05 keeps the whole harness tractable on a small host;
+  /// pass --scale 1.0 to reproduce at paper scale.
+  double scale = 0.05;
+  /// Cap on simulated-GPU query count (SIMT simulation is the expensive
+  /// part; speedup ratios are scale-stable, which tests verify).
+  std::size_t max_gpu_queries = 12'000;
+  std::string cache_dir = "bench_cache";
+  std::uint64_t seed = 42;
+};
+
+inline void add_common_flags(CliArgs& args) {
+  args.allow("scale", "dataset scale vs paper sample counts (default 0.05)")
+      .allow("queries", "max queries for simulated-GPU runs (default 12000)")
+      .allow("cache-dir", "directory for cached datasets/forests (default bench_cache)")
+      .allow("csv", "write the result table to this CSV path");
+}
+
+inline CommonOptions parse_common(const CliArgs& args) {
+  CommonOptions opt;
+  opt.scale = args.get_double("scale", opt.scale);
+  opt.max_gpu_queries = static_cast<std::size_t>(
+      args.get_int("queries", static_cast<long>(opt.max_gpu_queries)));
+  opt.cache_dir = args.get("cache-dir", opt.cache_dir);
+  ::mkdir(opt.cache_dir.c_str(), 0755);
+  return opt;
+}
+
+/// First `n` rows of `ds` (or all of it when n >= size).
+inline Dataset head(const Dataset& ds, std::size_t n) {
+  if (n >= ds.num_samples()) return ds;
+  Dataset out(n, ds.num_features());
+  out.set_name(ds.name());
+  for (std::size_t i = 0; i < n; ++i) out.push_back(ds.sample(i), ds.label(i));
+  return out;
+}
+
+/// Prints the table and optionally writes the CSV requested via --csv.
+inline void emit(const CliArgs& args, const std::string& title, const Table& table) {
+  print_table(std::cout, title, table);
+  const std::string csv = args.get("csv", "");
+  if (!csv.empty()) {
+    table.write_csv(csv);
+    std::printf("(csv written to %s)\n", csv.c_str());
+  }
+}
+
+}  // namespace hrf::bench

@@ -1,0 +1,102 @@
+// Reproduces Fig. 5: accuracy heat-maps over (max tree depth x number of
+// trees) for the three datasets. One forest of max(trees) trees is trained
+// per (dataset, depth); accuracies for smaller ensembles come from prefix
+// subsets (tree i is independent of the ensemble size, so a prefix of a
+// 150-tree forest is a valid 50-tree forest with the same seed).
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace hrf;
+
+/// Accuracy of every prefix checkpoint in one pass over the test set.
+std::vector<double> prefix_accuracies(const Forest& forest, const Dataset& test,
+                                      const std::vector<int>& checkpoints) {
+  const std::size_t nq = test.num_samples();
+  std::vector<std::uint32_t> votes(nq, 0);
+  std::vector<std::size_t> correct(checkpoints.size(), 0);
+  std::size_t next = 0;
+  for (std::size_t t = 0; t < forest.tree_count() && next < checkpoints.size(); ++t) {
+#pragma omp parallel for schedule(static)
+    for (std::size_t i = 0; i < nq; ++i) {
+      votes[i] += forest.tree(t).classify(test.sample(i));
+    }
+    while (next < checkpoints.size() &&
+           static_cast<int>(t + 1) == checkpoints[next]) {
+      const auto n_trees = static_cast<std::uint32_t>(checkpoints[next]);
+      std::size_t c = 0;
+#pragma omp parallel for schedule(static) reduction(+ : c)
+      for (std::size_t i = 0; i < nq; ++i) {
+        const std::uint8_t pred = 2 * votes[i] >= n_trees ? 1 : 0;
+        c += pred == test.label(i);
+      }
+      correct[next++] = c;
+    }
+  }
+  std::vector<double> acc(checkpoints.size());
+  for (std::size_t k = 0; k < checkpoints.size(); ++k) {
+    acc[k] = static_cast<double>(correct[k]) / static_cast<double>(nq);
+  }
+  return acc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  bench::add_common_flags(args);
+  args.allow("depths", "comma-separated max tree depths (default 5,10,...,50)")
+      .allow("trees", "comma-separated ensemble checkpoints (default 10,25,...,150)")
+      .allow("eval-queries", "cap on test queries used for accuracy (default 20000)")
+      .allow("min-samples", "floor on dataset size for accuracy fidelity (default 150000)");
+  if (!args.validate()) return 1;
+  const auto opt = bench::parse_common(args);
+  const auto depths = args.get_int_list("depths", {5, 10, 15, 20, 25, 30, 35, 40, 45, 50});
+  const auto tree_counts = args.get_int_list("trees", {10, 25, 50, 75, 100, 125, 150});
+  const auto eval_cap = static_cast<std::size_t>(args.get_int("eval-queries", 20'000));
+
+  std::vector<std::string> headers{"dataset", "depth"};
+  for (int t : tree_counts) headers.push_back("t=" + std::to_string(t));
+  Table table(headers);
+
+  // Accuracy plateaus need enough training data to resolve the deep
+  // teacher structure (the covertype-like plateau climbs from ~80% at 29k
+  // samples to ~88% at 300k), so this bench floors the dataset size even
+  // at small --scale. Timing benches are unaffected by this floor.
+  const auto min_samples = static_cast<std::size_t>(args.get_int("min-samples", 150'000));
+
+  for (paper::DatasetKind kind : paper::kAllDatasets) {
+    const std::size_t samples =
+        std::max(paper::default_samples(kind, opt.scale), min_samples);
+    std::printf("[fig5] %s: generating %zu samples...\n", paper::name(kind), samples);
+    const Dataset train = paper::train_half(kind, samples, opt.cache_dir);
+    const Dataset test = bench::head(paper::test_half(kind, samples, opt.cache_dir), eval_cap);
+
+    TrainConfig base = paper::train_config(kind, 1, tree_counts.back(), paper::ForestUse::Accuracy);
+    const BinnedDataset binned(train, base.max_bins);
+
+    for (int depth : depths) {
+      TrainConfig cfg = base;
+      cfg.max_depth = depth;
+      WallTimer timer;
+      const Forest forest = train_forest(binned, train.num_features(), cfg);
+      const auto acc = prefix_accuracies(forest, test, tree_counts);
+      table.row().cell(paper::name(kind)).cell(std::int64_t{depth});
+      for (double a : acc) table.cell(100.0 * a, 1);
+      std::printf("[fig5] %s depth %2d done (%.1fs)\n", paper::name(kind), depth,
+                  timer.seconds());
+    }
+  }
+
+  bench::emit(args, "Fig. 5 — accuracy (%) vs max tree depth and number of trees", table);
+  std::printf(
+      "\nPaper reference (Fig. 5): plateaus ~88.9%% (Covertype, by depth ~35),\n"
+      "~80.2%% (Susy, by depth ~20, slight decline after), ~74.0%% (Higgs, by\n"
+      "depth ~30). Expect the same plateau ordering and saturating shape.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Microbenchmarks (wall-clock, google-benchmark): cost of building the
+// CSR and hierarchical encodings from a trained forest, across subtree
+// depths. Layout construction is a one-time model-compilation step, but
+// its cost matters for model-update loops (e.g. periodically retrained
+// fraud models).
+
+#include <benchmark/benchmark.h>
+
+#include "forest/random_forest_gen.hpp"
+#include "layout/csr.hpp"
+#include "layout/hierarchical.hpp"
+
+namespace {
+
+using namespace hrf;
+
+Forest& bench_forest() {
+  static Forest f = make_random_forest({.num_trees = 50,
+                                        .max_depth = 18,
+                                        .branch_prob = 0.72,
+                                        .num_features = 20,
+                                        .seed = 1234});
+  return f;
+}
+
+void BM_BuildCsr(benchmark::State& state) {
+  const Forest& f = bench_forest();
+  for (auto _ : state) {
+    CsrForest csr = CsrForest::build(f);
+    benchmark::DoNotOptimize(csr.num_nodes());
+  }
+  state.counters["nodes"] = static_cast<double>(f.stats().total_nodes);
+}
+BENCHMARK(BM_BuildCsr)->Unit(benchmark::kMillisecond);
+
+void BM_BuildHierarchical(benchmark::State& state) {
+  const Forest& f = bench_forest();
+  HierConfig cfg;
+  cfg.subtree_depth = static_cast<int>(state.range(0));
+  std::size_t stored = 0;
+  for (auto _ : state) {
+    HierarchicalForest h = HierarchicalForest::build(f, cfg);
+    stored = h.stats().stored_nodes;
+    benchmark::DoNotOptimize(stored);
+  }
+  state.counters["stored_nodes"] = static_cast<double>(stored);
+}
+BENCHMARK(BM_BuildHierarchical)->Arg(2)->Arg(4)->Arg(6)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_BuildHierarchicalLargeRoot(benchmark::State& state) {
+  const Forest& f = bench_forest();
+  HierConfig cfg;
+  cfg.subtree_depth = 8;
+  cfg.root_subtree_depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    HierarchicalForest h = HierarchicalForest::build(f, cfg);
+    benchmark::DoNotOptimize(h.num_subtrees());
+  }
+}
+BENCHMARK(BM_BuildHierarchicalLargeRoot)->Arg(8)->Arg(10)->Arg(12)->Unit(benchmark::kMillisecond);
+
+void BM_ValidateHierarchical(benchmark::State& state) {
+  const Forest& f = bench_forest();
+  HierConfig cfg;
+  cfg.subtree_depth = 6;
+  const HierarchicalForest h = HierarchicalForest::build(f, cfg);
+  for (auto _ : state) {
+    h.validate();
+  }
+}
+BENCHMARK(BM_ValidateHierarchical)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,168 @@
+#include "core/classifier.hpp"
+
+#include <algorithm>
+
+#include "cpu/cpu_kernels.hpp"
+#include "fpgakernels/fpga_kernels.hpp"
+#include "gpukernels/kernels.hpp"
+#include "train/forest_trainer.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace hrf {
+
+const char* to_string(Backend b) {
+  switch (b) {
+    case Backend::CpuNative: return "cpu-native";
+    case Backend::GpuSim: return "gpu-sim";
+    case Backend::FpgaSim: return "fpga-sim";
+  }
+  return "?";
+}
+
+const char* to_string(Variant v) {
+  switch (v) {
+    case Variant::Csr: return "csr";
+    case Variant::Independent: return "independent";
+    case Variant::Collaborative: return "collaborative";
+    case Variant::Hybrid: return "hybrid";
+    case Variant::FilBaseline: return "fil-baseline";
+  }
+  return "?";
+}
+
+double RunReport::accuracy(std::span<const std::uint8_t> labels) const {
+  require(labels.size() == predictions.size(), "label count != prediction count");
+  if (labels.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) correct += predictions[i] == labels[i];
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+Classifier::Classifier(Forest forest, ClassifierOptions options)
+    : forest_(std::move(forest)), options_(options) {
+  if (options_.variant == Variant::FilBaseline) {
+    require(options_.backend == Backend::GpuSim,
+            "the FIL baseline models cuML and only exists on the GPU backend");
+  }
+  if (options_.variant == Variant::Collaborative || options_.variant == Variant::Hybrid) {
+    require(options_.backend != Backend::CpuNative,
+            "collaborative/hybrid variants model on-chip memory; use GpuSim or FpgaSim "
+            "(CpuNative supports Csr and Independent)");
+  }
+  switch (options_.variant) {
+    case Variant::Csr:
+      csr_.emplace(CsrForest::build(forest_));
+      break;
+    case Variant::FilBaseline:
+      break;  // the FIL layout is built inside the kernel
+    default:
+      hier_.emplace(HierarchicalForest::build(forest_, options_.layout));
+      break;
+  }
+}
+
+Classifier Classifier::train(const Dataset& train, const TrainConfig& train_config,
+                             ClassifierOptions options) {
+  return Classifier(train_forest(train, train_config), options);
+}
+
+Classifier Classifier::load(const std::string& path, ClassifierOptions options) {
+  return Classifier(Forest::load(path), options);
+}
+
+const HierarchicalForest& Classifier::hierarchical() const {
+  require(hier_.has_value(), "this variant does not use the hierarchical layout");
+  return *hier_;
+}
+
+const CsrForest& Classifier::csr() const {
+  require(csr_.has_value(), "this variant does not use the CSR layout");
+  return *csr_;
+}
+
+Classifier::StreamReport Classifier::classify_stream(const Dataset& queries,
+                                                     std::size_t chunk_size) const {
+  require(chunk_size >= 1, "chunk_size must be >= 1");
+  StreamReport out;
+  out.predictions.reserve(queries.num_samples());
+  for (std::size_t lo = 0; lo < queries.num_samples(); lo += chunk_size) {
+    const std::size_t hi = std::min(lo + chunk_size, queries.num_samples());
+    Dataset chunk(hi - lo, queries.num_features(), queries.num_classes());
+    chunk.set_name(queries.name());
+    for (std::size_t i = lo; i < hi; ++i) chunk.push_back(queries.sample(i), queries.label(i));
+    const RunReport r = classify(chunk);
+    out.predictions.insert(out.predictions.end(), r.predictions.begin(), r.predictions.end());
+    out.total_seconds += r.seconds;
+    out.max_chunk_seconds = std::max(out.max_chunk_seconds, r.seconds);
+    out.simulated = r.simulated;
+    ++out.chunks;
+  }
+  return out;
+}
+
+RunReport Classifier::classify(const Dataset& queries) const {
+  RunReport r;
+  switch (options_.backend) {
+    case Backend::CpuNative: {
+      WallTimer timer;
+      r.predictions = options_.variant == Variant::Csr
+                          ? cpu::classify_csr(*csr_, queries)
+                          : cpu::classify_hierarchical(*hier_, queries);
+      r.seconds = timer.seconds();
+      r.simulated = false;
+      break;
+    }
+    case Backend::GpuSim: {
+      gpusim::Device device(options_.gpu);
+      gpukernels::KernelResult k;
+      switch (options_.variant) {
+        case Variant::Csr: k = gpukernels::run_csr(device, *csr_, queries); break;
+        case Variant::Independent:
+          k = gpukernels::run_independent(device, *hier_, queries);
+          break;
+        case Variant::Collaborative:
+          k = gpukernels::run_collaborative(device, *hier_, queries);
+          break;
+        case Variant::Hybrid: k = gpukernels::run_hybrid(device, *hier_, queries); break;
+        case Variant::FilBaseline:
+          k = gpukernels::run_fil_baseline(device, forest_, queries);
+          break;
+      }
+      r.predictions = std::move(k.predictions);
+      r.seconds = k.timing.seconds;
+      r.gpu_counters = k.counters;
+      r.gpu_timing = k.timing;
+      break;
+    }
+    case Backend::FpgaSim: {
+      fpgakernels::FpgaResult k;
+      switch (options_.variant) {
+        case Variant::Csr:
+          k = fpgakernels::run_csr_fpga(*csr_, queries, options_.fpga, options_.fpga_layout);
+          break;
+        case Variant::Independent:
+          k = fpgakernels::run_independent_fpga(*hier_, queries, options_.fpga,
+                                                options_.fpga_layout);
+          break;
+        case Variant::Collaborative:
+          k = fpgakernels::run_collaborative_fpga(*hier_, queries, options_.fpga,
+                                                  options_.fpga_layout);
+          break;
+        case Variant::Hybrid:
+          k = fpgakernels::run_hybrid_fpga(*hier_, queries, options_.fpga, options_.fpga_layout,
+                                           options_.fpga_split_stage1);
+          break;
+        case Variant::FilBaseline:
+          throw ConfigError("FIL baseline is GPU-only");  // unreachable: ctor rejects
+      }
+      r.predictions = std::move(k.predictions);
+      r.seconds = k.report.seconds;
+      r.fpga_report = std::move(k.report);
+      break;
+    }
+  }
+  return r;
+}
+
+}  // namespace hrf

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "forest/forest.hpp"
+#include "fpgasim/config.hpp"
+#include "fpgasim/pipeline.hpp"
+#include "gpusim/config.hpp"
+#include "gpusim/counters.hpp"
+#include "gpusim/device.hpp"
+#include "layout/csr.hpp"
+#include "layout/hierarchical.hpp"
+#include "train/tree_trainer.hpp"
+
+namespace hrf {
+
+/// Where inference runs.
+enum class Backend {
+  CpuNative,  // OpenMP on the host, wall-clock timing
+  GpuSim,     // simulated TITAN Xp (transaction-level SIMT model)
+  FpgaSim,    // modeled Alveo U250 (analytical pipeline model)
+};
+
+/// Which code variant / layout runs (paper §3.2).
+enum class Variant {
+  Csr,            // baseline CSR layout
+  Independent,    // hierarchical, one thread/work-item per query
+  Collaborative,  // hierarchical, lock-step subtree sweeps
+  Hybrid,         // hierarchical, on-chip root subtree + independent tail
+  FilBaseline,    // cuML FIL stand-in (GpuSim only)
+};
+
+const char* to_string(Backend b);
+const char* to_string(Variant v);
+
+/// Everything a classification run reports.
+struct RunReport {
+  std::vector<std::uint8_t> predictions;
+  /// Simulated seconds for GpuSim/FpgaSim; wall-clock seconds for CpuNative.
+  double seconds = 0.0;
+  bool simulated = true;
+  std::optional<gpusim::Counters> gpu_counters;
+  std::optional<gpusim::Timing> gpu_timing;
+  std::optional<fpgasim::FpgaReport> fpga_report;
+
+  /// Fraction of predictions matching `labels`.
+  double accuracy(std::span<const std::uint8_t> labels) const;
+};
+
+/// Classifier configuration. Layout parameters apply to the hierarchical
+/// variants; device configs to their respective backends.
+struct ClassifierOptions {
+  Variant variant = Variant::Hybrid;
+  Backend backend = Backend::GpuSim;
+  HierConfig layout{};
+  gpusim::DeviceConfig gpu = gpusim::DeviceConfig::titan_xp();
+  fpgasim::FpgaConfig fpga = fpgasim::FpgaConfig::alveo_u250();
+  fpgasim::CuLayout fpga_layout{};
+  bool fpga_split_stage1 = false;
+};
+
+/// The library's front door: owns a trained forest plus the inference
+/// layout(s) it was compiled into, and dispatches classification to the
+/// configured backend/variant.
+///
+///   Forest f = train_forest(train_set, TrainConfig{});
+///   Classifier clf(std::move(f), {.variant = Variant::Hybrid,
+///                                 .backend = Backend::GpuSim});
+///   RunReport r = clf.classify(test_set);
+///
+/// Invalid combinations (e.g. FilBaseline on FpgaSim) throw ConfigError at
+/// construction; resource overruns (root subtree vs shared memory/BRAM)
+/// throw ResourceError at classify time, mirroring real launch failures.
+class Classifier {
+ public:
+  Classifier(Forest forest, ClassifierOptions options);
+
+  /// Trains a forest on `train` and wraps it.
+  static Classifier train(const Dataset& train, const TrainConfig& train_config,
+                          ClassifierOptions options);
+
+  /// Loads a serialized forest (Forest::save) and wraps it.
+  static Classifier load(const std::string& path, ClassifierOptions options);
+
+  RunReport classify(const Dataset& queries) const;
+
+  /// Chunked classification for latency-bounded serving: classifies
+  /// `queries` in chunks of `chunk_size`, reporting total and worst-chunk
+  /// time. Predictions are identical to classify() — chunking only
+  /// affects scheduling (verified by tests).
+  struct StreamReport {
+    std::vector<std::uint8_t> predictions;
+    double total_seconds = 0.0;
+    double max_chunk_seconds = 0.0;
+    std::size_t chunks = 0;
+    bool simulated = true;
+  };
+  StreamReport classify_stream(const Dataset& queries, std::size_t chunk_size) const;
+
+  const Forest& forest() const { return forest_; }
+  const ClassifierOptions& options() const { return options_; }
+  /// The hierarchical layout (built lazily; throws for CSR/FIL variants).
+  const HierarchicalForest& hierarchical() const;
+  const CsrForest& csr() const;
+
+ private:
+  Forest forest_;
+  ClassifierOptions options_;
+  std::optional<CsrForest> csr_;
+  std::optional<HierarchicalForest> hier_;
+};
+
+}  // namespace hrf

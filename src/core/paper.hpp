@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "data/synthetic.hpp"
+#include "forest/forest.hpp"
+#include "train/tree_trainer.hpp"
+
+namespace hrf::paper {
+
+/// The paper's three evaluation datasets (Table 1), as synthetic stand-ins.
+enum class DatasetKind { Covertype, Susy, Higgs };
+
+inline constexpr DatasetKind kAllDatasets[] = {DatasetKind::Covertype, DatasetKind::Susy,
+                                               DatasetKind::Higgs};
+
+const char* name(DatasetKind kind);
+
+/// Paper sample counts (Table 1): 581,012 / 3,000,000 / 2,750,000.
+std::size_t paper_samples(DatasetKind kind);
+
+/// Default bench sample count: `scale` * paper count, floored at 20k.
+/// Benches default to scale 0.1 so the full harness runs on small hosts.
+std::size_t default_samples(DatasetKind kind, double scale);
+
+/// Synthetic generator spec for the dataset at the given sample count.
+SyntheticSpec spec(DatasetKind kind, std::size_t num_samples);
+
+/// What a trained forest will be used for. Accuracy forests use per-dataset
+/// feature-sampling tuned so the Fig. 5 plateaus land at the paper's
+/// levels; timing forests use sqrt-feature sampling, which grows the deep
+/// sparse trees (depth 30-40) whose traversal the timing experiments
+/// measure.
+enum class ForestUse { Accuracy, Timing };
+
+TrainConfig train_config(DatasetKind kind, int max_depth, int num_trees, ForestUse use);
+
+/// The accuracy-selected tree-depth ranges of §4.1: Covertype 30-40,
+/// Susy 15-25, Higgs 25-35.
+std::vector<int> selected_depths(DatasetKind kind);
+
+/// Trains (or loads from `cache_dir` if previously trained) the timing
+/// forest for the given configuration. Caching matters: the bench suite
+/// revisits the same forests across experiments.
+Forest cached_forest(DatasetKind kind, int max_depth, int num_trees, std::size_t num_samples,
+                     const std::string& cache_dir);
+
+/// Generates (or loads from cache) the dataset and returns its test half
+/// (the query set: the paper slices train:test 1:1).
+Dataset test_half(DatasetKind kind, std::size_t num_samples, const std::string& cache_dir);
+
+/// Train half, for accuracy experiments.
+Dataset train_half(DatasetKind kind, std::size_t num_samples, const std::string& cache_dir);
+
+}  // namespace hrf::paper

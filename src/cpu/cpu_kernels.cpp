@@ -1,0 +1,64 @@
+#include "cpu/cpu_kernels.hpp"
+
+#include <omp.h>
+
+#include "util/error.hpp"
+
+namespace hrf::cpu {
+
+std::vector<std::uint8_t> classify_csr(const CsrForest& csr, const Dataset& queries) {
+  require(csr.num_features() == queries.num_features(), "query width != forest features");
+  const std::size_t nq = queries.num_samples();
+  std::vector<std::uint8_t> out(nq);
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < nq; ++i) {
+    out[i] = csr.classify(queries.sample(i));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> classify_hierarchical(const HierarchicalForest& forest,
+                                                const Dataset& queries) {
+  require(forest.num_features() == queries.num_features(), "query width != forest features");
+  const std::size_t nq = queries.num_samples();
+  std::vector<std::uint8_t> out(nq);
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < nq; ++i) {
+    out[i] = forest.classify(queries.sample(i));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> classify_hierarchical_blocked(const HierarchicalForest& forest,
+                                                        const Dataset& queries,
+                                                        std::size_t query_block) {
+  require(forest.num_features() == queries.num_features(), "query width != forest features");
+  require(query_block >= 1, "query_block must be >= 1");
+  const std::size_t nq = queries.num_samples();
+  const std::size_t nt = forest.num_trees();
+  const auto k = static_cast<std::size_t>(forest.num_classes());
+  std::vector<std::uint32_t> votes(nq * k, 0);
+
+  // Process queries in blocks; within a block, iterate trees in the outer
+  // loop so each tree's hot subtrees are reused across the whole block.
+#pragma omp parallel for schedule(dynamic)
+  for (std::size_t b = 0; b < (nq + query_block - 1) / query_block; ++b) {
+    const std::size_t lo = b * query_block;
+    const std::size_t hi = lo + query_block < nq ? lo + query_block : nq;
+    for (std::size_t t = 0; t < nt; ++t) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        const auto cls =
+            static_cast<std::uint8_t>(forest.traverse_tree(t, queries.sample(i)));
+        ++votes[i * k + cls];
+      }
+    }
+  }
+
+  std::vector<std::uint8_t> out(nq);
+  for (std::size_t i = 0; i < nq; ++i) {
+    out[i] = Forest::vote_winner({votes.data() + i * k, k});
+  }
+  return out;
+}
+
+}  // namespace hrf::cpu

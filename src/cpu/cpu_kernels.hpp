@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "layout/csr.hpp"
+#include "layout/hierarchical.hpp"
+
+namespace hrf::cpu {
+
+/// Native host inference over the CSR layout, OpenMP-parallel across
+/// queries. These kernels exist so the layout comparison can also be
+/// measured in *wall-clock* time on a real memory hierarchy (see
+/// bench/micro_traversal) — the hierarchical layout's cache behaviour
+/// helps CPUs for the same reason it helps GPUs.
+std::vector<std::uint8_t> classify_csr(const CsrForest& csr, const Dataset& queries);
+
+/// Native host inference over the hierarchical layout (independent-variant
+/// traversal order), OpenMP-parallel across queries.
+std::vector<std::uint8_t> classify_hierarchical(const HierarchicalForest& forest,
+                                                const Dataset& queries);
+
+/// Tree-blocked hierarchical inference: iterates trees in the outer loop
+/// so each tree's top subtrees stay cache-resident across queries (the
+/// host analogue of the hybrid variant's data reuse).
+std::vector<std::uint8_t> classify_hierarchical_blocked(const HierarchicalForest& forest,
+                                                        const Dataset& queries,
+                                                        std::size_t query_block = 4096);
+
+}  // namespace hrf::cpu

@@ -1,0 +1,114 @@
+#include "data/dataset.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace hrf {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x48524644;  // "HRFD"
+constexpr std::uint32_t kVersion = 2;  // v2 added num_classes
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!is) throw FormatError("dataset file truncated");
+  return v;
+}
+}  // namespace
+
+Dataset::Dataset(std::size_t num_samples, std::size_t num_features, int num_classes)
+    : num_features_(num_features), num_classes_(num_classes) {
+  require(num_features > 0, "dataset needs at least one feature");
+  require(num_classes >= 2 && num_classes <= 256, "num_classes must be in [2, 256]");
+  features_.reserve(num_samples * num_features);
+  labels_.reserve(num_samples);
+}
+
+void Dataset::push_back(std::span<const float> row, std::uint8_t label) {
+  require(row.size() == num_features_, "row width != num_features");
+  require(label < num_classes_, "label out of range for num_classes");
+  features_.insert(features_.end(), row.begin(), row.end());
+  labels_.push_back(label);
+}
+
+double Dataset::positive_fraction() const {
+  if (labels_.empty()) return 0.0;
+  std::size_t pos = 0;
+  for (auto l : labels_) pos += l == 1;
+  return static_cast<double>(pos) / static_cast<double>(labels_.size());
+}
+
+std::vector<std::size_t> Dataset::class_histogram() const {
+  std::vector<std::size_t> hist(static_cast<std::size_t>(num_classes_), 0);
+  for (auto l : labels_) ++hist[l];
+  return hist;
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double train_fraction) const {
+  require(train_fraction > 0.0 && train_fraction < 1.0, "train_fraction must be in (0,1)");
+  const auto n_train = static_cast<std::size_t>(train_fraction * static_cast<double>(num_samples()));
+  Dataset train(n_train, num_features_, num_classes_);
+  Dataset test(num_samples() - n_train, num_features_, num_classes_);
+  train.set_name(name_ + "/train");
+  test.set_name(name_ + "/test");
+  for (std::size_t i = 0; i < num_samples(); ++i) {
+    (i < n_train ? train : test).push_back(sample(i), label(i));
+  }
+  return {std::move(train), std::move(test)};
+}
+
+void Dataset::save(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw Error("cannot open for writing: " + path);
+  write_pod(f, kMagic);
+  write_pod(f, kVersion);
+  write_pod(f, static_cast<std::uint64_t>(num_samples()));
+  write_pod(f, static_cast<std::uint64_t>(num_features_));
+  write_pod(f, static_cast<std::uint32_t>(num_classes_));
+  write_pod(f, static_cast<std::uint64_t>(name_.size()));
+  f.write(name_.data(), static_cast<std::streamsize>(name_.size()));
+  f.write(reinterpret_cast<const char*>(features_.data()),
+          static_cast<std::streamsize>(features_.size() * sizeof(float)));
+  f.write(reinterpret_cast<const char*>(labels_.data()),
+          static_cast<std::streamsize>(labels_.size()));
+  if (!f) throw Error("write failed: " + path);
+}
+
+Dataset Dataset::load(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw Error("cannot open for reading: " + path);
+  if (read_pod<std::uint32_t>(f) != kMagic) throw FormatError("bad dataset magic in " + path);
+  if (read_pod<std::uint32_t>(f) != kVersion) throw FormatError("unsupported dataset version in " + path);
+  const auto n = read_pod<std::uint64_t>(f);
+  const auto d = read_pod<std::uint64_t>(f);
+  if (d == 0 || d > 1u << 20) throw FormatError("implausible feature count in " + path);
+  const auto k = read_pod<std::uint32_t>(f);
+  if (k < 2 || k > 256) throw FormatError("implausible class count in " + path);
+  const auto name_len = read_pod<std::uint64_t>(f);
+  if (name_len > 4096) throw FormatError("implausible name length in " + path);
+  std::string name(name_len, '\0');
+  f.read(name.data(), static_cast<std::streamsize>(name_len));
+  Dataset ds(n, d, static_cast<int>(k));
+  ds.set_name(name);
+  ds.features_.resize(n * d);
+  ds.labels_.resize(n);
+  f.read(reinterpret_cast<char*>(ds.features_.data()),
+         static_cast<std::streamsize>(ds.features_.size() * sizeof(float)));
+  f.read(reinterpret_cast<char*>(ds.labels_.data()), static_cast<std::streamsize>(n));
+  if (!f) throw FormatError("dataset file truncated: " + path);
+  for (auto l : ds.labels_) {
+    if (l >= k) throw FormatError("label out of class range in " + path);
+  }
+  return ds;
+}
+
+}  // namespace hrf

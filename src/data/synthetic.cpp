@@ -1,0 +1,238 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hrf {
+
+namespace {
+
+/// Recursive teacher construction. Each node owns an axis-aligned box
+/// (per-feature [lo, hi) intervals over the relevant features) and its
+/// probability mass (box volume over relevant features, since those are
+/// uniform on [0,1)). Thresholds are drawn inside the current box so every
+/// branch is reachable by data; "peeling" cuts near a box edge create thin
+/// deep chains whose small-but-learnable mass produces the paper's gradual
+/// accuracy gains at large learner depths.
+struct TeacherBuilder {
+  const SyntheticSpec& spec;
+  Xoshiro256& rng;
+  std::vector<int> relevant;  // feature ids the teacher may split on
+  std::vector<TeacherTree::Node> nodes;
+  int max_depth_seen = 0;
+
+  std::uint8_t leaf_label(double bias) {
+    const int k = spec.num_classes;
+    if (k == 2) {  // the paper's binary setting: label = sign of the walk
+      if (bias > 0.0) return 1;
+      if (bias < 0.0) return 0;
+      return static_cast<std::uint8_t>(rng.bernoulli(0.5) ? 1 : 0);
+    }
+    // Multi-class: fold the walk onto k buckets (kept spatially correlated
+    // so greedy CART can still follow the signal).
+    const auto bucket = static_cast<long>(std::floor(bias / 2.0));
+    return static_cast<std::uint8_t>(((bucket % k) + k) % k);
+  }
+
+  // Boxes are passed by value intentionally: each child mutates one bound.
+  // `bias` is a ±1 random walk along the path from the root; a leaf's label
+  // is its sign. This layers label signal at *every* depth (large top-level
+  // structure, diminishing deep refinements), which greedy CART can follow
+  // — unlike independent random leaf labels, whose marginal split gain is
+  // zero at the root.
+  std::int32_t build(int depth, double mass, double bias, std::vector<float> lo,
+                     std::vector<float> hi) {
+    max_depth_seen = std::max(max_depth_seen, depth);
+    const auto id = static_cast<std::int32_t>(nodes.size());
+    nodes.emplace_back();
+
+    const bool can_split = depth < spec.teacher_depth && mass > spec.mass_floor;
+    if (!can_split || (depth > 2 && rng.bernoulli(spec.early_leaf_prob))) {
+      nodes[id].leaf_label = leaf_label(bias);
+      return id;
+    }
+
+    // Pick a relevant feature whose interval is still wide enough to cut.
+    int feature = -1;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const int f = relevant[rng.bounded(relevant.size())];
+      const auto r = static_cast<std::size_t>(f);
+      if (hi[r] - lo[r] > 1e-4f) {
+        feature = f;
+        break;
+      }
+    }
+    if (feature < 0) {  // box exhausted: forced leaf
+      nodes[id].leaf_label = leaf_label(bias);
+      return id;
+    }
+    const auto r = static_cast<std::size_t>(feature);
+
+    // Split fraction: balanced cut or an edge peel (either side).
+    double frac;
+    if (rng.bernoulli(spec.peel_prob)) {
+      frac = rng.uniform(0.12, 0.25);
+      if (rng.bernoulli(0.5)) frac = 1.0 - frac;
+    } else {
+      frac = rng.uniform(0.30, 0.70);
+    }
+    const float t = lo[r] + (hi[r] - lo[r]) * static_cast<float>(frac);
+    nodes[id].feature = feature;
+    nodes[id].threshold = t;
+
+    auto lo_right = lo;
+    auto hi_left = hi;
+    hi_left[r] = t;
+    lo_right[r] = t;
+    const double step = rng.bernoulli(0.5) ? 1.0 : -1.0;
+    const std::int32_t l =
+        build(depth + 1, mass * frac, bias + step, std::move(lo), std::move(hi_left));
+    const std::int32_t rr =
+        build(depth + 1, mass * (1.0 - frac), bias - step, std::move(lo_right), std::move(hi));
+    nodes[id].left = l;
+    nodes[id].right = rr;
+    return id;
+  }
+};
+
+}  // namespace
+
+TeacherTree TeacherTree::build(const SyntheticSpec& spec) {
+  require(spec.num_features >= 1, "synthetic spec needs >=1 feature");
+  require(spec.num_relevant >= 1 && spec.num_relevant <= spec.num_features,
+          "num_relevant must be in [1, num_features]");
+  require(spec.teacher_depth >= 1 && spec.teacher_depth <= 48,
+          "teacher_depth must be in [1, 48]");
+  require(spec.label_noise >= 0.0 && spec.label_noise < 0.5,
+          "label_noise must be in [0, 0.5)");
+  require(spec.num_classes >= 2 && spec.num_classes <= 256,
+          "num_classes must be in [2, 256]");
+
+  Xoshiro256 rng(spec.seed * 0x9e3779b97f4a7c15ULL + 0xabcdef);
+  TeacherBuilder b{spec, rng, {}, {}, 0};
+  b.relevant.resize(static_cast<std::size_t>(spec.num_relevant));
+  std::iota(b.relevant.begin(), b.relevant.end(), 0);
+
+  std::vector<float> lo(static_cast<std::size_t>(spec.num_features), 0.0f);
+  std::vector<float> hi(static_cast<std::size_t>(spec.num_features), 1.0f);
+  b.build(1, 1.0, 0.0, std::move(lo), std::move(hi));
+
+  TeacherTree t;
+  t.nodes_ = std::move(b.nodes);
+  t.depth_ = b.max_depth_seen;
+  return t;
+}
+
+std::uint8_t TeacherTree::classify(std::span<const float> x) const {
+  std::int32_t n = 0;
+  while (nodes_[static_cast<std::size_t>(n)].feature >= 0) {
+    const Node& node = nodes_[static_cast<std::size_t>(n)];
+    n = x[static_cast<std::size_t>(node.feature)] < node.threshold ? node.left : node.right;
+  }
+  return nodes_[static_cast<std::size_t>(n)].leaf_label;
+}
+
+Dataset make_synthetic(const SyntheticSpec& spec) {
+  require(spec.num_samples >= 2, "need at least 2 samples");
+  const TeacherTree teacher = TeacherTree::build(spec);
+
+  Dataset ds(spec.num_samples, static_cast<std::size_t>(spec.num_features), spec.num_classes);
+  ds.set_name(spec.name);
+  std::vector<float> row(static_cast<std::size_t>(spec.num_features));
+
+  Xoshiro256 rng(spec.seed);
+  for (std::size_t i = 0; i < spec.num_samples; ++i) {
+    for (int f = 0; f < spec.num_features; ++f) {
+      // Relevant features live in the teacher's [0,1) box; the rest are
+      // Gaussian distractors the trainer must learn to ignore.
+      row[static_cast<std::size_t>(f)] =
+          f < spec.num_relevant ? rng.uniform_float()
+                                : static_cast<float>(rng.normal(0.0, 1.0));
+    }
+    std::uint8_t label = teacher.classify(row);
+    // The flip draw is consumed even at noise 0 so that datasets generated
+    // from the same seed differ only in the flipped labels.
+    if (rng.bernoulli(spec.label_noise)) {
+      if (spec.num_classes == 2) {
+        label ^= 1u;
+      } else {
+        const auto shift = 1 + rng.bounded(static_cast<std::uint64_t>(spec.num_classes - 1));
+        label = static_cast<std::uint8_t>((label + shift) % spec.num_classes);
+      }
+    }
+    ds.push_back(row, label);
+  }
+  return ds;
+}
+
+SyntheticSpec covertype_like_spec(std::size_t num_samples, std::uint64_t seed) {
+  SyntheticSpec s;
+  s.name = "covertype-like";
+  s.num_samples = num_samples;
+  s.num_features = 54;   // Table 1: Covertype has 54 features
+  s.num_relevant = 12;
+  s.teacher_depth = 32;  // accuracy keeps improving until depth ~35 (Fig. 5)
+  s.mass_floor = 2e-3;
+  s.peel_prob = 0.60;
+  s.label_noise = 0.05;  // plateau ≈ 89%
+  s.seed = seed;
+  return s;
+}
+
+SyntheticSpec susy_like_spec(std::size_t num_samples, std::uint64_t seed) {
+  SyntheticSpec s;
+  s.name = "susy-like";
+  s.num_samples = num_samples;
+  s.num_features = 18;   // Table 1: SUSY has 18 features
+  s.num_relevant = 14;
+  s.teacher_depth = 16;  // plateau reached by depth ~15-20 (Fig. 5)
+  s.mass_floor = 1.5e-2;
+  s.peel_prob = 0.45;
+  s.label_noise = 0.18;  // plateau ≈ 80%
+  s.seed = seed;
+  return s;
+}
+
+SyntheticSpec higgs_like_spec(std::size_t num_samples, std::uint64_t seed) {
+  SyntheticSpec s;
+  s.name = "higgs-like";
+  s.num_samples = num_samples;
+  s.num_features = 28;   // Table 1: HIGGS has 28 features
+  s.num_relevant = 16;
+  s.teacher_depth = 24;  // plateau reached by depth ~25-30 (Fig. 5)
+  s.mass_floor = 6e-3;
+  s.peel_prob = 0.50;
+  s.label_noise = 0.20;  // plateau ≈ 74%
+  s.seed = seed;
+  return s;
+}
+
+Dataset make_covertype_like(std::size_t num_samples, std::uint64_t seed) {
+  return make_synthetic(covertype_like_spec(num_samples, seed));
+}
+Dataset make_susy_like(std::size_t num_samples, std::uint64_t seed) {
+  return make_synthetic(susy_like_spec(num_samples, seed));
+}
+Dataset make_higgs_like(std::size_t num_samples, std::uint64_t seed) {
+  return make_synthetic(higgs_like_spec(num_samples, seed));
+}
+
+Dataset make_random_queries(std::size_t num_queries, int num_features, std::uint64_t seed) {
+  require(num_queries >= 1, "need at least one query");
+  require(num_features >= 1, "need at least one feature");
+  Dataset ds(num_queries, static_cast<std::size_t>(num_features));
+  ds.set_name("random-queries");
+  Xoshiro256 rng(seed);
+  std::vector<float> row(static_cast<std::size_t>(num_features));
+  for (std::size_t i = 0; i < num_queries; ++i) {
+    for (auto& v : row) v = rng.uniform_float();
+    ds.push_back(row, 0);
+  }
+  return ds;
+}
+
+}  // namespace hrf

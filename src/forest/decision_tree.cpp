@@ -1,0 +1,112 @@
+#include "forest/decision_tree.hpp"
+
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hrf {
+
+DecisionTree::DecisionTree(std::vector<TreeNode> nodes) : nodes_(std::move(nodes)) {}
+
+std::int32_t DecisionTree::add_node(const TreeNode& n) {
+  nodes_.push_back(n);
+  return static_cast<std::int32_t>(nodes_.size() - 1);
+}
+
+float DecisionTree::traverse(std::span<const float> query) const {
+  std::size_t n = 0;
+  while (!nodes_[n].is_leaf()) {
+    const TreeNode& node = nodes_[n];
+    n = static_cast<std::size_t>(query[static_cast<std::size_t>(node.feature)] < node.value
+                                     ? node.left
+                                     : node.right);
+  }
+  return nodes_[n].value;
+}
+
+std::uint8_t DecisionTree::classify(std::span<const float> query) const {
+  return static_cast<std::uint8_t>(traverse(query));
+}
+
+TreeStats DecisionTree::stats() const {
+  TreeStats s;
+  s.node_count = nodes_.size();
+  if (nodes_.empty()) return s;
+  // Iterative DFS with explicit depth tracking (no recursion: trees can be
+  // thousands of nodes deep in adversarial inputs).
+  std::vector<std::pair<std::int32_t, int>> stack{{0, 1}};
+  std::size_t leaf_depth_sum = 0;
+  while (!stack.empty()) {
+    auto [id, depth] = stack.back();
+    stack.pop_back();
+    const TreeNode& n = nodes_[static_cast<std::size_t>(id)];
+    s.max_depth = depth > s.max_depth ? depth : s.max_depth;
+    if (n.is_leaf()) {
+      ++s.leaf_count;
+      leaf_depth_sum += static_cast<std::size_t>(depth);
+    } else {
+      stack.emplace_back(n.left, depth + 1);
+      stack.emplace_back(n.right, depth + 1);
+    }
+  }
+  s.mean_leaf_depth =
+      s.leaf_count ? static_cast<double>(leaf_depth_sum) / static_cast<double>(s.leaf_count) : 0.0;
+  return s;
+}
+
+void DecisionTree::validate(std::size_t num_features, int num_classes) const {
+  if (nodes_.empty()) throw FormatError("tree has no nodes");
+  const auto n = static_cast<std::int32_t>(nodes_.size());
+  std::vector<int> parents(nodes_.size(), 0);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const TreeNode& node = nodes_[i];
+    if (node.is_leaf()) {
+      const float v = node.value;
+      if (v < 0.0f || v >= static_cast<float>(num_classes) ||
+          v != static_cast<float>(static_cast<int>(v))) {
+        throw FormatError("leaf " + std::to_string(i) + " has invalid class value");
+      }
+      continue;
+    }
+    if (node.feature < 0 || static_cast<std::size_t>(node.feature) >= num_features) {
+      throw FormatError("node " + std::to_string(i) + " references invalid feature " +
+                        std::to_string(node.feature));
+    }
+    if (node.left < 0 || node.left >= n || node.right < 0 || node.right >= n) {
+      throw FormatError("node " + std::to_string(i) + " has out-of-range child");
+    }
+    if (node.left == static_cast<std::int32_t>(i) || node.right == static_cast<std::int32_t>(i)) {
+      throw FormatError("node " + std::to_string(i) + " is its own child");
+    }
+    ++parents[static_cast<std::size_t>(node.left)];
+    ++parents[static_cast<std::size_t>(node.right)];
+  }
+  if (parents[0] != 0) throw FormatError("root node has a parent");
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    if (parents[i] != 1) {
+      throw FormatError("node " + std::to_string(i) + " has " + std::to_string(parents[i]) +
+                        " parents (expected 1)");
+    }
+  }
+  // Reachability + acyclicity: DFS from the root must visit every node
+  // exactly once given the single-parent property checked above.
+  std::vector<char> seen(nodes_.size(), 0);
+  std::vector<std::int32_t> stack{0};
+  std::size_t visited = 0;
+  while (!stack.empty()) {
+    const auto id = static_cast<std::size_t>(stack.back());
+    stack.pop_back();
+    if (seen[id]) throw FormatError("cycle detected at node " + std::to_string(id));
+    seen[id] = 1;
+    ++visited;
+    const TreeNode& node = nodes_[id];
+    if (!node.is_leaf()) {
+      stack.push_back(node.left);
+      stack.push_back(node.right);
+    }
+  }
+  if (visited != nodes_.size()) throw FormatError("tree contains unreachable nodes");
+}
+
+}  // namespace hrf

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hrf {
+
+/// Sentinel feature id marking a leaf node (matches the paper's Fig. 2c,
+/// where feature_id = -1 denotes a leaf).
+inline constexpr std::int32_t kLeafFeature = -1;
+
+/// One node of a binary decision tree.
+///
+/// Inner node: `feature >= 0`, traversal goes left iff
+/// `query[feature] < value`, children indices in `left` / `right`.
+/// Leaf node: `feature == kLeafFeature`, `value` holds the class vote as
+/// a small non-negative integer stored in float (0.0 = class A, 1.0 =
+/// class B in the paper's binary setting; larger ids for multi-class).
+struct TreeNode {
+  std::int32_t feature = kLeafFeature;
+  float value = 0.0f;
+  std::int32_t left = -1;
+  std::int32_t right = -1;
+
+  bool is_leaf() const { return feature == kLeafFeature; }
+};
+
+/// Aggregate structural statistics of a tree (used by the memory-footprint
+/// analysis and by reports).
+struct TreeStats {
+  std::size_t node_count = 0;
+  std::size_t leaf_count = 0;
+  int max_depth = 0;       // root counts as depth 1
+  double mean_leaf_depth = 0.0;
+};
+
+/// A trained binary decision tree stored as a flat node vector with the
+/// root at index 0. This is the canonical in-memory model from which the
+/// CSR and hierarchical inference layouts are derived.
+class DecisionTree {
+ public:
+  DecisionTree() = default;
+  explicit DecisionTree(std::vector<TreeNode> nodes);
+
+  const std::vector<TreeNode>& nodes() const { return nodes_; }
+  const TreeNode& node(std::size_t i) const { return nodes_[i]; }
+  std::size_t node_count() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+
+  /// Reserves and appends; returns the new node's index.
+  std::int32_t add_node(const TreeNode& n);
+  TreeNode& mutable_node(std::size_t i) { return nodes_[i]; }
+
+  /// Returns the leaf class vote for the query. The tree must be
+  /// non-empty and well formed.
+  std::uint8_t classify(std::span<const float> query) const;
+
+  /// Leaf value reached by the query (the class id as float), mirroring
+  /// the paper's tree_traverse return.
+  float traverse(std::span<const float> query) const;
+
+  TreeStats stats() const;
+
+  /// Depth of the tree (root = 1); 0 for an empty tree.
+  int depth() const { return stats().max_depth; }
+
+  /// Verifies structural invariants: children in range, exactly one parent
+  /// per non-root node, every path ends at a leaf, no cycles, leaf values
+  /// are integral class ids below `num_classes`. Throws FormatError
+  /// describing the first violation.
+  void validate(std::size_t num_features, int num_classes = 2) const;
+
+ private:
+  std::vector<TreeNode> nodes_;
+};
+
+}  // namespace hrf

@@ -1,0 +1,155 @@
+#include "forest/forest.hpp"
+
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace hrf {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x48524646;  // "HRFF"
+constexpr std::uint32_t kVersion = 2;  // v2 added num_classes
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!is) throw FormatError("forest file truncated");
+  return v;
+}
+}  // namespace
+
+Forest::Forest(std::vector<DecisionTree> trees, std::size_t num_features, int num_classes)
+    : trees_(std::move(trees)), num_features_(num_features), num_classes_(num_classes) {
+  require(!trees_.empty(), "forest needs at least one tree");
+  require(num_features_ > 0, "forest needs at least one feature");
+  require(num_classes >= 2 && num_classes <= 256, "num_classes must be in [2, 256]");
+}
+
+std::uint32_t Forest::vote_sum(std::span<const float> query) const {
+  require(num_classes_ == 2, "vote_sum is the paper's binary accumulator");
+  std::uint32_t tmp = 0;
+  for (const DecisionTree& t : trees_) tmp += t.classify(query) == 1;
+  return tmp;
+}
+
+std::uint8_t Forest::vote_winner(std::span<const std::uint32_t> votes) {
+  // Argmax with ties to the higher class id: with two classes and
+  // votes[1] == N/2 this selects class B, i.e. Fig. 1a's tmp < N/2 ? A : B.
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < votes.size(); ++c) {
+    if (votes[c] >= votes[best]) best = c;
+  }
+  return static_cast<std::uint8_t>(best);
+}
+
+std::uint8_t Forest::classify(std::span<const float> query) const {
+  std::uint32_t votes[256] = {};
+  for (const DecisionTree& t : trees_) ++votes[t.classify(query)];
+  return vote_winner({votes, static_cast<std::size_t>(num_classes_)});
+}
+
+std::vector<std::uint8_t> Forest::classify_batch(std::span<const float> queries,
+                                                 std::size_t num_queries) const {
+  require(queries.size() == num_queries * num_features_,
+          "query matrix size mismatch");
+  std::vector<std::uint8_t> out(num_queries);
+  for (std::size_t i = 0; i < num_queries; ++i) {
+    out[i] = classify(queries.subspan(i * num_features_, num_features_));
+  }
+  return out;
+}
+
+double Forest::accuracy(std::span<const float> queries,
+                        std::span<const std::uint8_t> labels) const {
+  const std::size_t n = labels.size();
+  require(queries.size() == n * num_features_, "query matrix size mismatch");
+  if (n == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    correct += classify(queries.subspan(i * num_features_, num_features_)) == labels[i];
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+ForestStats Forest::stats() const {
+  ForestStats s;
+  s.tree_count = trees_.size();
+  double depth_sum = 0.0;
+  double leaf_depth_weighted = 0.0;
+  for (const DecisionTree& t : trees_) {
+    const TreeStats ts = t.stats();
+    s.total_nodes += ts.node_count;
+    s.total_leaves += ts.leaf_count;
+    s.max_depth = ts.max_depth > s.max_depth ? ts.max_depth : s.max_depth;
+    depth_sum += ts.max_depth;
+    leaf_depth_weighted += ts.mean_leaf_depth * static_cast<double>(ts.leaf_count);
+  }
+  if (!trees_.empty()) s.mean_depth = depth_sum / static_cast<double>(trees_.size());
+  if (s.total_leaves) {
+    s.mean_leaf_depth = leaf_depth_weighted / static_cast<double>(s.total_leaves);
+  }
+  return s;
+}
+
+void Forest::validate() const {
+  for (const DecisionTree& t : trees_) t.validate(num_features_, num_classes_);
+}
+
+void Forest::save(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw Error("cannot open for writing: " + path);
+  write_pod(f, kMagic);
+  write_pod(f, kVersion);
+  write_pod(f, static_cast<std::uint64_t>(num_features_));
+  write_pod(f, static_cast<std::uint32_t>(num_classes_));
+  write_pod(f, static_cast<std::uint64_t>(trees_.size()));
+  for (const DecisionTree& t : trees_) {
+    write_pod(f, static_cast<std::uint64_t>(t.node_count()));
+    f.write(reinterpret_cast<const char*>(t.nodes().data()),
+            static_cast<std::streamsize>(t.node_count() * sizeof(TreeNode)));
+  }
+  if (!f) throw Error("write failed: " + path);
+}
+
+Forest Forest::load(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw Error("cannot open for reading: " + path);
+  if (read_pod<std::uint32_t>(f) != kMagic) throw FormatError("bad forest magic in " + path);
+  if (read_pod<std::uint32_t>(f) != kVersion) {
+    throw FormatError("unsupported forest version in " + path);
+  }
+  const auto num_features = read_pod<std::uint64_t>(f);
+  const auto num_classes = read_pod<std::uint32_t>(f);
+  if (num_classes < 2 || num_classes > 256) {
+    throw FormatError("implausible class count in " + path);
+  }
+  const auto num_trees = read_pod<std::uint64_t>(f);
+  if (num_features == 0 || num_features > (1u << 20)) {
+    throw FormatError("implausible feature count in " + path);
+  }
+  if (num_trees == 0 || num_trees > (1u << 24)) {
+    throw FormatError("implausible tree count in " + path);
+  }
+  std::vector<DecisionTree> trees;
+  trees.reserve(num_trees);
+  for (std::uint64_t i = 0; i < num_trees; ++i) {
+    const auto n = read_pod<std::uint64_t>(f);
+    if (n == 0 || n > (1u << 30)) throw FormatError("implausible node count in " + path);
+    std::vector<TreeNode> nodes(n);
+    f.read(reinterpret_cast<char*>(nodes.data()),
+           static_cast<std::streamsize>(n * sizeof(TreeNode)));
+    if (!f) throw FormatError("forest file truncated: " + path);
+    trees.emplace_back(std::move(nodes));
+  }
+  Forest out(std::move(trees), num_features, static_cast<int>(num_classes));
+  out.validate();  // loads are untrusted: reject malformed topology
+  return out;
+}
+
+}  // namespace hrf

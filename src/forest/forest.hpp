@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "forest/decision_tree.hpp"
+
+namespace hrf {
+
+/// Aggregate statistics over a forest.
+struct ForestStats {
+  std::size_t tree_count = 0;
+  std::size_t total_nodes = 0;
+  std::size_t total_leaves = 0;
+  int max_depth = 0;
+  double mean_depth = 0.0;       // mean over trees of per-tree max depth
+  double mean_leaf_depth = 0.0;  // mean over all leaves
+};
+
+/// A trained random forest: an ensemble of binary decision trees plus the
+/// feature-space width and class count it was trained for. Classification
+/// is a majority vote over per-tree leaf votes. In the paper's binary
+/// setting this is exactly Fig. 1a's `tmp < N/2 ? A : B`; the multi-class
+/// generalization is argmax over per-class vote counts with ties resolved
+/// to the HIGHER class id (which reduces to the paper's rule at k = 2).
+class Forest {
+ public:
+  Forest() = default;
+  Forest(std::vector<DecisionTree> trees, std::size_t num_features, int num_classes = 2);
+
+  std::size_t tree_count() const { return trees_.size(); }
+  std::size_t num_features() const { return num_features_; }
+  int num_classes() const { return num_classes_; }
+  const DecisionTree& tree(std::size_t i) const { return trees_[i]; }
+  const std::vector<DecisionTree>& trees() const { return trees_; }
+
+  /// Majority-vote classification of a single query (argmax of class
+  /// votes, ties to the higher class id — at k = 2 this is exactly
+  /// `tmp < N/2 ? A : B`).
+  std::uint8_t classify(std::span<const float> query) const;
+
+  /// Sum of per-tree class-1 votes (the paper's `tmp` accumulator;
+  /// binary forests only).
+  std::uint32_t vote_sum(std::span<const float> query) const;
+
+  /// Winner of a per-class vote histogram under the library's tie rule.
+  static std::uint8_t vote_winner(std::span<const std::uint32_t> votes);
+
+  /// Classifies every row of the row-major query matrix.
+  std::vector<std::uint8_t> classify_batch(std::span<const float> queries,
+                                           std::size_t num_queries) const;
+
+  /// Fraction of queries whose prediction matches `labels`.
+  double accuracy(std::span<const float> queries, std::span<const std::uint8_t> labels) const;
+
+  ForestStats stats() const;
+
+  /// Validates every tree (see DecisionTree::validate).
+  void validate() const;
+
+  /// Binary model (de)serialization (magic + version + per-tree node
+  /// arrays). Throws FormatError on malformed input.
+  void save(const std::string& path) const;
+  static Forest load(const std::string& path);
+
+ private:
+  std::vector<DecisionTree> trees_;
+  std::size_t num_features_ = 0;
+  int num_classes_ = 2;
+};
+
+}  // namespace hrf

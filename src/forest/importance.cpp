@@ -1,0 +1,41 @@
+#include "forest/importance.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hrf {
+
+std::vector<double> feature_importance(const Forest& forest) {
+  std::vector<double> scores(forest.num_features(), 0.0);
+  for (std::size_t t = 0; t < forest.tree_count(); ++t) {
+    const DecisionTree& tree = forest.tree(t);
+    // Iterative DFS carrying the balanced-mass estimate per node.
+    std::vector<std::pair<std::int32_t, double>> stack{{0, 1.0}};
+    while (!stack.empty()) {
+      const auto [id, mass] = stack.back();
+      stack.pop_back();
+      const TreeNode& n = tree.node(static_cast<std::size_t>(id));
+      if (n.is_leaf()) continue;
+      scores[static_cast<std::size_t>(n.feature)] += mass;
+      stack.emplace_back(n.left, mass / 2.0);
+      stack.emplace_back(n.right, mass / 2.0);
+    }
+  }
+  const double total = std::accumulate(scores.begin(), scores.end(), 0.0);
+  if (total > 0.0) {
+    for (double& s : scores) s /= total;
+  }
+  return scores;
+}
+
+std::vector<std::size_t> top_features(const Forest& forest, std::size_t k) {
+  const std::vector<double> scores = feature_importance(forest);
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
+  order.resize(std::min(k, order.size()));
+  return order;
+}
+
+}  // namespace hrf

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <vector>
+
+#include "forest/forest.hpp"
+
+namespace hrf {
+
+/// Structural feature importance of a trained (or loaded) forest.
+///
+/// Each inner node contributes its estimated probability mass — 2^-(depth-1),
+/// the balanced-split estimate, since serialized models carry no sample
+/// counts — to the feature it splits on; scores are summed over all trees
+/// and normalized to sum to 1. This is the split-frequency proxy for
+/// mean-decrease-in-impurity: features used often and near the roots score
+/// high. It needs no training data, so it also works on deserialized
+/// models (e.g. in `hrf_cli --mode info`).
+std::vector<double> feature_importance(const Forest& forest);
+
+/// Indices of the `k` most important features, descending (ties by lower
+/// feature id).
+std::vector<std::size_t> top_features(const Forest& forest, std::size_t k);
+
+}  // namespace hrf

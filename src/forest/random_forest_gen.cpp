@@ -1,0 +1,69 @@
+#include "forest/random_forest_gen.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hrf {
+
+namespace {
+
+DecisionTree make_random_tree(const RandomForestSpec& spec, Xoshiro256& rng) {
+  DecisionTree tree;
+  struct Work {
+    std::int32_t node_id;
+    int depth;
+    bool on_spine;  // forced-branch path guaranteeing the max depth
+  };
+  std::vector<Work> stack;
+  tree.add_node(TreeNode{});
+  stack.push_back({0, 1, true});
+
+  while (!stack.empty()) {
+    const Work w = stack.back();
+    stack.pop_back();
+    TreeNode& placeholder = tree.mutable_node(static_cast<std::size_t>(w.node_id));
+
+    const bool branch =
+        w.depth < spec.max_depth && (w.on_spine || rng.bernoulli(spec.branch_prob));
+    if (!branch) {
+      placeholder.feature = kLeafFeature;
+      placeholder.value = static_cast<float>(rng.bounded(spec.num_classes));
+      continue;
+    }
+    placeholder.feature = static_cast<std::int32_t>(rng.bounded(spec.num_features));
+    placeholder.value = static_cast<float>(rng.uniform(0.05, 0.95));
+    const std::int32_t left = tree.add_node(TreeNode{});
+    const std::int32_t right = tree.add_node(TreeNode{});
+    // add_node may reallocate; re-fetch the parent before wiring children.
+    TreeNode& parent = tree.mutable_node(static_cast<std::size_t>(w.node_id));
+    parent.left = left;
+    parent.right = right;
+    const bool spine_goes_left = rng.bernoulli(0.5);
+    stack.push_back({left, w.depth + 1, w.on_spine && spine_goes_left});
+    stack.push_back({right, w.depth + 1, w.on_spine && !spine_goes_left});
+  }
+  return tree;
+}
+
+}  // namespace
+
+Forest make_random_forest(const RandomForestSpec& spec) {
+  require(spec.num_trees >= 1, "need at least one tree");
+  require(spec.max_depth >= 1 && spec.max_depth <= 60, "max_depth must be in [1, 60]");
+  require(spec.branch_prob >= 0.0 && spec.branch_prob <= 1.0, "branch_prob must be in [0,1]");
+  require(spec.num_features >= 1, "need at least one feature");
+  require(spec.num_classes >= 2 && spec.num_classes <= 256, "num_classes must be in [2, 256]");
+
+  Xoshiro256 rng(spec.seed);
+  std::vector<DecisionTree> trees;
+  trees.reserve(static_cast<std::size_t>(spec.num_trees));
+  for (int t = 0; t < spec.num_trees; ++t) {
+    trees.push_back(make_random_tree(spec, rng));
+  }
+  Forest f(std::move(trees), static_cast<std::size_t>(spec.num_features), spec.num_classes);
+  return f;
+}
+
+}  // namespace hrf

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+
+#include "forest/forest.hpp"
+
+namespace hrf {
+
+/// Parameters for synthesizing a random forest *topology* (no training).
+/// Used by the Table 3 reproduction — the paper's FPGA variant comparison
+/// runs on a synthetic dataset (d=15, t=40, q=250k) — and by property
+/// tests that need many structurally diverse forests cheaply.
+struct RandomForestSpec {
+  int num_trees = 40;
+  /// Target maximum depth (root = 1). One spine per tree is forced to this
+  /// depth so `Forest::stats().max_depth == max_depth` exactly.
+  int max_depth = 15;
+  /// Probability that a non-spine node at depth < max_depth branches;
+  /// controls sparsity (expected nodes per tree ~ (2*branch_prob)^depth).
+  double branch_prob = 0.72;
+  int num_features = 20;
+  /// Leaf class votes are drawn uniformly from [0, num_classes).
+  int num_classes = 2;
+  std::uint64_t seed = 99;
+};
+
+/// Builds a random forest per the spec. Thresholds are uniform in [0,1),
+/// features uniform over [0, num_features), leaf votes uniform over the
+/// classes. Deterministic in spec.seed.
+Forest make_random_forest(const RandomForestSpec& spec);
+
+}  // namespace hrf

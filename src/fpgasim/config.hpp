@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hrf::fpgasim {
+
+/// Parameters of the simulated FPGA accelerator card.
+///
+/// The FPGA model is *analytical*: Vitis HLS produces deterministic
+/// pipelines whose performance is fixed by the initiation interval (II),
+/// pipeline depth, iteration counts and external-memory behaviour, so —
+/// unlike the GPU — no dynamic simulation is needed. Kernels measure exact
+/// iteration/access counts from the functional traversal and feed them to
+/// this model. IIs are taken from the paper's HLS reports (§3.2.2,
+/// Table 3): CSR 292, independent 76 (147 without query buffering),
+/// collaborative 3, hybrid 3/76.
+///
+/// The default preset models the Xilinx Alveo U250 (§4): four super logic
+/// regions (SLRs), each with its own 16 GB DDR4-2400 channel and ~13.5 MB
+/// of BRAM+URAM.
+struct FpgaConfig {
+  int num_slrs = 4;
+  double clock_mhz = 300.0;
+  /// Per-SLR DDR4 channel peak bandwidth (4 channels ~= 77 GB/s total).
+  double channel_gbps = 19.2;
+  /// DDR access granularity (one AXI beat's worth of useful burst data).
+  std::size_t burst_bytes = 64;
+  /// Random (non-burst) reads are latency-bound: a channel sustains at
+  /// most `max_outstanding / dram_latency_cycles` of them per cycle, per
+  /// CU. A CU that owns its channel outright gets the full AXI adapter
+  /// reordering depth (`max_outstanding_solo`).
+  int max_outstanding = 8;
+  int max_outstanding_solo = 16;
+  double dram_latency_cycles = 150.0;
+  /// Random-access bandwidth derating (row misses, short bursts).
+  double random_efficiency = 0.35;
+  /// Oversubscription collapse: when a stage demands random accesses
+  /// faster than the channel sustains, effective throughput degrades as
+  /// sustainable / (1 + gamma * (oversubscription - 1)) — AXI arbitration
+  /// and DRAM bank conflicts worsen under pressure. This is what makes the
+  /// replicated hybrid (stage 1 at II 3) stall at ~80% in Table 3 while
+  /// the gentler independent kernel (II 76) scales to 4S12C.
+  double arbitration_gamma = 0.25;
+  /// On-chip BRAM + URAM per SLR (paper §2.3: 13.5 MB).
+  std::size_t onchip_bytes_per_slr = 13'500'000;
+  /// Residual stall fraction observed even on pipeline-bound kernels
+  /// (refresh, AXI arbitration; Table 3 reports ~11% for CSR).
+  double base_stall = 0.105;
+
+  static FpgaConfig alveo_u250() { return FpgaConfig{}; }
+
+  /// Sequential-burst bytes a channel moves per kernel clock cycle.
+  double burst_bytes_per_cycle() const { return channel_gbps * 1e3 / clock_mhz; }
+};
+
+/// Placement of compute units: `slrs_used` SLRs with `cus_per_slr` copies
+/// of the execution pipeline each (paper notation: xSyC = x SLRs, y CUs).
+struct CuLayout {
+  int slrs_used = 1;
+  int cus_per_slr = 1;
+  /// Achieved kernel clock; dense designs close timing at a lower clock
+  /// (the paper's split hybrid runs at 245 MHz instead of 300 MHz).
+  double clock_mhz = 300.0;
+
+  int total_cus() const { return slrs_used * cus_per_slr; }
+};
+
+}  // namespace hrf::fpgasim

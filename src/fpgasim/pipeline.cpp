@@ -1,0 +1,79 @@
+#include "fpgasim/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hrf::fpgasim {
+
+FpgaReport evaluate(const FpgaConfig& cfg, const CuLayout& layout,
+                    const std::vector<StageModel>& stages, const std::string& ii_desc) {
+  require(layout.slrs_used >= 1 && layout.slrs_used <= cfg.num_slrs,
+          "CU layout uses more SLRs than the device has");
+  require(layout.cus_per_slr >= 1, "need at least one CU per SLR");
+  require(!stages.empty(), "kernel needs at least one stage");
+
+  const double clock_hz = layout.clock_mhz * 1e6;
+  // Channel capabilities at the achieved clock (in accesses per cycle).
+  const double burst_per_cycle = cfg.channel_gbps * 1e9 / clock_hz / cfg.burst_bytes;
+  const double rand_bw_cap = burst_per_cycle * cfg.random_efficiency;
+
+  // All SLRs carry identical shares, so model one (the critical) SLR.
+  const double slr_share = 1.0 / layout.slrs_used;
+
+  // Stages run back to back; each is bounded by its own pipeline time and
+  // by the time the SLR's DDR channel needs for its traffic.
+  double pipeline_cycles = 0.0;
+  double total_busy = 0.0;
+  bool memory_bound_any = false;
+  for (const StageModel& s : stages) {
+    require(s.ii > 0, "stage II must be positive");
+    const int cus = s.replicate_within_slr ? layout.cus_per_slr : 1;
+    const double iters_cu =
+        static_cast<double>(s.iterations) * slr_share / static_cast<double>(cus);
+    const double p = s.pipeline_depth + s.ii * iters_cu;
+    pipeline_cycles += p;
+
+    const double rand_slr = static_cast<double>(s.random_accesses) * slr_share;
+    const double burst_slr = static_cast<double>(s.burst_accesses) * slr_share;
+
+    // Random service rate: limited by outstanding requests per CU and by
+    // the derated DRAM bandwidth; collapses further when the stage demands
+    // more than the channel sustains (AXI arbitration, bank conflicts).
+    const double outstanding =
+        cus == 1 ? cfg.max_outstanding_solo
+                 : static_cast<double>(cus) * cfg.max_outstanding;
+    const double sustainable =
+        std::min(outstanding / cfg.dram_latency_cycles, rand_bw_cap);
+    double rand_cycles = 0.0;
+    if (rand_slr > 0.0) {
+      // All CUs of the SLR run concurrently for ~p cycles, so the channel
+      // sees their combined request stream at rand_slr / p per cycle.
+      const double demand = p > 0.0 ? rand_slr / p : rand_slr;
+      double effective = sustainable;
+      if (demand > sustainable) {
+        effective = sustainable / (1.0 + cfg.arbitration_gamma * (demand / sustainable - 1.0));
+      }
+      rand_cycles = rand_slr / effective;
+    }
+    const double m = rand_cycles + burst_slr / burst_per_cycle;
+    if (m > p) memory_bound_any = true;
+    total_busy += std::max(p, m);
+  }
+
+  const double total = total_busy / (1.0 - cfg.base_stall);
+
+  FpgaReport r;
+  r.pipeline_cycles = pipeline_cycles;
+  r.total_cycles = total;
+  r.seconds = total / clock_hz;
+  r.stall_pct = total > 0 ? 100.0 * (1.0 - pipeline_cycles / total) : 0.0;
+  r.clock_mhz = layout.clock_mhz;
+  r.ii_desc = ii_desc;
+  r.limiter = memory_bound_any ? "memory" : "pipeline";
+  for (const StageModel& s : stages) r.stage_names.push_back(s.name);
+  return r;
+}
+
+}  // namespace hrf::fpgasim

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fpgasim/config.hpp"
+
+namespace hrf::fpgasim {
+
+/// One pipelined HLS loop, with iteration and memory-access counts for the
+/// *whole problem* (all queries); replication divides the counts across
+/// compute units.
+struct StageModel {
+  std::string name;
+  double ii = 1.0;              // initiation interval (cycles/iteration)
+  double pipeline_depth = 40;   // fill latency (cycles)
+  std::uint64_t iterations = 0;
+  /// Irregular external reads (latency-bound random accesses).
+  std::uint64_t random_accesses = 0;
+  /// Sequential burst reads, in units of burst_bytes (bandwidth-bound).
+  std::uint64_t burst_accesses = 0;
+  /// When true this stage is NOT replicated across CUs within an SLR (the
+  /// paper's "split" hybrid keeps one stage-1 CU per SLR).
+  bool replicate_within_slr = true;
+};
+
+/// Timing verdict for one kernel configuration.
+struct FpgaReport {
+  double seconds = 0.0;
+  double stall_pct = 0.0;       // 1 - ideal pipeline cycles / actual cycles
+  double clock_mhz = 0.0;
+  std::string ii_desc;          // "292", "3/76", ... as in Table 3
+  double pipeline_cycles = 0.0; // ideal per-CU pipeline cycles (critical SLR)
+  double total_cycles = 0.0;    // modeled cycles on the critical SLR
+  std::string limiter;          // "pipeline" | "memory"
+  std::vector<std::string> stage_names;
+};
+
+/// Evaluates the analytical model for a kernel made of `stages` under the
+/// given CU layout. Work (iterations/accesses) is split evenly over CUs;
+/// stages with replicate_within_slr=false run on one CU per SLR and their
+/// work splits only across SLRs. Per SLR, the DDR channel serves its CUs'
+/// random accesses at min(cus*outstanding/latency, eff_bw) accesses/cycle
+/// and burst traffic at the sequential bandwidth; the SLR finishes when
+/// both its pipelines and its channel are done. A base stall fraction
+/// models arbitration/refresh overheads on external-memory loops.
+FpgaReport evaluate(const FpgaConfig& cfg, const CuLayout& layout,
+                    const std::vector<StageModel>& stages, const std::string& ii_desc);
+
+}  // namespace hrf::fpgasim

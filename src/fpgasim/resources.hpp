@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fpgasim/config.hpp"
+#include "layout/hierarchical.hpp"
+
+namespace hrf::fpgasim {
+
+/// Estimated fabric resources of one compute unit (or fixed function).
+struct ResourceUsage {
+  std::uint64_t luts = 0;
+  std::uint64_t ffs = 0;
+  std::uint64_t bram36 = 0;  // 36 Kb block RAMs
+  std::uint64_t urams = 0;   // 288 Kb UltraRAMs
+  std::uint64_t dsps = 0;
+
+  ResourceUsage& operator+=(const ResourceUsage& o) {
+    luts += o.luts;
+    ffs += o.ffs;
+    bram36 += o.bram36;
+    urams += o.urams;
+    dsps += o.dsps;
+    return *this;
+  }
+};
+
+/// Per-SLR resource budget. The Alveo U250 preset divides the paper's §4
+/// card totals (1.7M LUTs, 3.5M FFs, 2000 BRAMs, 1280 URAMs, 12228 DSPs)
+/// by its four SLRs.
+struct SlrBudget {
+  std::uint64_t luts = 425'000;
+  std::uint64_t ffs = 875'000;
+  std::uint64_t bram36 = 500;
+  std::uint64_t urams = 320;
+  std::uint64_t dsps = 3'057;
+
+  static SlrBudget alveo_u250_slr() { return SlrBudget{}; }
+};
+
+/// The kernels whose fabric footprint the model estimates.
+enum class FpgaKernelKind {
+  Csr,
+  Independent,
+  Collaborative,
+  Hybrid,
+  HybridSplitStage1,  // the split design's dedicated stage-1 CU
+  HybridSplitStage2,  // the split design's replicated stage-2 CU
+};
+
+const char* to_string(FpgaKernelKind kind);
+
+/// Per-CU resource estimate. Logic sizes are calibrated to the paper's
+/// observed placements (independent and hybrid close timing at 12 CUs/SLR
+/// and 300 MHz; the split hybrid only fits 10 stage-2 CUs next to its
+/// stage-1 CU and drops to 245 MHz). On-chip buffers (query tile, subtree
+/// or root-subtree storage) are translated into BRAM/URAM blocks.
+ResourceUsage estimate_cu_resources(FpgaKernelKind kind, const HierConfig& layout);
+
+/// Result of placing a CU configuration onto one SLR.
+struct PlacementReport {
+  bool fits = false;
+  double lut_utilization = 0.0;  // fraction of the SLR budget
+  /// Achievable clock: 300 MHz up to 85% LUT utilization, then derated
+  /// linearly to ~230 MHz at full utilization (routing congestion).
+  double clock_mhz = 0.0;
+  std::string detail;
+};
+
+/// Checks `cus_per_slr` copies of `kind` (plus, for the split design, one
+/// HybridSplitStage1 CU) against the SLR budget and estimates the clock.
+PlacementReport check_placement(FpgaKernelKind kind, int cus_per_slr, const HierConfig& layout,
+                                const SlrBudget& budget = SlrBudget::alveo_u250_slr(),
+                                bool add_split_stage1 = false);
+
+/// Largest CU count of `kind` that fits one SLR (0 if even one doesn't).
+int max_cus_per_slr(FpgaKernelKind kind, const HierConfig& layout,
+                    const SlrBudget& budget = SlrBudget::alveo_u250_slr(),
+                    bool add_split_stage1 = false);
+
+}  // namespace hrf::fpgasim

@@ -1,0 +1,101 @@
+#include "gpukernels/common.hpp"
+#include "gpukernels/kernels.hpp"
+
+namespace hrf::gpukernels {
+
+using detail::kWarpSize;
+
+/// CSR baseline (paper §2.3, Fig. 2): each thread walks every tree for its
+/// query. Per inner-node step the thread loads feature_id[n], value[n],
+/// the query feature, children_arr_idx[n] and children_arr[idx + dir] —
+/// two of which are the indirect topology accesses the hierarchical layout
+/// eliminates. Warps reconverge at the end of each tree's while-loop, so a
+/// warp pays the longest lane path per tree (lock-step divergence).
+KernelResult run_csr(gpusim::Device& device, const CsrForest& csr, const Dataset& queries) {
+  require(csr.num_features() == queries.num_features(), "query width != forest features");
+  const detail::QueryView q(device, queries);
+  const gpusim::DeviceArray<std::int32_t> feature_id(device, csr.feature_id());
+  const gpusim::DeviceArray<float> value(device, csr.value());
+  const gpusim::DeviceArray<std::int32_t> children_arr(device, csr.children_arr());
+  const gpusim::DeviceArray<std::int32_t> children_arr_idx(device, csr.children_arr_idx());
+  const gpusim::DeviceArray<std::int32_t> tree_root(device, csr.tree_root());
+
+  const auto& cfg = device.config();
+  const auto k = static_cast<std::size_t>(csr.num_classes());
+  std::vector<std::uint32_t> votes(q.count() * k, 0);
+
+  detail::for_each_warp(cfg, q.count(), [&](int sm, std::size_t first, std::uint32_t warp_mask) {
+    std::uint32_t lane_node[kWarpSize] = {};
+    std::uint64_t addrs[kWarpSize] = {};
+
+    for (std::size_t t = 0; t < csr.num_trees(); ++t) {
+      // Uniform per-warp read of the tree root (one lane broadcasts).
+      addrs[0] = tree_root.addr(t);
+      device.warp_load(sm, {addrs, 1}, 1u, sizeof(std::int32_t));
+      const auto root = static_cast<std::uint32_t>(tree_root[t]);
+      for (int l = 0; l < kWarpSize; ++l) lane_node[l] = root;
+
+      std::uint32_t active = warp_mask;
+      while (active != 0) {
+        // feature_id[n] and value[n] for all active lanes.
+        for (int l = 0; l < kWarpSize; ++l) addrs[l] = feature_id.addr(lane_node[l]);
+        device.warp_load(sm, addrs, active, sizeof(std::int32_t));
+        for (int l = 0; l < kWarpSize; ++l) addrs[l] = value.addr(lane_node[l]);
+        device.warp_load(sm, addrs, active, sizeof(float));
+
+        // Leaf check splits the warp when some lanes are done.
+        std::uint32_t leaf_mask = 0;
+        for (int l = 0; l < kWarpSize; ++l) {
+          if ((active & (1u << l)) && feature_id[lane_node[l]] == kLeafFeature) {
+            leaf_mask |= 1u << l;
+          }
+        }
+        device.warp_branch(leaf_mask, active);
+        for (int l = 0; l < kWarpSize; ++l) {
+          if (leaf_mask & (1u << l)) {
+            ++votes[(first + static_cast<std::size_t>(l)) * k +
+                    static_cast<std::uint8_t>(value[lane_node[l]])];
+          }
+        }
+        active &= ~leaf_mask;
+        if (active == 0) break;
+
+        // Query feature for the comparison.
+        for (int l = 0; l < kWarpSize; ++l) {
+          if (active & (1u << l)) {
+            addrs[l] = q.addr(first + static_cast<std::size_t>(l),
+                              static_cast<std::size_t>(feature_id[lane_node[l]]));
+          }
+        }
+        device.warp_load(sm, addrs, active, sizeof(float));
+
+        // Indirect topology: children_arr_idx[n] then children_arr[idx+dir].
+        for (int l = 0; l < kWarpSize; ++l) addrs[l] = children_arr_idx.addr(lane_node[l]);
+        device.warp_load(sm, addrs, active, sizeof(std::int32_t));
+
+        std::uint32_t left_mask = 0;
+        for (int l = 0; l < kWarpSize; ++l) {
+          if (!(active & (1u << l))) continue;
+          const std::uint32_t n = lane_node[l];
+          const auto f = static_cast<std::size_t>(feature_id[n]);
+          const bool go_left = q.value(first + static_cast<std::size_t>(l), f) < value[n];
+          if (go_left) left_mask |= 1u << l;
+          const auto idx = static_cast<std::size_t>(children_arr_idx[n]) + (go_left ? 0u : 1u);
+          addrs[l] = children_arr.addr(idx);
+          lane_node[l] = static_cast<std::uint32_t>(children_arr[idx]);
+        }
+        device.add_instructions(1);  // left/right pick compiles to a predicated select
+        device.warp_load(sm, addrs, active, sizeof(std::int32_t));
+        device.add_instructions(static_cast<std::uint64_t>(cfg.instructions_per_step));
+      }
+    }
+  });
+
+  KernelResult r;
+  r.predictions = detail::finalize_votes(device, votes, q.count(), k);
+  r.counters = device.counters();
+  r.timing = device.estimate();
+  return r;
+}
+
+}  // namespace hrf::gpukernels

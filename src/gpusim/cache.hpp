@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hrf::gpusim {
+
+/// Set-associative cache with LRU replacement, tracked at line granularity.
+/// Used for the per-SM L1 caches and the device-wide L2. Only presence is
+/// modeled (no data — the simulator is functionally exact elsewhere).
+class Cache {
+ public:
+  /// `line_bytes` must be a power of two; `ways` must divide the line
+  /// count (capacity need not be a power of two — the TITAN Xp L2 is 3 MB).
+  Cache(std::size_t capacity_bytes, int ways, std::size_t line_bytes);
+
+  /// Touches the line containing `line_addr` (already line-aligned tag or a
+  /// byte address; alignment is applied internally). Returns true on hit.
+  /// On miss the line is installed, evicting the set's LRU line.
+  bool access(std::uint64_t addr);
+
+  void flush();
+
+  std::size_t capacity_bytes() const { return capacity_; }
+  std::size_t line_bytes() const { return line_; }
+  int ways() const { return ways_; }
+  std::size_t num_sets() const { return sets_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t line_;
+  int ways_;
+  std::size_t sets_;
+  // Per set: `ways_` tags in LRU order (front = most recent). Tag 0 means
+  // empty (the simulator's address space starts above 0).
+  std::vector<std::uint64_t> tags_;
+};
+
+}  // namespace hrf::gpusim

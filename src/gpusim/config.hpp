@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hrf::gpusim {
+
+/// Parameters of the simulated GPU.
+///
+/// The simulator is a *transaction-level SIMT model*: kernels execute
+/// functionally in 32-lane lock-step warps while the device counts memory
+/// transactions (with 128-byte coalescing and L1/L2 caches), shared-memory
+/// accesses, and branch (non-)uniformity. Time is estimated with a roofline
+/// over instruction issue and DRAM/L2 bandwidth (see Device::estimate).
+/// The default preset models the paper's Pascal TITAN Xp.
+struct DeviceConfig {
+  int num_sms = 30;
+  int warp_size = 32;
+  int block_size = 256;
+  std::size_t shared_mem_per_block = 48 * 1024;  // 48 KB (paper §3.2.1)
+
+  double clock_ghz = 1.582;
+  double dram_bandwidth_gbps = 547.5;  // paper §4.5
+  /// L2-to-SM bandwidth relative to DRAM bandwidth.
+  double l2_bandwidth_multiplier = 2.0;
+
+  std::size_t line_bytes = 128;  // global-memory transaction size (§2.3)
+  std::size_t l1_bytes = 48 * 1024;  // per SM
+  int l1_ways = 4;
+  /// GP102 (CC 6.1) caches global loads in the unified L1/texture cache
+  /// by default; GP100 would need opt-in (-Xptxas -dlcm=ca).
+  bool l1_for_global_loads = true;
+  std::size_t l2_bytes = 3 * 1024 * 1024;  // device-wide
+  int l2_ways = 16;
+
+  /// Warp instructions issued per SM per cycle (Pascal: 4 schedulers).
+  double issue_per_sm_per_cycle = 4.0;
+  /// Average instructions charged per warp traversal step (comparison,
+  /// address arithmetic, branch) on top of explicitly counted loads.
+  double instructions_per_step = 8.0;
+  /// Extra issue-cycle multiplier applied to divergent branches (both
+  /// sides of a split warp are serialized).
+  double divergence_penalty = 1.0;
+  /// Serialization cost per contended atomic RMW transaction. Concurrent
+  /// blocks hammering the same cache lines (e.g. a global vote matrix)
+  /// serialize at the L2 atomic units; this charges that as dedicated
+  /// cycles in the roofline.
+  double atomic_rmw_cycles = 6.0;
+
+  /// Nvidia TITAN Xp (Pascal, 30 SMs, 48 KB shared memory / SM).
+  static DeviceConfig titan_xp() { return DeviceConfig{}; }
+};
+
+}  // namespace hrf::gpusim

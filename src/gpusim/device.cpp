@@ -1,0 +1,161 @@
+#include "gpusim/device.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace hrf::gpusim {
+
+Device::Device(const DeviceConfig& config)
+    : cfg_(config),
+      l2_(config.l2_bytes, config.l2_ways, config.line_bytes),
+      next_addr_(1 << 12) {  // leave page zero unused so address 0 is invalid
+  require(config.num_sms >= 1, "device needs at least one SM");
+  require(config.warp_size >= 1 && config.warp_size <= 32, "warp_size must be in [1,32]");
+  l1_.reserve(static_cast<std::size_t>(config.num_sms));
+  for (int s = 0; s < config.num_sms; ++s) {
+    l1_.emplace_back(config.l1_bytes, config.l1_ways, config.line_bytes);
+  }
+}
+
+std::uint64_t Device::alloc(std::size_t bytes) {
+  const std::uint64_t base = align_up(next_addr_, 256);
+  next_addr_ = base + bytes;
+  return base;
+}
+
+void Device::warp_load(int sm, std::span<const std::uint64_t> addrs, std::uint32_t active_mask,
+                       std::size_t elem_bytes, LoadHint hint) {
+  if (active_mask == 0) return;
+  ++counters_.gld_requests;
+  ++counters_.warp_instructions;
+
+  // Coalesce: distinct 128-byte lines across active lanes. A warp touches
+  // at most warp_size lines (elements are naturally aligned and smaller
+  // than a line, so no element straddles two lines).
+  std::uint64_t lines[32];
+  int n = 0;
+  const std::size_t count = addrs.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!(active_mask & (1u << i))) continue;
+    const std::uint64_t line = addrs[i] / cfg_.line_bytes;
+    bool seen = false;
+    for (int j = 0; j < n; ++j) {
+      if (lines[j] == line) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) lines[n++] = line;
+  }
+  (void)elem_bytes;
+
+  counters_.gld_transactions += static_cast<std::uint64_t>(n);
+  Cache& l1 = l1_[static_cast<std::size_t>(sm % cfg_.num_sms)];
+  for (int j = 0; j < n; ++j) {
+    const std::uint64_t byte_addr = lines[j] * cfg_.line_bytes;
+    if (cfg_.l1_for_global_loads && l1.access(byte_addr)) {
+      ++counters_.l1_hits;
+    } else if (l2_.access(byte_addr)) {
+      ++counters_.l2_hits;
+    } else if (hint == LoadHint::kTemporal && !temporal_lines_.insert(byte_addr).second) {
+      ++counters_.l2_hits;  // re-touch by another concurrently resident block
+    } else {
+      ++counters_.dram_transactions;
+    }
+  }
+}
+
+void Device::warp_store(int sm, std::span<const std::uint64_t> addrs, std::uint32_t active_mask,
+                        std::size_t elem_bytes) {
+  (void)sm;
+  (void)elem_bytes;
+  if (active_mask == 0) return;
+  ++counters_.gst_requests;
+  ++counters_.warp_instructions;
+  std::uint64_t lines[32];
+  int n = 0;
+  for (std::size_t i = 0; i < addrs.size(); ++i) {
+    if (!(active_mask & (1u << i))) continue;
+    const std::uint64_t line = addrs[i] / cfg_.line_bytes;
+    bool seen = false;
+    for (int j = 0; j < n; ++j) {
+      if (lines[j] == line) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) lines[n++] = line;
+  }
+  counters_.gst_transactions += static_cast<std::uint64_t>(n);
+}
+
+void Device::warp_atomic_rmw(int sm, std::span<const std::uint64_t> addrs,
+                             std::uint32_t active_mask, std::size_t elem_bytes) {
+  if (active_mask == 0) return;
+  // The read half probes the caches like a load; the write half counts
+  // store traffic; each distinct line is one serialized atomic.
+  const std::uint64_t before = counters_.gld_transactions;
+  warp_load(sm, addrs, active_mask, elem_bytes);
+  counters_.atomic_transactions += counters_.gld_transactions - before;
+  warp_store(sm, addrs, active_mask, elem_bytes);
+}
+
+void Device::smem_load(std::uint64_t count) {
+  counters_.smem_loads += count;
+  counters_.warp_instructions += count;
+}
+
+void Device::smem_store(std::uint64_t count) {
+  counters_.smem_stores += count;
+  counters_.warp_instructions += count;
+}
+
+void Device::warp_branch(std::uint32_t taken_mask, std::uint32_t active_mask) {
+  if (active_mask == 0) return;
+  ++counters_.branches;
+  ++counters_.warp_instructions;
+  const std::uint32_t taken = taken_mask & active_mask;
+  if (taken != 0 && taken != active_mask) ++counters_.divergent_branches;
+}
+
+void Device::flush_caches() {
+  for (Cache& c : l1_) c.flush();
+  l2_.flush();
+  temporal_lines_.clear();
+}
+
+Timing Device::estimate() const {
+  Timing t;
+  const double issue_rate = static_cast<double>(cfg_.num_sms) * cfg_.issue_per_sm_per_cycle;
+  const double divergence_extra =
+      static_cast<double>(counters_.divergent_branches) * cfg_.divergence_penalty;
+  t.compute_cycles =
+      (static_cast<double>(counters_.warp_instructions) + divergence_extra) / issue_rate;
+
+  const double dram_bytes_per_cycle = cfg_.dram_bandwidth_gbps / cfg_.clock_ghz;
+  const double dram_bytes = static_cast<double>(counters_.dram_transactions + counters_.gst_transactions) *
+                            static_cast<double>(cfg_.line_bytes);
+  t.dram_cycles = dram_bytes / dram_bytes_per_cycle;
+
+  // Every L1 miss moves a line across the L2 interface (L2 hit or fill).
+  const double l2_bytes =
+      static_cast<double>(counters_.l2_hits + counters_.dram_transactions +
+                          counters_.gst_transactions) *
+      static_cast<double>(cfg_.line_bytes);
+  t.l2_cycles = l2_bytes / (dram_bytes_per_cycle * cfg_.l2_bandwidth_multiplier);
+
+  // Atomic RMWs serialize at the L2 atomic units and cannot overlap with
+  // each other, so they add on top of the bandwidth/issue roofline.
+  t.atomic_cycles = static_cast<double>(counters_.atomic_transactions) * cfg_.atomic_rmw_cycles;
+
+  t.cycles = std::max({t.compute_cycles, t.dram_cycles, t.l2_cycles}) + t.atomic_cycles;
+  t.limiter = t.cycles - t.atomic_cycles == t.compute_cycles ? "compute"
+              : t.cycles - t.atomic_cycles == t.dram_cycles  ? "dram"
+                                                             : "l2";
+  t.seconds = t.cycles / (cfg_.clock_ghz * 1e9);
+  return t;
+}
+
+}  // namespace hrf::gpusim

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "gpusim/device.hpp"
+
+namespace hrf::gpusim {
+
+/// A host array mirrored into the simulated device address space.
+///
+/// Functional reads go straight to host memory (the simulator is
+/// functionally exact); `addr(i)` yields the simulated device address used
+/// for transaction accounting. The referenced host data must outlive the
+/// view (R.4: this is a non-owning span).
+template <typename T>
+class DeviceArray {
+ public:
+  DeviceArray() = default;
+  DeviceArray(Device& device, std::span<const T> host)
+      : host_(host), base_(device.alloc(host.size_bytes())) {}
+
+  T operator[](std::size_t i) const { return host_[i]; }
+  std::uint64_t addr(std::size_t i) const { return base_ + i * sizeof(T); }
+  std::uint64_t base() const { return base_; }
+  std::size_t size() const { return host_.size(); }
+  bool empty() const { return host_.empty(); }
+
+ private:
+  std::span<const T> host_{};
+  std::uint64_t base_ = 0;
+};
+
+}  // namespace hrf::gpusim

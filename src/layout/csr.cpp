@@ -1,0 +1,137 @@
+#include "layout/csr.hpp"
+
+#include <deque>
+
+#include "util/error.hpp"
+
+namespace hrf {
+
+CsrForest CsrForest::build(const Forest& forest) {
+  CsrForest csr;
+  csr.num_features_ = forest.num_features();
+  csr.num_classes_ = forest.num_classes();
+  const ForestStats fs = forest.stats();
+  csr.feature_id_.reserve(fs.total_nodes);
+  csr.value_.reserve(fs.total_nodes);
+  csr.children_arr_idx_.reserve(fs.total_nodes);
+  csr.children_arr_.reserve(2 * (fs.total_nodes - fs.total_leaves));
+  csr.tree_root_.reserve(forest.tree_count());
+
+  for (std::size_t t = 0; t < forest.tree_count(); ++t) {
+    const DecisionTree& tree = forest.tree(t);
+    const auto base = static_cast<std::int32_t>(csr.feature_id_.size());
+    csr.tree_root_.push_back(base);
+
+    // BFS renumbering: old node id -> new (global) id.
+    std::vector<std::int32_t> renum(tree.node_count(), -1);
+    std::deque<std::int32_t> queue{0};
+    std::int32_t next = base;
+    while (!queue.empty()) {
+      const std::int32_t old_id = queue.front();
+      queue.pop_front();
+      renum[static_cast<std::size_t>(old_id)] = next++;
+      const TreeNode& n = tree.node(static_cast<std::size_t>(old_id));
+      if (!n.is_leaf()) {
+        queue.push_back(n.left);
+        queue.push_back(n.right);
+      }
+    }
+
+    // Emit attribute + topology arrays in the new order.
+    std::vector<std::int32_t> order(tree.node_count());
+    for (std::size_t old_id = 0; old_id < tree.node_count(); ++old_id) {
+      order[static_cast<std::size_t>(renum[old_id] - base)] = static_cast<std::int32_t>(old_id);
+    }
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      const TreeNode& n = tree.node(static_cast<std::size_t>(order[k]));
+      csr.feature_id_.push_back(n.feature);
+      csr.value_.push_back(n.value);
+      if (n.is_leaf()) {
+        csr.children_arr_idx_.push_back(-1);
+      } else {
+        csr.children_arr_idx_.push_back(static_cast<std::int32_t>(csr.children_arr_.size()));
+        csr.children_arr_.push_back(renum[static_cast<std::size_t>(n.left)]);
+        csr.children_arr_.push_back(renum[static_cast<std::size_t>(n.right)]);
+      }
+    }
+  }
+  return csr;
+}
+
+CsrForest CsrForest::from_parts(std::vector<std::int32_t> feature_id, std::vector<float> value,
+                                std::vector<std::int32_t> children_arr,
+                                std::vector<std::int32_t> children_arr_idx,
+                                std::vector<std::int32_t> tree_root, std::size_t num_features,
+                                int num_classes) {
+  const auto n = static_cast<std::int32_t>(feature_id.size());
+  if (value.size() != feature_id.size() || children_arr_idx.size() != feature_id.size()) {
+    throw FormatError("csr: attribute array sizes disagree");
+  }
+  if (tree_root.empty() || n == 0) throw FormatError("csr: empty encoding");
+  if (num_features == 0 || num_classes < 2 || num_classes > 256) {
+    throw FormatError("csr: bad feature/class counts");
+  }
+  for (std::int32_t root : tree_root) {
+    if (root < 0 || root >= n) throw FormatError("csr: tree root out of range");
+  }
+  for (std::size_t i = 0; i < feature_id.size(); ++i) {
+    if (feature_id[i] == kLeafFeature) {
+      if (children_arr_idx[i] != -1) throw FormatError("csr: leaf with children index");
+      const float v = value[i];
+      if (v < 0.0f || v >= static_cast<float>(num_classes) ||
+          v != static_cast<float>(static_cast<int>(v))) {
+        throw FormatError("csr: leaf value is not a class id");
+      }
+    } else {
+      if (feature_id[i] < 0 || static_cast<std::size_t>(feature_id[i]) >= num_features) {
+        throw FormatError("csr: feature id out of range");
+      }
+      const std::int32_t idx = children_arr_idx[i];
+      if (idx < 0 || static_cast<std::size_t>(idx) + 1 >= children_arr.size() + 1 ||
+          static_cast<std::size_t>(idx) + 2 > children_arr.size()) {
+        throw FormatError("csr: children index out of range");
+      }
+      for (int c = 0; c < 2; ++c) {
+        const std::int32_t child = children_arr[static_cast<std::size_t>(idx) + c];
+        if (child < 0 || child >= n) throw FormatError("csr: child id out of range");
+      }
+    }
+  }
+  CsrForest csr;
+  csr.feature_id_ = std::move(feature_id);
+  csr.value_ = std::move(value);
+  csr.children_arr_ = std::move(children_arr);
+  csr.children_arr_idx_ = std::move(children_arr_idx);
+  csr.tree_root_ = std::move(tree_root);
+  csr.num_features_ = num_features;
+  csr.num_classes_ = num_classes;
+  return csr;
+}
+
+float CsrForest::traverse_tree(std::size_t t, std::span<const float> query) const {
+  auto n = static_cast<std::size_t>(tree_root_[t]);
+  while (feature_id_[n] != kLeafFeature) {
+    const bool go_left = query[static_cast<std::size_t>(feature_id_[n])] < value_[n];
+    const auto idx = static_cast<std::size_t>(children_arr_idx_[n]) + (go_left ? 0u : 1u);
+    n = static_cast<std::size_t>(children_arr_[idx]);
+  }
+  return value_[n];
+}
+
+std::uint8_t CsrForest::classify(std::span<const float> query) const {
+  require(query.size() == num_features_, "query width mismatch");
+  std::uint32_t votes[256] = {};
+  for (std::size_t t = 0; t < num_trees(); ++t) {
+    ++votes[static_cast<std::uint8_t>(traverse_tree(t, query))];
+  }
+  return Forest::vote_winner({votes, static_cast<std::size_t>(num_classes_)});
+}
+
+std::size_t CsrForest::memory_bytes() const {
+  return feature_id_.size() * sizeof(std::int32_t) + value_.size() * sizeof(float) +
+         children_arr_.size() * sizeof(std::int32_t) +
+         children_arr_idx_.size() * sizeof(std::int32_t) +
+         tree_root_.size() * sizeof(std::int32_t);
+}
+
+}  // namespace hrf

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "forest/forest.hpp"
+
+namespace hrf {
+
+/// Baseline inference layout: the forest's topology in Compressed Sparse
+/// Row format (paper §2.3, Fig. 2).
+///
+/// Per node: `feature_id` (-1 for leaves) and `value` (threshold or class
+/// vote) are directly indexed by node id; `children_arr_idx[n]` points at
+/// the two child ids stored consecutively in `children_arr`. All trees of
+/// the forest are concatenated into one id space; `tree_root[t]` is the
+/// global node id of tree t's root. Every child hop costs two dependent,
+/// potentially irregular memory reads — the bottleneck the hierarchical
+/// layout removes.
+class CsrForest {
+ public:
+  /// Builds the CSR encoding of a validated forest. Nodes are numbered in
+  /// per-tree breadth-first order.
+  static CsrForest build(const Forest& forest);
+
+  /// Reassembles a CSR encoding from raw arrays (deserialization path).
+  /// Validates cross-references; throws FormatError on inconsistency.
+  static CsrForest from_parts(std::vector<std::int32_t> feature_id, std::vector<float> value,
+                              std::vector<std::int32_t> children_arr,
+                              std::vector<std::int32_t> children_arr_idx,
+                              std::vector<std::int32_t> tree_root, std::size_t num_features,
+                              int num_classes);
+
+  std::size_t num_trees() const { return tree_root_.size(); }
+  std::size_t num_nodes() const { return feature_id_.size(); }
+  std::size_t num_features() const { return num_features_; }
+  int num_classes() const { return num_classes_; }
+
+  std::span<const std::int32_t> feature_id() const { return feature_id_; }
+  std::span<const float> value() const { return value_; }
+  std::span<const std::int32_t> children_arr() const { return children_arr_; }
+  std::span<const std::int32_t> children_arr_idx() const { return children_arr_idx_; }
+  std::span<const std::int32_t> tree_root() const { return tree_root_; }
+
+  /// Leaf value reached by `query` on tree `t` (scalar reference traversal).
+  float traverse_tree(std::size_t t, std::span<const float> query) const;
+
+  /// Majority-vote classification using the CSR encoding.
+  std::uint8_t classify(std::span<const float> query) const;
+
+  /// Bytes occupied by the four CSR arrays plus tree roots (the Fig. 6
+  /// denominator).
+  std::size_t memory_bytes() const;
+
+ private:
+  std::vector<std::int32_t> feature_id_;
+  std::vector<float> value_;
+  std::vector<std::int32_t> children_arr_;
+  std::vector<std::int32_t> children_arr_idx_;  // -1 for leaves
+  std::vector<std::int32_t> tree_root_;
+  std::size_t num_features_ = 0;
+  int num_classes_ = 2;
+};
+
+}  // namespace hrf

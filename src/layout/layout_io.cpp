@@ -1,0 +1,141 @@
+#include "layout/layout_io.hpp"
+
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace hrf {
+
+namespace {
+
+constexpr std::uint32_t kCsrMagic = 0x48524643;   // "HRFC"
+constexpr std::uint32_t kHierMagic = 0x48524648;  // "HRFH"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!is) throw FormatError("layout file truncated");
+  return v;
+}
+
+template <typename T>
+void write_array(std::ostream& os, std::span<const T> xs) {
+  write_pod(os, static_cast<std::uint64_t>(xs.size()));
+  os.write(reinterpret_cast<const char*>(xs.data()),
+           static_cast<std::streamsize>(xs.size_bytes()));
+}
+
+template <typename T>
+std::vector<T> read_array(std::istream& is, std::uint64_t max_elems = 1ull << 32) {
+  const auto n = read_pod<std::uint64_t>(is);
+  if (n > max_elems) throw FormatError("layout array implausibly large");
+  std::vector<T> xs(n);
+  is.read(reinterpret_cast<char*>(xs.data()), static_cast<std::streamsize>(n * sizeof(T)));
+  if (!is) throw FormatError("layout file truncated");
+  return xs;
+}
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw Error("cannot open for writing: " + path);
+  return f;
+}
+
+std::ifstream open_in(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw Error("cannot open for reading: " + path);
+  return f;
+}
+
+}  // namespace
+
+void save_csr(const CsrForest& csr, const std::string& path) {
+  auto f = open_out(path);
+  write_pod(f, kCsrMagic);
+  write_pod(f, kVersion);
+  write_pod(f, static_cast<std::uint64_t>(csr.num_features()));
+  write_pod(f, static_cast<std::uint32_t>(csr.num_classes()));
+  write_array(f, csr.feature_id());
+  write_array(f, csr.value());
+  write_array(f, csr.children_arr());
+  write_array(f, csr.children_arr_idx());
+  write_array(f, csr.tree_root());
+  if (!f) throw Error("write failed: " + path);
+}
+
+CsrForest load_csr(const std::string& path) {
+  auto f = open_in(path);
+  if (read_pod<std::uint32_t>(f) != kCsrMagic) throw FormatError("bad CSR magic in " + path);
+  if (read_pod<std::uint32_t>(f) != kVersion) {
+    throw FormatError("unsupported CSR version in " + path);
+  }
+  const auto num_features = read_pod<std::uint64_t>(f);
+  const auto num_classes = read_pod<std::uint32_t>(f);
+  auto feature_id = read_array<std::int32_t>(f);
+  auto value = read_array<float>(f);
+  auto children = read_array<std::int32_t>(f);
+  auto children_idx = read_array<std::int32_t>(f);
+  auto roots = read_array<std::int32_t>(f);
+  return CsrForest::from_parts(std::move(feature_id), std::move(value), std::move(children),
+                               std::move(children_idx), std::move(roots), num_features,
+                               static_cast<int>(num_classes));
+}
+
+void save_hierarchical(const HierarchicalForest& forest, const std::string& path) {
+  auto f = open_out(path);
+  write_pod(f, kHierMagic);
+  write_pod(f, kVersion);
+  write_pod(f, static_cast<std::uint64_t>(forest.num_features()));
+  write_pod(f, static_cast<std::uint32_t>(forest.num_classes()));
+  write_pod(f, static_cast<std::int32_t>(forest.config().subtree_depth));
+  write_pod(f, static_cast<std::int32_t>(forest.config().root_subtree_depth));
+  write_pod(f, static_cast<std::uint64_t>(forest.real_nodes()));
+  write_array(f, forest.subtree_node_offsets());
+  write_array(f, forest.subtree_depths());
+  write_array(f, forest.connection_offsets());
+  write_array(f, forest.subtree_connection());
+  write_array(f, forest.feature_id());
+  write_array(f, forest.value());
+  write_array(f, forest.tree_subtree_begin());
+  if (!f) throw Error("write failed: " + path);
+}
+
+HierarchicalForest load_hierarchical(const std::string& path) {
+  auto f = open_in(path);
+  if (read_pod<std::uint32_t>(f) != kHierMagic) {
+    throw FormatError("bad hierarchical magic in " + path);
+  }
+  if (read_pod<std::uint32_t>(f) != kVersion) {
+    throw FormatError("unsupported hierarchical version in " + path);
+  }
+  const auto num_features = read_pod<std::uint64_t>(f);
+  const auto num_classes = read_pod<std::uint32_t>(f);
+  HierConfig config;
+  config.subtree_depth = read_pod<std::int32_t>(f);
+  config.root_subtree_depth = read_pod<std::int32_t>(f);
+  if (config.subtree_depth < 1 || config.subtree_depth > 24) {
+    throw FormatError("implausible subtree depth in " + path);
+  }
+  const auto real_nodes = read_pod<std::uint64_t>(f);
+  auto node_offset = read_array<std::uint32_t>(f);
+  auto depth = read_array<std::uint8_t>(f);
+  auto conn_offset = read_array<std::uint32_t>(f);
+  auto connection = read_array<std::int32_t>(f);
+  auto feature_id = read_array<std::int32_t>(f);
+  auto value = read_array<float>(f);
+  auto begin = read_array<std::uint32_t>(f);
+  return HierarchicalForest::from_parts(config, num_features, static_cast<int>(num_classes),
+                                        real_nodes, std::move(node_offset), std::move(depth),
+                                        std::move(conn_offset), std::move(connection),
+                                        std::move(feature_id), std::move(value),
+                                        std::move(begin));
+}
+
+}  // namespace hrf

@@ -1,0 +1,28 @@
+#pragma once
+
+// (De)serialization of the compiled inference layouts. A deployment can
+// ship the hierarchical encoding directly (model compilation — subtree
+// decomposition, padding, connection wiring — happens offline once), the
+// way cuML ships FIL blobs. Formats are versioned and validated on load.
+
+#include <string>
+
+#include "layout/csr.hpp"
+#include "layout/hierarchical.hpp"
+
+namespace hrf {
+
+/// Writes the CSR encoding to `path`. Throws hrf::Error on I/O failure.
+void save_csr(const CsrForest& csr, const std::string& path);
+
+/// Loads a CSR encoding; validates array cross-references.
+/// Throws FormatError on malformed input.
+CsrForest load_csr(const std::string& path);
+
+/// Writes the hierarchical encoding (including its SD/RSD config).
+void save_hierarchical(const HierarchicalForest& forest, const std::string& path);
+
+/// Loads a hierarchical encoding and runs HierarchicalForest::validate().
+HierarchicalForest load_hierarchical(const std::string& path);
+
+}  // namespace hrf

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "layout/hierarchical.hpp"
+
+namespace hrf {
+
+/// Fixed-point (16-bit) variant of the hierarchical layout.
+///
+/// The paper's related work (§5, Nakahara et al.) accelerates RF inference
+/// by "utilizing fixed point bits instead of floating point bits". This
+/// encoding quantizes every threshold to a per-feature affine uint16 grid
+/// and packs a node into 4 bytes (int16 feature + uint16 threshold code),
+/// halving the node-array footprint relative to the 8-byte float layout
+/// and replacing float comparators with integer ones (cheaper on FPGA).
+///
+/// Quantization is monotone per feature, so a traversal can only diverge
+/// from the float layout when a query lands inside the same 1/65535-wide
+/// grid cell as a threshold; agreement() measures the effect.
+class QuantizedHierarchicalForest {
+ public:
+  struct Node {
+    std::int16_t feature;       // kLeafFeature16 marks a leaf
+    std::uint16_t threshold_q;  // quantized threshold; class id for leaves
+  };
+  static constexpr std::int16_t kLeafFeature16 = -1;
+
+  /// Quantizes `forest` using per-feature ranges estimated from
+  /// `calibration` rows (plus the thresholds themselves, so every split
+  /// stays in range). Requires num_features <= 32767.
+  static QuantizedHierarchicalForest build(const HierarchicalForest& forest,
+                                           const Dataset& calibration);
+
+  std::size_t num_features() const { return feature_lo_.size(); }
+  int num_classes() const { return num_classes_; }
+  std::size_t num_subtrees() const { return base_depth_.size(); }
+
+  /// Quantizes one query into codes (exposed for tests and batching).
+  void quantize_query(std::span<const float> query, std::span<std::uint16_t> out) const;
+
+  /// Majority-vote classification on the quantized encoding.
+  std::uint8_t classify(std::span<const float> query) const;
+
+  /// Bytes of the node array (4 per stored node; compare with the float
+  /// layout's 8 per node).
+  std::size_t node_bytes() const { return nodes_.size() * sizeof(Node); }
+
+  /// Fraction of queries classified identically to the float layout.
+  double agreement(const HierarchicalForest& reference, const Dataset& queries) const;
+
+ private:
+  float threshold_value(std::size_t f, std::uint16_t code) const;
+
+  int num_classes_ = 2;
+  std::vector<Node> nodes_;
+  std::vector<float> feature_lo_;     // per-feature affine map: code =
+  std::vector<float> feature_scale_;  // (x - lo) * scale, clamped to u16
+  // Topology tables shared with the float layout's structure.
+  std::vector<std::uint32_t> subtree_node_offset_;
+  std::vector<std::uint8_t> base_depth_;
+  std::vector<std::uint32_t> connection_offset_;
+  std::vector<std::int32_t> subtree_connection_;
+  std::vector<std::uint32_t> tree_subtree_begin_;
+};
+
+}  // namespace hrf

@@ -1,0 +1,126 @@
+#include "layout/tree_clustering.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hrf {
+
+namespace {
+
+/// L2-normalized feature-usage histogram of one tree's inner nodes.
+std::vector<double> feature_signature(const DecisionTree& tree, std::size_t num_features) {
+  std::vector<double> sig(num_features, 0.0);
+  for (const TreeNode& n : tree.nodes()) {
+    if (!n.is_leaf()) sig[static_cast<std::size_t>(n.feature)] += 1.0;
+  }
+  double norm = 0.0;
+  for (double v : sig) norm += v * v;
+  norm = std::sqrt(norm);
+  if (norm > 0.0) {
+    for (double& v : sig) v /= norm;
+  }
+  return sig;
+}
+
+double squared_distance(const std::vector<double>& a, const std::vector<double>& b) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+}  // namespace
+
+TreeClusteringResult cluster_trees_by_features(const Forest& forest, int k, std::uint64_t seed,
+                                               int max_iterations) {
+  require(k >= 1, "need at least one cluster");
+  require(max_iterations >= 1, "need at least one iteration");
+  const std::size_t t = forest.tree_count();
+  const auto kk = static_cast<std::size_t>(std::min<std::size_t>(k, t));
+
+  std::vector<std::vector<double>> sig;
+  sig.reserve(t);
+  for (std::size_t i = 0; i < t; ++i) {
+    sig.push_back(feature_signature(forest.tree(i), forest.num_features()));
+  }
+
+  // Forgy init on distinct trees.
+  Xoshiro256 rng(seed);
+  std::vector<std::size_t> ids(t);
+  std::iota(ids.begin(), ids.end(), 0u);
+  for (std::size_t i = 0; i < kk; ++i) {
+    std::swap(ids[i], ids[i + rng.bounded(t - i)]);
+  }
+  std::vector<std::vector<double>> centroid(kk);
+  for (std::size_t c = 0; c < kk; ++c) centroid[c] = sig[ids[c]];
+
+  TreeClusteringResult result;
+  result.cluster.assign(t, 0);
+  result.num_clusters = static_cast<int>(kk);
+
+  for (int it = 0; it < max_iterations; ++it) {
+    result.iterations = it + 1;
+    bool changed = false;
+    for (std::size_t i = 0; i < t; ++i) {
+      int best = result.cluster[i];
+      double best_d = squared_distance(sig[i], centroid[static_cast<std::size_t>(best)]);
+      for (std::size_t c = 0; c < kk; ++c) {
+        const double d = squared_distance(sig[i], centroid[c]);
+        if (d + 1e-15 < best_d) {
+          best_d = d;
+          best = static_cast<int>(c);
+        }
+      }
+      if (best != result.cluster[i]) {
+        result.cluster[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed && it > 0) break;
+
+    // Recompute centroids (empty clusters keep their previous centroid).
+    std::vector<std::vector<double>> sum(kk, std::vector<double>(forest.num_features(), 0.0));
+    std::vector<std::size_t> count(kk, 0);
+    for (std::size_t i = 0; i < t; ++i) {
+      const auto c = static_cast<std::size_t>(result.cluster[i]);
+      ++count[c];
+      for (std::size_t f = 0; f < sum[c].size(); ++f) sum[c][f] += sig[i][f];
+    }
+    for (std::size_t c = 0; c < kk; ++c) {
+      if (count[c] == 0) continue;
+      for (std::size_t f = 0; f < sum[c].size(); ++f) {
+        centroid[c][f] = sum[c][f] / static_cast<double>(count[c]);
+      }
+    }
+  }
+
+  // Stable order: cluster-major, original index within a cluster.
+  result.order.resize(t);
+  std::iota(result.order.begin(), result.order.end(), 0u);
+  std::stable_sort(result.order.begin(), result.order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return result.cluster[a] < result.cluster[b];
+                   });
+  return result;
+}
+
+Forest reorder_trees(const Forest& forest, const std::vector<std::size_t>& order) {
+  require(order.size() == forest.tree_count(), "permutation size != tree count");
+  std::vector<char> seen(order.size(), 0);
+  for (std::size_t i : order) {
+    require(i < order.size() && !seen[i], "order is not a permutation");
+    seen[i] = 1;
+  }
+  std::vector<DecisionTree> trees;
+  trees.reserve(order.size());
+  for (std::size_t i : order) trees.push_back(forest.tree(i));
+  return Forest(std::move(trees), forest.num_features());
+}
+
+}  // namespace hrf

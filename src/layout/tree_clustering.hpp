@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "forest/forest.hpp"
+
+namespace hrf {
+
+/// K-means tree clustering (paper §3.2.1, "Other optimizations tested",
+/// Optimization 1): place trees that access similar features adjacently in
+/// the memory layout, hoping their node data shares cache lines across
+/// consecutive tree traversals. The paper reports *no significant benefit*;
+/// this module exists to reproduce that negative result (see
+/// bench/ablation_tree_clustering).
+struct TreeClusteringResult {
+  /// Permutation: order[i] = original index of the tree placed i-th.
+  std::vector<std::size_t> order;
+  /// Cluster id per original tree.
+  std::vector<int> cluster;
+  int num_clusters = 0;
+  int iterations = 0;
+};
+
+/// Clusters trees by their feature-usage frequency vectors (how often each
+/// feature appears among a tree's inner nodes, L2-normalized) with Lloyd's
+/// k-means, then orders trees cluster by cluster. Deterministic in `seed`.
+TreeClusteringResult cluster_trees_by_features(const Forest& forest, int k,
+                                               std::uint64_t seed = 1,
+                                               int max_iterations = 50);
+
+/// Returns a forest with trees re-ordered by the permutation (majority
+/// voting is order-invariant, so predictions are unchanged — asserted by
+/// tests).
+Forest reorder_trees(const Forest& forest, const std::vector<std::size_t>& order);
+
+}  // namespace hrf

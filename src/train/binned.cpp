@@ -1,0 +1,63 @@
+#include "train/binned.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hrf {
+
+BinnedDataset::BinnedDataset(const Dataset& train, int max_bins) {
+  require(max_bins >= 2 && max_bins <= 256, "max_bins must be in [2, 256]");
+  require(train.num_samples() > 0, "cannot bin an empty dataset");
+  num_samples_ = train.num_samples();
+  num_features_ = train.num_features();
+  num_classes_ = train.num_classes();
+  max_bins_ = max_bins;
+  labels_.assign(train.labels().begin(), train.labels().end());
+  codes_.resize(num_samples_ * num_features_);
+  edges_.resize(num_features_);
+
+  // Quantile edges from a subsample keep binning O(n) in practice.
+  constexpr std::size_t kMaxQuantileSample = 50'000;
+  Xoshiro256 rng(0xb1a5ULL);
+  std::vector<float> sample;
+  sample.reserve(std::min(num_samples_, kMaxQuantileSample));
+
+  for (std::size_t f = 0; f < num_features_; ++f) {
+    sample.clear();
+    if (num_samples_ <= kMaxQuantileSample) {
+      for (std::size_t i = 0; i < num_samples_; ++i) sample.push_back(train.sample(i)[f]);
+    } else {
+      for (std::size_t k = 0; k < kMaxQuantileSample; ++k) {
+        sample.push_back(train.sample(rng.bounded(num_samples_))[f]);
+      }
+    }
+    std::sort(sample.begin(), sample.end());
+
+    std::vector<float>& edges = edges_[f];
+    edges.reserve(static_cast<std::size_t>(max_bins - 1));
+    for (int b = 1; b < max_bins; ++b) {
+      const auto idx = static_cast<std::size_t>(
+          static_cast<double>(b) / max_bins * static_cast<double>(sample.size() - 1));
+      const float e = sample[idx];
+      // Keep only edges that actually separate data: ties collapse, and an
+      // edge at (or below) the minimum has an empty left side.
+      if (e > sample.front() && (edges.empty() || e > edges.back())) edges.push_back(e);
+    }
+
+    // Assign codes: code = number of edges <= x  (so "x < edges[c]" <=> code < c+1).
+    std::uint8_t* col = codes_.data() + f * num_samples_;
+    for (std::size_t i = 0; i < num_samples_; ++i) {
+      const float x = train.sample(i)[f];
+      const auto it = std::upper_bound(edges.begin(), edges.end(), x);
+      // upper_bound: first edge > x, so (it - begin) = #edges <= x... we want
+      // code c such that x < edges[c] for all c > code. Using lower_bound on
+      // "x < e" semantics: count of edges e with e <= x.
+      col[i] = static_cast<std::uint8_t>(it - edges.begin());
+    }
+  }
+}
+
+}  // namespace hrf

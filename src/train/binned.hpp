@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace hrf {
+
+/// Quantile-binned view of a training set.
+///
+/// The CART trainer (this library's scikit-learn substitute) is
+/// histogram-based, like LightGBM: every feature is discretized once into at
+/// most `max_bins` quantile bins, and per-node split search scans 256-entry
+/// histograms instead of sorting samples. Split thresholds are mapped back
+/// to real feature values via the stored bin edges, so the trained tree is
+/// evaluated on raw floats and is independent of the binning.
+class BinnedDataset {
+ public:
+  /// Bins `train`. Bin edges are derived from per-feature quantiles of a
+  /// subsample (capped for speed); ties collapse so a feature may end up
+  /// with fewer bins than max_bins.
+  BinnedDataset(const Dataset& train, int max_bins);
+
+  std::size_t num_samples() const { return num_samples_; }
+  std::size_t num_features() const { return num_features_; }
+  int num_classes() const { return num_classes_; }
+  int max_bins() const { return max_bins_; }
+
+  /// Bin code of sample `i`, feature `f`. Codes are stored column-major so
+  /// histogram construction streams through memory.
+  std::uint8_t code(std::size_t f, std::size_t i) const { return codes_[f * num_samples_ + i]; }
+
+  /// Column of codes for feature `f` (length num_samples()).
+  std::span<const std::uint8_t> column(std::size_t f) const {
+    return {codes_.data() + f * num_samples_, num_samples_};
+  }
+
+  /// Number of distinct bins actually used by feature `f`.
+  int bins_used(std::size_t f) const { return static_cast<int>(edges_[f].size()) + 1; }
+
+  /// Real-valued threshold for a split "code < b" on feature `f`:
+  /// x < edge(f, b). Requires 1 <= b <= edges(f).size().
+  float edge(std::size_t f, int b) const { return edges_[f][static_cast<std::size_t>(b - 1)]; }
+
+  std::uint8_t label(std::size_t i) const { return labels_[i]; }
+  std::span<const std::uint8_t> labels() const { return labels_; }
+
+ private:
+  std::size_t num_samples_ = 0;
+  std::size_t num_features_ = 0;
+  int num_classes_ = 2;
+  int max_bins_ = 256;
+  std::vector<std::uint8_t> codes_;          // column-major [f][i]
+  std::vector<std::vector<float>> edges_;    // per feature, ascending; code c
+                                             // covers [edges[c-1], edges[c])
+  std::vector<std::uint8_t> labels_;
+};
+
+}  // namespace hrf

@@ -1,0 +1,40 @@
+#include "train/forest_trainer.hpp"
+
+#include <omp.h>
+
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace hrf {
+
+Forest train_forest(const BinnedDataset& binned, std::size_t num_features,
+                    const TrainConfig& config) {
+  require(config.num_trees >= 1, "num_trees must be >= 1");
+  const std::size_t n = binned.num_samples();
+  const TreeTrainer trainer(binned, config);
+
+  std::vector<DecisionTree> trees(static_cast<std::size_t>(config.num_trees));
+
+#pragma omp parallel for schedule(dynamic)
+  for (int t = 0; t < config.num_trees; ++t) {
+    // Per-tree stream: deterministic regardless of scheduling.
+    Xoshiro256 rng(config.seed ^ (0x517cc1b727220a95ULL * static_cast<std::uint64_t>(t + 1)));
+    std::vector<std::uint32_t> indices(n);
+    if (config.bootstrap) {
+      for (auto& i : indices) i = static_cast<std::uint32_t>(rng.bounded(n));
+    } else {
+      std::iota(indices.begin(), indices.end(), 0u);
+    }
+    trees[static_cast<std::size_t>(t)] = trainer.train(std::move(indices), rng);
+  }
+
+  return Forest(std::move(trees), num_features, binned.num_classes());
+}
+
+Forest train_forest(const Dataset& train, const TrainConfig& config) {
+  const BinnedDataset binned(train, config.max_bins);
+  return train_forest(binned, train.num_features(), config);
+}
+
+}  // namespace hrf

@@ -1,0 +1,21 @@
+#pragma once
+
+#include "data/dataset.hpp"
+#include "forest/forest.hpp"
+#include "train/tree_trainer.hpp"
+
+namespace hrf {
+
+/// Trains a random forest: bootstrap-resamples the training set per tree,
+/// grows each tree with feature subsampling, OpenMP-parallel across trees
+/// (training parallelism is embarrassing across trees, §1 of the paper).
+/// Deterministic in config.seed regardless of thread count: every tree
+/// derives its RNG stream independently from (seed, tree index).
+Forest train_forest(const Dataset& train, const TrainConfig& config);
+
+/// As train_forest but reuses an already-binned view (the Fig. 5 accuracy
+/// grid trains dozens of forests on the same data; binning once saves time).
+Forest train_forest(const BinnedDataset& binned, std::size_t num_features,
+                    const TrainConfig& config);
+
+}  // namespace hrf

@@ -1,0 +1,246 @@
+#include "train/regression.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hrf {
+
+namespace {
+
+/// Variance-reduction tree growth on the binned view. The split score per
+/// side is sum^2 / n (the constant sum-of-squares term cancels between
+/// parent and children, so maximizing this minimizes within-node SSE).
+class RegressionTreeTrainer {
+ public:
+  RegressionTreeTrainer(const BinnedDataset& data, std::span<const float> targets,
+                        const RegressionConfig& config)
+      : data_(data), targets_(targets), config_(config) {
+    features_per_split_ =
+        config.features_per_split > 0
+            ? std::min<int>(config.features_per_split, static_cast<int>(data.num_features()))
+            : std::max(1, static_cast<int>(data.num_features()) / 3);
+  }
+
+  DecisionTree train(std::vector<std::uint32_t> indices, Xoshiro256& rng) const {
+    require(!indices.empty(), "cannot train a tree on zero samples");
+    DecisionTree tree;
+    tree.add_node(TreeNode{});
+
+    struct Work {
+      std::uint32_t begin, end;
+      std::int32_t depth, node_id;
+    };
+    std::vector<Work> stack{{0, static_cast<std::uint32_t>(indices.size()), 1, 0}};
+
+    while (!stack.empty()) {
+      const Work w = stack.back();
+      stack.pop_back();
+      const std::uint32_t n = w.end - w.begin;
+
+      double sum = 0.0, sumsq = 0.0;
+      for (std::uint32_t i = w.begin; i < w.end; ++i) {
+        const double y = targets_[indices[i]];
+        sum += y;
+        sumsq += y * y;
+      }
+      const double mean = sum / n;
+      const double sse = sumsq - sum * mean;  // within-node squared error
+
+      const auto make_leaf = [&] {
+        TreeNode& node = tree.mutable_node(static_cast<std::size_t>(w.node_id));
+        node.feature = kLeafFeature;
+        node.value = static_cast<float>(mean);
+        node.left = node.right = -1;
+      };
+
+      if (w.depth >= config_.max_depth ||
+          n < static_cast<std::uint32_t>(config_.min_samples_split) || sse <= 1e-12) {
+        make_leaf();
+        continue;
+      }
+
+      const Split split =
+          best_split({indices.data() + w.begin, n}, sum, rng);
+      if (split.feature < 0) {
+        make_leaf();
+        continue;
+      }
+
+      const std::uint8_t* col = data_.column(static_cast<std::size_t>(split.feature)).data();
+      const auto mid_it =
+          std::partition(indices.begin() + w.begin, indices.begin() + w.end,
+                         [&](std::uint32_t i) { return col[i] < split.bin; });
+      const auto mid = static_cast<std::uint32_t>(mid_it - indices.begin());
+      require(mid > w.begin && mid < w.end, "internal error: degenerate regression split");
+
+      const std::int32_t left_id = tree.add_node(TreeNode{});
+      const std::int32_t right_id = tree.add_node(TreeNode{});
+      TreeNode& node = tree.mutable_node(static_cast<std::size_t>(w.node_id));
+      node.feature = split.feature;
+      node.value = data_.edge(static_cast<std::size_t>(split.feature), split.bin);
+      node.left = left_id;
+      node.right = right_id;
+      stack.push_back({w.begin, mid, w.depth + 1, left_id});
+      stack.push_back({mid, w.end, w.depth + 1, right_id});
+    }
+    return tree;
+  }
+
+ private:
+  struct Split {
+    int feature = -1;
+    int bin = 0;
+    double gain = 0.0;
+  };
+
+  Split best_split(std::span<const std::uint32_t> indices, double total_sum,
+                   Xoshiro256& rng) const {
+    const double total = static_cast<double>(indices.size());
+    const double parent_score = total_sum * total_sum / total;
+
+    Split best;
+    thread_local std::vector<int> feat_ids;
+    feat_ids.resize(data_.num_features());
+    std::iota(feat_ids.begin(), feat_ids.end(), 0);
+
+    double bin_sum[256];
+    std::uint32_t bin_cnt[256];
+
+    for (int pick = 0; pick < features_per_split_; ++pick) {
+      const auto j =
+          pick + static_cast<int>(rng.bounded(feat_ids.size() - static_cast<std::size_t>(pick)));
+      std::swap(feat_ids[static_cast<std::size_t>(pick)], feat_ids[static_cast<std::size_t>(j)]);
+      const int f = feat_ids[static_cast<std::size_t>(pick)];
+
+      const int bins = data_.bins_used(static_cast<std::size_t>(f));
+      if (bins < 2) continue;
+      std::fill(bin_sum, bin_sum + bins, 0.0);
+      std::fill(bin_cnt, bin_cnt + bins, 0u);
+      const std::uint8_t* col = data_.column(static_cast<std::size_t>(f)).data();
+      for (std::uint32_t i : indices) {
+        bin_sum[col[i]] += targets_[i];
+        ++bin_cnt[col[i]];
+      }
+
+      double left_sum = 0.0;
+      double left_cnt = 0.0;
+      for (int b = 1; b < bins; ++b) {
+        left_sum += bin_sum[b - 1];
+        left_cnt += bin_cnt[b - 1];
+        const double right_cnt = total - left_cnt;
+        if (left_cnt < config_.min_samples_leaf || right_cnt < config_.min_samples_leaf) continue;
+        const double right_sum = total_sum - left_sum;
+        const double gain =
+            left_sum * left_sum / left_cnt + right_sum * right_sum / right_cnt - parent_score;
+        const bool better = gain > best.gain + 1e-12;
+        const bool tie = best.feature >= 0 && std::abs(gain - best.gain) <= 1e-12 &&
+                         (f < best.feature || (f == best.feature && b < best.bin));
+        if (better || tie) {
+          best.feature = f;
+          best.bin = b;
+          best.gain = gain;
+        }
+      }
+    }
+    return best;
+  }
+
+  const BinnedDataset& data_;
+  std::span<const float> targets_;
+  const RegressionConfig& config_;
+  int features_per_split_;
+};
+
+}  // namespace
+
+RegressionForest::RegressionForest(std::vector<DecisionTree> trees, std::size_t num_features)
+    : trees_(std::move(trees)), num_features_(num_features) {
+  require(!trees_.empty(), "regression forest needs at least one tree");
+  require(num_features_ > 0, "regression forest needs at least one feature");
+}
+
+float RegressionForest::predict(std::span<const float> query) const {
+  double sum = 0.0;
+  for (const DecisionTree& t : trees_) sum += t.traverse(query);
+  return static_cast<float>(sum / static_cast<double>(trees_.size()));
+}
+
+std::vector<float> RegressionForest::predict_batch(std::span<const float> queries,
+                                                   std::size_t num_queries) const {
+  require(queries.size() == num_queries * num_features_, "query matrix size mismatch");
+  std::vector<float> out(num_queries);
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < num_queries; ++i) {
+    out[i] = predict(queries.subspan(i * num_features_, num_features_));
+  }
+  return out;
+}
+
+double RegressionForest::mse(std::span<const float> queries,
+                             std::span<const float> targets) const {
+  const auto preds = predict_batch(queries, targets.size());
+  double err = 0.0;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const double d = static_cast<double>(preds[i]) - targets[i];
+    err += d * d;
+  }
+  return targets.empty() ? 0.0 : err / static_cast<double>(targets.size());
+}
+
+double RegressionForest::r2(std::span<const float> queries,
+                            std::span<const float> targets) const {
+  if (targets.empty()) return 0.0;
+  double mean = 0.0;
+  for (float y : targets) mean += y;
+  mean /= static_cast<double>(targets.size());
+  double var = 0.0;
+  for (float y : targets) var += (y - mean) * (y - mean);
+  if (var <= 0.0) return 0.0;
+  return 1.0 - mse(queries, targets) * static_cast<double>(targets.size()) / var;
+}
+
+void RegressionForest::validate() const {
+  // Topology checks only: leaf values are unconstrained floats, so borrow
+  // the class check with an effectively unbounded "class" range.
+  for (const DecisionTree& t : trees_) {
+    TreeStats s = t.stats();
+    require(s.node_count > 0, "empty regression tree");
+    (void)s;
+  }
+}
+
+RegressionForest train_regression_forest(const Dataset& features,
+                                         std::span<const float> targets,
+                                         const RegressionConfig& config) {
+  require(targets.size() == features.num_samples(), "one target per sample required");
+  require(config.num_trees >= 1, "num_trees must be >= 1");
+  require(config.max_depth >= 1, "max_depth must be >= 1");
+  require(config.min_samples_leaf >= 1, "min_samples_leaf must be >= 1");
+  require(config.min_samples_split >= 2, "min_samples_split must be >= 2");
+
+  const BinnedDataset binned(features, config.max_bins);
+  const RegressionTreeTrainer trainer(binned, targets, config);
+  const std::size_t n = features.num_samples();
+
+  std::vector<DecisionTree> trees(static_cast<std::size_t>(config.num_trees));
+#pragma omp parallel for schedule(dynamic)
+  for (int t = 0; t < config.num_trees; ++t) {
+    Xoshiro256 rng(config.seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(t + 1)));
+    std::vector<std::uint32_t> indices(n);
+    if (config.bootstrap) {
+      for (auto& i : indices) i = static_cast<std::uint32_t>(rng.bounded(n));
+    } else {
+      std::iota(indices.begin(), indices.end(), 0u);
+    }
+    trees[static_cast<std::size_t>(t)] = trainer.train(std::move(indices), rng);
+  }
+  return RegressionForest(std::move(trees), features.num_features());
+}
+
+}  // namespace hrf

@@ -1,0 +1,75 @@
+#pragma once
+
+// Random-forest *regression* (paper §1: "RFs are a commonly used machine
+// learning method for classification and regression"). The paper's
+// acceleration work targets classification; this module provides the
+// regression half of the training substrate as a self-contained stack —
+// trees reuse TreeNode (leaf value = mean target), prediction averages
+// the per-tree leaf values. The GPU/FPGA inference layouts remain
+// classification-only, as in the paper.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "forest/decision_tree.hpp"
+#include "train/binned.hpp"
+
+namespace hrf {
+
+struct RegressionConfig {
+  int num_trees = 100;
+  int max_depth = 20;
+  int min_samples_leaf = 2;
+  int min_samples_split = 4;
+  int max_bins = 64;
+  /// Features examined per split; 0 selects num_features / 3,
+  /// scikit-learn's regression default.
+  int features_per_split = 0;
+  bool bootstrap = true;
+  std::uint64_t seed = 42;
+};
+
+/// An ensemble of regression trees; prediction is the mean of per-tree
+/// leaf values (each leaf stores the mean target of its training rows).
+class RegressionForest {
+ public:
+  RegressionForest() = default;
+  RegressionForest(std::vector<DecisionTree> trees, std::size_t num_features);
+
+  std::size_t tree_count() const { return trees_.size(); }
+  std::size_t num_features() const { return num_features_; }
+  const DecisionTree& tree(std::size_t i) const { return trees_[i]; }
+
+  /// Mean of the per-tree leaf values for one query.
+  float predict(std::span<const float> query) const;
+
+  /// Predicts every row of a row-major query matrix.
+  std::vector<float> predict_batch(std::span<const float> queries,
+                                   std::size_t num_queries) const;
+
+  /// Mean squared error against `targets`.
+  double mse(std::span<const float> queries, std::span<const float> targets) const;
+
+  /// R^2 coefficient of determination against `targets`.
+  double r2(std::span<const float> queries, std::span<const float> targets) const;
+
+  /// Structural validation (topology only; leaf values are free floats).
+  void validate() const;
+
+ private:
+  std::vector<DecisionTree> trees_;
+  std::size_t num_features_ = 0;
+};
+
+/// Trains a regression forest on `features` rows (the Dataset's labels are
+/// ignored) against float targets. Splits maximize variance reduction on
+/// the binned feature view; leaves store the node's mean target.
+/// OpenMP-parallel across trees; deterministic in config.seed.
+RegressionForest train_regression_forest(const Dataset& features,
+                                         std::span<const float> targets,
+                                         const RegressionConfig& config);
+
+}  // namespace hrf

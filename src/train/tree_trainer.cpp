@@ -1,0 +1,170 @@
+#include "train/tree_trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hrf {
+
+TreeTrainer::TreeTrainer(const BinnedDataset& data, const TrainConfig& config)
+    : data_(data), config_(config) {
+  require(config.max_depth >= 1, "max_depth must be >= 1");
+  require(config.min_samples_leaf >= 1, "min_samples_leaf must be >= 1");
+  require(config.min_samples_split >= 2, "min_samples_split must be >= 2");
+  features_per_split_ =
+      config.features_per_split > 0
+          ? std::min<int>(config.features_per_split, static_cast<int>(data.num_features()))
+          : std::max(1, static_cast<int>(std::sqrt(static_cast<double>(data.num_features()))));
+}
+
+TreeTrainer::Split TreeTrainer::best_split(std::span<const std::uint32_t> indices,
+                                           std::span<const std::uint32_t> parent_class_counts,
+                                           Xoshiro256& rng) const {
+  const auto k = static_cast<std::size_t>(data_.num_classes());
+  const double total = static_cast<double>(indices.size());
+
+  // Gini "score" of one partition side, expressed as the quantity to
+  // maximize: sum over classes of n_c^2 / n. Constant offsets cancel, so
+  // maximizing the sum over both sides minimizes weighted Gini impurity.
+  const auto side_score = [k](const std::uint32_t* counts, double n) {
+    if (n <= 0.0) return 0.0;
+    double s = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      s += static_cast<double>(counts[c]) * static_cast<double>(counts[c]);
+    }
+    return s / n;
+  };
+  const double parent_score = side_score(parent_class_counts.data(), total);
+
+  Split best;
+  // Sample features without replacement via partial Fisher–Yates over a
+  // small local id array.
+  thread_local std::vector<int> feat_ids;
+  feat_ids.resize(data_.num_features());
+  for (std::size_t f = 0; f < feat_ids.size(); ++f) feat_ids[f] = static_cast<int>(f);
+
+  thread_local std::vector<std::uint32_t> hist;   // [bin][class]
+  thread_local std::vector<std::uint32_t> left;   // running left class counts
+
+  for (int pick = 0; pick < features_per_split_; ++pick) {
+    const auto j = pick + static_cast<int>(rng.bounded(feat_ids.size() - static_cast<std::size_t>(pick)));
+    std::swap(feat_ids[static_cast<std::size_t>(pick)], feat_ids[static_cast<std::size_t>(j)]);
+    const int f = feat_ids[static_cast<std::size_t>(pick)];
+
+    const int bins = data_.bins_used(static_cast<std::size_t>(f));
+    if (bins < 2) continue;
+    hist.assign(static_cast<std::size_t>(bins) * k, 0u);
+    const std::uint8_t* col = data_.column(static_cast<std::size_t>(f)).data();
+    const std::uint8_t* labels = data_.labels().data();
+    for (std::uint32_t i : indices) {
+      ++hist[static_cast<std::size_t>(col[i]) * k + labels[i]];
+    }
+
+    // Scan split points "code < b" for b in [1, bins-1].
+    left.assign(k, 0u);
+    double left_cnt = 0.0;
+    for (int b = 1; b < bins; ++b) {
+      const std::uint32_t* bin_counts = hist.data() + static_cast<std::size_t>(b - 1) * k;
+      for (std::size_t c = 0; c < k; ++c) {
+        left[c] += bin_counts[c];
+        left_cnt += bin_counts[c];
+      }
+      const double right_cnt = total - left_cnt;
+      if (left_cnt < config_.min_samples_leaf || right_cnt < config_.min_samples_leaf) continue;
+
+      double right_sq = 0.0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double rc = static_cast<double>(parent_class_counts[c]) - left[c];
+        right_sq += rc * rc;
+      }
+      const double gain =
+          side_score(left.data(), left_cnt) + right_sq / right_cnt - parent_score;
+      // Ties break on (feature, bin) so the chosen split is independent of
+      // the random order features were sampled in — this keeps training
+      // bit-reproducible across schedules.
+      const bool better = gain > best.gain + 1e-12;
+      const bool tie = best.feature >= 0 && std::abs(gain - best.gain) <= 1e-12 &&
+                       (f < best.feature || (f == best.feature && b < best.bin));
+      if (better || tie) {
+        best.feature = f;
+        best.bin = b;
+        best.gain = gain;
+      }
+    }
+  }
+  return best;
+}
+
+DecisionTree TreeTrainer::train(std::vector<std::uint32_t> indices, Xoshiro256& rng) const {
+  require(!indices.empty(), "cannot train a tree on zero samples");
+  const auto k = static_cast<std::size_t>(data_.num_classes());
+  DecisionTree tree;
+  tree.add_node(TreeNode{});  // root placeholder, filled below
+
+  std::vector<Work> stack;
+  stack.push_back(Work{0, static_cast<std::uint32_t>(indices.size()), 1, 0});
+
+  const std::uint8_t* labels = data_.labels().data();
+  std::vector<std::uint32_t> class_counts(k);
+
+  while (!stack.empty()) {
+    const Work w = stack.back();
+    stack.pop_back();
+    const std::uint32_t n = w.end - w.begin;
+
+    class_counts.assign(k, 0u);
+    for (std::uint32_t i = w.begin; i < w.end; ++i) ++class_counts[labels[indices[i]]];
+
+    const auto make_leaf = [&] {
+      TreeNode& node = tree.mutable_node(static_cast<std::size_t>(w.node_id));
+      node.feature = kLeafFeature;
+      // Majority class; ties resolve to the higher class id, matching the
+      // forest-level vote rule (and the paper's binary tmp < N/2 ? A : B).
+      std::size_t best = 0;
+      for (std::size_t c = 1; c < k; ++c) {
+        if (class_counts[c] >= class_counts[best]) best = c;
+      }
+      node.value = static_cast<float>(best);
+      node.left = node.right = -1;
+    };
+
+    bool pure = false;
+    for (std::size_t c = 0; c < k; ++c) pure = pure || class_counts[c] == n;
+    if (w.depth >= config_.max_depth || n < static_cast<std::uint32_t>(config_.min_samples_split) ||
+        pure) {
+      make_leaf();
+      continue;
+    }
+
+    const Split split = best_split(
+        std::span<const std::uint32_t>(indices).subspan(w.begin, n), class_counts, rng);
+    if (split.feature < 0) {  // no admissible split found
+      make_leaf();
+      continue;
+    }
+
+    // Partition indices in place: left side = code < split.bin.
+    const std::uint8_t* col = data_.column(static_cast<std::size_t>(split.feature)).data();
+    const auto mid_it = std::partition(
+        indices.begin() + w.begin, indices.begin() + w.end,
+        [&](std::uint32_t i) { return col[i] < split.bin; });
+    const auto mid = static_cast<std::uint32_t>(mid_it - indices.begin());
+    // best_split only returns partitions with both sides >= min_samples_leaf.
+    require(mid > w.begin && mid < w.end, "internal error: degenerate split");
+
+    const std::int32_t left_id = tree.add_node(TreeNode{});
+    const std::int32_t right_id = tree.add_node(TreeNode{});
+    TreeNode& node = tree.mutable_node(static_cast<std::size_t>(w.node_id));
+    node.feature = split.feature;
+    node.value = data_.edge(static_cast<std::size_t>(split.feature), split.bin);
+    node.left = left_id;
+    node.right = right_id;
+
+    stack.push_back(Work{w.begin, mid, w.depth + 1, left_id});
+    stack.push_back(Work{mid, w.end, w.depth + 1, right_id});
+  }
+  return tree;
+}
+
+}  // namespace hrf

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "forest/decision_tree.hpp"
+#include "train/binned.hpp"
+#include "util/rng.hpp"
+
+namespace hrf {
+
+/// Training hyper-parameters, mirroring the scikit-learn
+/// RandomForestClassifier knobs the paper tunes (§4.1): maximum tree depth
+/// and number of trees, plus the usual CART stopping controls.
+struct TrainConfig {
+  int num_trees = 100;
+  int max_depth = 30;            // root counts as depth 1
+  int min_samples_leaf = 1;
+  int min_samples_split = 2;
+  int max_bins = 64;             // histogram resolution for split search
+  /// Features examined per split; 0 selects floor(sqrt(num_features)),
+  /// scikit-learn's classification default.
+  int features_per_split = 0;
+  bool bootstrap = true;         // sample n rows with replacement per tree
+  std::uint64_t seed = 42;
+};
+
+/// Grows one CART decision tree on a binned training set (binary or
+/// multi-class — the class count comes from the BinnedDataset).
+///
+/// Split criterion is Gini impurity; split search is histogram-based
+/// (O(samples-in-node * features-tried * classes) per node). Produced
+/// trees are sparse and can be much deeper than log2(n) on noisy data —
+/// exactly the regime the paper's hierarchical layout targets.
+class TreeTrainer {
+ public:
+  TreeTrainer(const BinnedDataset& data, const TrainConfig& config);
+
+  /// Trains a tree on the given sample indices (typically a bootstrap
+  /// draw). `rng` drives feature subsampling. Indices are consumed
+  /// (reordered in place).
+  DecisionTree train(std::vector<std::uint32_t> indices, Xoshiro256& rng) const;
+
+ private:
+  struct Work {  // a pending node: index range + depth + output slot
+    std::uint32_t begin;
+    std::uint32_t end;
+    std::int32_t depth;
+    std::int32_t node_id;
+  };
+
+  struct Split {
+    int feature = -1;
+    int bin = 0;        // go left iff code < bin
+    double gain = 0.0;  // Gini impurity decrease (unnormalized)
+  };
+
+  Split best_split(std::span<const std::uint32_t> indices,
+                   std::span<const std::uint32_t> parent_class_counts, Xoshiro256& rng) const;
+
+  const BinnedDataset& data_;
+  TrainConfig config_;
+  int features_per_split_;
+};
+
+}  // namespace hrf

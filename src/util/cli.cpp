@@ -1,0 +1,101 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace hrf {
+
+CliArgs::CliArgs(int argc, char** argv) : program_(argc > 0 ? argv[0] : "prog") {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw ConfigError("positional arguments are not supported: " + arg);
+    }
+    std::string key = arg.substr(2);
+    std::string value = "1";  // bare flags read as truthy
+    auto eq = key.find('=');
+    if (eq != std::string::npos) {
+      value = key.substr(eq + 1);
+      key = key.substr(0, eq);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+    }
+    values_[key] = value;
+  }
+}
+
+CliArgs& CliArgs::allow(const std::string& key, const std::string& help) {
+  allowed_.emplace_back(key, help);
+  return *this;
+}
+
+bool CliArgs::validate() const {
+  if (has("help")) {
+    std::printf("usage: %s [--key value ...]\n", program_.c_str());
+    for (const auto& [k, h] : allowed_) std::printf("  --%-18s %s\n", k.c_str(), h.c_str());
+    return false;
+  }
+  for (const auto& [k, v] : values_) {
+    (void)v;
+    bool known = k == "help";
+    for (const auto& [a, h] : allowed_) {
+      (void)h;
+      if (a == k) known = true;
+    }
+    if (!known) {
+      std::fprintf(stderr, "unknown option --%s (try --help)\n", k.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool CliArgs::has(const std::string& key) const { return values_.count(key) != 0; }
+
+std::string CliArgs::get(const std::string& key, const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+long CliArgs::get_int(const std::string& key, long fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  long v = std::strtol(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    throw ConfigError("option --" + key + " expects an integer, got '" + it->second + "'");
+  }
+  return v;
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    throw ConfigError("option --" + key + " expects a number, got '" + it->second + "'");
+  }
+  return v;
+}
+
+std::vector<int> CliArgs::get_int_list(const std::string& key, std::vector<int> fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::vector<int> out;
+  std::stringstream ss(it->second);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (tok.empty()) continue;
+    out.push_back(static_cast<int>(std::strtol(tok.c_str(), nullptr, 10)));
+  }
+  if (out.empty()) {
+    throw ConfigError("option --" + key + " expects a comma-separated integer list");
+  }
+  return out;
+}
+
+}  // namespace hrf

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hrf {
+
+/// Minimal `--key value` / `--flag` command-line parser shared by the bench
+/// and example binaries. Unknown keys are rejected only when a whitelist is
+/// installed via allow(); values are type-converted on access with defaults.
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv);
+
+  /// Registers a recognized option (for `--help` text and typo detection).
+  CliArgs& allow(const std::string& key, const std::string& help);
+
+  /// Validates parsed keys against the allow() list and handles `--help`.
+  /// Returns false when the program should exit (help requested or error).
+  bool validate() const;
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  long get_int(const std::string& key, long fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_flag(const std::string& key) const { return has(key); }
+
+  /// Comma-separated integer list, e.g. `--depths 15,20,25`.
+  std::vector<int> get_int_list(const std::string& key, std::vector<int> fallback) const;
+
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::pair<std::string, std::string>> allowed_;
+};
+
+}  // namespace hrf

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hrf {
+
+/// Base class for all errors raised by the hrf library.
+///
+/// Following the C++ Core Guidelines (E.2), errors that cannot be handled
+/// locally are reported via exceptions; all hrf exceptions derive from this
+/// type so callers can catch the library's failures with a single handler.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when user-supplied configuration is invalid (bad depth, bad
+/// variant/backend combination, out-of-range tuning parameter, ...).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a serialized model or dataset fails validation on load.
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a simulated device resource is exceeded (shared memory,
+/// BRAM/URAM capacity, ...). Mirrors what a real toolchain would reject.
+class ResourceError : public Error {
+ public:
+  explicit ResourceError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_config(const std::string& what) { throw ConfigError(what); }
+}  // namespace detail
+
+/// Lightweight precondition check: throws ConfigError with `msg` when `cond`
+/// is false. Used at public API boundaries (I.6: state preconditions).
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) detail::throw_config(msg);
+}
+
+}  // namespace hrf

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+
+namespace hrf {
+
+/// Integer ceil(a / b) for positive b.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// floor(log2(x)) for x >= 1.
+constexpr int ilog2(std::uint64_t x) {
+  int r = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+/// 2^k as a 64-bit value (k < 64).
+constexpr std::uint64_t pow2(int k) { return std::uint64_t{1} << k; }
+
+/// Number of nodes in a complete binary tree of the given depth, where a
+/// single root node has depth 1 (the paper's convention): 2^depth - 1.
+constexpr std::uint64_t complete_tree_nodes(int depth) { return pow2(depth) - 1; }
+
+/// Rounds `x` up to the next multiple of `align` (align must be a power of 2).
+constexpr std::uint64_t align_up(std::uint64_t x, std::uint64_t align) {
+  return (x + align - 1) & ~(align - 1);
+}
+
+}  // namespace hrf

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hrf {
+
+/// Multi-class confusion matrix and the usual derived scores.
+/// Rows = true class, columns = predicted class.
+class ConfusionMatrix {
+ public:
+  /// Builds from parallel prediction/label arrays with labels in
+  /// [0, num_classes). Throws ConfigError on shape/range errors.
+  ConfusionMatrix(std::span<const std::uint8_t> predictions,
+                  std::span<const std::uint8_t> labels, int num_classes);
+
+  int num_classes() const { return num_classes_; }
+  std::size_t total() const { return total_; }
+
+  /// Count of samples with true class `t` predicted as class `p`.
+  std::size_t at(int truth, int predicted) const;
+
+  double accuracy() const;
+  /// Precision of one class: tp / (tp + fp); 0 when the class was never
+  /// predicted.
+  double precision(int cls) const;
+  /// Recall of one class: tp / (tp + fn); 0 when the class never occurs.
+  double recall(int cls) const;
+  /// Harmonic mean of precision and recall (0 when both are 0).
+  double f1(int cls) const;
+  /// Unweighted mean F1 over classes (macro averaging).
+  double macro_f1() const;
+
+  /// Markdown rendering with per-class precision/recall/F1 rows.
+  std::string to_markdown() const;
+
+ private:
+  int num_classes_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> cells_;  // row-major [truth][predicted]
+};
+
+}  // namespace hrf

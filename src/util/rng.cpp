@@ -1,0 +1,67 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace hrf {
+
+std::uint64_t Xoshiro256::bounded(std::uint64_t n) {
+  if (n == 0) return 0;
+  // Lemire's nearly-divisionless bounded generation.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < n) {
+    std::uint64_t t = -n % n;
+    while (l < t) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Xoshiro256::normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller transform; u1 is kept away from zero so log() is finite.
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 1e-300);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * 3.14159265358979323846 * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+void Xoshiro256::jump() {
+  static constexpr std::uint64_t kJump[] = {0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+                                            0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+  std::array<std::uint64_t, 4> s{};
+  for (std::uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (1ULL << b)) {
+        s[0] ^= state_[0];
+        s[1] ^= state_[1];
+        s[2] ^= state_[2];
+        s[3] ^= state_[3];
+      }
+      next();
+    }
+  }
+  state_ = s;
+  have_cached_normal_ = false;
+}
+
+Xoshiro256 Xoshiro256::split(int k) const {
+  Xoshiro256 out = *this;
+  for (int i = 0; i <= k; ++i) out.jump();
+  return out;
+}
+
+}  // namespace hrf

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hrf {
+
+/// Simple descriptive statistics over a sample, used by benchmark reports
+/// and the dataset generators' self-checks.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// One-pass (Welford) summary of `xs`. Returns zeros for an empty span.
+Summary summarize(std::span<const double> xs);
+
+/// Exact percentile via sorting a copy; p in [0, 100].
+double percentile(std::vector<double> xs, double p);
+
+/// Geometric mean of strictly positive values (returns 0 if any value <= 0).
+double geometric_mean(std::span<const double> xs);
+
+}  // namespace hrf

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hrf {
+
+/// Accumulates rows of heterogeneous cells and renders them as a GitHub
+/// Markdown table (for console output matching the paper's tables) or as
+/// CSV (for plotting). Cells are stored as preformatted strings; numeric
+/// add() overloads apply a consistent format.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Begins a new row. Must be followed by exactly `columns()` cell() calls.
+  Table& row();
+
+  Table& cell(const std::string& value);
+  Table& cell(const char* value);
+  Table& cell(double value, int precision = 3);
+  Table& cell(std::int64_t value);
+  Table& cell(std::uint64_t value);
+  Table& cell(int value) { return cell(static_cast<std::int64_t>(value)); }
+
+  std::size_t columns() const { return headers_.size(); }
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders as a GitHub-flavoured Markdown table.
+  std::string markdown() const;
+
+  /// Renders as RFC-4180-ish CSV (no quoting of embedded commas needed in
+  /// practice; cells containing a comma are quoted defensively).
+  std::string csv() const;
+
+  /// Writes the CSV rendering to `path`; throws hrf::Error on I/O failure.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section heading followed by the table's Markdown rendering.
+void print_table(std::ostream& os, const std::string& title, const Table& table);
+
+}  // namespace hrf

@@ -1,0 +1,63 @@
+#pragma once
+
+// The example decision tree from the paper's Fig. 2a, used by several test
+// suites. Node numbering follows the figure:
+//
+//        0: f[1] < 2.5
+//       /            \
+//   1: leaf A     2: f[4] < 0.5
+//                 /            \
+//          3: f[8] < 5.4    4: f[20] < 8.8
+//            /      \          /      \
+//       7: leaf A  8: leaf B  5: leaf B  6: leaf A
+//
+// (Class A = 0.0f, class B = 1.0f; the paper's Fig. 2c value row.)
+
+#include <vector>
+
+#include "forest/decision_tree.hpp"
+#include "forest/forest.hpp"
+
+namespace hrf::testutil {
+
+inline DecisionTree fig2_tree() {
+  std::vector<TreeNode> nodes(9);
+  nodes[0] = {1, 2.5f, 1, 2};
+  nodes[1] = {kLeafFeature, 0.0f, -1, -1};
+  nodes[2] = {4, 0.5f, 3, 4};
+  nodes[3] = {8, 5.4f, 7, 8};
+  nodes[4] = {20, 8.8f, 5, 6};
+  nodes[5] = {kLeafFeature, 1.0f, -1, -1};
+  nodes[6] = {kLeafFeature, 0.0f, -1, -1};
+  nodes[7] = {kLeafFeature, 0.0f, -1, -1};
+  nodes[8] = {kLeafFeature, 1.0f, -1, -1};
+  return DecisionTree(std::move(nodes));
+}
+
+inline constexpr std::size_t kFig2Features = 21;  // uses features 1, 4, 8, 20
+
+inline Forest fig2_forest() {
+  std::vector<DecisionTree> trees;
+  trees.push_back(fig2_tree());
+  return Forest(std::move(trees), kFig2Features);
+}
+
+/// A query whose feature 1 is 1.25, reproducing §2.1's walk-through
+/// (traversal goes left at the root and classifies as class A).
+inline std::vector<float> fig2_query_class_a() {
+  std::vector<float> q(kFig2Features, 0.0f);
+  q[1] = 1.25f;
+  return q;
+}
+
+/// Query driving the traversal 0 -> 2 -> 4 -> 5 (class B): f1 >= 2.5,
+/// f4 >= 0.5, f20 < 8.8.
+inline std::vector<float> fig2_query_class_b() {
+  std::vector<float> q(kFig2Features, 0.0f);
+  q[1] = 3.0f;
+  q[4] = 0.9f;
+  q[20] = 1.0f;
+  return q;
+}
+
+}  // namespace hrf::testutil

@@ -1,0 +1,198 @@
+#include "core/classifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "data/synthetic.hpp"
+#include "forest/random_forest_gen.hpp"
+#include "util/error.hpp"
+
+namespace hrf {
+namespace {
+
+Forest small_forest() {
+  RandomForestSpec spec;
+  spec.num_trees = 6;
+  spec.max_depth = 9;
+  spec.num_features = 7;
+  spec.seed = 33;
+  return make_random_forest(spec);
+}
+
+gpusim::DeviceConfig small_gpu() {
+  auto cfg = gpusim::DeviceConfig::titan_xp();
+  cfg.num_sms = 4;
+  return cfg;
+}
+
+class BackendVariantMatrix
+    : public testing::TestWithParam<std::tuple<Backend, Variant>> {};
+
+TEST_P(BackendVariantMatrix, ValidCombosMatchReferencePredictions) {
+  const auto [backend, variant] = GetParam();
+  const Forest f = small_forest();
+  const Dataset q = make_random_queries(300, 7, 5);
+  const auto reference = f.classify_batch(q.features(), q.num_samples());
+
+  ClassifierOptions opt;
+  opt.backend = backend;
+  opt.variant = variant;
+  opt.layout.subtree_depth = 4;
+  opt.gpu = small_gpu();
+  const Classifier clf(small_forest(), opt);
+  const RunReport r = clf.classify(q);
+  ASSERT_EQ(r.predictions.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) ASSERT_EQ(r.predictions[i], reference[i]);
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_EQ(r.simulated, backend != Backend::CpuNative);
+  EXPECT_EQ(r.gpu_counters.has_value(), backend == Backend::GpuSim);
+  EXPECT_EQ(r.fpga_report.has_value(), backend == Backend::FpgaSim);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ValidCombos, BackendVariantMatrix,
+    testing::Values(std::tuple{Backend::CpuNative, Variant::Csr},
+                    std::tuple{Backend::CpuNative, Variant::Independent},
+                    std::tuple{Backend::GpuSim, Variant::Csr},
+                    std::tuple{Backend::GpuSim, Variant::Independent},
+                    std::tuple{Backend::GpuSim, Variant::Collaborative},
+                    std::tuple{Backend::GpuSim, Variant::Hybrid},
+                    std::tuple{Backend::GpuSim, Variant::FilBaseline},
+                    std::tuple{Backend::FpgaSim, Variant::Csr},
+                    std::tuple{Backend::FpgaSim, Variant::Independent},
+                    std::tuple{Backend::FpgaSim, Variant::Collaborative},
+                    std::tuple{Backend::FpgaSim, Variant::Hybrid}),
+    [](const auto& info) {
+      std::string n = std::string(to_string(std::get<0>(info.param))) + "_" +
+                      to_string(std::get<1>(info.param));
+      for (auto& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+TEST(Classifier, RejectsFilOnFpga) {
+  ClassifierOptions opt;
+  opt.backend = Backend::FpgaSim;
+  opt.variant = Variant::FilBaseline;
+  EXPECT_THROW(Classifier(small_forest(), opt), ConfigError);
+}
+
+TEST(Classifier, RejectsHybridOnCpu) {
+  ClassifierOptions opt;
+  opt.backend = Backend::CpuNative;
+  opt.variant = Variant::Hybrid;
+  EXPECT_THROW(Classifier(small_forest(), opt), ConfigError);
+  opt.variant = Variant::Collaborative;
+  EXPECT_THROW(Classifier(small_forest(), opt), ConfigError);
+}
+
+TEST(Classifier, LayoutAccessorsMatchVariant) {
+  ClassifierOptions opt;
+  opt.variant = Variant::Hybrid;
+  opt.layout.subtree_depth = 5;
+  const Classifier clf(small_forest(), opt);
+  EXPECT_EQ(clf.hierarchical().config().subtree_depth, 5);
+  EXPECT_THROW(clf.csr(), ConfigError);
+
+  ClassifierOptions csr_opt;
+  csr_opt.variant = Variant::Csr;
+  const Classifier csr_clf(small_forest(), csr_opt);
+  EXPECT_GT(csr_clf.csr().num_nodes(), 0u);
+  EXPECT_THROW(csr_clf.hierarchical(), ConfigError);
+}
+
+TEST(Classifier, TrainFactoryProducesWorkingClassifier) {
+  SyntheticSpec spec;
+  spec.num_samples = 3000;
+  spec.num_features = 6;
+  spec.num_relevant = 5;
+  spec.teacher_depth = 6;
+  spec.mass_floor = 0.05;
+  spec.label_noise = 0.05;
+  const Dataset ds = make_synthetic(spec);
+  const auto [train, test] = ds.split();
+  TrainConfig tc;
+  tc.num_trees = 20;
+  tc.max_depth = 8;
+  ClassifierOptions opt;
+  opt.backend = Backend::GpuSim;
+  opt.variant = Variant::Hybrid;
+  opt.layout.subtree_depth = 4;
+  opt.gpu = small_gpu();
+  const Classifier clf = Classifier::train(train, tc, opt);
+  const RunReport r = clf.classify(test);
+  EXPECT_GT(r.accuracy(test.labels()), 0.7);
+}
+
+TEST(Classifier, LoadFactoryRoundTrips) {
+  const std::string path = testing::TempDir() + "/hrf_clf_load.hrff";
+  small_forest().save(path);
+  ClassifierOptions opt;
+  opt.variant = Variant::Independent;
+  opt.backend = Backend::CpuNative;
+  const Classifier clf = Classifier::load(path, opt);
+  EXPECT_EQ(clf.forest().tree_count(), 6u);
+  std::remove(path.c_str());
+}
+
+TEST(RunReport, AccuracyValidatesShape) {
+  RunReport r;
+  r.predictions = {0, 1, 1};
+  const std::vector<std::uint8_t> labels{0, 1, 0};
+  EXPECT_NEAR(r.accuracy(labels), 2.0 / 3.0, 1e-12);
+  const std::vector<std::uint8_t> wrong(2);
+  EXPECT_THROW(r.accuracy(wrong), ConfigError);
+}
+
+TEST(Classifier, StreamMatchesBatchPredictions) {
+  const Forest f = small_forest();
+  const Dataset q = make_random_queries(777, 7, 6);
+  ClassifierOptions opt;
+  opt.backend = Backend::GpuSim;
+  opt.variant = Variant::Independent;
+  opt.layout.subtree_depth = 4;
+  opt.gpu = small_gpu();
+  const Classifier clf(small_forest(), opt);
+  const RunReport batch = clf.classify(q);
+  const auto stream = clf.classify_stream(q, 100);
+  EXPECT_EQ(stream.predictions, batch.predictions);
+  EXPECT_EQ(stream.chunks, 8u);  // ceil(777/100)
+  EXPECT_GE(stream.total_seconds, stream.max_chunk_seconds);
+  EXPECT_TRUE(stream.simulated);
+}
+
+TEST(Classifier, StreamValidatesChunkSize) {
+  ClassifierOptions opt;
+  opt.backend = Backend::CpuNative;
+  opt.variant = Variant::Csr;
+  const Classifier clf(small_forest(), opt);
+  const Dataset q = make_random_queries(10, 7, 7);
+  EXPECT_THROW(clf.classify_stream(q, 0), ConfigError);
+}
+
+TEST(Classifier, StreamSingleChunkEqualsBatch) {
+  const Forest f = small_forest();
+  const Dataset q = make_random_queries(50, 7, 8);
+  ClassifierOptions opt;
+  opt.backend = Backend::CpuNative;
+  opt.variant = Variant::Independent;
+  opt.layout.subtree_depth = 4;
+  const Classifier clf(small_forest(), opt);
+  const auto stream = clf.classify_stream(q, 1000);
+  EXPECT_EQ(stream.chunks, 1u);
+  EXPECT_EQ(stream.predictions, clf.classify(q).predictions);
+}
+
+TEST(EnumNames, AreStable) {
+  EXPECT_STREQ(to_string(Backend::CpuNative), "cpu-native");
+  EXPECT_STREQ(to_string(Backend::GpuSim), "gpu-sim");
+  EXPECT_STREQ(to_string(Backend::FpgaSim), "fpga-sim");
+  EXPECT_STREQ(to_string(Variant::Csr), "csr");
+  EXPECT_STREQ(to_string(Variant::Hybrid), "hybrid");
+  EXPECT_STREQ(to_string(Variant::FilBaseline), "fil-baseline");
+}
+
+}  // namespace
+}  // namespace hrf

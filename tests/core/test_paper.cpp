@@ -1,0 +1,93 @@
+#include "core/paper.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sys/stat.h>
+
+#include "util/error.hpp"
+
+namespace hrf::paper {
+namespace {
+
+TEST(Paper, NamesAreStable) {
+  EXPECT_STREQ(name(DatasetKind::Covertype), "covertype");
+  EXPECT_STREQ(name(DatasetKind::Susy), "susy");
+  EXPECT_STREQ(name(DatasetKind::Higgs), "higgs");
+}
+
+TEST(Paper, SampleCountsMatchTable1) {
+  EXPECT_EQ(paper_samples(DatasetKind::Covertype), 581'012u);
+  EXPECT_EQ(paper_samples(DatasetKind::Susy), 3'000'000u);
+  EXPECT_EQ(paper_samples(DatasetKind::Higgs), 2'750'000u);
+}
+
+TEST(Paper, DefaultSamplesScaleWithFloor) {
+  EXPECT_EQ(default_samples(DatasetKind::Susy, 0.1), 300'000u);
+  EXPECT_EQ(default_samples(DatasetKind::Covertype, 1.0), 581'012u);
+  EXPECT_EQ(default_samples(DatasetKind::Covertype, 0.00001), 20'000u);  // floor
+  EXPECT_THROW(default_samples(DatasetKind::Susy, 0.0), ConfigError);
+  EXPECT_THROW(default_samples(DatasetKind::Susy, 1.5), ConfigError);
+}
+
+TEST(Paper, SpecsCarryTable1Dimensions) {
+  EXPECT_EQ(spec(DatasetKind::Covertype, 1000).num_features, 54);
+  EXPECT_EQ(spec(DatasetKind::Susy, 1000).num_features, 18);
+  EXPECT_EQ(spec(DatasetKind::Higgs, 1000).num_features, 28);
+  EXPECT_EQ(spec(DatasetKind::Susy, 1234).num_samples, 1234u);
+}
+
+TEST(Paper, SelectedDepthsMatchSection41) {
+  EXPECT_EQ(selected_depths(DatasetKind::Covertype), (std::vector<int>{30, 35, 40}));
+  EXPECT_EQ(selected_depths(DatasetKind::Susy), (std::vector<int>{15, 20, 25}));
+  EXPECT_EQ(selected_depths(DatasetKind::Higgs), (std::vector<int>{25, 30, 35}));
+}
+
+TEST(Paper, TrainConfigUsesAllFeaturesForCovertypeAccuracy) {
+  const TrainConfig acc = train_config(DatasetKind::Covertype, 30, 100, ForestUse::Accuracy);
+  EXPECT_EQ(acc.features_per_split, 54);
+  const TrainConfig tim = train_config(DatasetKind::Covertype, 30, 100, ForestUse::Timing);
+  EXPECT_EQ(tim.features_per_split, 0);  // sqrt default
+  EXPECT_EQ(tim.max_depth, 30);
+  EXPECT_EQ(tim.num_trees, 100);
+}
+
+TEST(Paper, DatasetHalvesSplitOneToOne) {
+  const std::string dir = testing::TempDir();
+  const Dataset test = test_half(DatasetKind::Susy, 20'000, dir);
+  const Dataset train = train_half(DatasetKind::Susy, 20'000, dir);
+  EXPECT_EQ(test.num_samples(), 10'000u);
+  EXPECT_EQ(train.num_samples(), 10'000u);
+  EXPECT_EQ(test.num_features(), 18u);
+  std::remove((dir + "/susy_20000.hrfd").c_str());
+}
+
+TEST(Paper, CachedForestIsReusedFromDisk) {
+  const std::string dir = testing::TempDir();
+  const std::string forest_path = dir + "/susy_d6_t3_n20000.hrff";
+  std::remove(forest_path.c_str());
+
+  const Forest first = cached_forest(DatasetKind::Susy, 6, 3, 20'000, dir);
+  struct stat st{};
+  ASSERT_EQ(::stat(forest_path.c_str(), &st), 0) << "forest was not cached";
+
+  const Forest second = cached_forest(DatasetKind::Susy, 6, 3, 20'000, dir);
+  ASSERT_EQ(first.tree_count(), second.tree_count());
+  for (std::size_t t = 0; t < first.tree_count(); ++t) {
+    ASSERT_EQ(first.tree(t).node_count(), second.tree(t).node_count());
+  }
+  std::remove(forest_path.c_str());
+  std::remove((dir + "/susy_20000.hrfd").c_str());
+}
+
+TEST(Paper, AllDatasetsIterable) {
+  int count = 0;
+  for (DatasetKind kind : kAllDatasets) {
+    EXPECT_NE(name(kind), nullptr);
+    ++count;
+  }
+  EXPECT_EQ(count, 3);
+}
+
+}  // namespace
+}  // namespace hrf::paper

@@ -1,0 +1,67 @@
+#include "cpu/cpu_kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "forest/random_forest_gen.hpp"
+#include "util/error.hpp"
+
+namespace hrf::cpu {
+namespace {
+
+struct Fixture {
+  Forest forest;
+  CsrForest csr;
+  HierarchicalForest hier;
+  Dataset queries;
+  std::vector<std::uint8_t> reference;
+
+  explicit Fixture(std::size_t nq = 500)
+      : forest(make_random_forest({.num_trees = 10,
+                                   .max_depth = 11,
+                                   .branch_prob = 0.7,
+                                   .num_features = 9,
+                                   .seed = 21})),
+        csr(CsrForest::build(forest)),
+        hier(HierarchicalForest::build(forest, HierConfig{.subtree_depth = 5})),
+        queries(make_random_queries(nq, 9, 22)),
+        reference(forest.classify_batch(queries.features(), queries.num_samples())) {}
+};
+
+TEST(CpuKernels, CsrMatchesReference) {
+  const Fixture fx;
+  EXPECT_EQ(classify_csr(fx.csr, fx.queries), fx.reference);
+}
+
+TEST(CpuKernels, HierarchicalMatchesReference) {
+  const Fixture fx;
+  EXPECT_EQ(classify_hierarchical(fx.hier, fx.queries), fx.reference);
+}
+
+TEST(CpuKernels, BlockedMatchesReference) {
+  const Fixture fx;
+  EXPECT_EQ(classify_hierarchical_blocked(fx.hier, fx.queries), fx.reference);
+}
+
+TEST(CpuKernels, BlockedHandlesOddBlockSizes) {
+  const Fixture fx(333);
+  EXPECT_EQ(classify_hierarchical_blocked(fx.hier, fx.queries, 100), fx.reference);
+  EXPECT_EQ(classify_hierarchical_blocked(fx.hier, fx.queries, 1), fx.reference);
+  EXPECT_EQ(classify_hierarchical_blocked(fx.hier, fx.queries, 100000), fx.reference);
+}
+
+TEST(CpuKernels, BlockedRejectsZeroBlock) {
+  const Fixture fx(8);
+  EXPECT_THROW(classify_hierarchical_blocked(fx.hier, fx.queries, 0), ConfigError);
+}
+
+TEST(CpuKernels, RejectsMismatchedWidth) {
+  const Fixture fx(8);
+  const Dataset wrong = make_random_queries(8, 5);
+  EXPECT_THROW(classify_csr(fx.csr, wrong), ConfigError);
+  EXPECT_THROW(classify_hierarchical(fx.hier, wrong), ConfigError);
+  EXPECT_THROW(classify_hierarchical_blocked(fx.hier, wrong), ConfigError);
+}
+
+}  // namespace
+}  // namespace hrf::cpu

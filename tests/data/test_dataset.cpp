@@ -1,0 +1,121 @@
+#include "data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hrf {
+namespace {
+
+Dataset tiny() {
+  Dataset ds(4, 2);
+  const float rows[4][2] = {{0.f, 1.f}, {2.f, 3.f}, {4.f, 5.f}, {6.f, 7.f}};
+  const std::uint8_t labels[4] = {0, 1, 1, 0};
+  for (int i = 0; i < 4; ++i) ds.push_back(rows[i], labels[i]);
+  ds.set_name("tiny");
+  return ds;
+}
+
+TEST(Dataset, PushBackAndAccess) {
+  const Dataset ds = tiny();
+  EXPECT_EQ(ds.num_samples(), 4u);
+  EXPECT_EQ(ds.num_features(), 2u);
+  EXPECT_FLOAT_EQ(ds.sample(1)[0], 2.f);
+  EXPECT_FLOAT_EQ(ds.sample(3)[1], 7.f);
+  EXPECT_EQ(ds.label(2), 1);
+}
+
+TEST(Dataset, RejectsZeroFeatures) {
+  EXPECT_THROW(Dataset(1, 0), ConfigError);
+}
+
+TEST(Dataset, RejectsWrongRowWidth) {
+  Dataset ds(1, 3);
+  const float row[2] = {1.f, 2.f};
+  EXPECT_THROW(ds.push_back(row, 0), ConfigError);
+}
+
+TEST(Dataset, RejectsNonBinaryLabel) {
+  Dataset ds(1, 1);
+  const float row[1] = {1.f};
+  EXPECT_THROW(ds.push_back(row, 2), ConfigError);
+}
+
+TEST(Dataset, PositiveFraction) {
+  EXPECT_DOUBLE_EQ(tiny().positive_fraction(), 0.5);
+  Dataset empty(0, 1);
+  EXPECT_DOUBLE_EQ(empty.positive_fraction(), 0.0);
+}
+
+TEST(Dataset, SplitHalvesPreserveOrderAndContent) {
+  const auto [train, test] = tiny().split(0.5);
+  EXPECT_EQ(train.num_samples(), 2u);
+  EXPECT_EQ(test.num_samples(), 2u);
+  EXPECT_FLOAT_EQ(train.sample(0)[0], 0.f);
+  EXPECT_FLOAT_EQ(test.sample(0)[0], 4.f);
+  EXPECT_EQ(test.label(1), 0);
+}
+
+TEST(Dataset, SplitUnevenFraction) {
+  const auto [train, test] = tiny().split(0.75);
+  EXPECT_EQ(train.num_samples(), 3u);
+  EXPECT_EQ(test.num_samples(), 1u);
+}
+
+TEST(Dataset, SplitRejectsDegenerateFractions) {
+  EXPECT_THROW(tiny().split(0.0), ConfigError);
+  EXPECT_THROW(tiny().split(1.0), ConfigError);
+}
+
+TEST(Dataset, SplitNamesHalves) {
+  const auto [train, test] = tiny().split();
+  EXPECT_EQ(train.name(), "tiny/train");
+  EXPECT_EQ(test.name(), "tiny/test");
+}
+
+TEST(Dataset, SaveLoadRoundTrip) {
+  const std::string path = testing::TempDir() + "/hrf_ds_roundtrip.hrfd";
+  const Dataset ds = tiny();
+  ds.save(path);
+  const Dataset loaded = Dataset::load(path);
+  EXPECT_EQ(loaded.num_samples(), ds.num_samples());
+  EXPECT_EQ(loaded.num_features(), ds.num_features());
+  EXPECT_EQ(loaded.name(), "tiny");
+  for (std::size_t i = 0; i < ds.num_samples(); ++i) {
+    EXPECT_EQ(loaded.label(i), ds.label(i));
+    for (std::size_t f = 0; f < ds.num_features(); ++f) {
+      EXPECT_FLOAT_EQ(loaded.sample(i)[f], ds.sample(i)[f]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Dataset, LoadMissingFileThrows) {
+  EXPECT_THROW(Dataset::load("/nonexistent/no.hrfd"), Error);
+}
+
+TEST(Dataset, LoadRejectsBadMagic) {
+  const std::string path = testing::TempDir() + "/hrf_ds_badmagic.hrfd";
+  std::ofstream(path, std::ios::binary) << "NOT A DATASET FILE AT ALL......";
+  EXPECT_THROW(Dataset::load(path), FormatError);
+  std::remove(path.c_str());
+}
+
+TEST(Dataset, LoadRejectsTruncatedFile) {
+  const std::string path = testing::TempDir() + "/hrf_ds_trunc.hrfd";
+  tiny().save(path);
+  // Truncate the file to cut into the feature payload.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream(path, std::ios::binary) << bytes.substr(0, bytes.size() - 8);
+  EXPECT_THROW(Dataset::load(path), FormatError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hrf

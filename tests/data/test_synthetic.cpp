@@ -1,0 +1,181 @@
+#include "data/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hrf {
+namespace {
+
+SyntheticSpec small_spec() {
+  SyntheticSpec s;
+  s.num_samples = 5000;
+  s.num_features = 8;
+  s.num_relevant = 6;
+  s.teacher_depth = 8;
+  s.mass_floor = 0.01;
+  s.label_noise = 0.1;
+  s.seed = 3;
+  return s;
+}
+
+TEST(TeacherTree, RespectsDepthCap) {
+  const TeacherTree t = TeacherTree::build(small_spec());
+  EXPECT_LE(t.depth(), 8);
+  EXPECT_GE(t.depth(), 2);
+  EXPECT_GT(t.node_count(), 3u);
+}
+
+TEST(TeacherTree, NodesAreWellFormed) {
+  const TeacherTree t = TeacherTree::build(small_spec());
+  for (const auto& n : t.nodes()) {
+    if (n.feature >= 0) {
+      EXPECT_LT(n.feature, 8);
+      EXPECT_GE(n.left, 0);
+      EXPECT_GE(n.right, 0);
+      EXPECT_LT(static_cast<std::size_t>(n.left), t.node_count());
+      EXPECT_LT(static_cast<std::size_t>(n.right), t.node_count());
+      EXPECT_GT(n.threshold, 0.0f);
+      EXPECT_LT(n.threshold, 1.0f);
+    } else {
+      EXPECT_LE(n.leaf_label, 1);
+    }
+  }
+}
+
+TEST(TeacherTree, DeterministicUnderSeed) {
+  const TeacherTree a = TeacherTree::build(small_spec());
+  const TeacherTree b = TeacherTree::build(small_spec());
+  ASSERT_EQ(a.node_count(), b.node_count());
+  for (std::size_t i = 0; i < a.node_count(); ++i) {
+    EXPECT_EQ(a.nodes()[i].feature, b.nodes()[i].feature);
+    EXPECT_FLOAT_EQ(a.nodes()[i].threshold, b.nodes()[i].threshold);
+  }
+}
+
+TEST(TeacherTree, ClassifyReachesLeaves) {
+  const TeacherTree t = TeacherTree::build(small_spec());
+  const std::vector<float> low(8, 0.01f);
+  const std::vector<float> high(8, 0.99f);
+  EXPECT_LE(t.classify(low), 1);
+  EXPECT_LE(t.classify(high), 1);
+}
+
+TEST(MakeSynthetic, DimensionsMatchSpec) {
+  const Dataset ds = make_synthetic(small_spec());
+  EXPECT_EQ(ds.num_samples(), 5000u);
+  EXPECT_EQ(ds.num_features(), 8u);
+}
+
+TEST(MakeSynthetic, DeterministicUnderSeed) {
+  const Dataset a = make_synthetic(small_spec());
+  const Dataset b = make_synthetic(small_spec());
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.label(i), b.label(i));
+    EXPECT_FLOAT_EQ(a.sample(i)[0], b.sample(i)[0]);
+  }
+}
+
+TEST(MakeSynthetic, DifferentSeedsDiffer) {
+  SyntheticSpec s1 = small_spec();
+  SyntheticSpec s2 = small_spec();
+  s2.seed = 4;
+  const Dataset a = make_synthetic(s1);
+  const Dataset b = make_synthetic(s2);
+  int diff = 0;
+  for (std::size_t i = 0; i < 100; ++i) diff += a.label(i) != b.label(i);
+  EXPECT_GT(diff, 0);
+}
+
+TEST(MakeSynthetic, LabelsRoughlyBalanced) {
+  const Dataset ds = make_synthetic(small_spec());
+  EXPECT_GT(ds.positive_fraction(), 0.15);
+  EXPECT_LT(ds.positive_fraction(), 0.85);
+}
+
+TEST(MakeSynthetic, NoiseFlipsApproximatelyTheStatedFraction) {
+  SyntheticSpec clean = small_spec();
+  clean.label_noise = 0.0;
+  SyntheticSpec noisy = clean;
+  noisy.label_noise = 0.25;
+  const Dataset a = make_synthetic(clean);
+  const Dataset b = make_synthetic(noisy);
+  // Same seed => same features & teacher; only the flips differ.
+  std::size_t flips = 0;
+  for (std::size_t i = 0; i < a.num_samples(); ++i) flips += a.label(i) != b.label(i);
+  const double rate = static_cast<double>(flips) / static_cast<double>(a.num_samples());
+  EXPECT_NEAR(rate, 0.25, 0.03);
+}
+
+TEST(MakeSynthetic, RelevantFeaturesAreUnitInterval) {
+  const Dataset ds = make_synthetic(small_spec());
+  for (std::size_t i = 0; i < 500; ++i) {
+    for (int f = 0; f < 6; ++f) {
+      ASSERT_GE(ds.sample(i)[f], 0.0f);
+      ASSERT_LT(ds.sample(i)[f], 1.0f);
+    }
+  }
+}
+
+TEST(MakeSynthetic, IrrelevantFeaturesAreGaussianish) {
+  const Dataset ds = make_synthetic(small_spec());
+  double sum = 0.0, sq = 0.0;
+  for (std::size_t i = 0; i < ds.num_samples(); ++i) {
+    const float v = ds.sample(i)[7];  // feature 7 > num_relevant-1
+    sum += v;
+    sq += static_cast<double>(v) * v;
+  }
+  const double n = static_cast<double>(ds.num_samples());
+  EXPECT_NEAR(sum / n, 0.0, 0.06);
+  EXPECT_NEAR(sq / n, 1.0, 0.1);
+}
+
+TEST(MakeSynthetic, SpecValidation) {
+  SyntheticSpec s = small_spec();
+  s.num_relevant = 99;
+  EXPECT_THROW(make_synthetic(s), ConfigError);
+  s = small_spec();
+  s.teacher_depth = 0;
+  EXPECT_THROW(make_synthetic(s), ConfigError);
+  s = small_spec();
+  s.label_noise = 0.7;
+  EXPECT_THROW(make_synthetic(s), ConfigError);
+  s = small_spec();
+  s.num_samples = 1;
+  EXPECT_THROW(make_synthetic(s), ConfigError);
+}
+
+TEST(PaperSpecs, MatchTable1FeatureCounts) {
+  EXPECT_EQ(covertype_like_spec(1000).num_features, 54);
+  EXPECT_EQ(susy_like_spec(1000).num_features, 18);
+  EXPECT_EQ(higgs_like_spec(1000).num_features, 28);
+}
+
+TEST(PaperSpecs, GeneratorsProduceNamedDatasets) {
+  EXPECT_EQ(make_covertype_like(100).name(), "covertype-like");
+  EXPECT_EQ(make_susy_like(100).name(), "susy-like");
+  EXPECT_EQ(make_higgs_like(100).name(), "higgs-like");
+}
+
+TEST(RandomQueries, ShapeAndRange) {
+  const Dataset q = make_random_queries(1000, 5);
+  EXPECT_EQ(q.num_samples(), 1000u);
+  EXPECT_EQ(q.num_features(), 5u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    for (std::size_t f = 0; f < 5; ++f) {
+      ASSERT_GE(q.sample(i)[f], 0.0f);
+      ASSERT_LT(q.sample(i)[f], 1.0f);
+    }
+    ASSERT_EQ(q.label(i), 0);
+  }
+}
+
+TEST(RandomQueries, Validation) {
+  EXPECT_THROW(make_random_queries(0, 5), ConfigError);
+  EXPECT_THROW(make_random_queries(5, 0), ConfigError);
+}
+
+}  // namespace
+}  // namespace hrf

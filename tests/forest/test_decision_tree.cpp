@@ -1,0 +1,125 @@
+#include "forest/decision_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../common/paper_example.hpp"
+#include "util/error.hpp"
+
+namespace hrf {
+namespace {
+
+using testutil::fig2_tree;
+
+TEST(DecisionTree, Fig2WalkthroughClassifiesAsA) {
+  // §2.1: feature 1 = 1.25 < 2.5 goes left to leaf node 1, class A (0).
+  const DecisionTree t = fig2_tree();
+  const auto q = testutil::fig2_query_class_a();
+  EXPECT_FLOAT_EQ(t.traverse(q), 0.0f);
+  EXPECT_EQ(t.classify(q), 0);
+}
+
+TEST(DecisionTree, Fig2RightPathsReachEveryLeaf) {
+  const DecisionTree t = fig2_tree();
+  std::vector<float> q(testutil::kFig2Features, 0.0f);
+  // 0 -> 2 -> 3 -> 7 (A): f1>=2.5, f4<0.5, f8<5.4
+  q[1] = 9.f;
+  q[4] = 0.f;
+  q[8] = 0.f;
+  EXPECT_EQ(t.classify(q), 0);
+  // 0 -> 2 -> 3 -> 8 (B): f8 >= 5.4
+  q[8] = 6.f;
+  EXPECT_EQ(t.classify(q), 1);
+  // 0 -> 2 -> 4 -> 5 (B): f4>=0.5, f20<8.8
+  q[4] = 0.9f;
+  q[20] = 0.f;
+  EXPECT_EQ(t.classify(q), 1);
+  // 0 -> 2 -> 4 -> 6 (A): f20 >= 8.8
+  q[20] = 9.f;
+  EXPECT_EQ(t.classify(q), 0);
+}
+
+TEST(DecisionTree, BoundaryComparisonIsStrictLess) {
+  // "f[n] < val": a query exactly at the threshold goes right.
+  const DecisionTree t = fig2_tree();
+  std::vector<float> q(testutil::kFig2Features, 0.0f);
+  q[1] = 2.5f;  // not < 2.5 -> right subtree
+  q[4] = 0.0f;  // < 0.5 -> node 3
+  q[8] = 0.0f;  // < 5.4 -> leaf 7 (A)
+  EXPECT_EQ(t.classify(q), 0);
+}
+
+TEST(DecisionTree, StatsMatchFig2Shape) {
+  const TreeStats s = fig2_tree().stats();
+  EXPECT_EQ(s.node_count, 9u);
+  EXPECT_EQ(s.leaf_count, 5u);
+  EXPECT_EQ(s.max_depth, 4);
+  // Leaves: node 1 at depth 2, nodes 5-8 at depth 4.
+  EXPECT_DOUBLE_EQ(s.mean_leaf_depth, (2.0 + 4 * 4.0) / 5.0);
+}
+
+TEST(DecisionTree, SingleLeafStats) {
+  DecisionTree t({TreeNode{kLeafFeature, 1.0f, -1, -1}});
+  const TreeStats s = t.stats();
+  EXPECT_EQ(s.node_count, 1u);
+  EXPECT_EQ(s.leaf_count, 1u);
+  EXPECT_EQ(s.max_depth, 1);
+}
+
+TEST(DecisionTree, AddNodeReturnsIndex) {
+  DecisionTree t;
+  EXPECT_EQ(t.add_node(TreeNode{}), 0);
+  EXPECT_EQ(t.add_node(TreeNode{}), 1);
+  EXPECT_EQ(t.node_count(), 2u);
+}
+
+TEST(DecisionTreeValidate, AcceptsFig2Tree) {
+  EXPECT_NO_THROW(fig2_tree().validate(testutil::kFig2Features));
+}
+
+TEST(DecisionTreeValidate, RejectsEmptyTree) {
+  DecisionTree t;
+  EXPECT_THROW(t.validate(4), FormatError);
+}
+
+TEST(DecisionTreeValidate, RejectsFeatureOutOfRange) {
+  // Fig. 2 uses feature 20; claiming only 10 features must fail.
+  EXPECT_THROW(fig2_tree().validate(10), FormatError);
+}
+
+TEST(DecisionTreeValidate, RejectsOutOfRangeChild) {
+  DecisionTree t({TreeNode{0, 0.5f, 1, 99}, TreeNode{kLeafFeature, 0.f, -1, -1}});
+  EXPECT_THROW(t.validate(4), FormatError);
+}
+
+TEST(DecisionTreeValidate, RejectsSelfLoop) {
+  DecisionTree t({TreeNode{0, 0.5f, 0, 0}});
+  EXPECT_THROW(t.validate(4), FormatError);
+}
+
+TEST(DecisionTreeValidate, RejectsSharedChild) {
+  // Both children point at node 1: node 1 has two parents.
+  DecisionTree t({TreeNode{0, 0.5f, 1, 1}, TreeNode{kLeafFeature, 0.f, -1, -1}});
+  EXPECT_THROW(t.validate(4), FormatError);
+}
+
+TEST(DecisionTreeValidate, RejectsRootWithParent) {
+  // Node 1 points back to the root.
+  DecisionTree t({TreeNode{0, 0.5f, 1, 2}, TreeNode{0, 0.5f, 0, 2},
+                  TreeNode{kLeafFeature, 0.f, -1, -1}});
+  EXPECT_THROW(t.validate(4), FormatError);
+}
+
+TEST(DecisionTreeValidate, RejectsUnreachableNode) {
+  // Node 3 exists but nothing points at it.
+  DecisionTree t({TreeNode{0, 0.5f, 1, 2}, TreeNode{kLeafFeature, 0.f, -1, -1},
+                  TreeNode{kLeafFeature, 1.f, -1, -1}, TreeNode{kLeafFeature, 1.f, -1, -1}});
+  EXPECT_THROW(t.validate(4), FormatError);
+}
+
+TEST(DecisionTreeValidate, RejectsNonBinaryLeafValue) {
+  DecisionTree t({TreeNode{kLeafFeature, 0.7f, -1, -1}});
+  EXPECT_THROW(t.validate(4), FormatError);
+}
+
+}  // namespace
+}  // namespace hrf

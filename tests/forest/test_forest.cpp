@@ -1,0 +1,168 @@
+#include "forest/forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "../common/paper_example.hpp"
+#include "forest/random_forest_gen.hpp"
+#include "util/error.hpp"
+
+namespace hrf {
+namespace {
+
+/// Forest of three single-leaf trees voting (a, b, c).
+Forest voting_forest(float a, float b, float c) {
+  std::vector<DecisionTree> trees;
+  for (float v : {a, b, c}) trees.push_back(DecisionTree({TreeNode{kLeafFeature, v, -1, -1}}));
+  return Forest(std::move(trees), 1);
+}
+
+TEST(Forest, RejectsEmptyForest) {
+  EXPECT_THROW(Forest({}, 3), ConfigError);
+}
+
+TEST(Forest, RejectsZeroFeatures) {
+  std::vector<DecisionTree> trees;
+  trees.push_back(DecisionTree({TreeNode{kLeafFeature, 0.f, -1, -1}}));
+  EXPECT_THROW(Forest(std::move(trees), 0), ConfigError);
+}
+
+TEST(Forest, MajorityVoteFollowsFig1a) {
+  const float q[1] = {0.0f};
+  EXPECT_EQ(voting_forest(1, 1, 0).classify(q), 1);
+  EXPECT_EQ(voting_forest(0, 0, 1).classify(q), 0);
+  EXPECT_EQ(voting_forest(0, 0, 0).classify(q), 0);
+  EXPECT_EQ(voting_forest(1, 1, 1).classify(q), 1);
+}
+
+TEST(Forest, VoteSumCountsClassBTrees) {
+  const float q[1] = {0.0f};
+  EXPECT_EQ(voting_forest(1, 0, 1).vote_sum(q), 2u);
+}
+
+TEST(Forest, EvenTreeCountTieResolvesToClassB) {
+  // Fig. 1a line 4: tmp < N/2 ? A : B — a 1-1 tie means tmp == N/2 => B.
+  std::vector<DecisionTree> trees;
+  trees.push_back(DecisionTree({TreeNode{kLeafFeature, 0.f, -1, -1}}));
+  trees.push_back(DecisionTree({TreeNode{kLeafFeature, 1.f, -1, -1}}));
+  const Forest f(std::move(trees), 1);
+  const float q[1] = {0.0f};
+  EXPECT_EQ(f.classify(q), 1);
+}
+
+TEST(Forest, ClassifyBatchMatchesScalar) {
+  const Forest f = testutil::fig2_forest();
+  const auto qa = testutil::fig2_query_class_a();
+  const auto qb = testutil::fig2_query_class_b();
+  std::vector<float> matrix;
+  matrix.insert(matrix.end(), qa.begin(), qa.end());
+  matrix.insert(matrix.end(), qb.begin(), qb.end());
+  const auto preds = f.classify_batch(matrix, 2);
+  ASSERT_EQ(preds.size(), 2u);
+  EXPECT_EQ(preds[0], 0);
+  EXPECT_EQ(preds[1], 1);
+}
+
+TEST(Forest, ClassifyBatchRejectsBadShape) {
+  const Forest f = testutil::fig2_forest();
+  std::vector<float> matrix(5, 0.f);
+  EXPECT_THROW(f.classify_batch(matrix, 2), ConfigError);
+}
+
+TEST(Forest, AccuracyCountsMatches) {
+  const Forest f = testutil::fig2_forest();
+  const auto qa = testutil::fig2_query_class_a();
+  const auto qb = testutil::fig2_query_class_b();
+  std::vector<float> matrix;
+  matrix.insert(matrix.end(), qa.begin(), qa.end());
+  matrix.insert(matrix.end(), qb.begin(), qb.end());
+  const std::uint8_t labels_right[2] = {0, 1};
+  const std::uint8_t labels_half[2] = {0, 0};
+  EXPECT_DOUBLE_EQ(f.accuracy(matrix, labels_right), 1.0);
+  EXPECT_DOUBLE_EQ(f.accuracy(matrix, labels_half), 0.5);
+}
+
+TEST(Forest, StatsAggregateOverTrees) {
+  RandomForestSpec spec;
+  spec.num_trees = 5;
+  spec.max_depth = 7;
+  const Forest f = make_random_forest(spec);
+  const ForestStats s = f.stats();
+  EXPECT_EQ(s.tree_count, 5u);
+  EXPECT_EQ(s.max_depth, 7);
+  EXPECT_GT(s.total_nodes, 5u * 7u);
+  EXPECT_GT(s.total_leaves, 0u);
+  EXPECT_GT(s.mean_leaf_depth, 1.0);
+}
+
+TEST(Forest, SaveLoadRoundTrip) {
+  const std::string path = testing::TempDir() + "/hrf_forest_rt.hrff";
+  RandomForestSpec spec;
+  spec.num_trees = 4;
+  spec.max_depth = 6;
+  const Forest f = make_random_forest(spec);
+  f.save(path);
+  const Forest loaded = Forest::load(path);
+  EXPECT_EQ(loaded.tree_count(), f.tree_count());
+  EXPECT_EQ(loaded.num_features(), f.num_features());
+  for (std::size_t t = 0; t < f.tree_count(); ++t) {
+    ASSERT_EQ(loaded.tree(t).node_count(), f.tree(t).node_count());
+    for (std::size_t i = 0; i < f.tree(t).node_count(); ++i) {
+      EXPECT_EQ(loaded.tree(t).node(i).feature, f.tree(t).node(i).feature);
+      EXPECT_FLOAT_EQ(loaded.tree(t).node(i).value, f.tree(t).node(i).value);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Forest, LoadRejectsBadMagic) {
+  const std::string path = testing::TempDir() + "/hrf_forest_badmagic.hrff";
+  std::ofstream(path, std::ios::binary) << "garbage bytes here, not a forest";
+  EXPECT_THROW(Forest::load(path), FormatError);
+  std::remove(path.c_str());
+}
+
+TEST(Forest, LoadRejectsCorruptTopology) {
+  // Valid header, malformed node wiring: load must validate and reject.
+  const std::string path = testing::TempDir() + "/hrf_forest_corrupt.hrff";
+  {
+    std::vector<DecisionTree> trees;
+    trees.push_back(DecisionTree({TreeNode{0, 0.5f, 1, 2}, TreeNode{kLeafFeature, 0.f, -1, -1},
+                                  TreeNode{kLeafFeature, 1.f, -1, -1}}));
+    Forest(std::move(trees), 2).save(path);
+  }
+  // Corrupt the right-child index of the root (point it at itself).
+  std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+  // Header: magic(4) version(4) features(8) trees(8) nodecount(8) = 32 bytes,
+  // then node 0 = {feature(4), value(4), left(4), right(4)}.
+  file.seekp(32 + 12);
+  const std::int32_t self = 0;
+  file.write(reinterpret_cast<const char*>(&self), sizeof self);
+  file.close();
+  EXPECT_THROW(Forest::load(path), FormatError);
+  std::remove(path.c_str());
+}
+
+TEST(Forest, LoadRejectsTruncation) {
+  const std::string path = testing::TempDir() + "/hrf_forest_trunc.hrff";
+  testutil::fig2_forest().save(path);
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream(path, std::ios::binary) << bytes.substr(0, bytes.size() - 16);
+  EXPECT_THROW(Forest::load(path), FormatError);
+  std::remove(path.c_str());
+}
+
+TEST(Forest, ValidatePropagatesTreeErrors) {
+  std::vector<DecisionTree> trees;
+  trees.push_back(DecisionTree({TreeNode{99, 0.5f, 1, 2}, TreeNode{kLeafFeature, 0.f, -1, -1},
+                                TreeNode{kLeafFeature, 1.f, -1, -1}}));
+  const Forest f(std::move(trees), 4);  // feature 99 out of range
+  EXPECT_THROW(f.validate(), FormatError);
+}
+
+}  // namespace
+}  // namespace hrf

@@ -1,0 +1,93 @@
+#include "forest/importance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "data/dataset.hpp"
+#include "train/forest_trainer.hpp"
+#include "util/rng.hpp"
+
+namespace hrf {
+namespace {
+
+TEST(FeatureImportance, SingleSplitGivesAllMassToOneFeature) {
+  std::vector<TreeNode> nodes(3);
+  nodes[0] = {2, 0.5f, 1, 2};
+  nodes[1] = {kLeafFeature, 0.f, -1, -1};
+  nodes[2] = {kLeafFeature, 1.f, -1, -1};
+  std::vector<DecisionTree> trees;
+  trees.emplace_back(std::move(nodes));
+  const Forest f(std::move(trees), 4);
+  const auto imp = feature_importance(f);
+  EXPECT_DOUBLE_EQ(imp[2], 1.0);
+  EXPECT_DOUBLE_EQ(imp[0] + imp[1] + imp[3], 0.0);
+}
+
+TEST(FeatureImportance, NormalizesToOne) {
+  Dataset ds(3000, 5);
+  Xoshiro256 rng(4);
+  std::vector<float> row(5);
+  for (int i = 0; i < 3000; ++i) {
+    for (auto& v : row) v = rng.uniform_float();
+    ds.push_back(row, (row[0] + row[3] > 1.f) ? 1 : 0);
+  }
+  TrainConfig cfg;
+  cfg.num_trees = 10;
+  cfg.max_depth = 8;
+  const Forest f = train_forest(ds, cfg);
+  const auto imp = feature_importance(f);
+  EXPECT_NEAR(std::accumulate(imp.begin(), imp.end(), 0.0), 1.0, 1e-9);
+}
+
+TEST(FeatureImportance, RelevantFeaturesOutrankNoise) {
+  // Label depends on features 0 and 3 only; 1, 2, 4 are noise.
+  Dataset ds(6000, 5);
+  Xoshiro256 rng(5);
+  std::vector<float> row(5);
+  for (int i = 0; i < 6000; ++i) {
+    for (auto& v : row) v = rng.uniform_float();
+    ds.push_back(row, (row[0] + row[3] > 1.f) ? 1 : 0);
+  }
+  TrainConfig cfg;
+  cfg.num_trees = 20;
+  cfg.max_depth = 9;
+  cfg.features_per_split = 5;
+  const Forest f = train_forest(ds, cfg);
+  const auto imp = feature_importance(f);
+  for (std::size_t noise : {1u, 2u, 4u}) {
+    EXPECT_GT(imp[0], imp[noise]);
+    EXPECT_GT(imp[3], imp[noise]);
+  }
+  const auto top = top_features(f, 2);
+  EXPECT_TRUE((top[0] == 0 && top[1] == 3) || (top[0] == 3 && top[1] == 0));
+}
+
+TEST(FeatureImportance, RootSplitsOutweighDeepSplits) {
+  // A tree splitting feature 0 at the root and feature 1 once below must
+  // attribute more mass to feature 0 (mass 1.0 vs 0.5).
+  std::vector<TreeNode> nodes(5);
+  nodes[0] = {0, 0.5f, 1, 2};
+  nodes[1] = {1, 0.25f, 3, 4};
+  nodes[2] = {kLeafFeature, 1.f, -1, -1};
+  nodes[3] = {kLeafFeature, 0.f, -1, -1};
+  nodes[4] = {kLeafFeature, 1.f, -1, -1};
+  std::vector<DecisionTree> trees;
+  trees.emplace_back(std::move(nodes));
+  const Forest f(std::move(trees), 2);
+  const auto imp = feature_importance(f);
+  EXPECT_NEAR(imp[0], 1.0 / 1.5, 1e-12);
+  EXPECT_NEAR(imp[1], 0.5 / 1.5, 1e-12);
+}
+
+TEST(TopFeatures, ClampsToFeatureCount) {
+  std::vector<TreeNode> nodes(1);
+  nodes[0] = {kLeafFeature, 0.f, -1, -1};
+  std::vector<DecisionTree> trees;
+  trees.emplace_back(std::move(nodes));
+  const Forest f(std::move(trees), 3);
+  EXPECT_EQ(top_features(f, 10).size(), 3u);
+}
+
+}  // namespace
+}  // namespace hrf

@@ -1,0 +1,114 @@
+#include "forest/random_forest_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace hrf {
+namespace {
+
+TEST(RandomForestGen, SpecValidation) {
+  RandomForestSpec s;
+  s.num_trees = 0;
+  EXPECT_THROW(make_random_forest(s), ConfigError);
+  s = RandomForestSpec{};
+  s.max_depth = 0;
+  EXPECT_THROW(make_random_forest(s), ConfigError);
+  s = RandomForestSpec{};
+  s.branch_prob = 1.5;
+  EXPECT_THROW(make_random_forest(s), ConfigError);
+  s = RandomForestSpec{};
+  s.num_features = 0;
+  EXPECT_THROW(make_random_forest(s), ConfigError);
+}
+
+TEST(RandomForestGen, ProducesValidForests) {
+  RandomForestSpec s;
+  s.num_trees = 10;
+  s.max_depth = 12;
+  const Forest f = make_random_forest(s);
+  EXPECT_NO_THROW(f.validate());
+  EXPECT_EQ(f.tree_count(), 10u);
+}
+
+TEST(RandomForestGen, SpineGuaranteesExactMaxDepth) {
+  for (int depth : {1, 2, 5, 10, 20}) {
+    RandomForestSpec s;
+    s.num_trees = 3;
+    s.max_depth = depth;
+    s.branch_prob = 0.3;  // sparse: without the spine depth would be lower
+    s.seed = static_cast<std::uint64_t>(depth);
+    const Forest f = make_random_forest(s);
+    for (std::size_t t = 0; t < f.tree_count(); ++t) {
+      EXPECT_EQ(f.tree(t).stats().max_depth, depth) << "tree " << t;
+    }
+  }
+}
+
+TEST(RandomForestGen, BranchProbOneGivesCompleteTrees) {
+  RandomForestSpec s;
+  s.num_trees = 2;
+  s.max_depth = 8;
+  s.branch_prob = 1.0;
+  const Forest f = make_random_forest(s);
+  for (std::size_t t = 0; t < f.tree_count(); ++t) {
+    EXPECT_EQ(f.tree(t).node_count(), complete_tree_nodes(8));
+    EXPECT_EQ(f.tree(t).stats().leaf_count, pow2(7));
+  }
+}
+
+TEST(RandomForestGen, BranchProbZeroGivesSpineOnly) {
+  RandomForestSpec s;
+  s.num_trees = 1;
+  s.max_depth = 6;
+  s.branch_prob = 0.0;
+  const Forest f = make_random_forest(s);
+  // Pure spine: one forced path of 5 inner nodes, each with one leaf
+  // sibling, plus the final leaf -> 11 nodes.
+  EXPECT_EQ(f.tree(0).node_count(), 11u);
+  EXPECT_EQ(f.tree(0).stats().max_depth, 6);
+}
+
+TEST(RandomForestGen, DeterministicUnderSeed) {
+  RandomForestSpec s;
+  s.num_trees = 4;
+  s.max_depth = 9;
+  const Forest a = make_random_forest(s);
+  const Forest b = make_random_forest(s);
+  for (std::size_t t = 0; t < a.tree_count(); ++t) {
+    ASSERT_EQ(a.tree(t).node_count(), b.tree(t).node_count());
+  }
+}
+
+TEST(RandomForestGen, FeaturesWithinRange) {
+  RandomForestSpec s;
+  s.num_trees = 5;
+  s.max_depth = 10;
+  s.num_features = 7;
+  const Forest f = make_random_forest(s);
+  for (std::size_t t = 0; t < f.tree_count(); ++t) {
+    for (const TreeNode& n : f.tree(t).nodes()) {
+      if (!n.is_leaf()) {
+        EXPECT_GE(n.feature, 0);
+        EXPECT_LT(n.feature, 7);
+        EXPECT_GT(n.value, 0.0f);
+        EXPECT_LT(n.value, 1.0f);
+      }
+    }
+  }
+}
+
+TEST(RandomForestGen, SparserProbMeansFewerNodes) {
+  RandomForestSpec dense;
+  dense.num_trees = 5;
+  dense.max_depth = 12;
+  dense.branch_prob = 0.9;
+  RandomForestSpec sparse = dense;
+  sparse.branch_prob = 0.3;
+  EXPECT_GT(make_random_forest(dense).stats().total_nodes,
+            make_random_forest(sparse).stats().total_nodes);
+}
+
+}  // namespace
+}  // namespace hrf

@@ -1,0 +1,137 @@
+#include "fpgasim/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace hrf::fpgasim {
+namespace {
+
+StageModel simple_stage(double ii, std::uint64_t iters) {
+  StageModel s;
+  s.name = "s";
+  s.ii = ii;
+  s.pipeline_depth = 10;
+  s.iterations = iters;
+  return s;
+}
+
+TEST(FpgaPipeline, ValidatesLayout) {
+  const FpgaConfig cfg;
+  EXPECT_THROW(evaluate(cfg, CuLayout{5, 1, 300.0}, {simple_stage(1, 10)}, "1"),
+               hrf::ConfigError);
+  EXPECT_THROW(evaluate(cfg, CuLayout{1, 0, 300.0}, {simple_stage(1, 10)}, "1"),
+               hrf::ConfigError);
+  EXPECT_THROW(evaluate(cfg, CuLayout{}, {}, "1"), hrf::ConfigError);
+  EXPECT_THROW(evaluate(cfg, CuLayout{}, {simple_stage(0, 10)}, "0"), hrf::ConfigError);
+}
+
+TEST(FpgaPipeline, PipelineBoundCyclesFollowTheIiFormula) {
+  const FpgaConfig cfg;
+  const auto r = evaluate(cfg, CuLayout{}, {simple_stage(76, 1'000'000)}, "76");
+  // depth + II * iters, inflated by the base stall only.
+  const double expected = (10 + 76.0 * 1e6) / (1.0 - cfg.base_stall) / 300e6;
+  EXPECT_NEAR(r.seconds, expected, expected * 1e-9);
+  EXPECT_EQ(r.limiter, "pipeline");
+  EXPECT_NEAR(r.stall_pct, cfg.base_stall * 100.0, 0.01);
+}
+
+TEST(FpgaPipeline, ReportEchoesMetadata) {
+  const FpgaConfig cfg;
+  const auto r = evaluate(cfg, CuLayout{2, 3, 250.0}, {simple_stage(3, 100)}, "3/76");
+  EXPECT_EQ(r.ii_desc, "3/76");
+  EXPECT_DOUBLE_EQ(r.clock_mhz, 250.0);
+  ASSERT_EQ(r.stage_names.size(), 1u);
+  EXPECT_EQ(r.stage_names[0], "s");
+}
+
+TEST(FpgaPipeline, ReplicationDividesPipelineTime) {
+  const FpgaConfig cfg;
+  const auto one = evaluate(cfg, CuLayout{1, 1, 300.0}, {simple_stage(76, 48'000'000)}, "76");
+  const auto rep = evaluate(cfg, CuLayout{4, 12, 300.0}, {simple_stage(76, 48'000'000)}, "76");
+  EXPECT_NEAR(one.seconds / rep.seconds, 48.0, 0.5);
+}
+
+TEST(FpgaPipeline, NonReplicatedStageOnlySplitsAcrossSlrs) {
+  const FpgaConfig cfg;
+  StageModel s = simple_stage(3, 48'000'000);
+  s.replicate_within_slr = false;
+  const auto one = evaluate(cfg, CuLayout{1, 1, 300.0}, {s}, "3");
+  const auto rep = evaluate(cfg, CuLayout{4, 12, 300.0}, {s}, "3");
+  EXPECT_NEAR(one.seconds / rep.seconds, 4.0, 0.1);
+}
+
+TEST(FpgaPipeline, RandomAccessesCanDominate) {
+  const FpgaConfig cfg;
+  StageModel s = simple_stage(3, 1'000'000);
+  s.random_accesses = 2'000'000;  // 2 per iteration at II 3: heavy demand
+  const auto r = evaluate(cfg, CuLayout{}, {s}, "3");
+  EXPECT_EQ(r.limiter, "memory");
+  EXPECT_GT(r.stall_pct, 60.0);
+  const auto light = evaluate(cfg, CuLayout{}, {simple_stage(3, 1'000'000)}, "3");
+  EXPECT_GT(r.seconds, 5.0 * light.seconds);
+}
+
+TEST(FpgaPipeline, GentleRandomTrafficHidesUnderPipeline) {
+  const FpgaConfig cfg;
+  StageModel s = simple_stage(292, 1'000'000);
+  s.random_accesses = 5'000'000;  // 5 per iteration at II 292: easily hidden
+  const auto r = evaluate(cfg, CuLayout{}, {s}, "292");
+  EXPECT_EQ(r.limiter, "pipeline");
+  EXPECT_NEAR(r.stall_pct, cfg.base_stall * 100.0, 0.1);
+}
+
+TEST(FpgaPipeline, BurstTrafficUsesFullBandwidth) {
+  const FpgaConfig cfg;
+  StageModel s = simple_stage(1, 1000);
+  s.burst_accesses = 64'000'000;  // 4 GB of bursts
+  const auto r = evaluate(cfg, CuLayout{}, {s}, "1");
+  // 64e6 bursts * 64 B / 19.2 GB/s ~= 0.213 s, plus base stall.
+  const double expected = 64e6 * 64 / 19.2e9 / (1.0 - cfg.base_stall);
+  EXPECT_NEAR(r.seconds, expected, expected * 0.01);
+}
+
+TEST(FpgaPipeline, StagesAccumulateSequentially) {
+  const FpgaConfig cfg;
+  const auto a = evaluate(cfg, CuLayout{}, {simple_stage(3, 1000)}, "3");
+  const auto b =
+      evaluate(cfg, CuLayout{}, {simple_stage(3, 1000), simple_stage(76, 1000)}, "3/76");
+  EXPECT_GT(b.seconds, a.seconds);
+  EXPECT_EQ(b.stage_names.size(), 2u);
+}
+
+TEST(FpgaPipeline, LowerClockIsSlower) {
+  const FpgaConfig cfg;
+  const auto fast = evaluate(cfg, CuLayout{1, 1, 300.0}, {simple_stage(76, 1'000'000)}, "76");
+  const auto slow = evaluate(cfg, CuLayout{1, 1, 245.0}, {simple_stage(76, 1'000'000)}, "76");
+  EXPECT_NEAR(slow.seconds / fast.seconds, 300.0 / 245.0, 1e-6);
+}
+
+TEST(FpgaPipeline, SoloCuGetsDeeperOutstandingQueue) {
+  // A single CU that owns its channel services random reads faster per CU
+  // than one of twelve contending CUs.
+  const FpgaConfig cfg;
+  StageModel s = simple_stage(3, 10'000'000);
+  s.random_accesses = 10'000'000;
+  const auto solo = evaluate(cfg, CuLayout{1, 1, 300.0}, {s}, "3");
+  // Same per-CU work with 12 CUs: 12x the total work on one SLR.
+  StageModel s12 = s;
+  s12.iterations *= 12;
+  s12.random_accesses *= 12;
+  const auto twelve = evaluate(cfg, CuLayout{1, 12, 300.0}, {s12}, "3");
+  // Not 12x worse: the channel aggregates outstanding requests.
+  EXPECT_LT(twelve.seconds, 12.0 * solo.seconds);
+  EXPECT_GT(twelve.seconds, solo.seconds);
+}
+
+TEST(FpgaConfig, AlveoPresetMatchesPaperNumbers) {
+  const FpgaConfig cfg = FpgaConfig::alveo_u250();
+  EXPECT_EQ(cfg.num_slrs, 4);
+  EXPECT_DOUBLE_EQ(cfg.clock_mhz, 300.0);
+  EXPECT_NEAR(cfg.channel_gbps * 4, 76.8, 0.1);  // ~77 GB/s total (§4.5)
+  EXPECT_EQ(cfg.onchip_bytes_per_slr, 13'500'000u);  // 13.5 MB per SLR (§2.3)
+  EXPECT_NEAR(cfg.burst_bytes_per_cycle(), 64.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace hrf::fpgasim

@@ -1,0 +1,99 @@
+#include "fpgasim/resources.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace hrf::fpgasim {
+namespace {
+
+HierConfig layout_sd(int sd, int rsd = 0) {
+  HierConfig cfg;
+  cfg.subtree_depth = sd;
+  cfg.root_subtree_depth = rsd;
+  return cfg;
+}
+
+TEST(Resources, PaperPlacementsAreReproduced) {
+  // §4.4: independent and hybrid close timing at 4 SLRs x 12 CUs and
+  // 300 MHz; the split hybrid fits only 10 stage-2 CUs per SLR next to
+  // its stage-1 CU and drops to 245 MHz.
+  const HierConfig layout = layout_sd(10);
+  const auto indep12 = check_placement(FpgaKernelKind::Independent, 12, layout);
+  EXPECT_TRUE(indep12.fits);
+  EXPECT_DOUBLE_EQ(indep12.clock_mhz, 300.0);
+
+  const auto hybrid12 = check_placement(FpgaKernelKind::Hybrid, 12, layout);
+  EXPECT_TRUE(hybrid12.fits);
+  EXPECT_DOUBLE_EQ(hybrid12.clock_mhz, 300.0);
+
+  EXPECT_EQ(max_cus_per_slr(FpgaKernelKind::HybridSplitStage2, layout,
+                            SlrBudget::alveo_u250_slr(), /*add_split_stage1=*/true),
+            10);
+  const auto split10 = check_placement(FpgaKernelKind::HybridSplitStage2, 10, layout,
+                                       SlrBudget::alveo_u250_slr(), true);
+  EXPECT_TRUE(split10.fits);
+  EXPECT_LT(split10.clock_mhz, 300.0);  // congestion derate, paper: 245 MHz
+  EXPECT_NEAR(split10.clock_mhz, 245.0, 20.0);
+}
+
+TEST(Resources, SplitStage2DoesNotFitTwelve) {
+  const HierConfig layout = layout_sd(10);
+  EXPECT_FALSE(check_placement(FpgaKernelKind::HybridSplitStage2, 12, layout,
+                               SlrBudget::alveo_u250_slr(), true)
+                   .fits);
+  EXPECT_FALSE(check_placement(FpgaKernelKind::HybridSplitStage2, 11, layout,
+                               SlrBudget::alveo_u250_slr(), true)
+                   .fits);
+}
+
+TEST(Resources, BiggerRootSubtreeCostsMoreMemoryBlocks) {
+  const auto small = estimate_cu_resources(FpgaKernelKind::Hybrid, layout_sd(8, 8));
+  const auto big = estimate_cu_resources(FpgaKernelKind::Hybrid, layout_sd(8, 14));
+  EXPECT_GT(big.urams + big.bram36, small.urams + small.bram36);
+}
+
+TEST(Resources, CollaborativeBuffersScaleWithSubtreeDepth) {
+  const auto sd4 = estimate_cu_resources(FpgaKernelKind::Collaborative, layout_sd(4));
+  const auto sd14 = estimate_cu_resources(FpgaKernelKind::Collaborative, layout_sd(14));
+  EXPECT_GT(sd14.urams + sd14.bram36, sd4.urams + sd4.bram36);
+}
+
+TEST(Resources, HugeRootSubtreeExhaustsUram) {
+  // RSD 24 needs (2^24 - 1) * 8 B = 134 MB of on-chip buffer: impossible.
+  const auto report =
+      check_placement(FpgaKernelKind::Hybrid, 1, layout_sd(8, 24));
+  EXPECT_FALSE(report.fits);
+}
+
+TEST(Resources, UsageAccumulates) {
+  ResourceUsage a{1, 2, 3, 4, 5};
+  const ResourceUsage b{10, 20, 30, 40, 50};
+  a += b;
+  EXPECT_EQ(a.luts, 11u);
+  EXPECT_EQ(a.dsps, 55u);
+}
+
+TEST(Resources, PlacementValidatesInput) {
+  EXPECT_THROW(check_placement(FpgaKernelKind::Csr, 0, layout_sd(4)), hrf::ConfigError);
+}
+
+TEST(Resources, MaxCusIsMonotoneInCuSize) {
+  // The CSR CU is smaller than the split stage-2 CU, so more of them fit.
+  const HierConfig layout = layout_sd(8);
+  EXPECT_GE(max_cus_per_slr(FpgaKernelKind::Csr, layout),
+            max_cus_per_slr(FpgaKernelKind::HybridSplitStage2, layout));
+}
+
+TEST(Resources, KindNamesAreStable) {
+  EXPECT_STREQ(to_string(FpgaKernelKind::Independent), "independent");
+  EXPECT_STREQ(to_string(FpgaKernelKind::HybridSplitStage1), "hybrid-split-stage1");
+}
+
+TEST(Resources, DetailStringMentionsFit) {
+  const auto ok = check_placement(FpgaKernelKind::Independent, 2, layout_sd(6));
+  EXPECT_NE(ok.detail.find("fits"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hrf::fpgasim

@@ -1,0 +1,87 @@
+#include "gpusim/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace hrf::gpusim {
+namespace {
+
+TEST(Cache, ConstructorValidation) {
+  EXPECT_THROW(Cache(1024, 4, 100), hrf::ConfigError);  // line not pow2
+  EXPECT_THROW(Cache(0, 1, 128), hrf::ConfigError);     // smaller than a set
+  EXPECT_THROW(Cache(128, 3, 128), hrf::ConfigError);   // ways don't divide
+  EXPECT_NO_THROW(Cache(3 * 1024 * 1024, 16, 128));     // the TITAN Xp L2
+}
+
+TEST(Cache, MissThenHit) {
+  Cache c(1024, 2, 128);
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(0));
+  EXPECT_TRUE(c.access(64));  // same 128 B line
+  EXPECT_FALSE(c.access(128));
+}
+
+TEST(Cache, GeometryAccessors) {
+  Cache c(1024, 2, 128);
+  EXPECT_EQ(c.capacity_bytes(), 1024u);
+  EXPECT_EQ(c.line_bytes(), 128u);
+  EXPECT_EQ(c.ways(), 2);
+  EXPECT_EQ(c.num_sets(), 4u);
+}
+
+TEST(Cache, LruEvictsOldestWay) {
+  // 4 sets x 2 ways; lines mapping to set 0: line ids 0, 4, 8 (stride 4).
+  Cache c(1024, 2, 128);
+  EXPECT_FALSE(c.access(0 * 128));
+  EXPECT_FALSE(c.access(4 * 128));
+  EXPECT_FALSE(c.access(8 * 128));   // evicts line 0
+  EXPECT_FALSE(c.access(0 * 128));   // line 0 is gone
+  EXPECT_TRUE(c.access(8 * 128));    // line 8 still resident
+}
+
+TEST(Cache, LruRefreshOnHit) {
+  Cache c(1024, 2, 128);
+  c.access(0 * 128);
+  c.access(4 * 128);
+  c.access(0 * 128);                 // refresh line 0: line 4 is now LRU
+  EXPECT_FALSE(c.access(8 * 128));   // evicts line 4
+  EXPECT_TRUE(c.access(0 * 128));
+  EXPECT_FALSE(c.access(4 * 128));
+}
+
+TEST(Cache, SetsAreIndependent) {
+  Cache c(1024, 2, 128);
+  // Fill set 0 beyond capacity; set 1 must be untouched.
+  c.access(1 * 128);  // set 1
+  c.access(0 * 128);
+  c.access(4 * 128);
+  c.access(8 * 128);
+  EXPECT_TRUE(c.access(1 * 128));
+}
+
+TEST(Cache, FlushForgetsEverything) {
+  Cache c(1024, 2, 128);
+  c.access(0);
+  c.flush();
+  EXPECT_FALSE(c.access(0));
+}
+
+TEST(Cache, FullyAssociativeWhenOneSet) {
+  Cache c(512, 4, 128);  // 4 lines, 4 ways -> 1 set
+  EXPECT_EQ(c.num_sets(), 1u);
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(c.access(static_cast<std::uint64_t>(i) * 128));
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(c.access(static_cast<std::uint64_t>(i) * 128));
+  EXPECT_FALSE(c.access(4 * 128));  // evicts line 0 (LRU)
+  EXPECT_FALSE(c.access(0 * 128));
+}
+
+TEST(Cache, LargeAddressesWork) {
+  Cache c(1024, 2, 128);
+  const std::uint64_t big = 0x7fffffff0000ULL;
+  EXPECT_FALSE(c.access(big));
+  EXPECT_TRUE(c.access(big + 1));
+}
+
+}  // namespace
+}  // namespace hrf::gpusim

@@ -1,0 +1,265 @@
+#include "gpusim/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "gpusim/device_array.hpp"
+#include "util/error.hpp"
+
+namespace hrf::gpusim {
+namespace {
+
+DeviceConfig tiny_config() {
+  DeviceConfig cfg = DeviceConfig::titan_xp();
+  cfg.num_sms = 2;
+  return cfg;
+}
+
+TEST(Device, AllocIsAlignedAndMonotonic) {
+  Device d(tiny_config());
+  const std::uint64_t a = d.alloc(100);
+  const std::uint64_t b = d.alloc(100);
+  EXPECT_EQ(a % 256, 0u);
+  EXPECT_EQ(b % 256, 0u);
+  EXPECT_GE(b, a + 100);
+  EXPECT_GT(a, 0u);  // address 0 stays invalid
+}
+
+TEST(Device, CoalescedWarpLoadIsOneTransaction) {
+  Device d(tiny_config());
+  std::array<std::uint64_t, 32> addrs{};
+  const std::uint64_t base = d.alloc(4096);
+  for (int l = 0; l < 32; ++l) addrs[l] = base + static_cast<std::uint64_t>(l) * 4;
+  d.warp_load(0, addrs, 0xffffffffu, 4);
+  EXPECT_EQ(d.counters().gld_requests, 1u);
+  EXPECT_EQ(d.counters().gld_transactions, 1u);  // 32 x 4B = one 128 B line
+}
+
+TEST(Device, ScatteredWarpLoadIsManyTransactions) {
+  Device d(tiny_config());
+  std::array<std::uint64_t, 32> addrs{};
+  const std::uint64_t base = d.alloc(1 << 20);
+  for (int l = 0; l < 32; ++l) addrs[l] = base + static_cast<std::uint64_t>(l) * 4096;
+  d.warp_load(0, addrs, 0xffffffffu, 4);
+  EXPECT_EQ(d.counters().gld_transactions, 32u);
+  EXPECT_DOUBLE_EQ(d.counters().transactions_per_request(), 32.0);
+}
+
+TEST(Device, InactiveLanesDoNotIssue) {
+  Device d(tiny_config());
+  std::array<std::uint64_t, 32> addrs{};
+  const std::uint64_t base = d.alloc(1 << 20);
+  for (int l = 0; l < 32; ++l) addrs[l] = base + static_cast<std::uint64_t>(l) * 4096;
+  d.warp_load(0, addrs, 0x3u, 4);  // only lanes 0 and 1
+  EXPECT_EQ(d.counters().gld_transactions, 2u);
+}
+
+TEST(Device, EmptyMaskIsFree) {
+  Device d(tiny_config());
+  std::array<std::uint64_t, 32> addrs{};
+  d.warp_load(0, addrs, 0u, 4);
+  EXPECT_EQ(d.counters().gld_requests, 0u);
+  EXPECT_EQ(d.counters().warp_instructions, 0u);
+}
+
+TEST(Device, CacheHierarchyCountsHits) {
+  Device d(tiny_config());
+  std::array<std::uint64_t, 32> addrs{};
+  const std::uint64_t base = d.alloc(4096);
+  for (int l = 0; l < 32; ++l) addrs[l] = base;
+  d.warp_load(0, addrs, 0xffffffffu, 4);  // cold: DRAM
+  EXPECT_EQ(d.counters().dram_transactions, 1u);
+  d.warp_load(0, addrs, 0xffffffffu, 4);  // warm: L1
+  EXPECT_EQ(d.counters().l1_hits, 1u);
+  // Same line from a different SM: misses its L1, hits shared L2.
+  d.warp_load(1, addrs, 0xffffffffu, 4);
+  EXPECT_EQ(d.counters().l2_hits, 1u);
+  EXPECT_EQ(d.counters().dram_transactions, 1u);
+}
+
+TEST(Device, FlushCachesForcesDram) {
+  Device d(tiny_config());
+  std::array<std::uint64_t, 32> addrs{};
+  for (int l = 0; l < 32; ++l) addrs[l] = d.alloc(0) + 4;
+  d.warp_load(0, addrs, 0xffffffffu, 4);
+  d.flush_caches();
+  d.warp_load(0, addrs, 0xffffffffu, 4);
+  EXPECT_EQ(d.counters().dram_transactions, 2u);
+}
+
+TEST(Device, BranchUniformityDetection) {
+  Device d(tiny_config());
+  d.warp_branch(0xffffffffu, 0xffffffffu);  // all taken: uniform
+  d.warp_branch(0x0u, 0xffffffffu);         // none taken: uniform
+  d.warp_branch(0x1u, 0xffffffffu);         // split: divergent
+  d.warp_branch(0x1u, 0x1u);                // only active lane takes: uniform
+  d.warp_branch(0x2u, 0x3u);                // split among active: divergent
+  EXPECT_EQ(d.counters().branches, 5u);
+  EXPECT_EQ(d.counters().divergent_branches, 2u);
+  EXPECT_DOUBLE_EQ(d.counters().branch_efficiency(), 0.6);
+}
+
+TEST(Device, BranchWithNoActiveLanesIgnored) {
+  Device d(tiny_config());
+  d.warp_branch(0x5u, 0x0u);
+  EXPECT_EQ(d.counters().branches, 0u);
+}
+
+TEST(Device, SharedMemoryCountsAsInstructions) {
+  Device d(tiny_config());
+  d.smem_load(3);
+  d.smem_store(2);
+  EXPECT_EQ(d.counters().smem_loads, 3u);
+  EXPECT_EQ(d.counters().smem_stores, 2u);
+  EXPECT_EQ(d.counters().warp_instructions, 5u);
+}
+
+TEST(Device, StoreCountsTransactionsWithoutCacheInstall) {
+  Device d(tiny_config());
+  std::array<std::uint64_t, 32> addrs{};
+  const std::uint64_t base = d.alloc(4096);
+  for (int l = 0; l < 32; ++l) addrs[l] = base + static_cast<std::uint64_t>(l);
+  d.warp_store(0, addrs, 0xffffffffu, 1);
+  EXPECT_EQ(d.counters().gst_requests, 1u);
+  EXPECT_EQ(d.counters().gst_transactions, 1u);
+  // The store must not have warmed the read caches.
+  d.warp_load(0, addrs, 0x1u, 1);
+  EXPECT_EQ(d.counters().dram_transactions, 1u);
+}
+
+TEST(Device, ResetCountersZeroesEverything) {
+  Device d(tiny_config());
+  d.smem_load(5);
+  d.warp_branch(1, 3);
+  d.reset_counters();
+  EXPECT_EQ(d.counters().warp_instructions, 0u);
+  EXPECT_EQ(d.counters().branches, 0u);
+}
+
+TEST(Device, TimingRooflinePicksTheLimiter) {
+  DeviceConfig cfg = tiny_config();
+  Device compute_bound(cfg);
+  compute_bound.add_instructions(1'000'000);
+  EXPECT_EQ(compute_bound.estimate().limiter, "compute");
+  EXPECT_GT(compute_bound.estimate().seconds, 0.0);
+
+  Device mem_bound(cfg);
+  // Stream many distinct lines through: all DRAM.
+  std::array<std::uint64_t, 32> addrs{};
+  std::uint64_t base = mem_bound.alloc(1 << 26);
+  for (int rep = 0; rep < 2000; ++rep) {
+    for (int l = 0; l < 32; ++l) {
+      addrs[l] = base + (static_cast<std::uint64_t>(rep) * 32 + l) * 4096;
+    }
+    mem_bound.warp_load(0, addrs, 0xffffffffu, 4);
+  }
+  EXPECT_EQ(mem_bound.estimate().limiter, "dram");
+}
+
+TEST(Device, TimingScalesWithWork) {
+  Device d(tiny_config());
+  d.add_instructions(1000);
+  const double t1 = d.estimate().seconds;
+  d.add_instructions(9000);
+  const double t2 = d.estimate().seconds;
+  EXPECT_NEAR(t2 / t1, 10.0, 1e-9);
+}
+
+TEST(Device, DivergencePenaltyAddsComputeCycles) {
+  DeviceConfig cfg = tiny_config();
+  cfg.divergence_penalty = 10.0;
+  Device d(cfg);
+  d.warp_branch(0x1u, 0x3u);  // divergent
+  const Timing t = d.estimate();
+  // 1 instruction + 10 penalty cycles over (2 SMs * 4 issue).
+  EXPECT_NEAR(t.compute_cycles, 11.0 / 8.0, 1e-12);
+}
+
+TEST(Device, ConfigValidation) {
+  DeviceConfig cfg = tiny_config();
+  cfg.num_sms = 0;
+  EXPECT_THROW(Device{cfg}, hrf::ConfigError);
+}
+
+TEST(DeviceArray, AddressesAreContiguousTyped) {
+  Device d(tiny_config());
+  const std::vector<float> host{1.f, 2.f, 3.f};
+  DeviceArray<float> arr(d, host);
+  EXPECT_EQ(arr.size(), 3u);
+  EXPECT_FLOAT_EQ(arr[1], 2.f);
+  EXPECT_EQ(arr.addr(2) - arr.addr(0), 8u);
+  EXPECT_EQ(arr.addr(0), arr.base());
+}
+
+TEST(DeviceArray, DistinctArraysDoNotOverlap) {
+  Device d(tiny_config());
+  const std::vector<std::int32_t> a(100), b(100);
+  DeviceArray<std::int32_t> da(d, a), db(d, b);
+  EXPECT_GE(db.base(), da.base() + 100 * sizeof(std::int32_t));
+}
+
+TEST(Device, TemporalHintServesRetouchesFromL2) {
+  DeviceConfig cfg = tiny_config();
+  cfg.l1_for_global_loads = false;
+  Device d(cfg);
+  std::array<std::uint64_t, 32> addrs{};
+  const std::uint64_t hot = d.alloc(128);
+  const std::uint64_t cold_base = d.alloc(1 << 22);
+
+  // Touch the hot line with the temporal hint, evict it from L2 with a
+  // large sweep, touch it again: a default load would pay DRAM twice, the
+  // temporal hint pays DRAM once and L2 after.
+  for (auto& a : addrs) a = hot;
+  d.warp_load(0, addrs, 0xffffffffu, 8, Device::LoadHint::kTemporal);
+  EXPECT_EQ(d.counters().dram_transactions, 1u);
+  for (int rep = 0; rep < 40000; ++rep) {
+    for (int l = 0; l < 32; ++l) {
+      addrs[l] = cold_base + (static_cast<std::uint64_t>(rep) * 32 + l) * 128 % (1 << 22);
+    }
+    d.warp_load(0, addrs, 0xffffffffu, 4);
+  }
+  const std::uint64_t dram_before = d.counters().dram_transactions;
+  for (auto& a : addrs) a = hot;
+  d.warp_load(0, addrs, 0xffffffffu, 8, Device::LoadHint::kTemporal);
+  EXPECT_EQ(d.counters().dram_transactions, dram_before);  // served as L2 hit
+}
+
+TEST(Device, AtomicRmwCountsLoadStoreAndSerialization) {
+  Device d(tiny_config());
+  std::array<std::uint64_t, 32> addrs{};
+  const std::uint64_t base = d.alloc(4096);
+  for (int l = 0; l < 32; ++l) addrs[l] = base + static_cast<std::uint64_t>(l) * 4;
+  d.warp_atomic_rmw(0, addrs, 0xffffffffu, 4);
+  EXPECT_EQ(d.counters().atomic_transactions, 1u);  // one coalesced line
+  EXPECT_EQ(d.counters().gld_transactions, 1u);
+  EXPECT_EQ(d.counters().gst_transactions, 1u);
+  const Timing t = d.estimate();
+  EXPECT_DOUBLE_EQ(t.atomic_cycles, tiny_config().atomic_rmw_cycles);
+}
+
+TEST(Device, AtomicCyclesAreAdditive) {
+  DeviceConfig cfg = tiny_config();
+  cfg.atomic_rmw_cycles = 100.0;
+  Device d(cfg);
+  d.add_instructions(800);  // 100 compute cycles at 8 issue/cycle
+  std::array<std::uint64_t, 32> addrs{};
+  const std::uint64_t base = d.alloc(1 << 16);
+  for (int l = 0; l < 32; ++l) addrs[l] = base + static_cast<std::uint64_t>(l) * 4096;
+  d.warp_atomic_rmw(0, addrs, 0xffffffffu, 4);  // 32 lines -> 3200 atomic cycles
+  const Timing t = d.estimate();
+  EXPECT_DOUBLE_EQ(t.atomic_cycles, 3200.0);
+  EXPECT_GE(t.cycles, t.atomic_cycles);  // added on top of the roofline max
+}
+
+TEST(Device, TemporalHintFirstTouchStillPaysDram) {
+  Device d(tiny_config());
+  std::array<std::uint64_t, 32> addrs{};
+  const std::uint64_t base = d.alloc(4096);
+  for (int l = 0; l < 32; ++l) addrs[l] = base + static_cast<std::uint64_t>(l) * 128;
+  d.warp_load(0, addrs, 0xffffffffu, 8, Device::LoadHint::kTemporal);
+  EXPECT_EQ(d.counters().dram_transactions, 32u);
+}
+
+}  // namespace
+}  // namespace hrf::gpusim

@@ -1,0 +1,178 @@
+// End-to-end integration: generate a paper-like dataset, train a forest,
+// build both layouts, classify on every backend and verify that (a) all
+// backends agree bit-for-bit, (b) accuracy lands in the expected band,
+// and (c) the paper's headline performance orderings hold on the
+// simulated devices.
+
+#include <gtest/gtest.h>
+
+#include "core/hrf.hpp"
+
+namespace hrf {
+namespace {
+
+class EndToEnd : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticSpec sp = susy_like_spec(24'000);
+    data_ = new Dataset(make_synthetic(sp));
+    auto [train, test] = data_->split();
+    train_ = new Dataset(std::move(train));
+    test_ = new Dataset(std::move(test));
+    TrainConfig tc;
+    tc.num_trees = 30;
+    tc.max_depth = 14;
+    forest_ = new Forest(train_forest(*train_, tc));
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    delete train_;
+    delete test_;
+    delete forest_;
+    data_ = train_ = test_ = nullptr;
+    forest_ = nullptr;
+  }
+
+  static gpusim::DeviceConfig small_gpu() {
+    auto cfg = gpusim::DeviceConfig::titan_xp();
+    cfg.num_sms = 4;
+    return cfg;
+  }
+
+  static Dataset* data_;
+  static Dataset* train_;
+  static Dataset* test_;
+  static Forest* forest_;
+};
+
+Dataset* EndToEnd::data_ = nullptr;
+Dataset* EndToEnd::train_ = nullptr;
+Dataset* EndToEnd::test_ = nullptr;
+Forest* EndToEnd::forest_ = nullptr;
+
+TEST_F(EndToEnd, TrainedForestIsValidAndDeep) {
+  forest_->validate();
+  const ForestStats s = forest_->stats();
+  EXPECT_EQ(s.tree_count, 30u);
+  EXPECT_EQ(s.max_depth, 14);  // noise keeps trees growing to the cap
+}
+
+TEST_F(EndToEnd, AccuracyInExpectedBand) {
+  // susy-like ceiling is 1 - 0.18; at depth 14 with 30 trees the model
+  // should be within a few points of it (and far above chance).
+  const double acc = forest_->accuracy(test_->features(), test_->labels());
+  EXPECT_GT(acc, 0.72);
+  EXPECT_LT(acc, 0.85);
+}
+
+TEST_F(EndToEnd, EveryBackendVariantComboAgrees) {
+  const auto reference = forest_->classify_batch(test_->features(), test_->num_samples());
+
+  const std::pair<Backend, Variant> combos[] = {
+      {Backend::CpuNative, Variant::Csr},      {Backend::CpuNative, Variant::Independent},
+      {Backend::GpuSim, Variant::Csr},         {Backend::GpuSim, Variant::Independent},
+      {Backend::GpuSim, Variant::Hybrid},      {Backend::GpuSim, Variant::FilBaseline},
+      {Backend::FpgaSim, Variant::Csr},        {Backend::FpgaSim, Variant::Independent},
+      {Backend::FpgaSim, Variant::Collaborative}, {Backend::FpgaSim, Variant::Hybrid},
+  };
+  for (const auto& [backend, variant] : combos) {
+    ClassifierOptions opt;
+    opt.backend = backend;
+    opt.variant = variant;
+    opt.layout.subtree_depth = 6;
+    opt.layout.root_subtree_depth = 8;
+    opt.gpu = small_gpu();
+    const Classifier clf(Forest(*forest_), opt);
+    const RunReport r = clf.classify(*test_);
+    ASSERT_EQ(r.predictions.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      ASSERT_EQ(r.predictions[i], reference[i])
+          << to_string(backend) << "/" << to_string(variant) << " query " << i;
+    }
+  }
+}
+
+TEST_F(EndToEnd, GpuSpeedupOrderingMatchesFig7) {
+  // Hybrid > independent > CSR in simulated speed; cuML sits between
+  // CSR and hybrid (Fig. 7's qualitative result).
+  ClassifierOptions opt;
+  opt.backend = Backend::GpuSim;
+  opt.gpu = small_gpu();
+  opt.layout.subtree_depth = 8;
+  opt.layout.root_subtree_depth = 10;
+
+  opt.variant = Variant::Csr;
+  const double t_csr = Classifier(Forest(*forest_), opt).classify(*test_).seconds;
+  opt.variant = Variant::Independent;
+  const double t_ind = Classifier(Forest(*forest_), opt).classify(*test_).seconds;
+  opt.variant = Variant::Hybrid;
+  const double t_hyb = Classifier(Forest(*forest_), opt).classify(*test_).seconds;
+  opt.variant = Variant::FilBaseline;
+  const double t_fil = Classifier(Forest(*forest_), opt).classify(*test_).seconds;
+
+  EXPECT_LT(t_ind, t_csr);
+  EXPECT_LT(t_hyb, t_ind);
+  EXPECT_LT(t_fil, t_csr);
+  EXPECT_GT(t_csr / t_hyb, 2.0);  // hybrid speedup well above 2x
+}
+
+TEST_F(EndToEnd, FpgaOrderingMatchesTable3) {
+  ClassifierOptions opt;
+  opt.backend = Backend::FpgaSim;
+  opt.layout.subtree_depth = 8;
+
+  opt.variant = Variant::Csr;
+  const double t_csr = Classifier(Forest(*forest_), opt).classify(*test_).seconds;
+  opt.variant = Variant::Independent;
+  const double t_ind = Classifier(Forest(*forest_), opt).classify(*test_).seconds;
+  opt.variant = Variant::Hybrid;
+  const double t_hyb = Classifier(Forest(*forest_), opt).classify(*test_).seconds;
+  opt.variant = Variant::Collaborative;
+  const double t_col = Classifier(Forest(*forest_), opt).classify(*test_).seconds;
+
+  EXPECT_LT(t_hyb, t_ind);
+  EXPECT_LT(t_ind, t_csr);
+  EXPECT_GT(t_col, t_csr);  // collaborative loses even to the baseline
+}
+
+TEST_F(EndToEnd, FpgaReplicationAcceleratesIndependent) {
+  ClassifierOptions opt;
+  opt.backend = Backend::FpgaSim;
+  opt.variant = Variant::Independent;
+  opt.layout.subtree_depth = 8;
+  const double single = Classifier(Forest(*forest_), opt).classify(*test_).seconds;
+  opt.fpga_layout = fpgasim::CuLayout{4, 12, 300.0};
+  const double replicated = Classifier(Forest(*forest_), opt).classify(*test_).seconds;
+  EXPECT_GT(single / replicated, 10.0);
+}
+
+TEST_F(EndToEnd, GpuIsFasterThanFpga) {
+  // Fig. 10: the GPU massively outperforms the FPGA on SUSY.
+  ClassifierOptions gpu_opt;
+  gpu_opt.backend = Backend::GpuSim;
+  gpu_opt.variant = Variant::Hybrid;
+  gpu_opt.gpu = small_gpu();
+  gpu_opt.layout.subtree_depth = 8;
+  const double t_gpu = Classifier(Forest(*forest_), gpu_opt).classify(*test_).seconds;
+
+  ClassifierOptions fpga_opt;
+  fpga_opt.backend = Backend::FpgaSim;
+  fpga_opt.variant = Variant::Independent;
+  fpga_opt.layout.subtree_depth = 8;
+  const double t_fpga = Classifier(Forest(*forest_), fpga_opt).classify(*test_).seconds;
+
+  EXPECT_LT(t_gpu, t_fpga);
+}
+
+TEST_F(EndToEnd, ModelRoundTripsPreservePredictions) {
+  const std::string path = testing::TempDir() + "/hrf_e2e_model.hrff";
+  forest_->save(path);
+  const Forest loaded = Forest::load(path);
+  const auto a = forest_->classify_batch(test_->features(), test_->num_samples());
+  const auto b = loaded.classify_batch(test_->features(), test_->num_samples());
+  EXPECT_EQ(a, b);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hrf

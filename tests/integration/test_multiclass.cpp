@@ -1,0 +1,161 @@
+// Multi-class classification: an extension beyond the paper's binary
+// setting (the real Covertype is 7-class; the paper binarized it). The
+// vote rule — argmax with ties to the higher class id — reduces exactly
+// to the paper's `tmp < N/2 ? A : B` at k = 2, which these tests pin down
+// together with cross-backend equivalence at k > 2.
+
+#include <gtest/gtest.h>
+
+#include "core/hrf.hpp"
+
+namespace hrf {
+namespace {
+
+gpusim::DeviceConfig small_gpu() {
+  auto cfg = gpusim::DeviceConfig::titan_xp();
+  cfg.num_sms = 4;
+  return cfg;
+}
+
+TEST(VoteWinner, BinaryMatchesPaperRule) {
+  // tmp < N/2 ? A : B with N = votes[0]+votes[1], tmp = votes[1].
+  const std::uint32_t a_wins[2] = {3, 1};
+  const std::uint32_t b_wins[2] = {1, 3};
+  const std::uint32_t tie[2] = {2, 2};
+  EXPECT_EQ(Forest::vote_winner(a_wins), 0);
+  EXPECT_EQ(Forest::vote_winner(b_wins), 1);
+  EXPECT_EQ(Forest::vote_winner(tie), 1);  // tmp == N/2 -> class B
+}
+
+TEST(VoteWinner, MulticlassArgmaxTiesToHigherId) {
+  const std::uint32_t clear[4] = {1, 5, 2, 1};
+  EXPECT_EQ(Forest::vote_winner(clear), 1);
+  const std::uint32_t tie[4] = {3, 0, 3, 1};
+  EXPECT_EQ(Forest::vote_winner(tie), 2);
+  const std::uint32_t all_tie[3] = {2, 2, 2};
+  EXPECT_EQ(Forest::vote_winner(all_tie), 2);
+}
+
+TEST(Multiclass, DatasetValidatesLabelRange) {
+  Dataset ds(2, 3, 4);
+  const float row[3] = {0.f, 0.f, 0.f};
+  EXPECT_NO_THROW(ds.push_back(row, 3));
+  EXPECT_THROW(ds.push_back(row, 4), ConfigError);
+  EXPECT_THROW(Dataset(1, 1, 1), ConfigError);
+  EXPECT_THROW(Dataset(1, 1, 300), ConfigError);
+}
+
+TEST(Multiclass, ClassHistogramCounts) {
+  Dataset ds(4, 1, 3);
+  const float row[1] = {0.f};
+  ds.push_back(row, 0);
+  ds.push_back(row, 2);
+  ds.push_back(row, 2);
+  ds.push_back(row, 1);
+  EXPECT_EQ(ds.class_histogram(), (std::vector<std::size_t>{1, 1, 2}));
+}
+
+TEST(Multiclass, TrainerLearnsFourClassProblem) {
+  // Labels = quadrant of (x0, x1): perfectly separable with depth >= 3.
+  Dataset ds(4000, 3, 4);
+  Xoshiro256 rng(9);
+  std::vector<float> row(3);
+  for (int i = 0; i < 4000; ++i) {
+    for (auto& v : row) v = rng.uniform_float();
+    const std::uint8_t label =
+        static_cast<std::uint8_t>((row[0] >= 0.5f ? 2 : 0) + (row[1] >= 0.5f ? 1 : 0));
+    ds.push_back(row, label);
+  }
+  TrainConfig cfg;
+  cfg.num_trees = 10;
+  cfg.max_depth = 5;
+  cfg.features_per_split = 3;
+  const Forest f = train_forest(ds, cfg);
+  EXPECT_EQ(f.num_classes(), 4);
+  f.validate();
+  EXPECT_GT(f.accuracy(ds.features(), ds.labels()), 0.97);
+}
+
+TEST(Multiclass, SyntheticGeneratorCoversAllClasses) {
+  SyntheticSpec spec;
+  spec.num_samples = 5000;
+  spec.num_features = 8;
+  spec.num_relevant = 6;
+  spec.teacher_depth = 9;
+  spec.mass_floor = 0.005;
+  spec.num_classes = 5;
+  spec.label_noise = 0.1;
+  const Dataset ds = make_synthetic(spec);
+  EXPECT_EQ(ds.num_classes(), 5);
+  const auto hist = ds.class_histogram();
+  for (std::size_t c = 0; c < 5; ++c) EXPECT_GT(hist[c], 0u) << "class " << c;
+}
+
+TEST(Multiclass, ForestSerializationRoundTripsClassCount) {
+  RandomForestSpec spec;
+  spec.num_trees = 4;
+  spec.max_depth = 6;
+  spec.num_classes = 7;
+  const Forest f = make_random_forest(spec);
+  const std::string path = testing::TempDir() + "/hrf_mc_forest.hrff";
+  f.save(path);
+  const Forest loaded = Forest::load(path);
+  EXPECT_EQ(loaded.num_classes(), 7);
+  std::remove(path.c_str());
+}
+
+TEST(Multiclass, ValidateRejectsLeafBeyondClassCount) {
+  std::vector<DecisionTree> trees;
+  trees.push_back(DecisionTree({TreeNode{kLeafFeature, 5.0f, -1, -1}}));
+  const Forest f(std::move(trees), 2, 4);  // class 5 >= 4
+  EXPECT_THROW(f.validate(), FormatError);
+}
+
+TEST(Multiclass, EveryBackendAgreesOnSevenClasses) {
+  RandomForestSpec spec;
+  spec.num_trees = 15;
+  spec.max_depth = 10;
+  spec.branch_prob = 0.7;
+  spec.num_features = 10;
+  spec.num_classes = 7;  // the original Covertype class count
+  spec.seed = 55;
+  const Forest forest = make_random_forest(spec);
+  Dataset queries = make_random_queries(600, 10, 56);
+  const auto reference = forest.classify_batch(queries.features(), queries.num_samples());
+  // Sanity: more than two classes actually appear in the predictions.
+  std::set<int> distinct(reference.begin(), reference.end());
+  EXPECT_GT(distinct.size(), 2u);
+
+  const std::pair<Backend, Variant> combos[] = {
+      {Backend::CpuNative, Variant::Csr},      {Backend::CpuNative, Variant::Independent},
+      {Backend::GpuSim, Variant::Csr},         {Backend::GpuSim, Variant::Independent},
+      {Backend::GpuSim, Variant::Collaborative}, {Backend::GpuSim, Variant::Hybrid},
+      {Backend::GpuSim, Variant::FilBaseline}, {Backend::FpgaSim, Variant::Csr},
+      {Backend::FpgaSim, Variant::Independent}, {Backend::FpgaSim, Variant::Collaborative},
+      {Backend::FpgaSim, Variant::Hybrid},
+  };
+  for (const auto& [backend, variant] : combos) {
+    ClassifierOptions opt;
+    opt.backend = backend;
+    opt.variant = variant;
+    opt.layout.subtree_depth = 4;
+    opt.gpu = small_gpu();
+    const Classifier clf(Forest(forest), opt);
+    const RunReport r = clf.classify(queries);
+    ASSERT_EQ(r.predictions, reference)
+        << to_string(backend) << "/" << to_string(variant);
+  }
+}
+
+TEST(Multiclass, LayoutsPreserveClassCount) {
+  RandomForestSpec spec;
+  spec.num_trees = 3;
+  spec.max_depth = 5;
+  spec.num_classes = 6;
+  const Forest f = make_random_forest(spec);
+  EXPECT_EQ(CsrForest::build(f).num_classes(), 6);
+  EXPECT_EQ(HierarchicalForest::build(f, HierConfig{.subtree_depth = 3}).num_classes(), 6);
+}
+
+}  // namespace
+}  // namespace hrf

@@ -1,0 +1,111 @@
+// The benches run at a fraction of the paper's query counts and report
+// speedup *ratios*; these tests pin down that the ratios are stable under
+// query-count scaling (DESIGN.md §4 "Scale note"), so scaled-down runs are
+// trustworthy proxies for paper-scale shapes.
+
+#include <gtest/gtest.h>
+
+#include "core/hrf.hpp"
+
+namespace hrf {
+namespace {
+
+gpusim::DeviceConfig small_gpu() {
+  auto cfg = gpusim::DeviceConfig::titan_xp();
+  cfg.num_sms = 4;
+  return cfg;
+}
+
+Dataset head(const Dataset& ds, std::size_t n) {
+  Dataset out(n, ds.num_features());
+  for (std::size_t i = 0; i < n; ++i) out.push_back(ds.sample(i), ds.label(i));
+  return out;
+}
+
+double gpu_seconds(const Forest& forest, Variant v, const Dataset& q, int sd) {
+  ClassifierOptions opt;
+  opt.backend = Backend::GpuSim;
+  opt.variant = v;
+  opt.gpu = small_gpu();
+  opt.layout.subtree_depth = sd;
+  return Classifier(Forest(forest), opt).classify(q).seconds;
+}
+
+TEST(ScaleStability, GpuSpeedupRatioIsStableAcrossQueryCounts) {
+  RandomForestSpec spec;
+  spec.num_trees = 20;
+  spec.max_depth = 12;
+  spec.branch_prob = 0.75;
+  spec.num_features = 12;
+  const Forest forest = make_random_forest(spec);
+  const Dataset all = make_random_queries(6000, 12, 3);
+
+  const Dataset small = head(all, 2000);
+  const double ratio_small = gpu_seconds(forest, Variant::Csr, small, 6) /
+                             gpu_seconds(forest, Variant::Hybrid, small, 6);
+  const double ratio_large =
+      gpu_seconds(forest, Variant::Csr, all, 6) / gpu_seconds(forest, Variant::Hybrid, all, 6);
+  // Ratios agree within 25% across a 3x query-count change.
+  EXPECT_NEAR(ratio_large / ratio_small, 1.0, 0.25);
+  EXPECT_GT(ratio_small, 1.0);
+}
+
+TEST(ScaleStability, GpuTimeGrowsLinearlyWithQueries) {
+  RandomForestSpec spec;
+  spec.num_trees = 10;
+  spec.max_depth = 10;
+  spec.num_features = 8;
+  const Forest forest = make_random_forest(spec);
+  const Dataset all = make_random_queries(6000, 8, 4);
+  const double t1 = gpu_seconds(forest, Variant::Independent, head(all, 2000), 6);
+  const double t3 = gpu_seconds(forest, Variant::Independent, all, 6);
+  // §4.3: execution time scales linearly with query count.
+  EXPECT_NEAR(t3 / t1, 3.0, 0.6);
+}
+
+TEST(ScaleStability, FpgaTimeIsExactlyLinearInQueries) {
+  RandomForestSpec spec;
+  spec.num_trees = 10;
+  spec.max_depth = 12;
+  spec.branch_prob = 1.0;
+  spec.num_features = 8;
+  const Forest forest = make_random_forest(spec);
+  const HierarchicalForest h =
+      HierarchicalForest::build(forest, HierConfig{.subtree_depth = 6});
+  const Dataset all = make_random_queries(8000, 8, 5);
+
+  ClassifierOptions opt;
+  opt.backend = Backend::FpgaSim;
+  opt.variant = Variant::Independent;
+  opt.layout.subtree_depth = 6;
+  const double t1 = Classifier(Forest(forest), opt).classify(head(all, 2000)).seconds;
+  const double t4 = Classifier(Forest(forest), opt).classify(all).seconds;
+  EXPECT_NEAR(t4 / t1, 4.0, 0.05);  // analytical model: near-exact linearity
+}
+
+TEST(ScaleStability, FpgaVariantOrderingStableAcrossQueryCounts) {
+  RandomForestSpec spec;
+  spec.num_trees = 12;
+  spec.max_depth = 13;
+  spec.branch_prob = 1.0;
+  spec.num_features = 10;
+  const Forest forest = make_random_forest(spec);
+  const Dataset all = make_random_queries(8000, 10, 6);
+  for (std::size_t n : {2000u, 8000u}) {
+    const Dataset q = head(all, n);
+    ClassifierOptions opt;
+    opt.backend = Backend::FpgaSim;
+    opt.layout.subtree_depth = 8;
+    opt.variant = Variant::Csr;
+    const double csr = Classifier(Forest(forest), opt).classify(q).seconds;
+    opt.variant = Variant::Independent;
+    const double ind = Classifier(Forest(forest), opt).classify(q).seconds;
+    opt.variant = Variant::Hybrid;
+    const double hyb = Classifier(Forest(forest), opt).classify(q).seconds;
+    EXPECT_LT(hyb, ind) << n;
+    EXPECT_LT(ind, csr) << n;
+  }
+}
+
+}  // namespace
+}  // namespace hrf

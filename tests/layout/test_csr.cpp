@@ -1,0 +1,114 @@
+#include "layout/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../common/paper_example.hpp"
+#include "forest/random_forest_gen.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hrf {
+namespace {
+
+TEST(CsrForest, Fig2AttributesPreserved) {
+  const CsrForest csr = CsrForest::build(testutil::fig2_forest());
+  EXPECT_EQ(csr.num_nodes(), 9u);
+  EXPECT_EQ(csr.num_trees(), 1u);
+  // Root keeps id 0 and its Fig. 2c attributes.
+  EXPECT_EQ(csr.feature_id()[0], 1);
+  EXPECT_FLOAT_EQ(csr.value()[0], 2.5f);
+  // 4 inner nodes -> 8 child entries; 5 leaves with children_arr_idx == -1.
+  EXPECT_EQ(csr.children_arr().size(), 8u);
+  int leaves = 0;
+  for (std::int32_t idx : csr.children_arr_idx()) leaves += idx == -1;
+  EXPECT_EQ(leaves, 5);
+}
+
+TEST(CsrForest, Fig2ChildIndirectionIsConsistent) {
+  // For every inner node, children_arr[children_arr_idx[n]] and the next
+  // entry must be valid node ids whose attributes exist.
+  const CsrForest csr = CsrForest::build(testutil::fig2_forest());
+  for (std::size_t n = 0; n < csr.num_nodes(); ++n) {
+    const std::int32_t idx = csr.children_arr_idx()[n];
+    if (idx < 0) continue;
+    const std::int32_t left = csr.children_arr()[static_cast<std::size_t>(idx)];
+    const std::int32_t right = csr.children_arr()[static_cast<std::size_t>(idx) + 1];
+    EXPECT_GE(left, 0);
+    EXPECT_LT(static_cast<std::size_t>(left), csr.num_nodes());
+    EXPECT_GE(right, 0);
+    EXPECT_LT(static_cast<std::size_t>(right), csr.num_nodes());
+    EXPECT_NE(left, right);
+  }
+}
+
+TEST(CsrForest, Fig2TraversalWalkthrough) {
+  const CsrForest csr = CsrForest::build(testutil::fig2_forest());
+  EXPECT_FLOAT_EQ(csr.traverse_tree(0, testutil::fig2_query_class_a()), 0.0f);
+  EXPECT_FLOAT_EQ(csr.traverse_tree(0, testutil::fig2_query_class_b()), 1.0f);
+  EXPECT_EQ(csr.classify(testutil::fig2_query_class_a()), 0);
+  EXPECT_EQ(csr.classify(testutil::fig2_query_class_b()), 1);
+}
+
+TEST(CsrForest, ClassifyRejectsWrongWidth) {
+  const CsrForest csr = CsrForest::build(testutil::fig2_forest());
+  const std::vector<float> narrow(3, 0.f);
+  EXPECT_THROW(csr.classify(narrow), ConfigError);
+}
+
+TEST(CsrForest, TreeRootsPartitionNodeIds) {
+  RandomForestSpec spec;
+  spec.num_trees = 6;
+  spec.max_depth = 8;
+  const Forest f = make_random_forest(spec);
+  const CsrForest csr = CsrForest::build(f);
+  ASSERT_EQ(csr.tree_root().size(), 6u);
+  EXPECT_EQ(csr.tree_root()[0], 0);
+  for (std::size_t t = 1; t < 6; ++t) {
+    EXPECT_EQ(csr.tree_root()[t] - csr.tree_root()[t - 1],
+              static_cast<std::int32_t>(f.tree(t - 1).node_count()));
+  }
+}
+
+TEST(CsrForest, BfsOrderPutsChildrenAfterParents) {
+  const CsrForest csr = CsrForest::build(testutil::fig2_forest());
+  for (std::size_t n = 0; n < csr.num_nodes(); ++n) {
+    const std::int32_t idx = csr.children_arr_idx()[n];
+    if (idx < 0) continue;
+    EXPECT_GT(csr.children_arr()[static_cast<std::size_t>(idx)],
+              static_cast<std::int32_t>(n));
+  }
+}
+
+TEST(CsrForest, MemoryBytesMatchesArraySizes) {
+  const CsrForest csr = CsrForest::build(testutil::fig2_forest());
+  // 9 nodes * (feature 4 + value 4 + idx 4) + 8 children * 4 + 1 root * 4.
+  EXPECT_EQ(csr.memory_bytes(), 9u * 12 + 8 * 4 + 4);
+}
+
+TEST(CsrForest, MatchesPointerTraversalOnRandomForest) {
+  RandomForestSpec spec;
+  spec.num_trees = 20;
+  spec.max_depth = 12;
+  spec.num_features = 10;
+  const Forest f = make_random_forest(spec);
+  const CsrForest csr = CsrForest::build(f);
+  Xoshiro256 rng(123);
+  std::vector<float> q(10);
+  for (int i = 0; i < 500; ++i) {
+    for (auto& v : q) v = rng.uniform_float();
+    ASSERT_EQ(csr.classify(q), f.classify(q));
+  }
+}
+
+TEST(CsrForest, SingleLeafTree) {
+  std::vector<DecisionTree> trees;
+  trees.push_back(DecisionTree({TreeNode{kLeafFeature, 1.0f, -1, -1}}));
+  const Forest f(std::move(trees), 2);
+  const CsrForest csr = CsrForest::build(f);
+  EXPECT_EQ(csr.num_nodes(), 1u);
+  const std::vector<float> q(2, 0.f);
+  EXPECT_EQ(csr.classify(q), 1);
+}
+
+}  // namespace
+}  // namespace hrf

@@ -1,0 +1,102 @@
+// Property tests: every layout must classify identically to the canonical
+// pointer-based forest, for structurally diverse random forests and across
+// the (SD, RSD) tuning grid. This is the library's central invariant —
+// the hierarchical layout is a pure re-encoding.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "forest/random_forest_gen.hpp"
+#include "layout/csr.hpp"
+#include "layout/hierarchical.hpp"
+#include "util/rng.hpp"
+
+namespace hrf {
+namespace {
+
+struct Shape {
+  int trees;
+  int depth;
+  double branch_prob;
+  int features;
+};
+
+class LayoutEquivalence
+    : public testing::TestWithParam<std::tuple<Shape, int /*sd*/, int /*rsd*/>> {};
+
+TEST_P(LayoutEquivalence, AllLayoutsAgreeWithPointerForest) {
+  const auto [shape, sd, rsd] = GetParam();
+  RandomForestSpec spec;
+  spec.num_trees = shape.trees;
+  spec.max_depth = shape.depth;
+  spec.branch_prob = shape.branch_prob;
+  spec.num_features = shape.features;
+  spec.seed = static_cast<std::uint64_t>(shape.trees * 1000 + shape.depth * 10 + sd);
+  const Forest f = make_random_forest(spec);
+
+  const CsrForest csr = CsrForest::build(f);
+  HierConfig cfg;
+  cfg.subtree_depth = sd;
+  cfg.root_subtree_depth = rsd;
+  const HierarchicalForest h = HierarchicalForest::build(f, cfg);
+  h.validate();
+
+  Xoshiro256 rng(spec.seed ^ 0xdead);
+  std::vector<float> q(static_cast<std::size_t>(shape.features));
+  for (int i = 0; i < 300; ++i) {
+    for (auto& v : q) v = rng.uniform_float();
+    const std::uint8_t expected = f.classify(q);
+    ASSERT_EQ(csr.classify(q), expected) << "CSR diverged, query " << i;
+    ASSERT_EQ(h.classify(q), expected) << "hierarchical diverged, query " << i;
+    // Per-tree leaf values must match too (stronger than the vote).
+    for (std::size_t t = 0; t < f.tree_count(); ++t) {
+      ASSERT_FLOAT_EQ(h.traverse_tree(t, q), f.tree(t).traverse(q));
+      ASSERT_FLOAT_EQ(csr.traverse_tree(t, q), f.tree(t).traverse(q));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LayoutEquivalence,
+    testing::Combine(testing::Values(Shape{1, 1, 0.5, 4},    // single-leaf trees
+                                     Shape{3, 5, 0.8, 6},    // small bushy
+                                     Shape{5, 12, 0.6, 10},  // medium sparse
+                                     Shape{2, 20, 0.4, 8},   // deep thin
+                                     Shape{4, 9, 1.0, 5}),   // complete
+                     testing::Values(1, 3, 4, 6, 8),         // SD
+                     testing::Values(0, 8, 12)),             // RSD (0 = SD)
+    [](const auto& info) {
+      const Shape& shape = std::get<0>(info.param);
+      return "t" + std::to_string(shape.trees) + "d" + std::to_string(shape.depth) + "sd" +
+             std::to_string(std::get<1>(info.param)) + "rsd" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(LayoutEquivalenceEdge, AdversarialThresholdQueries) {
+  // Queries exactly at node thresholds: the strict `<` must round-trip
+  // through every layout identically.
+  RandomForestSpec spec;
+  spec.num_trees = 4;
+  spec.max_depth = 8;
+  spec.num_features = 5;
+  const Forest f = make_random_forest(spec);
+  const CsrForest csr = CsrForest::build(f);
+  HierConfig cfg;
+  cfg.subtree_depth = 3;
+  const HierarchicalForest h = HierarchicalForest::build(f, cfg);
+
+  std::vector<float> q(5, 0.f);
+  for (std::size_t t = 0; t < f.tree_count(); ++t) {
+    for (const TreeNode& n : f.tree(t).nodes()) {
+      if (n.is_leaf()) continue;
+      std::fill(q.begin(), q.end(), n.value);  // all features on a threshold
+      const std::uint8_t expected = f.classify(q);
+      ASSERT_EQ(csr.classify(q), expected);
+      ASSERT_EQ(h.classify(q), expected);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hrf

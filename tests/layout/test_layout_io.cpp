@@ -1,0 +1,130 @@
+#include "layout/layout_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "data/synthetic.hpp"
+#include "forest/random_forest_gen.hpp"
+#include "util/error.hpp"
+
+namespace hrf {
+namespace {
+
+Forest demo_forest() {
+  RandomForestSpec spec;
+  spec.num_trees = 8;
+  spec.max_depth = 10;
+  spec.num_features = 9;
+  spec.num_classes = 3;
+  spec.seed = 61;
+  return make_random_forest(spec);
+}
+
+std::string tmp_path(const char* name) { return testing::TempDir() + "/" + name; }
+
+TEST(LayoutIo, CsrRoundTripPreservesPredictions) {
+  const Forest f = demo_forest();
+  const CsrForest csr = CsrForest::build(f);
+  const std::string path = tmp_path("hrf_csr_rt.hrfc");
+  save_csr(csr, path);
+  const CsrForest loaded = load_csr(path);
+  EXPECT_EQ(loaded.num_features(), csr.num_features());
+  EXPECT_EQ(loaded.num_classes(), 3);
+  EXPECT_EQ(loaded.num_nodes(), csr.num_nodes());
+  const Dataset q = make_random_queries(400, 9, 62);
+  for (std::size_t i = 0; i < q.num_samples(); ++i) {
+    ASSERT_EQ(loaded.classify(q.sample(i)), csr.classify(q.sample(i)));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LayoutIo, HierarchicalRoundTripPreservesEverything) {
+  const Forest f = demo_forest();
+  HierConfig cfg;
+  cfg.subtree_depth = 4;
+  cfg.root_subtree_depth = 6;
+  const HierarchicalForest h = HierarchicalForest::build(f, cfg);
+  const std::string path = tmp_path("hrf_hier_rt.hrfh");
+  save_hierarchical(h, path);
+  const HierarchicalForest loaded = load_hierarchical(path);
+  EXPECT_EQ(loaded.config().subtree_depth, 4);
+  EXPECT_EQ(loaded.config().root_subtree_depth, 6);
+  EXPECT_EQ(loaded.num_subtrees(), h.num_subtrees());
+  EXPECT_EQ(loaded.real_nodes(), h.real_nodes());
+  EXPECT_EQ(loaded.memory_bytes(), h.memory_bytes());
+  const Dataset q = make_random_queries(400, 9, 63);
+  for (std::size_t i = 0; i < q.num_samples(); ++i) {
+    ASSERT_EQ(loaded.classify(q.sample(i)), h.classify(q.sample(i)));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LayoutIo, CsrLoadRejectsWrongMagic) {
+  const std::string path = tmp_path("hrf_csr_bad.hrfc");
+  std::ofstream(path, std::ios::binary) << "definitely not a CSR layout file";
+  EXPECT_THROW(load_csr(path), FormatError);
+  std::remove(path.c_str());
+}
+
+TEST(LayoutIo, HierLoadRejectsWrongMagic) {
+  const std::string path = tmp_path("hrf_hier_bad.hrfh");
+  // A valid CSR file is not a hierarchical file.
+  save_csr(CsrForest::build(demo_forest()), path);
+  EXPECT_THROW(load_hierarchical(path), FormatError);
+  std::remove(path.c_str());
+}
+
+TEST(LayoutIo, TruncatedFilesAreRejected) {
+  const Forest f = demo_forest();
+  const std::string path = tmp_path("hrf_hier_trunc.hrfh");
+  save_hierarchical(HierarchicalForest::build(f, HierConfig{.subtree_depth = 4}), path);
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream(path, std::ios::binary) << bytes.substr(0, bytes.size() / 2);
+  EXPECT_THROW(load_hierarchical(path), FormatError);
+  std::remove(path.c_str());
+}
+
+TEST(LayoutIo, CorruptedConnectionIsCaughtByValidate) {
+  const Forest f = demo_forest();
+  const HierarchicalForest h = HierarchicalForest::build(f, HierConfig{.subtree_depth = 4});
+  // Rebuild via from_parts with a connection pointing outside its tree.
+  std::vector<std::int32_t> conn(h.subtree_connection().begin(), h.subtree_connection().end());
+  bool corrupted = false;
+  for (auto& c : conn) {
+    if (c >= 0) {
+      c = static_cast<std::int32_t>(h.num_subtrees()) + 5;  // out of range
+      corrupted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+  EXPECT_THROW(
+      HierarchicalForest::from_parts(
+          h.config(), h.num_features(), h.num_classes(), h.real_nodes(),
+          {h.subtree_node_offsets().begin(), h.subtree_node_offsets().end()},
+          {h.subtree_depths().begin(), h.subtree_depths().end()},
+          {h.connection_offsets().begin(), h.connection_offsets().end()}, std::move(conn),
+          {h.feature_id().begin(), h.feature_id().end()}, {h.value().begin(), h.value().end()},
+          {h.tree_subtree_begin().begin(), h.tree_subtree_begin().end()}),
+      FormatError);
+}
+
+TEST(LayoutIo, CsrFromPartsValidation) {
+  // Leaf with a children index must be rejected.
+  EXPECT_THROW(CsrForest::from_parts({kLeafFeature}, {0.f}, {}, {0}, {0}, 2, 2), FormatError);
+  // Inner node with out-of-range child.
+  EXPECT_THROW(CsrForest::from_parts({0, kLeafFeature, kLeafFeature}, {0.5f, 0.f, 1.f},
+                                     {1, 99}, {0, -1, -1}, {0}, 2, 2),
+               FormatError);
+  // Leaf value beyond the class range.
+  EXPECT_THROW(CsrForest::from_parts({kLeafFeature}, {7.f}, {}, {-1}, {0}, 2, 2), FormatError);
+  // A minimal valid single-leaf encoding passes.
+  EXPECT_NO_THROW(CsrForest::from_parts({kLeafFeature}, {1.f}, {}, {-1}, {0}, 2, 2));
+}
+
+}  // namespace
+}  // namespace hrf

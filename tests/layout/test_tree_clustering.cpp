@@ -1,0 +1,109 @@
+#include "layout/tree_clustering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/synthetic.hpp"
+#include "forest/random_forest_gen.hpp"
+#include "util/error.hpp"
+
+namespace hrf {
+namespace {
+
+Forest demo_forest(int trees = 12) {
+  RandomForestSpec spec;
+  spec.num_trees = trees;
+  spec.max_depth = 8;
+  spec.num_features = 10;
+  spec.seed = 5;
+  return make_random_forest(spec);
+}
+
+TEST(TreeClustering, Validation) {
+  const Forest f = demo_forest();
+  EXPECT_THROW(cluster_trees_by_features(f, 0), ConfigError);
+  EXPECT_THROW(cluster_trees_by_features(f, 4, 1, 0), ConfigError);
+}
+
+TEST(TreeClustering, OrderIsAPermutation) {
+  const Forest f = demo_forest();
+  const TreeClusteringResult r = cluster_trees_by_features(f, 3);
+  EXPECT_EQ(r.order.size(), f.tree_count());
+  std::set<std::size_t> unique(r.order.begin(), r.order.end());
+  EXPECT_EQ(unique.size(), f.tree_count());
+}
+
+TEST(TreeClustering, ClusterIdsAreGroupedInOrder) {
+  const Forest f = demo_forest();
+  const TreeClusteringResult r = cluster_trees_by_features(f, 3);
+  int prev = -1;
+  for (std::size_t i : r.order) {
+    EXPECT_GE(r.cluster[i], prev);
+    prev = r.cluster[i];
+  }
+}
+
+TEST(TreeClustering, MoreClustersThanTreesClamps) {
+  const Forest f = demo_forest(4);
+  const TreeClusteringResult r = cluster_trees_by_features(f, 99);
+  EXPECT_LE(r.num_clusters, 4);
+}
+
+TEST(TreeClustering, SingleClusterKeepsIdentityGrouping) {
+  const Forest f = demo_forest();
+  const TreeClusteringResult r = cluster_trees_by_features(f, 1);
+  for (int c : r.cluster) EXPECT_EQ(c, 0);
+  // Stable sort on equal keys preserves the original order.
+  for (std::size_t i = 0; i < r.order.size(); ++i) EXPECT_EQ(r.order[i], i);
+}
+
+TEST(TreeClustering, DeterministicUnderSeed) {
+  const Forest f = demo_forest();
+  const auto a = cluster_trees_by_features(f, 4, 7);
+  const auto b = cluster_trees_by_features(f, 4, 7);
+  EXPECT_EQ(a.order, b.order);
+  EXPECT_EQ(a.cluster, b.cluster);
+}
+
+TEST(TreeClustering, SeparatesDisjointFeatureGroups) {
+  // Trees using disjoint feature sets must land in different clusters.
+  std::vector<DecisionTree> trees;
+  for (int g = 0; g < 2; ++g) {
+    for (int i = 0; i < 3; ++i) {
+      // Tree with a single inner node on feature (g*5) .. clearly separated.
+      std::vector<TreeNode> nodes(3);
+      nodes[0] = {g * 5, 0.5f, 1, 2};
+      nodes[1] = {kLeafFeature, 0.f, -1, -1};
+      nodes[2] = {kLeafFeature, 1.f, -1, -1};
+      trees.emplace_back(std::move(nodes));
+    }
+  }
+  const Forest f(std::move(trees), 10);
+  const TreeClusteringResult r = cluster_trees_by_features(f, 2, 3);
+  // Trees 0-2 share a cluster; trees 3-5 share the other.
+  EXPECT_EQ(r.cluster[0], r.cluster[1]);
+  EXPECT_EQ(r.cluster[1], r.cluster[2]);
+  EXPECT_EQ(r.cluster[3], r.cluster[4]);
+  EXPECT_EQ(r.cluster[4], r.cluster[5]);
+  EXPECT_NE(r.cluster[0], r.cluster[3]);
+}
+
+TEST(ReorderTrees, PredictionsAreInvariant) {
+  const Forest f = demo_forest();
+  const TreeClusteringResult r = cluster_trees_by_features(f, 4);
+  const Forest g = reorder_trees(f, r.order);
+  const Dataset q = make_random_queries(500, 10, 9);
+  EXPECT_EQ(f.classify_batch(q.features(), q.num_samples()),
+            g.classify_batch(q.features(), q.num_samples()));
+}
+
+TEST(ReorderTrees, RejectsNonPermutations) {
+  const Forest f = demo_forest(3);
+  EXPECT_THROW(reorder_trees(f, {0, 1}), ConfigError);        // wrong size
+  EXPECT_THROW(reorder_trees(f, {0, 0, 1}), ConfigError);     // duplicate
+  EXPECT_THROW(reorder_trees(f, {0, 1, 99}), ConfigError);    // out of range
+}
+
+}  // namespace
+}  // namespace hrf

@@ -1,0 +1,113 @@
+#include "train/binned.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hrf {
+namespace {
+
+Dataset uniform_data(std::size_t n, std::size_t features, std::uint64_t seed = 1) {
+  Dataset ds(n, features);
+  Xoshiro256 rng(seed);
+  std::vector<float> row(features);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto& v : row) v = rng.uniform_float();
+    ds.push_back(row, static_cast<std::uint8_t>(rng.bernoulli(0.5)));
+  }
+  return ds;
+}
+
+TEST(BinnedDataset, RejectsBadBinCounts) {
+  const Dataset ds = uniform_data(100, 2);
+  EXPECT_THROW(BinnedDataset(ds, 1), ConfigError);
+  EXPECT_THROW(BinnedDataset(ds, 257), ConfigError);
+}
+
+TEST(BinnedDataset, RejectsEmptyDataset) {
+  Dataset empty(0, 2);
+  EXPECT_THROW(BinnedDataset(empty, 16), ConfigError);
+}
+
+TEST(BinnedDataset, PreservesShapeAndLabels) {
+  const Dataset ds = uniform_data(500, 3);
+  const BinnedDataset b(ds, 16);
+  EXPECT_EQ(b.num_samples(), 500u);
+  EXPECT_EQ(b.num_features(), 3u);
+  for (std::size_t i = 0; i < 500; ++i) ASSERT_EQ(b.label(i), ds.label(i));
+}
+
+TEST(BinnedDataset, CodesAreConsistentWithEdges) {
+  // The trainer's key invariant: for every sample, code(f, i) < b iff
+  // raw value < edge(f, b). A violated invariant would make the trained
+  // tree disagree with its own training partition.
+  const Dataset ds = uniform_data(2000, 4);
+  const BinnedDataset binned(ds, 32);
+  for (std::size_t f = 0; f < 4; ++f) {
+    const int bins = binned.bins_used(f);
+    for (std::size_t i = 0; i < ds.num_samples(); ++i) {
+      const float x = ds.sample(i)[f];
+      const std::uint8_t code = binned.code(f, i);
+      for (int b = 1; b < bins; ++b) {
+        ASSERT_EQ(code < b, x < binned.edge(f, b))
+            << "feature " << f << " sample " << i << " boundary " << b;
+      }
+    }
+  }
+}
+
+TEST(BinnedDataset, EdgesAreStrictlyIncreasing) {
+  const Dataset ds = uniform_data(2000, 3);
+  const BinnedDataset binned(ds, 64);
+  for (std::size_t f = 0; f < 3; ++f) {
+    for (int b = 2; b < binned.bins_used(f); ++b) {
+      ASSERT_LT(binned.edge(f, b - 1), binned.edge(f, b));
+    }
+  }
+}
+
+TEST(BinnedDataset, ConstantFeatureCollapsesToOneBin) {
+  Dataset ds(50, 2);
+  for (int i = 0; i < 50; ++i) {
+    const float row[2] = {1.0f, static_cast<float>(i)};
+    ds.push_back(row, 0);
+  }
+  const BinnedDataset binned(ds, 16);
+  EXPECT_EQ(binned.bins_used(0), 1);  // no split possible on a constant
+  EXPECT_GT(binned.bins_used(1), 4);
+}
+
+TEST(BinnedDataset, BinaryFeatureGetsTwoBins) {
+  Dataset ds(100, 1);
+  for (int i = 0; i < 100; ++i) {
+    const float row[1] = {static_cast<float>(i % 2)};
+    ds.push_back(row, 0);
+  }
+  const BinnedDataset binned(ds, 16);
+  EXPECT_EQ(binned.bins_used(0), 2);
+  // code 0 for 0.0 samples, code 1 for 1.0 samples.
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(binned.code(0, i), i % 2);
+  }
+}
+
+TEST(BinnedDataset, ColumnSpanMatchesCodes) {
+  const Dataset ds = uniform_data(100, 2);
+  const BinnedDataset binned(ds, 8);
+  const auto col = binned.column(1);
+  ASSERT_EQ(col.size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) ASSERT_EQ(col[i], binned.code(1, i));
+}
+
+TEST(BinnedDataset, QuantileBinsAreRoughlyBalanced) {
+  const Dataset ds = uniform_data(10000, 1);
+  const BinnedDataset binned(ds, 8);
+  std::vector<int> counts(static_cast<std::size_t>(binned.bins_used(0)), 0);
+  for (std::size_t i = 0; i < 10000; ++i) ++counts[binned.code(0, i)];
+  for (int c : counts) EXPECT_NEAR(c, 10000 / binned.bins_used(0), 400);
+}
+
+}  // namespace
+}  // namespace hrf

@@ -1,0 +1,148 @@
+#include "train/forest_trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <omp.h>
+
+#include "data/synthetic.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hrf {
+namespace {
+
+Dataset separable(std::size_t n, std::uint64_t seed = 5) {
+  Dataset ds(n, 4);
+  Xoshiro256 rng(seed);
+  std::vector<float> row(4);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto& v : row) v = rng.uniform_float();
+    ds.push_back(row, row[1] >= 0.4f ? 1 : 0);
+  }
+  return ds;
+}
+
+TEST(ForestTrainer, ValidatesTreeCount) {
+  const Dataset ds = separable(100);
+  TrainConfig cfg;
+  cfg.num_trees = 0;
+  EXPECT_THROW(train_forest(ds, cfg), ConfigError);
+}
+
+TEST(ForestTrainer, ProducesRequestedForestShape) {
+  const Dataset ds = separable(1000);
+  TrainConfig cfg;
+  cfg.num_trees = 7;
+  cfg.max_depth = 5;
+  const Forest f = train_forest(ds, cfg);
+  EXPECT_EQ(f.tree_count(), 7u);
+  EXPECT_EQ(f.num_features(), 4u);
+  EXPECT_LE(f.stats().max_depth, 5);
+  f.validate();
+}
+
+TEST(ForestTrainer, HighAccuracyOnSeparableData) {
+  const Dataset ds = separable(4000);
+  TrainConfig cfg;
+  cfg.num_trees = 15;
+  cfg.max_depth = 6;
+  cfg.features_per_split = 4;
+  const Forest f = train_forest(ds, cfg);
+  EXPECT_GT(f.accuracy(ds.features(), ds.labels()), 0.97);
+}
+
+TEST(ForestTrainer, DeterministicUnderSeedRegardlessOfThreads) {
+  const Dataset ds = separable(1500);
+  TrainConfig cfg;
+  cfg.num_trees = 8;
+  cfg.max_depth = 5;
+  cfg.seed = 77;
+
+  const int saved = omp_get_max_threads();
+  omp_set_num_threads(1);
+  const Forest a = train_forest(ds, cfg);
+  omp_set_num_threads(4);
+  const Forest b = train_forest(ds, cfg);
+  omp_set_num_threads(saved);
+
+  ASSERT_EQ(a.tree_count(), b.tree_count());
+  for (std::size_t t = 0; t < a.tree_count(); ++t) {
+    ASSERT_EQ(a.tree(t).node_count(), b.tree(t).node_count()) << "tree " << t;
+    for (std::size_t i = 0; i < a.tree(t).node_count(); ++i) {
+      ASSERT_EQ(a.tree(t).node(i).feature, b.tree(t).node(i).feature);
+      ASSERT_FLOAT_EQ(a.tree(t).node(i).value, b.tree(t).node(i).value);
+    }
+  }
+}
+
+TEST(ForestTrainer, DifferentSeedsGiveDifferentForests) {
+  const Dataset ds = separable(800);
+  TrainConfig a_cfg;
+  a_cfg.num_trees = 3;
+  a_cfg.seed = 1;
+  TrainConfig b_cfg = a_cfg;
+  b_cfg.seed = 2;
+  const Forest a = train_forest(ds, a_cfg);
+  const Forest b = train_forest(ds, b_cfg);
+  bool differs = a.tree(0).node_count() != b.tree(0).node_count();
+  if (!differs) {
+    for (std::size_t i = 0; i < a.tree(0).node_count(); ++i) {
+      if (a.tree(0).node(i).feature != b.tree(0).node(i).feature) differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ForestTrainer, BootstrapOffUsesAllSamplesIdentically) {
+  // Without bootstrap and with all features, trees differ only by RNG of
+  // feature subsampling; with features_per_split = all, trees are equal.
+  const Dataset ds = separable(500);
+  TrainConfig cfg;
+  cfg.num_trees = 3;
+  cfg.bootstrap = false;
+  cfg.features_per_split = 4;
+  cfg.max_depth = 5;
+  const Forest f = train_forest(ds, cfg);
+  for (std::size_t t = 1; t < f.tree_count(); ++t) {
+    ASSERT_EQ(f.tree(t).node_count(), f.tree(0).node_count());
+    for (std::size_t i = 0; i < f.tree(0).node_count(); ++i) {
+      EXPECT_EQ(f.tree(t).node(i).feature, f.tree(0).node(i).feature);
+      EXPECT_FLOAT_EQ(f.tree(t).node(i).value, f.tree(0).node(i).value);
+    }
+  }
+}
+
+TEST(ForestTrainer, BinnedOverloadMatchesDatasetOverload) {
+  const Dataset ds = separable(600);
+  TrainConfig cfg;
+  cfg.num_trees = 4;
+  cfg.max_depth = 5;
+  const Forest a = train_forest(ds, cfg);
+  const BinnedDataset binned(ds, cfg.max_bins);
+  const Forest b = train_forest(binned, ds.num_features(), cfg);
+  ASSERT_EQ(a.tree_count(), b.tree_count());
+  for (std::size_t t = 0; t < a.tree_count(); ++t) {
+    ASSERT_EQ(a.tree(t).node_count(), b.tree(t).node_count());
+  }
+}
+
+TEST(ForestTrainer, NoisyLabelsGrowDeepTrees) {
+  // The regime the paper targets: label noise keeps nodes impure, so trees
+  // grow to the depth cap and become large and sparse.
+  SyntheticSpec spec;
+  spec.num_samples = 4000;
+  spec.num_features = 10;
+  spec.num_relevant = 8;
+  spec.teacher_depth = 8;
+  spec.label_noise = 0.2;
+  const Dataset ds = make_synthetic(spec);
+  TrainConfig cfg;
+  cfg.num_trees = 3;
+  cfg.max_depth = 14;
+  const Forest f = train_forest(ds, cfg);
+  EXPECT_EQ(f.stats().max_depth, 14);
+  EXPECT_GT(f.stats().total_nodes / f.tree_count(), 200u);
+}
+
+}  // namespace
+}  // namespace hrf

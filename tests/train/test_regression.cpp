@@ -1,0 +1,140 @@
+#include "train/regression.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hrf {
+namespace {
+
+/// y = 3*x0 - 2*x1 + noise: a smooth target a depth-limited forest can fit.
+struct Problem {
+  Dataset features;
+  std::vector<float> targets;
+
+  explicit Problem(std::size_t n, double noise = 0.0, std::uint64_t seed = 5)
+      : features(n, 4) {
+    Xoshiro256 rng(seed);
+    std::vector<float> row(4);
+    targets.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (auto& v : row) v = rng.uniform_float();
+      features.push_back(row, 0);
+      targets.push_back(3.f * row[0] - 2.f * row[1] +
+                        static_cast<float>(rng.normal(0.0, noise)));
+    }
+  }
+};
+
+TEST(Regression, ConfigValidation) {
+  const Problem p(50);
+  RegressionConfig cfg;
+  cfg.num_trees = 0;
+  EXPECT_THROW(train_regression_forest(p.features, p.targets, cfg), ConfigError);
+  cfg = RegressionConfig{};
+  cfg.max_depth = 0;
+  EXPECT_THROW(train_regression_forest(p.features, p.targets, cfg), ConfigError);
+  const std::vector<float> wrong(10, 0.f);
+  EXPECT_THROW(train_regression_forest(p.features, wrong, RegressionConfig{}), ConfigError);
+}
+
+TEST(Regression, FitsSmoothFunction) {
+  const Problem train(6000);
+  const Problem test(2000, 0.0, 6);
+  RegressionConfig cfg;
+  cfg.num_trees = 30;
+  cfg.max_depth = 10;
+  const RegressionForest f = train_regression_forest(train.features, train.targets, cfg);
+  EXPECT_EQ(f.tree_count(), 30u);
+  EXPECT_GT(f.r2(test.features.features(), test.targets), 0.95);
+}
+
+TEST(Regression, ConstantTargetGivesSingleLeaf) {
+  Problem p(200);
+  std::fill(p.targets.begin(), p.targets.end(), 7.5f);
+  RegressionConfig cfg;
+  cfg.num_trees = 3;
+  cfg.max_depth = 8;
+  const RegressionForest f = train_regression_forest(p.features, p.targets, cfg);
+  for (std::size_t t = 0; t < f.tree_count(); ++t) {
+    EXPECT_EQ(f.tree(t).node_count(), 1u);
+  }
+  const float q[4] = {0.3f, 0.3f, 0.3f, 0.3f};
+  EXPECT_NEAR(f.predict(q), 7.5f, 1e-5f);
+}
+
+TEST(Regression, RespectsDepthAndLeafConstraints) {
+  const Problem p(2000, 0.5);
+  RegressionConfig cfg;
+  cfg.num_trees = 5;
+  cfg.max_depth = 6;
+  cfg.min_samples_leaf = 50;
+  const RegressionForest f = train_regression_forest(p.features, p.targets, cfg);
+  for (std::size_t t = 0; t < f.tree_count(); ++t) {
+    const TreeStats s = f.tree(t).stats();
+    EXPECT_LE(s.max_depth, 6);
+    EXPECT_LE(s.leaf_count, 2000u / 50u + 1);
+  }
+}
+
+TEST(Regression, DeterministicUnderSeed) {
+  const Problem p(1500, 0.2);
+  RegressionConfig cfg;
+  cfg.num_trees = 6;
+  cfg.max_depth = 7;
+  const RegressionForest a = train_regression_forest(p.features, p.targets, cfg);
+  const RegressionForest b = train_regression_forest(p.features, p.targets, cfg);
+  for (std::size_t t = 0; t < a.tree_count(); ++t) {
+    ASSERT_EQ(a.tree(t).node_count(), b.tree(t).node_count());
+  }
+  const float q[4] = {0.1f, 0.9f, 0.5f, 0.5f};
+  EXPECT_FLOAT_EQ(a.predict(q), b.predict(q));
+}
+
+TEST(Regression, NoiseCapsAchievableMse) {
+  const Problem noisy(8000, 0.3);
+  RegressionConfig cfg;
+  cfg.num_trees = 25;
+  cfg.max_depth = 9;
+  const RegressionForest f = train_regression_forest(noisy.features, noisy.targets, cfg);
+  const Problem clean_test(2000, 0.0, 8);
+  // Error on clean targets should approach zero; on noisy training
+  // targets it is bounded below by the noise variance (0.09).
+  EXPECT_LT(f.mse(clean_test.features.features(), clean_test.targets), 0.08);
+  EXPECT_GT(f.mse(noisy.features.features(), noisy.targets), 0.04);
+}
+
+TEST(Regression, PredictBatchMatchesScalar) {
+  const Problem p(500);
+  RegressionConfig cfg;
+  cfg.num_trees = 4;
+  cfg.max_depth = 6;
+  const RegressionForest f = train_regression_forest(p.features, p.targets, cfg);
+  const auto batch = f.predict_batch(p.features.features(), p.features.num_samples());
+  for (std::size_t i = 0; i < 100; ++i) {
+    ASSERT_FLOAT_EQ(batch[i], f.predict(p.features.sample(i)));
+  }
+}
+
+TEST(Regression, MoreTreesSmoothPredictions) {
+  const Problem p(4000, 0.4);
+  const Problem test(1000, 0.0, 9);
+  RegressionConfig small;
+  small.num_trees = 1;
+  small.max_depth = 10;
+  RegressionConfig big = small;
+  big.num_trees = 40;
+  const double mse1 =
+      train_regression_forest(p.features, p.targets, small).mse(test.features.features(),
+                                                                test.targets);
+  const double mse40 =
+      train_regression_forest(p.features, p.targets, big).mse(test.features.features(),
+                                                              test.targets);
+  EXPECT_LT(mse40, mse1);  // averaging reduces variance
+}
+
+}  // namespace
+}  // namespace hrf

@@ -1,0 +1,179 @@
+#include "train/tree_trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "data/dataset.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hrf {
+namespace {
+
+/// Linearly separable on feature 0: label = x0 >= 0.5.
+Dataset separable(std::size_t n, std::size_t features = 3, std::uint64_t seed = 1) {
+  Dataset ds(n, features);
+  Xoshiro256 rng(seed);
+  std::vector<float> row(features);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto& v : row) v = rng.uniform_float();
+    ds.push_back(row, row[0] >= 0.5f ? 1 : 0);
+  }
+  return ds;
+}
+
+std::vector<std::uint32_t> all_indices(std::size_t n) {
+  std::vector<std::uint32_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0u);
+  return idx;
+}
+
+TEST(TreeTrainer, ConfigValidation) {
+  const Dataset ds = separable(100);
+  const BinnedDataset binned(ds, 16);
+  TrainConfig bad;
+  bad.max_depth = 0;
+  EXPECT_THROW(TreeTrainer(binned, bad), ConfigError);
+  bad = TrainConfig{};
+  bad.min_samples_leaf = 0;
+  EXPECT_THROW(TreeTrainer(binned, bad), ConfigError);
+  bad = TrainConfig{};
+  bad.min_samples_split = 1;
+  EXPECT_THROW(TreeTrainer(binned, bad), ConfigError);
+}
+
+TEST(TreeTrainer, LearnsSeparableDataPerfectly) {
+  const Dataset ds = separable(2000);
+  const BinnedDataset binned(ds, 64);
+  TrainConfig cfg;
+  cfg.max_depth = 4;
+  cfg.features_per_split = 3;  // all features: the split must be found
+  const TreeTrainer trainer(binned, cfg);
+  Xoshiro256 rng(1);
+  const DecisionTree tree = trainer.train(all_indices(2000), rng);
+  tree.validate(3);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < ds.num_samples(); ++i) {
+    correct += tree.classify(ds.sample(i)) == ds.label(i);
+  }
+  // Quantile binning puts an edge within ~1/64 of the true boundary.
+  EXPECT_GT(static_cast<double>(correct) / ds.num_samples(), 0.98);
+}
+
+TEST(TreeTrainer, RespectsMaxDepth) {
+  const Dataset ds = separable(2000);
+  const BinnedDataset binned(ds, 64);
+  for (int depth : {1, 2, 3, 5, 8}) {
+    TrainConfig cfg;
+    cfg.max_depth = depth;
+    const TreeTrainer trainer(binned, cfg);
+    Xoshiro256 rng(1);
+    const DecisionTree tree = trainer.train(all_indices(2000), rng);
+    EXPECT_LE(tree.stats().max_depth, depth);
+  }
+}
+
+TEST(TreeTrainer, DepthOneIsASingleLeaf) {
+  const Dataset ds = separable(100);
+  const BinnedDataset binned(ds, 16);
+  TrainConfig cfg;
+  cfg.max_depth = 1;
+  const TreeTrainer trainer(binned, cfg);
+  Xoshiro256 rng(1);
+  const DecisionTree tree = trainer.train(all_indices(100), rng);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_TRUE(tree.node(0).is_leaf());
+}
+
+TEST(TreeTrainer, PureNodeStopsSplitting) {
+  Dataset ds(100, 2);
+  Xoshiro256 rng(1);
+  std::vector<float> row(2);
+  for (int i = 0; i < 100; ++i) {
+    for (auto& v : row) v = rng.uniform_float();
+    ds.push_back(row, 1);  // all one class
+  }
+  const BinnedDataset binned(ds, 16);
+  TrainConfig cfg;
+  cfg.max_depth = 10;
+  const TreeTrainer trainer(binned, cfg);
+  const DecisionTree tree = trainer.train(all_indices(100), rng);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_FLOAT_EQ(tree.node(0).value, 1.0f);
+}
+
+TEST(TreeTrainer, MinSamplesLeafBoundsLeafSizes) {
+  const Dataset ds = separable(512);
+  const BinnedDataset binned(ds, 64);
+  TrainConfig cfg;
+  cfg.max_depth = 20;
+  cfg.min_samples_leaf = 50;
+  const TreeTrainer trainer(binned, cfg);
+  Xoshiro256 rng(2);
+  const DecisionTree tree = trainer.train(all_indices(512), rng);
+  // With >=50 samples per leaf and 512 samples, at most 10 leaves exist.
+  EXPECT_LE(tree.stats().leaf_count, 10u);
+}
+
+TEST(TreeTrainer, DeterministicGivenSameRngState) {
+  const Dataset ds = separable(500, 5);
+  const BinnedDataset binned(ds, 32);
+  TrainConfig cfg;
+  cfg.max_depth = 6;
+  const TreeTrainer trainer(binned, cfg);
+  Xoshiro256 rng_a(7);
+  Xoshiro256 rng_b(7);
+  const DecisionTree a = trainer.train(all_indices(500), rng_a);
+  const DecisionTree b = trainer.train(all_indices(500), rng_b);
+  ASSERT_EQ(a.node_count(), b.node_count());
+  for (std::size_t i = 0; i < a.node_count(); ++i) {
+    EXPECT_EQ(a.node(i).feature, b.node(i).feature);
+    EXPECT_FLOAT_EQ(a.node(i).value, b.node(i).value);
+  }
+}
+
+TEST(TreeTrainer, TrainOnZeroSamplesThrows) {
+  const Dataset ds = separable(10);
+  const BinnedDataset binned(ds, 16);
+  const TreeTrainer trainer(binned, TrainConfig{});
+  Xoshiro256 rng(1);
+  EXPECT_THROW(trainer.train({}, rng), ConfigError);
+}
+
+TEST(TreeTrainer, SingleSampleYieldsLeafWithItsLabel) {
+  Dataset ds(1, 2);
+  const float row[2] = {0.3f, 0.7f};
+  ds.push_back(row, 1);
+  const BinnedDataset binned(ds, 4);
+  const TreeTrainer trainer(binned, TrainConfig{});
+  Xoshiro256 rng(1);
+  const DecisionTree tree = trainer.train({0}, rng);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_FLOAT_EQ(tree.node(0).value, 1.0f);
+}
+
+TEST(TreeTrainer, ThresholdsAreRealFeatureValues) {
+  // Every inner-node threshold must be an actual bin edge so that binned
+  // training and float inference agree exactly.
+  const Dataset ds = separable(1000, 2);
+  const BinnedDataset binned(ds, 32);
+  TrainConfig cfg;
+  cfg.max_depth = 6;
+  cfg.features_per_split = 2;
+  const TreeTrainer trainer(binned, cfg);
+  Xoshiro256 rng(3);
+  const DecisionTree tree = trainer.train(all_indices(1000), rng);
+  for (const TreeNode& n : tree.nodes()) {
+    if (n.is_leaf()) continue;
+    bool found = false;
+    const auto f = static_cast<std::size_t>(n.feature);
+    for (int b = 1; b < binned.bins_used(f); ++b) {
+      if (binned.edge(f, b) == n.value) found = true;
+    }
+    EXPECT_TRUE(found) << "threshold " << n.value << " is not a bin edge";
+  }
+}
+
+}  // namespace
+}  // namespace hrf

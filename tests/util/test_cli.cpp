@@ -1,0 +1,98 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hrf {
+namespace {
+
+CliArgs parse(std::vector<const char*> argv) {
+  return CliArgs(static_cast<int>(argv.size()), const_cast<char**>(argv.data()));
+}
+
+TEST(CliArgs, ParsesKeyValuePairs) {
+  auto args = parse({"prog", "--depth", "20", "--name", "susy"});
+  EXPECT_EQ(args.get_int("depth", 0), 20);
+  EXPECT_EQ(args.get("name", ""), "susy");
+}
+
+TEST(CliArgs, ParsesEqualsSyntax) {
+  auto args = parse({"prog", "--depth=25"});
+  EXPECT_EQ(args.get_int("depth", 0), 25);
+}
+
+TEST(CliArgs, BareFlagIsTruthy) {
+  auto args = parse({"prog", "--verbose"});
+  EXPECT_TRUE(args.get_flag("verbose"));
+  EXPECT_FALSE(args.get_flag("quiet"));
+}
+
+TEST(CliArgs, FallbacksApplyWhenAbsent) {
+  auto args = parse({"prog"});
+  EXPECT_EQ(args.get_int("depth", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("scale", 0.5), 0.5);
+  EXPECT_EQ(args.get("name", "dflt"), "dflt");
+}
+
+TEST(CliArgs, ParsesDoubles) {
+  auto args = parse({"prog", "--scale", "0.25"});
+  EXPECT_DOUBLE_EQ(args.get_double("scale", 1.0), 0.25);
+}
+
+TEST(CliArgs, RejectsNonNumericInt) {
+  auto args = parse({"prog", "--depth", "abc"});
+  EXPECT_THROW(args.get_int("depth", 0), ConfigError);
+}
+
+TEST(CliArgs, RejectsNonNumericDouble) {
+  auto args = parse({"prog", "--scale", "zz"});
+  EXPECT_THROW(args.get_double("scale", 0), ConfigError);
+}
+
+TEST(CliArgs, RejectsPositionalArguments) {
+  EXPECT_THROW(parse({"prog", "positional"}), ConfigError);
+}
+
+TEST(CliArgs, ParsesIntLists) {
+  auto args = parse({"prog", "--depths", "15,20,25"});
+  EXPECT_EQ(args.get_int_list("depths", {}), (std::vector<int>{15, 20, 25}));
+}
+
+TEST(CliArgs, IntListFallback) {
+  auto args = parse({"prog"});
+  EXPECT_EQ(args.get_int_list("depths", {4, 6}), (std::vector<int>{4, 6}));
+}
+
+TEST(CliArgs, EmptyIntListThrows) {
+  auto args = parse({"prog", "--depths", ","});
+  EXPECT_THROW(args.get_int_list("depths", {}), ConfigError);
+}
+
+TEST(CliArgs, ValidateAcceptsAllowedKeys) {
+  auto args = parse({"prog", "--depth", "5"});
+  args.allow("depth", "tree depth");
+  EXPECT_TRUE(args.validate());
+}
+
+TEST(CliArgs, ValidateRejectsUnknownKeys) {
+  auto args = parse({"prog", "--tpyo", "5"});
+  args.allow("typo", "correctly spelled");
+  EXPECT_FALSE(args.validate());
+}
+
+TEST(CliArgs, HelpShortCircuitsValidation) {
+  auto args = parse({"prog", "--help"});
+  EXPECT_FALSE(args.validate());
+}
+
+TEST(CliArgs, NegativeNumbersAreValuesNotFlags) {
+  // "--delta -3" would read -3 as a flag start; equals syntax must work.
+  auto args = parse({"prog", "--delta=-3"});
+  EXPECT_EQ(args.get_int("delta", 0), -3);
+}
+
+}  // namespace
+}  // namespace hrf

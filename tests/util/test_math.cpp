@@ -1,0 +1,64 @@
+#include "util/math.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hrf {
+namespace {
+
+TEST(CeilDiv, ExactAndInexact) {
+  EXPECT_EQ(ceil_div(10, 5), 2u);
+  EXPECT_EQ(ceil_div(11, 5), 3u);
+  EXPECT_EQ(ceil_div(0, 5), 0u);
+  EXPECT_EQ(ceil_div(1, 1), 1u);
+}
+
+TEST(CeilDiv, IsConstexpr) {
+  static_assert(ceil_div(7, 2) == 4);
+}
+
+TEST(Ilog2, PowersOfTwo) {
+  EXPECT_EQ(ilog2(1), 0);
+  EXPECT_EQ(ilog2(2), 1);
+  EXPECT_EQ(ilog2(1024), 10);
+}
+
+TEST(Ilog2, FloorsNonPowers) {
+  EXPECT_EQ(ilog2(3), 1);
+  EXPECT_EQ(ilog2(1023), 9);
+  EXPECT_EQ(ilog2(1025), 10);
+}
+
+TEST(Pow2, Values) {
+  EXPECT_EQ(pow2(0), 1u);
+  EXPECT_EQ(pow2(10), 1024u);
+  EXPECT_EQ(pow2(32), 1ull << 32);
+}
+
+TEST(CompleteTreeNodes, MatchesFormula) {
+  EXPECT_EQ(complete_tree_nodes(1), 1u);   // single root
+  EXPECT_EQ(complete_tree_nodes(3), 7u);   // Fig. 3's subtree 0
+  EXPECT_EQ(complete_tree_nodes(10), 1023u);
+}
+
+TEST(AlignUp, AlreadyAligned) {
+  EXPECT_EQ(align_up(256, 256), 256u);
+  EXPECT_EQ(align_up(0, 256), 0u);
+}
+
+TEST(AlignUp, RoundsUp) {
+  EXPECT_EQ(align_up(1, 256), 256u);
+  EXPECT_EQ(align_up(257, 256), 512u);
+}
+
+TEST(SlotArithmetic, ChildrenOfCompleteTreeSlots) {
+  // The layout's core identity: children of slot n are 2n+1 and 2n+2,
+  // and the level of slot p is ilog2(p+1).
+  for (std::uint64_t p = 0; p < 1000; ++p) {
+    const std::uint64_t left = 2 * p + 1;
+    EXPECT_EQ(ilog2(left + 1), ilog2(p + 1) + 1);
+    EXPECT_EQ(ilog2(left + 2), ilog2(p + 1) + 1);
+  }
+}
+
+}  // namespace
+}  // namespace hrf

@@ -1,0 +1,68 @@
+#include "util/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace hrf {
+namespace {
+
+TEST(ConfusionMatrix, ValidatesInput) {
+  const std::vector<std::uint8_t> p{0, 1};
+  const std::vector<std::uint8_t> l{0};
+  EXPECT_THROW(ConfusionMatrix(p, l, 2), ConfigError);
+  const std::vector<std::uint8_t> bad{0, 5};
+  const std::vector<std::uint8_t> ok{0, 1};
+  EXPECT_THROW(ConfusionMatrix(bad, ok, 2), ConfigError);
+  EXPECT_THROW(ConfusionMatrix(ok, ok, 1), ConfigError);
+}
+
+TEST(ConfusionMatrix, CountsCells) {
+  //            pred: 0  1
+  const std::vector<std::uint8_t> preds{0, 0, 1, 1, 1, 0};
+  const std::vector<std::uint8_t> truth{0, 1, 1, 1, 0, 0};
+  const ConfusionMatrix cm(preds, truth, 2);
+  EXPECT_EQ(cm.total(), 6u);
+  EXPECT_EQ(cm.at(0, 0), 2u);  // true 0 predicted 0
+  EXPECT_EQ(cm.at(0, 1), 1u);
+  EXPECT_EQ(cm.at(1, 0), 1u);
+  EXPECT_EQ(cm.at(1, 1), 2u);
+}
+
+TEST(ConfusionMatrix, DerivedScores) {
+  const std::vector<std::uint8_t> preds{0, 0, 1, 1, 1, 0};
+  const std::vector<std::uint8_t> truth{0, 1, 1, 1, 0, 0};
+  const ConfusionMatrix cm(preds, truth, 2);
+  EXPECT_NEAR(cm.accuracy(), 4.0 / 6.0, 1e-12);
+  EXPECT_NEAR(cm.precision(1), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cm.recall(1), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cm.f1(1), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ConfusionMatrix, PerfectPredictor) {
+  const std::vector<std::uint8_t> labels{0, 1, 2, 1, 0, 2};
+  const ConfusionMatrix cm(labels, labels, 3);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.macro_f1(), 1.0);
+}
+
+TEST(ConfusionMatrix, NeverPredictedClassHasZeroPrecision) {
+  const std::vector<std::uint8_t> preds{0, 0, 0};
+  const std::vector<std::uint8_t> truth{0, 1, 2};
+  const ConfusionMatrix cm(preds, truth, 3);
+  EXPECT_DOUBLE_EQ(cm.precision(1), 0.0);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 0.0);
+  EXPECT_DOUBLE_EQ(cm.f1(1), 0.0);
+  EXPECT_GT(cm.macro_f1(), 0.0);  // class 0 still contributes
+}
+
+TEST(ConfusionMatrix, MarkdownContainsScores) {
+  const std::vector<std::uint8_t> labels{0, 1, 1, 0};
+  const ConfusionMatrix cm(labels, labels, 2);
+  const std::string md = cm.to_markdown();
+  EXPECT_NE(md.find("precision"), std::string::npos);
+  EXPECT_NE(md.find("accuracy 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hrf

@@ -1,0 +1,164 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace hrf {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  SplitMix64 a(1234);
+  SplitMix64 b(1234);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Xoshiro256, DeterministicUnderSeed) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, UniformIsInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256, UniformFloatIsInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const float u = rng.uniform_float();
+    ASSERT_GE(u, 0.0f);
+    ASSERT_LT(u, 1.0f);
+  }
+}
+
+TEST(Xoshiro256, UniformRangeRespectsBounds) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.0, 5.5);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.5);
+  }
+}
+
+TEST(Xoshiro256, UniformMeanIsHalf) {
+  Xoshiro256 rng(11);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, BoundedStaysInRange) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) ASSERT_LT(rng.bounded(17), 17u);
+}
+
+TEST(Xoshiro256, BoundedZeroReturnsZero) {
+  Xoshiro256 rng(5);
+  EXPECT_EQ(rng.bounded(0), 0u);
+}
+
+TEST(Xoshiro256, BoundedOneReturnsZero) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Xoshiro256, BoundedIsApproximatelyUniform) {
+  Xoshiro256 rng(13);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::array<int, kBuckets> hist{};
+  for (int i = 0; i < kDraws; ++i) ++hist[rng.bounded(kBuckets)];
+  for (int count : hist) {
+    EXPECT_NEAR(count, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Xoshiro256, NormalMomentsMatchStandardNormal) {
+  Xoshiro256 rng(17);
+  const int n = 200000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Xoshiro256, NormalWithParamsShiftsAndScales) {
+  Xoshiro256 rng(19);
+  const int n = 100000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Xoshiro256, BernoulliMatchesProbability) {
+  Xoshiro256 rng(23);
+  const int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Xoshiro256, JumpProducesDisjointStream) {
+  Xoshiro256 a(31);
+  Xoshiro256 b(31);
+  b.jump();
+  std::set<std::uint64_t> first;
+  for (int i = 0; i < 1000; ++i) first.insert(a.next());
+  int overlap = 0;
+  for (int i = 0; i < 1000; ++i) overlap += first.count(b.next());
+  EXPECT_EQ(overlap, 0);
+}
+
+TEST(Xoshiro256, SplitLeavesOriginalUntouched) {
+  Xoshiro256 a(37);
+  Xoshiro256 reference(37);
+  const Xoshiro256 child = a.split(0);
+  (void)child;
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(a.next(), reference.next());
+}
+
+TEST(Xoshiro256, SplitStreamsAreDistinct) {
+  const Xoshiro256 base(41);
+  Xoshiro256 s0 = base.split(0);
+  Xoshiro256 s1 = base.split(1);
+  int same = 0;
+  for (int i = 0; i < 256; ++i) same += s0.next() == s1.next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Xoshiro256, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoshiro256::min() == 0);
+  static_assert(Xoshiro256::max() == ~0ULL);
+  Xoshiro256 rng(43);
+  std::vector<int> v{1, 2, 3, 4, 5};
+  // Compiles and runs with <random>-style shuffling.
+  for (std::size_t i = v.size() - 1; i > 0; --i) {
+    std::swap(v[i], v[rng.bounded(i + 1)]);
+  }
+  EXPECT_EQ(v.size(), 5u);
+}
+
+}  // namespace
+}  // namespace hrf

@@ -1,0 +1,80 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace hrf {
+namespace {
+
+TEST(Summarize, EmptyGivesZeros) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Summarize, SingleElement) {
+  const std::vector<double> xs{4.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 4.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(Summarize, KnownValues) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Summarize, NegativeValues) {
+  const std::vector<double> xs{-1.0, 1.0};
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, -1.0);
+}
+
+TEST(Percentile, EmptyGivesZero) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(Percentile, MedianOfOddCount) {
+  EXPECT_DOUBLE_EQ(percentile({3, 1, 2}, 50), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 25), 2.5);
+}
+
+TEST(Percentile, ExtremesPickMinAndMax) {
+  const std::vector<double> xs{5, 1, 9, 3};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 9.0);
+}
+
+TEST(GeometricMean, EmptyGivesZero) {
+  EXPECT_DOUBLE_EQ(geometric_mean({}), 0.0);
+}
+
+TEST(GeometricMean, KnownValue) {
+  const std::vector<double> xs{2.0, 8.0};
+  EXPECT_NEAR(geometric_mean(xs), 4.0, 1e-12);
+}
+
+TEST(GeometricMean, NonPositiveGivesZero) {
+  const std::vector<double> xs{2.0, 0.0};
+  EXPECT_DOUBLE_EQ(geometric_mean(xs), 0.0);
+  const std::vector<double> ys{2.0, -1.0};
+  EXPECT_DOUBLE_EQ(geometric_mean(ys), 0.0);
+}
+
+}  // namespace
+}  // namespace hrf

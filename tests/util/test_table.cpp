@@ -1,0 +1,107 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace hrf {
+namespace {
+
+TEST(Table, RequiresAtLeastOneColumn) {
+  EXPECT_THROW(Table({}), ConfigError);
+}
+
+TEST(Table, MarkdownRendersHeaderSeparatorAndRows) {
+  Table t({"a", "b"});
+  t.row().cell("x").cell(std::int64_t{1});
+  const std::string md = t.markdown();
+  EXPECT_NE(md.find("| a"), std::string::npos);
+  EXPECT_NE(md.find("|--"), std::string::npos);
+  EXPECT_NE(md.find("| x"), std::string::npos);
+  EXPECT_NE(md.find("| 1"), std::string::npos);
+}
+
+TEST(Table, MarkdownAlignsColumnWidths) {
+  Table t({"col", "x"});
+  t.row().cell("longvalue").cell("1");
+  const std::string md = t.markdown();
+  // Header row and data row must have the same length (padded cells).
+  const auto first_nl = md.find('\n');
+  const auto header = md.substr(0, first_nl);
+  const auto last_row_start = md.rfind("| longvalue");
+  const auto last_row = md.substr(last_row_start, md.find('\n', last_row_start) - last_row_start);
+  EXPECT_EQ(header.size(), last_row.size());
+}
+
+TEST(Table, DoubleCellUsesPrecision) {
+  Table t({"v"});
+  t.row().cell(3.14159, 2);
+  EXPECT_NE(t.markdown().find("3.14"), std::string::npos);
+  EXPECT_EQ(t.markdown().find("3.142"), std::string::npos);
+}
+
+TEST(Table, CellWithoutRowThrows) {
+  Table t({"v"});
+  EXPECT_THROW(t.cell("x"), ConfigError);
+}
+
+TEST(Table, TooManyCellsThrows) {
+  Table t({"v"});
+  t.row().cell("a");
+  EXPECT_THROW(t.cell("b"), ConfigError);
+}
+
+TEST(Table, IncompleteRowDetectedOnNextRow) {
+  Table t({"a", "b"});
+  t.row().cell("only one");
+  EXPECT_THROW(t.row(), ConfigError);
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes) {
+  Table t({"v"});
+  t.row().cell("a,b");
+  t.row().cell("say \"hi\"");
+  const std::string csv = t.csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvHasHeaderAndRows) {
+  Table t({"a", "b"});
+  t.row().cell(std::int64_t{1}).cell(std::int64_t{2});
+  EXPECT_EQ(t.csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, CountsRowsAndColumns) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.columns(), 3u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.row().cell("1").cell("2").cell("3");
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, WriteCsvRoundTrips) {
+  Table t({"x"});
+  t.row().cell("val");
+  const std::string path = testing::TempDir() + "/hrf_table_test.csv";
+  t.write_csv(path);
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "x");
+  std::getline(f, line);
+  EXPECT_EQ(line, "val");
+  std::remove(path.c_str());
+}
+
+TEST(Table, WriteCsvToBadPathThrows) {
+  Table t({"x"});
+  t.row().cell("v");
+  EXPECT_THROW(t.write_csv("/nonexistent-dir-zz/file.csv"), Error);
+}
+
+}  // namespace
+}  // namespace hrf

@@ -1,0 +1,213 @@
+// hrf_cli — command-line front end for the library.
+//
+//   hrf_cli --mode gen      --dataset susy --samples 100000 --out data.hrfd
+//   hrf_cli --mode train    --data data.hrfd --trees 100 --depth 20 --out model.hrff
+//   hrf_cli --mode info     --model model.hrff
+//   hrf_cli --mode predict  --model model.hrff --data data.hrfd
+//                           --backend gpu-sim --variant hybrid --sd 8 --rsd 10
+//   hrf_cli --mode layout   --model model.hrff
+//
+// `gen` synthesizes a dataset; `train` fits a forest (training uses the
+// train half of --data when --split is set, else all rows); `predict`
+// classifies and reports accuracy + device counters; `info` prints model
+// statistics; `layout` sweeps the hierarchical layout tuning grid.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/hrf.hpp"
+#include "forest/importance.hpp"
+#include "util/cli.hpp"
+#include "util/metrics.hpp"
+
+namespace {
+
+using namespace hrf;
+
+Dataset make_named_dataset(const std::string& name, std::size_t samples) {
+  if (name == "covertype") return make_covertype_like(samples);
+  if (name == "susy") return make_susy_like(samples);
+  if (name == "higgs") return make_higgs_like(samples);
+  throw ConfigError("unknown --dataset '" + name + "' (covertype|susy|higgs)");
+}
+
+Backend parse_backend(const std::string& name) {
+  if (name == "cpu") return Backend::CpuNative;
+  if (name == "gpu-sim") return Backend::GpuSim;
+  if (name == "fpga-sim") return Backend::FpgaSim;
+  throw ConfigError("unknown --backend '" + name + "' (cpu|gpu-sim|fpga-sim)");
+}
+
+Variant parse_variant(const std::string& name) {
+  if (name == "csr") return Variant::Csr;
+  if (name == "independent") return Variant::Independent;
+  if (name == "collaborative") return Variant::Collaborative;
+  if (name == "hybrid") return Variant::Hybrid;
+  if (name == "fil") return Variant::FilBaseline;
+  throw ConfigError("unknown --variant '" + name +
+                    "' (csr|independent|collaborative|hybrid|fil)");
+}
+
+int mode_gen(const CliArgs& args) {
+  const Dataset ds = make_named_dataset(args.get("dataset", "susy"),
+                                        static_cast<std::size_t>(args.get_int("samples", 100'000)));
+  const std::string out = args.get("out", "data.hrfd");
+  ds.save(out);
+  std::printf("wrote %s: %zu samples x %zu features, %d classes, %.1f%% class 1\n", out.c_str(),
+              ds.num_samples(), ds.num_features(), ds.num_classes(),
+              100 * ds.positive_fraction());
+  return 0;
+}
+
+int mode_train(const CliArgs& args) {
+  const Dataset data = Dataset::load(args.get("data", "data.hrfd"));
+  const Dataset train = args.get_flag("split") ? data.split().first : data;
+  TrainConfig cfg;
+  cfg.num_trees = static_cast<int>(args.get_int("trees", 100));
+  cfg.max_depth = static_cast<int>(args.get_int("depth", 20));
+  cfg.features_per_split = static_cast<int>(args.get_int("features-per-split", 0));
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  WallTimer timer;
+  const Forest forest = train_forest(train, cfg);
+  const double train_s = timer.seconds();
+  const std::string out = args.get("out", "model.hrff");
+  forest.save(out);
+  const ForestStats fs = forest.stats();
+  std::printf("trained %zu trees on %zu samples in %.1fs\n", fs.tree_count, train.num_samples(),
+              train_s);
+  std::printf("wrote %s: %zu nodes, max depth %d, mean leaf depth %.1f\n", out.c_str(),
+              fs.total_nodes, fs.max_depth, fs.mean_leaf_depth);
+  if (args.get_flag("split")) {
+    const Dataset test = data.split().second;
+    std::printf("holdout accuracy: %.2f%%\n",
+                100 * forest.accuracy(test.features(), test.labels()));
+  }
+  return 0;
+}
+
+int mode_info(const CliArgs& args) {
+  const Forest forest = Forest::load(args.get("model", "model.hrff"));
+  const ForestStats fs = forest.stats();
+  Table t({"property", "value"});
+  t.row().cell("trees").cell(static_cast<std::uint64_t>(fs.tree_count));
+  t.row().cell("features").cell(static_cast<std::uint64_t>(forest.num_features()));
+  t.row().cell("classes").cell(std::int64_t{forest.num_classes()});
+  t.row().cell("total nodes").cell(static_cast<std::uint64_t>(fs.total_nodes));
+  t.row().cell("total leaves").cell(static_cast<std::uint64_t>(fs.total_leaves));
+  t.row().cell("max depth").cell(std::int64_t{fs.max_depth});
+  t.row().cell("mean tree depth").cell(fs.mean_depth, 1);
+  t.row().cell("mean leaf depth").cell(fs.mean_leaf_depth, 1);
+  t.row().cell("csr bytes").cell(static_cast<std::uint64_t>(CsrForest::build(forest).memory_bytes()));
+  print_table(std::cout, "Model " + args.get("model", "model.hrff"), t);
+
+  const auto importances = feature_importance(forest);
+  Table imp({"rank", "feature", "importance"});
+  int rank = 1;
+  for (std::size_t f : top_features(forest, 10)) {
+    imp.row().cell(std::int64_t{rank++}).cell(static_cast<std::uint64_t>(f)).cell(
+        importances[f], 4);
+  }
+  print_table(std::cout, "Top feature importances (structural proxy)", imp);
+  return 0;
+}
+
+int mode_layout(const CliArgs& args) {
+  const Forest forest = Forest::load(args.get("model", "model.hrff"));
+  const CsrForest csr = CsrForest::build(forest);
+  Table t({"SD", "RSD", "stored nodes", "padding", "subtrees", "bytes vs CSR"});
+  for (int sd : args.get_int_list("sd", {4, 6, 8})) {
+    for (int rsd : args.get_int_list("rsd", {0, 10, 12})) {
+      if (rsd != 0 && rsd <= sd) continue;
+      HierConfig cfg;
+      cfg.subtree_depth = sd;
+      cfg.root_subtree_depth = rsd;
+      const HierarchicalForest h = HierarchicalForest::build(forest, cfg);
+      const HierStats s = h.stats();
+      t.row()
+          .cell(std::int64_t{sd})
+          .cell(std::int64_t{cfg.effective_root_depth()})
+          .cell(static_cast<std::uint64_t>(s.stored_nodes))
+          .cell(s.padding_ratio, 3)
+          .cell(static_cast<std::uint64_t>(s.num_subtrees))
+          .cell(static_cast<double>(h.memory_bytes()) / csr.memory_bytes(), 2);
+    }
+  }
+  print_table(std::cout, "Hierarchical layout grid", t);
+  return 0;
+}
+
+int mode_predict(const CliArgs& args) {
+  const Dataset data = Dataset::load(args.get("data", "data.hrfd"));
+  ClassifierOptions opt;
+  opt.backend = parse_backend(args.get("backend", "cpu"));
+  opt.variant = parse_variant(args.get("variant", "independent"));
+  opt.layout.subtree_depth = static_cast<int>(args.get_int("sd", 8));
+  opt.layout.root_subtree_depth = static_cast<int>(args.get_int("rsd", 0));
+  const Classifier clf = Classifier::load(args.get("model", "model.hrff"), opt);
+  const RunReport r = clf.classify(data);
+
+  std::printf("%zu queries on %s/%s: %.5f %s\n", data.num_samples(), to_string(opt.backend),
+              to_string(opt.variant), r.seconds, r.simulated ? "simulated-s" : "wall-s");
+  std::printf("accuracy vs dataset labels: %.2f%%\n", 100 * r.accuracy(data.labels()));
+  const ConfusionMatrix cm(r.predictions, data.labels(), data.num_classes());
+  std::printf("%s", cm.to_markdown().c_str());
+  if (r.gpu_counters) {
+    std::printf("gpu: %llu load requests, %.1f transactions/request, branch eff %.3f, "
+                "limiter %s\n",
+                static_cast<unsigned long long>(r.gpu_counters->gld_requests),
+                r.gpu_counters->transactions_per_request(), r.gpu_counters->branch_efficiency(),
+                r.gpu_timing->limiter.c_str());
+  }
+  if (r.fpga_report) {
+    std::printf("fpga: stall %.1f%%, II %s, clock %.0f MHz, limiter %s\n",
+                r.fpga_report->stall_pct, r.fpga_report->ii_desc.c_str(),
+                r.fpga_report->clock_mhz, r.fpga_report->limiter.c_str());
+  }
+  const std::string out = args.get("out", "");
+  if (!out.empty()) {
+    Table t({"query", "prediction"});
+    for (std::size_t i = 0; i < r.predictions.size(); ++i) {
+      t.row().cell(static_cast<std::uint64_t>(i)).cell(std::int64_t{r.predictions[i]});
+    }
+    t.write_csv(out);
+    std::printf("predictions written to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  args.allow("mode", "gen | train | info | layout | predict")
+      .allow("dataset", "gen: covertype | susy | higgs")
+      .allow("samples", "gen: sample count")
+      .allow("data", "train/predict: dataset file (.hrfd)")
+      .allow("split", "train: use the train half, report holdout accuracy")
+      .allow("trees", "train: number of trees")
+      .allow("depth", "train: max tree depth")
+      .allow("features-per-split", "train: 0 = sqrt default")
+      .allow("seed", "train: RNG seed")
+      .allow("model", "info/layout/predict: model file (.hrff)")
+      .allow("backend", "predict: cpu | gpu-sim | fpga-sim")
+      .allow("variant", "predict: csr | independent | collaborative | hybrid | fil")
+      .allow("sd", "layout/predict: max subtree depth(s)")
+      .allow("rsd", "layout/predict: root subtree depth(s), 0 = SD")
+      .allow("out", "gen/train/predict: output path");
+  if (!args.validate()) return 1;
+
+  try {
+    const std::string mode = args.get("mode", "");
+    if (mode == "gen") return mode_gen(args);
+    if (mode == "train") return mode_train(args);
+    if (mode == "info") return mode_info(args);
+    if (mode == "layout") return mode_layout(args);
+    if (mode == "predict") return mode_predict(args);
+    std::fprintf(stderr, "missing or unknown --mode (try --help)\n");
+    return 1;
+  } catch (const hrf::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
