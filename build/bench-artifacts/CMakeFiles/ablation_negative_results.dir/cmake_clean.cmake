@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_negative_results"
+  "../bench/ablation_negative_results.pdb"
+  "CMakeFiles/ablation_negative_results.dir/ablation_negative_results.cpp.o"
+  "CMakeFiles/ablation_negative_results.dir/ablation_negative_results.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_negative_results.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_quantization"
+  "../bench/ablation_quantization.pdb"
+  "CMakeFiles/ablation_quantization.dir/ablation_quantization.cpp.o"
+  "CMakeFiles/ablation_quantization.dir/ablation_quantization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_quantization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_tree_clustering"
+  "../bench/ablation_tree_clustering.pdb"
+  "CMakeFiles/ablation_tree_clustering.dir/ablation_tree_clustering.cpp.o"
+  "CMakeFiles/ablation_tree_clustering.dir/ablation_tree_clustering.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tree_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

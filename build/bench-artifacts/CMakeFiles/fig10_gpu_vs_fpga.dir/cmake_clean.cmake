@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_gpu_vs_fpga"
+  "../bench/fig10_gpu_vs_fpga.pdb"
+  "CMakeFiles/fig10_gpu_vs_fpga.dir/fig10_gpu_vs_fpga.cpp.o"
+  "CMakeFiles/fig10_gpu_vs_fpga.dir/fig10_gpu_vs_fpga.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_gpu_vs_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_accuracy"
+  "../bench/fig5_accuracy.pdb"
+  "CMakeFiles/fig5_accuracy.dir/fig5_accuracy.cpp.o"
+  "CMakeFiles/fig5_accuracy.dir/fig5_accuracy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_memory_footprint"
+  "../bench/fig6_memory_footprint.pdb"
+  "CMakeFiles/fig6_memory_footprint.dir/fig6_memory_footprint.cpp.o"
+  "CMakeFiles/fig6_memory_footprint.dir/fig6_memory_footprint.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_memory_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

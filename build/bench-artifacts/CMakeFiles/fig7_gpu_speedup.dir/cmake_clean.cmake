@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_gpu_speedup"
+  "../bench/fig7_gpu_speedup.pdb"
+  "CMakeFiles/fig7_gpu_speedup.dir/fig7_gpu_speedup.cpp.o"
+  "CMakeFiles/fig7_gpu_speedup.dir/fig7_gpu_speedup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_gpu_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_gpu_counters"
+  "../bench/fig8_gpu_counters.pdb"
+  "CMakeFiles/fig8_gpu_counters.dir/fig8_gpu_counters.cpp.o"
+  "CMakeFiles/fig8_gpu_counters.dir/fig8_gpu_counters.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_gpu_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

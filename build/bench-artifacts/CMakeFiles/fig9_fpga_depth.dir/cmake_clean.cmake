@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_fpga_depth"
+  "../bench/fig9_fpga_depth.pdb"
+  "CMakeFiles/fig9_fpga_depth.dir/fig9_fpga_depth.cpp.o"
+  "CMakeFiles/fig9_fpga_depth.dir/fig9_fpga_depth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_fpga_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_traversal"
+  "../bench/micro_traversal.pdb"
+  "CMakeFiles/micro_traversal.dir/micro_traversal.cpp.o"
+  "CMakeFiles/micro_traversal.dir/micro_traversal.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

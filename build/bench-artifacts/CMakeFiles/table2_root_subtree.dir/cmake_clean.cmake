@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_root_subtree"
+  "../bench/table2_root_subtree.pdb"
+  "CMakeFiles/table2_root_subtree.dir/table2_root_subtree.cpp.o"
+  "CMakeFiles/table2_root_subtree.dir/table2_root_subtree.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_root_subtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_fpga_variants"
+  "../bench/table3_fpga_variants.pdb"
+  "CMakeFiles/table3_fpga_variants.dir/table3_fpga_variants.cpp.o"
+  "CMakeFiles/table3_fpga_variants.dir/table3_fpga_variants.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_fpga_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

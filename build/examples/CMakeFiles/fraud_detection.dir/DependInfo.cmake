@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/fraud_detection.cpp" "examples/CMakeFiles/fraud_detection.dir/fraud_detection.cpp.o" "gcc" "examples/CMakeFiles/fraud_detection.dir/fraud_detection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hrf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/hrf_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/hrf_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpukernels/CMakeFiles/hrf_gpukernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/hrf_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpgakernels/CMakeFiles/hrf_fpgakernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpgasim/CMakeFiles/hrf_fpgasim.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/hrf_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hrf_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/forest/CMakeFiles/hrf_forest.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hrf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

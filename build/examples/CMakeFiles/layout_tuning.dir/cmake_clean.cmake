@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_tuning.dir/layout_tuning.cpp.o"
+  "CMakeFiles/layout_tuning.dir/layout_tuning.cpp.o.d"
+  "layout_tuning"
+  "layout_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

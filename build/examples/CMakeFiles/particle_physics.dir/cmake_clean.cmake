@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/particle_physics.dir/particle_physics.cpp.o"
+  "CMakeFiles/particle_physics.dir/particle_physics.cpp.o.d"
+  "particle_physics"
+  "particle_physics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/particle_physics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

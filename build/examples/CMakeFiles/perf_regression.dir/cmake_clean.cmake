@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_regression.dir/perf_regression.cpp.o"
+  "CMakeFiles/perf_regression.dir/perf_regression.cpp.o.d"
+  "perf_regression"
+  "perf_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

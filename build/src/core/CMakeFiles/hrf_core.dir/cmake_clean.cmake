@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hrf_core.dir/classifier.cpp.o"
+  "CMakeFiles/hrf_core.dir/classifier.cpp.o.d"
+  "CMakeFiles/hrf_core.dir/paper.cpp.o"
+  "CMakeFiles/hrf_core.dir/paper.cpp.o.d"
+  "libhrf_core.a"
+  "libhrf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hrf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/cpu_kernels.cpp" "src/cpu/CMakeFiles/hrf_cpu.dir/cpu_kernels.cpp.o" "gcc" "src/cpu/CMakeFiles/hrf_cpu.dir/cpu_kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hrf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/forest/CMakeFiles/hrf_forest.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/hrf_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hrf_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

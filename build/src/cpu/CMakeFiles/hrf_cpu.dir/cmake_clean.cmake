@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hrf_cpu.dir/cpu_kernels.cpp.o"
+  "CMakeFiles/hrf_cpu.dir/cpu_kernels.cpp.o.d"
+  "libhrf_cpu.a"
+  "libhrf_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hrf_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

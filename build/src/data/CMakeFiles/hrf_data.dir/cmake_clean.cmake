@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hrf_data.dir/dataset.cpp.o"
+  "CMakeFiles/hrf_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/hrf_data.dir/synthetic.cpp.o"
+  "CMakeFiles/hrf_data.dir/synthetic.cpp.o.d"
+  "libhrf_data.a"
+  "libhrf_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hrf_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

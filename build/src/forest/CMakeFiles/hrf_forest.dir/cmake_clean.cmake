@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hrf_forest.dir/decision_tree.cpp.o"
+  "CMakeFiles/hrf_forest.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/hrf_forest.dir/forest.cpp.o"
+  "CMakeFiles/hrf_forest.dir/forest.cpp.o.d"
+  "CMakeFiles/hrf_forest.dir/importance.cpp.o"
+  "CMakeFiles/hrf_forest.dir/importance.cpp.o.d"
+  "CMakeFiles/hrf_forest.dir/random_forest_gen.cpp.o"
+  "CMakeFiles/hrf_forest.dir/random_forest_gen.cpp.o.d"
+  "libhrf_forest.a"
+  "libhrf_forest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hrf_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

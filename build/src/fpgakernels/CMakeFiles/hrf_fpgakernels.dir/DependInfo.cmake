@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpgakernels/fpga_kernels.cpp" "src/fpgakernels/CMakeFiles/hrf_fpgakernels.dir/fpga_kernels.cpp.o" "gcc" "src/fpgakernels/CMakeFiles/hrf_fpgakernels.dir/fpga_kernels.cpp.o.d"
+  "/root/repo/src/fpgakernels/traversal_counts.cpp" "src/fpgakernels/CMakeFiles/hrf_fpgakernels.dir/traversal_counts.cpp.o" "gcc" "src/fpgakernels/CMakeFiles/hrf_fpgakernels.dir/traversal_counts.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hrf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/forest/CMakeFiles/hrf_forest.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/hrf_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hrf_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpgasim/CMakeFiles/hrf_fpgasim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hrf_fpgakernels.dir/fpga_kernels.cpp.o"
+  "CMakeFiles/hrf_fpgakernels.dir/fpga_kernels.cpp.o.d"
+  "CMakeFiles/hrf_fpgakernels.dir/traversal_counts.cpp.o"
+  "CMakeFiles/hrf_fpgakernels.dir/traversal_counts.cpp.o.d"
+  "libhrf_fpgakernels.a"
+  "libhrf_fpgakernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hrf_fpgakernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpgasim/pipeline.cpp" "src/fpgasim/CMakeFiles/hrf_fpgasim.dir/pipeline.cpp.o" "gcc" "src/fpgasim/CMakeFiles/hrf_fpgasim.dir/pipeline.cpp.o.d"
+  "/root/repo/src/fpgasim/resources.cpp" "src/fpgasim/CMakeFiles/hrf_fpgasim.dir/resources.cpp.o" "gcc" "src/fpgasim/CMakeFiles/hrf_fpgasim.dir/resources.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hrf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/hrf_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/forest/CMakeFiles/hrf_forest.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hrf_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hrf_fpgasim.dir/pipeline.cpp.o"
+  "CMakeFiles/hrf_fpgasim.dir/pipeline.cpp.o.d"
+  "CMakeFiles/hrf_fpgasim.dir/resources.cpp.o"
+  "CMakeFiles/hrf_fpgasim.dir/resources.cpp.o.d"
+  "libhrf_fpgasim.a"
+  "libhrf_fpgasim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hrf_fpgasim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpukernels/ablation_kernels.cpp" "src/gpukernels/CMakeFiles/hrf_gpukernels.dir/ablation_kernels.cpp.o" "gcc" "src/gpukernels/CMakeFiles/hrf_gpukernels.dir/ablation_kernels.cpp.o.d"
+  "/root/repo/src/gpukernels/collaborative_kernel.cpp" "src/gpukernels/CMakeFiles/hrf_gpukernels.dir/collaborative_kernel.cpp.o" "gcc" "src/gpukernels/CMakeFiles/hrf_gpukernels.dir/collaborative_kernel.cpp.o.d"
+  "/root/repo/src/gpukernels/csr_kernel.cpp" "src/gpukernels/CMakeFiles/hrf_gpukernels.dir/csr_kernel.cpp.o" "gcc" "src/gpukernels/CMakeFiles/hrf_gpukernels.dir/csr_kernel.cpp.o.d"
+  "/root/repo/src/gpukernels/fil_kernel.cpp" "src/gpukernels/CMakeFiles/hrf_gpukernels.dir/fil_kernel.cpp.o" "gcc" "src/gpukernels/CMakeFiles/hrf_gpukernels.dir/fil_kernel.cpp.o.d"
+  "/root/repo/src/gpukernels/hybrid_kernel.cpp" "src/gpukernels/CMakeFiles/hrf_gpukernels.dir/hybrid_kernel.cpp.o" "gcc" "src/gpukernels/CMakeFiles/hrf_gpukernels.dir/hybrid_kernel.cpp.o.d"
+  "/root/repo/src/gpukernels/independent_kernel.cpp" "src/gpukernels/CMakeFiles/hrf_gpukernels.dir/independent_kernel.cpp.o" "gcc" "src/gpukernels/CMakeFiles/hrf_gpukernels.dir/independent_kernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hrf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/forest/CMakeFiles/hrf_forest.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/hrf_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hrf_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/hrf_gpusim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hrf_gpukernels.dir/ablation_kernels.cpp.o"
+  "CMakeFiles/hrf_gpukernels.dir/ablation_kernels.cpp.o.d"
+  "CMakeFiles/hrf_gpukernels.dir/collaborative_kernel.cpp.o"
+  "CMakeFiles/hrf_gpukernels.dir/collaborative_kernel.cpp.o.d"
+  "CMakeFiles/hrf_gpukernels.dir/csr_kernel.cpp.o"
+  "CMakeFiles/hrf_gpukernels.dir/csr_kernel.cpp.o.d"
+  "CMakeFiles/hrf_gpukernels.dir/fil_kernel.cpp.o"
+  "CMakeFiles/hrf_gpukernels.dir/fil_kernel.cpp.o.d"
+  "CMakeFiles/hrf_gpukernels.dir/hybrid_kernel.cpp.o"
+  "CMakeFiles/hrf_gpukernels.dir/hybrid_kernel.cpp.o.d"
+  "CMakeFiles/hrf_gpukernels.dir/independent_kernel.cpp.o"
+  "CMakeFiles/hrf_gpukernels.dir/independent_kernel.cpp.o.d"
+  "libhrf_gpukernels.a"
+  "libhrf_gpukernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hrf_gpukernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

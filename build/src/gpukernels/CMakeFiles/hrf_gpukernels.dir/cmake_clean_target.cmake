@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhrf_gpukernels.a"
+)

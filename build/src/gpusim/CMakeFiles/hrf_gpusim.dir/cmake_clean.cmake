@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hrf_gpusim.dir/cache.cpp.o"
+  "CMakeFiles/hrf_gpusim.dir/cache.cpp.o.d"
+  "CMakeFiles/hrf_gpusim.dir/device.cpp.o"
+  "CMakeFiles/hrf_gpusim.dir/device.cpp.o.d"
+  "libhrf_gpusim.a"
+  "libhrf_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hrf_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/csr.cpp" "src/layout/CMakeFiles/hrf_layout.dir/csr.cpp.o" "gcc" "src/layout/CMakeFiles/hrf_layout.dir/csr.cpp.o.d"
+  "/root/repo/src/layout/hierarchical.cpp" "src/layout/CMakeFiles/hrf_layout.dir/hierarchical.cpp.o" "gcc" "src/layout/CMakeFiles/hrf_layout.dir/hierarchical.cpp.o.d"
+  "/root/repo/src/layout/layout_io.cpp" "src/layout/CMakeFiles/hrf_layout.dir/layout_io.cpp.o" "gcc" "src/layout/CMakeFiles/hrf_layout.dir/layout_io.cpp.o.d"
+  "/root/repo/src/layout/quantized.cpp" "src/layout/CMakeFiles/hrf_layout.dir/quantized.cpp.o" "gcc" "src/layout/CMakeFiles/hrf_layout.dir/quantized.cpp.o.d"
+  "/root/repo/src/layout/tree_clustering.cpp" "src/layout/CMakeFiles/hrf_layout.dir/tree_clustering.cpp.o" "gcc" "src/layout/CMakeFiles/hrf_layout.dir/tree_clustering.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hrf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/forest/CMakeFiles/hrf_forest.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hrf_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

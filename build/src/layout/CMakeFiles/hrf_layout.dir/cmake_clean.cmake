@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hrf_layout.dir/csr.cpp.o"
+  "CMakeFiles/hrf_layout.dir/csr.cpp.o.d"
+  "CMakeFiles/hrf_layout.dir/hierarchical.cpp.o"
+  "CMakeFiles/hrf_layout.dir/hierarchical.cpp.o.d"
+  "CMakeFiles/hrf_layout.dir/layout_io.cpp.o"
+  "CMakeFiles/hrf_layout.dir/layout_io.cpp.o.d"
+  "CMakeFiles/hrf_layout.dir/quantized.cpp.o"
+  "CMakeFiles/hrf_layout.dir/quantized.cpp.o.d"
+  "CMakeFiles/hrf_layout.dir/tree_clustering.cpp.o"
+  "CMakeFiles/hrf_layout.dir/tree_clustering.cpp.o.d"
+  "libhrf_layout.a"
+  "libhrf_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hrf_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

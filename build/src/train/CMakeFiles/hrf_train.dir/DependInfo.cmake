@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/train/binned.cpp" "src/train/CMakeFiles/hrf_train.dir/binned.cpp.o" "gcc" "src/train/CMakeFiles/hrf_train.dir/binned.cpp.o.d"
+  "/root/repo/src/train/forest_trainer.cpp" "src/train/CMakeFiles/hrf_train.dir/forest_trainer.cpp.o" "gcc" "src/train/CMakeFiles/hrf_train.dir/forest_trainer.cpp.o.d"
+  "/root/repo/src/train/regression.cpp" "src/train/CMakeFiles/hrf_train.dir/regression.cpp.o" "gcc" "src/train/CMakeFiles/hrf_train.dir/regression.cpp.o.d"
+  "/root/repo/src/train/tree_trainer.cpp" "src/train/CMakeFiles/hrf_train.dir/tree_trainer.cpp.o" "gcc" "src/train/CMakeFiles/hrf_train.dir/tree_trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hrf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hrf_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/forest/CMakeFiles/hrf_forest.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

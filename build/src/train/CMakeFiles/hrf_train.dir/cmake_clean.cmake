@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hrf_train.dir/binned.cpp.o"
+  "CMakeFiles/hrf_train.dir/binned.cpp.o.d"
+  "CMakeFiles/hrf_train.dir/forest_trainer.cpp.o"
+  "CMakeFiles/hrf_train.dir/forest_trainer.cpp.o.d"
+  "CMakeFiles/hrf_train.dir/regression.cpp.o"
+  "CMakeFiles/hrf_train.dir/regression.cpp.o.d"
+  "CMakeFiles/hrf_train.dir/tree_trainer.cpp.o"
+  "CMakeFiles/hrf_train.dir/tree_trainer.cpp.o.d"
+  "libhrf_train.a"
+  "libhrf_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hrf_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

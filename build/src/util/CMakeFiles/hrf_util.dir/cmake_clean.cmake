@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hrf_util.dir/cli.cpp.o"
+  "CMakeFiles/hrf_util.dir/cli.cpp.o.d"
+  "CMakeFiles/hrf_util.dir/metrics.cpp.o"
+  "CMakeFiles/hrf_util.dir/metrics.cpp.o.d"
+  "CMakeFiles/hrf_util.dir/rng.cpp.o"
+  "CMakeFiles/hrf_util.dir/rng.cpp.o.d"
+  "CMakeFiles/hrf_util.dir/stats.cpp.o"
+  "CMakeFiles/hrf_util.dir/stats.cpp.o.d"
+  "CMakeFiles/hrf_util.dir/table.cpp.o"
+  "CMakeFiles/hrf_util.dir/table.cpp.o.d"
+  "libhrf_util.a"
+  "libhrf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hrf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ablation_kernels.dir/gpukernels/test_ablation_kernels.cpp.o"
+  "CMakeFiles/test_ablation_kernels.dir/gpukernels/test_ablation_kernels.cpp.o.d"
+  "test_ablation_kernels"
+  "test_ablation_kernels.pdb"
+  "test_ablation_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ablation_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

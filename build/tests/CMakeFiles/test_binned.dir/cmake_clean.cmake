@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_binned.dir/train/test_binned.cpp.o"
+  "CMakeFiles/test_binned.dir/train/test_binned.cpp.o.d"
+  "test_binned"
+  "test_binned.pdb"
+  "test_binned[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_binned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_kernels.dir/cpu/test_cpu_kernels.cpp.o"
+  "CMakeFiles/test_cpu_kernels.dir/cpu/test_cpu_kernels.cpp.o.d"
+  "test_cpu_kernels"
+  "test_cpu_kernels.pdb"
+  "test_cpu_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

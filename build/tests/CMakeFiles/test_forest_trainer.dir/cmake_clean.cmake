@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_forest_trainer.dir/train/test_forest_trainer.cpp.o"
+  "CMakeFiles/test_forest_trainer.dir/train/test_forest_trainer.cpp.o.d"
+  "test_forest_trainer"
+  "test_forest_trainer.pdb"
+  "test_forest_trainer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_forest_trainer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

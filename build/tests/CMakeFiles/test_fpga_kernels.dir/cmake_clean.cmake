@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fpga_kernels.dir/fpgakernels/test_fpga_kernels.cpp.o"
+  "CMakeFiles/test_fpga_kernels.dir/fpgakernels/test_fpga_kernels.cpp.o.d"
+  "test_fpga_kernels"
+  "test_fpga_kernels.pdb"
+  "test_fpga_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fpga_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

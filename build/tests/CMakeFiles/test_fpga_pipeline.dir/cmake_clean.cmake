@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fpga_pipeline.dir/fpgasim/test_fpga_pipeline.cpp.o"
+  "CMakeFiles/test_fpga_pipeline.dir/fpgasim/test_fpga_pipeline.cpp.o.d"
+  "test_fpga_pipeline"
+  "test_fpga_pipeline.pdb"
+  "test_fpga_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fpga_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fpga_resources.dir/fpgasim/test_resources.cpp.o"
+  "CMakeFiles/test_fpga_resources.dir/fpgasim/test_resources.cpp.o.d"
+  "test_fpga_resources"
+  "test_fpga_resources.pdb"
+  "test_fpga_resources[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fpga_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu_kernels.dir/gpukernels/test_gpu_kernels.cpp.o"
+  "CMakeFiles/test_gpu_kernels.dir/gpukernels/test_gpu_kernels.cpp.o.d"
+  "test_gpu_kernels"
+  "test_gpu_kernels.pdb"
+  "test_gpu_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_importance.dir/forest/test_importance.cpp.o"
+  "CMakeFiles/test_importance.dir/forest/test_importance.cpp.o.d"
+  "test_importance"
+  "test_importance.pdb"
+  "test_importance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layout_equivalence.dir/layout/test_equivalence.cpp.o"
+  "CMakeFiles/test_layout_equivalence.dir/layout/test_equivalence.cpp.o.d"
+  "test_layout_equivalence"
+  "test_layout_equivalence.pdb"
+  "test_layout_equivalence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layout_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

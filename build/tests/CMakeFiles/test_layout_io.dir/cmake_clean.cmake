@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layout_io.dir/layout/test_layout_io.cpp.o"
+  "CMakeFiles/test_layout_io.dir/layout/test_layout_io.cpp.o.d"
+  "test_layout_io"
+  "test_layout_io.pdb"
+  "test_layout_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layout_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

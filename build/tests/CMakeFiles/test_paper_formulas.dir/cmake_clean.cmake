@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_formulas.dir/integration/test_paper_formulas.cpp.o"
+  "CMakeFiles/test_paper_formulas.dir/integration/test_paper_formulas.cpp.o.d"
+  "test_paper_formulas"
+  "test_paper_formulas.pdb"
+  "test_paper_formulas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_formulas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_gen.dir/forest/test_random_gen.cpp.o"
+  "CMakeFiles/test_random_gen.dir/forest/test_random_gen.cpp.o.d"
+  "test_random_gen"
+  "test_random_gen.pdb"
+  "test_random_gen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

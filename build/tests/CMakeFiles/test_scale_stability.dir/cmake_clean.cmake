@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scale_stability.dir/integration/test_scale_stability.cpp.o"
+  "CMakeFiles/test_scale_stability.dir/integration/test_scale_stability.cpp.o.d"
+  "test_scale_stability"
+  "test_scale_stability.pdb"
+  "test_scale_stability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scale_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

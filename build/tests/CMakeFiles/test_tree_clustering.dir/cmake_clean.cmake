@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_clustering.dir/layout/test_tree_clustering.cpp.o"
+  "CMakeFiles/test_tree_clustering.dir/layout/test_tree_clustering.cpp.o.d"
+  "test_tree_clustering"
+  "test_tree_clustering.pdb"
+  "test_tree_clustering[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_trainer.dir/train/test_tree_trainer.cpp.o"
+  "CMakeFiles/test_tree_trainer.dir/train/test_tree_trainer.cpp.o.d"
+  "test_tree_trainer"
+  "test_tree_trainer.pdb"
+  "test_tree_trainer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_trainer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

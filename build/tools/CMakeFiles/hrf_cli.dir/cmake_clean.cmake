@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hrf_cli.dir/hrf_cli.cpp.o"
+  "CMakeFiles/hrf_cli.dir/hrf_cli.cpp.o.d"
+  "hrf_cli"
+  "hrf_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hrf_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
