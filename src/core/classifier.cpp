@@ -1,6 +1,7 @@
 #include "core/classifier.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "cpu/cpu_kernels.hpp"
 #include "fpgakernels/fpga_kernels.hpp"
@@ -39,8 +40,7 @@ double RunReport::accuracy(std::span<const std::uint8_t> labels) const {
   return static_cast<double>(correct) / static_cast<double>(labels.size());
 }
 
-Classifier::Classifier(Forest forest, ClassifierOptions options)
-    : forest_(std::move(forest)), options_(options) {
+void Classifier::check_variant_backend() const {
   if (options_.variant == Variant::FilBaseline) {
     require(options_.backend == Backend::GpuSim,
             "the FIL baseline models cuML and only exists on the GPU backend");
@@ -50,6 +50,11 @@ Classifier::Classifier(Forest forest, ClassifierOptions options)
             "collaborative/hybrid variants model on-chip memory; use GpuSim or FpgaSim "
             "(CpuNative supports Csr and Independent)");
   }
+}
+
+Classifier::Classifier(Forest forest, ClassifierOptions options)
+    : forest_(std::move(forest)), options_(options) {
+  check_variant_backend();
   switch (options_.variant) {
     case Variant::Csr:
       csr_.emplace(CsrForest::build(forest_));
@@ -60,6 +65,31 @@ Classifier::Classifier(Forest forest, ClassifierOptions options)
       hier_.emplace(HierarchicalForest::build(forest_, options_.layout));
       break;
   }
+}
+
+Classifier::Classifier(Forest forest, CsrForest layout, ClassifierOptions options)
+    : forest_(std::move(forest)), options_(options) {
+  require(options_.variant == Variant::Csr,
+          "a precompiled CSR layout requires the csr variant");
+  check_variant_backend();
+  require(layout.num_features() == forest_.num_features() &&
+              layout.num_classes() == forest_.num_classes(),
+          "precompiled CSR layout does not match the forest's feature/class shape");
+  csr_.emplace(std::move(layout));
+}
+
+Classifier::Classifier(Forest forest, HierarchicalForest layout, ClassifierOptions options)
+    : forest_(std::move(forest)), options_(options) {
+  require(options_.variant == Variant::Independent ||
+              options_.variant == Variant::Collaborative || options_.variant == Variant::Hybrid,
+          "a precompiled hierarchical layout requires a hierarchical variant "
+          "(independent/collaborative/hybrid)");
+  check_variant_backend();
+  require(layout.num_features() == forest_.num_features() &&
+              layout.num_classes() == forest_.num_classes(),
+          "precompiled hierarchical layout does not match the forest's feature/class shape");
+  options_.layout = layout.config();
+  hier_.emplace(std::move(layout));
 }
 
 Classifier Classifier::train(const Dataset& train, const TrainConfig& train_config,
@@ -101,14 +131,32 @@ Classifier::StreamReport Classifier::classify_stream(const Dataset& queries,
   return out;
 }
 
-RunReport Classifier::classify(const Dataset& queries) const {
+void Classifier::validate_queries(const Dataset& queries) const {
+  if (queries.num_features() != forest_.num_features()) {
+    throw ConfigError("query batch has " + std::to_string(queries.num_features()) +
+                      " features but the model expects " +
+                      std::to_string(forest_.num_features()));
+  }
+  const std::span<const float> feats = queries.features();
+  for (std::size_t i = 0; i < feats.size(); ++i) {
+    if (!std::isfinite(feats[i])) {
+      const std::size_t row = i / queries.num_features();
+      const std::size_t col = i % queries.num_features();
+      throw ConfigError("query " + std::to_string(row) + " feature " + std::to_string(col) +
+                        " is not finite (NaN/Inf); rejecting the batch");
+    }
+  }
+}
+
+RunReport Classifier::run_backend(Backend backend, Variant variant, const CsrForest* csr,
+                                  const HierarchicalForest* hier,
+                                  const Dataset& queries) const {
   RunReport r;
-  switch (options_.backend) {
+  switch (backend) {
     case Backend::CpuNative: {
       WallTimer timer;
-      r.predictions = options_.variant == Variant::Csr
-                          ? cpu::classify_csr(*csr_, queries)
-                          : cpu::classify_hierarchical(*hier_, queries);
+      r.predictions = variant == Variant::Csr ? cpu::classify_csr(*csr, queries)
+                                              : cpu::classify_hierarchical(*hier, queries);
       r.seconds = timer.seconds();
       r.simulated = false;
       break;
@@ -116,15 +164,15 @@ RunReport Classifier::classify(const Dataset& queries) const {
     case Backend::GpuSim: {
       gpusim::Device device(options_.gpu);
       gpukernels::KernelResult k;
-      switch (options_.variant) {
-        case Variant::Csr: k = gpukernels::run_csr(device, *csr_, queries); break;
+      switch (variant) {
+        case Variant::Csr: k = gpukernels::run_csr(device, *csr, queries); break;
         case Variant::Independent:
-          k = gpukernels::run_independent(device, *hier_, queries);
+          k = gpukernels::run_independent(device, *hier, queries);
           break;
         case Variant::Collaborative:
-          k = gpukernels::run_collaborative(device, *hier_, queries);
+          k = gpukernels::run_collaborative(device, *hier, queries);
           break;
-        case Variant::Hybrid: k = gpukernels::run_hybrid(device, *hier_, queries); break;
+        case Variant::Hybrid: k = gpukernels::run_hybrid(device, *hier, queries); break;
         case Variant::FilBaseline:
           k = gpukernels::run_fil_baseline(device, forest_, queries);
           break;
@@ -137,20 +185,20 @@ RunReport Classifier::classify(const Dataset& queries) const {
     }
     case Backend::FpgaSim: {
       fpgakernels::FpgaResult k;
-      switch (options_.variant) {
+      switch (variant) {
         case Variant::Csr:
-          k = fpgakernels::run_csr_fpga(*csr_, queries, options_.fpga, options_.fpga_layout);
+          k = fpgakernels::run_csr_fpga(*csr, queries, options_.fpga, options_.fpga_layout);
           break;
         case Variant::Independent:
-          k = fpgakernels::run_independent_fpga(*hier_, queries, options_.fpga,
+          k = fpgakernels::run_independent_fpga(*hier, queries, options_.fpga,
                                                 options_.fpga_layout);
           break;
         case Variant::Collaborative:
-          k = fpgakernels::run_collaborative_fpga(*hier_, queries, options_.fpga,
+          k = fpgakernels::run_collaborative_fpga(*hier, queries, options_.fpga,
                                                   options_.fpga_layout);
           break;
         case Variant::Hybrid:
-          k = fpgakernels::run_hybrid_fpga(*hier_, queries, options_.fpga, options_.fpga_layout,
+          k = fpgakernels::run_hybrid_fpga(*hier, queries, options_.fpga, options_.fpga_layout,
                                            options_.fpga_split_stage1);
           break;
         case Variant::FilBaseline:
@@ -163,6 +211,112 @@ RunReport Classifier::classify(const Dataset& queries) const {
     }
   }
   return r;
+}
+
+int Classifier::max_fitting_rsd() const {
+  // Both backends store 8-byte nodes on chip (PackedNode on the GPU,
+  // int32 feature + float value on the FPGA).
+  constexpr std::size_t kNodeBytes = 8;
+  std::size_t capacity = 0;
+  if (options_.backend == Backend::GpuSim) {
+    capacity = options_.gpu.shared_mem_per_block;
+  } else if (options_.backend == Backend::FpgaSim) {
+    const std::size_t cus = options_.fpga_split_stage1
+                                ? 1
+                                : static_cast<std::size_t>(options_.fpga_layout.cus_per_slr);
+    capacity = options_.fpga.onchip_bytes_per_slr / std::max<std::size_t>(cus, 1);
+  }
+  if (capacity == 0) return 0;
+  const std::size_t max_nodes = capacity / kNodeBytes;  // need 2^rsd - 1 <= max_nodes
+  int rsd = 0;
+  while (rsd < 24 && ((1ull << (rsd + 1)) - 1) <= max_nodes) ++rsd;
+  return rsd;
+}
+
+RunReport Classifier::classify(const Dataset& queries) const {
+  validate_queries(queries);
+
+  const FallbackPolicy& fb = options_.fallback;
+  if (!fb.enabled) {
+    return run_backend(options_.backend, options_.variant, csr_ ? &*csr_ : nullptr,
+                       hier_ ? &*hier_ : nullptr, queries);
+  }
+
+  struct Attempt {
+    Backend backend;
+    Variant variant;
+    const CsrForest* csr;
+    const HierarchicalForest* hier;
+    std::string note;  // degradation entry recorded when the chain reaches it
+  };
+
+  // Layouts materialized only if their chain step is reached would be
+  // nicer, but both builds are cheap relative to classification and the
+  // chain is only constructed on the (rare) configured path.
+  std::optional<HierarchicalForest> shrunk;
+  std::optional<CsrForest> cpu_csr;
+
+  std::vector<Attempt> plan;
+  plan.push_back({options_.backend, options_.variant, csr_ ? &*csr_ : nullptr,
+                  hier_ ? &*hier_ : nullptr, ""});
+  if (options_.backend != Backend::CpuNative) {
+    if (fb.allow_layout_shrink && options_.variant == Variant::Hybrid && hier_) {
+      const int fit = max_fitting_rsd();
+      const int cur = options_.layout.effective_root_depth();
+      if (fit >= 1 && fit < cur) {
+        HierConfig cfg = options_.layout;
+        cfg.root_subtree_depth = fit;
+        shrunk.emplace(HierarchicalForest::build(forest_, cfg));
+        plan.push_back({options_.backend, Variant::Hybrid, nullptr, &*shrunk,
+                        "shrink rsd " + std::to_string(cur) + " -> " + std::to_string(fit)});
+      }
+    }
+    if (fb.allow_variant_downgrade) {
+      if ((options_.variant == Variant::Hybrid || options_.variant == Variant::Collaborative) &&
+          hier_) {
+        plan.push_back({options_.backend, Variant::Independent, nullptr, &*hier_,
+                        std::string("variant ") + to_string(options_.variant) +
+                            " -> independent"});
+      } else if (options_.variant == Variant::FilBaseline) {
+        cpu_csr.emplace(CsrForest::build(forest_));
+        plan.push_back({options_.backend, Variant::Csr, &*cpu_csr, nullptr,
+                        "variant fil-baseline -> csr"});
+      }
+    }
+    if (fb.allow_cpu_fallback) {
+      const std::string note =
+          std::string("backend ") + to_string(options_.backend) + " -> cpu-native";
+      if (hier_) {
+        plan.push_back({Backend::CpuNative, Variant::Independent, nullptr, &*hier_,
+                        note + " (independent)"});
+      } else {
+        if (!csr_ && !cpu_csr) cpu_csr.emplace(CsrForest::build(forest_));
+        plan.push_back({Backend::CpuNative, Variant::Csr, csr_ ? &*csr_ : &*cpu_csr, nullptr,
+                        note + " (csr)"});
+      }
+    }
+  }
+
+  std::vector<std::string> degradations;
+  std::string last_error;
+  for (const Attempt& a : plan) {
+    if (!a.note.empty()) degradations.push_back("degrade: " + a.note);
+    const int tries = 1 + std::max(0, fb.max_retries);
+    for (int t = 0; t < tries; ++t) {
+      try {
+        RunReport r = run_backend(a.backend, a.variant, a.csr, a.hier, queries);
+        r.degradations = std::move(degradations);
+        return r;
+      } catch (const ResourceError& e) {
+        last_error = e.what();
+        degradations.push_back(std::string(to_string(a.backend)) + "/" + to_string(a.variant) +
+                               " attempt " + std::to_string(t + 1) + " failed: " + e.what());
+      }
+    }
+  }
+  throw ResourceError("classification failed after exhausting the fallback chain (" +
+                      std::to_string(plan.size()) + " configurations); last error: " +
+                      last_error);
 }
 
 }  // namespace hrf

@@ -47,8 +47,36 @@ struct RunReport {
   std::optional<gpusim::Timing> gpu_timing;
   std::optional<fpgasim::FpgaReport> fpga_report;
 
+  /// Human-readable trail of every retry and fallback step taken to
+  /// produce this result (empty when the configured backend succeeded
+  /// first try). See FallbackPolicy: callers observe degraded runs here
+  /// instead of silently getting different performance.
+  std::vector<std::string> degradations;
+  bool degraded() const { return !degradations.empty(); }
+
   /// Fraction of predictions matching `labels`.
   double accuracy(std::span<const std::uint8_t> labels) const;
+};
+
+/// Graceful-degradation policy for classify(): when a simulated backend
+/// raises ResourceError, the classifier walks a degradation chain instead
+/// of failing the request. In order (each step gated by its flag):
+///   1. retry the failing configuration up to `max_retries` extra times
+///      (transient faults);
+///   2. shrink the hybrid root subtree (RSD) to the largest depth that
+///      fits the backend's on-chip memory and rebuild the layout;
+///   3. downgrade the variant: Hybrid/Collaborative -> Independent,
+///      FilBaseline -> Csr (same backend);
+///   4. fall back to Backend::CpuNative as the last resort.
+/// Predictions are bit-identical along the whole chain (all variants and
+/// backends agree functionally); only performance degrades. Every step is
+/// recorded in RunReport::degradations.
+struct FallbackPolicy {
+  bool enabled = false;
+  int max_retries = 1;
+  bool allow_layout_shrink = true;
+  bool allow_variant_downgrade = true;
+  bool allow_cpu_fallback = true;
 };
 
 /// Classifier configuration. Layout parameters apply to the hierarchical
@@ -61,6 +89,7 @@ struct ClassifierOptions {
   fpgasim::FpgaConfig fpga = fpgasim::FpgaConfig::alveo_u250();
   fpgasim::CuLayout fpga_layout{};
   bool fpga_split_stage1 = false;
+  FallbackPolicy fallback{};
 };
 
 /// The library's front door: owns a trained forest plus the inference
@@ -79,6 +108,14 @@ class Classifier {
  public:
   Classifier(Forest forest, ClassifierOptions options);
 
+  /// Wraps a forest plus a *precompiled* layout blob (layout_io), skipping
+  /// the layout build — the production path where model compilation
+  /// happened offline. The layout must match the forest's feature/class
+  /// shape (ConfigError otherwise); variant must be Csr for a CSR layout,
+  /// hierarchical for a hierarchical one.
+  Classifier(Forest forest, CsrForest layout, ClassifierOptions options);
+  Classifier(Forest forest, HierarchicalForest layout, ClassifierOptions options);
+
   /// Trains a forest on `train` and wraps it.
   static Classifier train(const Dataset& train, const TrainConfig& train_config,
                           ClassifierOptions options);
@@ -86,6 +123,11 @@ class Classifier {
   /// Loads a serialized forest (Forest::save) and wraps it.
   static Classifier load(const std::string& path, ClassifierOptions options);
 
+  /// Classifies a query batch. Queries are validated up front: a feature
+  /// count differing from the model's, or any NaN/Inf feature value,
+  /// throws ConfigError before any traversal runs. ResourceError from a
+  /// simulated backend is retried/degraded per options().fallback when
+  /// enabled (see FallbackPolicy), else propagated.
   RunReport classify(const Dataset& queries) const;
 
   /// Chunked classification for latency-bounded serving: classifies
@@ -108,6 +150,16 @@ class Classifier {
   const CsrForest& csr() const;
 
  private:
+  void check_variant_backend() const;
+  void validate_queries(const Dataset& queries) const;
+  /// One backend execution against explicit layouts (the fallback chain
+  /// swaps these without touching the classifier's own state).
+  RunReport run_backend(Backend backend, Variant variant, const CsrForest* csr,
+                        const HierarchicalForest* hier, const Dataset& queries) const;
+  /// Largest RSD whose root subtree fits the configured backend's on-chip
+  /// memory (0 when not applicable).
+  int max_fitting_rsd() const;
+
   Forest forest_;
   ClassifierOptions options_;
   std::optional<CsrForest> csr_;

@@ -6,6 +6,7 @@
 
 #include "fpgakernels/traversal_counts.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/math.hpp"
 
 namespace hrf::fpgakernels {
@@ -99,6 +100,7 @@ FpgaResult run_collaborative_fpga(const HierarchicalForest& forest, const Datase
                                   const fpgasim::FpgaConfig& cfg,
                                   const fpgasim::CuLayout& layout) {
   // The largest subtree must fit in on-chip memory next to the pipeline.
+  fault_point("resource:fpga-bram");
   const std::size_t max_subtree_bytes =
       complete_tree_nodes(forest.config().subtree_depth) *
       (sizeof(std::int32_t) + sizeof(float));
@@ -137,6 +139,7 @@ FpgaResult run_collaborative_fpga(const HierarchicalForest& forest, const Datase
 FpgaResult run_hybrid_fpga(const HierarchicalForest& forest, const Dataset& queries,
                            const fpgasim::FpgaConfig& cfg, const fpgasim::CuLayout& layout,
                            bool split_stage1) {
+  fault_point("resource:fpga-bram");
   const int rsd = forest.config().effective_root_depth();
   const std::size_t root_bytes =
       complete_tree_nodes(rsd) * (sizeof(std::int32_t) + sizeof(float));

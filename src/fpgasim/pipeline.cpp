@@ -4,11 +4,13 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace hrf::fpgasim {
 
 FpgaReport evaluate(const FpgaConfig& cfg, const CuLayout& layout,
                     const std::vector<StageModel>& stages, const std::string& ii_desc) {
+  fault_point("resource:fpga");  // models place-and-route / XRT bring-up failure
   require(layout.slrs_used >= 1 && layout.slrs_used <= cfg.num_slrs,
           "CU layout uses more SLRs than the device has");
   require(layout.cus_per_slr >= 1, "need at least one CU per SLR");

@@ -1,6 +1,7 @@
 #include "gpukernels/common.hpp"
 #include "gpukernels/kernels.hpp"
 #include "gpukernels/packed_node.hpp"
+#include "util/fault.hpp"
 #include "util/math.hpp"
 
 namespace hrf::gpukernels {
@@ -22,6 +23,7 @@ KernelResult run_hybrid(gpusim::Device& device, const HierarchicalForest& forest
   const auto& cfg = device.config();
 
   // Shared-memory capacity check mirrors the real kernel's launch failure.
+  fault_point("resource:gpu-smem");
   const std::size_t root_nodes = complete_tree_nodes(forest.config().effective_root_depth());
   const std::size_t smem_needed = root_nodes * sizeof(PackedNode);
   if (smem_needed > cfg.shared_mem_per_block) {

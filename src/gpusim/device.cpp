@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/math.hpp"
 
 namespace hrf::gpusim {
@@ -11,6 +12,7 @@ Device::Device(const DeviceConfig& config)
     : cfg_(config),
       l2_(config.l2_bytes, config.l2_ways, config.line_bytes),
       next_addr_(1 << 12) {  // leave page zero unused so address 0 is invalid
+  fault_point("resource:gpu");  // models cuInit/cudaMalloc failing at launch
   require(config.num_sms >= 1, "device needs at least one SM");
   require(config.warp_size >= 1 && config.warp_size <= 32, "warp_size must be in [1,32]");
   l1_.reserve(static_cast<std::size_t>(config.num_sms));

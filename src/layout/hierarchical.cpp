@@ -220,6 +220,23 @@ void HierarchicalForest::validate() const {
                         " has malformed connection block");
     }
   }
+  // Node attributes must be sane: inner features index a real feature and
+  // leaf values name a real class (padding slots are leaves with value 0).
+  // Guards traversal against corrupted-in-memory or tampered blobs.
+  for (std::size_t i = 0; i < feature_id_.size(); ++i) {
+    const std::int32_t fid = feature_id_[i];
+    if (fid != kLeafFeature &&
+        (fid < 0 || static_cast<std::size_t>(fid) >= num_features_)) {
+      throw FormatError("hierarchical: feature id out of range at slot " + std::to_string(i));
+    }
+    if (fid == kLeafFeature) {
+      const float v = value_[i];
+      if (!(v >= 0.0f && v < static_cast<float>(num_classes_))) {
+        throw FormatError("hierarchical: leaf value is not a class id at slot " +
+                          std::to_string(i));
+      }
+    }
+  }
   // Connections must point to valid subtrees of the same tree and every
   // bottom-level inner node must have both children.
   for (std::size_t t = 0; t < num_trees(); ++t) {

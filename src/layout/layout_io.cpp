@@ -1,8 +1,12 @@
 #include "layout/layout_io.hpp"
 
+#include <cstring>
 #include <fstream>
+#include <vector>
 
+#include "util/crc32.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace hrf {
 
@@ -10,36 +14,121 @@ namespace {
 
 constexpr std::uint32_t kCsrMagic = 0x48524643;   // "HRFC"
 constexpr std::uint32_t kHierMagic = 0x48524648;  // "HRFH"
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint64_t kMaxArrayElems = 1ull << 32;
 
-template <typename T>
-void write_pod(std::ostream& os, const T& v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof v);
-}
+// ---------------------------------------------------------------------------
+// Writing. v2 frames each section as {u64 size, u32 crc, payload} so the
+// loader can verify integrity before interpreting a single payload byte;
+// v1 writes the same payloads unframed (kept for old blobs and tests).
 
-template <typename T>
-T read_pod(std::istream& is) {
-  T v{};
-  is.read(reinterpret_cast<char*>(&v), sizeof v);
-  if (!is) throw FormatError("layout file truncated");
-  return v;
-}
+class SectionWriter {
+ public:
+  SectionWriter(std::ostream& os, std::uint32_t version) : os_(os), version_(version) {}
 
-template <typename T>
-void write_array(std::ostream& os, std::span<const T> xs) {
-  write_pod(os, static_cast<std::uint64_t>(xs.size()));
-  os.write(reinterpret_cast<const char*>(xs.data()),
-           static_cast<std::streamsize>(xs.size_bytes()));
-}
+  template <typename T>
+  SectionWriter& pod(const T& v) {
+    buf_.insert(buf_.end(), reinterpret_cast<const std::byte*>(&v),
+                reinterpret_cast<const std::byte*>(&v) + sizeof v);
+    return *this;
+  }
 
-template <typename T>
-std::vector<T> read_array(std::istream& is, std::uint64_t max_elems = 1ull << 32) {
-  const auto n = read_pod<std::uint64_t>(is);
-  if (n > max_elems) throw FormatError("layout array implausibly large");
-  std::vector<T> xs(n);
-  is.read(reinterpret_cast<char*>(xs.data()), static_cast<std::streamsize>(n * sizeof(T)));
-  if (!is) throw FormatError("layout file truncated");
-  return xs;
+  template <typename T>
+  SectionWriter& array(std::span<const T> xs) {
+    pod(static_cast<std::uint64_t>(xs.size()));
+    if (!xs.empty()) {
+      const auto* p = reinterpret_cast<const std::byte*>(xs.data());
+      buf_.insert(buf_.end(), p, p + xs.size_bytes());
+    }
+    return *this;
+  }
+
+  /// Flushes the buffered payload as one section.
+  void commit() {
+    if (version_ >= 2) {
+      const auto size = static_cast<std::uint64_t>(buf_.size());
+      const std::uint32_t crc = crc32(buf_);
+      os_.write(reinterpret_cast<const char*>(&size), sizeof size);
+      os_.write(reinterpret_cast<const char*>(&crc), sizeof crc);
+    }
+    if (!buf_.empty()) {
+      os_.write(reinterpret_cast<const char*>(buf_.data()),
+                static_cast<std::streamsize>(buf_.size()));
+    }
+    buf_.clear();
+  }
+
+ private:
+  std::ostream& os_;
+  std::uint32_t version_;
+  std::vector<std::byte> buf_;
+};
+
+// ---------------------------------------------------------------------------
+// Reading. The whole blob is pulled into memory first: truncation becomes a
+// bounds check, checksums can run before parsing, and the fault injector
+// can corrupt the bytes exactly the way rotted storage would.
+
+class ByteReader {
+ public:
+  ByteReader(std::span<const std::byte> data, const std::string& path)
+      : data_(data), path_(path) {}
+
+  template <typename T>
+  T pod() {
+    T v{};
+    std::memcpy(&v, take(sizeof v).data(), sizeof v);
+    return v;
+  }
+
+  template <typename T>
+  std::vector<T> array(std::uint64_t max_elems = kMaxArrayElems) {
+    const auto n = pod<std::uint64_t>();
+    if (n > max_elems) throw FormatError("layout array implausibly large in " + path_);
+    const std::span<const std::byte> raw = take(n * sizeof(T));
+    std::vector<T> xs(n);
+    if (n != 0) std::memcpy(xs.data(), raw.data(), raw.size());
+    return xs;
+  }
+
+  /// Verifies and opens the next v2 section; `name` labels checksum errors.
+  ByteReader section(const char* name) {
+    const auto size = pod<std::uint64_t>();
+    const auto crc = pod<std::uint32_t>();
+    const std::span<const std::byte> payload = take(size);
+    if (crc32(payload) != crc) {
+      throw FormatError("layout checksum mismatch in section '" + std::string(name) + "' of " +
+                        path_ + " (blob corrupted?)");
+    }
+    return ByteReader(payload, path_);
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::span<const std::byte> take(std::uint64_t n) {
+    if (n > data_.size() - pos_) throw FormatError("layout file truncated: " + path_);
+    const std::span<const std::byte> out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+  const std::string& path_;
+};
+
+std::vector<std::byte> read_blob(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) throw Error("cannot open for reading: " + path);
+  const std::streamsize size = f.tellg();
+  f.seekg(0);
+  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
+  f.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!f) throw Error("read failed: " + path);
+  // Fault injection: model bit rot / torn writes between save and load.
+  FaultInjector& inj = FaultInjector::global();
+  if (inj.enabled() && inj.consume("bitflip:layout")) inj.flip_random_bits(bytes, 1);
+  return bytes;
 }
 
 std::ofstream open_out(const std::string& path) {
@@ -48,94 +137,166 @@ std::ofstream open_out(const std::string& path) {
   return f;
 }
 
-std::ifstream open_in(const std::string& path) {
-  std::ifstream f(path, std::ios::binary);
-  if (!f) throw Error("cannot open for reading: " + path);
-  return f;
+void write_preamble(std::ostream& os, std::uint32_t magic, std::uint32_t version) {
+  require(version == 1 || version == 2, "unsupported layout format version requested");
+  os.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+  os.write(reinterpret_cast<const char*>(&version), sizeof version);
+}
+
+std::uint32_t read_preamble(ByteReader& r, std::uint32_t magic, const char* kind,
+                            const std::string& path) {
+  if (r.pod<std::uint32_t>() != magic) {
+    throw FormatError("bad " + std::string(kind) + " magic in " + path);
+  }
+  const auto version = r.pod<std::uint32_t>();
+  if (version < 1 || version > 2) {
+    throw FormatError("unsupported " + std::string(kind) + " version in " + path);
+  }
+  return version;
+}
+
+/// Post-parse fault injection: clobber a node field the way an in-memory
+/// corruption would, *after* checksums passed — from_parts/validate() must
+/// still catch it semantically.
+void maybe_corrupt_node(std::vector<std::int32_t>& feature_id) {
+  FaultInjector& inj = FaultInjector::global();
+  if (inj.enabled() && inj.consume("corrupt:node") && !feature_id.empty()) {
+    feature_id[feature_id.size() / 2] = 0x7f7f7f7f;
+  }
 }
 
 }  // namespace
 
-void save_csr(const CsrForest& csr, const std::string& path) {
+void save_csr(const CsrForest& csr, const std::string& path, std::uint32_t version) {
   auto f = open_out(path);
-  write_pod(f, kCsrMagic);
-  write_pod(f, kVersion);
-  write_pod(f, static_cast<std::uint64_t>(csr.num_features()));
-  write_pod(f, static_cast<std::uint32_t>(csr.num_classes()));
-  write_array(f, csr.feature_id());
-  write_array(f, csr.value());
-  write_array(f, csr.children_arr());
-  write_array(f, csr.children_arr_idx());
-  write_array(f, csr.tree_root());
+  write_preamble(f, kCsrMagic, version);
+  SectionWriter w(f, version);
+  w.pod(static_cast<std::uint64_t>(csr.num_features()))
+      .pod(static_cast<std::uint32_t>(csr.num_classes()));
+  w.commit();
+  w.array(csr.feature_id()).commit();
+  w.array(csr.value()).commit();
+  w.array(csr.children_arr()).commit();
+  w.array(csr.children_arr_idx()).commit();
+  w.array(csr.tree_root()).commit();
   if (!f) throw Error("write failed: " + path);
 }
 
 CsrForest load_csr(const std::string& path) {
-  auto f = open_in(path);
-  if (read_pod<std::uint32_t>(f) != kCsrMagic) throw FormatError("bad CSR magic in " + path);
-  if (read_pod<std::uint32_t>(f) != kVersion) {
-    throw FormatError("unsupported CSR version in " + path);
+  const std::vector<std::byte> blob = read_blob(path);
+  ByteReader r(blob, path);
+  const std::uint32_t version = read_preamble(r, kCsrMagic, "CSR", path);
+
+  std::uint64_t num_features = 0;
+  std::uint32_t num_classes = 0;
+  std::vector<std::int32_t> feature_id;
+  std::vector<float> value;
+  std::vector<std::int32_t> children, children_idx, roots;
+  if (version == 1) {
+    num_features = r.pod<std::uint64_t>();
+    num_classes = r.pod<std::uint32_t>();
+    feature_id = r.array<std::int32_t>();
+    value = r.array<float>();
+    children = r.array<std::int32_t>();
+    children_idx = r.array<std::int32_t>();
+    roots = r.array<std::int32_t>();
+  } else {
+    ByteReader header = r.section("csr-header");
+    num_features = header.pod<std::uint64_t>();
+    num_classes = header.pod<std::uint32_t>();
+    feature_id = r.section("feature-id").array<std::int32_t>();
+    value = r.section("value").array<float>();
+    children = r.section("children").array<std::int32_t>();
+    children_idx = r.section("children-idx").array<std::int32_t>();
+    roots = r.section("tree-roots").array<std::int32_t>();
   }
-  const auto num_features = read_pod<std::uint64_t>(f);
-  const auto num_classes = read_pod<std::uint32_t>(f);
-  auto feature_id = read_array<std::int32_t>(f);
-  auto value = read_array<float>(f);
-  auto children = read_array<std::int32_t>(f);
-  auto children_idx = read_array<std::int32_t>(f);
-  auto roots = read_array<std::int32_t>(f);
+  maybe_corrupt_node(feature_id);
   return CsrForest::from_parts(std::move(feature_id), std::move(value), std::move(children),
                                std::move(children_idx), std::move(roots), num_features,
                                static_cast<int>(num_classes));
 }
 
-void save_hierarchical(const HierarchicalForest& forest, const std::string& path) {
+void save_hierarchical(const HierarchicalForest& forest, const std::string& path,
+                       std::uint32_t version) {
   auto f = open_out(path);
-  write_pod(f, kHierMagic);
-  write_pod(f, kVersion);
-  write_pod(f, static_cast<std::uint64_t>(forest.num_features()));
-  write_pod(f, static_cast<std::uint32_t>(forest.num_classes()));
-  write_pod(f, static_cast<std::int32_t>(forest.config().subtree_depth));
-  write_pod(f, static_cast<std::int32_t>(forest.config().root_subtree_depth));
-  write_pod(f, static_cast<std::uint64_t>(forest.real_nodes()));
-  write_array(f, forest.subtree_node_offsets());
-  write_array(f, forest.subtree_depths());
-  write_array(f, forest.connection_offsets());
-  write_array(f, forest.subtree_connection());
-  write_array(f, forest.feature_id());
-  write_array(f, forest.value());
-  write_array(f, forest.tree_subtree_begin());
+  write_preamble(f, kHierMagic, version);
+  SectionWriter w(f, version);
+  w.pod(static_cast<std::uint64_t>(forest.num_features()))
+      .pod(static_cast<std::uint32_t>(forest.num_classes()))
+      .pod(static_cast<std::int32_t>(forest.config().subtree_depth))
+      .pod(static_cast<std::int32_t>(forest.config().root_subtree_depth))
+      .pod(static_cast<std::uint64_t>(forest.real_nodes()));
+  w.commit();
+  w.array(forest.subtree_node_offsets()).commit();
+  w.array(forest.subtree_depths()).commit();
+  w.array(forest.connection_offsets()).commit();
+  w.array(forest.subtree_connection()).commit();
+  w.array(forest.feature_id()).commit();
+  w.array(forest.value()).commit();
+  w.array(forest.tree_subtree_begin()).commit();
   if (!f) throw Error("write failed: " + path);
 }
 
 HierarchicalForest load_hierarchical(const std::string& path) {
-  auto f = open_in(path);
-  if (read_pod<std::uint32_t>(f) != kHierMagic) {
-    throw FormatError("bad hierarchical magic in " + path);
-  }
-  if (read_pod<std::uint32_t>(f) != kVersion) {
-    throw FormatError("unsupported hierarchical version in " + path);
-  }
-  const auto num_features = read_pod<std::uint64_t>(f);
-  const auto num_classes = read_pod<std::uint32_t>(f);
+  const std::vector<std::byte> blob = read_blob(path);
+  ByteReader r(blob, path);
+  const std::uint32_t version = read_preamble(r, kHierMagic, "hierarchical", path);
+
   HierConfig config;
-  config.subtree_depth = read_pod<std::int32_t>(f);
-  config.root_subtree_depth = read_pod<std::int32_t>(f);
+  std::uint64_t num_features = 0, real_nodes = 0;
+  std::uint32_t num_classes = 0;
+  std::vector<std::uint32_t> node_offset, conn_offset, begin;
+  std::vector<std::uint8_t> depth;
+  std::vector<std::int32_t> connection, feature_id;
+  std::vector<float> value;
+  if (version == 1) {
+    num_features = r.pod<std::uint64_t>();
+    num_classes = r.pod<std::uint32_t>();
+    config.subtree_depth = r.pod<std::int32_t>();
+    config.root_subtree_depth = r.pod<std::int32_t>();
+    real_nodes = r.pod<std::uint64_t>();
+    node_offset = r.array<std::uint32_t>();
+    depth = r.array<std::uint8_t>();
+    conn_offset = r.array<std::uint32_t>();
+    connection = r.array<std::int32_t>();
+    feature_id = r.array<std::int32_t>();
+    value = r.array<float>();
+    begin = r.array<std::uint32_t>();
+  } else {
+    ByteReader header = r.section("hier-header");
+    num_features = header.pod<std::uint64_t>();
+    num_classes = header.pod<std::uint32_t>();
+    config.subtree_depth = header.pod<std::int32_t>();
+    config.root_subtree_depth = header.pod<std::int32_t>();
+    real_nodes = header.pod<std::uint64_t>();
+    node_offset = r.section("node-offsets").array<std::uint32_t>();
+    depth = r.section("depths").array<std::uint8_t>();
+    conn_offset = r.section("connection-offsets").array<std::uint32_t>();
+    connection = r.section("connections").array<std::int32_t>();
+    feature_id = r.section("feature-id").array<std::int32_t>();
+    value = r.section("value").array<float>();
+    begin = r.section("tree-begin").array<std::uint32_t>();
+  }
   if (config.subtree_depth < 1 || config.subtree_depth > 24) {
     throw FormatError("implausible subtree depth in " + path);
   }
-  const auto real_nodes = read_pod<std::uint64_t>(f);
-  auto node_offset = read_array<std::uint32_t>(f);
-  auto depth = read_array<std::uint8_t>(f);
-  auto conn_offset = read_array<std::uint32_t>(f);
-  auto connection = read_array<std::int32_t>(f);
-  auto feature_id = read_array<std::int32_t>(f);
-  auto value = read_array<float>(f);
-  auto begin = read_array<std::uint32_t>(f);
+  maybe_corrupt_node(feature_id);
   return HierarchicalForest::from_parts(config, num_features, static_cast<int>(num_classes),
                                         real_nodes, std::move(node_offset), std::move(depth),
                                         std::move(conn_offset), std::move(connection),
                                         std::move(feature_id), std::move(value),
                                         std::move(begin));
+}
+
+std::string peek_layout_kind(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw Error("cannot open for reading: " + path);
+  std::uint32_t magic = 0;
+  f.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  if (!f) throw FormatError("layout file truncated: " + path);
+  if (magic == kCsrMagic) return "csr";
+  if (magic == kHierMagic) return "hierarchical";
+  throw FormatError("not a layout blob (unknown magic): " + path);
 }
 
 }  // namespace hrf

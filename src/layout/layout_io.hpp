@@ -4,6 +4,13 @@
 // ship the hierarchical encoding directly (model compilation — subtree
 // decomposition, padding, connection wiring — happens offline once), the
 // way cuML ships FIL blobs. Formats are versioned and validated on load.
+//
+// Blob format v2 (the default) frames every section — one scalar header
+// plus one per array — as {u64 byte length, u32 CRC-32, payload}, so any
+// corruption in transit or at rest is detected deterministically and load
+// throws FormatError instead of propagating a garbled forest. v1 blobs
+// (unframed, no checksums) still load via the version field.
+// docs/robustness.md documents the full layout and failure model.
 
 #include <string>
 
@@ -12,17 +19,28 @@
 
 namespace hrf {
 
-/// Writes the CSR encoding to `path`. Throws hrf::Error on I/O failure.
-void save_csr(const CsrForest& csr, const std::string& path);
+/// Current blob format version written by default.
+inline constexpr std::uint32_t kLayoutFormatVersion = 2;
 
-/// Loads a CSR encoding; validates array cross-references.
-/// Throws FormatError on malformed input.
+/// Writes the CSR encoding to `path`. `version` selects the blob format
+/// (2 = checksummed sections, 1 = legacy unframed; anything else throws
+/// ConfigError). Throws hrf::Error on I/O failure.
+void save_csr(const CsrForest& csr, const std::string& path,
+              std::uint32_t version = kLayoutFormatVersion);
+
+/// Loads a CSR encoding; verifies section checksums (v2) and validates
+/// array cross-references. Throws FormatError on malformed input.
 CsrForest load_csr(const std::string& path);
 
 /// Writes the hierarchical encoding (including its SD/RSD config).
-void save_hierarchical(const HierarchicalForest& forest, const std::string& path);
+void save_hierarchical(const HierarchicalForest& forest, const std::string& path,
+                       std::uint32_t version = kLayoutFormatVersion);
 
 /// Loads a hierarchical encoding and runs HierarchicalForest::validate().
 HierarchicalForest load_hierarchical(const std::string& path);
+
+/// Peeks the magic of a layout blob: returns "csr", "hierarchical", or
+/// throws FormatError when `path` is not a layout blob.
+std::string peek_layout_kind(const std::string& path);
 
 }  // namespace hrf

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace hrf {
+
+namespace detail {
+
+/// CRC-32 (IEEE 802.3 / zlib polynomial, reflected) lookup table.
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
+
+}  // namespace detail
+
+/// Incremental CRC-32 update: feeds `bytes` into a running checksum
+/// (start from crc32() of the previous chunk, or omit `crc` for the first).
+inline std::uint32_t crc32(std::span<const std::byte> bytes, std::uint32_t crc = 0) {
+  crc = ~crc;
+  for (std::byte b : bytes) {
+    crc = detail::kCrc32Table[(crc ^ static_cast<std::uint32_t>(b)) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+inline std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t crc = 0) {
+  return crc32({static_cast<const std::byte*>(data), size}, crc);
+}
+
+}  // namespace hrf

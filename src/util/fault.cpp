@@ -1,0 +1,144 @@
+#include "util/fault.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "util/error.hpp"
+
+namespace hrf {
+
+namespace {
+
+// Every site production code consults, by spec kind. arm_spec validates
+// against this list so a typoed --inject-fault fails loudly instead of
+// silently injecting nothing.
+constexpr std::array<const char*, 4> kResourceTargets = {"gpu", "gpu-smem", "fpga", "fpga-bram"};
+constexpr std::array<const char*, 1> kBitflipTargets = {"layout"};
+constexpr std::array<const char*, 1> kCorruptTargets = {"node"};
+
+template <std::size_t N>
+bool known_target(const std::array<const char*, N>& targets, const std::string& t) {
+  return std::find(targets.begin(), targets.end(), t) != targets.end();
+}
+
+[[noreturn]] void bad_spec(const std::string& spec, const std::string& why) {
+  throw ConfigError("bad fault spec '" + spec + "': " + why +
+                    " (valid: resource:{gpu|gpu-smem|fpga|fpga-bram}, bitflip:layout, "
+                    "corrupt:node, each with an optional :count)");
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(std::uint64_t seed) : rng_(seed) {}
+
+void FaultInjector::seed(std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rng_ = Xoshiro256(seed);
+}
+
+void FaultInjector::arm(const std::string& site, int count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count == 0) {
+    sites_.erase(site);
+  } else {
+    sites_[site] = count;
+  }
+  enabled_.store(!sites_.empty(), std::memory_order_relaxed);
+}
+
+void FaultInjector::arm_spec(const std::string& spec) {
+  // kind:target[:count]
+  const std::size_t c1 = spec.find(':');
+  if (c1 == std::string::npos) bad_spec(spec, "expected kind:target");
+  const std::string kind = spec.substr(0, c1);
+  const std::size_t c2 = spec.find(':', c1 + 1);
+  const std::string target =
+      c2 == std::string::npos ? spec.substr(c1 + 1) : spec.substr(c1 + 1, c2 - c1 - 1);
+  int count = 1;
+  if (c2 != std::string::npos) {
+    try {
+      count = std::stoi(spec.substr(c2 + 1));
+    } catch (const std::exception&) {
+      bad_spec(spec, "count is not an integer");
+    }
+    if (count == 0) bad_spec(spec, "count must be nonzero (negative = every time)");
+  }
+
+  const bool ok = (kind == "resource" && known_target(kResourceTargets, target)) ||
+                  (kind == "bitflip" && known_target(kBitflipTargets, target)) ||
+                  (kind == "corrupt" && known_target(kCorruptTargets, target));
+  if (!ok) bad_spec(spec, "unknown site '" + kind + ":" + target + "'");
+  arm(kind + ":" + target, count);
+}
+
+void FaultInjector::arm_specs(const std::string& specs) {
+  std::size_t pos = 0;
+  while (pos <= specs.size()) {
+    const std::size_t comma = specs.find(',', pos);
+    const std::string one =
+        comma == std::string::npos ? specs.substr(pos) : specs.substr(pos, comma - pos);
+    if (!one.empty()) arm_spec(one);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+}
+
+void FaultInjector::disarm(const std::string& site) { arm(site, 0); }
+
+void FaultInjector::disarm_all() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+bool FaultInjector::armed(const std::string& site) const { return remaining(site) != 0; }
+
+int FaultInjector::remaining(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second;
+}
+
+bool FaultInjector::consume(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) return false;
+  if (it->second > 0 && --it->second == 0) {
+    sites_.erase(it);
+    enabled_.store(!sites_.empty(), std::memory_order_relaxed);
+  }
+  return true;
+}
+
+void FaultInjector::maybe_throw_resource(const std::string& site) {
+  if (consume(site)) {
+    throw ResourceError("injected fault at " + site + ": simulated resource failure");
+  }
+}
+
+std::vector<std::size_t> FaultInjector::flip_random_bits(std::span<std::byte> bytes,
+                                                         std::size_t nbits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::size_t> flipped;
+  if (bytes.empty()) return flipped;
+  const std::size_t total_bits = bytes.size() * 8;
+  flipped.reserve(nbits);
+  for (std::size_t i = 0; i < nbits; ++i) {
+    const std::size_t bit = rng_.next() % total_bits;
+    bytes[bit / 8] ^= std::byte{static_cast<unsigned char>(1u << (bit % 8))};
+    flipped.push_back(bit);
+  }
+  return flipped;
+}
+
+void FaultInjector::flip_bit(std::span<std::byte> bytes, std::size_t bit_index) {
+  require(bit_index < bytes.size() * 8, "flip_bit index out of range");
+  bytes[bit_index / 8] ^= std::byte{static_cast<unsigned char>(1u << (bit_index % 8))};
+}
+
+FaultInjector& FaultInjector::global() {
+  static FaultInjector instance;
+  return instance;
+}
+
+}  // namespace hrf

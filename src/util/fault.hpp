@@ -1,0 +1,97 @@
+#pragma once
+
+// Deterministic fault injection for robustness testing.
+//
+// A FaultInjector holds a set of *armed sites* — named failure points that
+// production code consults via fault_point() / consume(). Arming is
+// explicit (tests, or hrf_cli --inject-fault), so an unarmed injector adds
+// a single relaxed atomic load to every hook. All randomness (bit
+// positions for blob corruption) derives from a caller-supplied seed, so a
+// given (seed, spec) pair reproduces the exact same fault sequence.
+//
+// Site names follow a `kind:target` grammar (see arm_spec):
+//   resource:gpu        GpuSim device bring-up fails with ResourceError
+//   resource:gpu-smem   hybrid GPU kernel's shared-memory reservation fails
+//   resource:fpga       FpgaSim pipeline evaluation fails with ResourceError
+//   resource:fpga-bram  collaborative/hybrid FPGA BRAM reservation fails
+//   bitflip:layout      layout blob bytes are bit-flipped before parsing
+//   corrupt:node        a node field is corrupted after a layout blob parses
+//
+// docs/robustness.md documents the failure model end to end.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hrf {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed = 0);
+
+  /// Re-seeds the corruption RNG (does not change armed sites).
+  void seed(std::uint64_t seed);
+
+  /// Arms `site` to fire `count` times (count < 0 = every time). Each
+  /// consume()/fault_point hit spends one charge until the site disarms.
+  void arm(const std::string& site, int count = 1);
+
+  /// Parses and arms a `kind:target[:count]` spec, e.g. "resource:gpu",
+  /// "resource:fpga:2", "bitflip:layout". Unknown kinds/targets throw
+  /// ConfigError listing the valid sites.
+  void arm_spec(const std::string& spec);
+
+  /// Arms a comma-separated list of specs ("resource:gpu,bitflip:layout").
+  void arm_specs(const std::string& specs);
+
+  void disarm(const std::string& site);
+  void disarm_all();
+
+  /// True when the site has charges left (does not spend one).
+  bool armed(const std::string& site) const;
+  int remaining(const std::string& site) const;
+
+  /// Spends one charge of `site`; returns true when the site fired.
+  bool consume(const std::string& site);
+
+  /// Throws ResourceError("injected fault at <site>: ...") when `site`
+  /// fires; no-op otherwise.
+  void maybe_throw_resource(const std::string& site);
+
+  /// Flips `nbits` random bit positions in `bytes` (positions drawn from
+  /// the injector's seeded RNG). Returns the flipped bit indices.
+  std::vector<std::size_t> flip_random_bits(std::span<std::byte> bytes, std::size_t nbits = 1);
+
+  /// Flips one specific bit (for exhaustive header sweeps in tests).
+  static void flip_bit(std::span<std::byte> bytes, std::size_t bit_index);
+
+  /// Fast path for hooks: false when nothing is armed anywhere.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// The process-wide injector consulted by fault_point() hooks in the
+  /// simulated backends and the layout loader. CLI flags and tests arm it.
+  static FaultInjector& global();
+
+ private:
+  mutable std::mutex mu_;
+  Xoshiro256 rng_;
+  std::map<std::string, int> sites_;  // site -> remaining charges (<0 = inf)
+  std::atomic<bool> enabled_{false};
+};
+
+/// Hook placed at injectable failure sites in production code. Throws
+/// ResourceError when the global injector has `site` armed; otherwise a
+/// single cheap flag check.
+inline void fault_point(const char* site) {
+  FaultInjector& g = FaultInjector::global();
+  if (g.enabled()) g.maybe_throw_resource(site);
+}
+
+}  // namespace hrf

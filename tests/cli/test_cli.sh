@@ -50,6 +50,64 @@ else
   FAILURES=$((FAILURES + 1))
 fi
 
+# --- Robustness: offline layout compilation + fault injection ------------
+
+"$CLI" --mode compile --model "$DIR/m.hrff" --layout hier --sd 6 \
+       --out "$DIR/l.hrfl" > "$DIR/compile.log" 2>&1
+check "compile writes a hierarchical blob" "compiled hierarchical layout" "$DIR/compile.log"
+
+"$CLI" --mode predict --model "$DIR/m.hrff" --data "$DIR/d.hrfd" \
+       --backend cpu --variant independent --layout-blob "$DIR/l.hrfl" \
+       --out "$DIR/p_blob.csv" > "$DIR/predict_blob.log" 2>&1
+check "predict from precompiled blob" "accuracy vs dataset labels" "$DIR/predict_blob.log"
+if cmp -s "$DIR/p_cpu.csv" "$DIR/p_blob.csv"; then
+  echo "ok: blob predictions match built-layout predictions"
+else
+  echo "FAIL: blob predictions differ"
+  FAILURES=$((FAILURES + 1))
+fi
+
+# A transient GPU fault must be absorbed by the fallback chain (retry), and
+# a persistent one must degrade all the way to cpu-native — both with
+# predictions identical to the clean CPU run.
+for spec in resource:gpu resource:gpu:-1; do
+  if "$CLI" --mode predict --model "$DIR/m.hrff" --data "$DIR/d.hrfd" \
+         --backend gpu-sim --variant hybrid --sd 6 --inject-fault "$spec" \
+         --out "$DIR/p_inject.csv" > "$DIR/predict_inject.log" 2>&1; then
+    check "injected $spec degrades gracefully" "degraded: " "$DIR/predict_inject.log"
+    if cmp -s "$DIR/p_cpu.csv" "$DIR/p_inject.csv"; then
+      echo "ok: degraded predictions identical to clean cpu run ($spec)"
+    else
+      echo "FAIL: degraded predictions differ ($spec)"
+      FAILURES=$((FAILURES + 1))
+    fi
+  else
+    echo "FAIL: fallback chain should absorb $spec"
+    FAILURES=$((FAILURES + 1))
+  fi
+done
+check "persistent fault reached cpu-native" "cpu-native" "$DIR/predict_inject.log"
+
+# With fallback disabled the injected fault must surface as a clean error.
+if "$CLI" --mode predict --model "$DIR/m.hrff" --data "$DIR/d.hrfd" \
+       --backend gpu-sim --variant hybrid --sd 6 --inject-fault resource:gpu \
+       --no-fallback > "$DIR/nofallback.log" 2>&1; then
+  echo "FAIL: --no-fallback should exit nonzero on injected fault"
+  FAILURES=$((FAILURES + 1))
+else
+  check "--no-fallback surfaces the fault" "error: injected fault" "$DIR/nofallback.log"
+fi
+
+# A bit-flipped layout blob must be rejected by its checksum, not served.
+if "$CLI" --mode predict --model "$DIR/m.hrff" --data "$DIR/d.hrfd" \
+       --backend cpu --variant independent --layout-blob "$DIR/l.hrfl" \
+       --inject-fault bitflip:layout > "$DIR/bitflip.log" 2>&1; then
+  echo "FAIL: corrupted blob should exit nonzero"
+  FAILURES=$((FAILURES + 1))
+else
+  check "corrupted blob reports checksum error" "checksum mismatch" "$DIR/bitflip.log"
+fi
+
 # Error paths must fail cleanly, not crash.
 if "$CLI" --mode predict --model /nonexistent.hrff --data "$DIR/d.hrfd" > "$DIR/err.log" 2>&1; then
   echo "FAIL: missing model should exit nonzero"

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <limits>
 
 #include "data/synthetic.hpp"
 #include "forest/random_forest_gen.hpp"
@@ -183,6 +184,95 @@ TEST(Classifier, StreamSingleChunkEqualsBatch) {
   const auto stream = clf.classify_stream(q, 1000);
   EXPECT_EQ(stream.chunks, 1u);
   EXPECT_EQ(stream.predictions, clf.classify(q).predictions);
+}
+
+TEST(Classifier, RejectsFeatureCountMismatch) {
+  ClassifierOptions opt;
+  opt.backend = Backend::CpuNative;
+  opt.variant = Variant::Independent;
+  opt.layout.subtree_depth = 4;
+  const Classifier clf(small_forest(), opt);  // model expects 7 features
+  const Dataset narrow = make_random_queries(10, 5, 9);
+  const Dataset wide = make_random_queries(10, 11, 9);
+  EXPECT_THROW(clf.classify(narrow), ConfigError);
+  EXPECT_THROW(clf.classify(wide), ConfigError);
+  try {
+    clf.classify(narrow);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("expects"), std::string::npos);
+  }
+}
+
+TEST(Classifier, RejectsNonFiniteQueryFeatures) {
+  ClassifierOptions opt;
+  opt.backend = Backend::CpuNative;
+  opt.variant = Variant::Csr;
+  const Classifier clf(small_forest(), opt);
+  Dataset nan_q = make_random_queries(10, 7, 9);
+  nan_q.sample(3)[2] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_THROW(clf.classify(nan_q), ConfigError);
+  Dataset inf_q = make_random_queries(10, 7, 9);
+  inf_q.sample(0)[6] = std::numeric_limits<float>::infinity();
+  EXPECT_THROW(clf.classify(inf_q), ConfigError);
+  Dataset ninf_q = make_random_queries(10, 7, 9);
+  ninf_q.sample(9)[0] = -std::numeric_limits<float>::infinity();
+  EXPECT_THROW(clf.classify(ninf_q), ConfigError);
+  // The error message pinpoints the offending query and feature.
+  try {
+    clf.classify(nan_q);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("query 3 feature 2"), std::string::npos);
+  }
+}
+
+TEST(Classifier, PrecompiledLayoutsMatchBuiltOnes) {
+  const Forest f = small_forest();
+  const Dataset q = make_random_queries(120, 7, 10);
+  const auto reference = f.classify_batch(q.features(), q.num_samples());
+
+  ClassifierOptions hier_opt;
+  hier_opt.backend = Backend::CpuNative;
+  hier_opt.variant = Variant::Independent;
+  hier_opt.layout.subtree_depth = 5;
+  const HierarchicalForest h = HierarchicalForest::build(f, HierConfig{.subtree_depth = 5});
+  const Classifier hier_clf(small_forest(), h, hier_opt);
+  EXPECT_EQ(hier_clf.classify(q).predictions, reference);
+  EXPECT_EQ(hier_clf.options().layout.subtree_depth, 5);
+
+  ClassifierOptions csr_opt;
+  csr_opt.backend = Backend::CpuNative;
+  csr_opt.variant = Variant::Csr;
+  const Classifier csr_clf(small_forest(), CsrForest::build(f), csr_opt);
+  EXPECT_EQ(csr_clf.classify(q).predictions, reference);
+}
+
+TEST(Classifier, PrecompiledLayoutShapeMismatchIsRejected) {
+  RandomForestSpec other;
+  other.num_trees = 3;
+  other.max_depth = 5;
+  other.num_features = 12;  // != small_forest()'s 7
+  other.seed = 90;
+  const Forest wrong = make_random_forest(other);
+
+  ClassifierOptions opt;
+  opt.backend = Backend::CpuNative;
+  opt.variant = Variant::Independent;
+  EXPECT_THROW(
+      Classifier(small_forest(), HierarchicalForest::build(wrong, HierConfig{.subtree_depth = 4}),
+                 opt),
+      ConfigError);
+  opt.variant = Variant::Csr;
+  EXPECT_THROW(Classifier(small_forest(), CsrForest::build(wrong), opt), ConfigError);
+  // Variant must match the layout kind.
+  opt.variant = Variant::Csr;
+  EXPECT_THROW(
+      Classifier(small_forest(),
+                 HierarchicalForest::build(small_forest(), HierConfig{.subtree_depth = 4}), opt),
+      ConfigError);
+  opt.variant = Variant::Independent;
+  EXPECT_THROW(Classifier(small_forest(), CsrForest::build(small_forest()), opt), ConfigError);
 }
 
 TEST(EnumNames, AreStable) {

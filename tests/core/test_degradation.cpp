@@ -1,0 +1,165 @@
+// Graceful-degradation coverage: force ResourceError at every injection
+// site and assert (a) the fallback chain still produces predictions
+// identical to a clean CpuNative run and (b) RunReport::degradations
+// records the exact path taken.
+
+#include <gtest/gtest.h>
+
+#include "core/classifier.hpp"
+#include "data/synthetic.hpp"
+#include "forest/random_forest_gen.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+
+namespace hrf {
+namespace {
+
+Forest small_forest() {
+  RandomForestSpec spec;
+  spec.num_trees = 6;
+  spec.max_depth = 9;
+  spec.num_features = 7;
+  spec.seed = 33;
+  return make_random_forest(spec);
+}
+
+gpusim::DeviceConfig small_gpu() {
+  auto cfg = gpusim::DeviceConfig::titan_xp();
+  cfg.num_sms = 4;
+  return cfg;
+}
+
+ClassifierOptions base_options(Backend backend, Variant variant) {
+  ClassifierOptions opt;
+  opt.backend = backend;
+  opt.variant = variant;
+  opt.layout.subtree_depth = 4;
+  opt.gpu = small_gpu();
+  opt.fallback.enabled = true;
+  return opt;
+}
+
+class Degradation : public testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::global().disarm_all(); }
+  void TearDown() override { FaultInjector::global().disarm_all(); }
+
+  Forest forest_ = small_forest();
+  Dataset queries_ = make_random_queries(250, 7, 5);
+  std::vector<std::uint8_t> reference_ =
+      forest_.classify_batch(queries_.features(), queries_.num_samples());
+};
+
+TEST_F(Degradation, PersistentGpuFaultFallsBackToCpu) {
+  FaultInjector::global().arm("resource:gpu", -1);
+  const Classifier clf(small_forest(), base_options(Backend::GpuSim, Variant::Hybrid));
+  const RunReport r = clf.classify(queries_);
+  EXPECT_EQ(r.predictions, reference_);
+  EXPECT_FALSE(r.simulated);  // ended up on the CPU
+  // Exact path: 2 failed hybrid attempts, downgrade, 2 failed independent
+  // attempts, CPU fallback.
+  ASSERT_EQ(r.degradations.size(), 6u);
+  EXPECT_TRUE(r.degradations[0].starts_with("gpu-sim/hybrid attempt 1 failed:"));
+  EXPECT_TRUE(r.degradations[1].starts_with("gpu-sim/hybrid attempt 2 failed:"));
+  EXPECT_EQ(r.degradations[2], "degrade: variant hybrid -> independent");
+  EXPECT_TRUE(r.degradations[3].starts_with("gpu-sim/independent attempt 1 failed:"));
+  EXPECT_TRUE(r.degradations[4].starts_with("gpu-sim/independent attempt 2 failed:"));
+  EXPECT_EQ(r.degradations[5], "degrade: backend gpu-sim -> cpu-native (independent)");
+}
+
+TEST_F(Degradation, TransientGpuFaultRecoversViaRetry) {
+  FaultInjector::global().arm("resource:gpu", 1);  // fails once, then clean
+  const Classifier clf(small_forest(), base_options(Backend::GpuSim, Variant::Hybrid));
+  const RunReport r = clf.classify(queries_);
+  EXPECT_EQ(r.predictions, reference_);
+  EXPECT_TRUE(r.simulated);
+  ASSERT_TRUE(r.gpu_counters.has_value());  // stayed on the GPU
+  ASSERT_EQ(r.degradations.size(), 1u);
+  EXPECT_TRUE(r.degradations[0].starts_with("gpu-sim/hybrid attempt 1 failed:"));
+}
+
+TEST_F(Degradation, SmemFaultDowngradesVariantButStaysOnGpu) {
+  // Only the hybrid kernel consults resource:gpu-smem, so the independent
+  // downgrade succeeds on the same backend.
+  FaultInjector::global().arm("resource:gpu-smem", -1);
+  const Classifier clf(small_forest(), base_options(Backend::GpuSim, Variant::Hybrid));
+  const RunReport r = clf.classify(queries_);
+  EXPECT_EQ(r.predictions, reference_);
+  EXPECT_TRUE(r.simulated);
+  EXPECT_TRUE(r.gpu_counters.has_value());
+  ASSERT_EQ(r.degradations.size(), 3u);
+  EXPECT_EQ(r.degradations[2], "degrade: variant hybrid -> independent");
+}
+
+TEST_F(Degradation, PersistentFpgaFaultFallsBackToCpu) {
+  FaultInjector::global().arm("resource:fpga", -1);
+  const Classifier clf(small_forest(), base_options(Backend::FpgaSim, Variant::Hybrid));
+  const RunReport r = clf.classify(queries_);
+  EXPECT_EQ(r.predictions, reference_);
+  EXPECT_FALSE(r.simulated);
+  ASSERT_EQ(r.degradations.size(), 6u);
+  EXPECT_EQ(r.degradations[5], "degrade: backend fpga-sim -> cpu-native (independent)");
+}
+
+TEST_F(Degradation, FpgaBramFaultDowngradesVariantButStaysOnFpga) {
+  // Only the collaborative/hybrid FPGA kernels reserve BRAM buffers.
+  FaultInjector::global().arm("resource:fpga-bram", -1);
+  const Classifier clf(small_forest(), base_options(Backend::FpgaSim, Variant::Collaborative));
+  const RunReport r = clf.classify(queries_);
+  EXPECT_EQ(r.predictions, reference_);
+  EXPECT_TRUE(r.simulated);
+  EXPECT_TRUE(r.fpga_report.has_value());
+  ASSERT_EQ(r.degradations.size(), 3u);
+  EXPECT_EQ(r.degradations[2], "degrade: variant collaborative -> independent");
+}
+
+TEST_F(Degradation, FilBaselineDegradesThroughCsrToCpu) {
+  FaultInjector::global().arm("resource:gpu", -1);
+  const Classifier clf(small_forest(), base_options(Backend::GpuSim, Variant::FilBaseline));
+  const RunReport r = clf.classify(queries_);
+  EXPECT_EQ(r.predictions, reference_);
+  EXPECT_FALSE(r.simulated);
+  ASSERT_EQ(r.degradations.size(), 6u);
+  EXPECT_EQ(r.degradations[2], "degrade: variant fil-baseline -> csr");
+  EXPECT_EQ(r.degradations[5], "degrade: backend gpu-sim -> cpu-native (csr)");
+}
+
+TEST_F(Degradation, OversizedRootSubtreeShrinksToFit) {
+  // No injected fault: RSD 14 genuinely exceeds the 48 KB of shared
+  // memory ((2^14 - 1) * 8 B), so the chain's shrink step kicks in.
+  ClassifierOptions opt = base_options(Backend::GpuSim, Variant::Hybrid);
+  opt.layout.root_subtree_depth = 14;
+  const Classifier clf(small_forest(), opt);
+  const RunReport r = clf.classify(queries_);
+  EXPECT_EQ(r.predictions, reference_);
+  EXPECT_TRUE(r.simulated);
+  EXPECT_TRUE(r.gpu_counters.has_value());
+  ASSERT_EQ(r.degradations.size(), 3u);
+  EXPECT_EQ(r.degradations[2], "degrade: shrink rsd 14 -> 12");
+}
+
+TEST_F(Degradation, DisabledPolicyPropagatesResourceError) {
+  FaultInjector::global().arm("resource:gpu", -1);
+  ClassifierOptions opt = base_options(Backend::GpuSim, Variant::Hybrid);
+  opt.fallback.enabled = false;
+  const Classifier clf(small_forest(), opt);
+  EXPECT_THROW(clf.classify(queries_), ResourceError);
+}
+
+TEST_F(Degradation, ExhaustedChainThrowsResourceError) {
+  FaultInjector::global().arm("resource:gpu", -1);
+  ClassifierOptions opt = base_options(Backend::GpuSim, Variant::Hybrid);
+  opt.fallback.allow_cpu_fallback = false;  // chain dead-ends on the GPU
+  const Classifier clf(small_forest(), opt);
+  EXPECT_THROW(clf.classify(queries_), ResourceError);
+}
+
+TEST_F(Degradation, CleanRunsReportNoDegradations) {
+  const Classifier clf(small_forest(), base_options(Backend::GpuSim, Variant::Hybrid));
+  const RunReport r = clf.classify(queries_);
+  EXPECT_EQ(r.predictions, reference_);
+  EXPECT_FALSE(r.degraded());
+}
+
+}  // namespace
+}  // namespace hrf

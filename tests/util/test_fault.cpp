@@ -1,0 +1,97 @@
+#include "util/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace hrf {
+namespace {
+
+TEST(FaultInjector, SitesFireExactlyCountTimes) {
+  FaultInjector inj;
+  inj.arm("resource:gpu", 2);
+  EXPECT_TRUE(inj.enabled());
+  EXPECT_EQ(inj.remaining("resource:gpu"), 2);
+  EXPECT_TRUE(inj.consume("resource:gpu"));
+  EXPECT_TRUE(inj.consume("resource:gpu"));
+  EXPECT_FALSE(inj.consume("resource:gpu"));  // charges spent
+  EXPECT_FALSE(inj.enabled());
+}
+
+TEST(FaultInjector, NegativeCountFiresForever) {
+  FaultInjector inj;
+  inj.arm("resource:fpga", -1);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(inj.consume("resource:fpga"));
+  inj.disarm("resource:fpga");
+  EXPECT_FALSE(inj.consume("resource:fpga"));
+}
+
+TEST(FaultInjector, UnarmedSitesNeverFire) {
+  FaultInjector inj;
+  EXPECT_FALSE(inj.enabled());
+  EXPECT_FALSE(inj.consume("resource:gpu"));
+  EXPECT_NO_THROW(inj.maybe_throw_resource("resource:gpu"));
+}
+
+TEST(FaultInjector, MaybeThrowRaisesResourceError) {
+  FaultInjector inj;
+  inj.arm("resource:gpu-smem", 1);
+  EXPECT_THROW(inj.maybe_throw_resource("resource:gpu-smem"), ResourceError);
+  EXPECT_NO_THROW(inj.maybe_throw_resource("resource:gpu-smem"));  // consumed
+}
+
+TEST(FaultInjector, SpecParsing) {
+  FaultInjector inj;
+  inj.arm_spec("resource:gpu");
+  EXPECT_EQ(inj.remaining("resource:gpu"), 1);
+  inj.arm_spec("resource:fpga:3");
+  EXPECT_EQ(inj.remaining("resource:fpga"), 3);
+  inj.arm_spec("resource:gpu:-1");
+  EXPECT_EQ(inj.remaining("resource:gpu"), -1);
+  inj.arm_specs("bitflip:layout,corrupt:node:2");
+  EXPECT_EQ(inj.remaining("bitflip:layout"), 1);
+  EXPECT_EQ(inj.remaining("corrupt:node"), 2);
+  inj.disarm_all();
+  EXPECT_FALSE(inj.enabled());
+}
+
+TEST(FaultInjector, BadSpecsAreRejected) {
+  FaultInjector inj;
+  EXPECT_THROW(inj.arm_spec("resource"), ConfigError);          // no target
+  EXPECT_THROW(inj.arm_spec("resource:warp"), ConfigError);     // unknown target
+  EXPECT_THROW(inj.arm_spec("explode:gpu"), ConfigError);       // unknown kind
+  EXPECT_THROW(inj.arm_spec("resource:gpu:x"), ConfigError);    // bad count
+  EXPECT_THROW(inj.arm_spec("resource:gpu:0"), ConfigError);    // zero count
+  EXPECT_FALSE(inj.enabled());  // nothing was armed along the way
+}
+
+TEST(FaultInjector, BitFlipsAreDeterministicPerSeed) {
+  std::vector<std::byte> a(64, std::byte{0}), b(64, std::byte{0}), c(64, std::byte{0});
+  FaultInjector i1(7), i2(7), i3(8);
+  const auto f1 = i1.flip_random_bits(a, 5);
+  const auto f2 = i2.flip_random_bits(b, 5);
+  const auto f3 = i3.flip_random_bits(c, 5);
+  EXPECT_EQ(f1, f2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(f1, f3);  // different seed, different positions
+  EXPECT_EQ(f1.size(), 5u);
+}
+
+TEST(FaultInjector, FlipBitTogglesExactlyOneBit) {
+  std::vector<std::byte> bytes(4, std::byte{0});
+  FaultInjector::flip_bit(bytes, 9);  // byte 1, bit 1
+  EXPECT_EQ(bytes[1], std::byte{0x02});
+  FaultInjector::flip_bit(bytes, 9);
+  EXPECT_EQ(bytes[1], std::byte{0x00});
+  EXPECT_THROW(FaultInjector::flip_bit(bytes, 32), ConfigError);
+}
+
+TEST(FaultInjector, GlobalInstanceIsShared) {
+  FaultInjector::global().arm("resource:gpu", 1);
+  EXPECT_TRUE(FaultInjector::global().armed("resource:gpu"));
+  FaultInjector::global().disarm_all();
+  EXPECT_FALSE(FaultInjector::global().armed("resource:gpu"));
+}
+
+}  // namespace
+}  // namespace hrf

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Runs the tier-1 test suite twice: a plain RelWithDebInfo build, then an
+# ASan+UBSan build (HRF_SANITIZE=address;undefined). Both must be clean.
+#
+# Usage: tools/check.sh [--plain-only|--sanitize-only]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 2)"
+MODE="${1:-all}"
+
+run_suite() {  # run_suite <build-dir> <extra cmake args...>
+  local dir="$1"; shift
+  echo "=== configure $dir ==="
+  cmake -B "$dir" -S . -DHRF_BUILD_BENCHES=OFF "$@"
+  echo "=== build $dir ==="
+  cmake --build "$dir" -j "$JOBS"
+  echo "=== test $dir ==="
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+case "$MODE" in
+  all|--plain-only)
+    run_suite build
+    ;;&
+  all|--sanitize-only)
+    # Sanitized configs keep examples/tools on so the CLI end-to-end test
+    # (which needs the hrf_cli target) runs under ASan+UBSan too.
+    run_suite build-asan "-DHRF_SANITIZE=address;undefined"
+    ;;&
+  all|--plain-only|--sanitize-only)
+    echo "check.sh: all requested suites passed"
+    ;;
+  *)
+    echo "usage: tools/check.sh [--plain-only|--sanitize-only]" >&2
+    exit 2
+    ;;
+esac

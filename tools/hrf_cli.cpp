@@ -6,11 +6,20 @@
 //   hrf_cli --mode predict  --model model.hrff --data data.hrfd
 //                           --backend gpu-sim --variant hybrid --sd 8 --rsd 10
 //   hrf_cli --mode layout   --model model.hrff
+//   hrf_cli --mode compile  --model model.hrff --layout hier --sd 8 --rsd 10
+//                           --out layout.hrfl
 //
 // `gen` synthesizes a dataset; `train` fits a forest (training uses the
 // train half of --data when --split is set, else all rows); `predict`
 // classifies and reports accuracy + device counters; `info` prints model
-// statistics; `layout` sweeps the hierarchical layout tuning grid.
+// statistics; `layout` sweeps the hierarchical layout tuning grid;
+// `compile` serializes an inference layout blob that `predict
+// --layout-blob` loads instead of rebuilding (offline model compilation).
+//
+// Robustness tooling (docs/robustness.md): `--inject-fault spec[,spec]`
+// arms the deterministic fault injector (e.g. resource:gpu, bitflip:layout)
+// and predict degrades along the fallback chain unless --no-fallback is
+// given; every degradation step is printed.
 
 #include <cstdio>
 #include <iostream>
@@ -19,6 +28,7 @@
 #include "core/hrf.hpp"
 #include "forest/importance.hpp"
 #include "util/cli.hpp"
+#include "util/fault.hpp"
 #include "util/metrics.hpp"
 
 namespace {
@@ -137,6 +147,41 @@ int mode_layout(const CliArgs& args) {
   return 0;
 }
 
+int mode_compile(const CliArgs& args) {
+  const Forest forest = Forest::load(args.get("model", "model.hrff"));
+  const std::string kind = args.get("layout", "hier");
+  const std::string out = args.get("out", "layout.hrfl");
+  if (kind == "csr") {
+    const CsrForest csr = CsrForest::build(forest);
+    save_csr(csr, out);
+    std::printf("compiled csr layout to %s: %zu nodes, %zu bytes\n", out.c_str(),
+                csr.num_nodes(), csr.memory_bytes());
+  } else if (kind == "hier") {
+    HierConfig cfg;
+    cfg.subtree_depth = static_cast<int>(args.get_int("sd", 8));
+    cfg.root_subtree_depth = static_cast<int>(args.get_int("rsd", 0));
+    const HierarchicalForest h = HierarchicalForest::build(forest, cfg);
+    save_hierarchical(h, out);
+    const HierStats s = h.stats();
+    std::printf("compiled hierarchical layout to %s: %zu subtrees, %zu stored nodes, %zu bytes\n",
+                out.c_str(), s.num_subtrees, s.stored_nodes, h.memory_bytes());
+  } else {
+    throw ConfigError("unknown --layout '" + kind + "' (csr|hier)");
+  }
+  return 0;
+}
+
+Classifier make_predict_classifier(const CliArgs& args, const ClassifierOptions& opt) {
+  const std::string model = args.get("model", "model.hrff");
+  const std::string blob = args.get("layout-blob", "");
+  if (blob.empty()) return Classifier::load(model, opt);
+  Forest forest = Forest::load(model);
+  if (peek_layout_kind(blob) == "csr") {
+    return Classifier(std::move(forest), load_csr(blob), opt);
+  }
+  return Classifier(std::move(forest), load_hierarchical(blob), opt);
+}
+
 int mode_predict(const CliArgs& args) {
   const Dataset data = Dataset::load(args.get("data", "data.hrfd"));
   ClassifierOptions opt;
@@ -144,11 +189,13 @@ int mode_predict(const CliArgs& args) {
   opt.variant = parse_variant(args.get("variant", "independent"));
   opt.layout.subtree_depth = static_cast<int>(args.get_int("sd", 8));
   opt.layout.root_subtree_depth = static_cast<int>(args.get_int("rsd", 0));
-  const Classifier clf = Classifier::load(args.get("model", "model.hrff"), opt);
+  opt.fallback.enabled = !args.get_flag("no-fallback");
+  const Classifier clf = make_predict_classifier(args, opt);
   const RunReport r = clf.classify(data);
 
   std::printf("%zu queries on %s/%s: %.5f %s\n", data.num_samples(), to_string(opt.backend),
               to_string(opt.variant), r.seconds, r.simulated ? "simulated-s" : "wall-s");
+  for (const std::string& step : r.degradations) std::printf("degraded: %s\n", step.c_str());
   std::printf("accuracy vs dataset labels: %.2f%%\n", 100 * r.accuracy(data.labels()));
   const ConfusionMatrix cm(r.predictions, data.labels(), data.num_classes());
   std::printf("%s", cm.to_markdown().c_str());
@@ -180,7 +227,7 @@ int mode_predict(const CliArgs& args) {
 
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
-  args.allow("mode", "gen | train | info | layout | predict")
+  args.allow("mode", "gen | train | info | layout | predict | compile")
       .allow("dataset", "gen: covertype | susy | higgs")
       .allow("samples", "gen: sample count")
       .allow("data", "train/predict: dataset file (.hrfd)")
@@ -189,21 +236,34 @@ int main(int argc, char** argv) {
       .allow("depth", "train: max tree depth")
       .allow("features-per-split", "train: 0 = sqrt default")
       .allow("seed", "train: RNG seed")
-      .allow("model", "info/layout/predict: model file (.hrff)")
+      .allow("model", "info/layout/predict/compile: model file (.hrff)")
       .allow("backend", "predict: cpu | gpu-sim | fpga-sim")
       .allow("variant", "predict: csr | independent | collaborative | hybrid | fil")
-      .allow("sd", "layout/predict: max subtree depth(s)")
-      .allow("rsd", "layout/predict: root subtree depth(s), 0 = SD")
-      .allow("out", "gen/train/predict: output path");
+      .allow("sd", "layout/predict/compile: max subtree depth(s)")
+      .allow("rsd", "layout/predict/compile: root subtree depth(s), 0 = SD")
+      .allow("layout", "compile: csr | hier")
+      .allow("layout-blob", "predict: precompiled layout blob (.hrfl) to load")
+      .allow("no-fallback", "predict: fail on ResourceError instead of degrading")
+      .allow("inject-fault", "fault spec(s): resource:{gpu|gpu-smem|fpga|fpga-bram}[:n], "
+                             "bitflip:layout, corrupt:node")
+      .allow("inject-seed", "fault injector RNG seed")
+      .allow("out", "gen/train/predict/compile: output path");
   if (!args.validate()) return 1;
 
   try {
+    const std::string faults = args.get("inject-fault", "");
+    if (!faults.empty()) {
+      hrf::FaultInjector& inj = hrf::FaultInjector::global();
+      inj.seed(static_cast<std::uint64_t>(args.get_int("inject-seed", 42)));
+      inj.arm_specs(faults);
+    }
     const std::string mode = args.get("mode", "");
     if (mode == "gen") return mode_gen(args);
     if (mode == "train") return mode_train(args);
     if (mode == "info") return mode_info(args);
     if (mode == "layout") return mode_layout(args);
     if (mode == "predict") return mode_predict(args);
+    if (mode == "compile") return mode_compile(args);
     std::fprintf(stderr, "missing or unknown --mode (try --help)\n");
     return 1;
   } catch (const hrf::Error& e) {
