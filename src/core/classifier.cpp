@@ -113,10 +113,20 @@ const CsrForest& Classifier::csr() const {
 
 Classifier::StreamReport Classifier::classify_stream(const Dataset& queries,
                                                      std::size_t chunk_size) const {
+  return classify_stream(queries, chunk_size, nullptr);
+}
+
+Classifier::StreamReport Classifier::classify_stream(const Dataset& queries,
+                                                     std::size_t chunk_size,
+                                                     const std::function<bool()>& cancel) const {
   require(chunk_size >= 1, "chunk_size must be >= 1");
   StreamReport out;
   out.predictions.reserve(queries.num_samples());
   for (std::size_t lo = 0; lo < queries.num_samples(); lo += chunk_size) {
+    if (cancel && cancel()) {
+      out.completed = false;
+      return out;
+    }
     const std::size_t hi = std::min(lo + chunk_size, queries.num_samples());
     Dataset chunk(hi - lo, queries.num_features(), queries.num_classes());
     chunk.set_name(queries.name());
@@ -126,6 +136,14 @@ Classifier::StreamReport Classifier::classify_stream(const Dataset& queries,
     out.total_seconds += r.seconds;
     out.max_chunk_seconds = std::max(out.max_chunk_seconds, r.seconds);
     out.simulated = r.simulated;
+    // Deduplicated so a persistent per-chunk degradation (e.g. every chunk
+    // retried once) reads as one trail, not chunks-many copies.
+    for (const std::string& d : r.degradations) {
+      if (std::find(out.degradations.begin(), out.degradations.end(), d) ==
+          out.degradations.end()) {
+        out.degradations.push_back(d);
+      }
+    }
     ++out.chunks;
   }
   return out;

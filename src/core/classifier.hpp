@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -140,8 +141,22 @@ class Classifier {
     double max_chunk_seconds = 0.0;
     std::size_t chunks = 0;
     bool simulated = true;
+    /// False when a cancel callback stopped the run early; `predictions`
+    /// then holds only the chunks finished before cancellation.
+    bool completed = true;
+    /// Degradation trail aggregated (deduplicated) across chunks; see
+    /// RunReport::degradations.
+    std::vector<std::string> degradations;
   };
   StreamReport classify_stream(const Dataset& queries, std::size_t chunk_size) const;
+
+  /// Cancellable variant: `cancel` is polled between chunks (never
+  /// mid-chunk), and a true return abandons the remaining work with
+  /// `completed == false`. This is the serving layer's execution
+  /// time-box: a worker passes a deadline check so an expired request
+  /// stops burning the backend after at most one chunk.
+  StreamReport classify_stream(const Dataset& queries, std::size_t chunk_size,
+                               const std::function<bool()>& cancel) const;
 
   const Forest& forest() const { return forest_; }
   const ClassifierOptions& options() const { return options_; }

@@ -28,6 +28,7 @@
 #include "layout/layout_io.hpp"
 #include "layout/quantized.hpp"
 #include "layout/tree_clustering.hpp"
+#include "serve/server.hpp"
 #include "train/forest_trainer.hpp"
 #include "train/regression.hpp"
 #include "util/error.hpp"

@@ -1,0 +1,96 @@
+#include "serve/circuit_breaker.hpp"
+
+#include <chrono>
+
+#include "util/error.hpp"
+
+namespace hrf::serve {
+
+const char* to_string(CircuitState s) {
+  switch (s) {
+    case CircuitState::Closed: return "closed";
+    case CircuitState::Open: return "open";
+    case CircuitState::HalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+namespace {
+double steady_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options, Clock clock)
+    : options_(options), clock_(clock ? std::move(clock) : Clock(steady_seconds)) {
+  require(options_.failure_threshold >= 1, "breaker failure_threshold must be >= 1");
+  require(options_.open_seconds >= 0.0, "breaker open_seconds must be >= 0");
+  require(options_.half_open_probes >= 1, "breaker half_open_probes must be >= 1");
+}
+
+bool CircuitBreaker::allow_request() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case CircuitState::Closed:
+      return true;
+    case CircuitState::Open:
+      if (clock_() < open_until_) return false;
+      state_ = CircuitState::HalfOpen;
+      probes_left_ = options_.half_open_probes;
+      [[fallthrough]];
+    case CircuitState::HalfOpen:
+      if (probes_left_ <= 0) return false;  // probes already in flight
+      --probes_left_;
+      ++probes_;
+      return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::record_success() {
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_failures_ = 0;
+  if (state_ == CircuitState::HalfOpen) state_ = CircuitState::Closed;
+}
+
+void CircuitBreaker::record_failure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == CircuitState::HalfOpen) {
+    trip_locked();
+    return;
+  }
+  if (state_ == CircuitState::Closed && ++consecutive_failures_ >= options_.failure_threshold) {
+    trip_locked();
+  }
+  // Open: a straggler that was admitted before the trip; nothing to add.
+}
+
+void CircuitBreaker::trip_locked() {
+  state_ = CircuitState::Open;
+  open_until_ = clock_() + options_.open_seconds;
+  consecutive_failures_ = 0;
+  ++trips_;
+}
+
+CircuitState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+std::uint64_t CircuitBreaker::trips() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trips_;
+}
+
+std::uint64_t CircuitBreaker::probes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return probes_;
+}
+
+int CircuitBreaker::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return consecutive_failures_;
+}
+
+}  // namespace hrf::serve

@@ -1,0 +1,91 @@
+#pragma once
+
+// Per-backend circuit breaker for the serving layer (docs/serving.md).
+//
+// A breaker protects the primary (simulated-accelerator) backend from
+// being hammered while it is persistently failing, and protects request
+// latency from burning retry budgets against a dead device. Classic
+// three-state machine:
+//
+//   Closed   requests flow to the primary; `failure_threshold`
+//            *consecutive* failures trip the breaker.
+//   Open     the primary is skipped entirely (callers route to the
+//            CPU-native fallback); after `open_seconds` of cooldown the
+//            next admission check moves to HalfOpen.
+//   HalfOpen up to `half_open_probes` probe requests may try the primary;
+//            a probe success closes the breaker, a probe failure re-opens
+//            it (a new trip, a new cooldown).
+//
+// The clock is injectable so unit tests drive cooldown expiry
+// deterministically instead of sleeping.
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+namespace hrf::serve {
+
+enum class CircuitState { Closed, Open, HalfOpen };
+
+const char* to_string(CircuitState s);
+
+struct CircuitBreakerOptions {
+  /// Consecutive primary failures (across requests and retries) that trip
+  /// Closed -> Open.
+  int failure_threshold = 5;
+  /// Cooldown before an Open breaker lets probe traffic through.
+  double open_seconds = 1.0;
+  /// Probe budget per HalfOpen episode.
+  int half_open_probes = 1;
+};
+
+/// Thread-safe; all transitions happen under one mutex (the protected
+/// operation — a classification — is orders of magnitude heavier).
+class CircuitBreaker {
+ public:
+  /// Monotonic seconds; defaults to steady_clock. Tests inject a fake.
+  using Clock = std::function<double()>;
+
+  explicit CircuitBreaker(CircuitBreakerOptions options, Clock clock = nullptr);
+
+  /// Admission check: true when the caller may try the primary backend.
+  /// Performs the Open -> HalfOpen transition when the cooldown elapsed
+  /// (the admitted request is then a probe), and spends one probe charge
+  /// per admission while HalfOpen.
+  bool allow_request();
+
+  /// Reports the admitted request's outcome. Success closes a HalfOpen
+  /// breaker and clears the consecutive-failure count; failure counts
+  /// toward the threshold (Closed) or re-opens the breaker (HalfOpen).
+  void record_success();
+  void record_failure();
+
+  /// Stored state; does not anticipate cooldown expiry (allow_request
+  /// performs that transition).
+  CircuitState state() const;
+
+  /// Transitions into Open, cumulative (Closed->Open and HalfOpen->Open).
+  std::uint64_t trips() const;
+
+  /// HalfOpen probe admissions, cumulative.
+  std::uint64_t probes() const;
+
+  int consecutive_failures() const;
+
+  const CircuitBreakerOptions& options() const { return options_; }
+
+ private:
+  void trip_locked();
+
+  CircuitBreakerOptions options_;
+  Clock clock_;
+  mutable std::mutex mu_;
+  CircuitState state_ = CircuitState::Closed;
+  int consecutive_failures_ = 0;
+  int probes_left_ = 0;       // HalfOpen probe budget remaining
+  double open_until_ = 0.0;   // cooldown end (clock_ seconds)
+  std::uint64_t trips_ = 0;
+  std::uint64_t probes_ = 0;
+};
+
+}  // namespace hrf::serve

@@ -1,0 +1,324 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace hrf::serve {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+SteadyClock::duration to_duration(double seconds) {
+  return std::chrono::duration_cast<SteadyClock::duration>(
+      std::chrono::duration<double>(std::max(0.0, seconds)));
+}
+
+/// The CPU-native replica that serves while the breaker is open. Keeps
+/// the hierarchical layout when the primary uses one (same predictions,
+/// same indexing scheme), else the CSR baseline.
+Variant fallback_variant(Variant primary) {
+  switch (primary) {
+    case Variant::Independent:
+    case Variant::Collaborative:
+    case Variant::Hybrid:
+      return Variant::Independent;
+    case Variant::Csr:
+    case Variant::FilBaseline:
+      return Variant::Csr;
+  }
+  return Variant::Csr;
+}
+
+std::string format_seconds(double s) {
+  std::ostringstream out;
+  out.precision(3);
+  out << std::fixed << s;
+  return out.str();
+}
+
+}  // namespace
+
+ForestServer::ForestServer(Forest forest, ClassifierOptions classifier_options,
+                           ServerOptions options)
+    : options_(options), breaker_(options.breaker) {
+  require(options_.num_workers >= 1, "num_workers must be >= 1");
+  require(options_.queue_capacity >= 1, "queue_capacity must be >= 1");
+  require(options_.deadline_chunk_size >= 1, "deadline_chunk_size must be >= 1");
+  require(options_.retry.max_retries >= 0, "retry.max_retries must be >= 0");
+  require(options_.retry.backoff_base_seconds >= 0.0 &&
+              options_.retry.backoff_max_seconds >= 0.0,
+          "retry backoff seconds must be >= 0");
+  require(options_.retry.jitter_fraction >= 0.0 && options_.retry.jitter_fraction <= 1.0,
+          "retry.jitter_fraction must be in [0, 1]");
+
+  ClassifierOptions fb = classifier_options;
+  fb.backend = Backend::CpuNative;
+  fb.variant = fallback_variant(classifier_options.variant);
+  fb.fallback = FallbackPolicy{};  // the CPU path has nothing to degrade to
+
+  Xoshiro256 jitter_base(options_.seed);
+  primary_.reserve(options_.num_workers);
+  fallback_.reserve(options_.num_workers);
+  jitter_.reserve(options_.num_workers);
+  for (std::size_t w = 0; w < options_.num_workers; ++w) {
+    primary_.push_back(std::make_unique<Classifier>(forest, classifier_options));
+    fallback_.push_back(std::make_unique<Classifier>(forest, fb));
+    jitter_.push_back(jitter_base.split(static_cast<int>(w) + 1));
+  }
+
+  started_ = !options_.start_paused;
+  workers_.reserve(options_.num_workers);
+  for (std::size_t w = 0; w < options_.num_workers; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ForestServer::~ForestServer() {
+  try {
+    shutdown();
+  } catch (...) {
+    // A destructor must not throw; the drain report is lost but every
+    // queued promise was still failed with ShutdownError.
+  }
+}
+
+std::future<ServeResult> ForestServer::submit(Dataset queries) {
+  return submit(std::move(queries), options_.default_deadline_seconds);
+}
+
+std::future<ServeResult> ForestServer::submit(Dataset queries, double deadline_seconds) {
+  counters_.add("requests.submitted");
+  Request req;
+  req.queries = std::move(queries);
+  req.enqueued = SteadyClock::now();
+  req.has_deadline = deadline_seconds > 0.0;
+  if (req.has_deadline) req.deadline = req.enqueued + to_duration(deadline_seconds);
+  std::future<ServeResult> fut = req.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!accepting_) {
+      counters_.add("requests.rejected_shutdown");
+      throw ShutdownError("server is shutting down; submission rejected");
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      counters_.add("requests.rejected_overload");
+      throw OverloadError("request queue full (capacity " +
+                          std::to_string(options_.queue_capacity) +
+                          "); back off and retry");
+    }
+    queue_.push_back(std::move(req));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ForestServer::resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    started_ = true;
+  }
+  cv_.notify_all();
+}
+
+DrainReport ForestServer::shutdown() { return shutdown(options_.drain_deadline_seconds); }
+
+DrainReport ForestServer::shutdown(double drain_deadline_seconds) {
+  // Serialized so a concurrent second shutdown() cannot double-join.
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shut_down_) return drain_report_;
+    accepting_ = false;
+    started_ = true;  // a paused server still drains its backlog
+    drain_deadline_ = SteadyClock::now() + to_duration(drain_deadline_seconds);
+    stopping_.store(true, std::memory_order_release);
+  }
+  cv_.notify_all();
+  WallTimer timer;
+  for (std::thread& t : workers_) t.join();
+
+  DrainReport rep;
+  rep.drain_seconds = timer.seconds();
+  std::lock_guard<std::mutex> lock(mu_);
+  rep.abandoned = queue_.size();
+  rep.deadline_hit = !queue_.empty();
+  for (Request& r : queue_) {
+    r.promise.set_exception(std::make_exception_ptr(ShutdownError(
+        "request abandoned: drain deadline (" + format_seconds(drain_deadline_seconds) +
+        "s) passed during shutdown")));
+  }
+  queue_.clear();
+  if (rep.abandoned > 0) counters_.add("requests.abandoned", rep.abandoned);
+  rep.drained = drained_after_stop_.load(std::memory_order_relaxed);
+  drain_report_ = rep;
+  shut_down_ = true;
+  return rep;
+}
+
+bool ForestServer::ready() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return accepting_ && started_ && !stopping_.load(std::memory_order_relaxed);
+}
+
+bool ForestServer::healthy() const { return !worker_failed_.load(std::memory_order_relaxed); }
+
+std::size_t ForestServer::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+ServerStats ForestServer::stats() const {
+  ServerStats s;
+  s.queue_depth = queue_depth();
+  s.breaker = breaker_.state();
+  s.breaker_trips = breaker_.trips();
+  s.breaker_probes = breaker_.probes();
+  s.submitted = counters_.value("requests.submitted");
+  s.rejected_overload = counters_.value("requests.rejected_overload");
+  s.rejected_shutdown = counters_.value("requests.rejected_shutdown");
+  s.shed_deadline = counters_.value("requests.shed_deadline");
+  s.deadline_expired = counters_.value("requests.deadline_expired");
+  s.completed = counters_.value("requests.completed");
+  s.failed = counters_.value("requests.failed");
+  s.retries = counters_.value("requests.retried");
+  s.fallback_served = counters_.value("fallback.served");
+  s.breaker_short_circuited = counters_.value("breaker.short_circuited");
+  s.abandoned = counters_.value("requests.abandoned");
+  return s;
+}
+
+void ForestServer::worker_loop(std::size_t w) {
+  try {
+    for (;;) {
+      Request req;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] {
+          return stopping_.load(std::memory_order_acquire) || (started_ && !queue_.empty());
+        });
+        if (stopping_.load(std::memory_order_acquire)) {
+          if (queue_.empty()) return;                         // drained clean
+          if (SteadyClock::now() >= drain_deadline_) return;  // budget exhausted
+        }
+        if (queue_.empty()) continue;
+        req = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      process(w, std::move(req));
+    }
+  } catch (...) {
+    // Per-request failures are delivered through promises; only an
+    // unexpected infrastructure error lands here. Flag it for healthy()
+    // rather than taking the process down from a worker thread.
+    worker_failed_.store(true, std::memory_order_relaxed);
+  }
+}
+
+void ForestServer::process(std::size_t w, Request req) {
+  const SteadyClock::time_point now = SteadyClock::now();
+  const double queue_s = std::chrono::duration<double>(now - req.enqueued).count();
+  if (req.has_deadline && now >= req.deadline) {
+    counters_.add("requests.shed_deadline");
+    counters_.add("requests.failed");
+    req.promise.set_exception(std::make_exception_ptr(DeadlineError(
+        "deadline expired after " + format_seconds(queue_s) + "s in queue; shed before dispatch")));
+    return;
+  }
+  try {
+    WallTimer timer;
+    ServeResult res = execute(w, req);
+    res.queue_seconds = queue_s;
+    res.service_seconds = timer.seconds();
+    counters_.add("requests.completed");
+    if (stopping_.load(std::memory_order_relaxed)) {
+      drained_after_stop_.fetch_add(1, std::memory_order_relaxed);
+    }
+    req.promise.set_value(std::move(res));
+  } catch (...) {
+    counters_.add("requests.failed");
+    req.promise.set_exception(std::current_exception());
+  }
+}
+
+ServeResult ForestServer::execute(std::size_t w, Request& req) {
+  ServeResult out;
+  const std::string primary_desc = std::string(to_string(primary_[w]->options().backend)) + "/" +
+                                   to_string(primary_[w]->options().variant);
+  std::string primary_note;
+  if (breaker_.allow_request()) {
+    const int tries = 1 + options_.retry.max_retries;
+    std::string last_error;
+    for (int attempt = 0; attempt < tries; ++attempt) {
+      try {
+        out.report = run_one(*primary_[w], req);
+        breaker_.record_success();
+        return out;
+      } catch (const ResourceError& e) {
+        breaker_.record_failure();
+        last_error = e.what();
+        if (attempt + 1 < tries) {
+          ++out.retries;
+          counters_.add("requests.retried");
+          if (!backoff_sleep(w, attempt, req)) break;  // deadline too close
+        }
+      }
+    }
+    primary_note = "primary " + primary_desc + " failed after " +
+                   std::to_string(out.retries + 1) + " attempt(s) (" + last_error + ")";
+  } else {
+    counters_.add("breaker.short_circuited");
+    primary_note = "breaker open: skipped primary " + primary_desc;
+  }
+  // The CPU-native fallback replica — bit-identical predictions, degraded
+  // latency only, recorded like every other degradation.
+  out.report = run_one(*fallback_[w], req);
+  out.via_fallback = true;
+  counters_.add("fallback.served");
+  out.report.degradations.push_back("serve: " + primary_note + " -> cpu-native fallback");
+  return out;
+}
+
+RunReport ForestServer::run_one(const Classifier& clf, const Request& req) {
+  if (!req.has_deadline) return clf.classify(req.queries);
+  // Time-boxed execution: chunked, cancel polled between chunks, so an
+  // expired request stops burning the backend after at most one chunk.
+  const SteadyClock::time_point deadline = req.deadline;
+  Classifier::StreamReport s =
+      clf.classify_stream(req.queries, options_.deadline_chunk_size,
+                          [deadline] { return SteadyClock::now() >= deadline; });
+  if (!s.completed) {
+    counters_.add("requests.deadline_expired");
+    throw DeadlineError("deadline expired during execution (" +
+                        std::to_string(s.predictions.size()) + " of " +
+                        std::to_string(req.queries.num_samples()) + " queries done)");
+  }
+  RunReport r;
+  r.predictions = std::move(s.predictions);
+  r.seconds = s.total_seconds;
+  r.simulated = s.simulated;
+  r.degradations = std::move(s.degradations);
+  return r;
+}
+
+bool ForestServer::backoff_sleep(std::size_t w, int attempt, const Request& req) {
+  const RetryPolicy& rp = options_.retry;
+  double backoff =
+      std::min(rp.backoff_base_seconds * std::pow(2.0, attempt), rp.backoff_max_seconds);
+  // Deterministic jitter (per-worker stream of the server seed) spreads
+  // retries from concurrent workers so they do not re-converge on the
+  // recovering backend in lockstep.
+  backoff *= 1.0 + rp.jitter_fraction * jitter_[w].uniform(-1.0, 1.0);
+  if (req.has_deadline &&
+      SteadyClock::now() + to_duration(backoff) >= req.deadline) {
+    return false;
+  }
+  if (backoff > 0.0) std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+  return true;
+}
+
+}  // namespace hrf::serve

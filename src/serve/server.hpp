@@ -1,0 +1,203 @@
+#pragma once
+
+// Concurrent serving layer over the Classifier (docs/serving.md).
+//
+// A ForestServer owns a pool of worker threads, each holding its own
+// Classifier replica (primary backend) plus a CPU-native fallback
+// replica, fed from one bounded MPMC request queue. Robustness features,
+// in request order:
+//
+//   admission   queue full -> submit() throws OverloadError immediately
+//               (bounded memory, fast feedback) instead of queueing
+//               unboundedly; after shutdown begins, ShutdownError.
+//   deadlines   a request past its deadline is shed before dispatch, and
+//               time-boxed during execution by chunked classification
+//               (cancel polled between chunks) — both DeadlineError.
+//   retry       transient ResourceError from the primary is retried with
+//               exponential backoff + deterministic jitter.
+//   breaker     a per-server circuit breaker trips after N consecutive
+//               primary failures; while open, requests route straight to
+//               the CPU-native fallback (bit-identical predictions, noted
+//               in RunReport::degradations), and probe requests half-open
+//               it before it closes.
+//   drain       shutdown() stops admission, drains in-flight and queued
+//               requests up to a drain deadline, and fails whatever is
+//               left with ShutdownError, reporting counts.
+//
+// Composition with the fault-injection harness (util/fault): injection
+// sites fire inside worker threads, driving the retry and breaker paths
+// deterministically in tests. Degradations recorded by the per-replica
+// FallbackPolicy propagate into each response's RunReport.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/classifier.hpp"
+#include "serve/circuit_breaker.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace hrf::serve {
+
+/// Server-level retry of transient primary-backend failures. Distinct
+/// from FallbackPolicy::max_retries (which retries *inside* one classify
+/// call): this one backs off between attempts, so a device that needs a
+/// moment to recover is not hammered.
+struct RetryPolicy {
+  int max_retries = 2;                 // extra primary attempts per request
+  double backoff_base_seconds = 1e-3;  // first backoff; doubles per attempt
+  double backoff_max_seconds = 0.1;    // exponential growth cap
+  double jitter_fraction = 0.5;        // backoff scaled by 1 +/- U*fraction
+};
+
+struct ServerOptions {
+  std::size_t num_workers = 2;
+  std::size_t queue_capacity = 64;
+  /// Applied to submit(queries) without an explicit deadline; 0 = none.
+  double default_deadline_seconds = 0.0;
+  /// Chunk size for deadline-bounded (time-boxed) execution.
+  std::size_t deadline_chunk_size = 256;
+  RetryPolicy retry{};
+  CircuitBreakerOptions breaker{};
+  /// Default drain budget for shutdown() / the destructor.
+  double drain_deadline_seconds = 5.0;
+  /// When true, workers do not dequeue until resume() — admission is
+  /// still open, which tests and warmup flows use to stage a backlog
+  /// deterministically.
+  bool start_paused = false;
+  /// Seed for backoff jitter (per-worker streams split from it).
+  std::uint64_t seed = 42;
+};
+
+/// One served request's outcome.
+struct ServeResult {
+  RunReport report;            // predictions + degradation trail
+  int retries = 0;             // server-level retry attempts spent
+  bool via_fallback = false;   // breaker routed this to the CPU replica
+  double queue_seconds = 0.0;  // submit -> dispatch
+  double service_seconds = 0.0;
+};
+
+/// Point-in-time statistics snapshot (also exported as named counters via
+/// counters(), see util/metrics CounterRegistry).
+struct ServerStats {
+  std::size_t queue_depth = 0;
+  CircuitState breaker = CircuitState::Closed;
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected_overload = 0;
+  std::uint64_t rejected_shutdown = 0;
+  std::uint64_t shed_deadline = 0;     // expired while queued
+  std::uint64_t deadline_expired = 0;  // expired during execution/backoff
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;  // failed with an exception (incl. deadline)
+  std::uint64_t retries = 0;
+  std::uint64_t fallback_served = 0;
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t breaker_probes = 0;
+  std::uint64_t breaker_short_circuited = 0;  // primary skipped: breaker open
+  std::uint64_t abandoned = 0;                // failed by shutdown drain
+};
+
+/// What graceful shutdown accomplished.
+struct DrainReport {
+  std::size_t drained = 0;    // requests completed after shutdown began
+  std::size_t abandoned = 0;  // queued requests failed with ShutdownError
+  bool deadline_hit = false;  // drain stopped by the deadline, not emptiness
+  double drain_seconds = 0.0;
+};
+
+class ForestServer {
+ public:
+  /// Builds per-worker primary replicas from (forest, classifier_options)
+  /// and per-worker CPU-native fallback replicas, then starts the worker
+  /// pool (paused when options.start_paused).
+  ForestServer(Forest forest, ClassifierOptions classifier_options, ServerOptions options);
+  ~ForestServer();  // shutdown(options().drain_deadline_seconds) if still up
+
+  ForestServer(const ForestServer&) = delete;
+  ForestServer& operator=(const ForestServer&) = delete;
+
+  /// Enqueues a request. Throws OverloadError when the queue is full and
+  /// ShutdownError once shutdown began; otherwise returns a future that
+  /// yields the result or the request's failure exception. The deadline
+  /// (seconds from now; <= 0 = none) bounds queue wait + execution.
+  std::future<ServeResult> submit(Dataset queries);
+  std::future<ServeResult> submit(Dataset queries, double deadline_seconds);
+
+  /// Starts paused workers (no-op when already running).
+  void resume();
+
+  /// Graceful shutdown: stops admission, lets workers drain the queue
+  /// until empty or the drain deadline passes, then fails leftovers with
+  /// ShutdownError. Idempotent — later calls return the first report.
+  DrainReport shutdown();
+  DrainReport shutdown(double drain_deadline_seconds);
+
+  /// Readiness: accepting requests and workers are running (false while
+  /// start_paused and after shutdown begins).
+  bool ready() const;
+  /// Health: no worker thread has died on an unexpected exception
+  /// (per-request failures are delivered through futures, not here).
+  bool healthy() const;
+
+  std::size_t queue_depth() const;
+  ServerStats stats() const;
+  const CounterRegistry& counters() const { return counters_; }
+  CircuitState breaker_state() const { return breaker_.state(); }
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  struct Request {
+    Dataset queries;
+    std::promise<ServeResult> promise;
+    TimePoint enqueued;
+    TimePoint deadline;  // meaningful only when has_deadline
+    bool has_deadline = false;
+  };
+
+  void worker_loop(std::size_t w);
+  void process(std::size_t w, Request req);
+  ServeResult execute(std::size_t w, Request& req);
+  /// One classify on `clf`, honouring the request deadline by chunked
+  /// cancellable execution; throws DeadlineError on mid-run expiry.
+  RunReport run_one(const Classifier& clf, const Request& req);
+  /// Sleeps the jittered exponential backoff for `attempt`. Returns false
+  /// without sleeping when the request's deadline would pass while asleep
+  /// — the caller then skips straight to the fallback instead of burning
+  /// the remaining budget on a nap.
+  bool backoff_sleep(std::size_t w, int attempt, const Request& req);
+
+  ServerOptions options_;
+  std::vector<std::unique_ptr<Classifier>> primary_;   // one per worker
+  std::vector<std::unique_ptr<Classifier>> fallback_;  // one per worker
+  std::vector<Xoshiro256> jitter_;                     // one per worker
+  CircuitBreaker breaker_;
+  CounterRegistry counters_;
+
+  mutable std::mutex mu_;     // guards queue + lifecycle flags
+  std::mutex shutdown_mu_;    // serializes shutdown() callers (join once)
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool accepting_ = true;
+  bool started_ = false;
+  bool shut_down_ = false;
+  std::atomic<bool> stopping_{false};
+  TimePoint drain_deadline_{};
+  DrainReport drain_report_{};
+
+  std::atomic<bool> worker_failed_{false};
+  std::atomic<std::uint64_t> drained_after_stop_{0};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hrf::serve

@@ -35,6 +35,30 @@ class ResourceError : public Error {
   explicit ResourceError(const std::string& what) : Error(what) {}
 };
 
+/// Raised by the serving layer when admission control rejects a request
+/// because the bounded request queue is full. Retryable by the client
+/// after backing off — the server is alive, just saturated.
+class OverloadError : public Error {
+ public:
+  explicit OverloadError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a request's deadline expires — either while queued (shed
+/// before dispatch) or mid-execution (time-boxed chunked run abandoned).
+/// Not retryable as-is: the answer would arrive too late by definition.
+class DeadlineError : public Error {
+ public:
+  explicit DeadlineError(const std::string& what) : Error(what) {}
+};
+
+/// Raised for requests refused or abandoned because the server is
+/// shutting down: submissions after shutdown began, and queued requests
+/// still unserved when the drain deadline passes.
+class ShutdownError : public Error {
+ public:
+  explicit ShutdownError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void throw_config(const std::string& what) { throw ConfigError(what); }
 }  // namespace detail

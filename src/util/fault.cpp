@@ -38,12 +38,12 @@ void FaultInjector::seed(std::uint64_t seed) {
 
 void FaultInjector::arm(const std::string& site, int count) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (count == 0) {
-    sites_.erase(site);
-  } else {
-    sites_[site] = count;
-  }
-  enabled_.store(!sites_.empty(), std::memory_order_relaxed);
+  // Entries are kept (zeroed) on disarm rather than erased so a concurrent
+  // consume() holding a Site* never sees its node die under it.
+  sites_.try_emplace(site).first->second.remaining.store(count, std::memory_order_release);
+  bool any = false;
+  for (const auto& [name, s] : sites_) any |= s.remaining.load(std::memory_order_relaxed) != 0;
+  enabled_.store(any, std::memory_order_relaxed);
 }
 
 void FaultInjector::arm_spec(const std::string& spec) {
@@ -87,27 +87,60 @@ void FaultInjector::disarm(const std::string& site) { arm(site, 0); }
 
 void FaultInjector::disarm_all() {
   std::lock_guard<std::mutex> lock(mu_);
-  sites_.clear();
+  for (auto& [name, s] : sites_) s.remaining.store(0, std::memory_order_release);
   enabled_.store(false, std::memory_order_relaxed);
+}
+
+const FaultInjector::Site* FaultInjector::find_site(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? nullptr : &it->second;
+}
+
+void FaultInjector::refresh_enabled() {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool any = false;
+  for (const auto& [name, s] : sites_) any |= s.remaining.load(std::memory_order_relaxed) != 0;
+  enabled_.store(any, std::memory_order_relaxed);
 }
 
 bool FaultInjector::armed(const std::string& site) const { return remaining(site) != 0; }
 
 int FaultInjector::remaining(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = sites_.find(site);
-  return it == sites_.end() ? 0 : it->second;
+  const Site* s = find_site(site);
+  return s ? s->remaining.load(std::memory_order_acquire) : 0;
+}
+
+std::uint64_t FaultInjector::fired(const std::string& site) const {
+  const Site* s = find_site(site);
+  return s ? s->fired.load(std::memory_order_acquire) : 0;
 }
 
 bool FaultInjector::consume(const std::string& site) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = sites_.find(site);
-  if (it == sites_.end()) return false;
-  if (it->second > 0 && --it->second == 0) {
-    sites_.erase(it);
-    enabled_.store(!sites_.empty(), std::memory_order_relaxed);
+  // The structural lock is held only for the lookup; the charge itself is
+  // spent with a CAS so concurrent workers settle exactly who got each
+  // charge (map nodes are stable and never erased — see arm()).
+  Site* s = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sites_.find(site);
+    if (it == sites_.end()) return false;
+    s = &it->second;
   }
-  return true;
+  int cur = s->remaining.load(std::memory_order_acquire);
+  while (cur != 0) {
+    if (cur < 0) {  // infinite charges: no decrement to race on
+      s->fired.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    if (s->remaining.compare_exchange_weak(cur, cur - 1, std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+      s->fired.fetch_add(1, std::memory_order_relaxed);
+      if (cur == 1) refresh_enabled();  // this fire exhausted the site
+      return true;
+    }
+  }
+  return false;
 }
 
 void FaultInjector::maybe_throw_resource(const std::string& site) {

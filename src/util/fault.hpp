@@ -17,6 +17,13 @@
 //   bitflip:layout      layout blob bytes are bit-flipped before parsing
 //   corrupt:node        a node field is corrupted after a layout blob parses
 //
+// Thread safety: every member is safe to call concurrently. Charges are
+// atomic, so N armed charges fire exactly N times no matter how many
+// worker threads hit the site simultaneously (the serving layer's workers
+// all consult the global injector). Site entries are never erased while
+// armed-or-exhausted — disarming zeroes the charge instead — so consume()
+// can decrement lock-free on a stable node after a brief lookup.
+//
 // docs/robustness.md documents the failure model end to end.
 
 #include <atomic>
@@ -58,7 +65,13 @@ class FaultInjector {
   bool armed(const std::string& site) const;
   int remaining(const std::string& site) const;
 
+  /// Times `site` has fired since construction (cumulative across
+  /// re-arms). Lets concurrency tests assert exact fire counts.
+  std::uint64_t fired(const std::string& site) const;
+
   /// Spends one charge of `site`; returns true when the site fired.
+  /// Atomic: concurrent callers collectively fire exactly min(hits,
+  /// charges) times.
   bool consume(const std::string& site);
 
   /// Throws ResourceError("injected fault at <site>: ...") when `site`
@@ -80,9 +93,21 @@ class FaultInjector {
   static FaultInjector& global();
 
  private:
-  mutable std::mutex mu_;
+  /// One armed (or exhausted) site. Lives at a stable address for the
+  /// injector's lifetime so worker threads can operate on the atomics
+  /// after the map lookup drops the structural lock.
+  struct Site {
+    std::atomic<int> remaining{0};        // charges left (<0 = inf, 0 = inert)
+    std::atomic<std::uint64_t> fired{0};  // cumulative successful fires
+  };
+
+  const Site* find_site(const std::string& site) const;
+  /// Recomputes enabled_ from the live charge counts (post-exhaustion).
+  void refresh_enabled();
+
+  mutable std::mutex mu_;  // guards map structure and the RNG
   Xoshiro256 rng_;
-  std::map<std::string, int> sites_;  // site -> remaining charges (<0 = inf)
+  std::map<std::string, Site> sites_;
   std::atomic<bool> enabled_{false};
 };
 

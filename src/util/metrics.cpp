@@ -7,6 +7,28 @@
 
 namespace hrf {
 
+void CounterRegistry::add(const std::string& name, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+std::uint64_t CounterRegistry::value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::map<std::string, std::uint64_t> CounterRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::string CounterRegistry::to_markdown() const {
+  Table t({"counter", "value"});
+  for (const auto& [name, value] : snapshot()) t.row().cell(name).cell(value);
+  return t.markdown();
+}
+
 ConfusionMatrix::ConfusionMatrix(std::span<const std::uint8_t> predictions,
                                  std::span<const std::uint8_t> labels, int num_classes)
     : num_classes_(num_classes) {

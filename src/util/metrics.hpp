@@ -1,11 +1,38 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 namespace hrf {
+
+/// Thread-safe named monotonic counters for operational statistics
+/// (queue depth aside, everything the serving layer reports only goes
+/// up). Writers call add() from any thread; readers take a consistent
+/// snapshot(). Names are created on first use, so call sites stay a
+/// single line and a registry dump always lists exactly the counters
+/// that were touched.
+class CounterRegistry {
+ public:
+  /// Adds `delta` to `name` (creating it at 0 first).
+  void add(const std::string& name, std::uint64_t delta = 1);
+
+  /// Current value; 0 for counters never touched.
+  std::uint64_t value(const std::string& name) const;
+
+  /// Consistent point-in-time copy of every counter.
+  std::map<std::string, std::uint64_t> snapshot() const;
+
+  /// Two-column "counter | value" markdown table, rows sorted by name.
+  std::string to_markdown() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::uint64_t> counters_;
+};
 
 /// Multi-class confusion matrix and the usual derived scores.
 /// Rows = true class, columns = predicted class.

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# End-to-end exercise of `hrf_cli --mode serve`: a synthetic multi-threaded
+# client driver against the ForestServer, clean and under persistent
+# injected GPU faults. Usage: test_cli_serve.sh <path-to-hrf_cli>
+set -u
+
+CLI="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+FAILURES=0
+
+check() {  # check <description> <needle> <file>
+  if grep -q "$2" "$3"; then
+    echo "ok: $1"
+  else
+    echo "FAIL: $1 (missing '$2' in $3)"
+    FAILURES=$((FAILURES + 1))
+  fi
+}
+
+"$CLI" --mode gen --dataset susy --samples 4000 --out "$DIR/d.hrfd" > "$DIR/gen.log" 2>&1
+"$CLI" --mode train --data "$DIR/d.hrfd" --trees 10 --depth 8 \
+       --out "$DIR/m.hrff" > "$DIR/train.log" 2>&1
+[ -f "$DIR/m.hrff" ] || { echo "FAIL: model setup"; exit 1; }
+
+# --- Clean serving: all requests complete, clean drain, exit 0 -----------
+if "$CLI" --mode serve --model "$DIR/m.hrff" --data "$DIR/d.hrfd" \
+       --backend gpu-sim --variant hybrid --sd 4 \
+       --workers 3 --clients 4 --requests 6 --batch 128 > "$DIR/serve.log" 2>&1; then
+  echo "ok: clean serve exits 0"
+else
+  echo "FAIL: clean serve exited nonzero"
+  FAILURES=$((FAILURES + 1))
+fi
+check "serve banner shows configuration" "serving gpu-sim/hybrid: 3 workers" "$DIR/serve.log"
+check "all requests completed" "24 ok (0 degraded), 0 overload-rejected, 0 deadline, 0 failed" "$DIR/serve.log"
+check "counters are reported" "requests.completed" "$DIR/serve.log"
+check "breaker stayed closed" "breaker: state=closed trips=0" "$DIR/serve.log"
+check "drain abandoned nothing" "abandoned=0" "$DIR/serve.log"
+check "clean shutdown reported" "serve: clean shutdown" "$DIR/serve.log"
+
+# --- Breaker scenario: persistent GPU faults, fallback off in the -------
+# classifier so failures drive the server's retry + breaker. Every request
+# must still be answered (degraded via the CPU fallback replica) and the
+# run must still shut down cleanly with exit code 0.
+if "$CLI" --mode serve --model "$DIR/m.hrff" --data "$DIR/d.hrfd" \
+       --backend gpu-sim --variant hybrid --sd 4 --no-fallback \
+       --inject-fault resource:gpu:-1 --retries 1 --breaker-threshold 2 \
+       --breaker-open-ms 5000 \
+       --workers 2 --clients 8 --requests 4 --batch 128 > "$DIR/breaker.log" 2>&1; then
+  echo "ok: faulted serve still exits 0"
+else
+  echo "FAIL: faulted serve exited nonzero"
+  FAILURES=$((FAILURES + 1))
+fi
+check "every request served despite faults" "32 ok" "$DIR/breaker.log"
+check "no request failed under faults" "0 failed" "$DIR/breaker.log"
+check "degradation routed to cpu fallback" "cpu-native fallback" "$DIR/breaker.log"
+check "breaker tripped and stayed open" "breaker: state=open" "$DIR/breaker.log"
+check "fallback counter accounts for all requests" "fallback.served" "$DIR/breaker.log"
+check "faulted run still drains cleanly" "serve: clean shutdown" "$DIR/breaker.log"
+
+# --- Transient fault: absorbed by the in-classifier fallback chain, -----
+# whose degradation trail must propagate into the served responses.
+if "$CLI" --mode serve --model "$DIR/m.hrff" --data "$DIR/d.hrfd" \
+       --backend gpu-sim --variant hybrid --sd 4 \
+       --inject-fault resource:gpu --workers 1 --clients 1 --requests 4 \
+       --batch 128 > "$DIR/transient.log" 2>&1; then
+  echo "ok: transient-fault serve exits 0"
+else
+  echo "FAIL: transient-fault serve exited nonzero"
+  FAILURES=$((FAILURES + 1))
+fi
+check "classifier degradations reach responses" "sample degradation:" "$DIR/transient.log"
+check "transient run shuts down cleanly" "serve: clean shutdown" "$DIR/transient.log"
+
+# Error path: serving without a model must fail cleanly, not crash.
+if "$CLI" --mode serve --model /nonexistent.hrff --data "$DIR/d.hrfd" > "$DIR/err.log" 2>&1; then
+  echo "FAIL: missing model should exit nonzero"
+  FAILURES=$((FAILURES + 1))
+else
+  check "missing model reports an error" "error:" "$DIR/err.log"
+fi
+
+echo "cli serve test failures: $FAILURES"
+exit "$FAILURES"

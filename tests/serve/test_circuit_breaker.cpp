@@ -1,0 +1,122 @@
+// CircuitBreaker state machine, driven by an injected fake clock so
+// cooldown expiry is deterministic (no sleeps).
+
+#include "serve/circuit_breaker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace hrf::serve {
+namespace {
+
+class CircuitBreakerTest : public testing::Test {
+ protected:
+  CircuitBreaker make(int threshold, double open_seconds, int probes = 1) {
+    CircuitBreakerOptions opt;
+    opt.failure_threshold = threshold;
+    opt.open_seconds = open_seconds;
+    opt.half_open_probes = probes;
+    return CircuitBreaker(opt, [this] { return now_; });
+  }
+
+  double now_ = 0.0;
+};
+
+TEST_F(CircuitBreakerTest, StartsClosedAndAllowsRequests) {
+  CircuitBreaker b = make(3, 1.0);
+  EXPECT_EQ(b.state(), CircuitState::Closed);
+  EXPECT_TRUE(b.allow_request());
+  EXPECT_EQ(b.trips(), 0u);
+}
+
+TEST_F(CircuitBreakerTest, TripsAfterConsecutiveFailures) {
+  CircuitBreaker b = make(3, 1.0);
+  b.record_failure();
+  b.record_failure();
+  EXPECT_EQ(b.state(), CircuitState::Closed);
+  EXPECT_EQ(b.consecutive_failures(), 2);
+  b.record_failure();
+  EXPECT_EQ(b.state(), CircuitState::Open);
+  EXPECT_EQ(b.trips(), 1u);
+  EXPECT_FALSE(b.allow_request());  // cooldown not elapsed
+}
+
+TEST_F(CircuitBreakerTest, SuccessResetsTheConsecutiveCount) {
+  CircuitBreaker b = make(3, 1.0);
+  b.record_failure();
+  b.record_failure();
+  b.record_success();
+  EXPECT_EQ(b.consecutive_failures(), 0);
+  b.record_failure();
+  b.record_failure();
+  EXPECT_EQ(b.state(), CircuitState::Closed);  // never 3 in a row
+}
+
+TEST_F(CircuitBreakerTest, CooldownAdmitsOneProbe) {
+  CircuitBreaker b = make(1, 2.0);
+  b.record_failure();  // trip
+  now_ = 1.0;
+  EXPECT_FALSE(b.allow_request());  // still cooling down
+  now_ = 2.0;
+  EXPECT_TRUE(b.allow_request());  // the probe
+  EXPECT_EQ(b.state(), CircuitState::HalfOpen);
+  EXPECT_EQ(b.probes(), 1u);
+  EXPECT_FALSE(b.allow_request());  // probe budget spent, rest to fallback
+}
+
+TEST_F(CircuitBreakerTest, ProbeSuccessCloses) {
+  CircuitBreaker b = make(1, 1.0);
+  b.record_failure();
+  now_ = 1.5;
+  ASSERT_TRUE(b.allow_request());
+  b.record_success();
+  EXPECT_EQ(b.state(), CircuitState::Closed);
+  EXPECT_TRUE(b.allow_request());
+  EXPECT_EQ(b.trips(), 1u);
+}
+
+TEST_F(CircuitBreakerTest, ProbeFailureReopensWithFreshCooldown) {
+  CircuitBreaker b = make(1, 1.0);
+  b.record_failure();
+  now_ = 1.5;
+  ASSERT_TRUE(b.allow_request());
+  b.record_failure();  // probe failed
+  EXPECT_EQ(b.state(), CircuitState::Open);
+  EXPECT_EQ(b.trips(), 2u);
+  EXPECT_FALSE(b.allow_request());  // new cooldown runs from the re-open
+  now_ = 2.5;
+  EXPECT_TRUE(b.allow_request());  // next probe window
+}
+
+TEST_F(CircuitBreakerTest, MultipleProbeBudget) {
+  CircuitBreaker b = make(1, 1.0, /*probes=*/2);
+  b.record_failure();
+  now_ = 1.0;
+  EXPECT_TRUE(b.allow_request());
+  EXPECT_TRUE(b.allow_request());
+  EXPECT_FALSE(b.allow_request());
+  EXPECT_EQ(b.probes(), 2u);
+}
+
+TEST_F(CircuitBreakerTest, StragglerFailureWhileOpenIsIgnored) {
+  CircuitBreaker b = make(2, 10.0);
+  b.record_failure();
+  b.record_failure();  // trip
+  ASSERT_EQ(b.state(), CircuitState::Open);
+  b.record_failure();  // admitted before the trip, finished after
+  EXPECT_EQ(b.state(), CircuitState::Open);
+  EXPECT_EQ(b.trips(), 1u);
+}
+
+TEST_F(CircuitBreakerTest, OptionsAreValidated) {
+  CircuitBreakerOptions bad;
+  bad.failure_threshold = 0;
+  EXPECT_THROW(CircuitBreaker b(bad), ConfigError);
+  CircuitBreakerOptions neg;
+  neg.open_seconds = -1.0;
+  EXPECT_THROW(CircuitBreaker b(neg), ConfigError);
+}
+
+}  // namespace
+}  // namespace hrf::serve

@@ -1,0 +1,342 @@
+// ForestServer concurrency + robustness coverage: admission control,
+// deadline shedding and time-boxing, retry, breaker trip/half-open/close,
+// graceful drain — all driven deterministically by the global
+// FaultInjector. The whole file also runs under ThreadSanitizer via
+// tools/check.sh.
+
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "forest/random_forest_gen.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+
+namespace hrf::serve {
+namespace {
+
+Forest small_forest() {
+  RandomForestSpec spec;
+  spec.num_trees = 6;
+  spec.max_depth = 9;
+  spec.num_features = 7;
+  spec.seed = 33;
+  return make_random_forest(spec);
+}
+
+ClassifierOptions gpu_hybrid_options() {
+  ClassifierOptions opt;
+  opt.backend = Backend::GpuSim;
+  opt.variant = Variant::Hybrid;
+  opt.layout.subtree_depth = 4;
+  opt.gpu = gpusim::DeviceConfig::titan_xp();
+  opt.gpu.num_sms = 4;
+  // Failures must reach the server's retry + breaker, so the in-classifier
+  // chain stays off here (its composition is covered separately below).
+  opt.fallback.enabled = false;
+  return opt;
+}
+
+ServerOptions fast_server(std::size_t workers = 2) {
+  ServerOptions s;
+  s.num_workers = workers;
+  s.queue_capacity = 64;
+  s.retry.max_retries = 0;
+  s.retry.backoff_base_seconds = 1e-5;
+  s.breaker.failure_threshold = 1000;  // effectively off unless a test lowers it
+  return s;
+}
+
+class ForestServerTest : public testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::global().disarm_all(); }
+  void TearDown() override { FaultInjector::global().disarm_all(); }
+
+  Forest forest_ = small_forest();
+  Dataset queries_ = make_random_queries(200, 7, 5);
+  std::vector<std::uint8_t> reference_ =
+      forest_.classify_batch(queries_.features(), queries_.num_samples());
+};
+
+TEST_F(ForestServerTest, ServesConcurrentClientsBitIdentically) {
+  ForestServer server(forest_, gpu_hybrid_options(), fast_server(3));
+  EXPECT_TRUE(server.ready());
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 5;
+  std::atomic<int> correct{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (int r = 0; r < kPerClient; ++r) {
+        ServeResult res = server.submit(queries_).get();
+        if (res.report.predictions == reference_ && !res.via_fallback) correct.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(correct.load(), kClients * kPerClient);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, static_cast<std::uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.fallback_served, 0u);
+
+  const DrainReport drain = server.shutdown();
+  EXPECT_EQ(drain.abandoned, 0u);
+  EXPECT_FALSE(drain.deadline_hit);
+  EXPECT_TRUE(server.healthy());
+}
+
+TEST_F(ForestServerTest, AdmissionControlRejectsWhenQueueFull) {
+  ServerOptions sopt = fast_server(1);
+  sopt.queue_capacity = 4;
+  sopt.start_paused = true;  // stage a backlog deterministically
+  ForestServer server(forest_, gpu_hybrid_options(), sopt);
+  EXPECT_FALSE(server.ready());  // paused
+
+  std::vector<std::future<ServeResult>> futures;
+  for (int i = 0; i < 4; ++i) futures.push_back(server.submit(queries_));
+  EXPECT_EQ(server.queue_depth(), 4u);
+  EXPECT_THROW(server.submit(queries_), OverloadError);
+  EXPECT_EQ(server.stats().rejected_overload, 1u);
+
+  server.resume();
+  EXPECT_TRUE(server.ready());
+  for (auto& f : futures) EXPECT_EQ(f.get().report.predictions, reference_);
+  EXPECT_EQ(server.stats().completed, 4u);
+}
+
+TEST_F(ForestServerTest, ExpiredQueuedRequestsAreShedBeforeDispatch) {
+  ServerOptions sopt = fast_server(1);
+  sopt.start_paused = true;
+  ForestServer server(forest_, gpu_hybrid_options(), sopt);
+
+  std::future<ServeResult> doomed = server.submit(queries_, /*deadline_seconds=*/1e-4);
+  std::future<ServeResult> fine = server.submit(queries_);  // no deadline
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));  // let the deadline pass
+  server.resume();
+
+  EXPECT_THROW(doomed.get(), DeadlineError);
+  EXPECT_EQ(fine.get().report.predictions, reference_);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.shed_deadline, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.failed, 1u);
+}
+
+TEST_F(ForestServerTest, ExecutionIsTimeBoxedByChunkedCancellation) {
+  ServerOptions sopt = fast_server(1);
+  sopt.deadline_chunk_size = 1;  // poll the deadline after every query
+  ForestServer server(forest_, gpu_hybrid_options(), sopt);
+
+  // 4000 single-query simulated-GPU chunks cannot finish in 2 ms, so the
+  // deadline expires mid-execution and the remaining work is abandoned.
+  Dataset big = make_random_queries(4000, 7, 6);
+  std::future<ServeResult> fut = server.submit(std::move(big), /*deadline_seconds=*/2e-3);
+  EXPECT_THROW(fut.get(), DeadlineError);
+  EXPECT_GE(server.stats().deadline_expired, 1u);
+}
+
+TEST_F(ForestServerTest, TransientFaultIsRetriedOnThePrimary) {
+  FaultInjector::global().arm("resource:gpu", 1);  // first attempt fails
+  ServerOptions sopt = fast_server(1);
+  sopt.retry.max_retries = 2;
+  ForestServer server(forest_, gpu_hybrid_options(), sopt);
+
+  ServeResult res = server.submit(queries_).get();
+  EXPECT_EQ(res.report.predictions, reference_);
+  EXPECT_FALSE(res.via_fallback);  // recovered on the primary
+  EXPECT_EQ(res.retries, 1);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.fallback_served, 0u);
+  EXPECT_EQ(stats.breaker, CircuitState::Closed);
+}
+
+TEST_F(ForestServerTest, PersistentFaultTripsBreakerAndDegradesToFallback) {
+  FaultInjector::global().arm("resource:gpu", -1);
+  ServerOptions sopt = fast_server(1);
+  sopt.breaker.failure_threshold = 3;
+  sopt.breaker.open_seconds = 60.0;  // stays open for the whole test
+  ForestServer server(forest_, gpu_hybrid_options(), sopt);
+
+  for (int i = 0; i < 5; ++i) {
+    ServeResult res = server.submit(queries_).get();
+    EXPECT_EQ(res.report.predictions, reference_);  // degraded, never wrong
+    EXPECT_TRUE(res.via_fallback);
+    ASSERT_FALSE(res.report.degradations.empty());
+    EXPECT_NE(res.report.degradations.back().find("cpu-native fallback"), std::string::npos);
+  }
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 5u);
+  EXPECT_EQ(stats.fallback_served, 5u);
+  EXPECT_EQ(stats.breaker, CircuitState::Open);
+  EXPECT_EQ(stats.breaker_trips, 1u);
+  // Requests 4 and 5 skipped the primary entirely.
+  EXPECT_EQ(stats.breaker_short_circuited, 2u);
+}
+
+TEST_F(ForestServerTest, BreakerHalfOpensOnProbeAndClosesOnRecovery) {
+  FaultInjector::global().arm("resource:gpu", 1);  // one failure, then healthy
+  ServerOptions sopt = fast_server(1);
+  sopt.breaker.failure_threshold = 1;
+  sopt.breaker.open_seconds = 0.02;
+  ForestServer server(forest_, gpu_hybrid_options(), sopt);
+
+  ServeResult degraded = server.submit(queries_).get();
+  EXPECT_TRUE(degraded.via_fallback);
+  EXPECT_EQ(server.breaker_state(), CircuitState::Open);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));  // cooldown elapses
+  ServeResult probe = server.submit(queries_).get();
+  EXPECT_FALSE(probe.via_fallback);  // the probe succeeded on the primary
+  EXPECT_EQ(probe.report.predictions, reference_);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.breaker, CircuitState::Closed);
+  EXPECT_EQ(stats.breaker_probes, 1u);
+  EXPECT_EQ(stats.breaker_trips, 1u);
+}
+
+TEST_F(ForestServerTest, BreakerReopensWhenTheProbeFails) {
+  FaultInjector::global().arm("resource:gpu", -1);
+  ServerOptions sopt = fast_server(1);
+  sopt.breaker.failure_threshold = 1;
+  sopt.breaker.open_seconds = 0.02;
+  ForestServer server(forest_, gpu_hybrid_options(), sopt);
+
+  EXPECT_TRUE(server.submit(queries_).get().via_fallback);  // trip 1
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  ServeResult res = server.submit(queries_).get();  // probe fails -> trip 2
+  EXPECT_TRUE(res.via_fallback);
+  EXPECT_EQ(res.report.predictions, reference_);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.breaker, CircuitState::Open);
+  EXPECT_EQ(stats.breaker_trips, 2u);
+  EXPECT_EQ(stats.breaker_probes, 1u);
+}
+
+TEST_F(ForestServerTest, GracefulShutdownDrainsTheBacklog) {
+  ServerOptions sopt = fast_server(2);
+  sopt.start_paused = true;
+  ForestServer server(forest_, gpu_hybrid_options(), sopt);
+
+  std::vector<std::future<ServeResult>> futures;
+  for (int i = 0; i < 8; ++i) futures.push_back(server.submit(queries_));
+
+  // shutdown() resumes a paused server so the backlog still drains.
+  const DrainReport drain = server.shutdown(/*drain_deadline_seconds=*/30.0);
+  EXPECT_EQ(drain.drained, 8u);
+  EXPECT_EQ(drain.abandoned, 0u);
+  EXPECT_FALSE(drain.deadline_hit);
+  for (auto& f : futures) EXPECT_EQ(f.get().report.predictions, reference_);
+  EXPECT_FALSE(server.ready());
+}
+
+TEST_F(ForestServerTest, DrainDeadlineAbandonsLeftoverRequests) {
+  ServerOptions sopt = fast_server(1);
+  sopt.start_paused = true;
+  ForestServer server(forest_, gpu_hybrid_options(), sopt);
+
+  std::vector<std::future<ServeResult>> futures;
+  for (int i = 0; i < 6; ++i) futures.push_back(server.submit(queries_));
+
+  const DrainReport drain = server.shutdown(/*drain_deadline_seconds=*/0.0);
+  EXPECT_EQ(drain.abandoned, 6u);
+  EXPECT_TRUE(drain.deadline_hit);
+  for (auto& f : futures) EXPECT_THROW(f.get(), ShutdownError);
+  EXPECT_EQ(server.stats().abandoned, 6u);
+
+  // Idempotent: a second shutdown returns the same report.
+  const DrainReport again = server.shutdown();
+  EXPECT_EQ(again.abandoned, 6u);
+}
+
+TEST_F(ForestServerTest, SubmissionsAfterShutdownAreRejected) {
+  ForestServer server(forest_, gpu_hybrid_options(), fast_server(1));
+  server.shutdown();
+  EXPECT_THROW(server.submit(queries_), ShutdownError);
+  EXPECT_EQ(server.stats().rejected_shutdown, 1u);
+}
+
+TEST_F(ForestServerTest, InvalidQueriesFailTheRequestNotTheServer) {
+  ForestServer server(forest_, gpu_hybrid_options(), fast_server(1));
+  Dataset wrong_shape = make_random_queries(10, 3, 5);  // model expects 7 features
+  std::future<ServeResult> fut = server.submit(std::move(wrong_shape));
+  EXPECT_THROW(fut.get(), ConfigError);
+  // The worker survives the bad request and keeps serving.
+  EXPECT_EQ(server.submit(queries_).get().report.predictions, reference_);
+  EXPECT_TRUE(server.healthy());
+}
+
+TEST_F(ForestServerTest, InClassifierFallbackPolicyDegradationsPropagate) {
+  FaultInjector::global().arm("resource:gpu", -1);
+  ClassifierOptions copt = gpu_hybrid_options();
+  copt.fallback.enabled = true;  // the classifier absorbs the fault itself
+  ForestServer server(forest_, copt, fast_server(1));
+
+  ServeResult res = server.submit(queries_).get();
+  EXPECT_EQ(res.report.predictions, reference_);
+  EXPECT_FALSE(res.via_fallback);  // the server-level breaker never engaged
+  EXPECT_TRUE(res.report.degraded());  // but the policy's trail is visible
+  EXPECT_EQ(server.stats().fallback_served, 0u);
+}
+
+// The acceptance scenario: 8 concurrent clients against a persistently
+// failing GPU backend. Every request must either complete degraded
+// (breaker -> CPU fallback, bit-identical predictions) or be rejected by
+// admission control; no crashes, no hangs, clean drain.
+TEST_F(ForestServerTest, ConcurrentClientsUnderPersistentFaultAllDegradeOrShed) {
+  FaultInjector::global().arm("resource:gpu", -1);
+  ServerOptions sopt = fast_server(4);
+  sopt.queue_capacity = 8;  // small enough that overload is plausible
+  sopt.retry.max_retries = 1;
+  sopt.breaker.failure_threshold = 2;
+  sopt.breaker.open_seconds = 0.005;  // exercises open/half-open churn too
+  ForestServer server(forest_, gpu_hybrid_options(), sopt);
+
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 8;
+  std::atomic<int> ok{0}, overloaded{0}, wrong{0}, unexpected{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (int r = 0; r < kPerClient; ++r) {
+        try {
+          ServeResult res = server.submit(queries_).get();
+          ok.fetch_add(1);
+          if (res.report.predictions != reference_) wrong.fetch_add(1);
+        } catch (const OverloadError&) {
+          overloaded.fetch_add(1);
+        } catch (...) {
+          unexpected.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_EQ(ok.load() + overloaded.load(), kClients * kPerClient);
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(unexpected.load(), 0);
+  EXPECT_GT(ok.load(), 0);
+  EXPECT_TRUE(server.healthy());
+
+  const DrainReport drain = server.shutdown();
+  EXPECT_EQ(drain.abandoned, 0u);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(ok.load()));
+  EXPECT_EQ(stats.fallback_served, stats.completed);  // the GPU never answered
+  EXPECT_GE(stats.breaker_trips, 1u);
+}
+
+}  // namespace
+}  // namespace hrf::serve

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "util/error.hpp"
 
 namespace hrf {
@@ -62,6 +65,35 @@ TEST(ConfusionMatrix, MarkdownContainsScores) {
   const std::string md = cm.to_markdown();
   EXPECT_NE(md.find("precision"), std::string::npos);
   EXPECT_NE(md.find("accuracy 1"), std::string::npos);
+}
+
+TEST(CounterRegistry, CountsAndSnapshots) {
+  CounterRegistry reg;
+  EXPECT_EQ(reg.value("requests.completed"), 0u);  // untouched reads as 0
+  reg.add("requests.completed");
+  reg.add("requests.completed", 4);
+  reg.add("requests.failed");
+  EXPECT_EQ(reg.value("requests.completed"), 5u);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap.at("requests.failed"), 1u);
+  const std::string md = reg.to_markdown();
+  EXPECT_NE(md.find("requests.completed"), std::string::npos);
+  EXPECT_NE(md.find("5"), std::string::npos);
+}
+
+TEST(CounterRegistry, ConcurrentAddsLoseNothing) {
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 2000;
+  CounterRegistry reg;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      for (int i = 0; i < kAddsPerThread; ++i) reg.add("shared");
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(reg.value("shared"), static_cast<std::uint64_t>(kThreads * kAddsPerThread));
 }
 
 }  // namespace

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Runs the tier-1 test suite twice: a plain RelWithDebInfo build, then an
-# ASan+UBSan build (HRF_SANITIZE=address;undefined). Both must be clean.
+# Runs the tier-1 test suite three ways: a plain RelWithDebInfo build, an
+# ASan+UBSan build (HRF_SANITIZE=address;undefined), and a TSan build
+# (HRF_SANITIZE=thread) running the concurrency suites. All must be clean.
 #
-# Usage: tools/check.sh [--plain-only|--sanitize-only]
+# Usage: tools/check.sh [--plain-only|--sanitize-only|--tsan-only]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,11 +29,26 @@ case "$MODE" in
     # (which needs the hrf_cli target) runs under ASan+UBSan too.
     run_suite build-asan "-DHRF_SANITIZE=address;undefined"
     ;;&
-  all|--plain-only|--sanitize-only)
+  all|--tsan-only)
+    # TSan build runs only the concurrency suites (serving layer, fault
+    # injector, counter registry): that is where the data races live, and
+    # libgomp is not TSan-instrumented, so the OpenMP-parallel numeric
+    # suites would drown the signal in false positives. For the same
+    # reason the tests themselves run with OpenMP forced sequential.
+    echo "=== configure build-tsan ==="
+    cmake -B build-tsan -S . -DHRF_BUILD_BENCHES=OFF "-DHRF_SANITIZE=thread"
+    echo "=== build build-tsan ==="
+    cmake --build build-tsan -j "$JOBS" --target test_server test_circuit_breaker test_fault test_metrics
+    echo "=== test build-tsan (concurrency suites) ==="
+    OMP_NUM_THREADS=1 TSAN_OPTIONS="halt_on_error=1" \
+      ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+            -R '(ForestServer|CircuitBreaker|FaultInjector|CounterRegistry)'
+    ;;&
+  all|--plain-only|--sanitize-only|--tsan-only)
     echo "check.sh: all requested suites passed"
     ;;
   *)
-    echo "usage: tools/check.sh [--plain-only|--sanitize-only]" >&2
+    echo "usage: tools/check.sh [--plain-only|--sanitize-only|--tsan-only]" >&2
     exit 2
     ;;
 esac

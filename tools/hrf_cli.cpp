@@ -20,10 +20,21 @@
 // arms the deterministic fault injector (e.g. resource:gpu, bitflip:layout)
 // and predict degrades along the fallback chain unless --no-fallback is
 // given; every degradation step is printed.
+//
+// Serving (docs/serving.md): `serve` stands up a ForestServer (worker
+// pool, bounded queue, deadlines, retry, circuit breaker) and drives it
+// with a synthetic multi-threaded client load, then drains gracefully and
+// prints the server's counters. With --inject-fault resource:gpu:-1 and
+// --no-fallback this demonstrates the breaker tripping and traffic being
+// served by the CPU-native fallback replicas.
 
+#include <atomic>
 #include <cstdio>
 #include <iostream>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/hrf.hpp"
 #include "forest/importance.hpp"
@@ -223,11 +234,106 @@ int mode_predict(const CliArgs& args) {
   return 0;
 }
 
+int mode_serve(const CliArgs& args) {
+  const Dataset data = Dataset::load(args.get("data", "data.hrfd"));
+  Forest forest = Forest::load(args.get("model", "model.hrff"));
+
+  ClassifierOptions opt;
+  opt.backend = parse_backend(args.get("backend", "cpu"));
+  opt.variant = parse_variant(args.get("variant", "independent"));
+  opt.layout.subtree_depth = static_cast<int>(args.get_int("sd", 8));
+  opt.layout.root_subtree_depth = static_cast<int>(args.get_int("rsd", 0));
+  // With the per-replica FallbackPolicy on (default), ResourceErrors are
+  // absorbed inside classify() and the breaker never sees them;
+  // --no-fallback hands failure handling to the server's retry + breaker.
+  opt.fallback.enabled = !args.get_flag("no-fallback");
+
+  serve::ServerOptions sopt;
+  sopt.num_workers = static_cast<std::size_t>(args.get_int("workers", 2));
+  sopt.queue_capacity = static_cast<std::size_t>(args.get_int("queue-cap", 32));
+  sopt.default_deadline_seconds = args.get_double("deadline-ms", 0.0) / 1e3;
+  sopt.retry.max_retries = static_cast<int>(args.get_int("retries", 2));
+  sopt.retry.backoff_base_seconds = 1e-4;  // keep the synthetic demo fast
+  sopt.breaker.failure_threshold = static_cast<int>(args.get_int("breaker-threshold", 5));
+  sopt.breaker.open_seconds = args.get_double("breaker-open-ms", 100.0) / 1e3;
+  sopt.drain_deadline_seconds = args.get_double("drain-s", 5.0);
+
+  const std::size_t clients = static_cast<std::size_t>(args.get_int("clients", 4));
+  const std::size_t per_client = static_cast<std::size_t>(args.get_int("requests", 8));
+  const std::size_t batch =
+      std::min<std::size_t>(static_cast<std::size_t>(args.get_int("batch", 256)),
+                            data.num_samples());
+  Dataset queries(batch, data.num_features(), data.num_classes());
+  queries.set_name(data.name());
+  for (std::size_t i = 0; i < batch; ++i) queries.push_back(data.sample(i), data.label(i));
+  const std::vector<std::uint8_t> reference =
+      forest.classify_batch(queries.features(), queries.num_samples());
+
+  serve::ForestServer server(std::move(forest), opt, sopt);
+  std::printf("serving %s/%s: %zu workers, queue %zu, %zu clients x %zu requests of %zu queries\n",
+              to_string(opt.backend), to_string(opt.variant), sopt.num_workers,
+              sopt.queue_capacity, clients, per_client, batch);
+
+  std::atomic<std::uint64_t> ok{0}, degraded{0}, overload{0}, deadline{0}, wrong{0}, failed{0};
+  std::mutex sample_mu;
+  std::vector<std::string> sample_degradations;
+  std::vector<std::thread> pool;
+  pool.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    pool.emplace_back([&] {
+      for (std::size_t r = 0; r < per_client; ++r) {
+        try {
+          serve::ServeResult res = server.submit(queries).get();
+          ++ok;
+          if (res.report.predictions != reference) ++wrong;
+          if (res.report.degraded()) {
+            ++degraded;
+            std::lock_guard<std::mutex> lock(sample_mu);
+            if (sample_degradations.empty()) sample_degradations = res.report.degradations;
+          }
+        } catch (const OverloadError&) {
+          ++overload;
+        } catch (const DeadlineError&) {
+          ++deadline;
+        } catch (const Error&) {
+          ++failed;
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+
+  const serve::DrainReport drain = server.shutdown();
+  const serve::ServerStats stats = server.stats();
+
+  std::printf("clients done: %llu ok (%llu degraded), %llu overload-rejected, "
+              "%llu deadline, %llu failed\n",
+              static_cast<unsigned long long>(ok.load()),
+              static_cast<unsigned long long>(degraded.load()),
+              static_cast<unsigned long long>(overload.load()),
+              static_cast<unsigned long long>(deadline.load()),
+              static_cast<unsigned long long>(failed.load()));
+  for (const std::string& step : sample_degradations) {
+    std::printf("sample degradation: %s\n", step.c_str());
+  }
+  std::printf("%s", server.counters().to_markdown().c_str());
+  std::printf("breaker: state=%s trips=%llu probes=%llu\n", to_string(stats.breaker),
+              static_cast<unsigned long long>(stats.breaker_trips),
+              static_cast<unsigned long long>(stats.breaker_probes));
+  std::printf("drain: drained=%zu abandoned=%zu deadline_hit=%s in %.3fs\n", drain.drained,
+              drain.abandoned, drain.deadline_hit ? "yes" : "no", drain.drain_seconds);
+
+  const bool clean = server.healthy() && wrong.load() == 0 && failed.load() == 0 &&
+                     drain.abandoned == 0;
+  std::printf(clean ? "serve: clean shutdown\n" : "serve: FAILED (see counters above)\n");
+  return clean ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
-  args.allow("mode", "gen | train | info | layout | predict | compile")
+  args.allow("mode", "gen | train | info | layout | predict | compile | serve")
       .allow("dataset", "gen: covertype | susy | higgs")
       .allow("samples", "gen: sample count")
       .allow("data", "train/predict: dataset file (.hrfd)")
@@ -243,7 +349,18 @@ int main(int argc, char** argv) {
       .allow("rsd", "layout/predict/compile: root subtree depth(s), 0 = SD")
       .allow("layout", "compile: csr | hier")
       .allow("layout-blob", "predict: precompiled layout blob (.hrfl) to load")
-      .allow("no-fallback", "predict: fail on ResourceError instead of degrading")
+      .allow("no-fallback", "predict/serve: disable the in-classifier fallback chain "
+                            "(serve: failures then drive the server's retry + breaker)")
+      .allow("workers", "serve: worker threads (classifier replicas)")
+      .allow("queue-cap", "serve: bounded request queue capacity")
+      .allow("clients", "serve: synthetic client threads")
+      .allow("requests", "serve: requests per client")
+      .allow("batch", "serve: queries per request")
+      .allow("deadline-ms", "serve: per-request deadline (0 = none)")
+      .allow("retries", "serve: max server-level retries per request")
+      .allow("breaker-threshold", "serve: consecutive failures to trip the breaker")
+      .allow("breaker-open-ms", "serve: breaker cooldown before half-open")
+      .allow("drain-s", "serve: graceful shutdown drain deadline")
       .allow("inject-fault", "fault spec(s): resource:{gpu|gpu-smem|fpga|fpga-bram}[:n], "
                              "bitflip:layout, corrupt:node")
       .allow("inject-seed", "fault injector RNG seed")
@@ -264,6 +381,7 @@ int main(int argc, char** argv) {
     if (mode == "layout") return mode_layout(args);
     if (mode == "predict") return mode_predict(args);
     if (mode == "compile") return mode_compile(args);
+    if (mode == "serve") return mode_serve(args);
     std::fprintf(stderr, "missing or unknown --mode (try --help)\n");
     return 1;
   } catch (const hrf::Error& e) {
