@@ -1,0 +1,296 @@
+#include "bench/harness.hpp"
+
+#include <omp.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+
+#include "data/synthetic.hpp"
+#include "util/error.hpp"
+#include "util/histogram.hpp"
+#include "util/timer.hpp"
+
+namespace hrf::bench {
+
+namespace {
+
+/// First `n` rows of `ds` (all of it when n >= size).
+Dataset head(const Dataset& ds, std::size_t n) {
+  if (n >= ds.num_samples()) return ds;
+  Dataset out(n, ds.num_features(), ds.num_classes());
+  out.set_name(ds.name());
+  for (std::size_t i = 0; i < n; ++i) out.push_back(ds.sample(i), ds.label(i));
+  return out;
+}
+
+bool valid_combo(Variant v, Backend b) {
+  if (v == Variant::FilBaseline) return b == Backend::GpuSim;
+  if (v == Variant::Collaborative || v == Variant::Hybrid) return b != Backend::CpuNative;
+  return true;
+}
+
+json::Value forest_to_json(const RandomForestSpec& spec) {
+  json::Value f = json::Value::object();
+  f["num_trees"] = spec.num_trees;
+  f["max_depth"] = spec.max_depth;
+  f["branch_prob"] = spec.branch_prob;
+  f["num_features"] = spec.num_features;
+  f["num_classes"] = spec.num_classes;
+  f["seed"] = spec.seed;
+  return f;
+}
+
+RandomForestSpec forest_from_json(const json::Value& f) {
+  RandomForestSpec spec;
+  spec.num_trees = static_cast<int>(f.get("num_trees").as_number());
+  spec.max_depth = static_cast<int>(f.get("max_depth").as_number());
+  spec.branch_prob = f.get("branch_prob").as_number();
+  spec.num_features = static_cast<int>(f.get("num_features").as_number());
+  spec.num_classes = static_cast<int>(f.get("num_classes").as_number());
+  spec.seed = static_cast<std::uint64_t>(f.get("seed").as_number());
+  return spec;
+}
+
+}  // namespace
+
+Backend backend_from_name(const std::string& name) {
+  if (name == "cpu" || name == "cpu-native") return Backend::CpuNative;
+  if (name == "gpu-sim") return Backend::GpuSim;
+  if (name == "fpga-sim") return Backend::FpgaSim;
+  throw ConfigError("unknown backend '" + name + "' (cpu|gpu-sim|fpga-sim)");
+}
+
+Variant variant_from_name(const std::string& name) {
+  if (name == "csr") return Variant::Csr;
+  if (name == "independent") return Variant::Independent;
+  if (name == "collaborative") return Variant::Collaborative;
+  if (name == "hybrid") return Variant::Hybrid;
+  if (name == "fil" || name == "fil-baseline") return Variant::FilBaseline;
+  throw ConfigError("unknown variant '" + name +
+                    "' (csr|independent|collaborative|hybrid|fil)");
+}
+
+EnvFingerprint EnvFingerprint::capture() {
+  EnvFingerprint env;
+  char host[256] = {};
+  if (::gethostname(host, sizeof host - 1) == 0) env.hostname = host;
+#if defined(__VERSION__)
+  env.compiler = __VERSION__;
+#else
+  env.compiler = "unknown";
+#endif
+#if defined(NDEBUG)
+  env.build = "release";
+#else
+  env.build = "debug";
+#endif
+  env.omp_max_threads = omp_get_max_threads();
+  char stamp[32] = {};
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  env.timestamp_utc = stamp;
+  return env;
+}
+
+BenchReport run_sweep(const SweepOptions& options) {
+  require(options.warmup_runs >= 0, "warmup_runs must be >= 0");
+  require(options.repeat_runs >= 1, "repeat_runs must be >= 1");
+  require(!options.batch_sizes.empty(), "batch_sizes must not be empty");
+
+  BenchReport report;
+  report.env = EnvFingerprint::capture();
+  report.warmup_runs = options.warmup_runs;
+  report.repeat_runs = options.repeat_runs;
+  report.forest = options.forest;
+  report.query_seed = options.query_seed;
+
+  const Forest forest = make_random_forest(options.forest);
+  std::size_t max_batch = 0;
+  for (const std::size_t b : options.batch_sizes) {
+    require(b >= 1, "batch sizes must be >= 1");
+    max_batch = std::max(max_batch, b);
+  }
+  const Dataset queries =
+      make_random_queries(max_batch, options.forest.num_features, options.query_seed);
+
+  for (const Variant variant : options.variants) {
+    for (const Backend backend : options.backends) {
+      if (!valid_combo(variant, backend)) continue;
+      ClassifierOptions copt;
+      copt.variant = variant;
+      copt.backend = backend;
+      copt.layout = options.layout;
+      const Classifier clf(forest, copt);
+      for (const std::size_t batch : options.batch_sizes) {
+        const Dataset q = head(queries, batch);
+        for (int w = 0; w < options.warmup_runs; ++w) (void)clf.classify(q);
+
+        // The histogram records whole-batch latencies (ns-scale integers
+        // with plenty of resolution); per-query figures divide afterwards
+        // so sub-ns per-query rates (a wide GPU absorbing a small batch
+        // in one wave) do not truncate to zero.
+        LatencyHistogram hist;
+        bool simulated = true;
+        for (int r = 0; r < options.repeat_runs; ++r) {
+          const RunReport run = clf.classify(q);
+          simulated = run.simulated;
+          hist.record_seconds(run.seconds);
+        }
+        const HistogramSnapshot snap = hist.snapshot();
+        const auto per_query = [&](double batch_ns) {
+          return batch_ns / static_cast<double>(q.num_samples());
+        };
+
+        CaseResult c;
+        c.variant = to_string(variant);
+        c.backend = to_string(backend);
+        c.batch = batch;
+        c.repeats = options.repeat_runs;
+        c.simulated = simulated;
+        c.p50_ns_per_query = per_query(snap.percentile_ns(50));
+        c.p95_ns_per_query = per_query(snap.percentile_ns(95));
+        c.p99_ns_per_query = per_query(snap.percentile_ns(99));
+        c.max_ns_per_query = per_query(static_cast<double>(snap.max_ns));
+        c.mean_ns_per_query = per_query(snap.mean_ns());
+        c.throughput_qps = c.p50_ns_per_query > 0.0 ? 1e9 / c.p50_ns_per_query : 0.0;
+        report.cases.push_back(std::move(c));
+      }
+    }
+  }
+  return report;
+}
+
+json::Value to_json(const BenchReport& report) {
+  json::Value root = json::Value::object();
+  root["schema"] = kSchemaName;
+  root["schema_version"] = report.schema_version;
+
+  json::Value env = json::Value::object();
+  env["hostname"] = report.env.hostname;
+  env["compiler"] = report.env.compiler;
+  env["build"] = report.env.build;
+  env["omp_max_threads"] = report.env.omp_max_threads;
+  env["timestamp_utc"] = report.env.timestamp_utc;
+  root["env"] = std::move(env);
+
+  json::Value policy = json::Value::object();
+  policy["warmup_runs"] = report.warmup_runs;
+  policy["repeat_runs"] = report.repeat_runs;
+  policy["query_seed"] = report.query_seed;
+  root["policy"] = std::move(policy);
+  root["forest"] = forest_to_json(report.forest);
+
+  json::Value cases = json::Value::array();
+  for (const CaseResult& c : report.cases) {
+    json::Value jc = json::Value::object();
+    jc["variant"] = c.variant;
+    jc["backend"] = c.backend;
+    jc["batch"] = c.batch;
+    jc["repeats"] = c.repeats;
+    jc["simulated"] = c.simulated;
+    jc["p50_ns_per_query"] = c.p50_ns_per_query;
+    jc["p95_ns_per_query"] = c.p95_ns_per_query;
+    jc["p99_ns_per_query"] = c.p99_ns_per_query;
+    jc["max_ns_per_query"] = c.max_ns_per_query;
+    jc["mean_ns_per_query"] = c.mean_ns_per_query;
+    jc["throughput_qps"] = c.throughput_qps;
+    cases.push_back(std::move(jc));
+  }
+  root["cases"] = std::move(cases);
+  return root;
+}
+
+BenchReport report_from_json(const json::Value& v) {
+  const std::string schema = v.get("schema").as_string();
+  if (schema != kSchemaName) {
+    throw FormatError("not an hrf-bench report (schema '" + schema + "')");
+  }
+  const int version = static_cast<int>(v.get("schema_version").as_number());
+  if (version != kSchemaVersion) {
+    throw FormatError("bench schema version " + std::to_string(version) +
+                      " != supported " + std::to_string(kSchemaVersion) +
+                      "; regenerate the baseline");
+  }
+
+  BenchReport report;
+  report.schema_version = version;
+  const json::Value& env = v.get("env");
+  report.env.hostname = env.get("hostname").as_string();
+  report.env.compiler = env.get("compiler").as_string();
+  report.env.build = env.get("build").as_string();
+  report.env.omp_max_threads = static_cast<int>(env.get("omp_max_threads").as_number());
+  report.env.timestamp_utc = env.get("timestamp_utc").as_string();
+
+  const json::Value& policy = v.get("policy");
+  report.warmup_runs = static_cast<int>(policy.get("warmup_runs").as_number());
+  report.repeat_runs = static_cast<int>(policy.get("repeat_runs").as_number());
+  report.query_seed = static_cast<std::uint64_t>(policy.get("query_seed").as_number());
+  report.forest = forest_from_json(v.get("forest"));
+
+  const json::Value& cases = v.get("cases");
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const json::Value& jc = cases.at(i);
+    CaseResult c;
+    c.variant = jc.get("variant").as_string();
+    c.backend = jc.get("backend").as_string();
+    c.batch = static_cast<std::size_t>(jc.get("batch").as_number());
+    c.repeats = static_cast<int>(jc.get("repeats").as_number());
+    c.simulated = jc.get("simulated").as_bool();
+    c.p50_ns_per_query = jc.get("p50_ns_per_query").as_number();
+    c.p95_ns_per_query = jc.get("p95_ns_per_query").as_number();
+    c.p99_ns_per_query = jc.get("p99_ns_per_query").as_number();
+    c.max_ns_per_query = jc.get("max_ns_per_query").as_number();
+    c.mean_ns_per_query = jc.get("mean_ns_per_query").as_number();
+    c.throughput_qps = jc.get("throughput_qps").as_number();
+    report.cases.push_back(std::move(c));
+  }
+  return report;
+}
+
+void save_report(const BenchReport& report, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw Error("cannot open '" + path + "' for writing");
+  out << to_json(report).dump(2) << "\n";
+  if (!out) throw Error("failed writing '" + path + "'");
+}
+
+BenchReport load_report(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return report_from_json(json::Value::parse(buf.str()));
+}
+
+CompareResult compare_reports(const BenchReport& baseline, const BenchReport& current,
+                              double tolerance) {
+  require(tolerance >= 0.0, "tolerance must be >= 0");
+  CompareResult result;
+  for (const CaseResult& base : baseline.cases) {
+    const CaseResult* cur = nullptr;
+    for (const CaseResult& c : current.cases) {
+      if (c.variant == base.variant && c.backend == base.backend && c.batch == base.batch) {
+        cur = &c;
+        break;
+      }
+    }
+    if (cur == nullptr) {
+      result.missing_cases.push_back(base.key());
+      continue;
+    }
+    ++result.compared;
+    if (base.p95_ns_per_query > 0.0 &&
+        cur->p95_ns_per_query > base.p95_ns_per_query * (1.0 + tolerance)) {
+      result.regressions.push_back({base.key(), base.p95_ns_per_query, cur->p95_ns_per_query,
+                                    cur->p95_ns_per_query / base.p95_ns_per_query});
+    }
+  }
+  return result;
+}
+
+}  // namespace hrf::bench

@@ -1,0 +1,129 @@
+#pragma once
+
+// Machine-readable benchmark harness + regression gate (docs/benchmarking.md).
+//
+// run_sweep() measures every valid {variant x backend x batch} combination
+// over one synthetic random forest, with an explicit warmup/repeat policy,
+// and produces a schema-versioned report (BENCH_hrf.json) carrying an
+// environment fingerprint and per-configuration ns/query percentiles +
+// throughput. compare_reports() is the regression gate: it matches cases
+// by (variant, backend, batch) and flags any whose p95 ns/query grew by
+// more than the tolerance — `hrf_cli bench --compare old.json` turns that
+// into a nonzero exit code, so perf PRs land against a recorded baseline
+// instead of a reviewer's memory.
+//
+// Simulated backends (GpuSim/FpgaSim) report *modeled* seconds, which are
+// deterministic in (forest seed, query seed): two runs of the same build
+// produce byte-identical case numbers, making the gate noise-free where
+// the paper's comparisons live. CpuNative cases measure wall clock and
+// inherit host noise; gate those with a wider tolerance.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/classifier.hpp"
+#include "forest/random_forest_gen.hpp"
+#include "util/json.hpp"
+
+namespace hrf::bench {
+
+/// Current BENCH_hrf.json schema version. Bump on any field change;
+/// compare_reports() refuses to diff across versions.
+inline constexpr int kSchemaVersion = 1;
+inline constexpr const char* kSchemaName = "hrf-bench";
+
+/// Name <-> enum mapping shared by the CLI and the JSON report.
+/// Accepts the canonical to_string() names plus the CLI's short aliases
+/// ("cpu", "fil"); throws ConfigError on anything else.
+Backend backend_from_name(const std::string& name);
+Variant variant_from_name(const std::string& name);
+
+struct SweepOptions {
+  std::vector<Variant> variants{Variant::Csr, Variant::Independent, Variant::Collaborative,
+                                Variant::Hybrid};
+  std::vector<Backend> backends{Backend::CpuNative, Backend::GpuSim, Backend::FpgaSim};
+  std::vector<std::size_t> batch_sizes{64, 256};
+  /// Untimed runs per case before measurement (page-in, cache warmup).
+  int warmup_runs = 1;
+  /// Timed runs per case; percentiles are taken over these.
+  int repeat_runs = 5;
+  /// Synthetic workload: a random forest topology + uniform queries.
+  RandomForestSpec forest{.num_trees = 20, .max_depth = 10, .num_features = 16};
+  HierConfig layout{};
+  std::uint64_t query_seed = 42;
+};
+
+/// One measured configuration.
+struct CaseResult {
+  std::string variant;
+  std::string backend;
+  std::size_t batch = 0;
+  int repeats = 0;
+  bool simulated = true;
+  double p50_ns_per_query = 0.0;
+  double p95_ns_per_query = 0.0;
+  double p99_ns_per_query = 0.0;
+  double max_ns_per_query = 0.0;
+  double mean_ns_per_query = 0.0;
+  double throughput_qps = 0.0;  // 1e9 / p50 ns/query
+
+  std::string key() const { return variant + "/" + backend + "/" + std::to_string(batch); }
+};
+
+/// Where the numbers came from — enough to spot an apples-to-oranges
+/// comparison (different host, compiler, or thread count) in review.
+struct EnvFingerprint {
+  std::string hostname;
+  std::string compiler;
+  std::string build;  // "release" / "debug" (NDEBUG at harness build time)
+  int omp_max_threads = 0;
+  std::string timestamp_utc;  // ISO-8601, informational only
+
+  static EnvFingerprint capture();
+};
+
+struct BenchReport {
+  int schema_version = kSchemaVersion;
+  EnvFingerprint env;
+  int warmup_runs = 0;
+  int repeat_runs = 0;
+  RandomForestSpec forest;
+  std::uint64_t query_seed = 0;
+  std::vector<CaseResult> cases;
+};
+
+/// Runs the sweep, skipping invalid combinations (collaborative/hybrid
+/// on cpu-native model on-chip memory and do not exist there).
+BenchReport run_sweep(const SweepOptions& options);
+
+json::Value to_json(const BenchReport& report);
+/// Throws FormatError on schema name/version mismatch or missing fields.
+BenchReport report_from_json(const json::Value& v);
+
+void save_report(const BenchReport& report, const std::string& path);
+BenchReport load_report(const std::string& path);
+
+/// One flagged p95 regression.
+struct Regression {
+  std::string key;
+  double baseline_p95 = 0.0;
+  double current_p95 = 0.0;
+  double ratio = 0.0;  // current / baseline
+};
+
+struct CompareResult {
+  int compared = 0;                        // cases present in both reports
+  std::vector<Regression> regressions;     // p95 grew past tolerance
+  std::vector<std::string> missing_cases;  // in baseline but not current
+
+  bool passed() const { return regressions.empty() && missing_cases.empty(); }
+};
+
+/// Flags current cases whose p95 ns/query exceeds baseline * (1 + tolerance).
+/// tolerance 0.25 = fail on >25% p95 growth. Cases only in `current` are
+/// new coverage, not failures; cases only in `baseline` are missing.
+CompareResult compare_reports(const BenchReport& baseline, const BenchReport& current,
+                              double tolerance);
+
+}  // namespace hrf::bench

@@ -122,9 +122,11 @@ Classifier::StreamReport Classifier::classify_stream(const Dataset& queries,
   require(chunk_size >= 1, "chunk_size must be >= 1");
   StreamReport out;
   out.predictions.reserve(queries.num_samples());
+  LatencyHistogram chunk_hist;
   for (std::size_t lo = 0; lo < queries.num_samples(); lo += chunk_size) {
     if (cancel && cancel()) {
       out.completed = false;
+      out.chunk_latency = chunk_hist.snapshot();
       return out;
     }
     const std::size_t hi = std::min(lo + chunk_size, queries.num_samples());
@@ -135,6 +137,7 @@ Classifier::StreamReport Classifier::classify_stream(const Dataset& queries,
     out.predictions.insert(out.predictions.end(), r.predictions.begin(), r.predictions.end());
     out.total_seconds += r.seconds;
     out.max_chunk_seconds = std::max(out.max_chunk_seconds, r.seconds);
+    chunk_hist.record_seconds(r.seconds);
     out.simulated = r.simulated;
     // Deduplicated so a persistent per-chunk degradation (e.g. every chunk
     // retried once) reads as one trail, not chunks-many copies.
@@ -146,6 +149,7 @@ Classifier::StreamReport Classifier::classify_stream(const Dataset& queries,
     }
     ++out.chunks;
   }
+  out.chunk_latency = chunk_hist.snapshot();
   return out;
 }
 

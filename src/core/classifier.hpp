@@ -13,6 +13,7 @@
 #include "gpusim/config.hpp"
 #include "gpusim/counters.hpp"
 #include "gpusim/device.hpp"
+#include "util/histogram.hpp"
 #include "layout/csr.hpp"
 #include "layout/hierarchical.hpp"
 #include "train/tree_trainer.hpp"
@@ -54,6 +55,12 @@ struct RunReport {
   /// instead of silently getting different performance.
   std::vector<std::string> degradations;
   bool degraded() const { return !degradations.empty(); }
+
+  /// Chunk-level latency distribution when this report came from the
+  /// chunked path (classify_stream, serving's time-boxed execution):
+  /// one sample per chunk, in ns. nullopt for one-shot classify() runs,
+  /// which have a single number (`seconds`) rather than a distribution.
+  std::optional<HistogramSnapshot> latency;
 
   /// Fraction of predictions matching `labels`.
   double accuracy(std::span<const std::uint8_t> labels) const;
@@ -147,6 +154,9 @@ class Classifier {
     /// Degradation trail aggregated (deduplicated) across chunks; see
     /// RunReport::degradations.
     std::vector<std::string> degradations;
+    /// Per-chunk latency histogram (one record per finished chunk, in
+    /// ns of `seconds` — simulated or wall per the backend).
+    HistogramSnapshot chunk_latency;
   };
   StreamReport classify_stream(const Dataset& queries, std::size_t chunk_size) const;
 

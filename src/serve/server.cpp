@@ -167,6 +167,19 @@ bool ForestServer::ready() const {
 
 bool ForestServer::healthy() const { return !worker_failed_.load(std::memory_order_relaxed); }
 
+LatencyStats ForestServer::latency() const {
+  LatencyStats s;
+  s.queue_wait = hist_queue_wait_.snapshot();
+  s.execute = hist_execute_.snapshot();
+  s.end_to_end = hist_end_to_end_.snapshot();
+  return s;
+}
+
+std::string LatencyStats::to_markdown() const {
+  return latency_table_markdown(
+      {{"queue-wait", queue_wait}, {"execute", execute}, {"end-to-end", end_to_end}});
+}
+
 std::size_t ForestServer::queue_depth() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size();
@@ -222,6 +235,7 @@ void ForestServer::worker_loop(std::size_t w) {
 void ForestServer::process(std::size_t w, Request req) {
   const SteadyClock::time_point now = SteadyClock::now();
   const double queue_s = std::chrono::duration<double>(now - req.enqueued).count();
+  hist_queue_wait_.record_seconds(queue_s);
   if (req.has_deadline && now >= req.deadline) {
     counters_.add("requests.shed_deadline");
     counters_.add("requests.failed");
@@ -234,6 +248,8 @@ void ForestServer::process(std::size_t w, Request req) {
     ServeResult res = execute(w, req);
     res.queue_seconds = queue_s;
     res.service_seconds = timer.seconds();
+    hist_execute_.record_seconds(res.service_seconds);
+    hist_end_to_end_.record_seconds(queue_s + res.service_seconds);
     counters_.add("requests.completed");
     if (stopping_.load(std::memory_order_relaxed)) {
       drained_after_stop_.fetch_add(1, std::memory_order_relaxed);
@@ -302,6 +318,7 @@ RunReport ForestServer::run_one(const Classifier& clf, const Request& req) {
   r.seconds = s.total_seconds;
   r.simulated = s.simulated;
   r.degradations = std::move(s.degradations);
+  r.latency = std::move(s.chunk_latency);
   return r;
 }
 

@@ -42,6 +42,7 @@
 
 #include "core/classifier.hpp"
 #include "serve/circuit_breaker.hpp"
+#include "util/histogram.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
 
@@ -106,6 +107,20 @@ struct ServerStats {
   std::uint64_t abandoned = 0;                // failed by shutdown drain
 };
 
+/// Per-stage latency distributions (docs/benchmarking.md): queue wait
+/// (submit -> dispatch, recorded for every dispatched request), execute
+/// (backend service time of completed requests), and end-to-end (queue
+/// wait + service of completed requests). Snapshots of the server's
+/// lock-free histograms; mergeable across servers/shards.
+struct LatencyStats {
+  HistogramSnapshot queue_wait;
+  HistogramSnapshot execute;
+  HistogramSnapshot end_to_end;
+
+  /// "stage | count | mean | p50 | p95 | p99 | max" markdown table.
+  std::string to_markdown() const;
+};
+
 /// What graceful shutdown accomplished.
 struct DrainReport {
   std::size_t drained = 0;    // requests completed after shutdown began
@@ -150,6 +165,8 @@ class ForestServer {
 
   std::size_t queue_depth() const;
   ServerStats stats() const;
+  /// Point-in-time snapshot of the per-stage latency histograms.
+  LatencyStats latency() const;
   const CounterRegistry& counters() const { return counters_; }
   CircuitState breaker_state() const { return breaker_.state(); }
   const ServerOptions& options() const { return options_; }
@@ -183,6 +200,9 @@ class ForestServer {
   std::vector<Xoshiro256> jitter_;                     // one per worker
   CircuitBreaker breaker_;
   CounterRegistry counters_;
+  LatencyHistogram hist_queue_wait_;   // every dispatched request
+  LatencyHistogram hist_execute_;      // completed requests only
+  LatencyHistogram hist_end_to_end_;   // completed requests only
 
   mutable std::mutex mu_;     // guards queue + lifecycle flags
   std::mutex shutdown_mu_;    // serializes shutdown() callers (join once)

@@ -1,0 +1,138 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace hrf {
+
+double HistogramSnapshot::percentile_ns(double p) const {
+  require(p >= 0.0 && p <= 100.0, "percentile must be in [0, 100]");
+  if (total == 0) return 0.0;
+  // Nearest-rank: the smallest bucket whose cumulative count reaches
+  // ceil(p/100 * total); rank 0 (p = 0) means the first occupied bucket.
+  const auto rank = static_cast<std::uint64_t>(
+      std::max<double>(1.0, std::ceil(p / 100.0 * static_cast<double>(total))));
+  // The nearest-rank statistic at the last sample is the maximum itself,
+  // which is tracked exactly rather than bucketized.
+  if (rank >= total) return static_cast<double>(max_ns);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (seen >= rank) {
+      const auto lower =
+          static_cast<double>(LatencyHistogram::bucket_lower_bound(static_cast<int>(i)));
+      // The true value cannot exceed the exact max; the top occupied
+      // bucket's lower bound may (max lives somewhere inside it).
+      return std::min(lower, static_cast<double>(max_ns));
+    }
+  }
+  return static_cast<double>(max_ns);
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (counts.size() < other.counts.size()) counts.resize(other.counts.size(), 0);
+  for (std::size_t i = 0; i < other.counts.size(); ++i) counts[i] += other.counts[i];
+  total += other.total;
+  sum_ns += other.sum_ns;
+  max_ns = std::max(max_ns, other.max_ns);
+}
+
+std::string format_ns(double ns) {
+  char buf[32];
+  if (ns < 1e3) {
+    std::snprintf(buf, sizeof buf, "%.0fns", ns);
+  } else if (ns < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.1fus", ns / 1e3);
+  } else if (ns < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2fms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2fs", ns / 1e9);
+  }
+  return buf;
+}
+
+int LatencyHistogram::bucket_index(std::uint64_t ns) {
+  if (ns < kSubBuckets) return static_cast<int>(ns);
+  const int msb = 63 - std::countl_zero(ns);  // >= kSubBucketBits here
+  const int octave = msb - kSubBucketBits;
+  const auto sub = static_cast<int>((ns >> octave) - kSubBuckets);  // [0, kSubBuckets)
+  const int index = kSubBuckets + octave * kSubBuckets + sub;
+  return std::min(index, kNumBuckets - 1);
+}
+
+std::uint64_t LatencyHistogram::bucket_lower_bound(int index) {
+  require(index >= 0 && index < kNumBuckets, "bucket index out of range");
+  if (index < kSubBuckets) return static_cast<std::uint64_t>(index);
+  const int octave = (index - kSubBuckets) / kSubBuckets;
+  const int sub = (index - kSubBuckets) % kSubBuckets;
+  return static_cast<std::uint64_t>(kSubBuckets + sub) << octave;
+}
+
+std::uint64_t LatencyHistogram::bucket_upper_bound(int index) {
+  require(index >= 0 && index < kNumBuckets, "bucket index out of range");
+  if (index < kSubBuckets) return static_cast<std::uint64_t>(index) + 1;
+  const int octave = (index - kSubBuckets) / kSubBuckets;
+  const int sub = (index - kSubBuckets) % kSubBuckets;
+  return static_cast<std::uint64_t>(kSubBuckets + sub + 1) << octave;
+}
+
+void LatencyHistogram::record_ns(std::uint64_t ns) {
+  buckets_[static_cast<std::size_t>(bucket_index(ns))].fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  std::uint64_t seen = max_ns_.load(std::memory_order_relaxed);
+  while (ns > seen &&
+         !max_ns_.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+  }
+}
+
+void LatencyHistogram::record_seconds(double seconds) {
+  record_ns(seconds <= 0.0 ? 0
+                           : static_cast<std::uint64_t>(std::llround(seconds * 1e9)));
+}
+
+HistogramSnapshot LatencyHistogram::snapshot() const {
+  HistogramSnapshot s;
+  s.counts.resize(kNumBuckets);
+  // Trailing zero buckets compress away so snapshots stay cheap to copy,
+  // merge, and serialize.
+  std::size_t last = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const std::uint64_t c = buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    s.counts[static_cast<std::size_t>(i)] = c;
+    if (c != 0) last = static_cast<std::size_t>(i) + 1;
+    s.total += c;
+  }
+  s.counts.resize(last);
+  s.sum_ns = sum_ns_.load(std::memory_order_relaxed);
+  s.max_ns = max_ns_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void LatencyHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
+}
+
+std::string latency_table_markdown(
+    const std::vector<std::pair<std::string, HistogramSnapshot>>& stages) {
+  Table t({"stage", "count", "mean", "p50", "p95", "p99", "max"});
+  for (const auto& [name, snap] : stages) {
+    t.row()
+        .cell(name)
+        .cell(snap.total)
+        .cell(format_ns(snap.mean_ns()))
+        .cell(format_ns(snap.percentile_ns(50)))
+        .cell(format_ns(snap.percentile_ns(95)))
+        .cell(format_ns(snap.percentile_ns(99)))
+        .cell(format_ns(static_cast<double>(snap.max_ns)));
+  }
+  return t.markdown();
+}
+
+}  // namespace hrf

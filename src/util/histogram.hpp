@@ -1,0 +1,102 @@
+#pragma once
+
+// Fixed-bucket log-linear latency histogram (docs/benchmarking.md).
+//
+// The record path is lock-free — one relaxed fetch_add on a bucket
+// counter plus a CAS loop for the exact max — so serving workers can
+// record every request without contending on a mutex. Readers take a
+// HistogramSnapshot (plain counts) at any time; snapshots merge
+// associatively, which is what lets per-worker or per-shard histograms
+// roll up into one fleet view.
+//
+// Bucket scheme (HdrHistogram-style log-linear): values below
+// kSubBuckets nanoseconds get one exact bucket each; above that, each
+// power-of-two octave is split into kSubBuckets linear sub-buckets, so
+// the relative quantization error is bounded by 1/kSubBuckets (12.5%)
+// at every scale from nanoseconds to minutes. percentile_ns() returns
+// the lower bound of the bucket holding the requested rank, which is
+// exact for values that land on a bucket boundary.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hrf {
+
+/// Plain-data copy of a histogram at one point in time. Mergeable and
+/// serializable; all percentile math happens here, not on the live
+/// atomics.
+struct HistogramSnapshot {
+  std::vector<std::uint64_t> counts;  // one per bucket, see LatencyHistogram
+  std::uint64_t total = 0;            // sum of counts
+  std::uint64_t sum_ns = 0;           // sum of recorded values
+  std::uint64_t max_ns = 0;           // exact observed maximum (not bucketized)
+
+  bool empty() const { return total == 0; }
+  double mean_ns() const { return total == 0 ? 0.0 : static_cast<double>(sum_ns) / total; }
+
+  /// Value at percentile `p` in [0, 100]: the lower bound of the bucket
+  /// containing the rank, clamped to max_ns (so p100 is exact). 0 when
+  /// empty.
+  double percentile_ns(double p) const;
+
+  /// Element-wise accumulation. Merging is associative and commutative,
+  /// so any tree of merges over the same snapshots yields identical
+  /// counts/total/sum/max.
+  void merge(const HistogramSnapshot& other);
+};
+
+/// Human units for a nanosecond quantity: "850ns", "12.4us", "3.1ms", "2.0s".
+std::string format_ns(double ns);
+
+/// Thread-safe latency histogram with a lock-free record path.
+class LatencyHistogram {
+ public:
+  /// Linear sub-buckets per power-of-two octave; also the size of the
+  /// exact region [0, kSubBuckets) ns.
+  static constexpr int kSubBuckets = 8;
+  static constexpr int kSubBucketBits = 3;  // log2(kSubBuckets)
+  /// Octaves above the exact region; the top bucket absorbs any larger
+  /// value (2^63 ns is far beyond any latency we time).
+  static constexpr int kNumBuckets = kSubBuckets + (64 - kSubBucketBits) * kSubBuckets;
+
+  LatencyHistogram() = default;
+
+  // A histogram is a shared sink, not a value: copying live atomics is
+  // never what callers mean (take a snapshot() instead).
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Records one observation. Lock-free; safe from any thread.
+  void record_ns(std::uint64_t ns);
+  void record_seconds(double seconds);
+
+  /// Point-in-time copy. Concurrent record_ns() calls may or may not be
+  /// included (each is either fully visible or not yet visible — counts
+  /// never tear).
+  HistogramSnapshot snapshot() const;
+
+  /// Resets every bucket to zero (not atomic vs concurrent recorders;
+  /// meant for between-run reuse in harnesses).
+  void reset();
+
+  /// Bucket index for a value; inverse bounds for a bucket index.
+  /// bucket_lower_bound(bucket_index(v)) <= v < bucket_upper_bound(...).
+  static int bucket_index(std::uint64_t ns);
+  static std::uint64_t bucket_lower_bound(int index);
+  static std::uint64_t bucket_upper_bound(int index);
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_ns_{0};
+  std::atomic<std::uint64_t> max_ns_{0};
+};
+
+/// "stage | count | mean | p50 | p95 | p99 | max" markdown table for a
+/// set of named snapshots (CounterRegistry::to_markdown's sibling).
+std::string latency_table_markdown(
+    const std::vector<std::pair<std::string, HistogramSnapshot>>& stages);
+
+}  // namespace hrf

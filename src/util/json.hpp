@@ -1,0 +1,77 @@
+#pragma once
+
+// Minimal JSON value type for the benchmark-report format (BENCH_hrf.json,
+// docs/benchmarking.md). Emits and parses the subset this repo writes:
+// objects (insertion-ordered), arrays, strings, finite numbers, booleans,
+// null. No external dependency — the container has no JSON library, and
+// the regression gate must be runnable from the C++ CLI alone.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hrf::json {
+
+class Value {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Value() : kind_(Kind::Null) {}
+  Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+  Value(double n) : kind_(Kind::Number), number_(n) {}
+  Value(int n) : Value(static_cast<double>(n)) {}
+  Value(std::int64_t n) : Value(static_cast<double>(n)) {}
+  Value(std::uint64_t n) : Value(static_cast<double>(n)) {}
+  Value(const char* s) : kind_(Kind::String), string_(s) {}
+  Value(std::string s) : kind_(Kind::String), string_(std::move(s)) {}
+
+  static Value array() { Value v; v.kind_ = Kind::Array; return v; }
+  static Value object() { Value v; v.kind_ = Kind::Object; return v; }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_object() const { return kind_ == Kind::Object; }
+  bool is_array() const { return kind_ == Kind::Array; }
+  bool is_number() const { return kind_ == Kind::Number; }
+  bool is_string() const { return kind_ == Kind::String; }
+  bool is_bool() const { return kind_ == Kind::Bool; }
+
+  /// Typed accessors; throw FormatError on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+
+  /// Array access.
+  std::size_t size() const;  // array/object element count
+  const Value& at(std::size_t i) const;
+  void push_back(Value v);
+
+  /// Object access: operator[] inserts a null member on first use
+  /// (mutation), find() returns nullptr when absent, get() throws
+  /// FormatError when absent (schema-required fields).
+  Value& operator[](const std::string& key);
+  const Value* find(const std::string& key) const;
+  const Value& get(const std::string& key) const;
+  const std::vector<std::pair<std::string, Value>>& members() const;
+
+  /// Serialization. indent > 0 pretty-prints with that many spaces per
+  /// level; 0 emits compact single-line JSON.
+  std::string dump(int indent = 0) const;
+
+  /// Parses `text` (complete document; trailing garbage is an error).
+  /// Throws FormatError with position info on malformed input.
+  static Value parse(const std::string& text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<std::pair<std::string, Value>> object_;
+};
+
+}  // namespace hrf::json

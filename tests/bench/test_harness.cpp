@@ -1,0 +1,185 @@
+#include "bench/harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace hrf::bench {
+namespace {
+
+SweepOptions tiny_sweep() {
+  SweepOptions opt;
+  opt.variants = {Variant::Hybrid};
+  opt.backends = {Backend::FpgaSim};  // simulated -> deterministic numbers
+  opt.batch_sizes = {32};
+  opt.warmup_runs = 0;
+  opt.repeat_runs = 2;
+  opt.forest.num_trees = 5;
+  opt.forest.max_depth = 6;
+  opt.forest.num_features = 8;
+  return opt;
+}
+
+TEST(BenchHarness, NameMappingsRoundTrip) {
+  for (const Variant v : {Variant::Csr, Variant::Independent, Variant::Collaborative,
+                          Variant::Hybrid, Variant::FilBaseline}) {
+    EXPECT_EQ(variant_from_name(to_string(v)), v);
+  }
+  for (const Backend b : {Backend::CpuNative, Backend::GpuSim, Backend::FpgaSim}) {
+    EXPECT_EQ(backend_from_name(to_string(b)), b);
+  }
+  EXPECT_EQ(backend_from_name("cpu"), Backend::CpuNative);  // CLI alias
+  EXPECT_EQ(variant_from_name("fil"), Variant::FilBaseline);
+  EXPECT_THROW(backend_from_name("tpu"), ConfigError);
+  EXPECT_THROW(variant_from_name("quantum"), ConfigError);
+}
+
+TEST(BenchHarness, SweepSkipsInvalidCombos) {
+  SweepOptions opt = tiny_sweep();
+  opt.variants = {Variant::Csr, Variant::Independent, Variant::Collaborative, Variant::Hybrid};
+  opt.backends = {Backend::CpuNative, Backend::FpgaSim};
+  const BenchReport report = run_sweep(opt);
+  // cpu-native supports csr+independent only; fpga-sim supports all four.
+  EXPECT_EQ(report.cases.size(), 6u);
+  for (const CaseResult& c : report.cases) {
+    EXPECT_FALSE(c.backend == "cpu-native" &&
+                 (c.variant == "collaborative" || c.variant == "hybrid"))
+        << c.key();
+  }
+}
+
+TEST(BenchHarness, CasesCarryPopulatedMetrics) {
+  const BenchReport report = run_sweep(tiny_sweep());
+  ASSERT_EQ(report.cases.size(), 1u);
+  const CaseResult& c = report.cases[0];
+  EXPECT_EQ(c.key(), "hybrid/fpga-sim/32");
+  EXPECT_TRUE(c.simulated);
+  EXPECT_EQ(c.repeats, 2);
+  EXPECT_GT(c.p50_ns_per_query, 0.0);
+  EXPECT_GE(c.p95_ns_per_query, c.p50_ns_per_query);
+  EXPECT_GE(c.p99_ns_per_query, c.p95_ns_per_query);
+  EXPECT_GE(c.max_ns_per_query, c.p99_ns_per_query);
+  EXPECT_GT(c.throughput_qps, 0.0);
+  EXPECT_FALSE(report.env.compiler.empty());
+  EXPECT_GT(report.env.omp_max_threads, 0);
+  EXPECT_NE(report.env.timestamp_utc.find("T"), std::string::npos);
+}
+
+TEST(BenchHarness, SimulatedSweepIsDeterministic) {
+  const BenchReport a = run_sweep(tiny_sweep());
+  const BenchReport b = run_sweep(tiny_sweep());
+  ASSERT_EQ(a.cases.size(), b.cases.size());
+  for (std::size_t i = 0; i < a.cases.size(); ++i) {
+    EXPECT_EQ(a.cases[i].p95_ns_per_query, b.cases[i].p95_ns_per_query) << a.cases[i].key();
+    EXPECT_EQ(a.cases[i].throughput_qps, b.cases[i].throughput_qps) << a.cases[i].key();
+  }
+}
+
+TEST(BenchHarness, JsonRoundTripPreservesReport) {
+  const BenchReport report = run_sweep(tiny_sweep());
+  const BenchReport back = report_from_json(to_json(report));
+  ASSERT_EQ(back.cases.size(), report.cases.size());
+  EXPECT_EQ(back.schema_version, kSchemaVersion);
+  EXPECT_EQ(back.env.hostname, report.env.hostname);
+  EXPECT_EQ(back.warmup_runs, report.warmup_runs);
+  EXPECT_EQ(back.repeat_runs, report.repeat_runs);
+  EXPECT_EQ(back.forest.num_trees, report.forest.num_trees);
+  EXPECT_EQ(back.cases[0].key(), report.cases[0].key());
+  EXPECT_EQ(back.cases[0].p95_ns_per_query, report.cases[0].p95_ns_per_query);
+  EXPECT_EQ(back.cases[0].simulated, report.cases[0].simulated);
+}
+
+TEST(BenchHarness, SaveLoadRoundTrips) {
+  const BenchReport report = run_sweep(tiny_sweep());
+  const std::string path = testing::TempDir() + "/hrf_bench_roundtrip.json";
+  save_report(report, path);
+  const BenchReport back = load_report(path);
+  EXPECT_EQ(back.cases.size(), report.cases.size());
+  EXPECT_EQ(back.cases[0].p99_ns_per_query, report.cases[0].p99_ns_per_query);
+  std::remove(path.c_str());
+}
+
+TEST(BenchHarness, SchemaMismatchesAreRejected) {
+  const BenchReport report = run_sweep(tiny_sweep());
+  json::Value wrong_version = to_json(report);
+  wrong_version["schema_version"] = kSchemaVersion + 1;
+  EXPECT_THROW(report_from_json(wrong_version), FormatError);
+
+  json::Value wrong_schema = to_json(report);
+  wrong_schema["schema"] = "not-a-bench";
+  EXPECT_THROW(report_from_json(wrong_schema), FormatError);
+
+  json::Value missing = to_json(report);
+  missing["cases"] = json::Value::array();
+  EXPECT_EQ(report_from_json(missing).cases.size(), 0u);  // empty is valid
+}
+
+BenchReport two_case_report() {
+  BenchReport r;
+  CaseResult a;
+  a.variant = "hybrid";
+  a.backend = "gpu-sim";
+  a.batch = 64;
+  a.p95_ns_per_query = 100.0;
+  CaseResult b = a;
+  b.backend = "fpga-sim";
+  b.p95_ns_per_query = 200.0;
+  r.cases = {a, b};
+  return r;
+}
+
+TEST(BenchCompare, IdenticalReportsPass) {
+  const BenchReport r = two_case_report();
+  const CompareResult cmp = compare_reports(r, r, 0.25);
+  EXPECT_TRUE(cmp.passed());
+  EXPECT_EQ(cmp.compared, 2);
+  EXPECT_TRUE(cmp.regressions.empty());
+  EXPECT_TRUE(cmp.missing_cases.empty());
+}
+
+TEST(BenchCompare, GrowthWithinTolerancePasses) {
+  const BenchReport base = two_case_report();
+  BenchReport cur = base;
+  cur.cases[0].p95_ns_per_query = 124.0;  // +24% < 25%
+  EXPECT_TRUE(compare_reports(base, cur, 0.25).passed());
+}
+
+TEST(BenchCompare, RegressionPastToleranceFails) {
+  const BenchReport base = two_case_report();
+  BenchReport cur = base;
+  cur.cases[1].p95_ns_per_query = 260.0;  // +30% > 25%
+  const CompareResult cmp = compare_reports(base, cur, 0.25);
+  EXPECT_FALSE(cmp.passed());
+  ASSERT_EQ(cmp.regressions.size(), 1u);
+  EXPECT_EQ(cmp.regressions[0].key, "hybrid/fpga-sim/64");
+  EXPECT_NEAR(cmp.regressions[0].ratio, 1.3, 1e-9);
+}
+
+TEST(BenchCompare, ImprovementNeverFails) {
+  const BenchReport base = two_case_report();
+  BenchReport cur = base;
+  cur.cases[0].p95_ns_per_query = 1.0;
+  EXPECT_TRUE(compare_reports(base, cur, 0.0).passed());
+}
+
+TEST(BenchCompare, MissingCaseFailsNewCaseDoesNot) {
+  const BenchReport base = two_case_report();
+  BenchReport cur = base;
+  cur.cases.pop_back();
+  CaseResult extra;
+  extra.variant = "csr";
+  extra.backend = "cpu-native";
+  extra.batch = 8;
+  extra.p95_ns_per_query = 5.0;
+  cur.cases.push_back(extra);
+  const CompareResult cmp = compare_reports(base, cur, 0.25);
+  EXPECT_FALSE(cmp.passed());
+  ASSERT_EQ(cmp.missing_cases.size(), 1u);
+  EXPECT_EQ(cmp.missing_cases[0], "hybrid/fpga-sim/64");
+  EXPECT_EQ(cmp.compared, 1);
+}
+
+}  // namespace
+}  // namespace hrf::bench

@@ -50,6 +50,37 @@ TEST(CpuKernels, BlockedHandlesOddBlockSizes) {
   EXPECT_EQ(classify_hierarchical_blocked(fx.hier, fx.queries, 100000), fx.reference);
 }
 
+// Degenerate block geometries, pinned against the *unblocked* traversal
+// (same layout, same tree walk, different loop order) rather than the
+// forest reference, so any divergence is attributable to the blocking
+// arithmetic alone.
+TEST(CpuKernels, BlockedDegenerateBlockSizesMatchUnblocked) {
+  const Fixture fx(120);  // nq = 120
+  const std::vector<std::uint8_t> unblocked = classify_hierarchical(fx.hier, fx.queries);
+  ASSERT_EQ(unblocked, fx.reference);
+
+  const std::size_t nq = fx.queries.num_samples();
+  const std::size_t blocks[] = {
+      1,           // every query is its own block (maximal tail handling)
+      nq,          // exactly one block, no tail
+      nq / 2,      // exact multiple: 2 full blocks, empty tail
+      nq / 3,      // exact multiple: 3 full blocks
+      nq - 1,      // full block + 1-query tail
+      nq + 1,      // single short block (> n_queries)
+      10 * nq,     // block far exceeds the batch
+  };
+  for (const std::size_t b : blocks) {
+    EXPECT_EQ(classify_hierarchical_blocked(fx.hier, fx.queries, b), unblocked)
+        << "query_block=" << b;
+  }
+}
+
+TEST(CpuKernels, BlockedHandlesSingleQueryBatch) {
+  const Fixture one(1);
+  EXPECT_EQ(classify_hierarchical_blocked(one.hier, one.queries, 1), one.reference);
+  EXPECT_EQ(classify_hierarchical_blocked(one.hier, one.queries, 64), one.reference);
+}
+
 TEST(CpuKernels, BlockedRejectsZeroBlock) {
   const Fixture fx(8);
   EXPECT_THROW(classify_hierarchical_blocked(fx.hier, fx.queries, 0), ConfigError);

@@ -1,0 +1,94 @@
+// Differential property test over the *public* Classifier API: for many
+// randomized (forest, layout, queries) configurations, every valid
+// {Csr, Independent, Collaborative, Hybrid} x {CpuNative, GpuSim, FpgaSim}
+// combination must produce bit-identical predictions to the CSR-on-CPU
+// oracle. This is the serving-level counterpart of the kernel-level
+// differential fuzz (test_fuzz_differential.cpp): it additionally covers
+// the Classifier's layout construction, validation, and dispatch plumbing,
+// and pins the paper's functional-equivalence claim (§3.2) at the API the
+// serving and bench layers actually call. Invalid combinations must be
+// rejected deterministically at construction, never silently rerouted.
+
+#include <gtest/gtest.h>
+
+#include "core/hrf.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace hrf {
+namespace {
+
+constexpr Variant kVariants[] = {Variant::Csr, Variant::Independent, Variant::Collaborative,
+                                 Variant::Hybrid};
+constexpr Backend kBackends[] = {Backend::CpuNative, Backend::GpuSim, Backend::FpgaSim};
+
+bool valid_combo(Variant v, Backend b) {
+  // Collaborative/hybrid model on-chip memory, which the native CPU path
+  // does not have (mirrors Classifier::check_variant_backend).
+  if (v == Variant::Collaborative || v == Variant::Hybrid) return b != Backend::CpuNative;
+  return true;
+}
+
+class VariantBackendMatrix : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VariantBackendMatrix, AllValidCombosMatchCsrCpuOracle) {
+  const std::uint64_t seed = GetParam();
+  Xoshiro256 rng(seed * 31 + 7);
+
+  RandomForestSpec spec;
+  spec.num_trees = 1 + static_cast<int>(rng.bounded(8));
+  spec.max_depth = 1 + static_cast<int>(rng.bounded(10));
+  spec.branch_prob = rng.uniform(0.3, 1.0);
+  spec.num_features = 1 + static_cast<int>(rng.bounded(20));
+  spec.num_classes = 2 + static_cast<int>(rng.bounded(5));
+  spec.seed = seed * 5 + 3;
+  const Forest forest = make_random_forest(spec);
+
+  HierConfig layout;
+  layout.subtree_depth = 1 + static_cast<int>(rng.bounded(8));
+  // Cap the root subtree so the hybrid variant fits simulated on-chip
+  // memory on both devices — this test pins functional equivalence, not
+  // resource-overrun handling (test_degradation covers that).
+  layout.root_subtree_depth = rng.bernoulli(0.5) ? 0 : 1 + static_cast<int>(rng.bounded(10));
+
+  const Dataset queries =
+      make_random_queries(1 + rng.bounded(100), spec.num_features, seed * 13 + 11);
+
+  ClassifierOptions oracle_opt;
+  oracle_opt.variant = Variant::Csr;
+  oracle_opt.backend = Backend::CpuNative;
+  const Classifier oracle(forest, oracle_opt);
+  const std::vector<std::uint8_t> reference = oracle.classify(queries).predictions;
+  ASSERT_EQ(reference.size(), queries.num_samples());
+
+  for (const Variant variant : kVariants) {
+    for (const Backend backend : kBackends) {
+      ClassifierOptions opt;
+      opt.variant = variant;
+      opt.backend = backend;
+      opt.layout = layout;
+      opt.gpu.num_sms = 2;  // small simulated device keeps the sweep fast
+      const std::string combo =
+          std::string(to_string(variant)) + "/" + to_string(backend) + " seed=" +
+          std::to_string(seed);
+
+      if (!valid_combo(variant, backend)) {
+        EXPECT_THROW(Classifier(forest, opt), ConfigError) << combo;
+        continue;
+      }
+      const Classifier clf(forest, opt);
+      const RunReport report = clf.classify(queries);
+      ASSERT_EQ(report.predictions, reference) << combo;
+      EXPECT_EQ(report.simulated, backend != Backend::CpuNative) << combo;
+    }
+  }
+}
+
+// ~100 random configurations; each exercises the full 4x3 matrix (10
+// valid combos + 2 rejected ones), so a traversal divergence anywhere in
+// layout building or backend dispatch pinpoints its seed.
+INSTANTIATE_TEST_SUITE_P(Seeds, VariantBackendMatrix,
+                         testing::Range<std::uint64_t>(1, 101));
+
+}  // namespace
+}  // namespace hrf

@@ -95,6 +95,30 @@ TEST_F(ForestServerTest, ServesConcurrentClientsBitIdentically) {
   EXPECT_TRUE(server.healthy());
 }
 
+TEST_F(ForestServerTest, LatencyHistogramsTrackEveryCompletedRequest) {
+  ForestServer server(forest_, gpu_hybrid_options(), fast_server(2));
+  constexpr int kRequests = 12;
+  for (int i = 0; i < kRequests; ++i) {
+    ServeResult res = server.submit(queries_).get();
+    EXPECT_GT(res.service_seconds, 0.0);
+  }
+
+  const LatencyStats lat = server.latency();
+  EXPECT_EQ(lat.queue_wait.total, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(lat.execute.total, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(lat.end_to_end.total, static_cast<std::uint64_t>(kRequests));
+  EXPECT_GT(lat.execute.percentile_ns(50), 0.0);
+  // End-to-end bounds execute: each sample is queue-wait + execute.
+  EXPECT_GE(lat.end_to_end.max_ns, lat.execute.max_ns);
+  EXPECT_GE(lat.end_to_end.percentile_ns(95), lat.execute.percentile_ns(50));
+
+  const std::string md = lat.to_markdown();
+  for (const char* stage : {"queue-wait", "execute", "end-to-end", "p95", "p99"}) {
+    EXPECT_NE(md.find(stage), std::string::npos) << stage;
+  }
+  server.shutdown();
+}
+
 TEST_F(ForestServerTest, AdmissionControlRejectsWhenQueueFull) {
   ServerOptions sopt = fast_server(1);
   sopt.queue_capacity = 4;

@@ -38,11 +38,11 @@ case "$MODE" in
     echo "=== configure build-tsan ==="
     cmake -B build-tsan -S . -DHRF_BUILD_BENCHES=OFF "-DHRF_SANITIZE=thread"
     echo "=== build build-tsan ==="
-    cmake --build build-tsan -j "$JOBS" --target test_server test_circuit_breaker test_fault test_metrics
+    cmake --build build-tsan -j "$JOBS" --target test_server test_circuit_breaker test_fault test_metrics test_histogram
     echo "=== test build-tsan (concurrency suites) ==="
     OMP_NUM_THREADS=1 TSAN_OPTIONS="halt_on_error=1" \
       ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-            -R '(ForestServer|CircuitBreaker|FaultInjector|CounterRegistry)'
+            -R '(ForestServer|CircuitBreaker|FaultInjector|CounterRegistry|LatencyHistogram)'
     ;;&
   all|--plain-only|--sanitize-only|--tsan-only)
     echo "check.sh: all requested suites passed"

@@ -24,9 +24,16 @@
 // Serving (docs/serving.md): `serve` stands up a ForestServer (worker
 // pool, bounded queue, deadlines, retry, circuit breaker) and drives it
 // with a synthetic multi-threaded client load, then drains gracefully and
-// prints the server's counters. With --inject-fault resource:gpu:-1 and
-// --no-fallback this demonstrates the breaker tripping and traffic being
-// served by the CPU-native fallback replicas.
+// prints the server's counters plus per-stage latency percentiles
+// (queue-wait / execute / end-to-end histograms). With --inject-fault
+// resource:gpu:-1 and --no-fallback this demonstrates the breaker
+// tripping and traffic being served by the CPU-native fallback replicas.
+//
+// Benchmarking (docs/benchmarking.md): `bench` sweeps {variant x backend
+// x batch} over a synthetic forest, writes the schema-versioned
+// BENCH_hrf.json, and `bench --compare old.json` exits nonzero when any
+// case's p95 ns/query regressed past --tolerance — the perf gate every
+// optimization PR runs against the recorded baseline.
 
 #include <atomic>
 #include <cstdio>
@@ -36,6 +43,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/harness.hpp"
 #include "core/hrf.hpp"
 #include "forest/importance.hpp"
 #include "util/cli.hpp"
@@ -53,21 +61,24 @@ Dataset make_named_dataset(const std::string& name, std::size_t samples) {
   throw ConfigError("unknown --dataset '" + name + "' (covertype|susy|higgs)");
 }
 
-Backend parse_backend(const std::string& name) {
-  if (name == "cpu") return Backend::CpuNative;
-  if (name == "gpu-sim") return Backend::GpuSim;
-  if (name == "fpga-sim") return Backend::FpgaSim;
-  throw ConfigError("unknown --backend '" + name + "' (cpu|gpu-sim|fpga-sim)");
-}
+// One source of truth for the names: the bench harness maps them both
+// ways (CLI flags and the BENCH_hrf.json case keys).
+Backend parse_backend(const std::string& name) { return bench::backend_from_name(name); }
+Variant parse_variant(const std::string& name) { return bench::variant_from_name(name); }
 
-Variant parse_variant(const std::string& name) {
-  if (name == "csr") return Variant::Csr;
-  if (name == "independent") return Variant::Independent;
-  if (name == "collaborative") return Variant::Collaborative;
-  if (name == "hybrid") return Variant::Hybrid;
-  if (name == "fil") return Variant::FilBaseline;
-  throw ConfigError("unknown --variant '" + name +
-                    "' (csr|independent|collaborative|hybrid|fil)");
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
 }
 
 int mode_gen(const CliArgs& args) {
@@ -234,6 +245,79 @@ int mode_predict(const CliArgs& args) {
   return 0;
 }
 
+// Benchmark-regression harness (docs/benchmarking.md): sweeps every valid
+// {variant x backend x batch} combination over a synthetic forest, writes
+// the schema-versioned BENCH_hrf.json, and with --compare gates the fresh
+// run against a recorded baseline (exit 1 on >tolerance p95 growth).
+int mode_bench(const CliArgs& args) {
+  bench::SweepOptions opt;
+  opt.variants.clear();
+  for (const std::string& name :
+       split_commas(args.get("variants", "csr,independent,collaborative,hybrid"))) {
+    opt.variants.push_back(parse_variant(name));
+  }
+  opt.backends.clear();
+  for (const std::string& name : split_commas(args.get("backends", "cpu,gpu-sim,fpga-sim"))) {
+    opt.backends.push_back(parse_backend(name));
+  }
+  opt.batch_sizes.clear();
+  for (const int b : args.get_int_list("batches", {64, 256})) {
+    opt.batch_sizes.push_back(static_cast<std::size_t>(b));
+  }
+  opt.warmup_runs = static_cast<int>(args.get_int("warmup", 1));
+  opt.repeat_runs = static_cast<int>(args.get_int("repeats", 5));
+  opt.forest.num_trees = static_cast<int>(args.get_int("trees", 20));
+  opt.forest.max_depth = static_cast<int>(args.get_int("depth", 10));
+  opt.forest.num_features = static_cast<int>(args.get_int("features", 16));
+  opt.forest.seed = static_cast<std::uint64_t>(args.get_int("seed", 99));
+  opt.layout.subtree_depth = static_cast<int>(args.get_int("sd", 6));
+  opt.layout.root_subtree_depth = static_cast<int>(args.get_int("rsd", 0));
+
+  const bench::BenchReport report = bench::run_sweep(opt);
+
+  Table t({"variant", "backend", "batch", "p50 ns/q", "p95 ns/q", "p99 ns/q", "qps"});
+  for (const bench::CaseResult& c : report.cases) {
+    t.row()
+        .cell(c.variant)
+        .cell(c.backend)
+        .cell(static_cast<std::uint64_t>(c.batch))
+        .cell(c.p50_ns_per_query, 2)
+        .cell(c.p95_ns_per_query, 2)
+        .cell(c.p99_ns_per_query, 2)
+        .cell(c.throughput_qps, 0);
+  }
+  print_table(std::cout, "Bench sweep (" + std::to_string(report.repeat_runs) + " repeats, " +
+                             std::to_string(report.warmup_runs) + " warmup)",
+              t);
+
+  const std::string out = args.get("out", "BENCH_hrf.json");
+  bench::save_report(report, out);
+  std::printf("bench report written to %s (%zu cases, schema v%d)\n", out.c_str(),
+              report.cases.size(), report.schema_version);
+
+  const std::string baseline_path = args.get("compare", "");
+  if (baseline_path.empty()) return 0;
+
+  const double tolerance = args.get_double("tolerance", 0.25);
+  const bench::BenchReport baseline = bench::load_report(baseline_path);
+  const bench::CompareResult cmp = bench::compare_reports(baseline, report, tolerance);
+  for (const bench::Regression& r : cmp.regressions) {
+    std::printf("REGRESSION %s: p95 %.0f -> %.0f ns/query (%.2fx > %.2fx allowed)\n",
+                r.key.c_str(), r.baseline_p95, r.current_p95, r.ratio, 1.0 + tolerance);
+  }
+  for (const std::string& key : cmp.missing_cases) {
+    std::printf("MISSING %s: present in baseline, absent from this run\n", key.c_str());
+  }
+  if (!cmp.passed()) {
+    std::printf("bench compare vs %s: FAILED (%zu regression(s), %zu missing)\n",
+                baseline_path.c_str(), cmp.regressions.size(), cmp.missing_cases.size());
+    return 1;
+  }
+  std::printf("bench compare vs %s: ok (%d cases within %.0f%% p95 tolerance)\n",
+              baseline_path.c_str(), cmp.compared, tolerance * 100.0);
+  return 0;
+}
+
 int mode_serve(const CliArgs& args) {
   const Dataset data = Dataset::load(args.get("data", "data.hrfd"));
   Forest forest = Forest::load(args.get("model", "model.hrff"));
@@ -317,6 +401,8 @@ int mode_serve(const CliArgs& args) {
     std::printf("sample degradation: %s\n", step.c_str());
   }
   std::printf("%s", server.counters().to_markdown().c_str());
+  std::printf("latency percentiles (per stage):\n%s",
+              server.latency().to_markdown().c_str());
   std::printf("breaker: state=%s trips=%llu probes=%llu\n", to_string(stats.breaker),
               static_cast<unsigned long long>(stats.breaker_trips),
               static_cast<unsigned long long>(stats.breaker_probes));
@@ -333,7 +419,7 @@ int mode_serve(const CliArgs& args) {
 
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
-  args.allow("mode", "gen | train | info | layout | predict | compile | serve")
+  args.allow("mode", "gen | train | info | layout | predict | compile | serve | bench")
       .allow("dataset", "gen: covertype | susy | higgs")
       .allow("samples", "gen: sample count")
       .allow("data", "train/predict: dataset file (.hrfd)")
@@ -364,7 +450,15 @@ int main(int argc, char** argv) {
       .allow("inject-fault", "fault spec(s): resource:{gpu|gpu-smem|fpga|fpga-bram}[:n], "
                              "bitflip:layout, corrupt:node")
       .allow("inject-seed", "fault injector RNG seed")
-      .allow("out", "gen/train/predict/compile: output path");
+      .allow("variants", "bench: comma-separated variant sweep list")
+      .allow("backends", "bench: comma-separated backend sweep list")
+      .allow("batches", "bench: comma-separated batch sizes")
+      .allow("warmup", "bench: untimed runs per case")
+      .allow("repeats", "bench: timed runs per case (percentile sample)")
+      .allow("features", "bench: synthetic forest feature count")
+      .allow("compare", "bench: baseline BENCH_hrf.json to gate against")
+      .allow("tolerance", "bench: allowed fractional p95 growth (default 0.25)")
+      .allow("out", "gen/train/predict/compile/bench: output path");
   if (!args.validate()) return 1;
 
   try {
@@ -382,6 +476,7 @@ int main(int argc, char** argv) {
     if (mode == "predict") return mode_predict(args);
     if (mode == "compile") return mode_compile(args);
     if (mode == "serve") return mode_serve(args);
+    if (mode == "bench") return mode_bench(args);
     std::fprintf(stderr, "missing or unknown --mode (try --help)\n");
     return 1;
   } catch (const hrf::Error& e) {
