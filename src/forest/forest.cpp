@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "util/atomic_file.hpp"
 #include "util/error.hpp"
 
 namespace hrf {
@@ -102,8 +103,10 @@ void Forest::validate() const {
 }
 
 void Forest::save(const std::string& path) const {
-  std::ofstream f(path, std::ios::binary);
-  if (!f) throw Error("cannot open for writing: " + path);
+  // Crash-safe: staged via AtomicFile, committed by atomic rename, so a
+  // crash mid-save never leaves a truncated model behind.
+  AtomicFile out(path);
+  std::ostream& f = out.stream();
   write_pod(f, kMagic);
   write_pod(f, kVersion);
   write_pod(f, static_cast<std::uint64_t>(num_features_));
@@ -115,6 +118,7 @@ void Forest::save(const std::string& path) const {
             static_cast<std::streamsize>(t.node_count() * sizeof(TreeNode)));
   }
   if (!f) throw Error("write failed: " + path);
+  out.commit();
 }
 
 Forest Forest::load(const std::string& path) {

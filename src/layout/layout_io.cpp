@@ -4,6 +4,7 @@
 #include <fstream>
 #include <vector>
 
+#include "util/atomic_file.hpp"
 #include "util/crc32.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
@@ -20,6 +21,9 @@ constexpr std::uint64_t kMaxArrayElems = 1ull << 32;
 // Writing. v2 frames each section as {u64 size, u32 crc, payload} so the
 // loader can verify integrity before interpreting a single payload byte;
 // v1 writes the same payloads unframed (kept for old blobs and tests).
+// All saves are crash-safe: the blob is staged through AtomicFile, so a
+// crash mid-save leaves the previous version of the file intact instead
+// of a truncated blob (docs/model-lifecycle.md).
 
 class SectionWriter {
  public:
@@ -66,12 +70,15 @@ class SectionWriter {
 // ---------------------------------------------------------------------------
 // Reading. The whole blob is pulled into memory first: truncation becomes a
 // bounds check, checksums can run before parsing, and the fault injector
-// can corrupt the bytes exactly the way rotted storage would.
+// can corrupt the bytes exactly the way rotted storage would. Every reader
+// carries the section name and the absolute byte offset of its window, so
+// a FormatError pinpoints where in the file the failure was detected.
 
 class ByteReader {
  public:
-  ByteReader(std::span<const std::byte> data, const std::string& path)
-      : data_(data), path_(path) {}
+  ByteReader(std::span<const std::byte> data, const std::string& path,
+             std::string section = "preamble", std::uint64_t base_offset = 0)
+      : data_(data), path_(path), section_(std::move(section)), base_(base_offset) {}
 
   template <typename T>
   T pod() {
@@ -82,31 +89,46 @@ class ByteReader {
 
   template <typename T>
   std::vector<T> array(std::uint64_t max_elems = kMaxArrayElems) {
+    const std::uint64_t at = offset();
     const auto n = pod<std::uint64_t>();
-    if (n > max_elems) throw FormatError("layout array implausibly large in " + path_);
+    if (n > max_elems) {
+      throw FormatError("layout array implausibly large in " + path_, section_, at);
+    }
     const std::span<const std::byte> raw = take(n * sizeof(T));
     std::vector<T> xs(n);
     if (n != 0) std::memcpy(xs.data(), raw.data(), raw.size());
     return xs;
   }
 
-  /// Verifies and opens the next v2 section; `name` labels checksum errors.
+  /// Verifies and opens the next v2 section; `name` labels the returned
+  /// reader so downstream errors carry the section and byte offset.
   ByteReader section(const char* name) {
+    const std::uint64_t frame_at = offset();
     const auto size = pod<std::uint64_t>();
     const auto crc = pod<std::uint32_t>();
-    const std::span<const std::byte> payload = take(size);
+    const std::uint64_t payload_at = offset();
+    const std::span<const std::byte> payload = take(size, name, frame_at);
     if (crc32(payload) != crc) {
       throw FormatError("layout checksum mismatch in section '" + std::string(name) + "' of " +
-                        path_ + " (blob corrupted?)");
+                            path_ + " (blob corrupted?)",
+                        name, payload_at);
     }
-    return ByteReader(payload, path_);
+    return ByteReader(payload, path_, name, payload_at);
   }
 
   std::size_t remaining() const { return data_.size() - pos_; }
+  /// Absolute byte offset of the read cursor within the file.
+  std::uint64_t offset() const { return base_ + pos_; }
+  const std::string& section_name() const { return section_; }
 
  private:
-  std::span<const std::byte> take(std::uint64_t n) {
-    if (n > data_.size() - pos_) throw FormatError("layout file truncated: " + path_);
+  std::span<const std::byte> take(std::uint64_t n) { return take(n, section_, offset()); }
+
+  std::span<const std::byte> take(std::uint64_t n, const std::string& section,
+                                  std::uint64_t at) {
+    if (n > data_.size() - pos_) {
+      throw FormatError("layout file truncated: " + path_, section, at);
+    }
     const std::span<const std::byte> out = data_.subspan(pos_, n);
     pos_ += n;
     return out;
@@ -115,6 +137,8 @@ class ByteReader {
   std::span<const std::byte> data_;
   std::size_t pos_ = 0;
   const std::string& path_;
+  std::string section_;
+  std::uint64_t base_ = 0;
 };
 
 std::vector<std::byte> read_blob(const std::string& path) {
@@ -131,12 +155,6 @@ std::vector<std::byte> read_blob(const std::string& path) {
   return bytes;
 }
 
-std::ofstream open_out(const std::string& path) {
-  std::ofstream f(path, std::ios::binary);
-  if (!f) throw Error("cannot open for writing: " + path);
-  return f;
-}
-
 void write_preamble(std::ostream& os, std::uint32_t magic, std::uint32_t version) {
   require(version == 1 || version == 2, "unsupported layout format version requested");
   os.write(reinterpret_cast<const char*>(&magic), sizeof magic);
@@ -146,11 +164,13 @@ void write_preamble(std::ostream& os, std::uint32_t magic, std::uint32_t version
 std::uint32_t read_preamble(ByteReader& r, std::uint32_t magic, const char* kind,
                             const std::string& path) {
   if (r.pod<std::uint32_t>() != magic) {
-    throw FormatError("bad " + std::string(kind) + " magic in " + path);
+    throw FormatError("bad " + std::string(kind) + " magic in " + path, "preamble", 0);
   }
+  const std::uint64_t at = r.offset();
   const auto version = r.pod<std::uint32_t>();
   if (version < 1 || version > 2) {
-    throw FormatError("unsupported " + std::string(kind) + " version in " + path);
+    throw FormatError("unsupported " + std::string(kind) + " version in " + path, "preamble",
+                      at);
   }
   return version;
 }
@@ -168,7 +188,8 @@ void maybe_corrupt_node(std::vector<std::int32_t>& feature_id) {
 }  // namespace
 
 void save_csr(const CsrForest& csr, const std::string& path, std::uint32_t version) {
-  auto f = open_out(path);
+  AtomicFile out(path);
+  std::ostream& f = out.stream();
   write_preamble(f, kCsrMagic, version);
   SectionWriter w(f, version);
   w.pod(static_cast<std::uint64_t>(csr.num_features()))
@@ -180,6 +201,7 @@ void save_csr(const CsrForest& csr, const std::string& path, std::uint32_t versi
   w.array(csr.children_arr_idx()).commit();
   w.array(csr.tree_root()).commit();
   if (!f) throw Error("write failed: " + path);
+  out.commit();
 }
 
 CsrForest load_csr(const std::string& path) {
@@ -218,7 +240,8 @@ CsrForest load_csr(const std::string& path) {
 
 void save_hierarchical(const HierarchicalForest& forest, const std::string& path,
                        std::uint32_t version) {
-  auto f = open_out(path);
+  AtomicFile out(path);
+  std::ostream& f = out.stream();
   write_preamble(f, kHierMagic, version);
   SectionWriter w(f, version);
   w.pod(static_cast<std::uint64_t>(forest.num_features()))
@@ -235,6 +258,7 @@ void save_hierarchical(const HierarchicalForest& forest, const std::string& path
   w.array(forest.value()).commit();
   w.array(forest.tree_subtree_begin()).commit();
   if (!f) throw Error("write failed: " + path);
+  out.commit();
 }
 
 HierarchicalForest load_hierarchical(const std::string& path) {
@@ -293,10 +317,10 @@ std::string peek_layout_kind(const std::string& path) {
   if (!f) throw Error("cannot open for reading: " + path);
   std::uint32_t magic = 0;
   f.read(reinterpret_cast<char*>(&magic), sizeof magic);
-  if (!f) throw FormatError("layout file truncated: " + path);
+  if (!f) throw FormatError("layout file truncated: " + path, "preamble", 0);
   if (magic == kCsrMagic) return "csr";
   if (magic == kHierMagic) return "hierarchical";
-  throw FormatError("not a layout blob (unknown magic): " + path);
+  throw FormatError("not a layout blob (unknown magic): " + path, "preamble", 0);
 }
 
 }  // namespace hrf

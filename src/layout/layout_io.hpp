@@ -8,8 +8,14 @@
 // Blob format v2 (the default) frames every section — one scalar header
 // plus one per array — as {u64 byte length, u32 CRC-32, payload}, so any
 // corruption in transit or at rest is detected deterministically and load
-// throws FormatError instead of propagating a garbled forest. v1 blobs
+// throws FormatError instead of propagating a garbled forest; the error
+// carries the failing section name and byte offset (FormatError::section
+// / byte_offset) so corrupted-artifact logs are actionable. v1 blobs
 // (unframed, no checksums) still load via the version field.
+//
+// Saves are crash-safe: blobs are staged through util/atomic_file (temp
+// file in the target directory + fsync + atomic rename), so a crash
+// mid-save never leaves a truncated blob where a valid one stood.
 // docs/robustness.md documents the full layout and failure model.
 
 #include <string>

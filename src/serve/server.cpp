@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "serve/model_store.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
@@ -43,9 +44,7 @@ std::string format_seconds(double s) {
 
 }  // namespace
 
-ForestServer::ForestServer(Forest forest, ClassifierOptions classifier_options,
-                           ServerOptions options)
-    : options_(options), breaker_(options.breaker) {
+void ForestServer::validate_options() const {
   require(options_.num_workers >= 1, "num_workers must be >= 1");
   require(options_.queue_capacity >= 1, "queue_capacity must be >= 1");
   require(options_.deadline_chunk_size >= 1, "deadline_chunk_size must be >= 1");
@@ -55,27 +54,89 @@ ForestServer::ForestServer(Forest forest, ClassifierOptions classifier_options,
           "retry backoff seconds must be >= 0");
   require(options_.retry.jitter_fraction >= 0.0 && options_.retry.jitter_fraction <= 1.0,
           "retry.jitter_fraction must be in [0, 1]");
+}
 
-  ClassifierOptions fb = classifier_options;
+std::shared_ptr<const ForestServer::WorkerModel> ForestServer::build_worker_model(
+    const Forest& forest, const CsrForest* csr, const HierarchicalForest* hier,
+    std::uint64_t generation, std::shared_ptr<ModelHealth> health) const {
+  ClassifierOptions fb = classifier_options_;
   fb.backend = Backend::CpuNative;
-  fb.variant = fallback_variant(classifier_options.variant);
+  fb.variant = fallback_variant(classifier_options_.variant);
   fb.fallback = FallbackPolicy{};  // the CPU path has nothing to degrade to
 
+  auto model = std::make_shared<WorkerModel>();
+  // Precompiled layout when the store supplied one (shape/kind checked by
+  // the Classifier ctor); otherwise compile from the forest.
+  if (csr != nullptr) {
+    model->primary = std::make_shared<const Classifier>(forest, *csr, classifier_options_);
+  } else if (hier != nullptr) {
+    model->primary = std::make_shared<const Classifier>(forest, *hier, classifier_options_);
+  } else {
+    model->primary = std::make_shared<const Classifier>(forest, classifier_options_);
+  }
+  // The fallback twin always compiles its own (cheap) CPU layout.
+  model->fallback = std::make_shared<const Classifier>(forest, fb);
+  model->generation = generation;
+  model->health = std::move(health);
+  return model;
+}
+
+std::shared_ptr<const ForestServer::WorkerModel> ForestServer::model_for(std::size_t w) const {
+  std::lock_guard<std::mutex> lock(slots_[w].mu);
+  return slots_[w].model;
+}
+
+void ForestServer::install_model(std::size_t w, std::shared_ptr<const WorkerModel> m) {
+  std::lock_guard<std::mutex> lock(slots_[w].mu);
+  slots_[w].model = std::move(m);
+}
+
+void ForestServer::start_workers() {
   Xoshiro256 jitter_base(options_.seed);
-  primary_.reserve(options_.num_workers);
-  fallback_.reserve(options_.num_workers);
   jitter_.reserve(options_.num_workers);
   for (std::size_t w = 0; w < options_.num_workers; ++w) {
-    primary_.push_back(std::make_unique<Classifier>(forest, classifier_options));
-    fallback_.push_back(std::make_unique<Classifier>(forest, fb));
     jitter_.push_back(jitter_base.split(static_cast<int>(w) + 1));
   }
-
   started_ = !options_.start_paused;
   workers_.reserve(options_.num_workers);
   for (std::size_t w = 0; w < options_.num_workers; ++w) {
     workers_.emplace_back([this, w] { worker_loop(w); });
   }
+}
+
+ForestServer::ForestServer(Forest forest, ClassifierOptions classifier_options,
+                           ServerOptions options)
+    : options_(options),
+      classifier_options_(classifier_options),
+      slots_(options.num_workers),
+      breaker_(options.breaker) {
+  validate_options();
+  auto health = std::make_shared<ModelHealth>();
+  for (std::size_t w = 0; w < options_.num_workers; ++w) {
+    install_model(w, build_worker_model(forest, nullptr, nullptr, 0, health));
+  }
+  start_workers();
+}
+
+ForestServer::ForestServer(const ModelStore& store, ClassifierOptions classifier_options,
+                           ServerOptions options)
+    : options_(options),
+      classifier_options_(classifier_options),
+      slots_(options.num_workers),
+      breaker_(options.breaker) {
+  validate_options();
+  const std::optional<std::uint64_t> cur = store.current();
+  if (!cur) {
+    throw ConfigError("model store has no complete generation to serve: " + store.dir());
+  }
+  const LoadedModel m = store.load(*cur);
+  auto health = std::make_shared<ModelHealth>();
+  for (std::size_t w = 0; w < options_.num_workers; ++w) {
+    install_model(w, build_worker_model(m.forest, m.csr ? &*m.csr : nullptr,
+                                        m.hier ? &*m.hier : nullptr, m.generation, health));
+  }
+  current_generation_.store(m.generation, std::memory_order_release);
+  start_workers();
 }
 
 ForestServer::~ForestServer() {
@@ -172,12 +233,15 @@ LatencyStats ForestServer::latency() const {
   s.queue_wait = hist_queue_wait_.snapshot();
   s.execute = hist_execute_.snapshot();
   s.end_to_end = hist_end_to_end_.snapshot();
+  s.reload = hist_reload_.snapshot();
   return s;
 }
 
 std::string LatencyStats::to_markdown() const {
-  return latency_table_markdown(
-      {{"queue-wait", queue_wait}, {"execute", execute}, {"end-to-end", end_to_end}});
+  return latency_table_markdown({{"queue-wait", queue_wait},
+                                 {"execute", execute},
+                                 {"end-to-end", end_to_end},
+                                 {"reload", reload}});
 }
 
 std::size_t ForestServer::queue_depth() const {
@@ -202,7 +266,38 @@ ServerStats ForestServer::stats() const {
   s.fallback_served = counters_.value("fallback.served");
   s.breaker_short_circuited = counters_.value("breaker.short_circuited");
   s.abandoned = counters_.value("requests.abandoned");
+  s.model_generation = current_generation_.load(std::memory_order_acquire);
+  s.reloads_promoted = counters_.value("reload.promoted");
+  s.reloads_rejected = counters_.value("reload.rejected");
+  s.reloads_rolled_back = counters_.value("reload.rolled_back");
   return s;
+}
+
+std::vector<ReloadReport> ForestServer::reload_history() const {
+  std::lock_guard<std::mutex> lock(reload_history_mu_);
+  return reload_history_;
+}
+
+void ForestServer::record_reload(const ReloadReport& rep) {
+  hist_reload_.record_seconds(rep.total_seconds);
+  switch (rep.outcome) {
+    case ReloadOutcome::Promoted:
+      counters_.add("reload.promoted");
+      break;
+    case ReloadOutcome::NoOp:
+      break;
+    case ReloadOutcome::RejectedLoad:
+    case ReloadOutcome::RejectedValidation:
+    case ReloadOutcome::RejectedShadow:
+      counters_.add("reload.rejected");
+      break;
+    case ReloadOutcome::RolledBackCanary:
+    case ReloadOutcome::RolledBackPostPromotion:
+      counters_.add("reload.rolled_back");
+      break;
+  }
+  std::lock_guard<std::mutex> lock(reload_history_mu_);
+  reload_history_.push_back(rep);
 }
 
 void ForestServer::worker_loop(std::size_t w) {
@@ -262,17 +357,22 @@ void ForestServer::process(std::size_t w, Request req) {
 }
 
 ServeResult ForestServer::execute(std::size_t w, Request& req) {
+  // One snapshot per request: a concurrent reload flips the slot pointer,
+  // but this request runs start to finish on the model it grabbed here.
+  const std::shared_ptr<const WorkerModel> m = model_for(w);
   ServeResult out;
-  const std::string primary_desc = std::string(to_string(primary_[w]->options().backend)) + "/" +
-                                   to_string(primary_[w]->options().variant);
+  const std::string primary_desc = std::string(to_string(m->primary->options().backend)) + "/" +
+                                   to_string(m->primary->options().variant);
   std::string primary_note;
+  bool primary_errored = false;
   if (breaker_.allow_request()) {
     const int tries = 1 + options_.retry.max_retries;
     std::string last_error;
     for (int attempt = 0; attempt < tries; ++attempt) {
       try {
-        out.report = run_one(*primary_[w], req);
+        out.report = run_one(*m->primary, req);
         breaker_.record_success();
+        m->health->completed.fetch_add(1, std::memory_order_relaxed);
         return out;
       } catch (const ResourceError& e) {
         breaker_.record_failure();
@@ -284,6 +384,7 @@ ServeResult ForestServer::execute(std::size_t w, Request& req) {
         }
       }
     }
+    primary_errored = true;  // retries exhausted: this model's primary is sick
     primary_note = "primary " + primary_desc + " failed after " +
                    std::to_string(out.retries + 1) + " attempt(s) (" + last_error + ")";
   } else {
@@ -292,10 +393,16 @@ ServeResult ForestServer::execute(std::size_t w, Request& req) {
   }
   // The CPU-native fallback replica — bit-identical predictions, degraded
   // latency only, recorded like every other degradation.
-  out.report = run_one(*fallback_[w], req);
+  out.report = run_one(*m->fallback, req);
   out.via_fallback = true;
   counters_.add("fallback.served");
-  out.report.degradations.push_back("serve: " + primary_note + " -> cpu-native fallback");
+  std::string note = "serve: " + primary_note + " -> cpu-native fallback";
+  if (m->generation > 0) note += " [gen " + std::to_string(m->generation) + "]";
+  out.report.degradations.push_back(std::move(note));
+  // Health after the fact: a fallback-served request still completed, but
+  // a primary failure is what the canary / post-promotion watch act on.
+  if (primary_errored) m->health->primary_errors.fetch_add(1, std::memory_order_relaxed);
+  m->health->completed.fetch_add(1, std::memory_order_relaxed);
   return out;
 }
 

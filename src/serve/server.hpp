@@ -23,11 +23,25 @@
 //   drain       shutdown() stops admission, drains in-flight and queued
 //               requests up to a drain deadline, and fails whatever is
 //               left with ShutdownError, reporting counts.
+//   reload      zero-downtime model swap from a versioned ModelStore:
+//               candidate replicas are built off-thread, shadow-validated
+//               against the CPU oracle, canaried on one worker, then
+//               promoted via an atomic per-worker slot flip — with
+//               automatic rollback on any failure (serve/reload.hpp,
+//               docs/model-lifecycle.md).
 //
 // Composition with the fault-injection harness (util/fault): injection
 // sites fire inside worker threads, driving the retry and breaker paths
 // deterministically in tests. Degradations recorded by the per-replica
 // FallbackPolicy propagate into each response's RunReport.
+//
+// Model hot-swap memory model: each worker owns a *slot* holding a
+// shared_ptr to an immutable WorkerModel (primary + fallback replica +
+// generation + shared health counters). A worker snapshots the pointer
+// once per request, so an in-flight request finishes entirely on the
+// model it started with; reload flips the pointers between requests.
+// Slots are mutex-guarded (uncontended in steady state — one lock per
+// request) rather than lock-free, keeping the swap trivially TSan-clean.
 
 #include <atomic>
 #include <chrono>
@@ -42,11 +56,15 @@
 
 #include "core/classifier.hpp"
 #include "serve/circuit_breaker.hpp"
+#include "serve/reload.hpp"
 #include "util/histogram.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace hrf::serve {
+
+class ModelStore;
+struct LoadedModel;
 
 /// Server-level retry of transient primary-backend failures. Distinct
 /// from FallbackPolicy::max_retries (which retries *inside* one classify
@@ -105,6 +123,12 @@ struct ServerStats {
   std::uint64_t breaker_probes = 0;
   std::uint64_t breaker_short_circuited = 0;  // primary skipped: breaker open
   std::uint64_t abandoned = 0;                // failed by shutdown drain
+  /// Model lifecycle (serve/reload.hpp). model_generation is 0 for a
+  /// server constructed directly from a Forest (no store attached).
+  std::uint64_t model_generation = 0;
+  std::uint64_t reloads_promoted = 0;
+  std::uint64_t reloads_rejected = 0;
+  std::uint64_t reloads_rolled_back = 0;
 };
 
 /// Per-stage latency distributions (docs/benchmarking.md): queue wait
@@ -116,6 +140,7 @@ struct LatencyStats {
   HistogramSnapshot queue_wait;
   HistogramSnapshot execute;
   HistogramSnapshot end_to_end;
+  HistogramSnapshot reload;  // total seconds of each reload attempt
 
   /// "stage | count | mean | p50 | p95 | p99 | max" markdown table.
   std::string to_markdown() const;
@@ -135,6 +160,14 @@ class ForestServer {
   /// and per-worker CPU-native fallback replicas, then starts the worker
   /// pool (paused when options.start_paused).
   ForestServer(Forest forest, ClassifierOptions classifier_options, ServerOptions options);
+
+  /// Serves the store's current generation (precompiled layout blob);
+  /// throws ConfigError when the store has no complete generation or the
+  /// layout kind does not fit classifier_options. The server remembers
+  /// nothing about the store — pass it again to reload()/reload_latest().
+  ForestServer(const ModelStore& store, ClassifierOptions classifier_options,
+               ServerOptions options);
+
   ~ForestServer();  // shutdown(options().drain_deadline_seconds) if still up
 
   ForestServer(const ForestServer&) = delete;
@@ -171,6 +204,28 @@ class ForestServer {
   CircuitState breaker_state() const { return breaker_.state(); }
   const ServerOptions& options() const { return options_; }
 
+  // --- Model lifecycle (implemented in serve/reload.cpp) ---------------
+
+  /// Atomically hot-reloads generation `gen` from `store` through the
+  /// full state machine (load -> validate -> shadow -> build -> canary ->
+  /// promote -> watch). Serving never stops: every phase runs off the
+  /// worker threads, and on any rejection or rollback the previous model
+  /// keeps serving. Concurrent reload() calls are serialized. Never
+  /// throws for model problems — the outcome is in the returned report.
+  ReloadReport reload(const ModelStore& store, std::uint64_t gen,
+                      const ReloadOptions& opts = {});
+
+  /// reload(store.current()) — NoOp report when already current or the
+  /// store has no complete generation. This is the watcher's call.
+  ReloadReport reload_latest(const ModelStore& store, const ReloadOptions& opts = {});
+
+  /// Generation currently serving (0 = constructed without a store).
+  std::uint64_t generation() const {
+    return current_generation_.load(std::memory_order_acquire);
+  }
+  /// Every reload attempt since construction, in order.
+  std::vector<ReloadReport> reload_history() const;
+
  private:
   using TimePoint = std::chrono::steady_clock::time_point;
 
@@ -181,6 +236,43 @@ class ForestServer {
     TimePoint deadline;  // meaningful only when has_deadline
     bool has_deadline = false;
   };
+
+  /// Health counters shared by every replica of one model generation;
+  /// the canary and post-promotion watch read them to decide rollback.
+  struct ModelHealth {
+    std::atomic<std::uint64_t> completed{0};       // requests finished OK
+    std::atomic<std::uint64_t> primary_errors{0};  // primary exhausted retries
+  };
+
+  /// An immutable model installation for one worker: the primary replica,
+  /// its CPU-native fallback twin, and the generation they came from.
+  /// Swapped wholesale — a request sees one WorkerModel end to end.
+  struct WorkerModel {
+    std::shared_ptr<const Classifier> primary;
+    std::shared_ptr<const Classifier> fallback;
+    std::uint64_t generation = 0;
+    std::shared_ptr<ModelHealth> health;
+  };
+
+  /// One worker's swap point. The mutex is uncontended except during a
+  /// reload flip (one lock acquisition per request).
+  struct Slot {
+    mutable std::mutex mu;
+    std::shared_ptr<const WorkerModel> model;
+  };
+
+  void validate_options() const;
+  void start_workers();
+  /// Builds one worker's replica pair from a forest and optional
+  /// precompiled layout (ConfigError on shape/kind mismatch).
+  std::shared_ptr<const WorkerModel> build_worker_model(
+      const Forest& forest, const CsrForest* csr, const HierarchicalForest* hier,
+      std::uint64_t generation, std::shared_ptr<ModelHealth> health) const;
+
+  std::shared_ptr<const WorkerModel> model_for(std::size_t w) const;
+  void install_model(std::size_t w, std::shared_ptr<const WorkerModel> m);
+
+  void record_reload(const ReloadReport& rep);
 
   void worker_loop(std::size_t w);
   void process(std::size_t w, Request req);
@@ -195,14 +287,20 @@ class ForestServer {
   bool backoff_sleep(std::size_t w, int attempt, const Request& req);
 
   ServerOptions options_;
-  std::vector<std::unique_ptr<Classifier>> primary_;   // one per worker
-  std::vector<std::unique_ptr<Classifier>> fallback_;  // one per worker
-  std::vector<Xoshiro256> jitter_;                     // one per worker
+  ClassifierOptions classifier_options_;  // replica recipe, reused by reload
+  std::vector<Slot> slots_;               // one per worker, never resized
+  std::vector<Xoshiro256> jitter_;        // one per worker
   CircuitBreaker breaker_;
   CounterRegistry counters_;
   LatencyHistogram hist_queue_wait_;   // every dispatched request
   LatencyHistogram hist_execute_;      // completed requests only
   LatencyHistogram hist_end_to_end_;   // completed requests only
+  LatencyHistogram hist_reload_;       // per reload attempt (total seconds)
+
+  std::atomic<std::uint64_t> current_generation_{0};
+  std::mutex reload_mu_;  // serializes reload state machines
+  mutable std::mutex reload_history_mu_;
+  std::vector<ReloadReport> reload_history_;
 
   mutable std::mutex mu_;     // guards queue + lifecycle flags
   std::mutex shutdown_mu_;    // serializes shutdown() callers (join once)

@@ -1,0 +1,112 @@
+#include "util/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace hrf {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& op, const std::string& path) {
+  throw Error(op + " failed for " + path + ": " + std::strerror(errno));
+}
+
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+/// fsync on a directory fd makes the rename itself durable; on
+/// filesystems that reject directory fsync the rename is still atomic,
+/// so EINVAL-style failures are ignored rather than fatal.
+void fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+AtomicFile::AtomicFile(std::string path)
+    : path_(std::move(path)),
+      temp_path_(path_ + ".tmp." + std::to_string(static_cast<long>(::getpid()))) {}
+
+AtomicFile::~AtomicFile() {
+  if (!committed_) std::remove(temp_path_.c_str());  // discard staging leftovers
+}
+
+void AtomicFile::write(std::span<const std::byte> bytes) {
+  buf_.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+}
+
+void AtomicFile::write(const std::string& text) { buf_.write(text.data(), static_cast<std::streamsize>(text.size())); }
+
+void AtomicFile::commit() {
+  require(!committed_, "AtomicFile::commit called twice for " + path_);
+  const std::string payload = buf_.str();
+
+  const int fd = ::open(temp_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) throw_errno("open", temp_path_);
+  std::size_t written = 0;
+  while (written < payload.size()) {
+    const ssize_t n = ::write(fd, payload.data() + written, payload.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      std::remove(temp_path_.c_str());
+      throw_errno("write", temp_path_);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    std::remove(temp_path_.c_str());
+    throw_errno("fsync", temp_path_);
+  }
+  if (::close(fd) != 0) {
+    std::remove(temp_path_.c_str());
+    throw_errno("close", temp_path_);
+  }
+  if (std::rename(temp_path_.c_str(), path_.c_str()) != 0) {
+    std::remove(temp_path_.c_str());
+    throw_errno("rename", path_);
+  }
+  committed_ = true;
+  fsync_dir(parent_dir(path_));
+}
+
+void write_file_atomic(const std::string& path, std::span<const std::byte> bytes) {
+  AtomicFile f(path);
+  f.write(bytes);
+  f.commit();
+}
+
+void write_file_atomic(const std::string& path, const std::string& text) {
+  AtomicFile f(path);
+  f.write(text);
+  f.commit();
+}
+
+std::string read_file_text(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw Error("cannot open for reading: " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::string text(static_cast<std::size_t>(size), '\0');
+  in.read(text.data(), size);
+  if (!in) throw Error("read failed: " + path);
+  return text;
+}
+
+}  // namespace hrf

@@ -1,0 +1,65 @@
+#pragma once
+
+// Crash-safe file replacement (docs/model-lifecycle.md).
+//
+// Every durable artifact this repo writes — layout blobs, forest models,
+// model-store manifests — goes through AtomicFile: the payload is staged
+// in memory, written to a uniquely-named temp file *in the target
+// directory*, fsync'd, and atomically rename(2)'d over the destination,
+// followed by an fsync of the directory. A crash (or kill -9) at any
+// point leaves either the old complete file or the new complete file,
+// never a truncated hybrid; stray `*.tmp.<pid>` staging files are inert
+// and ignored by every loader.
+
+#include <span>
+#include <sstream>
+#include <string>
+
+namespace hrf {
+
+/// Buffered writer committing via temp-file + fsync + atomic rename.
+///
+///   AtomicFile out(path);
+///   out.stream() << ...;          // or out.write(bytes)
+///   out.commit();                 // durable, atomic; throws hrf::Error
+///
+/// Destruction without commit() discards the buffer and removes any
+/// staged temp file — an exception mid-serialization never clobbers the
+/// previous version of the file.
+class AtomicFile {
+ public:
+  explicit AtomicFile(std::string path);
+  ~AtomicFile();
+
+  AtomicFile(const AtomicFile&) = delete;
+  AtomicFile& operator=(const AtomicFile&) = delete;
+
+  /// The in-memory staging stream (nothing touches disk until commit()).
+  std::ostream& stream() { return buf_; }
+
+  void write(std::span<const std::byte> bytes);
+  void write(const std::string& text);
+
+  /// Writes the staged bytes to `<path>.tmp.<pid>`, fsyncs, renames over
+  /// `path`, and fsyncs the parent directory. Throws hrf::Error on any
+  /// I/O failure (the temp file is removed; the destination is untouched).
+  /// At most one commit per AtomicFile.
+  void commit();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::string temp_path_;
+  std::ostringstream buf_;
+  bool committed_ = false;
+};
+
+/// One-shot helpers over AtomicFile.
+void write_file_atomic(const std::string& path, std::span<const std::byte> bytes);
+void write_file_atomic(const std::string& path, const std::string& text);
+
+/// Reads a whole file into memory; throws hrf::Error when unreadable.
+std::string read_file_text(const std::string& path);
+
+}  // namespace hrf

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -23,9 +24,31 @@ class ConfigError : public Error {
 };
 
 /// Raised when a serialized model or dataset fails validation on load.
+///
+/// Loaders that know *where* parsing failed attach the section name
+/// (header / a named array frame) and the absolute byte offset, both
+/// appended to the message and exposed via section()/byte_offset() so
+/// quarantined-artifact logs (docs/model-lifecycle.md) are actionable.
 class FormatError : public Error {
  public:
   explicit FormatError(const std::string& what) : Error(what) {}
+  FormatError(const std::string& what, std::string section, std::uint64_t byte_offset)
+      : Error(what + " [section '" + section + "' at byte " + std::to_string(byte_offset) + "]"),
+        section_(std::move(section)),
+        byte_offset_(byte_offset),
+        has_location_(true) {}
+
+  /// True when the thrower attached a section/offset location.
+  bool has_location() const { return has_location_; }
+  /// Section of the blob being parsed when the failure was detected.
+  const std::string& section() const { return section_; }
+  /// Absolute byte offset into the file of the failure point.
+  std::uint64_t byte_offset() const { return byte_offset_; }
+
+ private:
+  std::string section_;
+  std::uint64_t byte_offset_ = 0;
+  bool has_location_ = false;
 };
 
 /// Raised when a simulated device resource is exceeded (shared memory,

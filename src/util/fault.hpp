@@ -16,6 +16,12 @@
 //   resource:fpga-bram  collaborative/hybrid FPGA BRAM reservation fails
 //   bitflip:layout      layout blob bytes are bit-flipped before parsing
 //   corrupt:node        a node field is corrupted after a layout blob parses
+//   crash:publish       model-store publisher dies (std::_Exit, kill -9
+//                       semantics) after the blobs, before the generation
+//                       manifest — leaves a partial generation on disk
+//   crash:manifest      publisher dies after the generation committed but
+//                       before the store manifest update — leaves a stale
+//                       store pointer for recovery to reconcile
 //
 // Thread safety: every member is safe to call concurrently. Charges are
 // atomic, so N armed charges fire exactly N times no matter how many

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# End-to-end model lifecycle through hrf_cli: publish to a versioned store,
+# serve from it, hot-swap a good generation under live clients, reject a
+# behaviorally-wrong one via shadow validation, and survive a publisher
+# crash with the store intact. Usage: test_cli_lifecycle.sh <path-to-hrf_cli>
+set -u
+
+CLI="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+FAILURES=0
+
+check() {  # check <description> <needle> <file>
+  if grep -q "$2" "$3"; then
+    echo "ok: $1"
+  else
+    echo "FAIL: $1 (missing '$2' in $3)"
+    FAILURES=$((FAILURES + 1))
+  fi
+}
+
+# --- Artifacts: dataset, serving model, and a DIFFERENT forest whose ------
+# layout blob is structurally valid but behaviorally wrong for the model.
+"$CLI" --mode gen --dataset susy --samples 3000 --out "$DIR/d.hrfd" > "$DIR/gen.log" 2>&1
+"$CLI" --mode train --data "$DIR/d.hrfd" --trees 8 --depth 8 \
+       --out "$DIR/m.hrff" > "$DIR/train.log" 2>&1
+"$CLI" --mode train --data "$DIR/d.hrfd" --trees 8 --depth 8 --seed 7 \
+       --out "$DIR/other.hrff" > "$DIR/train2.log" 2>&1
+"$CLI" --mode compile --model "$DIR/other.hrff" --layout hier --sd 4 \
+       --out "$DIR/bad_blob.hrfl" > "$DIR/compile.log" 2>&1
+[ -f "$DIR/m.hrff" ] && [ -f "$DIR/bad_blob.hrfl" ] || { echo "FAIL: artifact setup"; exit 1; }
+
+# --- Publish generation 1 and inspect the store --------------------------
+if "$CLI" --mode publish --store "$DIR/store" --model "$DIR/m.hrff" \
+       --layout hier --sd 4 --note "first" > "$DIR/publish.log" 2>&1; then
+  echo "ok: publish exits 0"
+else
+  echo "FAIL: publish exited nonzero"
+  FAILURES=$((FAILURES + 1))
+fi
+check "publish reports the generation" "published generation 1" "$DIR/publish.log"
+"$CLI" --mode store --store "$DIR/store" > "$DIR/store.log" 2>&1
+check "store lists the generation" "current generation: 1" "$DIR/store.log"
+check "store shows the layout kind" "hierarchical" "$DIR/store.log"
+
+# --- Lifecycle serve: live clients, a good hot-swap, a bad publish --------
+# rejected by shadow validation — the old model must keep serving.
+if "$CLI" --mode serve --data "$DIR/d.hrfd" --model-store "$DIR/store" \
+       --backend gpu-sim --variant hybrid --sd 4 \
+       --workers 2 --clients 4 --batch 64 --watch-ms 10 --canary-requests 2 \
+       --publish-live "$DIR/m.hrff" --publish-bad "$DIR/m.hrff:$DIR/bad_blob.hrfl" \
+       > "$DIR/lifecycle.log" 2>&1; then
+  echo "ok: lifecycle serve exits 0"
+else
+  echo "FAIL: lifecycle serve exited nonzero"
+  FAILURES=$((FAILURES + 1))
+fi
+check "serving starts from the store" "serving generation 1 from store" "$DIR/lifecycle.log"
+check "good publish promoted" "reload gen 1 -> 2: promoted" "$DIR/lifecycle.log"
+check "hot-swap completed under load" "hot-swap to gen 2 complete" "$DIR/lifecycle.log"
+check "bad publish rejected by shadow" "rejected-shadow" "$DIR/lifecycle.log"
+check "old model still serving after rejection" \
+      "bad generation 3 rejected; still serving gen 2" "$DIR/lifecycle.log"
+check "no client saw a wrong prediction" "prediction mismatches: 0" "$DIR/lifecycle.log"
+check "no client saw a failure" " 0 failed" "$DIR/lifecycle.log"
+check "lifecycle counters reported" "reloads: promoted=1 rejected=1" "$DIR/lifecycle.log"
+check "lifecycle run drains cleanly" "serve: clean shutdown" "$DIR/lifecycle.log"
+
+# --- Crash-safe publish: a publisher killed mid-write must not corrupt ----
+# the store; recovery quarantines the partial generation and keeps serving.
+"$CLI" --mode publish --store "$DIR/store" --model "$DIR/m.hrff" \
+       --layout hier --sd 4 --inject-fault crash:publish > "$DIR/crash.log" 2>&1
+CRASH_RC=$?
+if [ "$CRASH_RC" -eq 137 ]; then
+  echo "ok: injected crash killed the publisher (exit 137)"
+else
+  echo "FAIL: expected exit 137 from crash:publish, got $CRASH_RC"
+  FAILURES=$((FAILURES + 1))
+fi
+"$CLI" --mode store --store "$DIR/store" > "$DIR/recover.log" 2>&1
+check "store recovers to the last good generation" "current generation: 3" "$DIR/recover.log"
+check "partial generation quarantined, not deleted" "quarantined:" "$DIR/recover.log"
+
+echo "cli lifecycle test failures: $FAILURES"
+exit "$FAILURES"

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 
 #include "data/synthetic.hpp"
@@ -111,6 +112,75 @@ TEST(LayoutIo, CorruptedConnectionIsCaughtByValidate) {
           {h.feature_id().begin(), h.feature_id().end()}, {h.value().begin(), h.value().end()},
           {h.tree_subtree_begin().begin(), h.tree_subtree_begin().end()}),
       FormatError);
+}
+
+TEST(LayoutIo, SavesAreAtomicAndLeaveNoTempFiles) {
+  namespace fs = std::filesystem;
+  const std::string dir = testing::TempDir() + "/hrf_atomic_save";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const Forest f = demo_forest();
+  save_csr(CsrForest::build(f), dir + "/a.hrfc");
+  save_hierarchical(HierarchicalForest::build(f, HierConfig{.subtree_depth = 4}), dir + "/b.hrfh");
+  // Overwriting an existing blob must also go through the temp + rename path.
+  save_csr(CsrForest::build(f), dir + "/a.hrfc");
+  std::size_t files = 0;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir)) {
+    ++files;
+    EXPECT_EQ(e.path().filename().string().find(".tmp"), std::string::npos)
+        << "stray temp file: " << e.path();
+  }
+  EXPECT_EQ(files, 2u);  // only the two published blobs
+  EXPECT_NO_THROW(load_csr(dir + "/a.hrfc"));
+  fs::remove_all(dir);
+}
+
+TEST(LayoutIo, TruncationErrorCarriesSectionAndOffset) {
+  const Forest f = demo_forest();
+  const std::string path = tmp_path("hrf_hier_loc.hrfh");
+  save_hierarchical(HierarchicalForest::build(f, HierConfig{.subtree_depth = 4}), path);
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream(path, std::ios::binary) << bytes.substr(0, bytes.size() / 2);
+  try {
+    load_hierarchical(path);
+    FAIL() << "expected FormatError";
+  } catch (const FormatError& e) {
+    EXPECT_TRUE(e.has_location());
+    EXPECT_FALSE(e.section().empty());
+    EXPECT_GT(e.byte_offset(), 0u);
+    // The located suffix is part of what() so plain log lines carry it too.
+    EXPECT_NE(std::string(e.what()).find("at byte"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LayoutIo, ChecksumErrorCarriesSectionAndOffset) {
+  const Forest f = demo_forest();
+  const std::string path = tmp_path("hrf_csr_loc.hrfc");
+  save_csr(CsrForest::build(f), path);
+  {
+    // Flip one payload byte past the header; the per-section CRC catches it.
+    std::fstream io(path, std::ios::in | std::ios::out | std::ios::binary);
+    io.seekg(0, std::ios::end);
+    const std::streamoff mid = io.tellg() / 2;
+    io.seekg(mid);
+    char byte = 0;
+    io.read(&byte, 1);
+    byte ^= '\x5A';
+    io.seekp(mid);
+    io.write(&byte, 1);
+  }
+  try {
+    load_csr(path);
+    FAIL() << "expected FormatError";
+  } catch (const FormatError& e) {
+    EXPECT_TRUE(e.has_location());
+    EXPECT_FALSE(e.section().empty());
+    EXPECT_NE(std::string(e.what()).find("checksum mismatch"), std::string::npos);
+  }
+  std::remove(path.c_str());
 }
 
 TEST(LayoutIo, CsrFromPartsValidation) {

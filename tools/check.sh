@@ -3,6 +3,10 @@
 # ASan+UBSan build (HRF_SANITIZE=address;undefined), and a TSan build
 # (HRF_SANITIZE=thread) running the concurrency suites. All must be clean.
 #
+# The plain build also runs a reload-chaos step: a publisher killed
+# mid-write (crash:publish / crash:manifest fault sites) must leave the
+# versioned model store recoverable and still serveable.
+#
 # Usage: tools/check.sh [--plain-only|--sanitize-only|--tsan-only]
 set -euo pipefail
 
@@ -20,9 +24,51 @@ run_suite() {  # run_suite <build-dir> <extra cmake args...>
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
 }
 
+reload_chaos() {  # reload_chaos <build-dir>
+  local cli="$1/tools/hrf_cli"
+  local dir; dir="$(mktemp -d)"
+  echo "=== reload-chaos ($cli) ==="
+  "$cli" --mode gen --dataset susy --samples 1500 --out "$dir/d.hrfd" > /dev/null
+  "$cli" --mode train --data "$dir/d.hrfd" --trees 6 --depth 7 --out "$dir/m.hrff" > /dev/null
+  "$cli" --mode publish --store "$dir/store" --model "$dir/m.hrff" --layout hier --sd 4 > /dev/null
+
+  # Kill the publisher at both crash sites; neither may corrupt the store.
+  local rc site
+  for site in crash:publish crash:manifest; do
+    rc=0
+    "$cli" --mode publish --store "$dir/store" --model "$dir/m.hrff" --layout hier --sd 4 \
+           --inject-fault "$site" > /dev/null 2>&1 || rc=$?
+    if [ "$rc" -ne 137 ]; then
+      echo "reload-chaos: expected $site to kill the publisher (exit 137), got $rc" >&2
+      rm -rf "$dir"; return 1
+    fi
+  done
+
+  # Recovery: quarantine the partial publish, roll the completed one
+  # forward (crash:manifest landed gen.json before dying), keep serving.
+  "$cli" --mode store --store "$dir/store" > "$dir/store.log"
+  grep -q "current generation: 3" "$dir/store.log" || {
+    echo "reload-chaos: store did not recover to the newest complete generation" >&2
+    cat "$dir/store.log" >&2; rm -rf "$dir"; return 1; }
+  grep -q "quarantined:" "$dir/store.log" || {
+    echo "reload-chaos: partial generation was not quarantined" >&2
+    cat "$dir/store.log" >&2; rm -rf "$dir"; return 1; }
+  "$cli" --mode serve --data "$dir/d.hrfd" --model-store "$dir/store" \
+         --backend gpu-sim --variant hybrid --sd 4 \
+         --workers 2 --clients 2 --requests 3 --batch 64 > "$dir/serve.log" 2>&1 || {
+    echo "reload-chaos: serving from the recovered store failed" >&2
+    cat "$dir/serve.log" >&2; rm -rf "$dir"; return 1; }
+  grep -q "serve: clean shutdown" "$dir/serve.log" || {
+    echo "reload-chaos: recovered store did not serve cleanly" >&2
+    cat "$dir/serve.log" >&2; rm -rf "$dir"; return 1; }
+  rm -rf "$dir"
+  echo "reload-chaos: store survived both crash sites"
+}
+
 case "$MODE" in
   all|--plain-only)
     run_suite build
+    reload_chaos build
     ;;&
   all|--sanitize-only)
     # Sanitized configs keep examples/tools on so the CLI end-to-end test
@@ -38,11 +84,11 @@ case "$MODE" in
     echo "=== configure build-tsan ==="
     cmake -B build-tsan -S . -DHRF_BUILD_BENCHES=OFF "-DHRF_SANITIZE=thread"
     echo "=== build build-tsan ==="
-    cmake --build build-tsan -j "$JOBS" --target test_server test_circuit_breaker test_fault test_metrics test_histogram
+    cmake --build build-tsan -j "$JOBS" --target test_server test_circuit_breaker test_fault test_metrics test_histogram test_model_store test_reload
     echo "=== test build-tsan (concurrency suites) ==="
     OMP_NUM_THREADS=1 TSAN_OPTIONS="halt_on_error=1" \
       ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-            -R '(ForestServer|CircuitBreaker|FaultInjector|CounterRegistry|LatencyHistogram)'
+            -R '(ForestServer|CircuitBreaker|FaultInjector|CounterRegistry|LatencyHistogram|ModelStore|ModelReload)'
     ;;&
   all|--plain-only|--sanitize-only|--tsan-only)
     echo "check.sh: all requested suites passed"

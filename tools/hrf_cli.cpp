@@ -29,6 +29,17 @@
 // resource:gpu:-1 and --no-fallback this demonstrates the breaker
 // tripping and traffic being served by the CPU-native fallback replicas.
 //
+// Model lifecycle (docs/model-lifecycle.md): `publish` writes a model +
+// compiled layout into a versioned on-disk store as a new checksummed
+// generation; `store` prints the store's state (current generation,
+// complete generations, quarantined damage). `serve --model-store DIR`
+// serves the store's current generation, and with `--watch-ms N` a
+// watcher thread hot-reloads new generations with shadow validation,
+// canary rollout, and automatic rollback — `--publish-live` /
+// `--publish-bad` orchestrate the full zero-downtime demo (publish a good
+// generation mid-traffic, then a behaviorally-wrong one that must be
+// rejected while the old model keeps serving).
+//
 // Benchmarking (docs/benchmarking.md): `bench` sweeps {variant x backend
 // x batch} over a synthetic forest, writes the schema-versioned
 // BENCH_hrf.json, and `bench --compare old.json` exits nonzero when any
@@ -46,6 +57,7 @@
 #include "bench/harness.hpp"
 #include "core/hrf.hpp"
 #include "forest/importance.hpp"
+#include "serve/model_store.hpp"
 #include "util/cli.hpp"
 #include "util/fault.hpp"
 #include "util/metrics.hpp"
@@ -318,9 +330,65 @@ int mode_bench(const CliArgs& args) {
   return 0;
 }
 
+// Publishes a model (+ layout) into the versioned store as a new
+// generation. With --layout-blob the artifacts are copied byte-for-byte
+// (validation is deferred to reload time — that is the store's contract);
+// otherwise the layout is compiled here from the model.
+int mode_publish(const CliArgs& args) {
+  serve::ModelStore store = serve::ModelStore::open(args.get("store", "model-store"));
+  const std::string model = args.get("model", "model.hrff");
+  const std::string blob = args.get("layout-blob", "");
+  const std::string note = args.get("note", "");
+  std::uint64_t id = 0;
+  if (!blob.empty()) {
+    id = store.publish_files(model, blob, note);
+  } else {
+    const Forest forest = Forest::load(model);
+    const std::string kind = args.get("layout", "hier");
+    if (kind == "csr") {
+      id = store.publish(forest, CsrForest::build(forest), note);
+    } else if (kind == "hier") {
+      HierConfig cfg;
+      cfg.subtree_depth = static_cast<int>(args.get_int("sd", 8));
+      cfg.root_subtree_depth = static_cast<int>(args.get_int("rsd", 0));
+      id = store.publish(forest, HierarchicalForest::build(forest, cfg), note);
+    } else {
+      throw ConfigError("unknown --layout '" + kind + "' (csr|hier)");
+    }
+  }
+  const serve::Generation gen = store.info(id);
+  std::printf("published generation %llu to %s (%s layout, %llu bytes)\n",
+              static_cast<unsigned long long>(id), store.dir().c_str(), gen.layout_kind.c_str(),
+              static_cast<unsigned long long>(gen.total_bytes()));
+  return 0;
+}
+
+int mode_store(const CliArgs& args) {
+  const serve::ModelStore store = serve::ModelStore::open(args.get("store", "model-store"));
+  const serve::StoreReport& rep = store.report();
+  Table t({"generation", "layout", "bytes", "note"});
+  for (const serve::Generation& g : rep.generations) {
+    t.row()
+        .cell(static_cast<std::uint64_t>(g.id))
+        .cell(g.layout_kind)
+        .cell(static_cast<std::uint64_t>(g.total_bytes()))
+        .cell(g.note.empty() ? "-" : g.note);
+  }
+  print_table(std::cout, "Model store " + store.dir(), t);
+  if (rep.current) {
+    std::printf("current generation: %llu\n", static_cast<unsigned long long>(*rep.current));
+  } else {
+    std::printf("current generation: (none)\n");
+  }
+  if (rep.manifest_recovered) std::printf("manifest recovered from generation scan\n");
+  for (const serve::QuarantinedGeneration& q : rep.quarantined) {
+    std::printf("quarantined: %s (%s)\n", q.dir.c_str(), q.reason.c_str());
+  }
+  return 0;
+}
+
 int mode_serve(const CliArgs& args) {
   const Dataset data = Dataset::load(args.get("data", "data.hrfd"));
-  Forest forest = Forest::load(args.get("model", "model.hrff"));
 
   ClassifierOptions opt;
   opt.backend = parse_backend(args.get("backend", "cpu"));
@@ -342,6 +410,16 @@ int mode_serve(const CliArgs& args) {
   sopt.breaker.open_seconds = args.get_double("breaker-open-ms", 100.0) / 1e3;
   sopt.drain_deadline_seconds = args.get_double("drain-s", 5.0);
 
+  // Model source: a direct model file, or a versioned store (the
+  // lifecycle path — docs/model-lifecycle.md).
+  const std::string store_dir = args.get("model-store", "");
+  const std::string publish_live = args.get("publish-live", "");
+  const std::string publish_bad = args.get("publish-bad", "");
+  const bool lifecycle = !publish_live.empty() || !publish_bad.empty();
+  if (lifecycle && store_dir.empty()) {
+    throw ConfigError("--publish-live/--publish-bad require --model-store");
+  }
+
   const std::size_t clients = static_cast<std::size_t>(args.get_int("clients", 4));
   const std::size_t per_client = static_cast<std::size_t>(args.get_int("requests", 8));
   const std::size_t batch =
@@ -350,24 +428,75 @@ int mode_serve(const CliArgs& args) {
   Dataset queries(batch, data.num_features(), data.num_classes());
   queries.set_name(data.name());
   for (std::size_t i = 0; i < batch; ++i) queries.push_back(data.sample(i), data.label(i));
-  const std::vector<std::uint8_t> reference =
-      forest.classify_batch(queries.features(), queries.num_samples());
 
-  serve::ForestServer server(std::move(forest), opt, sopt);
-  std::printf("serving %s/%s: %zu workers, queue %zu, %zu clients x %zu requests of %zu queries\n",
+  std::optional<serve::ModelStore> store;
+  std::optional<serve::ForestServer> server;
+  std::vector<std::uint8_t> reference;
+  if (!store_dir.empty()) {
+    store.emplace(serve::ModelStore::open(store_dir));
+    const auto cur = store->current();
+    if (!cur) {
+      throw ConfigError("model store " + store_dir +
+                        " has no complete generation; run --mode publish first");
+    }
+    // The lifecycle demo republishes the *same* model, so predictions stay
+    // bit-identical across the hot swap and one reference validates all.
+    const serve::LoadedModel m = store->load(*cur);
+    reference = m.forest.classify_batch(queries.features(), queries.num_samples());
+    server.emplace(*store, opt, sopt);
+    std::printf("serving generation %llu from store %s\n",
+                static_cast<unsigned long long>(server->generation()), store_dir.c_str());
+  } else {
+    Forest forest = Forest::load(args.get("model", "model.hrff"));
+    reference = forest.classify_batch(queries.features(), queries.num_samples());
+    server.emplace(std::move(forest), opt, sopt);
+  }
+  std::printf("serving %s/%s: %zu workers, queue %zu, %zu clients x %s requests of %zu queries\n",
               to_string(opt.backend), to_string(opt.variant), sopt.num_workers,
-              sopt.queue_capacity, clients, per_client, batch);
+              sopt.queue_capacity, clients,
+              lifecycle ? "open-ended" : std::to_string(per_client).c_str(), batch);
+
+  // Store watcher: polls current() and hot-reloads each newly published
+  // generation exactly once (a rejected generation is not retried).
+  serve::ReloadOptions ropts;
+  ropts.shadow_queries = static_cast<std::size_t>(args.get_int("shadow-queries", 64));
+  ropts.canary_success_requests =
+      static_cast<std::uint64_t>(args.get_int("canary-requests", 2));
+  ropts.post_promotion_watch_requests =
+      static_cast<std::uint64_t>(args.get_int("watch-requests", 0));
+  const double watch_ms = args.get_double("watch-ms", lifecycle ? 20.0 : 0.0);
+  std::atomic<bool> watch_stop{false};
+  std::thread watcher;
+  if (store && watch_ms > 0) {
+    watcher = std::thread([&] {
+      std::uint64_t last_attempted = server->generation();
+      while (!watch_stop.load(std::memory_order_acquire)) {
+        const auto cur = store->current();
+        if (cur && *cur != server->generation() && *cur != last_attempted) {
+          last_attempted = *cur;
+          const serve::ReloadReport rep = server->reload_latest(*store, ropts);
+          std::printf("%s\n", rep.to_string().c_str());
+        }
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(watch_ms));
+      }
+    });
+  }
 
   std::atomic<std::uint64_t> ok{0}, degraded{0}, overload{0}, deadline{0}, wrong{0}, failed{0};
+  std::atomic<bool> client_stop{false};
   std::mutex sample_mu;
   std::vector<std::string> sample_degradations;
   std::vector<std::thread> pool;
   pool.reserve(clients);
   for (std::size_t c = 0; c < clients; ++c) {
     pool.emplace_back([&] {
-      for (std::size_t r = 0; r < per_client; ++r) {
+      // Fixed request count normally; in lifecycle mode clients hammer the
+      // server until the orchestration below says stop.
+      for (std::size_t r = 0; lifecycle ? !client_stop.load(std::memory_order_acquire)
+                                        : r < per_client;
+           ++r) {
         try {
-          serve::ServeResult res = server.submit(queries).get();
+          serve::ServeResult res = server->submit(queries).get();
           ++ok;
           if (res.report.predictions != reference) ++wrong;
           if (res.report.degraded()) {
@@ -385,10 +514,70 @@ int mode_serve(const CliArgs& args) {
       }
     });
   }
-  for (std::thread& t : pool) t.join();
 
-  const serve::DrainReport drain = server.shutdown();
-  const serve::ServerStats stats = server.stats();
+  // Lifecycle orchestration: warm traffic, hot-swap a good generation,
+  // then prove a bad one is rejected while the old model keeps serving.
+  bool lifecycle_ok = true;
+  if (lifecycle) {
+    const auto wait_until = [&](const std::function<bool()>& pred, double timeout_s) {
+      WallTimer t;
+      while (!pred()) {
+        if (t.seconds() > timeout_s) return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      return true;
+    };
+    wait_until([&] { return ok.load() >= clients * 2; }, 20.0);
+
+    if (!publish_live.empty()) {
+      const Forest f = Forest::load(publish_live);
+      std::uint64_t id = 0;
+      if (opt.variant == Variant::Csr || opt.variant == Variant::FilBaseline) {
+        id = store->publish(f, CsrForest::build(f), "cli live publish");
+      } else {
+        id = store->publish(f, HierarchicalForest::build(f, opt.layout), "cli live publish");
+      }
+      const bool flipped = wait_until([&] { return server->generation() == id; }, 20.0);
+      std::printf("lifecycle: hot-swap to gen %llu %s (now serving gen %llu)\n",
+                  static_cast<unsigned long long>(id), flipped ? "complete" : "TIMED OUT",
+                  static_cast<unsigned long long>(server->generation()));
+      lifecycle_ok &= flipped;
+      const std::uint64_t mark = ok.load();  // traffic proven on the new model
+      lifecycle_ok &= wait_until([&] { return ok.load() >= mark + clients; }, 20.0);
+    }
+
+    if (!publish_bad.empty()) {
+      const std::size_t colon = publish_bad.rfind(':');
+      if (colon == std::string::npos) {
+        throw ConfigError("--publish-bad wants MODEL:LAYOUT_BLOB paths");
+      }
+      const std::uint64_t before = server->generation();
+      const std::uint64_t id = store->publish_files(
+          publish_bad.substr(0, colon), publish_bad.substr(colon + 1), "cli bad publish");
+      const bool rejected = wait_until(
+          [&] {
+            for (const serve::ReloadReport& r : server->reload_history()) {
+              if (r.to_generation == id && !r.promoted()) return true;
+            }
+            return false;
+          },
+          20.0);
+      const bool still_old = server->generation() == before;
+      std::printf("lifecycle: bad generation %llu %s; still serving gen %llu\n",
+                  static_cast<unsigned long long>(id),
+                  rejected && still_old ? "rejected" : "NOT REJECTED",
+                  static_cast<unsigned long long>(server->generation()));
+      lifecycle_ok &= rejected && still_old;
+    }
+    client_stop.store(true, std::memory_order_release);
+  }
+
+  for (std::thread& t : pool) t.join();
+  watch_stop.store(true, std::memory_order_release);
+  if (watcher.joinable()) watcher.join();
+
+  const serve::DrainReport drain = server->shutdown();
+  const serve::ServerStats stats = server->stats();
 
   std::printf("clients done: %llu ok (%llu degraded), %llu overload-rejected, "
               "%llu deadline, %llu failed\n",
@@ -397,20 +586,29 @@ int mode_serve(const CliArgs& args) {
               static_cast<unsigned long long>(overload.load()),
               static_cast<unsigned long long>(deadline.load()),
               static_cast<unsigned long long>(failed.load()));
+  std::printf("prediction mismatches: %llu\n",
+              static_cast<unsigned long long>(wrong.load()));
   for (const std::string& step : sample_degradations) {
     std::printf("sample degradation: %s\n", step.c_str());
   }
-  std::printf("%s", server.counters().to_markdown().c_str());
+  std::printf("%s", server->counters().to_markdown().c_str());
   std::printf("latency percentiles (per stage):\n%s",
-              server.latency().to_markdown().c_str());
+              server->latency().to_markdown().c_str());
   std::printf("breaker: state=%s trips=%llu probes=%llu\n", to_string(stats.breaker),
               static_cast<unsigned long long>(stats.breaker_trips),
               static_cast<unsigned long long>(stats.breaker_probes));
+  if (store) {
+    std::printf("reloads: promoted=%llu rejected=%llu rolled_back=%llu (serving gen %llu)\n",
+                static_cast<unsigned long long>(stats.reloads_promoted),
+                static_cast<unsigned long long>(stats.reloads_rejected),
+                static_cast<unsigned long long>(stats.reloads_rolled_back),
+                static_cast<unsigned long long>(stats.model_generation));
+  }
   std::printf("drain: drained=%zu abandoned=%zu deadline_hit=%s in %.3fs\n", drain.drained,
               drain.abandoned, drain.deadline_hit ? "yes" : "no", drain.drain_seconds);
 
-  const bool clean = server.healthy() && wrong.load() == 0 && failed.load() == 0 &&
-                     drain.abandoned == 0;
+  const bool clean = server->healthy() && wrong.load() == 0 && failed.load() == 0 &&
+                     drain.abandoned == 0 && lifecycle_ok;
   std::printf(clean ? "serve: clean shutdown\n" : "serve: FAILED (see counters above)\n");
   return clean ? 0 : 1;
 }
@@ -419,7 +617,8 @@ int mode_serve(const CliArgs& args) {
 
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
-  args.allow("mode", "gen | train | info | layout | predict | compile | serve | bench")
+  args.allow("mode",
+             "gen | train | info | layout | predict | compile | publish | store | serve | bench")
       .allow("dataset", "gen: covertype | susy | higgs")
       .allow("samples", "gen: sample count")
       .allow("data", "train/predict: dataset file (.hrfd)")
@@ -433,8 +632,17 @@ int main(int argc, char** argv) {
       .allow("variant", "predict: csr | independent | collaborative | hybrid | fil")
       .allow("sd", "layout/predict/compile: max subtree depth(s)")
       .allow("rsd", "layout/predict/compile: root subtree depth(s), 0 = SD")
-      .allow("layout", "compile: csr | hier")
-      .allow("layout-blob", "predict: precompiled layout blob (.hrfl) to load")
+      .allow("layout", "compile/publish: csr | hier")
+      .allow("layout-blob", "predict/publish: precompiled layout blob (.hrfl)")
+      .allow("store", "publish/store: model store directory")
+      .allow("note", "publish: free-text note recorded in the generation manifest")
+      .allow("model-store", "serve: serve the store's current generation (hot-reloadable)")
+      .allow("watch-ms", "serve: store poll interval for hot reload (0 = no watcher)")
+      .allow("canary-requests", "serve: canary successes required before full promotion")
+      .allow("watch-requests", "serve: post-promotion requests to watch for an error spike")
+      .allow("shadow-queries", "serve: synthetic probe size for shadow validation")
+      .allow("publish-live", "serve: model file to publish mid-traffic (hot-swap demo)")
+      .allow("publish-bad", "serve: MODEL:BLOB to publish as a must-be-rejected generation")
       .allow("no-fallback", "predict/serve: disable the in-classifier fallback chain "
                             "(serve: failures then drive the server's retry + breaker)")
       .allow("workers", "serve: worker threads (classifier replicas)")
@@ -448,7 +656,7 @@ int main(int argc, char** argv) {
       .allow("breaker-open-ms", "serve: breaker cooldown before half-open")
       .allow("drain-s", "serve: graceful shutdown drain deadline")
       .allow("inject-fault", "fault spec(s): resource:{gpu|gpu-smem|fpga|fpga-bram}[:n], "
-                             "bitflip:layout, corrupt:node")
+                             "bitflip:layout, corrupt:node, crash:{publish|manifest}")
       .allow("inject-seed", "fault injector RNG seed")
       .allow("variants", "bench: comma-separated variant sweep list")
       .allow("backends", "bench: comma-separated backend sweep list")
@@ -475,6 +683,8 @@ int main(int argc, char** argv) {
     if (mode == "layout") return mode_layout(args);
     if (mode == "predict") return mode_predict(args);
     if (mode == "compile") return mode_compile(args);
+    if (mode == "publish") return mode_publish(args);
+    if (mode == "store") return mode_store(args);
     if (mode == "serve") return mode_serve(args);
     if (mode == "bench") return mode_bench(args);
     std::fprintf(stderr, "missing or unknown --mode (try --help)\n");
