@@ -19,6 +19,7 @@
 // inherit host noise; gate those with a wider tolerance.
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -83,6 +84,34 @@ struct EnvFingerprint {
   static EnvFingerprint capture();
 };
 
+/// Tracing-overhead micro-benchmark (docs/observability.md): the same
+/// serving workload is driven twice through a ForestServer — sampling 0.0
+/// (tracing compiled in but every trace declined) and 1.0 (every request
+/// fully traced, per-chunk spans included) — and the end-to-end p95s are
+/// compared. Both runs use the identical chunked execution path, so the
+/// ratio isolates the tracer's own cost.
+struct TraceOverheadOptions {
+  std::size_t requests = 200;
+  // Large enough that one request is ~1ms of real work: the tracer's cost
+  // is a few microseconds per request, and the gate must measure it above
+  // the host's scheduler jitter (~10us tail), not inside it.
+  std::size_t batch = 1024;
+  std::size_t num_workers = 2;
+  std::size_t chunk_size = 256;
+  RandomForestSpec forest{.num_trees = 20, .max_depth = 10, .num_features = 16};
+  std::uint64_t query_seed = 42;
+};
+
+struct TraceOverheadResult {
+  std::size_t requests = 0;
+  std::size_t batch = 0;
+  double p95_off_ns = 0.0;  // end-to-end p95, sampling 0.0
+  double p95_on_ns = 0.0;   // end-to-end p95, sampling 1.0
+  double ratio = 0.0;       // on / off; <= 1 + tolerance to pass the gate
+};
+
+TraceOverheadResult measure_trace_overhead(const TraceOverheadOptions& options);
+
 struct BenchReport {
   int schema_version = kSchemaVersion;
   EnvFingerprint env;
@@ -91,6 +120,9 @@ struct BenchReport {
   RandomForestSpec forest;
   std::uint64_t query_seed = 0;
   std::vector<CaseResult> cases;
+  /// Present when the sweep ran with the tracing-overhead case; optional
+  /// so older baselines stay readable under the same schema version.
+  std::optional<TraceOverheadResult> trace_overhead;
 };
 
 /// Runs the sweep, skipping invalid combinations (collaborative/hybrid
@@ -116,14 +148,22 @@ struct CompareResult {
   int compared = 0;                        // cases present in both reports
   std::vector<Regression> regressions;     // p95 grew past tolerance
   std::vector<std::string> missing_cases;  // in baseline but not current
+  /// Tracing-overhead gate: fails when the current report carries a
+  /// trace_overhead case whose on/off p95 ratio exceeds 1 + trace_tolerance.
+  bool trace_overhead_ok = true;
+  double trace_overhead_ratio = 0.0;  // 0 when the case is absent
 
-  bool passed() const { return regressions.empty() && missing_cases.empty(); }
+  bool passed() const {
+    return regressions.empty() && missing_cases.empty() && trace_overhead_ok;
+  }
 };
 
 /// Flags current cases whose p95 ns/query exceeds baseline * (1 + tolerance).
 /// tolerance 0.25 = fail on >25% p95 growth. Cases only in `current` are
 /// new coverage, not failures; cases only in `baseline` are missing.
+/// trace_tolerance gates the current report's own trace_overhead ratio
+/// (tracing everything must cost < 5% serve p95 by default).
 CompareResult compare_reports(const BenchReport& baseline, const BenchReport& current,
-                              double tolerance);
+                              double tolerance, double trace_tolerance = 0.05);
 
 }  // namespace hrf::bench

@@ -119,6 +119,13 @@ Classifier::StreamReport Classifier::classify_stream(const Dataset& queries,
 Classifier::StreamReport Classifier::classify_stream(const Dataset& queries,
                                                      std::size_t chunk_size,
                                                      const std::function<bool()>& cancel) const {
+  return classify_stream(queries, chunk_size, cancel, trace::Span{});
+}
+
+Classifier::StreamReport Classifier::classify_stream(const Dataset& queries,
+                                                     std::size_t chunk_size,
+                                                     const std::function<bool()>& cancel,
+                                                     const trace::Span& parent) const {
   require(chunk_size >= 1, "chunk_size must be >= 1");
   StreamReport out;
   out.predictions.reserve(queries.num_samples());
@@ -133,12 +140,36 @@ Classifier::StreamReport Classifier::classify_stream(const Dataset& queries,
     Dataset chunk(hi - lo, queries.num_features(), queries.num_classes());
     chunk.set_name(queries.name());
     for (std::size_t i = lo; i < hi; ++i) chunk.push_back(queries.sample(i), queries.label(i));
+    trace::Span span = parent.child("chunk-" + std::to_string(out.chunks));
     const RunReport r = classify(chunk);
+    if (span.active()) {
+      span.set_attr("queries", static_cast<std::uint64_t>(hi - lo));
+      span.set_attr("seconds", r.seconds);
+      set_backend_span_attrs(span, r);
+    }
     out.predictions.insert(out.predictions.end(), r.predictions.begin(), r.predictions.end());
     out.total_seconds += r.seconds;
     out.max_chunk_seconds = std::max(out.max_chunk_seconds, r.seconds);
     chunk_hist.record_seconds(r.seconds);
     out.simulated = r.simulated;
+    if (r.gpu_counters) {
+      if (!out.gpu_counters) out.gpu_counters.emplace();
+      *out.gpu_counters += *r.gpu_counters;
+    }
+    if (r.fpga_report) {
+      if (!out.fpga_report) {
+        // First chunk seeds the descriptive fields (clock, II, limiter).
+        out.fpga_report = *r.fpga_report;
+      } else {
+        out.fpga_report->seconds += r.fpga_report->seconds;
+        out.fpga_report->pipeline_cycles += r.fpga_report->pipeline_cycles;
+        out.fpga_report->total_cycles += r.fpga_report->total_cycles;
+        out.fpga_report->stall_pct =
+            out.fpga_report->total_cycles > 0.0
+                ? 100.0 * (1.0 - out.fpga_report->pipeline_cycles / out.fpga_report->total_cycles)
+                : 0.0;
+      }
+    }
     // Deduplicated so a persistent per-chunk degradation (e.g. every chunk
     // retried once) reads as one trail, not chunks-many copies.
     for (const std::string& d : r.degradations) {
@@ -151,6 +182,26 @@ Classifier::StreamReport Classifier::classify_stream(const Dataset& queries,
   }
   out.chunk_latency = chunk_hist.snapshot();
   return out;
+}
+
+void set_backend_span_attrs(const trace::Span& span, const RunReport& report) {
+  if (!span.active()) return;
+  if (report.gpu_counters) {
+    const gpusim::Counters& c = *report.gpu_counters;
+    span.set_attr("gpu.branch_efficiency", c.branch_efficiency());
+    span.set_attr("gpu.txn_per_request", c.transactions_per_request());
+    span.set_attr("gpu.dram_transactions", c.dram_transactions);
+    span.set_attr("gpu.l2_hits", c.l2_hits);
+    span.set_attr("gpu.smem_loads", c.smem_loads);
+  }
+  if (report.fpga_report) {
+    const fpgasim::FpgaReport& f = *report.fpga_report;
+    span.set_attr("fpga.ii", f.ii_desc);
+    span.set_attr("fpga.stall_pct", f.stall_pct);
+    span.set_attr("fpga.limiter", f.limiter);
+    span.set_attr("fpga.ii_stall_cycles",
+                  f.total_cycles > f.pipeline_cycles ? f.total_cycles - f.pipeline_cycles : 0.0);
+  }
 }
 
 void Classifier::validate_queries(const Dataset& queries) const {

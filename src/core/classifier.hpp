@@ -14,6 +14,7 @@
 #include "gpusim/counters.hpp"
 #include "gpusim/device.hpp"
 #include "util/histogram.hpp"
+#include "util/trace.hpp"
 #include "layout/csr.hpp"
 #include "layout/hierarchical.hpp"
 #include "train/tree_trainer.hpp"
@@ -38,6 +39,13 @@ enum class Variant {
 
 const char* to_string(Backend b);
 const char* to_string(Variant v);
+
+struct RunReport;
+
+/// Stamps a run's backend metrics onto a span as `gpu.*` / `fpga.*`
+/// attributes (branch efficiency, transactions/request, memory-service
+/// mix, II stalls...). No-op for inactive spans and CPU-native runs.
+void set_backend_span_attrs(const trace::Span& span, const RunReport& report);
 
 /// Everything a classification run reports.
 struct RunReport {
@@ -157,6 +165,12 @@ class Classifier {
     /// Per-chunk latency histogram (one record per finished chunk, in
     /// ns of `seconds` — simulated or wall per the backend).
     HistogramSnapshot chunk_latency;
+    /// Backend hardware counters summed across finished chunks (GpuSim
+    /// backends), and the FPGA pipeline report aggregated the same way
+    /// (seconds/cycles summed, descriptive fields from the first chunk).
+    /// nullopt when the serving backend produced neither.
+    std::optional<gpusim::Counters> gpu_counters;
+    std::optional<fpgasim::FpgaReport> fpga_report;
   };
   StreamReport classify_stream(const Dataset& queries, std::size_t chunk_size) const;
 
@@ -167,6 +181,14 @@ class Classifier {
   /// stops burning the backend after at most one chunk.
   StreamReport classify_stream(const Dataset& queries, std::size_t chunk_size,
                                const std::function<bool()>& cancel) const;
+
+  /// Traced variant: when `parent` is an active span, each chunk gets a
+  /// "chunk-N" child span carrying its duration and backend counter
+  /// attributes (see set_backend_span_attrs). Inactive spans cost nothing,
+  /// so the serving layer calls this unconditionally.
+  StreamReport classify_stream(const Dataset& queries, std::size_t chunk_size,
+                               const std::function<bool()>& cancel,
+                               const trace::Span& parent) const;
 
   const Forest& forest() const { return forest_; }
   const ClassifierOptions& options() const { return options_; }

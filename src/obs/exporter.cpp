@@ -1,0 +1,478 @@
+#include "obs/exporter.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "util/atomic_file.hpp"
+#include "util/error.hpp"
+
+namespace hrf::obs {
+
+namespace {
+
+std::string format_value(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+std::string escape_label(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string rollup_labels(const RollupKey& key) {
+  return "{variant=\"" + escape_label(key.variant) + "\",backend=\"" +
+         escape_label(key.backend) + "\",generation=\"" + std::to_string(key.generation) + "\"}";
+}
+
+void emit_type(std::string& out, const std::string& family, const std::string& type) {
+  out += "# TYPE " + family + " " + type + "\n";
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(4096);
+
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string family = "hrf_" + prometheus_name(name) + "_total";
+    emit_type(out, family, "counter");
+    out += family + " " + std::to_string(value) + "\n";
+  }
+
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string family = "hrf_" + prometheus_name(name);
+    emit_type(out, family, "gauge");
+    out += family + " " + format_value(value) + "\n";
+  }
+
+  if (!snapshot.histograms.empty()) {
+    emit_type(out, "hrf_latency_seconds", "histogram");
+    for (const auto& [stage, snap] : snapshot.histograms) {
+      const std::string stage_label = "stage=\"" + escape_label(stage) + "\"";
+      for (const auto& bucket : snap.cumulative()) {
+        out += "hrf_latency_seconds_bucket{" + stage_label + ",le=\"" +
+               format_value(static_cast<double>(bucket.le_ns) / 1e9) + "\"} " +
+               std::to_string(bucket.cumulative) + "\n";
+      }
+      out += "hrf_latency_seconds_bucket{" + stage_label + ",le=\"+Inf\"} " +
+             std::to_string(snap.total) + "\n";
+      out += "hrf_latency_seconds_sum{" + stage_label + "} " +
+             format_value(static_cast<double>(snap.sum_ns) / 1e9) + "\n";
+      out += "hrf_latency_seconds_count{" + stage_label + "} " + std::to_string(snap.total) +
+             "\n";
+    }
+  }
+
+  if (!snapshot.rollups.empty()) {
+    // Every family is emitted for every key — a GPU-only deployment still
+    // exports zeroed FPGA gauges, so dashboards and the schema checker
+    // never see families appear and disappear with traffic mix.
+    struct RollupMetric {
+      const char* family;
+      const char* type;
+      double (*get)(const BackendRollup&);
+    };
+    static const RollupMetric kMetrics[] = {
+        {"hrf_backend_requests_total", "counter",
+         [](const BackendRollup& r) { return static_cast<double>(r.requests); }},
+        {"hrf_backend_queries_total", "counter",
+         [](const BackendRollup& r) { return static_cast<double>(r.queries); }},
+        {"hrf_backend_seconds_total", "counter", [](const BackendRollup& r) { return r.seconds; }},
+        {"hrf_backend_branch_efficiency", "gauge",
+         [](const BackendRollup& r) { return r.gpu_runs ? r.branch_efficiency() : 0.0; }},
+        {"hrf_backend_txn_per_request", "gauge",
+         [](const BackendRollup& r) { return r.txn_per_request(); }},
+        {"hrf_backend_onchip_hit_rate", "gauge",
+         [](const BackendRollup& r) { return r.onchip_hit_rate(); }},
+        {"hrf_backend_stage1_onchip_hit_rate", "gauge",
+         [](const BackendRollup& r) { return r.stage1_onchip_hit_rate(); }},
+        {"hrf_backend_dram_transactions_total", "counter",
+         [](const BackendRollup& r) { return static_cast<double>(r.gpu.dram_transactions); }},
+        {"hrf_backend_fpga_ii_stall_cycles", "gauge",
+         [](const BackendRollup& r) { return r.fpga_ii_stall_cycles(); }},
+        {"hrf_backend_fpga_stall_pct", "gauge",
+         [](const BackendRollup& r) { return r.fpga_stall_pct(); }},
+    };
+    for (const RollupMetric& m : kMetrics) {
+      emit_type(out, m.family, m.type);
+      for (const auto& [key, rollup] : snapshot.rollups) {
+        out += std::string(m.family) + rollup_labels(key) + " " + format_value(m.get(rollup)) +
+               "\n";
+      }
+    }
+  }
+
+  if (snapshot.has_traces) {
+    const trace::TracerSummary& t = snapshot.traces;
+    emit_type(out, "hrf_traces_started_total", "counter");
+    out += "hrf_traces_started_total " + std::to_string(t.started) + "\n";
+    emit_type(out, "hrf_traces_sampled_total", "counter");
+    out += "hrf_traces_sampled_total " + std::to_string(t.sampled) + "\n";
+    emit_type(out, "hrf_traces_completed_total", "counter");
+    out += "hrf_traces_completed_total " + std::to_string(t.completed) + "\n";
+    emit_type(out, "hrf_traces_evicted_total", "counter");
+    out += "hrf_traces_evicted_total " + std::to_string(t.evicted) + "\n";
+    emit_type(out, "hrf_traces_retained", "gauge");
+    out += "hrf_traces_retained " + std::to_string(t.retained) + "\n";
+    emit_type(out, "hrf_trace_sampling_rate", "gauge");
+    out += "hrf_trace_sampling_rate " + format_value(t.sampling) + "\n";
+  }
+
+  return out;
+}
+
+json::Value snapshot_to_json(const MetricsSnapshot& snapshot) {
+  json::Value doc = json::Value::object();
+  doc["schema"] = "hrf-metrics";
+  doc["version"] = 1;
+
+  json::Value counters = json::Value::object();
+  for (const auto& [name, value] : snapshot.counters) counters[name] = value;
+  doc["counters"] = std::move(counters);
+
+  json::Value gauges = json::Value::object();
+  for (const auto& [name, value] : snapshot.gauges) gauges[name] = value;
+  doc["gauges"] = std::move(gauges);
+
+  json::Value histograms = json::Value::array();
+  for (const auto& [stage, snap] : snapshot.histograms) {
+    json::Value h = json::Value::object();
+    h["stage"] = stage;
+    h["count"] = snap.total;
+    h["sum_ns"] = snap.sum_ns;
+    h["max_ns"] = snap.max_ns;
+    h["mean_ns"] = snap.mean_ns();
+    h["p50_ns"] = snap.percentile_ns(50);
+    h["p95_ns"] = snap.percentile_ns(95);
+    h["p99_ns"] = snap.percentile_ns(99);
+    json::Value buckets = json::Value::array();
+    for (const auto& bucket : snap.cumulative()) {
+      json::Value b = json::Value::object();
+      b["le_ns"] = bucket.le_ns;
+      b["cumulative"] = bucket.cumulative;
+      buckets.push_back(std::move(b));
+    }
+    h["buckets"] = std::move(buckets);
+    histograms.push_back(std::move(h));
+  }
+  doc["histograms"] = std::move(histograms);
+
+  json::Value rollups = json::Value::array();
+  for (const auto& [key, r] : snapshot.rollups) {
+    json::Value entry = json::Value::object();
+    entry["variant"] = key.variant;
+    entry["backend"] = key.backend;
+    entry["generation"] = key.generation;
+    entry["requests"] = r.requests;
+    entry["queries"] = r.queries;
+    entry["seconds"] = r.seconds;
+    entry["gpu_runs"] = r.gpu_runs;
+    entry["branch_efficiency"] = r.gpu_runs ? r.branch_efficiency() : 0.0;
+    entry["txn_per_request"] = r.txn_per_request();
+    entry["onchip_hit_rate"] = r.onchip_hit_rate();
+    entry["stage1_onchip_hit_rate"] = r.stage1_onchip_hit_rate();
+    entry["dram_transactions"] = r.gpu.dram_transactions;
+    entry["smem_loads"] = r.gpu.smem_loads;
+    entry["l2_hits"] = r.gpu.l2_hits;
+    entry["fpga_runs"] = r.fpga_runs;
+    entry["fpga_ii_stall_cycles"] = r.fpga_ii_stall_cycles();
+    entry["fpga_stall_pct"] = r.fpga_stall_pct();
+    rollups.push_back(std::move(entry));
+  }
+  doc["rollups"] = std::move(rollups);
+
+  if (snapshot.has_traces) {
+    json::Value t = json::Value::object();
+    t["started"] = snapshot.traces.started;
+    t["sampled"] = snapshot.traces.sampled;
+    t["completed"] = snapshot.traces.completed;
+    t["evicted"] = snapshot.traces.evicted;
+    t["retained"] = static_cast<std::uint64_t>(snapshot.traces.retained);
+    t["sampling"] = snapshot.traces.sampling;
+    t["capacity"] = static_cast<std::uint64_t>(snapshot.traces.capacity);
+    doc["traces"] = std::move(t);
+  }
+
+  return doc;
+}
+
+namespace {
+
+[[noreturn]] void parse_fail(std::size_t line_no, const std::string& what) {
+  throw FormatError("prometheus parse error at line " + std::to_string(line_no) + ": " + what);
+}
+
+/// Family name of a sample: histogram series collapse onto their family.
+std::string family_of(const std::string& sample_name) {
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    const std::string s = suffix;
+    if (sample_name.size() > s.size() &&
+        sample_name.compare(sample_name.size() - s.size(), s.size(), s) == 0) {
+      return sample_name.substr(0, sample_name.size() - s.size());
+    }
+  }
+  return sample_name;
+}
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+    const bool digit = c >= '0' && c <= '9';
+    if (!(alpha || (digit && i > 0))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::map<std::string, PromFamily> parse_prometheus(const std::string& text) {
+  std::map<std::string, PromFamily> families;
+  // Types are declared per *family*; histogram sample names (_bucket etc.)
+  // map back to the family that declared them.
+  std::map<std::string, std::string> declared_types;
+
+  std::size_t pos = 0, line_no = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string line =
+        text.substr(pos, eol == std::string::npos ? std::string::npos : eol - pos);
+    pos = eol == std::string::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+
+    if (line[0] == '#') {
+      // Only "# TYPE <name> <type>" is meaningful; other comments skip.
+      if (line.rfind("# TYPE ", 0) == 0) {
+        const std::string rest = line.substr(7);
+        const std::size_t sp = rest.find(' ');
+        if (sp == std::string::npos) parse_fail(line_no, "malformed TYPE line");
+        const std::string name = rest.substr(0, sp);
+        const std::string type = rest.substr(sp + 1);
+        if (!valid_metric_name(name)) parse_fail(line_no, "bad metric name in TYPE line");
+        if (type != "counter" && type != "gauge" && type != "histogram" && type != "untyped") {
+          parse_fail(line_no, "unknown metric type '" + type + "'");
+        }
+        declared_types[name] = type;
+        families[name].type = type;
+      }
+      continue;
+    }
+
+    // Sample line: name[{labels}] value
+    std::size_t i = 0;
+    while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+    const std::string name = line.substr(0, i);
+    if (!valid_metric_name(name)) parse_fail(line_no, "bad metric name '" + name + "'");
+
+    PromSample sample;
+    if (i < line.size() && line[i] == '{') {
+      ++i;
+      while (i < line.size() && line[i] != '}') {
+        std::size_t eq = line.find('=', i);
+        if (eq == std::string::npos) parse_fail(line_no, "label without '='");
+        const std::string key = line.substr(i, eq - i);
+        if (!valid_metric_name(key)) parse_fail(line_no, "bad label name '" + key + "'");
+        if (eq + 1 >= line.size() || line[eq + 1] != '"') {
+          parse_fail(line_no, "label value must be quoted");
+        }
+        std::string value;
+        std::size_t j = eq + 2;
+        while (j < line.size() && line[j] != '"') {
+          if (line[j] == '\\' && j + 1 < line.size()) {
+            const char esc = line[j + 1];
+            value += esc == 'n' ? '\n' : esc;
+            j += 2;
+          } else {
+            value += line[j++];
+          }
+        }
+        if (j >= line.size()) parse_fail(line_no, "unterminated label value");
+        sample.labels[key] = value;
+        i = j + 1;
+        if (i < line.size() && line[i] == ',') ++i;
+      }
+      if (i >= line.size()) parse_fail(line_no, "unterminated label set");
+      ++i;  // '}'
+    }
+    while (i < line.size() && line[i] == ' ') ++i;
+    const std::string value_text = line.substr(i);
+    if (value_text.empty()) parse_fail(line_no, "missing sample value");
+    if (value_text == "+Inf") {
+      sample.value = std::numeric_limits<double>::infinity();
+    } else {
+      char* end = nullptr;
+      sample.value = std::strtod(value_text.c_str(), &end);
+      if (end == value_text.c_str() || *end != '\0') {
+        parse_fail(line_no, "unparseable value '" + value_text + "'");
+      }
+    }
+
+    PromFamily& family = families[name];
+    const auto declared = declared_types.find(family_of(name));
+    if (declared != declared_types.end()) family.type = declared->second;
+    family.samples.push_back(std::move(sample));
+  }
+  return families;
+}
+
+const std::vector<MetricInfo>& metric_catalogue() {
+  static const std::vector<MetricInfo> kCatalogue = [] {
+    std::vector<MetricInfo> v;
+    for (const std::string& name : counter_catalogue()) {
+      v.push_back({"hrf_" + prometheus_name(name) + "_total", "counter", false});
+    }
+    v.push_back({"hrf_queue_depth", "gauge", false});
+    v.push_back({"hrf_workers", "gauge", false});
+    v.push_back({"hrf_breaker_state", "gauge", false});
+    v.push_back({"hrf_model_generation", "gauge", false});
+    v.push_back({"hrf_latency_seconds", "histogram", false});
+    v.push_back({"hrf_traces_started_total", "counter", false});
+    v.push_back({"hrf_traces_sampled_total", "counter", false});
+    v.push_back({"hrf_traces_completed_total", "counter", false});
+    v.push_back({"hrf_traces_evicted_total", "counter", false});
+    v.push_back({"hrf_traces_retained", "gauge", false});
+    v.push_back({"hrf_trace_sampling_rate", "gauge", false});
+    v.push_back({"hrf_backend_requests_total", "counter", true});
+    v.push_back({"hrf_backend_queries_total", "counter", true});
+    v.push_back({"hrf_backend_seconds_total", "counter", true});
+    v.push_back({"hrf_backend_branch_efficiency", "gauge", true});
+    v.push_back({"hrf_backend_txn_per_request", "gauge", true});
+    v.push_back({"hrf_backend_onchip_hit_rate", "gauge", true});
+    v.push_back({"hrf_backend_stage1_onchip_hit_rate", "gauge", true});
+    v.push_back({"hrf_backend_dram_transactions_total", "counter", true});
+    v.push_back({"hrf_backend_fpga_ii_stall_cycles", "gauge", true});
+    v.push_back({"hrf_backend_fpga_stall_pct", "gauge", true});
+    return v;
+  }();
+  return kCatalogue;
+}
+
+const std::vector<std::string>& counter_catalogue() {
+  // Mirrors the names ForestServer actually feeds its CounterRegistry
+  // (see docs/observability.md catalogue); metrics_snapshot() zero-fills
+  // these so they are present even before first use.
+  static const std::vector<std::string> kCounters = {
+      "requests.submitted",       "requests.completed",
+      "requests.failed",          "requests.rejected_overload",
+      "requests.rejected_shutdown", "requests.shed_deadline",
+      "requests.deadline_expired", "requests.retried",
+      "requests.abandoned",       "fallback.served",
+      "breaker.short_circuited",  "breaker.trips",
+      "breaker.probes",           "reload.promoted",
+      "reload.rejected",          "reload.rolled_back",
+  };
+  return kCounters;
+}
+
+namespace {
+
+[[noreturn]] void schema_fail(const std::string& what) {
+  throw FormatError("metrics schema check failed: " + what);
+}
+
+}  // namespace
+
+void check_metrics_schema(const std::string& prometheus_text, const std::string& json_text) {
+  const std::map<std::string, PromFamily> families = parse_prometheus(prometheus_text);
+
+  const auto has_family = [&](const std::string& name) {
+    const auto it = families.find(name);
+    return it != families.end() && !it->second.samples.empty();
+  };
+
+  const bool have_rollups = has_family("hrf_backend_requests_total");
+  for (const MetricInfo& info : metric_catalogue()) {
+    if (info.per_rollup_key && !have_rollups) continue;
+    if (info.type == "histogram") {
+      for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+        if (!has_family(info.name + suffix)) {
+          schema_fail("histogram series " + info.name + suffix + " missing");
+        }
+      }
+      bool saw_inf = false;
+      for (const PromSample& s : families.at(info.name + "_bucket").samples) {
+        const auto le = s.labels.find("le");
+        if (le == s.labels.end()) schema_fail(info.name + "_bucket sample without le label");
+        if (le->second == "+Inf") saw_inf = true;
+      }
+      if (!saw_inf) schema_fail(info.name + " has no +Inf bucket");
+      continue;
+    }
+    if (!has_family(info.name)) schema_fail("metric " + info.name + " missing");
+    const std::string& declared = families.at(info.name).type;
+    if (declared != info.type) {
+      schema_fail("metric " + info.name + " declared as '" + declared + "', catalogue says '" +
+                  info.type + "'");
+    }
+  }
+
+  const json::Value doc = json::Value::parse(json_text);
+  if (doc.get("schema").as_string() != "hrf-metrics") {
+    schema_fail("JSON schema tag is not 'hrf-metrics'");
+  }
+  if (doc.get("version").as_number() != 1) schema_fail("unsupported JSON schema version");
+  const json::Value& counters = doc.get("counters");
+  for (const std::string& name : counter_catalogue()) {
+    if (!counters.find(name)) schema_fail("JSON counters missing '" + name + "'");
+  }
+  const json::Value& histograms = doc.get("histograms");
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const json::Value& h = histograms.at(i);
+    h.get("stage").as_string();
+    h.get("count").as_number();
+    h.get("buckets");
+  }
+  const json::Value& rollups = doc.get("rollups");
+  for (std::size_t i = 0; i < rollups.size(); ++i) {
+    const json::Value& r = rollups.at(i);
+    r.get("variant").as_string();
+    r.get("backend").as_string();
+    r.get("generation").as_number();
+    r.get("branch_efficiency").as_number();
+    r.get("txn_per_request").as_number();
+    r.get("onchip_hit_rate").as_number();
+    r.get("stage1_onchip_hit_rate").as_number();
+    r.get("fpga_ii_stall_cycles").as_number();
+  }
+  if (have_rollups && rollups.size() == 0) {
+    schema_fail("Prometheus file has rollups but JSON rollups array is empty");
+  }
+}
+
+void write_metrics_files(const MetricsSnapshot& snapshot, const std::string& path) {
+  write_file_atomic(path, to_prometheus(snapshot));
+  write_file_atomic(path + ".json", snapshot_to_json(snapshot).dump(2) + "\n");
+}
+
+}  // namespace hrf::obs

@@ -1,0 +1,107 @@
+#pragma once
+
+// Unified telemetry export (docs/observability.md).
+//
+// One MetricsSnapshot gathers everything the serving layer knows at a
+// point in time — counter registry, stage latency histograms, backend
+// rollups, tracer summary — and the exporter renders it two ways from
+// the same struct: Prometheus text exposition (for scrapers / file
+// tailing) and a JSON document (for tooling and tests). A matching
+// parser + schema checker guards against silent export drift
+// (tools/check.sh metrics-schema step).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/rollup.hpp"
+#include "util/histogram.hpp"
+#include "util/json.hpp"
+#include "util/trace.hpp"
+
+namespace hrf::obs {
+
+/// Point-in-time view of every exported metric. Build one with
+/// ForestServer::metrics_snapshot() or assemble by hand in tests.
+struct MetricsSnapshot {
+  /// Monotonic counters (CounterRegistry names, e.g. "requests.completed").
+  std::map<std::string, std::uint64_t> counters;
+  /// Instantaneous values (e.g. "queue_depth", "model_generation").
+  std::map<std::string, double> gauges;
+  /// Stage name -> latency distribution ("queue_wait", "execute", ...).
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+  /// Backend rollups keyed variant × backend × generation.
+  std::vector<std::pair<RollupKey, BackendRollup>> rollups;
+  /// Tracer statistics; `has_traces` false when no tracer is attached.
+  trace::TracerSummary traces{};
+  bool has_traces = false;
+};
+
+/// Sanitizes a registry name into a Prometheus metric name component:
+/// '.', '-', and any other non-[a-zA-Z0-9_] become '_'.
+std::string prometheus_name(const std::string& name);
+
+/// Renders the snapshot as Prometheus text exposition format (# TYPE
+/// lines, escaped labels, histogram `le` buckets in seconds with +Inf,
+/// _sum/_count). Counters become `hrf_<name>_total`; rollup metrics are
+/// labeled {variant=,backend=,generation=} and every rollup family is
+/// emitted for every key (GPU metrics read 0 on FPGA-only keys and vice
+/// versa) so the exposition schema does not depend on traffic mix.
+std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+/// Renders the snapshot as a JSON document (schema "hrf-metrics" v1):
+/// counters/gauges objects, histograms with cumulative `le_ns` buckets,
+/// rollups with derived ratios, tracer summary.
+json::Value snapshot_to_json(const MetricsSnapshot& snapshot);
+
+/// One parsed Prometheus sample: label set plus value.
+struct PromSample {
+  std::map<std::string, std::string> labels;
+  double value = 0.0;
+};
+
+/// One parsed metric family: declared type ("counter" | "gauge" |
+/// "histogram" | "untyped") and its samples, keyed by the sample's full
+/// metric name (so histogram `_bucket`/`_sum`/`_count` series live under
+/// their own names, attached to the family by prefix).
+struct PromFamily {
+  std::string type = "untyped";
+  std::vector<PromSample> samples;
+};
+
+/// Parses Prometheus text exposition into name -> family. Throws
+/// FormatError (with line number) on malformed lines, bad label syntax,
+/// or unparseable values.
+std::map<std::string, PromFamily> parse_prometheus(const std::string& text);
+
+/// One documented metric family (docs/observability.md catalogue).
+struct MetricInfo {
+  std::string name;  // full Prometheus family name, e.g. "hrf_latency_seconds"
+  std::string type;  // "counter" | "gauge" | "histogram"
+  /// True for rollup families, which only exist once traffic produced at
+  /// least one (variant, backend, generation) key.
+  bool per_rollup_key = false;
+};
+
+/// The documented Prometheus metric catalogue, in docs order.
+const std::vector<MetricInfo>& metric_catalogue();
+
+/// The documented CounterRegistry names the server always exports (it
+/// zero-fills these so idle servers still expose the full schema).
+const std::vector<std::string>& counter_catalogue();
+
+/// Validates an exported Prometheus file + JSON snapshot pair against the
+/// documented catalogue: every catalogue family present with the declared
+/// type, histogram series complete (_bucket/_sum/_count, +Inf), JSON
+/// schema/version match, every documented counter present in the JSON,
+/// and rollup entries carrying branch_efficiency/txn_per_request. Throws
+/// FormatError describing the first violation.
+void check_metrics_schema(const std::string& prometheus_text, const std::string& json_text);
+
+/// Writes `path` (Prometheus text) and `path + ".json"` atomically
+/// (util/atomic_file): a scraper or tail never sees a half-written file.
+void write_metrics_files(const MetricsSnapshot& snapshot, const std::string& path);
+
+}  // namespace hrf::obs

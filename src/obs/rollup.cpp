@@ -1,0 +1,60 @@
+#include "obs/rollup.hpp"
+
+#include <cstdio>
+
+#include "util/table.hpp"
+
+namespace hrf::obs {
+
+void BackendRollup::fold(const RunReport& report) {
+  ++requests;
+  queries += report.predictions.size();
+  seconds += report.seconds;
+  if (report.gpu_counters) {
+    ++gpu_runs;
+    gpu += *report.gpu_counters;
+  }
+  if (report.fpga_report) {
+    ++fpga_runs;
+    fpga_total_cycles += report.fpga_report->total_cycles;
+    fpga_pipeline_cycles += report.fpga_report->pipeline_cycles;
+  }
+}
+
+void RollupRegistry::record(const std::string& variant, const std::string& backend,
+                            std::uint64_t generation, const RunReport& report) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rollups_[RollupKey{variant, backend, generation}].fold(report);
+}
+
+std::vector<std::pair<RollupKey, BackendRollup>> RollupRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {rollups_.begin(), rollups_.end()};
+}
+
+namespace {
+std::string fixed3(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+}  // namespace
+
+std::string RollupRegistry::to_markdown() const {
+  Table t({"variant/backend/gen", "requests", "queries", "branch_eff", "txn/req", "onchip",
+           "stage1", "ii_stall_pct"});
+  for (const auto& [key, r] : snapshot()) {
+    t.row()
+        .cell(key.label())
+        .cell(r.requests)
+        .cell(r.queries)
+        .cell(r.gpu_runs ? fixed3(r.branch_efficiency()) : "-")
+        .cell(r.gpu_runs ? fixed3(r.txn_per_request()) : "-")
+        .cell(r.gpu_runs ? fixed3(r.onchip_hit_rate()) : "-")
+        .cell(r.gpu_runs ? fixed3(r.stage1_onchip_hit_rate()) : "-")
+        .cell(r.fpga_runs ? fixed3(r.fpga_stall_pct()) : "-");
+  }
+  return t.markdown();
+}
+
+}  // namespace hrf::obs

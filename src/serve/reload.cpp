@@ -84,21 +84,40 @@ ReloadReport ForestServer::reload(const ModelStore& store, std::uint64_t gen,
   rep.from_generation = generation();
   rep.to_generation = gen;
 
+  // The reload state machine is traced like a request (sampling applies):
+  // one "reload" trace with a child span per phase.
+  trace::Span rspan = tracer_.start_trace("reload");
+  if (rspan.active()) {
+    rspan.set_attr("from_generation", rep.from_generation);
+    rspan.set_attr("to_generation", rep.to_generation);
+  }
+  trace::Span phase_span;
+
   const auto finish = [&](ReloadOutcome outcome, std::string reason) {
     rep.outcome = outcome;
     rep.reason = std::move(reason);
     rep.total_seconds = total.seconds();
+    if (rspan.active()) {
+      rspan.set_attr("outcome", serve::to_string(outcome));
+      if (!rep.reason.empty()) rspan.set_attr("reason", rep.reason);
+    }
+    rspan.end();
     record_reload(rep);
     return rep;
   };
+  const auto begin_phase = [&](const char* name) {
+    phase_span = rspan.child(name);
+    return WallTimer{};
+  };
   const auto end_phase = [&](const char* name, const WallTimer& t) {
     rep.phases.push_back({name, t.seconds()});
+    phase_span.end();
   };
 
   // --- load: pull the generation off disk, full CRC + format checks ----
   LoadedModel model;
   {
-    WallTimer t;
+    WallTimer t = begin_phase("load");
     try {
       model = store.load(gen);
     } catch (const Error& e) {
@@ -115,7 +134,7 @@ ReloadReport ForestServer::reload(const ModelStore& store, std::uint64_t gen,
   auto health = std::make_shared<ModelHealth>();
   std::shared_ptr<const WorkerModel> candidate0;
   {
-    WallTimer t;
+    WallTimer t = begin_phase("validate");
     try {
       candidate0 = build_worker_model(model.forest, csr, hier, gen, health);
     } catch (const Error& e) {
@@ -127,7 +146,7 @@ ReloadReport ForestServer::reload(const ModelStore& store, std::uint64_t gen,
 
   // --- shadow: differential run against the CPU reference oracle ------
   if (opts.shadow_validation) {
-    WallTimer t;
+    WallTimer t = begin_phase("shadow");
     std::optional<Dataset> generated;
     if (opts.probe == nullptr) {
       generated = make_random_queries(opts.shadow_queries,
@@ -165,7 +184,7 @@ ReloadReport ForestServer::reload(const ModelStore& store, std::uint64_t gen,
   std::vector<std::shared_ptr<const WorkerModel>> candidates(options_.num_workers);
   candidates[0] = candidate0;
   {
-    WallTimer t;
+    WallTimer t = begin_phase("build");
     try {
       for (std::size_t w = 1; w < options_.num_workers; ++w) {
         candidates[w] = build_worker_model(model.forest, csr, hier, gen, health);
@@ -184,7 +203,7 @@ ReloadReport ForestServer::reload(const ModelStore& store, std::uint64_t gen,
   // --- canary: candidate serves on worker 0 only; it must prove itself
   // with live traffic before anyone else flips -------------------------
   if (opts.canary_success_requests > 0) {
-    WallTimer t;
+    WallTimer t = begin_phase("canary");
     install_model(0, candidates[0]);
     const SteadyClock::time_point deadline =
         SteadyClock::now() + to_duration(opts.canary_timeout_seconds);
@@ -220,7 +239,7 @@ ReloadReport ForestServer::reload(const ModelStore& store, std::uint64_t gen,
 
   // --- promote: flip every worker's slot ------------------------------
   {
-    WallTimer t;
+    WallTimer t = begin_phase("promote");
     for (std::size_t w = 0; w < options_.num_workers; ++w) install_model(w, candidates[w]);
     current_generation_.store(gen, std::memory_order_release);
     end_phase("promote", t);
@@ -228,7 +247,7 @@ ReloadReport ForestServer::reload(const ModelStore& store, std::uint64_t gen,
 
   // --- watch: post-promotion error-spike detection --------------------
   if (opts.post_promotion_watch_requests > 0) {
-    WallTimer t;
+    WallTimer t = begin_phase("watch");
     const std::uint64_t base_completed = health->completed.load(std::memory_order_relaxed);
     const std::uint64_t base_errors = health->primary_errors.load(std::memory_order_relaxed);
     const std::uint64_t base_trips = breaker_.trips();

@@ -47,6 +47,9 @@ std::string format_seconds(double s) {
 void ForestServer::validate_options() const {
   require(options_.num_workers >= 1, "num_workers must be >= 1");
   require(options_.queue_capacity >= 1, "queue_capacity must be >= 1");
+  require(options_.trace_sampling >= 0.0 && options_.trace_sampling <= 1.0,
+          "trace_sampling must be in [0, 1]");
+  require(options_.trace_capacity >= 1, "trace_capacity must be >= 1");
   require(options_.deadline_chunk_size >= 1, "deadline_chunk_size must be >= 1");
   require(options_.retry.max_retries >= 0, "retry.max_retries must be >= 0");
   require(options_.retry.backoff_base_seconds >= 0.0 &&
@@ -109,7 +112,8 @@ ForestServer::ForestServer(Forest forest, ClassifierOptions classifier_options,
     : options_(options),
       classifier_options_(classifier_options),
       slots_(options.num_workers),
-      breaker_(options.breaker) {
+      breaker_(options.breaker),
+      tracer_({options.trace_sampling, options.trace_capacity}) {
   validate_options();
   auto health = std::make_shared<ModelHealth>();
   for (std::size_t w = 0; w < options_.num_workers; ++w) {
@@ -123,7 +127,8 @@ ForestServer::ForestServer(const ModelStore& store, ClassifierOptions classifier
     : options_(options),
       classifier_options_(classifier_options),
       slots_(options.num_workers),
-      breaker_(options.breaker) {
+      breaker_(options.breaker),
+      tracer_({options.trace_sampling, options.trace_capacity}) {
   validate_options();
   const std::optional<std::uint64_t> cur = store.current();
   if (!cur) {
@@ -155,6 +160,11 @@ std::future<ServeResult> ForestServer::submit(Dataset queries) {
 std::future<ServeResult> ForestServer::submit(Dataset queries, double deadline_seconds) {
   counters_.add("requests.submitted");
   Request req;
+  req.span = tracer_.start_trace("request");
+  if (req.span.active()) {
+    req.span.set_attr("queries", static_cast<std::uint64_t>(queries.num_samples()));
+    if (deadline_seconds > 0.0) req.span.set_attr("deadline_s", deadline_seconds);
+  }
   req.queries = std::move(queries);
   req.enqueued = SteadyClock::now();
   req.has_deadline = deadline_seconds > 0.0;
@@ -164,14 +174,17 @@ std::future<ServeResult> ForestServer::submit(Dataset queries, double deadline_s
     std::lock_guard<std::mutex> lock(mu_);
     if (!accepting_) {
       counters_.add("requests.rejected_shutdown");
+      req.span.set_attr("outcome", "rejected_shutdown");
       throw ShutdownError("server is shutting down; submission rejected");
     }
     if (queue_.size() >= options_.queue_capacity) {
       counters_.add("requests.rejected_overload");
+      req.span.set_attr("outcome", "rejected_overload");
       throw OverloadError("request queue full (capacity " +
                           std::to_string(options_.queue_capacity) +
                           "); back off and retry");
     }
+    req.queue_span = req.span.child("queue");
     queue_.push_back(std::move(req));
   }
   cv_.notify_one();
@@ -227,6 +240,35 @@ bool ForestServer::ready() const {
 }
 
 bool ForestServer::healthy() const { return !worker_failed_.load(std::memory_order_relaxed); }
+
+void ForestServer::record_run(const Classifier& clf, std::uint64_t generation,
+                              const RunReport& report) {
+  rollups_.record(to_string(clf.options().variant), to_string(clf.options().backend), generation,
+                  report);
+}
+
+obs::MetricsSnapshot ForestServer::metrics_snapshot() const {
+  obs::MetricsSnapshot snap;
+  // Zero-fill the documented names first, then overlay live values: an
+  // idle server still exposes the full counter schema.
+  for (const std::string& name : obs::counter_catalogue()) snap.counters[name] = 0;
+  for (const auto& [name, value] : counters_.snapshot()) snap.counters[name] = value;
+  snap.counters["breaker.trips"] = breaker_.trips();
+  snap.counters["breaker.probes"] = breaker_.probes();
+  snap.gauges["queue_depth"] = static_cast<double>(queue_depth());
+  snap.gauges["workers"] = static_cast<double>(options_.num_workers);
+  snap.gauges["breaker_state"] = static_cast<double>(breaker_.state());
+  snap.gauges["model_generation"] =
+      static_cast<double>(current_generation_.load(std::memory_order_acquire));
+  snap.histograms = {{"queue_wait", hist_queue_wait_.snapshot()},
+                     {"execute", hist_execute_.snapshot()},
+                     {"end_to_end", hist_end_to_end_.snapshot()},
+                     {"reload", hist_reload_.snapshot()}};
+  snap.rollups = rollups_.snapshot();
+  snap.traces = tracer_.summary();
+  snap.has_traces = true;
+  return snap;
+}
 
 LatencyStats ForestServer::latency() const {
   LatencyStats s;
@@ -331,55 +373,83 @@ void ForestServer::process(std::size_t w, Request req) {
   const SteadyClock::time_point now = SteadyClock::now();
   const double queue_s = std::chrono::duration<double>(now - req.enqueued).count();
   hist_queue_wait_.record_seconds(queue_s);
+  if (req.queue_span.active()) req.queue_span.set_attr("seconds", queue_s);
+  req.queue_span.end();
+  CounterDeltas delta;
   if (req.has_deadline && now >= req.deadline) {
-    counters_.add("requests.shed_deadline");
-    counters_.add("requests.failed");
+    ++delta["requests.shed_deadline"];
+    ++delta["requests.failed"];
+    counters_.add_batch(delta);
+    req.span.set_attr("outcome", "shed_deadline");
+    req.span.end();  // retire the trace before the client's future wakes
     req.promise.set_exception(std::make_exception_ptr(DeadlineError(
         "deadline expired after " + format_seconds(queue_s) + "s in queue; shed before dispatch")));
     return;
   }
   try {
     WallTimer timer;
-    ServeResult res = execute(w, req);
+    trace::Span exec_span = req.span.child("execute");
+    if (exec_span.active()) exec_span.set_attr("worker", static_cast<std::uint64_t>(w));
+    ServeResult res = execute(w, req, exec_span, delta);
+    exec_span.end();
     res.queue_seconds = queue_s;
     res.service_seconds = timer.seconds();
     hist_execute_.record_seconds(res.service_seconds);
     hist_end_to_end_.record_seconds(queue_s + res.service_seconds);
-    counters_.add("requests.completed");
+    ++delta["requests.completed"];
+    counters_.add_batch(delta);
+    req.span.set_attr("outcome", "completed");
     if (stopping_.load(std::memory_order_relaxed)) {
       drained_after_stop_.fetch_add(1, std::memory_order_relaxed);
     }
+    // End (and retire) the root span before fulfilling the promise: once the
+    // client's future.get() returns, metrics_snapshot() must already count
+    // this trace as completed.
+    req.span.end();
     req.promise.set_value(std::move(res));
   } catch (...) {
-    counters_.add("requests.failed");
+    ++delta["requests.failed"];
+    counters_.add_batch(delta);
+    req.span.set_attr("outcome", "failed");
+    req.span.end();
     req.promise.set_exception(std::current_exception());
   }
 }
 
-ServeResult ForestServer::execute(std::size_t w, Request& req) {
+ServeResult ForestServer::execute(std::size_t w, Request& req, const trace::Span& span,
+                                  CounterDeltas& delta) {
   // One snapshot per request: a concurrent reload flips the slot pointer,
   // but this request runs start to finish on the model it grabbed here.
   const std::shared_ptr<const WorkerModel> m = model_for(w);
   ServeResult out;
   const std::string primary_desc = std::string(to_string(m->primary->options().backend)) + "/" +
                                    to_string(m->primary->options().variant);
+  if (span.active()) {
+    span.set_attr("generation", m->generation);
+    span.set_attr("primary", primary_desc);
+  }
   std::string primary_note;
   bool primary_errored = false;
-  if (breaker_.allow_request()) {
+  const bool allowed = breaker_.allow_request();
+  if (span.active()) span.set_attr("breaker", to_string(breaker_.state()));
+  if (allowed) {
     const int tries = 1 + options_.retry.max_retries;
     std::string last_error;
     for (int attempt = 0; attempt < tries; ++attempt) {
+      trace::Span attempt_span = span.child("attempt-" + std::to_string(attempt));
       try {
-        out.report = run_one(*m->primary, req);
+        out.report = run_one(*m->primary, req, attempt_span, delta);
         breaker_.record_success();
         m->health->completed.fetch_add(1, std::memory_order_relaxed);
+        record_run(*m->primary, m->generation, out.report);
         return out;
       } catch (const ResourceError& e) {
         breaker_.record_failure();
         last_error = e.what();
+        attempt_span.set_attr("error", last_error);
         if (attempt + 1 < tries) {
           ++out.retries;
-          counters_.add("requests.retried");
+          ++delta["requests.retried"];
           if (!backoff_sleep(w, attempt, req)) break;  // deadline too close
         }
       }
@@ -388,14 +458,18 @@ ServeResult ForestServer::execute(std::size_t w, Request& req) {
     primary_note = "primary " + primary_desc + " failed after " +
                    std::to_string(out.retries + 1) + " attempt(s) (" + last_error + ")";
   } else {
-    counters_.add("breaker.short_circuited");
+    ++delta["breaker.short_circuited"];
+    if (span.active()) span.set_attr("short_circuited", true);
     primary_note = "breaker open: skipped primary " + primary_desc;
   }
   // The CPU-native fallback replica — bit-identical predictions, degraded
   // latency only, recorded like every other degradation.
-  out.report = run_one(*m->fallback, req);
+  trace::Span fallback_span = span.child("fallback");
+  out.report = run_one(*m->fallback, req, fallback_span, delta);
+  fallback_span.end();
+  record_run(*m->fallback, m->generation, out.report);
   out.via_fallback = true;
-  counters_.add("fallback.served");
+  ++delta["fallback.served"];
   std::string note = "serve: " + primary_note + " -> cpu-native fallback";
   if (m->generation > 0) note += " [gen " + std::to_string(m->generation) + "]";
   out.report.degradations.push_back(std::move(note));
@@ -406,16 +480,24 @@ ServeResult ForestServer::execute(std::size_t w, Request& req) {
   return out;
 }
 
-RunReport ForestServer::run_one(const Classifier& clf, const Request& req) {
-  if (!req.has_deadline) return clf.classify(req.queries);
+RunReport ForestServer::run_one(const Classifier& clf, const Request& req,
+                                const trace::Span& span, CounterDeltas& delta) {
+  if (!req.has_deadline) {
+    RunReport r = clf.classify(req.queries);
+    if (span.active()) {
+      span.set_attr("seconds", r.seconds);
+      set_backend_span_attrs(span, r);
+    }
+    return r;
+  }
   // Time-boxed execution: chunked, cancel polled between chunks, so an
   // expired request stops burning the backend after at most one chunk.
   const SteadyClock::time_point deadline = req.deadline;
   Classifier::StreamReport s =
       clf.classify_stream(req.queries, options_.deadline_chunk_size,
-                          [deadline] { return SteadyClock::now() >= deadline; });
+                          [deadline] { return SteadyClock::now() >= deadline; }, span);
   if (!s.completed) {
-    counters_.add("requests.deadline_expired");
+    ++delta["requests.deadline_expired"];
     throw DeadlineError("deadline expired during execution (" +
                         std::to_string(s.predictions.size()) + " of " +
                         std::to_string(req.queries.num_samples()) + " queries done)");
@@ -426,6 +508,13 @@ RunReport ForestServer::run_one(const Classifier& clf, const Request& req) {
   r.simulated = s.simulated;
   r.degradations = std::move(s.degradations);
   r.latency = std::move(s.chunk_latency);
+  r.gpu_counters = std::move(s.gpu_counters);
+  r.fpga_report = std::move(s.fpga_report);
+  if (span.active()) {
+    span.set_attr("seconds", r.seconds);
+    span.set_attr("chunks", static_cast<std::uint64_t>(s.chunks));
+    set_backend_span_attrs(span, r);
+  }
   return r;
 }
 

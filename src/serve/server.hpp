@@ -55,11 +55,14 @@
 #include <vector>
 
 #include "core/classifier.hpp"
+#include "obs/exporter.hpp"
+#include "obs/rollup.hpp"
 #include "serve/circuit_breaker.hpp"
 #include "serve/reload.hpp"
 #include "util/histogram.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
+#include "util/trace.hpp"
 
 namespace hrf::serve {
 
@@ -94,6 +97,13 @@ struct ServerOptions {
   bool start_paused = false;
   /// Seed for backoff jitter (per-worker streams split from it).
   std::uint64_t seed = 42;
+  /// Request-trace sampling rate in [0, 1] (util/trace): 0 disables
+  /// tracing entirely (span operations become no-ops), 1 records every
+  /// request. Sampling is deterministic — rate r records every 1/r-th
+  /// submission.
+  double trace_sampling = 0.0;
+  /// Completed traces retained in the tracer's ring buffer.
+  std::size_t trace_capacity = 128;
 };
 
 /// One served request's outcome.
@@ -204,6 +214,17 @@ class ForestServer {
   CircuitState breaker_state() const { return breaker_.state(); }
   const ServerOptions& options() const { return options_; }
 
+  /// The request tracer (sampling per options().trace_sampling). Read
+  /// retained traces with tracer().slowest(n) / traces().
+  const trace::Tracer& tracer() const { return tracer_; }
+  /// Backend metric rollups keyed variant × backend × generation.
+  const obs::RollupRegistry& rollups() const { return rollups_; }
+  /// One consistent snapshot of everything the server exports: counters
+  /// (documented names zero-filled so idle servers expose the full
+  /// schema), gauges, per-stage latency histograms, backend rollups, and
+  /// tracer summary — ready for obs::to_prometheus / snapshot_to_json.
+  obs::MetricsSnapshot metrics_snapshot() const;
+
   // --- Model lifecycle (implemented in serve/reload.cpp) ---------------
 
   /// Atomically hot-reloads generation `gen` from `store` through the
@@ -235,6 +256,11 @@ class ForestServer {
     TimePoint enqueued;
     TimePoint deadline;  // meaningful only when has_deadline
     bool has_deadline = false;
+    /// Root span of this request's trace (inactive when unsampled) and
+    /// the queue-wait child opened at enqueue, ended at dispatch. Both
+    /// travel with the request through the queue to the worker thread.
+    trace::Span span;
+    trace::Span queue_span;
   };
 
   /// Health counters shared by every replica of one model generation;
@@ -272,14 +298,27 @@ class ForestServer {
   std::shared_ptr<const WorkerModel> model_for(std::size_t w) const;
   void install_model(std::size_t w, std::shared_ptr<const WorkerModel> m);
 
+  /// Folds one successful run into the rollup registry under the
+  /// classifier that actually served it (primary or fallback replica).
+  void record_run(const Classifier& clf, std::uint64_t generation, const RunReport& report);
+
   void record_reload(const ReloadReport& rep);
+
+  /// Per-request counter deltas, applied in one CounterRegistry
+  /// add_batch() at the end of process() — one lock acquisition per
+  /// request instead of one per counter.
+  using CounterDeltas = std::map<std::string, std::uint64_t>;
 
   void worker_loop(std::size_t w);
   void process(std::size_t w, Request req);
-  ServeResult execute(std::size_t w, Request& req);
+  ServeResult execute(std::size_t w, Request& req, const trace::Span& span,
+                      CounterDeltas& delta);
   /// One classify on `clf`, honouring the request deadline by chunked
   /// cancellable execution; throws DeadlineError on mid-run expiry.
-  RunReport run_one(const Classifier& clf, const Request& req);
+  /// Chunk child spans hang off `span`; backend counter attributes are
+  /// stamped onto it.
+  RunReport run_one(const Classifier& clf, const Request& req, const trace::Span& span,
+                    CounterDeltas& delta);
   /// Sleeps the jittered exponential backoff for `attempt`. Returns false
   /// without sleeping when the request's deadline would pass while asleep
   /// — the caller then skips straight to the fallback instead of burning
@@ -292,6 +331,8 @@ class ForestServer {
   std::vector<Xoshiro256> jitter_;        // one per worker
   CircuitBreaker breaker_;
   CounterRegistry counters_;
+  trace::Tracer tracer_;
+  obs::RollupRegistry rollups_;
   LatencyHistogram hist_queue_wait_;   // every dispatched request
   LatencyHistogram hist_execute_;      // completed requests only
   LatencyHistogram hist_end_to_end_;   // completed requests only

@@ -34,6 +34,18 @@ double HistogramSnapshot::percentile_ns(double p) const {
   return static_cast<double>(max_ns);
 }
 
+std::vector<HistogramSnapshot::CumulativeBucket> HistogramSnapshot::cumulative() const {
+  std::vector<CumulativeBucket> out;
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    running += counts[i];
+    // Native upper bounds are exclusive; Prometheus `le` is inclusive.
+    out.push_back({LatencyHistogram::bucket_upper_bound(static_cast<int>(i)) - 1, running});
+  }
+  return out;
+}
+
 void HistogramSnapshot::merge(const HistogramSnapshot& other) {
   if (counts.size() < other.counts.size()) counts.resize(other.counts.size(), 0);
   for (std::size_t i = 0; i < other.counts.size(); ++i) counts[i] += other.counts[i];

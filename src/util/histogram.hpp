@@ -46,6 +46,21 @@ struct HistogramSnapshot {
   /// so any tree of merges over the same snapshots yields identical
   /// counts/total/sum/max.
   void merge(const HistogramSnapshot& other);
+
+  /// One Prometheus-style cumulative bucket: `cumulative` observations
+  /// were <= `le_ns` (the bucket's inclusive upper bound).
+  struct CumulativeBucket {
+    std::uint64_t le_ns = 0;
+    std::uint64_t cumulative = 0;
+  };
+
+  /// Cumulative `le` buckets for Prometheus exposition: one entry per
+  /// non-empty native bucket (upper bound - 1, since native upper bounds
+  /// are exclusive), monotonically non-decreasing, with the final entry
+  /// carrying the full total (the exporter adds the `+Inf` line from
+  /// `total`). Percentiles computed from these buckets agree with
+  /// percentile_ns() to within one bucket width.
+  std::vector<CumulativeBucket> cumulative() const;
 };
 
 /// Human units for a nanosecond quantity: "850ns", "12.4us", "3.1ms", "2.0s".

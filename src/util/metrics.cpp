@@ -12,6 +12,11 @@ void CounterRegistry::add(const std::string& name, std::uint64_t delta) {
   counters_[name] += delta;
 }
 
+void CounterRegistry::add_batch(const std::map<std::string, std::uint64_t>& deltas) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, delta] : deltas) counters_[name] += delta;
+}
+
 std::uint64_t CounterRegistry::value(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = counters_.find(name);

@@ -1,0 +1,249 @@
+#include "util/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+namespace hrf::trace {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string format_ns(std::uint64_t ns) {
+  char buf[64];
+  if (ns < 1'000ULL) {
+    std::snprintf(buf, sizeof(buf), "%lluns", static_cast<unsigned long long>(ns));
+  } else if (ns < 1'000'000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", static_cast<double>(ns) / 1e3);
+  } else if (ns < 1'000'000'000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", static_cast<double>(ns) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(ns) / 1e9);
+  }
+  return buf;
+}
+
+void append_span_tree(std::string& out, const Trace& t, const SpanData& span,
+                      std::uint64_t trace_start_ns, int depth) {
+  out.append(static_cast<std::size_t>(depth) * 2, ' ');
+  out += span.name;
+  out += "  ";
+  out += span.end_ns ? format_ns(span.end_ns - span.start_ns) : "open";
+  if (span.parent_id != 0) {
+    out += "  (+";
+    out += format_ns(span.start_ns >= trace_start_ns ? span.start_ns - trace_start_ns : 0);
+    out += ")";
+  }
+  if (!span.attributes.empty()) {
+    out += "  [";
+    bool first = true;
+    for (const auto& [k, v] : span.attributes) {
+      if (!first) out += " ";
+      first = false;
+      out += k;
+      out += "=";
+      out += v;
+    }
+    out += "]";
+  }
+  out += "\n";
+  for (const SpanData& s : t.spans) {
+    if (s.parent_id == span.id) append_span_tree(out, t, s, trace_start_ns, depth + 1);
+  }
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  // Trim to a compact form: integers print without a fraction.
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string Trace::to_string() const {
+  std::string out = "trace #" + std::to_string(id) + "  " +
+                    format_ns(root().end_ns - root().start_ns) + "\n";
+  if (!spans.empty()) append_span_tree(out, *this, root(), root().start_ns, 1);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Span
+
+Span::Span(std::shared_ptr<detail::TraceContext> ctx, std::size_t index)
+    : ctx_(std::move(ctx)), index_(index), open_(true) {}
+
+Span::Span(Span&& other) noexcept
+    : ctx_(std::move(other.ctx_)), index_(other.index_), open_(other.open_) {
+  other.ctx_.reset();
+  other.open_ = false;
+}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    end();
+    ctx_ = std::move(other.ctx_);
+    index_ = other.index_;
+    open_ = other.open_;
+    other.ctx_.reset();
+    other.open_ = false;
+  }
+  return *this;
+}
+
+Span::~Span() { end(); }
+
+Span Span::child(const std::string& name) const {
+  if (!ctx_ || !open_) return Span{};
+  const std::uint64_t start = now_ns();
+  std::lock_guard<std::mutex> lock(ctx_->mu);
+  if (ctx_->finished) return Span{};
+  SpanData s;
+  s.id = ctx_->next_span_id++;
+  s.parent_id = ctx_->trace.spans[index_].id;
+  s.name = name;
+  s.start_ns = start;
+  ctx_->trace.spans.push_back(std::move(s));
+  return Span{ctx_, ctx_->trace.spans.size() - 1};
+}
+
+void Span::set_attr(const std::string& key, std::string value) const {
+  if (!ctx_ || !open_) return;
+  std::lock_guard<std::mutex> lock(ctx_->mu);
+  if (ctx_->finished) return;
+  ctx_->trace.spans[index_].attributes.emplace_back(key, std::move(value));
+}
+
+void Span::set_attr(const std::string& key, const char* value) const {
+  set_attr(key, std::string(value));
+}
+
+void Span::set_attr(const std::string& key, double value) const {
+  set_attr(key, format_double(value));
+}
+
+void Span::set_attr(const std::string& key, std::uint64_t value) const {
+  set_attr(key, std::to_string(value));
+}
+
+void Span::set_attr(const std::string& key, std::int64_t value) const {
+  set_attr(key, std::to_string(value));
+}
+
+void Span::set_attr(const std::string& key, bool value) const {
+  set_attr(key, std::string(value ? "true" : "false"));
+}
+
+void Span::end() {
+  if (!ctx_ || !open_) return;
+  open_ = false;
+  const std::uint64_t end = now_ns();
+  bool retire_trace = false;
+  Trace finished;
+  Tracer* tracer = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(ctx_->mu);
+    if (!ctx_->finished) {
+      SpanData& s = ctx_->trace.spans[index_];
+      if (s.end_ns == 0) s.end_ns = end;
+      if (s.parent_id == 0) {
+        // Root span closed: stamp any still-open children so the
+        // exported trace never contains dangling intervals, then retire.
+        for (SpanData& child : ctx_->trace.spans) {
+          if (child.end_ns == 0) child.end_ns = end;
+        }
+        ctx_->finished = true;
+        finished = std::move(ctx_->trace);
+        tracer = ctx_->tracer;
+        retire_trace = true;
+      }
+    }
+  }
+  if (retire_trace && tracer) tracer->retire(std::move(finished));
+  ctx_.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+Span Tracer::start_trace(const std::string& name) {
+  const std::uint64_t n = started_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const double rate = std::clamp(options_.sampling, 0.0, 1.0);
+  // Deterministic sampler: trace n is recorded iff the integer part of
+  // n*rate advanced, which spreads samples evenly (rate 0.25 -> every
+  // 4th trace) and makes 0.0 / 1.0 exactly none / all.
+  if (std::floor(static_cast<double>(n) * rate) <=
+      std::floor(static_cast<double>(n - 1) * rate)) {
+    return Span{};
+  }
+  auto ctx = std::make_shared<detail::TraceContext>();
+  ctx->tracer = this;
+  SpanData root;
+  root.name = name;
+  root.start_ns = now_ns();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++sampled_;
+    ctx->trace.id = next_trace_id_++;
+  }
+  root.id = ctx->next_span_id++;
+  ctx->trace.spans.push_back(std::move(root));
+  return Span{std::move(ctx), 0};
+}
+
+void Tracer::retire(Trace&& t) {
+  auto done = std::make_shared<const Trace>(std::move(t));
+  std::lock_guard<std::mutex> lock(mu_);
+  ++completed_;
+  ring_.push_back(std::move(done));
+  while (ring_.size() > options_.capacity) {
+    ring_.pop_front();
+    ++evicted_;
+  }
+}
+
+std::vector<std::shared_ptr<const Trace>> Tracer::traces() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::vector<std::shared_ptr<const Trace>> Tracer::slowest(std::size_t n) const {
+  std::vector<std::shared_ptr<const Trace>> all = traces();
+  std::stable_sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    return a->duration_seconds() > b->duration_seconds();
+  });
+  if (all.size() > n) all.resize(n);
+  return all;
+}
+
+TracerSummary Tracer::summary() const {
+  TracerSummary s;
+  s.started = started_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  s.sampled = sampled_;
+  s.completed = completed_;
+  s.evicted = evicted_;
+  s.retained = ring_.size();
+  s.sampling = options_.sampling;
+  s.capacity = options_.capacity;
+  return s;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+}
+
+}  // namespace hrf::trace

@@ -1,0 +1,179 @@
+#pragma once
+
+// Low-overhead in-process request tracing (docs/observability.md).
+//
+// A Tracer hands out sampled traces; each trace is a tree of timed spans
+// with string attributes, assembled concurrently from any thread (the
+// serving layer opens the root at admission on the client thread and the
+// execute/chunk children on a worker thread). Completed traces land in a
+// bounded ring buffer for later export — `hrf_cli trace` pretty-prints
+// the slowest retained traces as a span tree.
+//
+// Overhead model: an *unsampled* trace costs one relaxed fetch_add at
+// start_trace() and nothing afterwards — every Span operation on an
+// inactive handle is an inline null-pointer check. A sampled trace takes
+// one short mutex-guarded critical section per span operation (the mutex
+// is per-trace, so concurrent requests never contend with each other).
+// Sampling is deterministic (counter-based, not RNG): rate 0.25 records
+// exactly every 4th trace, which keeps tests and overhead benchmarks
+// reproducible.
+//
+// Timestamps come from the monotonic steady clock, so span durations are
+// immune to wall-clock adjustments.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hrf::trace {
+
+/// One completed (or still-open, if exported mid-flight) span.
+struct SpanData {
+  std::uint64_t id = 0;
+  std::uint64_t parent_id = 0;  // 0 = root span
+  std::string name;
+  std::uint64_t start_ns = 0;  // steady-clock nanoseconds
+  std::uint64_t end_ns = 0;    // 0 while still open
+  std::vector<std::pair<std::string, std::string>> attributes;
+
+  double seconds() const {
+    return end_ns > start_ns ? static_cast<double>(end_ns - start_ns) / 1e9 : 0.0;
+  }
+};
+
+/// One finished trace: the root span plus every descendant, in creation
+/// order (spans[0] is the root).
+struct Trace {
+  std::uint64_t id = 0;
+  std::vector<SpanData> spans;
+
+  const SpanData& root() const { return spans.front(); }
+  double duration_seconds() const { return root().seconds(); }
+
+  /// Indented span tree with per-span duration, offset from the trace
+  /// start, and [key=value ...] attributes — the `hrf_cli trace` format.
+  std::string to_string() const;
+};
+
+struct TracerOptions {
+  /// Fraction of traces recorded, in [0, 1]. 0 disables tracing (spans
+  /// become no-ops); 1 records everything.
+  double sampling = 0.0;
+  /// Completed traces retained (ring buffer; oldest evicted first).
+  std::size_t capacity = 128;
+};
+
+/// Point-in-time tracer statistics (exported with the metrics snapshot).
+struct TracerSummary {
+  std::uint64_t started = 0;    // start_trace() calls
+  std::uint64_t sampled = 0;    // traces that were recorded
+  std::uint64_t completed = 0;  // sampled traces whose root span ended
+  std::uint64_t evicted = 0;    // completed traces pushed out of the ring
+  std::size_t retained = 0;     // currently in the ring
+  double sampling = 0.0;
+  std::size_t capacity = 0;
+};
+
+class Tracer;
+
+namespace detail {
+/// Shared mutable state of one in-flight sampled trace. Span handles on
+/// any thread append/mutate under the per-trace mutex; when the root
+/// span ends the assembled Trace retires into the tracer's ring.
+struct TraceContext {
+  Tracer* tracer = nullptr;
+  std::mutex mu;
+  Trace trace;
+  std::uint64_t next_span_id = 1;
+  bool finished = false;
+};
+}  // namespace detail
+
+/// RAII handle to one span. Default-constructed (or unsampled) handles
+/// are inactive: every operation is a no-op, so call sites never branch
+/// on sampling themselves. Movable, not copyable; destruction ends the
+/// span if end() was not called explicitly.
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& other) noexcept;
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+  /// True when this span belongs to a sampled trace.
+  bool active() const { return ctx_ != nullptr; }
+
+  /// Opens a child span (inactive when this span is inactive or ended).
+  Span child(const std::string& name) const;
+
+  // Attribute setters are const: they mutate the shared trace record the
+  // handle points at, not the handle itself (like writing through a
+  // pointer-to-mutable from a const pointer member).
+  void set_attr(const std::string& key, std::string value) const;
+  void set_attr(const std::string& key, const char* value) const;
+  void set_attr(const std::string& key, double value) const;
+  void set_attr(const std::string& key, std::uint64_t value) const;
+  void set_attr(const std::string& key, std::int64_t value) const;
+  void set_attr(const std::string& key, bool value) const;
+
+  /// Stamps the end timestamp. Idempotent; ending the root span retires
+  /// the whole trace into the tracer's ring buffer.
+  void end();
+
+ private:
+  friend class Tracer;
+  Span(std::shared_ptr<detail::TraceContext> ctx, std::size_t index);
+
+  std::shared_ptr<detail::TraceContext> ctx_;
+  std::size_t index_ = 0;
+  bool open_ = false;
+};
+
+/// Thread-safe trace factory + bounded retention ring.
+class Tracer {
+ public:
+  Tracer() = default;
+  explicit Tracer(TracerOptions options) : options_(options) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Begins a trace whose root span is `name`. Returns an inactive Span
+  /// when the deterministic sampler skips this trace.
+  Span start_trace(const std::string& name);
+
+  /// Completed traces currently retained, oldest first.
+  std::vector<std::shared_ptr<const Trace>> traces() const;
+
+  /// The `n` slowest retained traces, slowest first.
+  std::vector<std::shared_ptr<const Trace>> slowest(std::size_t n) const;
+
+  TracerSummary summary() const;
+
+  /// Drops every retained trace (counters keep accumulating).
+  void clear();
+
+  const TracerOptions& options() const { return options_; }
+
+ private:
+  friend class Span;
+  void retire(Trace&& t);
+
+  TracerOptions options_{};
+  std::atomic<std::uint64_t> started_{0};
+  mutable std::mutex mu_;  // guards everything below
+  std::uint64_t sampled_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t evicted_ = 0;
+  std::uint64_t next_trace_id_ = 1;
+  std::deque<std::shared_ptr<const Trace>> ring_;
+};
+
+}  // namespace hrf::trace

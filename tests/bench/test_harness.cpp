@@ -130,6 +130,43 @@ BenchReport two_case_report() {
   return r;
 }
 
+TEST(BenchHarness, TraceOverheadRoundTripsThroughJson) {
+  BenchReport report = run_sweep(tiny_sweep());
+  TraceOverheadResult t;
+  t.requests = 200;
+  t.batch = 1024;
+  t.p95_off_ns = 500'000.0;
+  t.p95_on_ns = 510'000.0;
+  t.ratio = 1.02;
+  report.trace_overhead = t;
+  const BenchReport back = report_from_json(to_json(report));
+  ASSERT_TRUE(back.trace_overhead.has_value());
+  EXPECT_EQ(back.trace_overhead->requests, 200u);
+  EXPECT_EQ(back.trace_overhead->batch, 1024u);
+  EXPECT_DOUBLE_EQ(back.trace_overhead->p95_on_ns, 510'000.0);
+  EXPECT_DOUBLE_EQ(back.trace_overhead->ratio, 1.02);
+
+  // A report without the case stays readable (older baselines).
+  report.trace_overhead.reset();
+  EXPECT_FALSE(report_from_json(to_json(report)).trace_overhead.has_value());
+}
+
+TEST(BenchHarness, MeasureTraceOverheadProducesSaneNumbers) {
+  TraceOverheadOptions opt;
+  opt.requests = 8;  // smoke-scale; the real gate runs via ctest -L bench
+  opt.batch = 64;
+  opt.num_workers = 1;
+  opt.chunk_size = 32;
+  opt.forest.num_trees = 4;
+  opt.forest.max_depth = 5;
+  opt.forest.num_features = 8;
+  const TraceOverheadResult r = measure_trace_overhead(opt);
+  EXPECT_EQ(r.requests, 8u);
+  EXPECT_GT(r.p95_off_ns, 0.0);
+  EXPECT_GT(r.p95_on_ns, 0.0);
+  EXPECT_GT(r.ratio, 0.0);
+}
+
 TEST(BenchCompare, IdenticalReportsPass) {
   const BenchReport r = two_case_report();
   const CompareResult cmp = compare_reports(r, r, 0.25);
@@ -155,6 +192,34 @@ TEST(BenchCompare, RegressionPastToleranceFails) {
   ASSERT_EQ(cmp.regressions.size(), 1u);
   EXPECT_EQ(cmp.regressions[0].key, "hybrid/fpga-sim/64");
   EXPECT_NEAR(cmp.regressions[0].ratio, 1.3, 1e-9);
+}
+
+TEST(BenchCompare, TraceOverheadGateTripsPastTolerance) {
+  const BenchReport base = two_case_report();
+  BenchReport cur = base;
+  TraceOverheadResult t;
+  t.p95_off_ns = 100'000.0;
+  t.p95_on_ns = 108'000.0;
+  t.ratio = 1.08;  // 8% > 5% default
+  cur.trace_overhead = t;
+  const CompareResult cmp = compare_reports(base, cur, 0.25);
+  EXPECT_FALSE(cmp.passed());
+  EXPECT_FALSE(cmp.trace_overhead_ok);
+  EXPECT_NEAR(cmp.trace_overhead_ratio, 1.08, 1e-12);
+  // Within a widened tolerance the same report passes.
+  EXPECT_TRUE(compare_reports(base, cur, 0.25, 0.10).passed());
+}
+
+TEST(BenchCompare, TraceOverheadAbsentOrWithinToleranceIsOk) {
+  const BenchReport base = two_case_report();
+  EXPECT_TRUE(compare_reports(base, base, 0.25).trace_overhead_ok);
+  BenchReport cur = base;
+  TraceOverheadResult t;
+  t.ratio = 1.03;
+  cur.trace_overhead = t;
+  const CompareResult cmp = compare_reports(base, cur, 0.25);
+  EXPECT_TRUE(cmp.trace_overhead_ok);
+  EXPECT_TRUE(cmp.passed());
 }
 
 TEST(BenchCompare, ImprovementNeverFails) {

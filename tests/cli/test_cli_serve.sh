@@ -74,6 +74,48 @@ fi
 check "classifier degradations reach responses" "sample degradation:" "$DIR/transient.log"
 check "transient run shuts down cleanly" "serve: clean shutdown" "$DIR/transient.log"
 
+# --- Telemetry surface: traced serve + metrics export + schema check -----
+if "$CLI" --mode serve --model "$DIR/m.hrff" --data "$DIR/d.hrfd" \
+       --backend gpu-sim --variant hybrid --sd 4 \
+       --trace-sample 1.0 --trace-top 2 --metrics-out "$DIR/metrics.prom" \
+       --workers 2 --clients 2 --requests 4 --batch 128 > "$DIR/traced.log" 2>&1; then
+  echo "ok: traced serve exits 0"
+else
+  echo "FAIL: traced serve exited nonzero"
+  FAILURES=$((FAILURES + 1))
+fi
+check "rollup table printed on drain" "variant/backend/gen" "$DIR/traced.log"
+check "trace summary printed" "traces:" "$DIR/traced.log"
+check "slowest traces render as span trees" "outcome=completed" "$DIR/traced.log"
+check "metrics files written" "metrics written to" "$DIR/traced.log"
+[ -f "$DIR/metrics.prom" ] || { echo "FAIL: metrics.prom missing"; FAILURES=$((FAILURES + 1)); }
+[ -f "$DIR/metrics.prom.json" ] || { echo "FAIL: metrics.prom.json missing"; FAILURES=$((FAILURES + 1)); }
+check "prometheus export carries rollup gauges" "hrf_backend_branch_efficiency" "$DIR/metrics.prom"
+check "prometheus export carries stage-1 hit rate" "hrf_backend_stage1_onchip_hit_rate" "$DIR/metrics.prom"
+check "prometheus export labels the served variant" 'variant="hybrid"' "$DIR/metrics.prom"
+check "json export uses the metrics schema" "hrf-metrics" "$DIR/metrics.prom.json"
+
+if "$CLI" --mode metrics-check --metrics "$DIR/metrics.prom" > "$DIR/mcheck.log" 2>&1; then
+  echo "ok: metrics-check passes on the serve export"
+else
+  echo "FAIL: metrics-check rejected the serve export"
+  FAILURES=$((FAILURES + 1))
+fi
+check "metrics-check reports the catalogue" "catalogued families" "$DIR/mcheck.log"
+
+# --- Trace mode: single-shot traced requests with per-chunk spans --------
+if "$CLI" --mode trace --model "$DIR/m.hrff" --data "$DIR/d.hrfd" \
+       --backend gpu-sim --variant hybrid --sd 4 \
+       --requests 3 --batch 128 --chunk 32 > "$DIR/trace.log" 2>&1; then
+  echo "ok: trace mode exits 0"
+else
+  echo "FAIL: trace mode exited nonzero"
+  FAILURES=$((FAILURES + 1))
+fi
+check "trace mode renders chunk spans" "chunk-0" "$DIR/trace.log"
+check "chunk spans carry gpu counters" "gpu.branch_efficiency" "$DIR/trace.log"
+check "request roots carry outcomes" "outcome=completed" "$DIR/trace.log"
+
 # Error path: serving without a model must fail cleanly, not crash.
 if "$CLI" --mode serve --model /nonexistent.hrff --data "$DIR/d.hrfd" > "$DIR/err.log" 2>&1; then
   echo "FAIL: missing model should exit nonzero"

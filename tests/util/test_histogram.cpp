@@ -115,6 +115,59 @@ TEST(LatencyHistogram, RecordSecondsConverts) {
   EXPECT_EQ(s.max_ns, 1500u);
 }
 
+// --- Cumulative (Prometheus) buckets -------------------------------------
+
+TEST(LatencyHistogram, CumulativeBucketsRunningSumMatchesTotal) {
+  LatencyHistogram h;
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 5000; ++i) h.record_ns(rng.bounded(1u << 24));
+  const HistogramSnapshot s = h.snapshot();
+  const auto buckets = s.cumulative();
+  ASSERT_FALSE(buckets.empty());
+  // Monotone non-decreasing, inclusive upper bounds, final bucket == total.
+  for (std::size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_GE(buckets[i].cumulative, buckets[i - 1].cumulative);
+    EXPECT_GT(buckets[i].le_ns, buckets[i - 1].le_ns);
+  }
+  EXPECT_EQ(buckets.back().cumulative, s.total);
+}
+
+TEST(LatencyHistogram, PercentilesFromCumulativeBucketsMatchNative) {
+  // Cross-check: percentile_ns() recomputed from the Prometheus-style
+  // cumulative buckets must agree with the native implementation to
+  // within one bucket width (both quantize to bucket bounds).
+  LatencyHistogram h;
+  Xoshiro256 rng(23);
+  for (int i = 0; i < 20000; ++i) h.record_ns(100 + rng.bounded(1u << 22));
+  const HistogramSnapshot s = h.snapshot();
+  const auto buckets = s.cumulative();
+
+  const auto percentile_from_buckets = [&](double p) {
+    const double rank = p / 100.0 * static_cast<double>(s.total);
+    for (const HistogramSnapshot::CumulativeBucket& b : buckets) {
+      if (static_cast<double>(b.cumulative) >= rank) {
+        return static_cast<double>(b.le_ns);
+      }
+    }
+    return static_cast<double>(buckets.back().le_ns);
+  };
+
+  for (const double p : {10.0, 50.0, 90.0, 95.0, 99.0}) {
+    const double native = s.percentile_ns(p);
+    const double from_buckets = percentile_from_buckets(p);
+    // An inclusive `le` bound sits one below the native bucket's exclusive
+    // upper bound; both must land inside the same bucket.
+    const int native_idx = LatencyHistogram::bucket_index(static_cast<std::uint64_t>(native));
+    const int bucket_idx =
+        LatencyHistogram::bucket_index(static_cast<std::uint64_t>(from_buckets));
+    EXPECT_EQ(native_idx, bucket_idx) << "p" << p;
+  }
+}
+
+TEST(LatencyHistogram, CumulativeOfEmptyIsEmpty) {
+  EXPECT_TRUE(LatencyHistogram{}.snapshot().cumulative().empty());
+}
+
 // --- Merge ---------------------------------------------------------------
 
 HistogramSnapshot make_snapshot(std::uint64_t seed, int n) {

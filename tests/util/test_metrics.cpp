@@ -82,6 +82,37 @@ TEST(CounterRegistry, CountsAndSnapshots) {
   EXPECT_NE(md.find("5"), std::string::npos);
 }
 
+TEST(CounterRegistry, AddBatchAppliesEveryDelta) {
+  CounterRegistry reg;
+  reg.add("requests.completed", 2);
+  reg.add_batch({{"requests.completed", 3}, {"requests.retried", 7}});
+  reg.add_batch({});  // empty batch is a no-op
+  EXPECT_EQ(reg.value("requests.completed"), 5u);
+  EXPECT_EQ(reg.value("requests.retried"), 7u);
+  EXPECT_EQ(reg.snapshot().size(), 2u);
+}
+
+TEST(CounterRegistry, ConcurrentBatchesLoseNothing) {
+  // The serving hot path accumulates per-request deltas locally and flushes
+  // them with one add_batch; interleaved batches must still sum exactly.
+  constexpr int kThreads = 8;
+  constexpr int kBatchesPerThread = 1000;
+  CounterRegistry reg;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      for (int i = 0; i < kBatchesPerThread; ++i) {
+        reg.add_batch({{"requests.completed", 1}, {"requests.retried", 2}});
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(reg.value("requests.completed"),
+            static_cast<std::uint64_t>(kThreads * kBatchesPerThread));
+  EXPECT_EQ(reg.value("requests.retried"),
+            static_cast<std::uint64_t>(kThreads * kBatchesPerThread * 2));
+}
+
 TEST(CounterRegistry, ConcurrentAddsLoseNothing) {
   constexpr int kThreads = 8;
   constexpr int kAddsPerThread = 2000;

@@ -1,0 +1,251 @@
+#include "util/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace hrf::trace {
+namespace {
+
+// --- Sampling ------------------------------------------------------------
+
+TEST(Tracer, ZeroSamplingRecordsNothing) {
+  Tracer tracer({0.0, 16});
+  for (int i = 0; i < 10; ++i) {
+    Span s = tracer.start_trace("request");
+    EXPECT_FALSE(s.active());
+    s.set_attr("ignored", std::uint64_t{1});  // no-ops must be safe
+    Span c = s.child("never");
+    EXPECT_FALSE(c.active());
+  }
+  const TracerSummary sum = tracer.summary();
+  EXPECT_EQ(sum.started, 10u);
+  EXPECT_EQ(sum.sampled, 0u);
+  EXPECT_EQ(sum.retained, 0u);
+}
+
+TEST(Tracer, FullSamplingRecordsEverything) {
+  Tracer tracer({1.0, 16});
+  for (int i = 0; i < 5; ++i) {
+    Span s = tracer.start_trace("request");
+    EXPECT_TRUE(s.active());
+  }
+  const TracerSummary sum = tracer.summary();
+  EXPECT_EQ(sum.started, 5u);
+  EXPECT_EQ(sum.sampled, 5u);
+  EXPECT_EQ(sum.completed, 5u);  // destructor ended each root
+  EXPECT_EQ(sum.retained, 5u);
+}
+
+TEST(Tracer, FractionalSamplingIsDeterministic) {
+  // Counter-based sampler: rate 0.25 over 100 traces records exactly 25,
+  // and the pattern is identical run to run (no RNG).
+  Tracer tracer({0.25, 128});
+  std::vector<bool> pattern;
+  for (int i = 0; i < 100; ++i) pattern.push_back(tracer.start_trace("t").active());
+  EXPECT_EQ(tracer.summary().sampled, 25u);
+
+  Tracer again({0.25, 128});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(again.start_trace("t").active(), pattern[static_cast<std::size_t>(i)]) << i;
+  }
+}
+
+// --- Span tree structure -------------------------------------------------
+
+TEST(Span, ParentChildLinksAndAttributes) {
+  Tracer tracer({1.0, 4});
+  {
+    Span root = tracer.start_trace("request");
+    root.set_attr("queries", std::uint64_t{256});
+    Span queue = root.child("queue");
+    queue.set_attr("seconds", 0.5);
+    queue.end();
+    Span exec = root.child("execute");
+    Span chunk = exec.child("chunk-0");
+    chunk.set_attr("ok", true);
+    chunk.end();
+    exec.end();
+    root.end();
+  }
+  const auto traces = tracer.traces();
+  ASSERT_EQ(traces.size(), 1u);
+  const Trace& t = *traces[0];
+  ASSERT_EQ(t.spans.size(), 4u);
+
+  const SpanData& root = t.spans[0];
+  EXPECT_EQ(root.name, "request");
+  EXPECT_EQ(root.parent_id, 0u);
+  ASSERT_EQ(root.attributes.size(), 1u);
+  EXPECT_EQ(root.attributes[0].first, "queries");
+  EXPECT_EQ(root.attributes[0].second, "256");
+
+  EXPECT_EQ(t.spans[1].name, "queue");
+  EXPECT_EQ(t.spans[1].parent_id, root.id);
+  EXPECT_EQ(t.spans[2].name, "execute");
+  EXPECT_EQ(t.spans[2].parent_id, root.id);
+  EXPECT_EQ(t.spans[3].name, "chunk-0");
+  EXPECT_EQ(t.spans[3].parent_id, t.spans[2].id);
+  EXPECT_EQ(t.spans[3].attributes[0].second, "true");
+}
+
+TEST(Span, EndIsIdempotentAndTimestampsAreMonotonic) {
+  Tracer tracer({1.0, 4});
+  Span root = tracer.start_trace("r");
+  Span child = root.child("c");
+  child.end();
+  child.end();  // second end must not move the timestamp
+  root.end();
+  const auto traces = tracer.traces();
+  ASSERT_EQ(traces.size(), 1u);
+  const Trace& t = *traces[0];
+  EXPECT_GE(t.spans[1].start_ns, t.spans[0].start_ns);
+  EXPECT_GE(t.spans[1].end_ns, t.spans[1].start_ns);
+  EXPECT_GE(t.spans[0].end_ns, t.spans[1].end_ns);
+}
+
+TEST(Span, RootEndClosesOpenChildren) {
+  Tracer tracer({1.0, 4});
+  Span root = tracer.start_trace("r");
+  Span child = root.child("left-open");
+  root.end();  // retires the trace; the open child gets stamped
+  const auto traces = tracer.traces();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_GT(traces[0]->spans[1].end_ns, 0u);
+  // A child handle outliving the finished trace must be inert.
+  child.set_attr("late", std::uint64_t{1});
+  child.end();
+  EXPECT_FALSE(root.child("after-finish").active());
+}
+
+TEST(Span, MoveTransfersOwnership) {
+  Tracer tracer({1.0, 4});
+  Span root = tracer.start_trace("r");
+  Span moved = std::move(root);
+  EXPECT_FALSE(root.active());  // NOLINT(bugprone-use-after-move): testing the contract
+  EXPECT_TRUE(moved.active());
+  moved.end();
+  EXPECT_EQ(tracer.summary().completed, 1u);
+}
+
+// --- Retention ring ------------------------------------------------------
+
+TEST(Tracer, RingEvictsOldestBeyondCapacity) {
+  Tracer tracer({1.0, 3});
+  for (int i = 0; i < 8; ++i) tracer.start_trace("t").end();
+  const TracerSummary sum = tracer.summary();
+  EXPECT_EQ(sum.completed, 8u);
+  EXPECT_EQ(sum.evicted, 5u);
+  EXPECT_EQ(sum.retained, 3u);
+  const auto traces = tracer.traces();
+  ASSERT_EQ(traces.size(), 3u);
+  EXPECT_LT(traces[0]->id, traces[2]->id);  // oldest first, newest kept
+}
+
+TEST(Tracer, SlowestSortsByDuration) {
+  Tracer tracer({1.0, 8});
+  const auto spin_ns = [](std::uint64_t ns) {
+    const auto until = std::chrono::steady_clock::now() + std::chrono::nanoseconds(ns);
+    while (std::chrono::steady_clock::now() < until) {
+    }
+  };
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    Span s = tracer.start_trace("t");
+    spin_ns(i * 200'000);
+    s.end();
+  }
+  const auto top = tracer.slowest(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_GE(top[0]->duration_seconds(), top[1]->duration_seconds());
+  const auto all = tracer.slowest(100);  // n beyond retained clamps
+  EXPECT_EQ(all.size(), 4u);
+  EXPECT_GE(all.front()->duration_seconds(), all.back()->duration_seconds());
+}
+
+TEST(Tracer, ClearDropsTracesButKeepsCounters) {
+  Tracer tracer({1.0, 8});
+  for (int i = 0; i < 3; ++i) tracer.start_trace("t").end();
+  tracer.clear();
+  EXPECT_EQ(tracer.summary().retained, 0u);
+  EXPECT_EQ(tracer.summary().completed, 3u);
+}
+
+// --- Rendering -----------------------------------------------------------
+
+TEST(Trace, ToStringRendersIndentedTreeWithAttrs) {
+  Tracer tracer({1.0, 4});
+  Span root = tracer.start_trace("request");
+  root.set_attr("outcome", "completed");
+  Span exec = root.child("execute");
+  Span chunk = exec.child("chunk-0");
+  chunk.set_attr("queries", std::uint64_t{64});
+  chunk.end();
+  exec.end();
+  root.end();
+  const std::string text = tracer.traces()[0]->to_string();
+  EXPECT_NE(text.find("request"), std::string::npos);
+  EXPECT_NE(text.find("outcome=completed"), std::string::npos);
+  EXPECT_NE(text.find("  execute"), std::string::npos);
+  EXPECT_NE(text.find("    chunk-0"), std::string::npos);
+  EXPECT_NE(text.find("queries=64"), std::string::npos);
+}
+
+// --- Concurrency ---------------------------------------------------------
+
+TEST(Tracer, ConcurrentSpanCreationAndExport) {
+  // 8 threads each complete traces with children while a reader thread
+  // exports concurrently; run under TSan via tools/check.sh.
+  Tracer tracer({1.0, 32});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (const auto& t : tracer.slowest(4)) (void)t->to_string();
+      (void)tracer.summary();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kThreads; ++w) {
+    writers.emplace_back([&tracer, w] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Span root = tracer.start_trace("request");
+        root.set_attr("thread", static_cast<std::uint64_t>(w));
+        Span child = root.child("work");
+        child.set_attr("i", static_cast<std::uint64_t>(i));
+        child.end();
+        root.end();
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  const TracerSummary sum = tracer.summary();
+  EXPECT_EQ(sum.started, static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(sum.completed, sum.sampled);
+  EXPECT_EQ(sum.retained, 32u);
+}
+
+TEST(Tracer, CrossThreadSpansLandInOneTrace) {
+  // The serving pattern: root opened on the client thread, children on a
+  // worker thread.
+  Tracer tracer({1.0, 4});
+  Span root = tracer.start_trace("request");
+  std::thread worker([&] {
+    Span exec = root.child("execute");
+    exec.set_attr("worker", std::uint64_t{0});
+    exec.end();
+  });
+  worker.join();
+  root.end();
+  const auto traces = tracer.traces();
+  ASSERT_EQ(traces.size(), 1u);
+  ASSERT_EQ(traces[0]->spans.size(), 2u);
+  EXPECT_EQ(traces[0]->spans[1].name, "execute");
+}
+
+}  // namespace
+}  // namespace hrf::trace

@@ -5,7 +5,10 @@
 #
 # The plain build also runs a reload-chaos step: a publisher killed
 # mid-write (crash:publish / crash:manifest fault sites) must leave the
-# versioned model store recoverable and still serveable.
+# versioned model store recoverable and still serveable — and a
+# metrics-schema step: a traced serve run must export Prometheus + JSON
+# files that hrf_cli --mode metrics-check accepts against the documented
+# metric catalogue (docs/observability.md).
 #
 # Usage: tools/check.sh [--plain-only|--sanitize-only|--tsan-only]
 set -euo pipefail
@@ -65,10 +68,30 @@ reload_chaos() {  # reload_chaos <build-dir>
   echo "reload-chaos: store survived both crash sites"
 }
 
+metrics_schema() {  # metrics_schema <build-dir>
+  local cli="$1/tools/hrf_cli"
+  local dir; dir="$(mktemp -d)"
+  echo "=== metrics-schema ($cli) ==="
+  "$cli" --mode gen --dataset susy --samples 1500 --out "$dir/d.hrfd" > /dev/null
+  "$cli" --mode train --data "$dir/d.hrfd" --trees 6 --depth 7 --out "$dir/m.hrff" > /dev/null
+  "$cli" --mode serve --data "$dir/d.hrfd" --model "$dir/m.hrff" \
+         --backend gpu-sim --variant hybrid --sd 4 \
+         --trace-sample 1.0 --metrics-out "$dir/metrics.prom" \
+         --workers 2 --clients 2 --requests 3 --batch 64 > "$dir/serve.log" 2>&1 || {
+    echo "metrics-schema: traced serve run failed" >&2
+    cat "$dir/serve.log" >&2; rm -rf "$dir"; return 1; }
+  "$cli" --mode metrics-check --metrics "$dir/metrics.prom" || {
+    echo "metrics-schema: exported metrics failed the schema check" >&2
+    rm -rf "$dir"; return 1; }
+  rm -rf "$dir"
+  echo "metrics-schema: export matches the documented catalogue"
+}
+
 case "$MODE" in
   all|--plain-only)
     run_suite build
     reload_chaos build
+    metrics_schema build
     ;;&
   all|--sanitize-only)
     # Sanitized configs keep examples/tools on so the CLI end-to-end test
@@ -84,11 +107,11 @@ case "$MODE" in
     echo "=== configure build-tsan ==="
     cmake -B build-tsan -S . -DHRF_BUILD_BENCHES=OFF "-DHRF_SANITIZE=thread"
     echo "=== build build-tsan ==="
-    cmake --build build-tsan -j "$JOBS" --target test_server test_circuit_breaker test_fault test_metrics test_histogram test_model_store test_reload
+    cmake --build build-tsan -j "$JOBS" --target test_server test_circuit_breaker test_fault test_metrics test_histogram test_model_store test_reload test_trace test_obs
     echo "=== test build-tsan (concurrency suites) ==="
     OMP_NUM_THREADS=1 TSAN_OPTIONS="halt_on_error=1" \
       ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-            -R '(ForestServer|CircuitBreaker|FaultInjector|CounterRegistry|LatencyHistogram|ModelStore|ModelReload)'
+            -R '(ForestServer|CircuitBreaker|FaultInjector|CounterRegistry|LatencyHistogram|ModelStore|ModelReload|Tracer|Span\.|Trace\.|RollupRegistry|BackendRollup)'
     ;;&
   all|--plain-only|--sanitize-only|--tsan-only)
     echo "check.sh: all requested suites passed"

@@ -57,7 +57,9 @@
 #include "bench/harness.hpp"
 #include "core/hrf.hpp"
 #include "forest/importance.hpp"
+#include "obs/exporter.hpp"
 #include "serve/model_store.hpp"
+#include "util/atomic_file.hpp"
 #include "util/cli.hpp"
 #include "util/fault.hpp"
 #include "util/metrics.hpp"
@@ -285,7 +287,21 @@ int mode_bench(const CliArgs& args) {
   opt.layout.subtree_depth = static_cast<int>(args.get_int("sd", 6));
   opt.layout.root_subtree_depth = static_cast<int>(args.get_int("rsd", 0));
 
-  const bench::BenchReport report = bench::run_sweep(opt);
+  bench::BenchReport report = bench::run_sweep(opt);
+
+  if (args.get_flag("trace-overhead")) {
+    // The overhead case keeps its own fixed forest/batch defaults (rather
+    // than inheriting the sweep's) so the ratio is comparable across runs:
+    // on a too-small workload one histogram bucket already reads as >5%.
+    bench::TraceOverheadOptions topt;
+    topt.requests = static_cast<std::size_t>(args.get_int("trace-requests", 200));
+    topt.query_seed = opt.query_seed;
+    report.trace_overhead = bench::measure_trace_overhead(topt);
+    std::printf("trace overhead: serve p95 %.0f ns (sampling 0.0) -> %.0f ns (sampling 1.0), "
+                "ratio %.3f\n",
+                report.trace_overhead->p95_off_ns, report.trace_overhead->p95_on_ns,
+                report.trace_overhead->ratio);
+  }
 
   Table t({"variant", "backend", "batch", "p50 ns/q", "p95 ns/q", "p99 ns/q", "qps"});
   for (const bench::CaseResult& c : report.cases) {
@@ -311,8 +327,14 @@ int mode_bench(const CliArgs& args) {
   if (baseline_path.empty()) return 0;
 
   const double tolerance = args.get_double("tolerance", 0.25);
+  const double trace_tolerance = args.get_double("trace-tolerance", 0.05);
   const bench::BenchReport baseline = bench::load_report(baseline_path);
-  const bench::CompareResult cmp = bench::compare_reports(baseline, report, tolerance);
+  const bench::CompareResult cmp =
+      bench::compare_reports(baseline, report, tolerance, trace_tolerance);
+  if (!cmp.trace_overhead_ok) {
+    std::printf("TRACE OVERHEAD: full sampling costs %.1f%% serve p95 (> %.0f%% allowed)\n",
+                (cmp.trace_overhead_ratio - 1.0) * 100.0, trace_tolerance * 100.0);
+  }
   for (const bench::Regression& r : cmp.regressions) {
     std::printf("REGRESSION %s: p95 %.0f -> %.0f ns/query (%.2fx > %.2fx allowed)\n",
                 r.key.c_str(), r.baseline_p95, r.current_p95, r.ratio, 1.0 + tolerance);
@@ -409,6 +431,7 @@ int mode_serve(const CliArgs& args) {
   sopt.breaker.failure_threshold = static_cast<int>(args.get_int("breaker-threshold", 5));
   sopt.breaker.open_seconds = args.get_double("breaker-open-ms", 100.0) / 1e3;
   sopt.drain_deadline_seconds = args.get_double("drain-s", 5.0);
+  sopt.trace_sampling = args.get_double("trace-sample", 0.0);
 
   // Model source: a direct model file, or a versioned store (the
   // lifecycle path — docs/model-lifecycle.md).
@@ -478,6 +501,23 @@ int mode_serve(const CliArgs& args) {
           std::printf("%s\n", rep.to_string().c_str());
         }
         std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(watch_ms));
+      }
+    });
+  }
+
+  // Periodic telemetry export (docs/observability.md): the writer thread
+  // snapshots the server into <metrics-out> (Prometheus text) and
+  // <metrics-out>.json atomically; a final dump always lands on drain.
+  const std::string metrics_out = args.get("metrics-out", "");
+  const double metrics_interval_ms = args.get_double("metrics-interval-ms", 0.0);
+  std::atomic<bool> metrics_stop{false};
+  std::thread metrics_writer;
+  if (!metrics_out.empty() && metrics_interval_ms > 0) {
+    metrics_writer = std::thread([&] {
+      while (!metrics_stop.load(std::memory_order_acquire)) {
+        obs::write_metrics_files(server->metrics_snapshot(), metrics_out);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(metrics_interval_ms));
       }
     });
   }
@@ -575,9 +615,16 @@ int mode_serve(const CliArgs& args) {
   for (std::thread& t : pool) t.join();
   watch_stop.store(true, std::memory_order_release);
   if (watcher.joinable()) watcher.join();
+  metrics_stop.store(true, std::memory_order_release);
+  if (metrics_writer.joinable()) metrics_writer.join();
 
   const serve::DrainReport drain = server->shutdown();
   const serve::ServerStats stats = server->stats();
+  if (!metrics_out.empty()) {
+    obs::write_metrics_files(server->metrics_snapshot(), metrics_out);
+    std::printf("metrics written to %s and %s.json\n", metrics_out.c_str(),
+                metrics_out.c_str());
+  }
 
   std::printf("clients done: %llu ok (%llu degraded), %llu overload-rejected, "
               "%llu deadline, %llu failed\n",
@@ -594,6 +641,19 @@ int mode_serve(const CliArgs& args) {
   std::printf("%s", server->counters().to_markdown().c_str());
   std::printf("latency percentiles (per stage):\n%s",
               server->latency().to_markdown().c_str());
+  std::printf("backend rollups (variant x backend x generation):\n%s",
+              server->rollups().to_markdown().c_str());
+  if (sopt.trace_sampling > 0.0) {
+    const auto summary = server->tracer().summary();
+    std::printf("traces: started=%llu sampled=%llu retained=%zu (sampling %.3g)\n",
+                static_cast<unsigned long long>(summary.started),
+                static_cast<unsigned long long>(summary.sampled), summary.retained,
+                summary.sampling);
+    const auto top = static_cast<std::size_t>(args.get_int("trace-top", 0));
+    for (const auto& tr : server->tracer().slowest(top)) {
+      std::printf("%s", tr->to_string().c_str());
+    }
+  }
   std::printf("breaker: state=%s trips=%llu probes=%llu\n", to_string(stats.breaker),
               static_cast<unsigned long long>(stats.breaker_trips),
               static_cast<unsigned long long>(stats.breaker_probes));
@@ -613,12 +673,91 @@ int mode_serve(const CliArgs& args) {
   return clean ? 0 : 1;
 }
 
+// Trace explorer (docs/observability.md): drives a short, fully-sampled
+// serving session and pretty-prints the slowest end-to-end traces as span
+// trees — queue wait, execute, per-chunk backend work, retries, fallback —
+// with the simulated device counters attached as span attributes.
+int mode_trace(const CliArgs& args) {
+  const Dataset data = Dataset::load(args.get("data", "data.hrfd"));
+
+  ClassifierOptions opt;
+  opt.backend = parse_backend(args.get("backend", "cpu"));
+  opt.variant = parse_variant(args.get("variant", "independent"));
+  opt.layout.subtree_depth = static_cast<int>(args.get_int("sd", 8));
+  opt.layout.root_subtree_depth = static_cast<int>(args.get_int("rsd", 0));
+  opt.fallback.enabled = !args.get_flag("no-fallback");
+
+  serve::ServerOptions sopt;
+  sopt.num_workers = static_cast<std::size_t>(args.get_int("workers", 2));
+  sopt.queue_capacity = static_cast<std::size_t>(args.get_int("queue-cap", 32));
+  // A generous default deadline routes execution through the chunked
+  // cancellable path, so each trace shows per-chunk spans with backend
+  // counter attributes (no deadline = single-shot classify, no chunks).
+  sopt.default_deadline_seconds = args.get_double("deadline-ms", 30'000.0) / 1e3;
+  sopt.deadline_chunk_size = static_cast<std::size_t>(args.get_int("chunk", 64));
+  sopt.trace_sampling = 1.0;  // trace mode records everything
+  sopt.trace_capacity = static_cast<std::size_t>(args.get_int("requests", 16)) + 1;
+
+  const std::size_t requests = static_cast<std::size_t>(args.get_int("requests", 16));
+  const std::size_t batch =
+      std::min<std::size_t>(static_cast<std::size_t>(args.get_int("batch", 256)),
+                            data.num_samples());
+  Dataset queries(batch, data.num_features(), data.num_classes());
+  queries.set_name(data.name());
+  for (std::size_t i = 0; i < batch; ++i) queries.push_back(data.sample(i), data.label(i));
+
+  serve::ForestServer server(Forest::load(args.get("model", "model.hrff")), opt, sopt);
+  std::printf("tracing %zu requests of %zu queries on %s/%s (sampling 1.0)\n", requests, batch,
+              to_string(opt.backend), to_string(opt.variant));
+  std::size_t completed = 0;
+  for (std::size_t r = 0; r < requests; ++r) {
+    try {
+      server.submit(queries).get();
+      ++completed;
+    } catch (const Error& e) {
+      std::printf("request %zu failed: %s\n", r, e.what());
+    }
+  }
+  server.shutdown();
+
+  const auto top = static_cast<std::size_t>(args.get_int("trace-top", 5));
+  const auto slowest = server.tracer().slowest(top);
+  std::printf("%zu/%zu requests completed; slowest %zu of %zu retained traces:\n", completed,
+              requests, slowest.size(), server.tracer().summary().retained);
+  for (const auto& tr : slowest) std::printf("%s", tr->to_string().c_str());
+
+  const std::string metrics_out = args.get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    obs::write_metrics_files(server.metrics_snapshot(), metrics_out);
+    std::printf("metrics written to %s and %s.json\n", metrics_out.c_str(), metrics_out.c_str());
+  }
+  return completed == requests ? 0 : 1;
+}
+
+// Schema gate for the exported telemetry (tools/check.sh): parses a
+// Prometheus text file + its JSON sibling and fails unless every metric
+// in the documented catalogue is present with the declared type.
+int mode_metrics_check(const CliArgs& args) {
+  const std::string prom_path = args.get("metrics", "metrics.prom");
+  const std::string json_path = args.get("json", prom_path + ".json");
+  try {
+    obs::check_metrics_schema(read_file_text(prom_path), read_file_text(json_path));
+  } catch (const Error& e) {
+    std::printf("metrics-check: FAILED: %s\n", e.what());
+    return 1;
+  }
+  std::printf("metrics-check: %s + %s ok (%zu catalogued families)\n", prom_path.c_str(),
+              json_path.c_str(), obs::metric_catalogue().size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   args.allow("mode",
-             "gen | train | info | layout | predict | compile | publish | store | serve | bench")
+             "gen | train | info | layout | predict | compile | publish | store | serve | "
+             "bench | trace | metrics-check")
       .allow("dataset", "gen: covertype | susy | higgs")
       .allow("samples", "gen: sample count")
       .allow("data", "train/predict: dataset file (.hrfd)")
@@ -655,6 +794,13 @@ int main(int argc, char** argv) {
       .allow("breaker-threshold", "serve: consecutive failures to trip the breaker")
       .allow("breaker-open-ms", "serve: breaker cooldown before half-open")
       .allow("drain-s", "serve: graceful shutdown drain deadline")
+      .allow("trace-sample", "serve: fraction of requests to trace (0..1, default 0)")
+      .allow("trace-top", "serve/trace: slowest trace trees to print after drain")
+      .allow("chunk", "trace: queries per cancellable execution chunk")
+      .allow("metrics-out", "serve/trace: telemetry file (Prometheus text; <file>.json sibling)")
+      .allow("metrics-interval-ms", "serve: periodic metrics export interval (0 = final only)")
+      .allow("metrics", "metrics-check: Prometheus text file to validate")
+      .allow("json", "metrics-check: JSON metrics file (default <metrics>.json)")
       .allow("inject-fault", "fault spec(s): resource:{gpu|gpu-smem|fpga|fpga-bram}[:n], "
                              "bitflip:layout, corrupt:node, crash:{publish|manifest}")
       .allow("inject-seed", "fault injector RNG seed")
@@ -666,6 +812,10 @@ int main(int argc, char** argv) {
       .allow("features", "bench: synthetic forest feature count")
       .allow("compare", "bench: baseline BENCH_hrf.json to gate against")
       .allow("tolerance", "bench: allowed fractional p95 growth (default 0.25)")
+      .allow("trace-overhead", "bench: measure serve p95 at trace sampling 0.0 vs 1.0")
+      .allow("trace-requests", "bench: requests per trace-overhead run (default 200)")
+      .allow("trace-tolerance", "bench: allowed fractional trace-overhead p95 cost "
+                                "(default 0.05)")
       .allow("out", "gen/train/predict/compile/bench: output path");
   if (!args.validate()) return 1;
 
@@ -687,6 +837,8 @@ int main(int argc, char** argv) {
     if (mode == "store") return mode_store(args);
     if (mode == "serve") return mode_serve(args);
     if (mode == "bench") return mode_bench(args);
+    if (mode == "trace") return mode_trace(args);
+    if (mode == "metrics-check") return mode_metrics_check(args);
     std::fprintf(stderr, "missing or unknown --mode (try --help)\n");
     return 1;
   } catch (const hrf::Error& e) {
