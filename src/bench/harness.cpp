@@ -4,12 +4,15 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <ctime>
 #include <fstream>
 #include <limits>
 #include <sstream>
+#include <thread>
 
+#include "cluster/cluster.hpp"
 #include "data/synthetic.hpp"
 #include "serve/server.hpp"
 #include "util/error.hpp"
@@ -225,6 +228,65 @@ TraceOverheadResult measure_trace_overhead(const TraceOverheadOptions& options) 
   return result;
 }
 
+ClusterBenchResult measure_cluster(const ClusterBenchOptions& options) {
+  require(options.shards >= 1, "cluster bench needs at least one shard");
+  require(options.requests >= 1, "cluster bench needs at least one request");
+  require(options.clients >= 1, "cluster bench needs at least one client");
+  require(options.batch >= 1, "cluster bench batch must be >= 1");
+  require(options.workers_per_shard >= 1, "cluster bench needs >= 1 worker per shard");
+
+  const Forest forest = make_random_forest(options.forest);
+  const Dataset queries =
+      make_random_queries(options.batch, options.forest.num_features, options.query_seed);
+
+  ClassifierOptions copt;
+  copt.variant = Variant::Independent;
+  copt.backend = Backend::CpuNative;
+  serve::ServerOptions sopt;
+  sopt.num_workers = options.workers_per_shard;
+  sopt.queue_capacity = std::max<std::size_t>(8, options.clients * 2);
+  sopt.default_deadline_seconds = 30.0;
+  cluster::ClusterOptions clopt;
+  clopt.num_shards = options.shards;
+  // Probes off: the healthy-fleet benchmark measures routing + serving,
+  // not background health traffic.
+  clopt.start_probes = false;
+  cluster::ClusterRouter router(forest, copt, sopt, clopt);
+
+  // Warmup: touch every shard once (keys walk the ring).
+  for (std::size_t s = 0; s < options.shards; ++s) {
+    (void)router.query(queries, {.key = s});
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::uint64_t> completed{0};
+  WallTimer wall;
+  std::vector<std::thread> clients;
+  clients.reserve(options.clients);
+  for (std::size_t c = 0; c < options.clients; ++c) {
+    clients.emplace_back([&, c] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= options.requests) return;
+        (void)router.query(queries, {.key = c * 1000003ULL + i});
+        completed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double seconds = wall.seconds();
+  const HistogramSnapshot route = router.route_latency();
+  router.shutdown();
+
+  ClusterBenchResult result;
+  result.shards = options.shards;
+  result.requests = options.requests;
+  result.batch = options.batch;
+  result.p95_ns = route.percentile_ns(95);
+  result.qps = seconds > 0.0 ? static_cast<double>(completed.load()) / seconds : 0.0;
+  return result;
+}
+
 json::Value to_json(const BenchReport& report) {
   json::Value root = json::Value::object();
   root["schema"] = kSchemaName;
@@ -271,6 +333,16 @@ json::Value to_json(const BenchReport& report) {
     t["p95_on_ns"] = report.trace_overhead->p95_on_ns;
     t["ratio"] = report.trace_overhead->ratio;
     root["trace_overhead"] = std::move(t);
+  }
+
+  if (report.cluster) {
+    json::Value c = json::Value::object();
+    c["shards"] = report.cluster->shards;
+    c["requests"] = report.cluster->requests;
+    c["batch"] = report.cluster->batch;
+    c["p95_ns"] = report.cluster->p95_ns;
+    c["qps"] = report.cluster->qps;
+    root["cluster"] = std::move(c);
   }
   return root;
 }
@@ -329,6 +401,16 @@ BenchReport report_from_json(const json::Value& v) {
     res.ratio = t->get("ratio").as_number();
     report.trace_overhead = res;
   }
+
+  if (const json::Value* c = v.find("cluster")) {
+    ClusterBenchResult res;
+    res.shards = static_cast<std::size_t>(c->get("shards").as_number());
+    res.requests = static_cast<std::size_t>(c->get("requests").as_number());
+    res.batch = static_cast<std::size_t>(c->get("batch").as_number());
+    res.p95_ns = c->get("p95_ns").as_number();
+    res.qps = c->get("qps").as_number();
+    report.cluster = res;
+  }
   return report;
 }
 
@@ -355,6 +437,19 @@ CompareResult compare_reports(const BenchReport& baseline, const BenchReport& cu
   if (current.trace_overhead) {
     result.trace_overhead_ratio = current.trace_overhead->ratio;
     result.trace_overhead_ok = result.trace_overhead_ratio <= 1.0 + trace_tolerance;
+  }
+  if (baseline.cluster) {
+    if (!current.cluster) {
+      result.missing_cases.push_back("cluster");
+    } else {
+      ++result.compared;
+      if (baseline.cluster->p95_ns > 0.0 &&
+          current.cluster->p95_ns > baseline.cluster->p95_ns * (1.0 + tolerance)) {
+        result.regressions.push_back({"cluster", baseline.cluster->p95_ns,
+                                      current.cluster->p95_ns,
+                                      current.cluster->p95_ns / baseline.cluster->p95_ns});
+      }
+    }
   }
   for (const CaseResult& base : baseline.cases) {
     const CaseResult* cur = nullptr;

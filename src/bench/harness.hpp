@@ -112,6 +112,32 @@ struct TraceOverheadResult {
 
 TraceOverheadResult measure_trace_overhead(const TraceOverheadOptions& options);
 
+/// Cluster serving micro-benchmark (docs/cluster.md): a ClusterRouter
+/// fronting `shards` healthy ForestServer shards absorbs `requests`
+/// routed requests from `clients` concurrent client threads, and the
+/// router-observed end-to-end p95 plus aggregate throughput are
+/// reported. Wall-clock numbers — gate with the same tolerance as the
+/// CpuNative cases, not the simulated ones.
+struct ClusterBenchOptions {
+  std::size_t shards = 4;
+  std::size_t requests = 120;  // total across all clients
+  std::size_t clients = 4;
+  std::size_t batch = 256;
+  std::size_t workers_per_shard = 1;
+  RandomForestSpec forest{.num_trees = 20, .max_depth = 10, .num_features = 16};
+  std::uint64_t query_seed = 42;
+};
+
+struct ClusterBenchResult {
+  std::size_t shards = 0;
+  std::size_t requests = 0;
+  std::size_t batch = 0;
+  double p95_ns = 0.0;  // router-observed end-to-end p95 per request
+  double qps = 0.0;     // completed requests / wall seconds
+};
+
+ClusterBenchResult measure_cluster(const ClusterBenchOptions& options);
+
 struct BenchReport {
   int schema_version = kSchemaVersion;
   EnvFingerprint env;
@@ -123,6 +149,9 @@ struct BenchReport {
   /// Present when the sweep ran with the tracing-overhead case; optional
   /// so older baselines stay readable under the same schema version.
   std::optional<TraceOverheadResult> trace_overhead;
+  /// Present when the sweep ran with the cluster serving case; compared
+  /// like a regular case under the key "cluster".
+  std::optional<ClusterBenchResult> cluster;
 };
 
 /// Runs the sweep, skipping invalid combinations (collaborative/hybrid
@@ -163,6 +192,8 @@ struct CompareResult {
 /// new coverage, not failures; cases only in `baseline` are missing.
 /// trace_tolerance gates the current report's own trace_overhead ratio
 /// (tracing everything must cost < 5% serve p95 by default).
+/// A baseline cluster case is matched under the key "cluster" with the
+/// same p95 gate (missing from `current` = missing case).
 CompareResult compare_reports(const BenchReport& baseline, const BenchReport& current,
                               double tolerance, double trace_tolerance = 0.05);
 

@@ -1,0 +1,282 @@
+#pragma once
+
+// Fault-tolerant sharded serving (docs/cluster.md).
+//
+// A ClusterRouter fronts N ForestServer shards and keeps answering while
+// individual shards die, stall, or reload:
+//
+//   routing    consistent-hash (rendezvous order on the query key) or
+//              least-loaded (ascending queue depth); either policy skips
+//              shards whose router-side breaker is not Closed
+//   breakers   one CircuitBreaker per shard *in the router*, distinct
+//              from each server's in-process breaker: the server breaker
+//              guards its accelerator backend, the router breaker guards
+//              the dispatch path to the whole shard (kill, partition,
+//              overload) — fed by client outcomes and by the probe loop
+//   probes     a background loop sends a 1-row synthetic request to every
+//              shard each interval; successes close recovered breakers,
+//              timeouts/failures keep sick shards quarantined
+//   failover   a failed attempt moves to the next candidate shard, up to
+//              max_failovers extra attempts per request
+//   hedging    when a request outlives the hedge delay — derived from
+//              the router's observed p95, floored at HedgeOptions::
+//              min_seconds — a second attempt is launched on the next
+//              candidate shard and the first answer wins
+//   reload     rolling_reload() walks the fleet one shard at a time
+//              through the serve/reload state machine and, if any shard
+//              rejects or rolls back, halts the wave and reverts the
+//              already-promoted shards to the generation they ran before
+//
+// Chaos sites: `crash:route` (util/fault) fails a client dispatch at the
+// router->shard link; `freeze:shard` stalls a shard worker mid-dispatch.
+// tools/chaos.sh and tests/cluster drive both against the degraded-mode
+// SLOs in docs/cluster.md.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/exporter.hpp"
+#include "serve/server.hpp"
+
+namespace hrf::cluster {
+
+enum class RoutingPolicy { ConsistentHash, LeastLoaded };
+
+const char* to_string(RoutingPolicy p);
+/// Parses "hash" / "consistent-hash" / "least-loaded"; throws ConfigError.
+RoutingPolicy routing_policy_from_name(const std::string& name);
+
+/// Rendezvous (highest-random-weight) candidate order for `key` over
+/// `num_shards` shards: shards sorted by a per-(key, shard) hash score.
+/// Deterministic given (key, salt), and removing one shard only remaps
+/// the keys that ranked it first — the property that keeps cache-warm
+/// shards warm across fleet resizes. Free function so tests can pin
+/// stability, balance, and minimal-disruption directly.
+std::vector<std::size_t> rendezvous_order(std::uint64_t key, std::size_t num_shards,
+                                          std::uint64_t salt = 0);
+
+struct HedgeOptions {
+  bool enabled = true;
+  /// Hedge delay floor (CLI --hedge-ms); also used verbatim until the
+  /// router has min_samples completed requests to derive a p95 from.
+  double min_seconds = 0.01;
+  /// Hedge once a request has been in flight p95_multiplier * p95.
+  double p95_multiplier = 2.0;
+  /// Completed requests before the observed p95 is trusted.
+  std::uint64_t min_samples = 32;
+};
+
+struct ClusterOptions {
+  std::size_t num_shards = 2;
+  RoutingPolicy policy = RoutingPolicy::ConsistentHash;
+  /// Extra shards tried after a failed attempt (bounded cross-shard
+  /// retry); the hedge attempt draws from the same candidate list but
+  /// has its own single-shot budget.
+  int max_failovers = 2;
+  HedgeOptions hedge{};
+  /// Router-side per-shard breaker. Defaults trip faster and cool down
+  /// quicker than the in-server breaker: a dead shard should be
+  /// quarantined within a few requests, and the probe loop (not client
+  /// traffic) pays for recovery checks.
+  serve::CircuitBreakerOptions shard_breaker{.failure_threshold = 3, .open_seconds = 0.1};
+  /// Health probe loop cadence and the probe request's deadline. The
+  /// probe loop never blocks on a wedged shard longer than the deadline
+  /// plus a small margin — it abandons the future and counts a failure.
+  double probe_interval_seconds = 0.02;
+  double probe_deadline_seconds = 0.25;
+  /// Tests that need full determinism turn the probe loop off.
+  bool start_probes = true;
+  /// Salt folded into rendezvous hashing (fleet identity).
+  std::uint64_t hash_salt = 0x9e3779b97f4a7c15ULL;
+};
+
+/// Per-request routing inputs.
+struct QueryOptions {
+  std::uint64_t key = 0;          // routing key (consistent-hash policy)
+  double deadline_seconds = 0.0;  // per-attempt deadline; <= 0 = none
+};
+
+/// One routed request's outcome.
+struct ClusterResult {
+  serve::ServeResult result;
+  std::size_t shard = 0;   // shard that answered
+  int failovers = 0;       // attempts rerouted past a failed shard
+  bool hedged = false;     // a hedge attempt was launched
+  bool hedge_won = false;  // ... and it answered first
+};
+
+struct ShardStatus {
+  std::size_t index = 0;
+  bool alive = true;
+  bool partitioned = false;
+  serve::CircuitState breaker = serve::CircuitState::Closed;
+  std::size_t queue_depth = 0;
+  std::uint64_t generation = 0;
+  std::uint64_t routed = 0;    // requests dispatched to this shard
+  std::uint64_t failures = 0;  // dispatch failures the router observed
+};
+
+struct ClusterStats {
+  std::size_t shards = 0;
+  std::size_t available = 0;  // alive, reachable, breaker Closed
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t hedged = 0;
+  std::uint64_t hedge_wins = 0;
+  std::uint64_t no_shard_available = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t probe_failures = 0;
+  std::uint64_t reload_waves = 0;
+  std::uint64_t reload_waves_halted = 0;
+  std::uint64_t shard_rollbacks = 0;
+  std::vector<ShardStatus> shard_status;
+};
+
+struct RollingReloadOptions {
+  /// Per-shard reload options (shadow/canary/watch phases).
+  serve::ReloadOptions reload{};
+  /// Revert already-promoted shards to their wave-entry generation when
+  /// the wave halts, most recently promoted first.
+  bool rollback_wave = true;
+};
+
+struct ShardReload {
+  std::size_t shard = 0;
+  serve::ReloadReport report;
+};
+
+/// What one rolling-reload wave accomplished.
+struct RollingReloadReport {
+  std::uint64_t to_generation = 0;
+  bool completed = false;  // every shard promoted (or was already current)
+  std::string reason;      // why the wave halted; empty when completed
+  std::vector<ShardReload> shards;     // reload attempts in wave order
+  std::vector<ShardReload> rollbacks;  // wave-rollback reverts, reverse order
+  double total_seconds = 0.0;
+
+  std::string to_string() const;
+};
+
+/// Routes requests across a fleet of in-process ForestServer shards.
+/// Thread-safe: query(), chaos controls, snapshots, and rolling_reload()
+/// may be called concurrently from any thread.
+class ClusterRouter {
+ public:
+  /// Every shard serves replicas built from the same (forest, options).
+  ClusterRouter(const Forest& forest, const ClassifierOptions& classifier_options,
+                const serve::ServerOptions& shard_options, const ClusterOptions& options);
+  /// Every shard serves the store's current generation and stays
+  /// reload()-able (what rolling_reload() requires for rollback).
+  ClusterRouter(const serve::ModelStore& store, const ClassifierOptions& classifier_options,
+                const serve::ServerOptions& shard_options, const ClusterOptions& options);
+  ~ClusterRouter();
+
+  ClusterRouter(const ClusterRouter&) = delete;
+  ClusterRouter& operator=(const ClusterRouter&) = delete;
+
+  /// Routes one request: candidate order by policy, bounded failover,
+  /// one hedge attempt after the hedge delay. Throws the last shard
+  /// error when every attempt failed, OverloadError when no shard was
+  /// routable at all, ShutdownError after shutdown().
+  ClusterResult query(const Dataset& queries, const QueryOptions& qopt = {});
+
+  /// Walks shards in index order through the reload state machine; halts
+  /// on the first non-promoted outcome and (by default) reverts the
+  /// already-promoted prefix. Waves are serialized against each other.
+  RollingReloadReport rolling_reload(const serve::ModelStore& store, std::uint64_t gen,
+                                     const RollingReloadOptions& opts = {});
+
+  // --- Chaos controls (tests/cluster, tools/chaos.sh) ------------------
+
+  /// Abrupt shard death: immediate shutdown with zero drain budget.
+  /// The router is told nothing — its breaker must discover the loss.
+  void kill_shard(std::size_t shard);
+  /// Cuts (or heals) the router->shard link: dispatches and probes fail
+  /// with ResourceError while partitioned. The shard process keeps
+  /// running untouched.
+  void set_partitioned(std::size_t shard, bool partitioned);
+
+  std::size_t num_shards() const { return shards_.size(); }
+  /// Shards that are alive, reachable, and have a Closed breaker.
+  std::size_t available_shards() const;
+  serve::CircuitState shard_breaker_state(std::size_t shard) const;
+  serve::ForestServer& shard(std::size_t shard);
+
+  ClusterStats stats() const;
+  /// Per-stage latency merged across every shard.
+  serve::LatencyStats latency() const;
+  /// Router-observed end-to-end latency of successful query() calls
+  /// (queueing + execution + failover + hedging — what a client sees).
+  HistogramSnapshot route_latency() const;
+  /// The hedge delay the next request would use.
+  double hedge_delay_seconds() const;
+  /// Fleet-level snapshot: summed shard counters plus the router's own
+  /// cluster.* counters, merged histograms (with the extra "route"
+  /// stage), merged rollups, summed tracer stats, cluster gauges, and
+  /// one ShardHealth row per shard. check_metrics_schema-clean.
+  obs::MetricsSnapshot metrics_snapshot() const;
+
+  const ClusterOptions& options() const { return options_; }
+
+  /// Stops the probe loop, then drains every shard. Idempotent.
+  void shutdown();
+
+ private:
+  struct Shard {
+    std::unique_ptr<serve::ForestServer> server;
+    std::unique_ptr<serve::CircuitBreaker> breaker;
+    std::atomic<bool> alive{true};
+    std::atomic<bool> partitioned{false};
+    std::atomic<std::uint64_t> routed{0};
+    std::atomic<std::uint64_t> failures{0};
+  };
+
+  struct Attempt {
+    std::size_t shard = 0;
+    std::future<serve::ServeResult> fut;
+  };
+
+  void init_shards(const ClassifierOptions& classifier_options,
+                   const serve::ServerOptions& shard_options,
+                   const std::function<std::unique_ptr<serve::ForestServer>(
+                       const serve::ServerOptions&)>& make_server);
+  bool routable(std::size_t shard) const;
+  std::vector<std::size_t> candidate_order(std::uint64_t key) const;
+  /// Dispatches to one shard. Consults crash:route and the partition
+  /// flag for client dispatches only (probes must not spend chaos
+  /// charges armed for clients — fired counts stay deterministic).
+  std::future<serve::ServeResult> dispatch(std::size_t shard, const Dataset& queries,
+                                           double deadline_seconds, bool is_probe);
+  void shard_failed(std::size_t shard);
+  void probe_loop();
+  void probe_shard(std::size_t shard);
+  double effective_hedge_delay() const;
+
+  ClusterOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  CounterRegistry counters_;
+  LatencyHistogram hist_route_;
+  Dataset probe_queries_;
+
+  std::mutex reload_mu_;  // serializes rolling-reload waves
+
+  std::atomic<bool> stopping_{false};
+  std::mutex shutdown_mu_;
+  bool shutdown_done_ = false;
+  std::mutex probe_mu_;
+  std::condition_variable probe_cv_;
+  std::thread probe_thread_;
+};
+
+}  // namespace hrf::cluster

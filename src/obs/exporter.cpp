@@ -131,6 +131,38 @@ std::string to_prometheus(const MetricsSnapshot& snapshot) {
     }
   }
 
+  if (!snapshot.shards.empty()) {
+    // Like the rollup families: every shard family is emitted for every
+    // shard so a dashboard row never appears or vanishes with health.
+    struct ShardMetric {
+      const char* family;
+      const char* type;
+      double (*get)(const ShardHealth&);
+    };
+    static const ShardMetric kShardMetrics[] = {
+        {"hrf_shard_up", "gauge", [](const ShardHealth& s) { return s.up ? 1.0 : 0.0; }},
+        {"hrf_shard_partitioned", "gauge",
+         [](const ShardHealth& s) { return s.partitioned ? 1.0 : 0.0; }},
+        {"hrf_shard_breaker_state", "gauge",
+         [](const ShardHealth& s) { return static_cast<double>(s.breaker_state); }},
+        {"hrf_shard_queue_depth", "gauge",
+         [](const ShardHealth& s) { return static_cast<double>(s.queue_depth); }},
+        {"hrf_shard_model_generation", "gauge",
+         [](const ShardHealth& s) { return static_cast<double>(s.generation); }},
+        {"hrf_shard_routed_total", "counter",
+         [](const ShardHealth& s) { return static_cast<double>(s.routed); }},
+        {"hrf_shard_failures_total", "counter",
+         [](const ShardHealth& s) { return static_cast<double>(s.failures); }},
+    };
+    for (const ShardMetric& m : kShardMetrics) {
+      emit_type(out, m.family, m.type);
+      for (const ShardHealth& s : snapshot.shards) {
+        out += std::string(m.family) + "{shard=\"" + std::to_string(s.index) + "\"} " +
+               format_value(m.get(s)) + "\n";
+      }
+    }
+  }
+
   if (snapshot.has_traces) {
     const trace::TracerSummary& t = snapshot.traces;
     emit_type(out, "hrf_traces_started_total", "counter");
@@ -209,6 +241,23 @@ json::Value snapshot_to_json(const MetricsSnapshot& snapshot) {
     rollups.push_back(std::move(entry));
   }
   doc["rollups"] = std::move(rollups);
+
+  if (!snapshot.shards.empty()) {
+    json::Value shards = json::Value::array();
+    for (const ShardHealth& s : snapshot.shards) {
+      json::Value row = json::Value::object();
+      row["index"] = s.index;
+      row["up"] = s.up;
+      row["partitioned"] = s.partitioned;
+      row["breaker_state"] = static_cast<std::uint64_t>(s.breaker_state);
+      row["queue_depth"] = s.queue_depth;
+      row["generation"] = s.generation;
+      row["routed"] = s.routed;
+      row["failures"] = s.failures;
+      shards.push_back(std::move(row));
+    }
+    doc["shards"] = std::move(shards);
+  }
 
   if (snapshot.has_traces) {
     json::Value t = json::Value::object();
@@ -373,6 +422,19 @@ const std::vector<MetricInfo>& metric_catalogue() {
     v.push_back({"hrf_backend_dram_transactions_total", "counter", true});
     v.push_back({"hrf_backend_fpga_ii_stall_cycles", "gauge", true});
     v.push_back({"hrf_backend_fpga_stall_pct", "gauge", true});
+    for (const std::string& name : cluster_counter_catalogue()) {
+      v.push_back({"hrf_" + prometheus_name(name) + "_total", "counter", false, true});
+    }
+    v.push_back({"hrf_cluster_shards", "gauge", false, true});
+    v.push_back({"hrf_cluster_shards_available", "gauge", false, true});
+    v.push_back({"hrf_cluster_hedge_delay_seconds", "gauge", false, true});
+    v.push_back({"hrf_shard_up", "gauge", false, true});
+    v.push_back({"hrf_shard_partitioned", "gauge", false, true});
+    v.push_back({"hrf_shard_breaker_state", "gauge", false, true});
+    v.push_back({"hrf_shard_queue_depth", "gauge", false, true});
+    v.push_back({"hrf_shard_model_generation", "gauge", false, true});
+    v.push_back({"hrf_shard_routed_total", "counter", false, true});
+    v.push_back({"hrf_shard_failures_total", "counter", false, true});
     return v;
   }();
   return kCatalogue;
@@ -395,6 +457,20 @@ const std::vector<std::string>& counter_catalogue() {
   return kCounters;
 }
 
+const std::vector<std::string>& cluster_counter_catalogue() {
+  // Mirrors the names ClusterRouter feeds its own CounterRegistry (on top
+  // of the per-shard server counters it sums into counter_catalogue()).
+  static const std::vector<std::string> kCounters = {
+      "cluster.submitted",          "cluster.completed",
+      "cluster.failed",             "cluster.failovers",
+      "cluster.hedged",             "cluster.hedge_wins",
+      "cluster.no_shard_available", "cluster.probes",
+      "cluster.probe_failures",     "cluster.reload_waves",
+      "cluster.reload_waves_halted", "cluster.shard_rollbacks",
+  };
+  return kCounters;
+}
+
 namespace {
 
 [[noreturn]] void schema_fail(const std::string& what) {
@@ -412,8 +488,12 @@ void check_metrics_schema(const std::string& prometheus_text, const std::string&
   };
 
   const bool have_rollups = has_family("hrf_backend_requests_total");
+  // Cluster families are required as a block: a router snapshot exports
+  // all of them, a single-server snapshot none.
+  const bool have_cluster = has_family("hrf_cluster_shards");
   for (const MetricInfo& info : metric_catalogue()) {
     if (info.per_rollup_key && !have_rollups) continue;
+    if (info.cluster_only && !have_cluster) continue;
     if (info.type == "histogram") {
       for (const char* suffix : {"_bucket", "_sum", "_count"}) {
         if (!has_family(info.name + suffix)) {
@@ -445,6 +525,25 @@ void check_metrics_schema(const std::string& prometheus_text, const std::string&
   const json::Value& counters = doc.get("counters");
   for (const std::string& name : counter_catalogue()) {
     if (!counters.find(name)) schema_fail("JSON counters missing '" + name + "'");
+  }
+  if (have_cluster) {
+    for (const std::string& name : cluster_counter_catalogue()) {
+      if (!counters.find(name)) schema_fail("JSON counters missing '" + name + "'");
+    }
+    const json::Value* shards = doc.find("shards");
+    if (!shards || shards->size() == 0) {
+      schema_fail("cluster snapshot without a per-shard health array");
+    }
+    for (std::size_t i = 0; i < shards->size(); ++i) {
+      const json::Value& s = shards->at(i);
+      s.get("index").as_number();
+      s.get("up").as_bool();
+      s.get("partitioned").as_bool();
+      s.get("breaker_state").as_number();
+      s.get("generation").as_number();
+      s.get("routed").as_number();
+      s.get("failures").as_number();
+    }
   }
   const json::Value& histograms = doc.get("histograms");
   for (std::size_t i = 0; i < histograms.size(); ++i) {

@@ -23,8 +23,24 @@
 
 namespace hrf::obs {
 
+/// One shard's health row in a cluster-level snapshot. Plain ints and
+/// doubles only: obs sits below serve in the layer graph, so the cluster
+/// router flattens its per-shard state (breaker enum, atomics) into this
+/// before export.
+struct ShardHealth {
+  std::uint64_t index = 0;
+  bool up = true;            // shard not killed / shut down
+  bool partitioned = false;  // router -> shard link administratively cut
+  int breaker_state = 0;     // router-side breaker: 0 closed, 1 open, 2 half-open
+  std::uint64_t queue_depth = 0;
+  std::uint64_t generation = 0;  // shard's live model generation
+  std::uint64_t routed = 0;      // requests the router dispatched to it
+  std::uint64_t failures = 0;    // dispatch failures the router observed
+};
+
 /// Point-in-time view of every exported metric. Build one with
-/// ForestServer::metrics_snapshot() or assemble by hand in tests.
+/// ForestServer::metrics_snapshot() / ClusterRouter::metrics_snapshot()
+/// or assemble by hand in tests.
 struct MetricsSnapshot {
   /// Monotonic counters (CounterRegistry names, e.g. "requests.completed").
   std::map<std::string, std::uint64_t> counters;
@@ -37,6 +53,9 @@ struct MetricsSnapshot {
   /// Tracer statistics; `has_traces` false when no tracer is attached.
   trace::TracerSummary traces{};
   bool has_traces = false;
+  /// Per-shard health rows; empty for a single server, one per shard in
+  /// cluster snapshots (exported as hrf_shard_* families, {shard="i"}).
+  std::vector<ShardHealth> shards;
 };
 
 /// Sanitizes a registry name into a Prometheus metric name component:
@@ -83,6 +102,9 @@ struct MetricInfo {
   /// True for rollup families, which only exist once traffic produced at
   /// least one (variant, backend, generation) key.
   bool per_rollup_key = false;
+  /// True for cluster families, which only a ClusterRouter snapshot
+  /// exports (detected via the hrf_cluster_shards gauge).
+  bool cluster_only = false;
 };
 
 /// The documented Prometheus metric catalogue, in docs order.
@@ -91,6 +113,10 @@ const std::vector<MetricInfo>& metric_catalogue();
 /// The documented CounterRegistry names the server always exports (it
 /// zero-fills these so idle servers still expose the full schema).
 const std::vector<std::string>& counter_catalogue();
+
+/// The cluster router's own CounterRegistry names (zero-filled by
+/// ClusterRouter::metrics_snapshot() on top of counter_catalogue()).
+const std::vector<std::string>& cluster_counter_catalogue();
 
 /// Validates an exported Prometheus file + JSON snapshot pair against the
 /// documented catalogue: every catalogue family present with the declared

@@ -54,6 +54,20 @@ struct BackendRollup {
   double fpga_total_cycles = 0.0;
   double fpga_pipeline_cycles = 0.0;
 
+  /// Folds another rollup of the same key into this one (the cluster
+  /// router aggregates per-shard rollups into fleet-level rows). Every
+  /// field is a sum, so merging is associative and commutative.
+  void merge(const BackendRollup& other) {
+    requests += other.requests;
+    queries += other.queries;
+    seconds += other.seconds;
+    gpu_runs += other.gpu_runs;
+    gpu += other.gpu;
+    fpga_runs += other.fpga_runs;
+    fpga_total_cycles += other.fpga_total_cycles;
+    fpga_pipeline_cycles += other.fpga_pipeline_cycles;
+  }
+
   /// nvprof-style branch efficiency over the whole aggregate.
   double branch_efficiency() const { return gpu.branch_efficiency(); }
   /// Average global-load transactions per request (coalescing).

@@ -66,6 +66,14 @@ void CircuitBreaker::record_failure() {
   // Open: a straggler that was admitted before the trip; nothing to add.
 }
 
+void CircuitBreaker::record_timeout() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Only a HalfOpen probe must be resolved; exactly one transition, so a
+  // straggler record_failure() for the same request (arriving once the
+  // breaker is already Open again) cannot double-count the probe.
+  if (state_ == CircuitState::HalfOpen) trip_locked();
+}
+
 void CircuitBreaker::trip_locked() {
   state_ = CircuitState::Open;
   open_until_ = clock_() + options_.open_seconds;

@@ -60,6 +60,17 @@ class CircuitBreaker {
   void record_success();
   void record_failure();
 
+  /// Reports that the admitted request's deadline expired before the
+  /// primary produced an outcome. A timeout is not evidence either way
+  /// while Closed (the deadline is the client's latency budget, not a
+  /// backend fault), but a HalfOpen probe that times out MUST still
+  /// resolve its probe charge: without this the charge spent by
+  /// allow_request() leaks and the breaker sticks HalfOpen with zero
+  /// budget — every later request short-circuits to fallback with no
+  /// path back to Closed. HalfOpen re-opens (a new trip, a new
+  /// cooldown); Closed and Open are left untouched.
+  void record_timeout();
+
   /// Stored state; does not anticipate cooldown expiry (allow_request
   /// performs that transition).
   CircuitState state() const;

@@ -6,6 +6,7 @@
 
 #include "serve/model_store.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/timer.hpp"
 
 namespace hrf::serve {
@@ -370,6 +371,13 @@ void ForestServer::worker_loop(std::size_t w) {
 }
 
 void ForestServer::process(std::size_t w, Request req) {
+  // Chaos site: stall this worker at dispatch as if the shard wedged.
+  // Placed before the deadline check so the frozen request lands in the
+  // shed path — exactly the deadline storm the cluster router's hedging
+  // has to absorb (docs/cluster.md).
+  if (FaultInjector::global().enabled() && FaultInjector::global().consume("freeze:shard")) {
+    std::this_thread::sleep_for(to_duration(options_.inject_freeze_seconds));
+  }
   const SteadyClock::time_point now = SteadyClock::now();
   const double queue_s = std::chrono::duration<double>(now - req.enqueued).count();
   hist_queue_wait_.record_seconds(queue_s);
@@ -443,6 +451,13 @@ ServeResult ForestServer::execute(std::size_t w, Request& req, const trace::Span
         m->health->completed.fetch_add(1, std::memory_order_relaxed);
         record_run(*m->primary, m->generation, out.report);
         return out;
+      } catch (const DeadlineError&) {
+        // The attempt outlived the request's deadline: not a backend
+        // verdict, so no failure is counted — but a HalfOpen probe must
+        // still resolve the charge it spent at allow_request(), else the
+        // breaker is stuck HalfOpen with zero budget (see record_timeout).
+        breaker_.record_timeout();
+        throw;
       } catch (const ResourceError& e) {
         breaker_.record_failure();
         last_error = e.what();
@@ -518,14 +533,20 @@ RunReport ForestServer::run_one(const Classifier& clf, const Request& req,
   return r;
 }
 
+double retry_backoff_seconds(const RetryPolicy& policy, int attempt, Xoshiro256& rng) {
+  // ldexp scales by 2^attempt exactly (no libm rounding variance), so the
+  // whole expression is reproducible bit-for-bit across platforms.
+  const double exponential = std::ldexp(policy.backoff_base_seconds, attempt);
+  double backoff = std::min(exponential, policy.backoff_max_seconds);
+  backoff *= 1.0 + policy.jitter_fraction * rng.uniform(-1.0, 1.0);
+  return backoff;
+}
+
 bool ForestServer::backoff_sleep(std::size_t w, int attempt, const Request& req) {
-  const RetryPolicy& rp = options_.retry;
-  double backoff =
-      std::min(rp.backoff_base_seconds * std::pow(2.0, attempt), rp.backoff_max_seconds);
   // Deterministic jitter (per-worker stream of the server seed) spreads
   // retries from concurrent workers so they do not re-converge on the
   // recovering backend in lockstep.
-  backoff *= 1.0 + rp.jitter_fraction * jitter_[w].uniform(-1.0, 1.0);
+  const double backoff = retry_backoff_seconds(options_.retry, attempt, jitter_[w]);
   if (req.has_deadline &&
       SteadyClock::now() + to_duration(backoff) >= req.deadline) {
     return false;

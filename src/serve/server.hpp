@@ -80,6 +80,14 @@ struct RetryPolicy {
   double jitter_fraction = 0.5;        // backoff scaled by 1 +/- U*fraction
 };
 
+/// Jittered exponential backoff for 0-based `attempt`:
+/// min(base * 2^attempt, max) scaled by 1 + jitter_fraction * U(-1, 1)
+/// with U drawn from `rng`. Pure given the rng state: a fixed seed
+/// reproduces the exact sequence bit-for-bit on any platform (the base
+/// is scaled by ldexp, not pow, so no libm rounding leaks in), which the
+/// chaos harness's deterministic replays rely on.
+double retry_backoff_seconds(const RetryPolicy& policy, int attempt, Xoshiro256& rng);
+
 struct ServerOptions {
   std::size_t num_workers = 2;
   std::size_t queue_capacity = 64;
@@ -104,6 +112,12 @@ struct ServerOptions {
   double trace_sampling = 0.0;
   /// Completed traces retained in the tracer's ring buffer.
   std::size_t trace_capacity = 128;
+  /// How long a worker stalls when the `freeze:shard` fault site fires at
+  /// dispatch (chaos only; the site is never armed in production). The
+  /// frozen worker then proceeds normally — typically into the
+  /// deadline-shed path, which is the point: a wedged shard that the
+  /// cluster router's hedging and probes must route around.
+  double inject_freeze_seconds = 0.25;
 };
 
 /// One served request's outcome.

@@ -15,9 +15,13 @@ namespace {
 constexpr std::array<const char*, 4> kResourceTargets = {"gpu", "gpu-smem", "fpga", "fpga-bram"};
 constexpr std::array<const char*, 1> kBitflipTargets = {"layout"};
 constexpr std::array<const char*, 1> kCorruptTargets = {"node"};
-// Hard process death (std::_Exit, kill -9 semantics) inside the model
-// store's publish sequence; drives the torn-write recovery tests.
-constexpr std::array<const char*, 2> kCrashTargets = {"publish", "manifest"};
+// publish/manifest: hard process death (std::_Exit, kill -9 semantics)
+// inside the model store's publish sequence; drives the torn-write
+// recovery tests. route: the cluster router's dispatch link dies
+// (ResourceError + failover), consumed by client dispatches only.
+constexpr std::array<const char*, 3> kCrashTargets = {"publish", "manifest", "route"};
+// A shard worker stalls mid-dispatch (deadline storms / hedging trigger).
+constexpr std::array<const char*, 1> kFreezeTargets = {"shard"};
 
 template <std::size_t N>
 bool known_target(const std::array<const char*, N>& targets, const std::string& t) {
@@ -27,7 +31,8 @@ bool known_target(const std::array<const char*, N>& targets, const std::string& 
 [[noreturn]] void bad_spec(const std::string& spec, const std::string& why) {
   throw ConfigError("bad fault spec '" + spec + "': " + why +
                     " (valid: resource:{gpu|gpu-smem|fpga|fpga-bram}, bitflip:layout, "
-                    "corrupt:node, crash:{publish|manifest}, each with an optional :count)");
+                    "corrupt:node, crash:{publish|manifest|route}, freeze:shard, "
+                    "each with an optional :count)");
 }
 
 }  // namespace
@@ -70,7 +75,8 @@ void FaultInjector::arm_spec(const std::string& spec) {
   const bool ok = (kind == "resource" && known_target(kResourceTargets, target)) ||
                   (kind == "bitflip" && known_target(kBitflipTargets, target)) ||
                   (kind == "corrupt" && known_target(kCorruptTargets, target)) ||
-                  (kind == "crash" && known_target(kCrashTargets, target));
+                  (kind == "crash" && known_target(kCrashTargets, target)) ||
+                  (kind == "freeze" && known_target(kFreezeTargets, target));
   if (!ok) bad_spec(spec, "unknown site '" + kind + ":" + target + "'");
   arm(kind + ":" + target, count);
 }

@@ -22,6 +22,15 @@
 //   crash:manifest      publisher dies after the generation committed but
 //                       before the store manifest update — leaves a stale
 //                       store pointer for recovery to reconcile
+//   crash:route         the router->shard dispatch link dies: the cluster
+//                       router fails that dispatch with ResourceError and
+//                       fails over to the next candidate shard (client
+//                       dispatches only; health probes never consume it)
+//   freeze:shard        a shard worker stalls at dispatch for
+//                       ServerOptions::inject_freeze_seconds before
+//                       continuing — simulates a wedged shard so deadline
+//                       storms and router hedging have a deterministic
+//                       trigger
 //
 // Thread safety: every member is safe to call concurrently. Charges are
 // atomic, so N armed charges fire exactly N times no matter how many

@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# End-to-end exercise of `hrf_cli --mode cluster`: a sharded router fleet
+# under synthetic client load — healthy, with a shard killed mid-traffic,
+# and a staged rolling reload halted by a mid-wave kill. Fast smoke (the
+# wall-clock-heavy chaos scenarios live in tools/chaos.sh and
+# tests/cluster/test_cluster_chaos.cpp). Usage: test_cli_cluster.sh <hrf_cli>
+set -u
+
+CLI="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+FAILURES=0
+
+check() {  # check <description> <needle> <file>
+  if grep -q "$2" "$3"; then
+    echo "ok: $1"
+  else
+    echo "FAIL: $1 (missing '$2' in $3)"
+    FAILURES=$((FAILURES + 1))
+  fi
+}
+
+"$CLI" --mode gen --dataset susy --samples 2000 --out "$DIR/d.hrfd" > "$DIR/gen.log" 2>&1
+"$CLI" --mode train --data "$DIR/d.hrfd" --trees 8 --depth 8 \
+       --out "$DIR/m.hrff" > "$DIR/train.log" 2>&1
+[ -f "$DIR/m.hrff" ] || { echo "FAIL: model setup"; exit 1; }
+
+# --- Healthy fleet: every request answered, exit 0 -----------------------
+if "$CLI" --mode cluster --model "$DIR/m.hrff" --data "$DIR/d.hrfd" \
+       --shards 3 --router-policy hash --hedge-ms 50 \
+       --clients 2 --requests 8 --batch 64 \
+       --metrics-out "$DIR/cluster.prom" > "$DIR/healthy.log" 2>&1; then
+  echo "ok: healthy cluster exits 0"
+else
+  echo "FAIL: healthy cluster exited nonzero"
+  FAILURES=$((FAILURES + 1))
+fi
+check "banner shows fleet shape" "cluster: 3 shards (consistent-hash routing" "$DIR/healthy.log"
+check "all requests succeeded" "ok=16 failed=0 wrong=0 success=1.0000" "$DIR/healthy.log"
+check "per-shard status printed" "shard 0: up" "$DIR/healthy.log"
+check "clean shutdown reported" "cluster: clean shutdown" "$DIR/healthy.log"
+[ -f "$DIR/cluster.prom" ] || { echo "FAIL: cluster.prom missing"; FAILURES=$((FAILURES + 1)); }
+check "export carries shard health rows" "hrf_shard_up" "$DIR/cluster.prom"
+check "export carries cluster counters" "hrf_cluster_completed_total" "$DIR/cluster.prom"
+
+if "$CLI" --mode metrics-check --metrics "$DIR/cluster.prom" > "$DIR/mcheck.log" 2>&1; then
+  echo "ok: metrics-check passes on the cluster export"
+else
+  echo "FAIL: metrics-check rejected the cluster export"
+  FAILURES=$((FAILURES + 1))
+fi
+
+# --- Kill a shard mid-traffic: failover keeps the success SLO ------------
+if "$CLI" --mode cluster --model "$DIR/m.hrff" --data "$DIR/d.hrfd" \
+       --shards 3 --clients 2 --requests 12 --batch 64 \
+       --kill-shard 1 --chaos-delay-ms 5 --slo-success 0.99 > "$DIR/kill.log" 2>&1; then
+  echo "ok: kill-shard run holds the SLO and exits 0"
+else
+  echo "FAIL: kill-shard run exited nonzero"
+  FAILURES=$((FAILURES + 1))
+fi
+check "kill is announced" "chaos: killed shard 1" "$DIR/kill.log"
+check "dead shard reported down" "shard 1: down" "$DIR/kill.log"
+check "kill run still shuts down cleanly" "cluster: clean shutdown" "$DIR/kill.log"
+
+# --- Rolling reload: publish gen1, reload the fleet to a freshly ---------
+# published generation; the completed wave reports every shard promoted.
+"$CLI" --mode publish --store "$DIR/store" --model "$DIR/m.hrff" \
+       --layout hier --sd 4 --note gen1 > "$DIR/pub.log" 2>&1
+check "store seeded with gen1" "published generation 1" "$DIR/pub.log"
+
+if "$CLI" --mode cluster --model-store "$DIR/store" --data "$DIR/d.hrfd" \
+       --backend gpu-sim --variant hybrid --sd 4 \
+       --shards 2 --clients 2 --requests 16 --batch 64 \
+       --rolling-reload --publish-live "$DIR/m.hrff" \
+       --canary-requests 0 > "$DIR/reload.log" 2>&1; then
+  echo "ok: rolling reload run exits 0"
+else
+  echo "FAIL: rolling reload run exited nonzero"
+  FAILURES=$((FAILURES + 1))
+fi
+check "wave completed" "rolling reload -> gen 2: completed" "$DIR/reload.log"
+check "reload run shuts down cleanly" "cluster: clean shutdown" "$DIR/reload.log"
+
+# --- Rolling reload halted by a mid-wave kill: wave rolls back -----------
+if "$CLI" --mode cluster --model-store "$DIR/store" --data "$DIR/d.hrfd" \
+       --backend gpu-sim --variant hybrid --sd 4 \
+       --shards 3 --clients 2 --requests 24 --batch 64 \
+       --rolling-reload --publish-live "$DIR/m.hrff" \
+       --canary-requests 1 --kill-shard 2 --chaos-delay-ms 2 \
+       > "$DIR/halt.log" 2>&1; then
+  echo "ok: halted-wave run exits 0 (halt was the expected outcome)"
+else
+  echo "FAIL: halted-wave run exited nonzero"
+  FAILURES=$((FAILURES + 1))
+fi
+check "kill landed mid-reload" "chaos: killed shard 2 mid-reload" "$DIR/halt.log"
+check "wave halted" "HALTED" "$DIR/halt.log"
+check "halted run still shuts down cleanly" "cluster: clean shutdown" "$DIR/halt.log"
+
+# Error path: unknown routing policy must fail cleanly, not crash.
+if "$CLI" --mode cluster --model "$DIR/m.hrff" --data "$DIR/d.hrfd" \
+       --router-policy round-robin > "$DIR/err.log" 2>&1; then
+  echo "FAIL: unknown policy should exit nonzero"
+  FAILURES=$((FAILURES + 1))
+else
+  check "unknown policy reports an error" "error:" "$DIR/err.log"
+fi
+
+echo "cli cluster test failures: $FAILURES"
+exit "$FAILURES"

@@ -109,6 +109,63 @@ TEST_F(CircuitBreakerTest, StragglerFailureWhileOpenIsIgnored) {
   EXPECT_EQ(b.trips(), 1u);
 }
 
+TEST_F(CircuitBreakerTest, ProbeAdmittedExactlyAtCooldownBoundary) {
+  CircuitBreaker b = make(1, 1.0);
+  b.record_failure();  // trip at t=0: open until t=1
+  now_ = 1.0;          // exactly the boundary, not strictly past it
+  EXPECT_TRUE(b.allow_request());
+  EXPECT_EQ(b.state(), CircuitState::HalfOpen);
+  EXPECT_EQ(b.probes(), 1u);
+}
+
+TEST_F(CircuitBreakerTest, ProbeTimeoutAtDeadlineBoundaryReopensInsteadOfLeakingTheProbe) {
+  CircuitBreaker b = make(1, 1.0);
+  b.record_failure();  // trip at t=0
+  now_ = 1.0;
+  ASSERT_TRUE(b.allow_request());  // the probe
+  // The probe's request deadline expires exactly as the attempt would
+  // complete: the worker reports neither success nor failure. The spent
+  // probe charge must still be resolved, or the breaker is stuck
+  // HalfOpen with zero budget and no recovery path.
+  b.record_timeout();
+  EXPECT_EQ(b.state(), CircuitState::Open);
+  EXPECT_EQ(b.trips(), 2u);
+  EXPECT_EQ(b.probes(), 1u);
+  now_ = 2.0;  // fresh cooldown runs from the re-open
+  EXPECT_TRUE(b.allow_request());
+  EXPECT_EQ(b.state(), CircuitState::HalfOpen);
+}
+
+TEST_F(CircuitBreakerTest, StragglerFailureAfterProbeTimeoutDoesNotDoubleCount) {
+  CircuitBreaker b = make(1, 1.0);
+  b.record_failure();  // trip #1
+  now_ = 1.0;
+  ASSERT_TRUE(b.allow_request());
+  b.record_timeout();  // probe resolved: trip #2
+  // The timed-out probe's failure surfaces later anyway (e.g. the shed
+  // request's DeadlineError also reported as a failure by a sloppy
+  // caller): the breaker is Open, so it must be ignored, not counted as
+  // a third trip.
+  b.record_failure();
+  EXPECT_EQ(b.state(), CircuitState::Open);
+  EXPECT_EQ(b.trips(), 2u);
+}
+
+TEST_F(CircuitBreakerTest, TimeoutWhileClosedOrOpenIsNotAFailure) {
+  CircuitBreaker b = make(2, 1.0);
+  b.record_timeout();  // Closed: a deadline is the client's budget
+  EXPECT_EQ(b.state(), CircuitState::Closed);
+  EXPECT_EQ(b.consecutive_failures(), 0);
+  b.record_failure();
+  b.record_timeout();  // must not advance the consecutive count either
+  EXPECT_EQ(b.consecutive_failures(), 1);
+  b.record_failure();  // trip
+  ASSERT_EQ(b.state(), CircuitState::Open);
+  b.record_timeout();  // Open: straggler, ignored
+  EXPECT_EQ(b.state(), CircuitState::Open);
+  EXPECT_EQ(b.trips(), 1u);
+}
+
 TEST_F(CircuitBreakerTest, OptionsAreValidated) {
   CircuitBreakerOptions bad;
   bad.failure_threshold = 0;

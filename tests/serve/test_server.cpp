@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <thread>
 #include <vector>
 
@@ -526,6 +527,55 @@ TEST_F(ForestServerTest, ConcurrentTracedTrafficWithLiveExport) {
   EXPECT_EQ(sum.completed, static_cast<std::uint64_t>(kClients * kPerClient));
   EXPECT_EQ(sum.retained, 16u);
   server.shutdown();
+}
+
+// The chaos harness replays failure scenarios expecting identical retry
+// timing run-to-run: the jittered exponential backoff must be a pure
+// function of (policy, attempt, rng state), bit-for-bit reproducible on
+// any platform.
+TEST(RetryBackoff, SequenceIsDeterministicUnderAFixedSeed) {
+  const RetryPolicy policy;  // base 1e-3, max 0.1, jitter 0.5
+  Xoshiro256 a(2024), b(2024);
+  std::vector<double> seq;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    seq.push_back(retry_backoff_seconds(policy, attempt, a));
+  }
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    // Bitwise equality, not near-equality: same seed, same stream.
+    EXPECT_EQ(seq[static_cast<std::size_t>(attempt)], retry_backoff_seconds(policy, attempt, b));
+  }
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    // Every draw stays inside nominal * [1 - jitter, 1 + jitter].
+    const double nominal =
+        std::min(std::ldexp(policy.backoff_base_seconds, attempt), policy.backoff_max_seconds);
+    EXPECT_GE(seq[static_cast<std::size_t>(attempt)], nominal * 0.5);
+    EXPECT_LE(seq[static_cast<std::size_t>(attempt)], nominal * 1.5);
+  }
+  // Attempts 7+ are capped: nominal growth stops at backoff_max_seconds.
+  EXPECT_LE(seq[7], policy.backoff_max_seconds * 1.5);
+}
+
+TEST(RetryBackoff, GoldenSequencePinsTheCrossPlatformBitStream) {
+  // Literals generated once from Xoshiro256(7).uniform(-1, 1); ldexp and
+  // IEEE multiply are exactly rounded, so any platform reproduces these
+  // bits. Regenerate only if the backoff algorithm itself changes.
+  RetryPolicy policy;
+  policy.backoff_base_seconds = 1e-3;
+  policy.backoff_max_seconds = 0.1;
+  policy.jitter_fraction = 0.5;
+  Xoshiro256 rng(7);
+  std::vector<double> seq;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    seq.push_back(retry_backoff_seconds(policy, attempt, rng));
+  }
+  const std::vector<double> golden = {
+      0x1.3ab952e8c38edp-10,  // 0.0012005764821796897
+      0x1.984a387f9c39bp-10,  // 0.0015575024589475686
+      0x1.5f2ce08ce27b6p-8,   // 0.0053585098475056794
+      0x1.8442c92a1b234p-7,   // 0.01184878180011948
+  };
+  ASSERT_EQ(seq.size(), golden.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) EXPECT_EQ(seq[i], golden[i]);
 }
 
 }  // namespace

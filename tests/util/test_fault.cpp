@@ -59,6 +59,33 @@ TEST(FaultInjector, SpecParsing) {
   EXPECT_FALSE(inj.enabled());
 }
 
+TEST(FaultInjector, RouterSitesParseAndCountFires) {
+  // The cluster chaos harness (tools/chaos.sh, tests/cluster) arms these
+  // at the router layer; exact fired() counts are what its assertions
+  // key on, so pin the arithmetic here.
+  FaultInjector inj;
+  inj.arm_spec("crash:route:2");
+  EXPECT_EQ(inj.remaining("crash:route"), 2);
+  EXPECT_THROW(inj.maybe_throw_resource("crash:route"), ResourceError);
+  EXPECT_TRUE(inj.consume("crash:route"));
+  EXPECT_FALSE(inj.consume("crash:route"));  // charges spent
+  EXPECT_EQ(inj.fired("crash:route"), 2u);
+
+  inj.arm_spec("freeze:shard");
+  EXPECT_EQ(inj.remaining("freeze:shard"), 1);
+  EXPECT_TRUE(inj.consume("freeze:shard"));
+  EXPECT_FALSE(inj.consume("freeze:shard"));
+  EXPECT_EQ(inj.fired("freeze:shard"), 1u);
+  inj.arm_spec("freeze:shard:3");  // re-arm keeps the cumulative count
+  inj.consume("freeze:shard");
+  EXPECT_EQ(inj.fired("freeze:shard"), 2u);
+  EXPECT_EQ(inj.remaining("freeze:shard"), 2);
+
+  EXPECT_THROW(inj.arm_spec("freeze:router"), ConfigError);  // unknown target
+  EXPECT_THROW(inj.arm_spec("crash:shard"), ConfigError);    // wrong kind pairing
+  inj.disarm_all();
+}
+
 TEST(FaultInjector, BadSpecsAreRejected) {
   FaultInjector inj;
   EXPECT_THROW(inj.arm_spec("resource"), ConfigError);          // no target

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Cluster chaos harness (docs/cluster.md): drives `hrf_cli --mode cluster`
+# through the degraded-mode scenarios and holds every run to the SLOs —
+# aggregate success rate >= 99% and router p95 within 2x the healthy
+# baseline measured first on the same host:
+#
+#   baseline        healthy 4-shard fleet (also sets the p95 reference)
+#   kill            a shard killed mid-traffic; failover absorbs it
+#   freeze          a shard worker wedged mid-dispatch (freeze:shard fault
+#                   site); the hedge covers the stalled request
+#   partition       a shard cut off from the router, healed mid-run; the
+#                   probe loop re-admits it
+#   kill-mid-reload a staged rolling reload with a shard killed mid-wave;
+#                   the wave must halt and roll the promoted prefix back
+#
+# Usage: tools/chaos.sh <path-to-hrf_cli>  (tools/check.sh --cluster-chaos
+# runs it against the plain build automatically)
+set -euo pipefail
+
+CLI="${1:?usage: tools/chaos.sh <path-to-hrf_cli>}"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+run() {  # run <name> <slo-p95-ms> <extra cli args...>
+  local name="$1" slo_p95="$2"; shift 2
+  echo "=== chaos: $name ==="
+  "$CLI" --mode cluster --data "$DIR/d.hrfd" \
+         --shards 4 --clients 4 --requests 30 --batch 128 \
+         --slo-success 0.99 --slo-p95-ms "$slo_p95" \
+         "$@" > "$DIR/$name.log" 2>&1 || {
+    echo "chaos: $name FAILED" >&2
+    cat "$DIR/$name.log" >&2
+    return 1
+  }
+  grep -q "cluster: clean shutdown" "$DIR/$name.log" || {
+    echo "chaos: $name did not shut down cleanly" >&2
+    cat "$DIR/$name.log" >&2
+    return 1
+  }
+  grep "cluster summary:" "$DIR/$name.log"
+}
+
+"$CLI" --mode gen --dataset susy --samples 2000 --out "$DIR/d.hrfd" > /dev/null
+"$CLI" --mode train --data "$DIR/d.hrfd" --trees 8 --depth 8 --out "$DIR/m.hrff" > /dev/null
+"$CLI" --mode publish --store "$DIR/store" --model "$DIR/m.hrff" \
+       --layout hier --sd 4 --note gen1 > /dev/null
+
+# Healthy baseline: perfect success, and its p95 anchors the degraded-mode
+# latency SLO (acceptance: chaos p95 within 2x healthy, floored at 10ms so
+# a sub-millisecond baseline doesn't turn scheduler jitter into a breach).
+run baseline 0 --model "$DIR/m.hrff"
+grep -q "success=1.0000" "$DIR/baseline.log" || {
+  echo "chaos: baseline must have perfect success" >&2; exit 1; }
+P95_MS="$(sed -n 's/.* p95_ms=\([0-9.]*\).*/\1/p' "$DIR/baseline.log")"
+SLO_P95="$(awk -v p="$P95_MS" 'BEGIN { v = 2 * p; if (v < 10) v = 10; printf "%.3f", v }')"
+echo "chaos: healthy p95 ${P95_MS} ms -> degraded-mode SLO ${SLO_P95} ms"
+
+run kill "$SLO_P95" --model "$DIR/m.hrff" --kill-shard 1 --chaos-delay-ms 5
+grep -q "shard 1: down" "$DIR/kill.log" || {
+  echo "chaos: killed shard not reported down" >&2; exit 1; }
+
+# Freeze is gated on success + hedging, not the 2x p95 bound: a hedged
+# request's floor is the hedge delay itself, which can exceed 2x a
+# sub-millisecond healthy baseline by design.
+run freeze 0 --model "$DIR/m.hrff" \
+    --inject-fault freeze:shard:2 --hedge-ms 15
+grep -q "hedged=[1-9]" "$DIR/freeze.log" || {
+  echo "chaos: frozen shard never triggered a hedge" >&2; exit 1; }
+
+run partition "$SLO_P95" --model "$DIR/m.hrff" \
+    --partition-shard 2 --chaos-delay-ms 5 --heal-ms 100
+grep -q "chaos: healed shard 2" "$DIR/partition.log" || {
+  echo "chaos: partition was never healed" >&2; exit 1; }
+
+run kill-mid-reload "$SLO_P95" --model-store "$DIR/store" \
+    --backend gpu-sim --variant hybrid --sd 4 \
+    --rolling-reload --publish-live "$DIR/m.hrff" --canary-requests 1 \
+    --kill-shard 3 --chaos-delay-ms 2
+grep -q "HALTED" "$DIR/kill-mid-reload.log" || {
+  echo "chaos: killed shard did not halt the rolling-reload wave" >&2; exit 1; }
+
+echo "chaos.sh: all scenarios held the degraded-mode SLOs"

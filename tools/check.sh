@@ -5,12 +5,15 @@
 #
 # The plain build also runs a reload-chaos step: a publisher killed
 # mid-write (crash:publish / crash:manifest fault sites) must leave the
-# versioned model store recoverable and still serveable — and a
+# versioned model store recoverable and still serveable — a
 # metrics-schema step: a traced serve run must export Prometheus + JSON
 # files that hrf_cli --mode metrics-check accepts against the documented
-# metric catalogue (docs/observability.md).
+# metric catalogue (docs/observability.md) — and a cluster-chaos step:
+# the degraded-mode SLO suite (ctest -L chaos: kill-shard-mid-reload and
+# partition scenarios) plus the tools/chaos.sh CLI harness
+# (docs/cluster.md). The TSan build also runs the cluster suites.
 #
-# Usage: tools/check.sh [--plain-only|--sanitize-only|--tsan-only]
+# Usage: tools/check.sh [--plain-only|--sanitize-only|--tsan-only|--cluster-chaos]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -87,11 +90,30 @@ metrics_schema() {  # metrics_schema <build-dir>
   echo "metrics-schema: export matches the documented catalogue"
 }
 
+cluster_chaos() {  # cluster_chaos <build-dir>
+  echo "=== cluster-chaos ($1) ==="
+  # The chaos-labeled gtest suite: kill-shard-mid-rolling-reload and
+  # partition-with-heal against the degraded-mode SLOs (success >= 99%,
+  # p95 within 2x the healthy baseline).
+  ctest --test-dir "$1" --output-on-failure -L chaos
+  # The CLI-driven harness exercises the same scenarios end to end
+  # (plus freeze/hedging) through hrf_cli --mode cluster.
+  tools/chaos.sh "$1/tools/hrf_cli"
+  echo "cluster-chaos: degraded-mode SLOs held"
+}
+
 case "$MODE" in
   all|--plain-only)
     run_suite build
     reload_chaos build
     metrics_schema build
+    ;;&
+  all|--plain-only|--cluster-chaos)
+    if [ "$MODE" = --cluster-chaos ]; then
+      cmake -B build -S . -DHRF_BUILD_BENCHES=OFF
+      cmake --build build -j "$JOBS" --target hrf_cli test_cluster_chaos
+    fi
+    cluster_chaos build
     ;;&
   all|--sanitize-only)
     # Sanitized configs keep examples/tools on so the CLI end-to-end test
@@ -107,17 +129,17 @@ case "$MODE" in
     echo "=== configure build-tsan ==="
     cmake -B build-tsan -S . -DHRF_BUILD_BENCHES=OFF "-DHRF_SANITIZE=thread"
     echo "=== build build-tsan ==="
-    cmake --build build-tsan -j "$JOBS" --target test_server test_circuit_breaker test_fault test_metrics test_histogram test_model_store test_reload test_trace test_obs
+    cmake --build build-tsan -j "$JOBS" --target test_server test_circuit_breaker test_fault test_metrics test_histogram test_model_store test_reload test_trace test_obs test_cluster test_cluster_chaos
     echo "=== test build-tsan (concurrency suites) ==="
     OMP_NUM_THREADS=1 TSAN_OPTIONS="halt_on_error=1" \
       ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-            -R '(ForestServer|CircuitBreaker|FaultInjector|CounterRegistry|LatencyHistogram|ModelStore|ModelReload|Tracer|Span\.|Trace\.|RollupRegistry|BackendRollup)'
+            -R '(ForestServer|CircuitBreaker|FaultInjector|CounterRegistry|LatencyHistogram|ModelStore|ModelReload|Tracer|Span\.|Trace\.|RollupRegistry|BackendRollup|Cluster)'
     ;;&
-  all|--plain-only|--sanitize-only|--tsan-only)
+  all|--plain-only|--sanitize-only|--tsan-only|--cluster-chaos)
     echo "check.sh: all requested suites passed"
     ;;
   *)
-    echo "usage: tools/check.sh [--plain-only|--sanitize-only|--tsan-only]" >&2
+    echo "usage: tools/check.sh [--plain-only|--sanitize-only|--tsan-only|--cluster-chaos]" >&2
     exit 2
     ;;
 esac

@@ -55,6 +55,7 @@
 #include <vector>
 
 #include "bench/harness.hpp"
+#include "cluster/cluster.hpp"
 #include "core/hrf.hpp"
 #include "forest/importance.hpp"
 #include "obs/exporter.hpp"
@@ -301,6 +302,18 @@ int mode_bench(const CliArgs& args) {
                 "ratio %.3f\n",
                 report.trace_overhead->p95_off_ns, report.trace_overhead->p95_on_ns,
                 report.trace_overhead->ratio);
+  }
+
+  if (args.get_flag("cluster-bench")) {
+    bench::ClusterBenchOptions copt;
+    copt.shards = static_cast<std::size_t>(args.get_int("shards", 4));
+    copt.requests = static_cast<std::size_t>(args.get_int("requests", 120));
+    copt.clients = static_cast<std::size_t>(args.get_int("clients", 4));
+    copt.query_seed = opt.query_seed;
+    report.cluster = bench::measure_cluster(copt);
+    std::printf("cluster bench: %zu shards, %zu requests -> p95 %.0f ns, %.0f qps\n",
+                report.cluster->shards, report.cluster->requests, report.cluster->p95_ns,
+                report.cluster->qps);
   }
 
   Table t({"variant", "backend", "batch", "p50 ns/q", "p95 ns/q", "p99 ns/q", "qps"});
@@ -673,6 +686,211 @@ int mode_serve(const CliArgs& args) {
   return clean ? 0 : 1;
 }
 
+// Sharded cluster demo + chaos driver (docs/cluster.md): stands up a
+// ClusterRouter over --shards ForestServer shards, drives it with
+// concurrent clients, and optionally injects chaos mid-traffic — kill a
+// shard (--kill-shard), partition one and heal it (--partition-shard /
+// --heal-ms), or run a staged rolling reload (--rolling-reload with
+// --model-store + --publish-live) with the kill landing mid-wave. Exits
+// nonzero when the aggregate success rate or router p95 violates the
+// --slo-success / --slo-p95-ms degraded-mode SLOs, or any answered
+// request returned wrong predictions.
+int mode_cluster(const CliArgs& args) {
+  const Dataset data = Dataset::load(args.get("data", "data.hrfd"));
+
+  ClassifierOptions opt;
+  opt.backend = parse_backend(args.get("backend", "cpu"));
+  opt.variant = parse_variant(args.get("variant", "independent"));
+  opt.layout.subtree_depth = static_cast<int>(args.get_int("sd", 8));
+  opt.layout.root_subtree_depth = static_cast<int>(args.get_int("rsd", 0));
+  opt.fallback.enabled = !args.get_flag("no-fallback");
+
+  serve::ServerOptions sopt;
+  sopt.num_workers = static_cast<std::size_t>(args.get_int("workers", 1));
+  sopt.queue_capacity = static_cast<std::size_t>(args.get_int("queue-cap", 32));
+  sopt.default_deadline_seconds = args.get_double("deadline-ms", 0.0) / 1e3;
+  sopt.retry.backoff_base_seconds = 1e-4;
+  sopt.drain_deadline_seconds = args.get_double("drain-s", 5.0);
+
+  cluster::ClusterOptions clopt;
+  clopt.num_shards = static_cast<std::size_t>(args.get_int("shards", 4));
+  clopt.policy = cluster::routing_policy_from_name(args.get("router-policy", "hash"));
+  clopt.max_failovers = static_cast<int>(args.get_int("failovers", 2));
+  clopt.hedge.min_seconds = args.get_double("hedge-ms", 10.0) / 1e3;
+  clopt.probe_interval_seconds = args.get_double("probe-interval-ms", 20.0) / 1e3;
+
+  const std::size_t clients = static_cast<std::size_t>(args.get_int("clients", 4));
+  const std::size_t per_client = static_cast<std::size_t>(args.get_int("requests", 32));
+  const std::size_t batch =
+      std::min<std::size_t>(static_cast<std::size_t>(args.get_int("batch", 256)),
+                            data.num_samples());
+  Dataset queries(batch, data.num_features(), data.num_classes());
+  queries.set_name(data.name());
+  for (std::size_t i = 0; i < batch; ++i) queries.push_back(data.sample(i), data.label(i));
+
+  const std::string store_dir = args.get("model-store", "");
+  const bool rolling = args.get_flag("rolling-reload");
+  if (rolling && store_dir.empty()) {
+    throw ConfigError("--rolling-reload requires --model-store");
+  }
+
+  std::optional<serve::ModelStore> store;
+  std::optional<cluster::ClusterRouter> router;
+  std::vector<std::uint8_t> reference;
+  if (!store_dir.empty()) {
+    store.emplace(serve::ModelStore::open(store_dir));
+    const auto cur = store->current();
+    if (!cur) {
+      throw ConfigError("model store " + store_dir +
+                        " has no complete generation; run --mode publish first");
+    }
+    const serve::LoadedModel m = store->load(*cur);
+    reference = m.forest.classify_batch(queries.features(), queries.num_samples());
+    router.emplace(*store, opt, sopt, clopt);
+  } else {
+    Forest forest = Forest::load(args.get("model", "model.hrff"));
+    reference = forest.classify_batch(queries.features(), queries.num_samples());
+    router.emplace(forest, opt, sopt, clopt);
+  }
+  std::printf("cluster: %zu shards (%s routing, %d failovers, hedge floor %.1f ms), "
+              "%zu clients x %zu requests of %zu queries\n",
+              router->num_shards(), cluster::to_string(clopt.policy), clopt.max_failovers,
+              clopt.hedge.min_seconds * 1e3, clients, per_client, batch);
+
+  std::atomic<std::uint64_t> ok{0}, failed{0}, wrong{0};
+  std::vector<std::thread> pool;
+  pool.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    pool.emplace_back([&, c] {
+      for (std::size_t r = 0; r < per_client; ++r) {
+        try {
+          const cluster::ClusterResult res =
+              router->query(queries, {.key = c * 1000003ULL + r});
+          ++ok;
+          if (res.result.report.predictions != reference) ++wrong;
+        } catch (const Error&) {
+          ++failed;
+        }
+      }
+    });
+  }
+
+  // Chaos orchestration: wait out the healthy warmup, then inject.
+  const double chaos_delay_s = args.get_double("chaos-delay-ms", 10.0) / 1e3;
+  const long long kill = args.get_int("kill-shard", -1);
+  const long long partition = args.get_int("partition-shard", -1);
+  const double heal_s = args.get_double("heal-ms", 100.0) / 1e3;
+  const auto nap = [](double s) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(s));
+  };
+
+  std::thread chaos;
+  if (kill >= 0 && rolling) {
+    // The acceptance scenario: the kill lands mid-wave, the wave halts
+    // and rolls the already-promoted shards back.
+    chaos = std::thread([&] {
+      nap(chaos_delay_s);
+      router->kill_shard(static_cast<std::size_t>(kill));
+      std::printf("chaos: killed shard %lld mid-reload\n", kill);
+    });
+  } else if (kill >= 0) {
+    nap(chaos_delay_s);
+    router->kill_shard(static_cast<std::size_t>(kill));
+    std::printf("chaos: killed shard %lld\n", kill);
+  }
+  if (partition >= 0) {
+    nap(chaos_delay_s);
+    router->set_partitioned(static_cast<std::size_t>(partition), true);
+    std::printf("chaos: partitioned shard %lld for %.0f ms\n", partition, heal_s * 1e3);
+  }
+
+  bool reload_as_expected = true;
+  if (rolling) {
+    const std::string publish_live = args.get("publish-live", "");
+    std::uint64_t target_gen = store->current().value();
+    if (!publish_live.empty()) {
+      const Forest f = Forest::load(publish_live);
+      if (opt.variant == Variant::Csr || opt.variant == Variant::FilBaseline) {
+        target_gen = store->publish(f, CsrForest::build(f), "cluster rolling reload");
+      } else {
+        target_gen =
+            store->publish(f, HierarchicalForest::build(f, opt.layout), "cluster rolling reload");
+      }
+    }
+    cluster::RollingReloadOptions ropts;
+    ropts.reload.shadow_queries = static_cast<std::size_t>(args.get_int("shadow-queries", 64));
+    ropts.reload.canary_success_requests =
+        static_cast<std::uint64_t>(args.get_int("canary-requests", 1));
+    ropts.reload.post_promotion_watch_requests =
+        static_cast<std::uint64_t>(args.get_int("watch-requests", 0));
+    const cluster::RollingReloadReport rep = router->rolling_reload(*store, target_gen, ropts);
+    std::printf("%s\n", rep.to_string().c_str());
+    // A kill scheduled mid-wave must halt the wave; otherwise it must
+    // complete.
+    reload_as_expected = (kill >= 0) ? !rep.completed : rep.completed;
+  }
+  if (chaos.joinable()) chaos.join();
+
+  if (partition >= 0) {
+    nap(heal_s);
+    router->set_partitioned(static_cast<std::size_t>(partition), false);
+    std::printf("chaos: healed shard %lld\n", partition);
+  }
+
+  for (std::thread& t : pool) t.join();
+
+  const cluster::ClusterStats stats = router->stats();
+  const HistogramSnapshot route = router->route_latency();
+  const double p95_ms = route.percentile_ns(95) / 1e6;
+  const std::uint64_t total = ok.load() + failed.load();
+  const double success = total > 0 ? static_cast<double>(ok.load()) / static_cast<double>(total)
+                                   : 0.0;
+
+  const std::string metrics_out = args.get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    obs::write_metrics_files(router->metrics_snapshot(), metrics_out);
+    std::printf("metrics written to %s and %s.json\n", metrics_out.c_str(),
+                metrics_out.c_str());
+  }
+  router->shutdown();
+
+  std::printf("latency percentiles (per stage):\n%s", router->latency().to_markdown().c_str());
+  for (const cluster::ShardStatus& s : stats.shard_status) {
+    std::printf("shard %zu: %s%s breaker=%s gen=%llu routed=%llu failures=%llu\n", s.index,
+                s.alive ? "up" : "down", s.partitioned ? " (partitioned)" : "",
+                serve::to_string(s.breaker), static_cast<unsigned long long>(s.generation),
+                static_cast<unsigned long long>(s.routed),
+                static_cast<unsigned long long>(s.failures));
+  }
+  std::printf("cluster summary: shards=%zu available=%zu ok=%llu failed=%llu wrong=%llu "
+              "success=%.4f p95_ms=%.3f failovers=%llu hedged=%llu hedge_wins=%llu "
+              "no_shard=%llu probes=%llu rollbacks=%llu\n",
+              stats.shards, stats.available, static_cast<unsigned long long>(ok.load()),
+              static_cast<unsigned long long>(failed.load()),
+              static_cast<unsigned long long>(wrong.load()), success, p95_ms,
+              static_cast<unsigned long long>(stats.failovers),
+              static_cast<unsigned long long>(stats.hedged),
+              static_cast<unsigned long long>(stats.hedge_wins),
+              static_cast<unsigned long long>(stats.no_shard_available),
+              static_cast<unsigned long long>(stats.probes),
+              static_cast<unsigned long long>(stats.shard_rollbacks));
+
+  const double slo_success = args.get_double("slo-success", 0.99);
+  const double slo_p95_ms = args.get_double("slo-p95-ms", 0.0);
+  bool clean = wrong.load() == 0 && reload_as_expected;
+  if (success < slo_success) {
+    std::printf("SLO VIOLATION: success %.4f < %.4f\n", success, slo_success);
+    clean = false;
+  }
+  if (slo_p95_ms > 0.0 && p95_ms > slo_p95_ms) {
+    std::printf("SLO VIOLATION: p95 %.3f ms > %.3f ms\n", p95_ms, slo_p95_ms);
+    clean = false;
+  }
+  if (!reload_as_expected) std::printf("rolling reload did not end in the expected state\n");
+  std::printf(clean ? "cluster: clean shutdown\n" : "cluster: FAILED (see summary above)\n");
+  return clean ? 0 : 1;
+}
+
 // Trace explorer (docs/observability.md): drives a short, fully-sampled
 // serving session and pretty-prints the slowest end-to-end traces as span
 // trees — queue wait, execute, per-chunk backend work, retries, fallback —
@@ -757,7 +975,7 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   args.allow("mode",
              "gen | train | info | layout | predict | compile | publish | store | serve | "
-             "bench | trace | metrics-check")
+             "cluster | bench | trace | metrics-check")
       .allow("dataset", "gen: covertype | susy | higgs")
       .allow("samples", "gen: sample count")
       .allow("data", "train/predict: dataset file (.hrfd)")
@@ -801,8 +1019,22 @@ int main(int argc, char** argv) {
       .allow("metrics-interval-ms", "serve: periodic metrics export interval (0 = final only)")
       .allow("metrics", "metrics-check: Prometheus text file to validate")
       .allow("json", "metrics-check: JSON metrics file (default <metrics>.json)")
+      .allow("shards", "cluster/bench: number of ForestServer shards")
+      .allow("router-policy", "cluster: hash | least-loaded")
+      .allow("hedge-ms", "cluster: hedge delay floor (p95-derived above it)")
+      .allow("failovers", "cluster: extra shards tried after a failed attempt")
+      .allow("probe-interval-ms", "cluster: health probe loop cadence")
+      .allow("kill-shard", "cluster: shard to kill after --chaos-delay-ms (-1 = none)")
+      .allow("partition-shard", "cluster: shard to partition from the router (-1 = none)")
+      .allow("heal-ms", "cluster: partition duration before healing")
+      .allow("chaos-delay-ms", "cluster: healthy warmup before chaos lands")
+      .allow("rolling-reload", "cluster: staged rolling reload across the fleet "
+                               "(publishes --publish-live to --model-store first)")
+      .allow("slo-success", "cluster: minimum aggregate success rate (default 0.99)")
+      .allow("slo-p95-ms", "cluster: maximum router p95 in ms (0 = ungated)")
       .allow("inject-fault", "fault spec(s): resource:{gpu|gpu-smem|fpga|fpga-bram}[:n], "
-                             "bitflip:layout, corrupt:node, crash:{publish|manifest}")
+                             "bitflip:layout, corrupt:node, "
+                             "crash:{publish|manifest|route}, freeze:shard")
       .allow("inject-seed", "fault injector RNG seed")
       .allow("variants", "bench: comma-separated variant sweep list")
       .allow("backends", "bench: comma-separated backend sweep list")
@@ -816,6 +1048,7 @@ int main(int argc, char** argv) {
       .allow("trace-requests", "bench: requests per trace-overhead run (default 200)")
       .allow("trace-tolerance", "bench: allowed fractional trace-overhead p95 cost "
                                 "(default 0.05)")
+      .allow("cluster-bench", "bench: measure routed p95 + qps over a healthy shard fleet")
       .allow("out", "gen/train/predict/compile/bench: output path");
   if (!args.validate()) return 1;
 
@@ -836,6 +1069,7 @@ int main(int argc, char** argv) {
     if (mode == "publish") return mode_publish(args);
     if (mode == "store") return mode_store(args);
     if (mode == "serve") return mode_serve(args);
+    if (mode == "cluster") return mode_cluster(args);
     if (mode == "bench") return mode_bench(args);
     if (mode == "trace") return mode_trace(args);
     if (mode == "metrics-check") return mode_metrics_check(args);
