@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <ctime>
 #include <fstream>
@@ -16,7 +17,9 @@
 #include "data/synthetic.hpp"
 #include "serve/server.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/histogram.hpp"
+#include "util/stats.hpp"
 #include "util/timer.hpp"
 
 namespace hrf::bench {
@@ -287,6 +290,114 @@ ClusterBenchResult measure_cluster(const ClusterBenchOptions& options) {
   return result;
 }
 
+NoisyNeighborResult measure_noisy_neighbor(const NoisyNeighborOptions& options) {
+  require(options.shards >= 1, "noisy bench needs at least one shard");
+  require(options.requests >= 1, "noisy bench needs at least one victim request");
+  require(options.clients >= 1, "noisy bench needs at least one victim client");
+  require(options.surge_clients >= 1, "noisy bench needs at least one surge client");
+  require(options.batch >= 1, "noisy bench batch must be >= 1");
+  require(options.workers_per_shard >= 1, "noisy bench needs >= 1 worker per shard");
+  require(options.queue_capacity >= 2, "noisy bench queue must hold both tenants");
+  require(options.surge_stall_seconds >= 0.0, "surge stall must be >= 0");
+
+  const Forest forest = make_random_forest(options.forest);
+  const Dataset queries =
+      make_random_queries(options.batch, options.forest.num_features, options.query_seed);
+
+  ClassifierOptions copt;
+  copt.variant = Variant::Independent;
+  copt.backend = Backend::CpuNative;
+  serve::ServerOptions sopt;
+  sopt.num_workers = options.workers_per_shard;
+  sopt.queue_capacity = options.queue_capacity;
+  sopt.default_deadline_seconds = 30.0;
+  sopt.quotas.tenants = {{"victim", options.victim_weight},
+                         {"surger", options.surger_weight}};
+  sopt.surge_tenant = "surger";
+  sopt.inject_surge_seconds = options.surge_stall_seconds;
+  cluster::ClusterOptions clopt;
+  clopt.num_shards = options.shards;
+  clopt.start_probes = false;
+  cluster::ClusterRouter router(forest, copt, sopt, clopt);
+
+  for (std::size_t s = 0; s < options.shards; ++s) {
+    (void)router.query(queries, {.key = s, .tenant = "victim"});
+  }
+
+  // The surge runs for the whole victim measurement: spinning clients
+  // whose admitted requests stall a worker (surge:tenant fault site).
+  FaultInjector::global().arm("surge:tenant", -1);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> shed{0};
+  std::atomic<std::uint64_t> surge_key{1'000'000};
+  std::vector<std::thread> surgers;
+  surgers.reserve(options.surge_clients);
+  for (std::size_t c = 0; c < options.surge_clients; ++c) {
+    surgers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        cluster::QueryOptions qopt;
+        qopt.key = surge_key.fetch_add(1, std::memory_order_relaxed);
+        qopt.tenant = "surger";
+        try {
+          (void)router.query(queries, qopt);
+        } catch (const QuotaError&) {
+          shed.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::sleep_for(std::chrono::microseconds(20));
+        } catch (const Error&) {
+          // Deadline/overload spillover is the victims' concern, not ours.
+        }
+      }
+    });
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::uint64_t> ok{0}, failed{0};
+  std::vector<std::vector<double>> latencies(options.clients);
+  WallTimer wall;
+  std::vector<std::thread> victims;
+  victims.reserve(options.clients);
+  for (std::size_t c = 0; c < options.clients; ++c) {
+    victims.emplace_back([&, c] {
+      latencies[c].reserve(options.requests / options.clients + 1);
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= options.requests) return;
+        cluster::QueryOptions qopt;
+        qopt.key = c * 1000003ULL + i;
+        qopt.tenant = "victim";
+        WallTimer t;
+        try {
+          (void)router.query(queries, qopt);
+          latencies[c].push_back(t.seconds() * 1e9);
+          ok.fetch_add(1, std::memory_order_relaxed);
+        } catch (const Error&) {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : victims) t.join();
+  const double seconds = wall.seconds();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : surgers) t.join();
+  FaultInjector::global().disarm("surge:tenant");
+  router.shutdown();
+
+  std::vector<double> all;
+  for (const std::vector<double>& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  NoisyNeighborResult result;
+  result.shards = options.shards;
+  result.requests = options.requests;
+  result.batch = options.batch;
+  result.victim_p95_ns = all.empty() ? 0.0 : percentile(all, 95.0);
+  const std::uint64_t attempts = ok.load() + failed.load();
+  result.victim_success =
+      attempts > 0 ? static_cast<double>(ok.load()) / static_cast<double>(attempts) : 0.0;
+  result.surger_shed = shed.load();
+  result.victim_qps = seconds > 0.0 ? static_cast<double>(ok.load()) / seconds : 0.0;
+  return result;
+}
+
 json::Value to_json(const BenchReport& report) {
   json::Value root = json::Value::object();
   root["schema"] = kSchemaName;
@@ -343,6 +454,18 @@ json::Value to_json(const BenchReport& report) {
     c["p95_ns"] = report.cluster->p95_ns;
     c["qps"] = report.cluster->qps;
     root["cluster"] = std::move(c);
+  }
+
+  if (report.noisy) {
+    json::Value n = json::Value::object();
+    n["shards"] = report.noisy->shards;
+    n["requests"] = report.noisy->requests;
+    n["batch"] = report.noisy->batch;
+    n["victim_p95_ns"] = report.noisy->victim_p95_ns;
+    n["victim_success"] = report.noisy->victim_success;
+    n["surger_shed"] = report.noisy->surger_shed;
+    n["victim_qps"] = report.noisy->victim_qps;
+    root["noisy"] = std::move(n);
   }
   return root;
 }
@@ -411,6 +534,18 @@ BenchReport report_from_json(const json::Value& v) {
     res.qps = c->get("qps").as_number();
     report.cluster = res;
   }
+
+  if (const json::Value* n = v.find("noisy")) {
+    NoisyNeighborResult res;
+    res.shards = static_cast<std::size_t>(n->get("shards").as_number());
+    res.requests = static_cast<std::size_t>(n->get("requests").as_number());
+    res.batch = static_cast<std::size_t>(n->get("batch").as_number());
+    res.victim_p95_ns = n->get("victim_p95_ns").as_number();
+    res.victim_success = n->get("victim_success").as_number();
+    res.surger_shed = static_cast<std::uint64_t>(n->get("surger_shed").as_number());
+    res.victim_qps = n->get("victim_qps").as_number();
+    report.noisy = res;
+  }
   return report;
 }
 
@@ -448,6 +583,19 @@ CompareResult compare_reports(const BenchReport& baseline, const BenchReport& cu
         result.regressions.push_back({"cluster", baseline.cluster->p95_ns,
                                       current.cluster->p95_ns,
                                       current.cluster->p95_ns / baseline.cluster->p95_ns});
+      }
+    }
+  }
+  if (baseline.noisy) {
+    if (!current.noisy) {
+      result.missing_cases.push_back("noisy");
+    } else {
+      ++result.compared;
+      if (baseline.noisy->victim_p95_ns > 0.0 &&
+          current.noisy->victim_p95_ns > baseline.noisy->victim_p95_ns * (1.0 + tolerance)) {
+        result.regressions.push_back(
+            {"noisy", baseline.noisy->victim_p95_ns, current.noisy->victim_p95_ns,
+             current.noisy->victim_p95_ns / baseline.noisy->victim_p95_ns});
       }
     }
   }

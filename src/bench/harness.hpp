@@ -138,6 +138,50 @@ struct ClusterBenchResult {
 
 ClusterBenchResult measure_cluster(const ClusterBenchOptions& options);
 
+/// Noisy-neighbor serving micro-benchmark (docs/cluster.md): a fleet with
+/// per-tenant admission quotas serves a "victim" tenant while a "surger"
+/// tenant floods it from spinning clients, each admitted surge request
+/// stalling a worker for `surge_stall_seconds` (the surge:tenant fault
+/// site). The victim-observed end-to-end p95 is the number under gate:
+/// it measures how well admission isolates a tenant from a hostile
+/// co-tenant, the QoS analogue of the healthy-fleet cluster case.
+/// Wall-clock numbers — gate with the CpuNative tolerance.
+struct NoisyNeighborOptions {
+  std::size_t shards = 4;
+  std::size_t requests = 120;  // victim requests, total across clients
+  std::size_t clients = 2;     // victim client threads
+  std::size_t surge_clients = 8;
+  std::size_t batch = 256;
+  std::size_t workers_per_shard = 2;
+  /// Small on purpose: quotas meter queue slots, so shedding only bites
+  /// when the queue is scarce relative to the surge.
+  std::size_t queue_capacity = 5;
+  /// 4:1 over capacity 5 reserves the whole queue (4 victim + 1 surger
+  /// slots, empty spare pool), so the surger has exactly one queued
+  /// request per shard and everything past it is shed at admission.
+  double victim_weight = 4.0;
+  double surger_weight = 1.0;
+  /// Worker stall per admitted surge request (makes the surge heavy as
+  /// well as frequent, like the chaos scenario it mirrors). Long enough
+  /// that admitted surge requests pile the queue up behind the stalled
+  /// workers — that is what forces admission, not deadlines, to shed.
+  double surge_stall_seconds = 0.001;
+  RandomForestSpec forest{.num_trees = 20, .max_depth = 10, .num_features = 16};
+  std::uint64_t query_seed = 42;
+};
+
+struct NoisyNeighborResult {
+  std::size_t shards = 0;
+  std::size_t requests = 0;
+  std::size_t batch = 0;
+  double victim_p95_ns = 0.0;      // victim end-to-end p95 under the surge
+  double victim_success = 0.0;     // victim ok / victim attempts
+  std::uint64_t surger_shed = 0;   // surge requests absorbed by QuotaError
+  double victim_qps = 0.0;         // victim completions / wall seconds
+};
+
+NoisyNeighborResult measure_noisy_neighbor(const NoisyNeighborOptions& options);
+
 struct BenchReport {
   int schema_version = kSchemaVersion;
   EnvFingerprint env;
@@ -152,6 +196,9 @@ struct BenchReport {
   /// Present when the sweep ran with the cluster serving case; compared
   /// like a regular case under the key "cluster".
   std::optional<ClusterBenchResult> cluster;
+  /// Present when the sweep ran with the noisy-neighbor QoS case; the
+  /// victim p95 is compared under the key "noisy".
+  std::optional<NoisyNeighborResult> noisy;
 };
 
 /// Runs the sweep, skipping invalid combinations (collaborative/hybrid
@@ -192,8 +239,9 @@ struct CompareResult {
 /// new coverage, not failures; cases only in `baseline` are missing.
 /// trace_tolerance gates the current report's own trace_overhead ratio
 /// (tracing everything must cost < 5% serve p95 by default).
-/// A baseline cluster case is matched under the key "cluster" with the
-/// same p95 gate (missing from `current` = missing case).
+/// A baseline cluster case is matched under the key "cluster" and a
+/// baseline noisy-neighbor case under the key "noisy" (victim p95), both
+/// with the same p95 gate (missing from `current` = missing case).
 CompareResult compare_reports(const BenchReport& baseline, const BenchReport& current,
                               double tolerance, double trace_tolerance = 0.05);
 

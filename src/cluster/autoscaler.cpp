@@ -1,0 +1,180 @@
+#include "cluster/autoscaler.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/error.hpp"
+#include "util/fault.hpp"
+
+namespace hrf::cluster {
+
+namespace {
+
+std::chrono::steady_clock::duration to_duration(double seconds) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(std::max(0.0, seconds)));
+}
+
+double steady_now_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Element-wise difference of two cumulative snapshots: the distribution
+/// of observations recorded between `prev` and `cur`. max_ns carries the
+/// cumulative maximum (a per-interval max is not recoverable), which
+/// only affects the p100 clamp — interval p95 is what scaling reads.
+HistogramSnapshot interval_between(const HistogramSnapshot& prev, const HistogramSnapshot& cur) {
+  HistogramSnapshot out;
+  out.counts.assign(cur.counts.size(), 0);
+  for (std::size_t i = 0; i < cur.counts.size(); ++i) {
+    const std::uint64_t before = i < prev.counts.size() ? prev.counts[i] : 0;
+    out.counts[i] = cur.counts[i] >= before ? cur.counts[i] - before : 0;
+  }
+  out.total = cur.total >= prev.total ? cur.total - prev.total : 0;
+  out.sum_ns = cur.sum_ns >= prev.sum_ns ? cur.sum_ns - prev.sum_ns : 0;
+  out.max_ns = cur.max_ns;
+  return out;
+}
+
+}  // namespace
+
+ClusterAutoscaler::ClusterAutoscaler(ClusterRouter& router, AutoscalerOptions options,
+                                     Clock clock, MetricsSource source)
+    : router_(router),
+      options_(options),
+      clock_(clock ? std::move(clock) : steady_now_seconds),
+      source_(std::move(source)) {
+  require(options_.min_shards >= 1, "autoscaler min_shards must be >= 1");
+  require(options_.max_shards >= options_.min_shards,
+          "autoscaler max_shards must be >= min_shards");
+  require(options_.evaluation_interval_seconds > 0.0,
+          "autoscaler evaluation_interval_seconds must be > 0");
+  require(options_.hysteresis_evaluations >= 1, "autoscaler hysteresis_evaluations must be >= 1");
+  require(options_.cooldown_seconds >= 0.0, "autoscaler cooldown_seconds must be >= 0");
+  require(options_.scale_down_p95_seconds < options_.scale_up_p95_seconds,
+          "autoscaler scale_down_p95_seconds must be below scale_up_p95_seconds");
+  require(options_.scale_down_queue_depth < options_.scale_up_queue_depth,
+          "autoscaler scale_down_queue_depth must be below scale_up_queue_depth");
+  prev_route_ = router_.route_latency();
+  if (options_.start_thread) {
+    thread_ = std::thread([this] { loop(); });
+  }
+}
+
+ClusterAutoscaler::~ClusterAutoscaler() { stop(); }
+
+void ClusterAutoscaler::stop() {
+  stopping_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+  }
+  wake_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void ClusterAutoscaler::loop() {
+  std::unique_lock<std::mutex> lock(wake_mu_);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    wake_cv_.wait_for(lock, to_duration(options_.evaluation_interval_seconds),
+                      [this] { return stopping_.load(std::memory_order_acquire); });
+    if (stopping_.load(std::memory_order_acquire)) break;
+    lock.unlock();
+    evaluate();
+    lock.lock();
+  }
+}
+
+AutoscalerSample ClusterAutoscaler::sample_from_router() {
+  AutoscalerSample s;
+  const HistogramSnapshot cur = router_.route_latency();
+  const HistogramSnapshot interval = interval_between(prev_route_, cur);
+  prev_route_ = cur;
+  if (!interval.empty()) s.route_p95_seconds = interval.percentile_ns(95) / 1e9;
+  const ClusterStats stats = router_.stats();
+  if (!stats.shard_status.empty()) {
+    double queued = 0.0;
+    for (const ShardStatus& st : stats.shard_status) {
+      queued += static_cast<double>(st.queue_depth);
+    }
+    s.avg_queue_depth = queued / static_cast<double>(stats.shard_status.size());
+  }
+  return s;
+}
+
+void ClusterAutoscaler::evaluate() {
+  // The stall site wedges the control loop *before* it reads metrics —
+  // the fleet must keep serving at its current size while the operator
+  // brain is stuck, which is exactly what the chaos test asserts.
+  if (FaultInjector::global().enabled() &&
+      FaultInjector::global().consume("stall:autoscaler")) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stalled_;
+    }
+    router_.add_counter("autoscaler.stalled");
+    std::this_thread::sleep_for(to_duration(options_.inject_stall_seconds));
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++evaluations_;
+  router_.add_counter("autoscaler.evaluations");
+  const AutoscalerSample s = source_ ? source_() : sample_from_router();
+  const double now = clock_();
+  if (now < cooldown_until_) {
+    // Post-resize quiet period: the fleet is still re-balancing, so
+    // breaches observed now would double-count the event that caused
+    // the resize.
+    up_streak_ = 0;
+    down_streak_ = 0;
+    return;
+  }
+
+  const bool up_breach = s.route_p95_seconds > options_.scale_up_p95_seconds ||
+                         s.avg_queue_depth > options_.scale_up_queue_depth;
+  const bool down_breach = s.route_p95_seconds < options_.scale_down_p95_seconds &&
+                           s.avg_queue_depth < options_.scale_down_queue_depth;
+  if (up_breach) {
+    ++up_streak_;
+    down_streak_ = 0;
+  } else if (down_breach) {
+    ++down_streak_;
+    up_streak_ = 0;
+  } else {
+    // Hysteresis band: healthy-but-not-idle resets both streaks, so the
+    // fleet holds its size instead of flapping.
+    up_streak_ = 0;
+    down_streak_ = 0;
+  }
+
+  if (up_streak_ >= options_.hysteresis_evaluations) {
+    up_streak_ = 0;
+    if (router_.active_shards() < options_.max_shards && router_.scale_up()) {
+      ++scale_ups_;
+      router_.add_counter("autoscaler.scale_ups");
+      cooldown_until_ = now + options_.cooldown_seconds;
+    }
+  } else if (down_streak_ >= options_.hysteresis_evaluations) {
+    down_streak_ = 0;
+    if (router_.active_shards() > options_.min_shards && router_.scale_down().has_value()) {
+      ++scale_downs_;
+      router_.add_counter("autoscaler.scale_downs");
+      cooldown_until_ = now + options_.cooldown_seconds;
+    }
+  }
+}
+
+AutoscalerStats ClusterAutoscaler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  AutoscalerStats out;
+  out.active_shards = router_.active_shards();
+  out.evaluations = evaluations_;
+  out.scale_ups = scale_ups_;
+  out.scale_downs = scale_downs_;
+  out.stalled = stalled_;
+  out.up_streak = up_streak_;
+  out.down_streak = down_streak_;
+  return out;
+}
+
+}  // namespace hrf::cluster

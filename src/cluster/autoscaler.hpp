@@ -1,0 +1,140 @@
+#pragma once
+
+// Histogram-driven fleet autoscaling (docs/cluster.md).
+//
+// A ClusterAutoscaler watches a ClusterRouter and resizes its active
+// shard set through scale_up()/scale_down(). Each evaluation samples
+// the *interval* route p95 — the latency distribution since the
+// previous evaluation, obtained by diffing cumulative histogram bucket
+// counts — plus the mean queue depth per active shard, and compares
+// both against scale-up/scale-down thresholds:
+//
+//   scale up    p95 above scale_up_p95_seconds OR queue depth above
+//               scale_up_queue_depth, for hysteresis_evaluations
+//               consecutive evaluations, and active < max_shards
+//   scale down  p95 below scale_down_p95_seconds AND queue depth below
+//               scale_down_queue_depth, equally persistent, active >
+//               min_shards
+//   hold        anything in between (the hysteresis band) resets both
+//               streaks; after any resize a cooldown window ignores
+//               signals while the fleet re-balances
+//
+// Determinism hooks mirror serve/circuit_breaker.hpp: the clock and the
+// metrics source are injectable, and evaluate() is public, so tests
+// drive the whole control loop with a fake clock and synthetic samples
+// — no background thread, no sleeps. Production uses start_thread=true
+// and the built-in sampler.
+//
+// Chaos: the `stall:autoscaler` fault site (util/fault) wedges an
+// evaluation for inject_stall_seconds before it reads metrics — the
+// fleet must keep serving at its current size while the control loop is
+// stuck, and the stall is visible as autoscaler.stalled.
+
+#include <cstdint>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "cluster/cluster.hpp"
+
+namespace hrf::cluster {
+
+struct AutoscalerOptions {
+  /// Active-shard bounds; scale_down never goes below min_shards and
+  /// scale_up never above max_shards (also capped by the router's slot
+  /// count, ClusterOptions::max_shards).
+  std::size_t min_shards = 1;
+  std::size_t max_shards = 4;
+  /// Control-loop cadence (thread mode).
+  double evaluation_interval_seconds = 0.05;
+  /// Breach thresholds (see file comment). Queue depths are mean queued
+  /// requests per active shard.
+  double scale_up_p95_seconds = 0.05;
+  double scale_up_queue_depth = 2.0;
+  double scale_down_p95_seconds = 0.01;
+  double scale_down_queue_depth = 0.25;
+  /// Consecutive breaching evaluations before a resize.
+  int hysteresis_evaluations = 3;
+  /// Quiet period after a resize before signals count again.
+  double cooldown_seconds = 0.25;
+  /// False = no background thread; the owner calls evaluate() (tests).
+  bool start_thread = true;
+  /// How long a consumed stall:autoscaler charge wedges an evaluation.
+  double inject_stall_seconds = 0.25;
+};
+
+/// One evaluation's input: what the fleet looked like since the last
+/// evaluation.
+struct AutoscalerSample {
+  double route_p95_seconds = 0.0;  // interval p95 of successful routes
+  double avg_queue_depth = 0.0;    // mean queued requests per active shard
+};
+
+struct AutoscalerStats {
+  std::size_t active_shards = 0;
+  std::uint64_t evaluations = 0;
+  std::uint64_t scale_ups = 0;
+  std::uint64_t scale_downs = 0;
+  std::uint64_t stalled = 0;  // stall:autoscaler charges consumed
+  int up_streak = 0;          // consecutive scale-up breaches so far
+  int down_streak = 0;        // consecutive scale-down breaches so far
+};
+
+/// Grows and shrinks a ClusterRouter's active shard set. Thread-safe;
+/// evaluate() may be called concurrently with the background thread
+/// (evaluations are serialized internally).
+class ClusterAutoscaler {
+ public:
+  /// Injectable time (seconds, monotonic) and metrics source. Defaults:
+  /// steady_clock and a sampler built on router.route_latency() /
+  /// router.stats().
+  using Clock = std::function<double()>;
+  using MetricsSource = std::function<AutoscalerSample()>;
+
+  /// The router must outlive the autoscaler.
+  ClusterAutoscaler(ClusterRouter& router, AutoscalerOptions options, Clock clock = nullptr,
+                    MetricsSource source = nullptr);
+  ~ClusterAutoscaler();  // stop()
+
+  ClusterAutoscaler(const ClusterAutoscaler&) = delete;
+  ClusterAutoscaler& operator=(const ClusterAutoscaler&) = delete;
+
+  /// One control step: sample, update streaks, maybe resize. Public so
+  /// fake-clock tests drive the loop deterministically.
+  void evaluate();
+
+  /// Stops the background thread (no-op without one). Idempotent.
+  void stop();
+
+  AutoscalerStats stats() const;
+  const AutoscalerOptions& options() const { return options_; }
+
+ private:
+  AutoscalerSample sample_from_router();
+  void loop();
+
+  ClusterRouter& router_;
+  AutoscalerOptions options_;
+  Clock clock_;
+  MetricsSource source_;
+
+  mutable std::mutex mu_;  // serializes evaluations, guards state below
+  int up_streak_ = 0;
+  int down_streak_ = 0;
+  double cooldown_until_ = 0.0;
+  std::uint64_t evaluations_ = 0;
+  std::uint64_t scale_ups_ = 0;
+  std::uint64_t scale_downs_ = 0;
+  std::uint64_t stalled_ = 0;
+  /// Previous cumulative route histogram; the interval distribution is
+  /// the element-wise difference against the current snapshot.
+  HistogramSnapshot prev_route_{};
+
+  std::atomic<bool> stopping_{false};
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::thread thread_;
+};
+
+}  // namespace hrf::cluster

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <numeric>
 #include <utility>
 
 #include "serve/model_store.hpp"
@@ -49,13 +50,17 @@ RoutingPolicy routing_policy_from_name(const std::string& name) {
                     "' (expected consistent-hash|hash|least-loaded)");
 }
 
-std::vector<std::size_t> rendezvous_order(std::uint64_t key, std::size_t num_shards,
-                                          std::uint64_t salt) {
+std::vector<std::size_t> rendezvous_order_subset(std::uint64_t key,
+                                                 const std::vector<std::size_t>& shard_ids,
+                                                 std::uint64_t salt) {
   std::vector<std::pair<std::uint64_t, std::size_t>> scored;
-  scored.reserve(num_shards);
-  for (std::size_t s = 0; s < num_shards; ++s) {
+  scored.reserve(shard_ids.size());
+  for (const std::size_t s : shard_ids) {
     // SplitMix64 finalization over (key, salt, shard) gives each pair an
     // independent uniform score; the shard ranking is the sorted order.
+    // The score depends only on (key, salt, s) — never on which other
+    // ids are in the subset — which is the whole minimal-disruption
+    // argument: resizing the set cannot reorder the survivors.
     SplitMix64 mix(key ^ (salt + 0x9e3779b97f4a7c15ULL * (s + 1)));
     scored.emplace_back(mix.next(), s);
   }
@@ -64,9 +69,16 @@ std::vector<std::size_t> rendezvous_order(std::uint64_t key, std::size_t num_sha
     return a.second < b.second;
   });
   std::vector<std::size_t> order;
-  order.reserve(num_shards);
+  order.reserve(scored.size());
   for (const auto& [score, s] : scored) order.push_back(s);
   return order;
+}
+
+std::vector<std::size_t> rendezvous_order(std::uint64_t key, std::size_t num_shards,
+                                          std::uint64_t salt) {
+  std::vector<std::size_t> ids(num_shards);
+  std::iota(ids.begin(), ids.end(), std::size_t{0});
+  return rendezvous_order_subset(key, ids, salt);
 }
 
 std::string RollingReloadReport::to_string() const {
@@ -90,10 +102,14 @@ ClusterRouter::ClusterRouter(const Forest& forest, const ClassifierOptions& clas
                              const serve::ServerOptions& shard_options,
                              const ClusterOptions& options)
     : options_(options),
+      limiter_(options.limit),
       probe_queries_(make_probe_queries(forest.num_features(), forest.num_classes())) {
+  // The factory outlives this constructor (scale_up() replays it), so it
+  // owns a copy of the model instead of borrowing the caller's.
+  auto model = std::make_shared<const Forest>(forest);
   init_shards(classifier_options, shard_options,
-              [&](const serve::ServerOptions& per_shard) {
-                return std::make_unique<serve::ForestServer>(forest, classifier_options,
+              [model, classifier_options](const serve::ServerOptions& per_shard) {
+                return std::make_unique<serve::ForestServer>(*model, classifier_options,
                                                              per_shard);
               });
 }
@@ -102,7 +118,7 @@ ClusterRouter::ClusterRouter(const serve::ModelStore& store,
                              const ClassifierOptions& classifier_options,
                              const serve::ServerOptions& shard_options,
                              const ClusterOptions& options)
-    : options_(options) {
+    : options_(options), limiter_(options.limit) {
   {
     // One load up front for the probe shape; each shard loads its own
     // copy through the store constructor so it stays reload()-able.
@@ -112,38 +128,70 @@ ClusterRouter::ClusterRouter(const serve::ModelStore& store,
     probe_queries_ =
         make_probe_queries(model.forest.num_features(), model.forest.num_classes());
   }
+  // The store is captured by reference: it must outlive the router (the
+  // same lifetime rolling_reload() already requires).
   init_shards(classifier_options, shard_options,
-              [&](const serve::ServerOptions& per_shard) {
+              [&store, classifier_options](const serve::ServerOptions& per_shard) {
                 return std::make_unique<serve::ForestServer>(store, classifier_options,
                                                              per_shard);
               });
 }
 
-void ClusterRouter::init_shards(
-    const ClassifierOptions& /*classifier_options*/, const serve::ServerOptions& shard_options,
-    const std::function<std::unique_ptr<serve::ForestServer>(const serve::ServerOptions&)>&
-        make_server) {
+void ClusterRouter::init_shards(const ClassifierOptions& /*classifier_options*/,
+                                const serve::ServerOptions& shard_options,
+                                MakeServer make_server) {
   require(options_.num_shards >= 1, "cluster needs at least one shard");
+  if (options_.max_shards == 0) options_.max_shards = options_.num_shards;
+  require(options_.max_shards >= options_.num_shards,
+          "cluster max_shards must be >= num_shards");
   require(options_.max_failovers >= 0, "cluster max_failovers must be >= 0");
   require(options_.hedge.min_seconds >= 0.0, "cluster hedge min_seconds must be >= 0");
   require(options_.hedge.p95_multiplier > 0.0, "cluster hedge p95_multiplier must be > 0");
   require(options_.probe_interval_seconds > 0.0, "cluster probe_interval_seconds must be > 0");
   require(options_.probe_deadline_seconds > 0.0, "cluster probe_deadline_seconds must be > 0");
 
-  shards_.reserve(options_.num_shards);
-  for (std::size_t s = 0; s < options_.num_shards; ++s) {
+  shard_options_ = shard_options;
+  make_server_ = std::move(make_server);
+  // All max_shards slots exist for the router's whole life (stable slot
+  // ids keep rendezvous scores stable); only the first num_shards get a
+  // server now — the rest wait for scale_up().
+  shards_.reserve(options_.max_shards);
+  for (std::size_t s = 0; s < options_.max_shards; ++s) {
     auto shard = std::make_unique<Shard>();
-    serve::ServerOptions per_shard = shard_options;
-    // Distinct jitter streams per shard, same reproducibility per seed.
-    per_shard.seed = shard_options.seed + 7919 * s;
-    shard->server = make_server(per_shard);
     shard->breaker = std::make_unique<serve::CircuitBreaker>(options_.shard_breaker);
+    if (s < options_.num_shards) {
+      shard->server = make_server_(slot_options(s));
+      shard->active.store(true, std::memory_order_release);
+    }
     shards_.push_back(std::move(shard));
   }
   if (options_.start_probes) {
     probe_thread_ = std::thread([this] { probe_loop(); });
   }
 }
+
+serve::ServerOptions ClusterRouter::slot_options(std::size_t s) const {
+  serve::ServerOptions per_shard = shard_options_;
+  // Distinct jitter streams per slot, same reproducibility per seed.
+  per_shard.seed = shard_options_.seed + 7919 * s;
+  return per_shard;
+}
+
+std::shared_ptr<serve::ForestServer> ClusterRouter::server_of(std::size_t s) const {
+  std::lock_guard<std::mutex> lock(shards_[s]->mu);
+  return shards_[s]->server;
+}
+
+std::vector<std::size_t> ClusterRouter::active_ids() const {
+  std::vector<std::size_t> ids;
+  ids.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s]->active.load(std::memory_order_acquire)) ids.push_back(s);
+  }
+  return ids;
+}
+
+std::size_t ClusterRouter::active_shards() const { return active_ids().size(); }
 
 ClusterRouter::~ClusterRouter() {
   try {
@@ -162,9 +210,64 @@ void ClusterRouter::shutdown() {
   }
   probe_cv_.notify_all();
   if (probe_thread_.joinable()) probe_thread_.join();
-  for (auto& shard : shards_) {
-    if (shard->server) shard->server->shutdown();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const std::shared_ptr<serve::ForestServer> server = server_of(s);
+    if (server) server->shutdown();
   }
+}
+
+bool ClusterRouter::scale_up() {
+  std::lock_guard<std::mutex> lock(scale_mu_);
+  if (stopping_.load(std::memory_order_acquire)) return false;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& sh = *shards_[s];
+    if (sh.active.load(std::memory_order_acquire)) continue;
+    // A previously drained slot's server is shut down for good — build a
+    // fresh one, and a fresh breaker so drain-era failures don't
+    // quarantine the newcomer.
+    std::unique_ptr<serve::ForestServer> server = make_server_(slot_options(s));
+    {
+      std::lock_guard<std::mutex> slot_lock(sh.mu);
+      sh.server = std::move(server);
+    }
+    sh.breaker = std::make_unique<serve::CircuitBreaker>(options_.shard_breaker);
+    sh.alive.store(true, std::memory_order_release);
+    sh.partitioned.store(false, std::memory_order_release);
+    // Publish last: candidate orders only list the slot once the server
+    // and breaker above are in place.
+    sh.active.store(true, std::memory_order_release);
+    counters_.add("cluster.scale_ups");
+    return true;
+  }
+  return false;  // every slot already active
+}
+
+std::optional<serve::DrainReport> ClusterRouter::scale_down() {
+  std::lock_guard<std::mutex> lock(scale_mu_);
+  if (stopping_.load(std::memory_order_acquire)) return std::nullopt;
+  const std::vector<std::size_t> ids = active_ids();
+  if (ids.size() <= 1) return std::nullopt;  // never scale to zero
+  Shard& sh = *shards_[ids.back()];
+  // Deactivate first: new candidate orders stop listing the slot, then
+  // the graceful drain finishes what already reached it. A racing
+  // dispatch that slips in shuts out with ShutdownError and fails over —
+  // the client request still completes elsewhere.
+  sh.active.store(false, std::memory_order_release);
+  const std::shared_ptr<serve::ForestServer> server = server_of(ids.back());
+  counters_.add("cluster.scale_downs");
+  return server->shutdown();
+}
+
+void ClusterRouter::add_counter(const std::string& name, std::uint64_t delta) {
+  counters_.add(name, delta);
+}
+
+std::size_t ClusterRouter::concurrency_limit() const {
+  return limiter_.options().enabled ? limiter_.limit() : 0;
+}
+
+std::size_t ClusterRouter::limiter_in_flight() const {
+  return limiter_.options().enabled ? limiter_.in_flight() : 0;
 }
 
 bool ClusterRouter::routable(std::size_t shard) const {
@@ -175,16 +278,19 @@ bool ClusterRouter::routable(std::size_t shard) const {
 }
 
 std::vector<std::size_t> ClusterRouter::candidate_order(std::uint64_t key) const {
+  const std::vector<std::size_t> ids = active_ids();
   if (options_.policy == RoutingPolicy::ConsistentHash) {
-    return rendezvous_order(key, shards_.size(), options_.hash_salt);
+    return rendezvous_order_subset(key, ids, options_.hash_salt);
   }
   // Least-loaded: ascending queue depth, index as the deterministic tie
   // break. Depths are sampled once per request — racy by nature, but a
   // stale read only costs a slightly suboptimal choice.
   std::vector<std::pair<std::size_t, std::size_t>> load;
-  load.reserve(shards_.size());
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
-    load.emplace_back(shards_[s]->server->queue_depth(), s);
+  load.reserve(ids.size());
+  for (const std::size_t s : ids) {
+    const std::shared_ptr<serve::ForestServer> server = server_of(s);
+    if (!server) continue;  // deactivating race: the slot is on its way out
+    load.emplace_back(server->queue_depth(), s);
   }
   std::sort(load.begin(), load.end());
   std::vector<std::size_t> order;
@@ -194,15 +300,23 @@ std::vector<std::size_t> ClusterRouter::candidate_order(std::uint64_t key) const
 }
 
 std::future<serve::ServeResult> ClusterRouter::dispatch(std::size_t shard, const Dataset& queries,
-                                                        double deadline_seconds, bool is_probe) {
+                                                        const QueryOptions& qopt, bool is_probe) {
   Shard& sh = *shards_[shard];
   if (!is_probe) fault_point("crash:route");
   if (sh.partitioned.load(std::memory_order_acquire)) {
     throw ResourceError("cluster: shard " + std::to_string(shard) +
                         " unreachable (network partition)");
   }
-  if (deadline_seconds > 0.0) return sh.server->submit(queries, deadline_seconds);
-  return sh.server->submit(queries);
+  const std::shared_ptr<serve::ForestServer> server = server_of(shard);
+  if (!server) {
+    throw ResourceError("cluster: shard " + std::to_string(shard) + " has no server");
+  }
+  // <= 0 falls back to the server's own default deadline, matching a
+  // direct submit(queries) call.
+  const double deadline = qopt.deadline_seconds > 0.0
+                              ? qopt.deadline_seconds
+                              : server->options().default_deadline_seconds;
+  return server->submit(queries, deadline, qopt.tenant);
 }
 
 void ClusterRouter::shard_failed(std::size_t shard) {
@@ -214,6 +328,31 @@ ClusterResult ClusterRouter::query(const Dataset& queries, const QueryOptions& q
   if (stopping_.load(std::memory_order_acquire)) {
     throw ShutdownError("cluster router is shut down");
   }
+  // Adaptive admission first: a refused request never touches a shard
+  // queue, so overload is shed at the cheapest possible point.
+  if (!limiter_.try_acquire()) {
+    counters_.add("cluster.limited");
+    throw OverloadError("cluster: adaptive concurrency limit reached (limit " +
+                        std::to_string(limiter_.limit()) + ", in flight " +
+                        std::to_string(limiter_.in_flight()) + "); back off and retry");
+  }
+  WallTimer limiter_timer;
+  try {
+    ClusterResult out = query_routed(queries, qopt);
+    limiter_.release(limiter_timer.seconds(), /*deadline_expired=*/false);
+    return out;
+  } catch (const DeadlineError&) {
+    // A blown deadline is the AIMD backoff signal even when the p95
+    // epoch has not filled yet.
+    limiter_.release(limiter_timer.seconds(), /*deadline_expired=*/true);
+    throw;
+  } catch (...) {
+    limiter_.release(limiter_timer.seconds(), /*deadline_expired=*/false);
+    throw;
+  }
+}
+
+ClusterResult ClusterRouter::query_routed(const Dataset& queries, const QueryOptions& qopt) {
   counters_.add("cluster.submitted");
   WallTimer request_timer;
   const std::vector<std::size_t> order = candidate_order(qopt.key);
@@ -221,6 +360,7 @@ ClusterResult ClusterRouter::query(const Dataset& queries, const QueryOptions& q
   ClusterResult out;
   std::size_t next = 0;
   int started = 0;
+  int quota_sheds = 0;
   const int budget = 1 + options_.max_failovers;
   std::exception_ptr last_error;
 
@@ -234,9 +374,17 @@ ClusterResult ClusterRouter::query(const Dataset& queries, const QueryOptions& q
       if (!routable(s)) continue;
       ++started;
       try {
-        Attempt a{s, dispatch(s, queries, qopt.deadline_seconds, /*is_probe=*/false)};
+        Attempt a{s, dispatch(s, queries, qopt, /*is_probe=*/false)};
         shards_[s]->routed.fetch_add(1, std::memory_order_relaxed);
         return a;
+      } catch (const QuotaError&) {
+        // The shard is healthy — this tenant is over its admission
+        // quota. No breaker verdict and no failover count (nothing
+        // failed), but the attempt still spent a budget slot: another
+        // shard may have spare capacity for the tenant.
+        last_error = std::current_exception();
+        ++quota_sheds;
+        counters_.add("cluster.quota_shed");
       } catch (const Error&) {
         // A reroute past a shard that refused the dispatch (dead,
         // partitioned, overloaded) is a failover the operator should see,
@@ -288,6 +436,15 @@ ClusterResult ClusterRouter::query(const Dataset& queries, const QueryOptions& q
         out.result = att.fut.get();
         out.shard = att.shard;
         out.hedge_won = is_hedge;
+        // A shed-then-served request is a degraded success: the tenant
+        // was over quota somewhere, and the caller should see that in
+        // the same trail as backend fallbacks — distinct from overload.
+        if (quota_sheds > 0) {
+          out.result.report.degradations.push_back(
+              "cluster: tenant '" + qopt.tenant + "' quota-shed at " +
+              std::to_string(quota_sheds) + " shard(s) -> served by shard " +
+              std::to_string(att.shard));
+        }
         shards_[att.shard]->breaker->record_success();
         counters_.add("cluster.completed");
         if (is_hedge) counters_.add("cluster.hedge_wins");
@@ -332,7 +489,10 @@ RollingReloadReport ClusterRouter::rolling_reload(const serve::ModelStore& store
   rep.to_generation = gen;
 
   for (std::size_t s = 0; s < shards_.size(); ++s) {
-    serve::ReloadReport r = shards_[s]->server->reload(store, gen, opts.reload);
+    if (!shards_[s]->active.load(std::memory_order_acquire)) continue;
+    const std::shared_ptr<serve::ForestServer> server = server_of(s);
+    if (!server) continue;
+    serve::ReloadReport r = server->reload(store, gen, opts.reload);
     const bool ok = r.promoted() || r.outcome == serve::ReloadOutcome::NoOp;
     rep.shards.push_back({s, std::move(r)});
     if (ok) continue;
@@ -353,7 +513,7 @@ RollingReloadReport ClusterRouter::rolling_reload(const serve::ModelStore& store
         rollback.canary_success_requests = 0;
         rollback.post_promotion_watch_requests = 0;
         serve::ReloadReport undo =
-            shards_[done.shard]->server->reload(store, done.report.from_generation, rollback);
+            server_of(done.shard)->reload(store, done.report.from_generation, rollback);
         counters_.add("cluster.shard_rollbacks");
         rep.rollbacks.push_back({done.shard, std::move(undo)});
       }
@@ -369,10 +529,12 @@ RollingReloadReport ClusterRouter::rolling_reload(const serve::ModelStore& store
 
 void ClusterRouter::kill_shard(std::size_t shard) {
   require(shard < shards_.size(), "kill_shard: no such shard");
+  const std::shared_ptr<serve::ForestServer> server = server_of(shard);
+  require(server != nullptr, "kill_shard: slot has no server");
   shards_[shard]->alive.store(false, std::memory_order_release);
   // Zero drain budget: queued requests fail with ShutdownError, as close
   // to kill -9 as an in-process shard gets.
-  shards_[shard]->server->shutdown(0.0);
+  server->shutdown(0.0);
 }
 
 void ClusterRouter::set_partitioned(std::size_t shard, bool partitioned) {
@@ -382,7 +544,7 @@ void ClusterRouter::set_partitioned(std::size_t shard, bool partitioned) {
 
 std::size_t ClusterRouter::available_shards() const {
   std::size_t n = 0;
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
+  for (const std::size_t s : active_ids()) {
     if (shards_[s]->alive.load(std::memory_order_acquire) &&
         !shards_[s]->partitioned.load(std::memory_order_acquire) && routable(s)) {
       ++n;
@@ -398,7 +560,9 @@ serve::CircuitState ClusterRouter::shard_breaker_state(std::size_t shard) const 
 
 serve::ForestServer& ClusterRouter::shard(std::size_t shard) {
   require(shard < shards_.size(), "shard: no such shard");
-  return *shards_[shard]->server;
+  const std::shared_ptr<serve::ForestServer> server = server_of(shard);
+  require(server != nullptr, "shard: slot has no server");
+  return *server;
 }
 
 void ClusterRouter::probe_loop() {
@@ -408,7 +572,7 @@ void ClusterRouter::probe_loop() {
                        [this] { return stopping_.load(std::memory_order_acquire); });
     if (stopping_.load(std::memory_order_acquire)) break;
     lock.unlock();
-    for (std::size_t s = 0; s < shards_.size(); ++s) probe_shard(s);
+    for (const std::size_t s : active_ids()) probe_shard(s);
     lock.lock();
   }
 }
@@ -420,8 +584,10 @@ void ClusterRouter::probe_shard(std::size_t shard) {
   if (!sh.breaker->allow_request()) return;
   counters_.add("cluster.probes");
   try {
+    QueryOptions probe_qopt;
+    probe_qopt.deadline_seconds = options_.probe_deadline_seconds;
     std::future<serve::ServeResult> fut =
-        dispatch(shard, probe_queries_, options_.probe_deadline_seconds, /*is_probe=*/true);
+        dispatch(shard, probe_queries_, probe_qopt, /*is_probe=*/true);
     // Bounded wait, never .get() on a silent future: a frozen worker
     // holds queued requests past their deadline (shedding happens at
     // dispatch), and an unbounded wait would wedge the probe loop with
@@ -434,6 +600,15 @@ void ClusterRouter::probe_shard(std::size_t shard) {
       return;
     }
     sh.breaker->record_failure();
+  } catch (const QuotaError&) {
+    // Admission answered — the shard is alive, the anonymous probe just
+    // lost to quota pressure. Not a health verdict either way, but a
+    // HalfOpen probe charge must still be resolved (record_timeout
+    // re-opens HalfOpen and is a no-op when Closed). Without this, a
+    // noisy neighbor filling the spare pool would trip every breaker
+    // through the probe loop and collapse the fleet.
+    sh.breaker->record_timeout();
+    return;
   } catch (const Error&) {
     sh.breaker->record_failure();
   }
@@ -453,8 +628,12 @@ HistogramSnapshot ClusterRouter::route_latency() const { return hist_route_.snap
 
 serve::LatencyStats ClusterRouter::latency() const {
   serve::LatencyStats merged;
-  for (const auto& shard : shards_) {
-    const serve::LatencyStats one = shard->server->latency();
+  // All slots that ever held a server, active or not: drained shards'
+  // history stays in the fleet view until the slot is reused.
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const std::shared_ptr<serve::ForestServer> server = server_of(s);
+    if (!server) continue;
+    const serve::LatencyStats one = server->latency();
     merged.queue_wait.merge(one.queue_wait);
     merged.execute.merge(one.execute);
     merged.end_to_end.merge(one.end_to_end);
@@ -465,7 +644,7 @@ serve::LatencyStats ClusterRouter::latency() const {
 
 ClusterStats ClusterRouter::stats() const {
   ClusterStats out;
-  out.shards = shards_.size();
+  out.shards = active_shards();
   out.available = available_shards();
   const std::map<std::string, std::uint64_t> c = counters_.snapshot();
   const auto get = [&](const char* name) {
@@ -479,20 +658,29 @@ ClusterStats ClusterRouter::stats() const {
   out.hedged = get("cluster.hedged");
   out.hedge_wins = get("cluster.hedge_wins");
   out.no_shard_available = get("cluster.no_shard_available");
+  out.quota_shed = get("cluster.quota_shed");
+  out.limited = get("cluster.limited");
+  out.scale_ups = get("cluster.scale_ups");
+  out.scale_downs = get("cluster.scale_downs");
   out.probes = get("cluster.probes");
   out.probe_failures = get("cluster.probe_failures");
   out.reload_waves = get("cluster.reload_waves");
   out.reload_waves_halted = get("cluster.reload_waves_halted");
   out.shard_rollbacks = get("cluster.shard_rollbacks");
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
+  // Status rows cover the active fleet (index order); drained or
+  // never-activated slots are not part of the serving picture.
+  for (const std::size_t s : active_ids()) {
     const Shard& sh = *shards_[s];
+    const std::shared_ptr<serve::ForestServer> server = server_of(s);
+    if (!server) continue;
     ShardStatus st;
     st.index = s;
+    st.active = true;
     st.alive = sh.alive.load(std::memory_order_acquire);
     st.partitioned = sh.partitioned.load(std::memory_order_acquire);
     st.breaker = sh.breaker->state();
-    st.queue_depth = sh.server->queue_depth();
-    st.generation = sh.server->generation();
+    st.queue_depth = server->queue_depth();
+    st.generation = server->generation();
     st.routed = sh.routed.load(std::memory_order_relaxed);
     st.failures = sh.failures.load(std::memory_order_relaxed);
     out.shard_status.push_back(st);
@@ -516,10 +704,21 @@ obs::MetricsSnapshot ClusterRouter::metrics_snapshot() const {
   double worst_breaker = 0.0;  // in-server breakers, numeric max
   double min_generation = std::numeric_limits<double>::infinity();
   bool any_traces = false;
+  // Tenant rows merge across shards by name (each shard runs the same
+  // quota config; reserved slots sum to the fleet-wide reservation).
+  std::vector<obs::TenantStat> tenants;
+  std::map<std::string, std::size_t> tenant_index;
 
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     const Shard& sh = *shards_[s];
-    const obs::MetricsSnapshot one = sh.server->metrics_snapshot();
+    const bool active = sh.active.load(std::memory_order_acquire);
+    const std::shared_ptr<serve::ForestServer> server = server_of(s);
+    // Cumulative series (counters, histograms, rollups, traces, tenant
+    // admission counts) sum over every slot that ever served, so totals
+    // stay monotonic across a scale_down; instantaneous gauges and the
+    // health rows describe only the active fleet.
+    if (!server) continue;
+    const obs::MetricsSnapshot one = server->metrics_snapshot();
     for (const auto& [name, value] : one.counters) snap.counters[name] += value;
     for (const auto& [stage, hist] : one.histograms) {
       if (stage == "queue_wait") lat.queue_wait.merge(hist);
@@ -538,6 +737,27 @@ obs::MetricsSnapshot ClusterRouter::metrics_snapshot() const {
       traces.sampling = one.traces.sampling;  // uniform fleet config
       traces.capacity += one.traces.capacity;
     }
+    for (const obs::TenantStat& t : one.tenants) {
+      const auto [it, inserted] = tenant_index.try_emplace(t.name, tenants.size());
+      if (inserted) {
+        tenants.push_back(t);
+        if (!active) {
+          // Drained slot: keep the cumulative counts, drop the live ones.
+          tenants.back().reserved = 0;
+          tenants.back().queued = 0;
+        }
+        continue;
+      }
+      obs::TenantStat& row = tenants[it->second];
+      row.admitted += t.admitted;
+      row.shed += t.shed;
+      if (active) {
+        row.reserved += t.reserved;
+        row.queued += t.queued;
+      }
+    }
+    if (!active) continue;
+
     const auto g = one.gauges;
     const auto find_gauge = [&](const char* name) {
       const auto it = g.find(name);
@@ -553,20 +773,23 @@ obs::MetricsSnapshot ClusterRouter::metrics_snapshot() const {
     health.up = sh.alive.load(std::memory_order_acquire);
     health.partitioned = sh.partitioned.load(std::memory_order_acquire);
     health.breaker_state = static_cast<int>(sh.breaker->state());
-    health.queue_depth = sh.server->queue_depth();
-    health.generation = sh.server->generation();
+    health.queue_depth = server->queue_depth();
+    health.generation = server->generation();
     health.routed = sh.routed.load(std::memory_order_relaxed);
     health.failures = sh.failures.load(std::memory_order_relaxed);
     snap.shards.push_back(health);
   }
 
+  snap.tenants = std::move(tenants);
   snap.gauges["queue_depth"] = total_queue_depth;
   snap.gauges["workers"] = total_workers;
   snap.gauges["breaker_state"] = worst_breaker;
   snap.gauges["model_generation"] = std::isfinite(min_generation) ? min_generation : 0.0;
-  snap.gauges["cluster_shards"] = static_cast<double>(shards_.size());
+  snap.gauges["cluster_shards"] = static_cast<double>(active_shards());
   snap.gauges["cluster_shards_available"] = static_cast<double>(available_shards());
   snap.gauges["cluster_hedge_delay_seconds"] = effective_hedge_delay();
+  snap.gauges["cluster_concurrency_limit"] = static_cast<double>(concurrency_limit());
+  snap.gauges["cluster_in_flight"] = static_cast<double>(limiter_in_flight());
 
   snap.histograms.emplace_back("queue_wait", lat.queue_wait);
   snap.histograms.emplace_back("execute", lat.execute);

@@ -26,11 +26,31 @@
 //              through the serve/reload state machine and, if any shard
 //              rejects or rolls back, halts the wave and reverts the
 //              already-promoted shards to the generation they ran before
+//   admission  an optional AIMD concurrency limiter (serve/qos.hpp) caps
+//              in-flight query() calls: the limit grows by one per clean
+//              epoch and multiplicatively shrinks when the observed route
+//              p95 breaches the target or a deadline expires — overload
+//              is refused at the door instead of queued into a collapse
+//   scaling    the fleet is a fixed array of max_shards slots of which
+//              the first num_shards start active; scale_up() activates
+//              the lowest inactive slot with a freshly built server,
+//              scale_down() deactivates the highest active slot and
+//              drains it through DrainReport. Rendezvous scores are per
+//              (key, slot) and independent of the active set, so a
+//              combined add+remove only remaps keys that ranked a
+//              changed slot first (minimal disruption).
+//
+// Multi-tenant QoS lives in the shards (serve/qos.hpp): the router only
+// forwards QueryOptions::tenant and accounts quota rejections as
+// cluster.quota_shed — a shed tenant is not shard sickness, so it never
+// feeds the shard breaker.
 //
 // Chaos sites: `crash:route` (util/fault) fails a client dispatch at the
-// router->shard link; `freeze:shard` stalls a shard worker mid-dispatch.
-// tools/chaos.sh and tests/cluster drive both against the degraded-mode
-// SLOs in docs/cluster.md.
+// router->shard link; `freeze:shard` stalls a shard worker mid-dispatch;
+// `surge:tenant` inflates one tenant's service time (noisy neighbor);
+// `stall:autoscaler` wedges the control loop (cluster/autoscaler.hpp).
+// tools/chaos.sh and tests/cluster drive all four against the
+// degraded-mode SLOs in docs/cluster.md.
 
 #include <atomic>
 #include <condition_variable>
@@ -64,6 +84,16 @@ RoutingPolicy routing_policy_from_name(const std::string& name);
 std::vector<std::size_t> rendezvous_order(std::uint64_t key, std::size_t num_shards,
                                           std::uint64_t salt = 0);
 
+/// Rendezvous order restricted to an arbitrary subset of shard ids. Each
+/// (key, id) score is computed exactly as rendezvous_order computes it
+/// for shard `id` — independent of which other ids are present — so any
+/// combination of additions and removals only remaps the keys whose
+/// top-ranked id changed. This is what lets the autoscaler grow and
+/// shrink the active set with minimal cache disruption.
+std::vector<std::size_t> rendezvous_order_subset(std::uint64_t key,
+                                                 const std::vector<std::size_t>& shard_ids,
+                                                 std::uint64_t salt = 0);
+
 struct HedgeOptions {
   bool enabled = true;
   /// Hedge delay floor (CLI --hedge-ms); also used verbatim until the
@@ -76,7 +106,15 @@ struct HedgeOptions {
 };
 
 struct ClusterOptions {
+  /// Shards active at construction.
   std::size_t num_shards = 2;
+  /// Upper bound for scale_up(): the fleet owns max_shards slots for its
+  /// whole life (stable slot ids = stable rendezvous scores). 0 means
+  /// "= num_shards" — a fixed fleet that cannot scale.
+  std::size_t max_shards = 0;
+  /// Router-level adaptive admission (AIMD on the observed route p95);
+  /// disabled by default.
+  serve::AdaptiveLimitOptions limit{};
   RoutingPolicy policy = RoutingPolicy::ConsistentHash;
   /// Extra shards tried after a failed attempt (bounded cross-shard
   /// retry); the hedge attempt draws from the same candidate list but
@@ -103,6 +141,9 @@ struct ClusterOptions {
 struct QueryOptions {
   std::uint64_t key = 0;          // routing key (consistent-hash policy)
   double deadline_seconds = 0.0;  // per-attempt deadline; <= 0 = none
+  /// Tenant charged for the shard's admission quota (serve/qos.hpp);
+  /// empty = anonymous (spare-pool-only when quotas are configured).
+  std::string tenant;
 };
 
 /// One routed request's outcome.
@@ -116,6 +157,7 @@ struct ClusterResult {
 
 struct ShardStatus {
   std::size_t index = 0;
+  bool active = true;  // slot is part of the serving fleet (autoscaling)
   bool alive = true;
   bool partitioned = false;
   serve::CircuitState breaker = serve::CircuitState::Closed;
@@ -126,7 +168,7 @@ struct ShardStatus {
 };
 
 struct ClusterStats {
-  std::size_t shards = 0;
+  std::size_t shards = 0;     // active slots
   std::size_t available = 0;  // alive, reachable, breaker Closed
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
@@ -135,6 +177,10 @@ struct ClusterStats {
   std::uint64_t hedged = 0;
   std::uint64_t hedge_wins = 0;
   std::uint64_t no_shard_available = 0;
+  std::uint64_t quota_shed = 0;  // attempts refused by a tenant quota
+  std::uint64_t limited = 0;     // query() calls refused by the AIMD limiter
+  std::uint64_t scale_ups = 0;
+  std::uint64_t scale_downs = 0;
   std::uint64_t probes = 0;
   std::uint64_t probe_failures = 0;
   std::uint64_t reload_waves = 0;
@@ -188,8 +234,32 @@ class ClusterRouter {
   /// Routes one request: candidate order by policy, bounded failover,
   /// one hedge attempt after the hedge delay. Throws the last shard
   /// error when every attempt failed, OverloadError when no shard was
-  /// routable at all, ShutdownError after shutdown().
+  /// routable at all or the AIMD limiter refused admission (counted as
+  /// cluster.limited), QuotaError when every attempt was shed by the
+  /// request's tenant quota, ShutdownError after shutdown().
   ClusterResult query(const Dataset& queries, const QueryOptions& qopt = {});
+
+  // --- Elastic fleet (cluster/autoscaler.hpp drives these) -------------
+
+  /// Activates the lowest-index inactive slot with a freshly built
+  /// server and a fresh breaker. Returns false when every slot is
+  /// already active. Serialized against scale_down().
+  bool scale_up();
+  /// Deactivates the highest-index active slot — new candidate orders
+  /// stop listing it immediately — then drains it gracefully. In-flight
+  /// requests finish (or fail over); the slot can be reused by a later
+  /// scale_up(). Returns the drain report, or nullopt when only one
+  /// active shard remains (a cluster never scales to zero).
+  std::optional<serve::DrainReport> scale_down();
+  /// Slots currently serving (num_shards() counts the same thing; the
+  /// fleet owns options().max_shards slots in total).
+  std::size_t active_shards() const;
+  /// Autoscaler hook: folds a control-loop counter (autoscaler.*) into
+  /// the router registry so it exports with the cluster families.
+  void add_counter(const std::string& name, std::uint64_t delta = 1);
+  /// Adaptive admission observability (0 / 0 when the limiter is off).
+  std::size_t concurrency_limit() const;
+  std::size_t limiter_in_flight() const;
 
   /// Walks shards in index order through the reload state machine; halts
   /// on the first non-promoted outcome and (by default) reverts the
@@ -207,10 +277,12 @@ class ClusterRouter {
   /// running untouched.
   void set_partitioned(std::size_t shard, bool partitioned);
 
-  std::size_t num_shards() const { return shards_.size(); }
-  /// Shards that are alive, reachable, and have a Closed breaker.
+  /// Active slots (equals the constructed num_shards until a scale op).
+  std::size_t num_shards() const { return active_shards(); }
+  /// Active shards that are alive, reachable, and have a Closed breaker.
   std::size_t available_shards() const;
   serve::CircuitState shard_breaker_state(std::size_t shard) const;
+  /// The server in slot `shard`; throws when the slot never held one.
   serve::ForestServer& shard(std::size_t shard);
 
   ClusterStats stats() const;
@@ -233,9 +305,15 @@ class ClusterRouter {
   void shutdown();
 
  private:
+  /// One fleet slot. Slots outlive the servers they hold: a scale_down()
+  /// drains and parks the server object, a later scale_up() installs a
+  /// fresh one. `mu` guards the server pointer swap; readers take a
+  /// shared_ptr snapshot and never hold the lock across a dispatch.
   struct Shard {
-    std::unique_ptr<serve::ForestServer> server;
+    mutable std::mutex mu;
+    std::shared_ptr<serve::ForestServer> server;  // null = slot never activated
     std::unique_ptr<serve::CircuitBreaker> breaker;
+    std::atomic<bool> active{false};
     std::atomic<bool> alive{true};
     std::atomic<bool> partitioned{false};
     std::atomic<std::uint64_t> routed{0};
@@ -247,28 +325,41 @@ class ClusterRouter {
     std::future<serve::ServeResult> fut;
   };
 
+  using MakeServer =
+      std::function<std::unique_ptr<serve::ForestServer>(const serve::ServerOptions&)>;
+
   void init_shards(const ClassifierOptions& classifier_options,
-                   const serve::ServerOptions& shard_options,
-                   const std::function<std::unique_ptr<serve::ForestServer>(
-                       const serve::ServerOptions&)>& make_server);
+                   const serve::ServerOptions& shard_options, MakeServer make_server);
+  /// Per-shard options for slot `s` (distinct jitter seed per slot).
+  serve::ServerOptions slot_options(std::size_t s) const;
+  /// Lock-free-ish read of a slot's server (snapshot under the slot mu).
+  std::shared_ptr<serve::ForestServer> server_of(std::size_t s) const;
+  /// Slot ids currently active, ascending.
+  std::vector<std::size_t> active_ids() const;
   bool routable(std::size_t shard) const;
   std::vector<std::size_t> candidate_order(std::uint64_t key) const;
   /// Dispatches to one shard. Consults crash:route and the partition
   /// flag for client dispatches only (probes must not spend chaos
   /// charges armed for clients — fired counts stay deterministic).
   std::future<serve::ServeResult> dispatch(std::size_t shard, const Dataset& queries,
-                                           double deadline_seconds, bool is_probe);
+                                           const QueryOptions& qopt, bool is_probe);
+  /// query() minus the admission limiter (which wraps it).
+  ClusterResult query_routed(const Dataset& queries, const QueryOptions& qopt);
   void shard_failed(std::size_t shard);
   void probe_loop();
   void probe_shard(std::size_t shard);
   double effective_hedge_delay() const;
 
   ClusterOptions options_;
-  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<Shard>> shards_;  // max_shards slots, fixed size
+  serve::ServerOptions shard_options_;          // base per-shard options
+  MakeServer make_server_;                      // builds a server for scale_up()
+  serve::AdaptiveLimiter limiter_;
   CounterRegistry counters_;
   LatencyHistogram hist_route_;
   Dataset probe_queries_;
 
+  std::mutex scale_mu_;   // serializes scale_up()/scale_down()
   std::mutex reload_mu_;  // serializes rolling-reload waves
 
   std::atomic<bool> stopping_{false};

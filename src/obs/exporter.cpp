@@ -163,6 +163,35 @@ std::string to_prometheus(const MetricsSnapshot& snapshot) {
     }
   }
 
+  if (!snapshot.tenants.empty()) {
+    // Same contract as the shard families: every tenant family is emitted
+    // for every tenant row, so a shed-free tenant still exports a zeroed
+    // hrf_tenant_quota_shed_total rather than no series at all.
+    struct TenantMetric {
+      const char* family;
+      const char* type;
+      double (*get)(const TenantStat&);
+    };
+    static const TenantMetric kTenantMetrics[] = {
+        {"hrf_tenant_weight", "gauge", [](const TenantStat& t) { return t.weight; }},
+        {"hrf_tenant_reserved_slots", "gauge",
+         [](const TenantStat& t) { return static_cast<double>(t.reserved); }},
+        {"hrf_tenant_queue_depth", "gauge",
+         [](const TenantStat& t) { return static_cast<double>(t.queued); }},
+        {"hrf_tenant_admitted_total", "counter",
+         [](const TenantStat& t) { return static_cast<double>(t.admitted); }},
+        {"hrf_tenant_quota_shed_total", "counter",
+         [](const TenantStat& t) { return static_cast<double>(t.shed); }},
+    };
+    for (const TenantMetric& m : kTenantMetrics) {
+      emit_type(out, m.family, m.type);
+      for (const TenantStat& t : snapshot.tenants) {
+        out += std::string(m.family) + "{tenant=\"" + escape_label(t.name) + "\"} " +
+               format_value(m.get(t)) + "\n";
+      }
+    }
+  }
+
   if (snapshot.has_traces) {
     const trace::TracerSummary& t = snapshot.traces;
     emit_type(out, "hrf_traces_started_total", "counter");
@@ -241,6 +270,21 @@ json::Value snapshot_to_json(const MetricsSnapshot& snapshot) {
     rollups.push_back(std::move(entry));
   }
   doc["rollups"] = std::move(rollups);
+
+  if (!snapshot.tenants.empty()) {
+    json::Value tenants = json::Value::array();
+    for (const TenantStat& t : snapshot.tenants) {
+      json::Value row = json::Value::object();
+      row["name"] = t.name;
+      row["weight"] = t.weight;
+      row["reserved"] = t.reserved;
+      row["queued"] = t.queued;
+      row["admitted"] = t.admitted;
+      row["shed"] = t.shed;
+      tenants.push_back(std::move(row));
+    }
+    doc["tenants"] = std::move(tenants);
+  }
 
   if (!snapshot.shards.empty()) {
     json::Value shards = json::Value::array();
@@ -428,6 +472,8 @@ const std::vector<MetricInfo>& metric_catalogue() {
     v.push_back({"hrf_cluster_shards", "gauge", false, true});
     v.push_back({"hrf_cluster_shards_available", "gauge", false, true});
     v.push_back({"hrf_cluster_hedge_delay_seconds", "gauge", false, true});
+    v.push_back({"hrf_cluster_concurrency_limit", "gauge", false, true});
+    v.push_back({"hrf_cluster_in_flight", "gauge", false, true});
     v.push_back({"hrf_shard_up", "gauge", false, true});
     v.push_back({"hrf_shard_partitioned", "gauge", false, true});
     v.push_back({"hrf_shard_breaker_state", "gauge", false, true});
@@ -435,6 +481,11 @@ const std::vector<MetricInfo>& metric_catalogue() {
     v.push_back({"hrf_shard_model_generation", "gauge", false, true});
     v.push_back({"hrf_shard_routed_total", "counter", false, true});
     v.push_back({"hrf_shard_failures_total", "counter", false, true});
+    v.push_back({"hrf_tenant_weight", "gauge", false, false, true});
+    v.push_back({"hrf_tenant_reserved_slots", "gauge", false, false, true});
+    v.push_back({"hrf_tenant_queue_depth", "gauge", false, false, true});
+    v.push_back({"hrf_tenant_admitted_total", "counter", false, false, true});
+    v.push_back({"hrf_tenant_quota_shed_total", "counter", false, false, true});
     return v;
   }();
   return kCatalogue;
@@ -447,9 +498,10 @@ const std::vector<std::string>& counter_catalogue() {
   static const std::vector<std::string> kCounters = {
       "requests.submitted",       "requests.completed",
       "requests.failed",          "requests.rejected_overload",
-      "requests.rejected_shutdown", "requests.shed_deadline",
-      "requests.deadline_expired", "requests.retried",
-      "requests.abandoned",       "fallback.served",
+      "requests.rejected_quota",  "requests.rejected_shutdown",
+      "requests.shed_deadline",   "requests.deadline_expired",
+      "requests.retried",         "requests.abandoned",
+      "fallback.served",
       "breaker.short_circuited",  "breaker.trips",
       "breaker.probes",           "reload.promoted",
       "reload.rejected",          "reload.rolled_back",
@@ -467,6 +519,10 @@ const std::vector<std::string>& cluster_counter_catalogue() {
       "cluster.no_shard_available", "cluster.probes",
       "cluster.probe_failures",     "cluster.reload_waves",
       "cluster.reload_waves_halted", "cluster.shard_rollbacks",
+      "cluster.quota_shed",         "cluster.limited",
+      "cluster.scale_ups",          "cluster.scale_downs",
+      "autoscaler.evaluations",     "autoscaler.scale_ups",
+      "autoscaler.scale_downs",     "autoscaler.stalled",
   };
   return kCounters;
 }
@@ -489,11 +545,14 @@ void check_metrics_schema(const std::string& prometheus_text, const std::string&
 
   const bool have_rollups = has_family("hrf_backend_requests_total");
   // Cluster families are required as a block: a router snapshot exports
-  // all of them, a single-server snapshot none.
+  // all of them, a single-server snapshot none. Tenant families likewise
+  // come and go together with the quota configuration.
   const bool have_cluster = has_family("hrf_cluster_shards");
+  const bool have_tenants = has_family("hrf_tenant_weight");
   for (const MetricInfo& info : metric_catalogue()) {
     if (info.per_rollup_key && !have_rollups) continue;
     if (info.cluster_only && !have_cluster) continue;
+    if (info.tenant_only && !have_tenants) continue;
     if (info.type == "histogram") {
       for (const char* suffix : {"_bucket", "_sum", "_count"}) {
         if (!has_family(info.name + suffix)) {
@@ -543,6 +602,21 @@ void check_metrics_schema(const std::string& prometheus_text, const std::string&
       s.get("generation").as_number();
       s.get("routed").as_number();
       s.get("failures").as_number();
+    }
+  }
+  if (have_tenants) {
+    const json::Value* tenants = doc.find("tenants");
+    if (!tenants || tenants->size() == 0) {
+      schema_fail("tenant families exported without a per-tenant array");
+    }
+    for (std::size_t i = 0; i < tenants->size(); ++i) {
+      const json::Value& t = tenants->at(i);
+      t.get("name").as_string();
+      t.get("weight").as_number();
+      t.get("reserved").as_number();
+      t.get("queued").as_number();
+      t.get("admitted").as_number();
+      t.get("shed").as_number();
     }
   }
   const json::Value& histograms = doc.get("histograms");

@@ -38,6 +38,18 @@ struct ShardHealth {
   std::uint64_t failures = 0;    // dispatch failures the router observed
 };
 
+/// One tenant's admission-quota row (serve/qos.hpp TenantCounters,
+/// flattened here for the same layering reason as ShardHealth). Exported
+/// as hrf_tenant_* families labeled {tenant="name"}.
+struct TenantStat {
+  std::string name;
+  double weight = 0.0;         // 0 for unconfigured (spare-pool-only) tenants
+  std::uint64_t reserved = 0;  // queue slots reserved for this tenant
+  std::uint64_t queued = 0;    // slots currently held
+  std::uint64_t admitted = 0;  // requests admitted, cumulative
+  std::uint64_t shed = 0;      // quota rejections, cumulative
+};
+
 /// Point-in-time view of every exported metric. Build one with
 /// ForestServer::metrics_snapshot() / ClusterRouter::metrics_snapshot()
 /// or assemble by hand in tests.
@@ -56,6 +68,9 @@ struct MetricsSnapshot {
   /// Per-shard health rows; empty for a single server, one per shard in
   /// cluster snapshots (exported as hrf_shard_* families, {shard="i"}).
   std::vector<ShardHealth> shards;
+  /// Per-tenant quota rows; empty unless tenant quotas are configured
+  /// (exported as hrf_tenant_* families, {tenant="name"}).
+  std::vector<TenantStat> tenants;
 };
 
 /// Sanitizes a registry name into a Prometheus metric name component:
@@ -105,6 +120,9 @@ struct MetricInfo {
   /// True for cluster families, which only a ClusterRouter snapshot
   /// exports (detected via the hrf_cluster_shards gauge).
   bool cluster_only = false;
+  /// True for tenant families, which only exist when tenant quotas are
+  /// configured (detected via the hrf_tenant_weight gauge).
+  bool tenant_only = false;
 };
 
 /// The documented Prometheus metric catalogue, in docs order.

@@ -1,0 +1,161 @@
+#include "serve/qos.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hrf::serve {
+
+TenantQuotas::TenantQuotas(const TenantQuotaOptions& options, std::size_t queue_capacity) {
+  require(queue_capacity >= 1, "tenant quotas need a queue capacity >= 1");
+  double total_weight = 0.0;
+  for (const TenantQuota& t : options.tenants) {
+    require(!t.name.empty(), "tenant names must be non-empty");
+    require(t.weight > 0.0, "tenant weights must be > 0 (tenant '" + t.name + "')");
+    require(entries_.find(t.name) == entries_.end(),
+            "duplicate tenant '" + t.name + "' in quota config");
+    entries_[t.name].weight = t.weight;
+    order_.push_back(t.name);
+    total_weight += t.weight;
+  }
+  // floor() keeps sum(reserved) <= capacity, so the spare pool is never
+  // negative; a tenant whose share floors to zero lives off spare alone.
+  std::size_t reserved_total = 0;
+  for (const TenantQuota& t : options.tenants) {
+    const auto share = static_cast<std::size_t>(
+        std::floor(static_cast<double>(queue_capacity) * t.weight / total_weight));
+    entries_[t.name].reserved = share;
+    reserved_total += share;
+  }
+  spare_capacity_ = queue_capacity - reserved_total;
+}
+
+TenantQuotas::Entry& TenantQuotas::entry(const std::string& tenant) {
+  const auto [it, inserted] = entries_.try_emplace(tenant);
+  if (inserted) order_.push_back(tenant);  // unconfigured: weight 0, reserved 0
+  return it->second;
+}
+
+bool TenantQuotas::try_acquire(const std::string& tenant) {
+  Entry& e = entry(tenant);
+  if (e.queued < e.reserved) {
+    ++e.queued;
+    ++e.admitted;
+    return true;
+  }
+  if (spare_in_use_ < spare_capacity_) {
+    ++spare_in_use_;
+    ++e.queued;
+    ++e.admitted;
+    return true;
+  }
+  ++e.shed;
+  return false;
+}
+
+void TenantQuotas::release(const std::string& tenant) {
+  Entry& e = entry(tenant);
+  require(e.queued > 0, "quota release without a matching acquire (tenant '" + tenant + "')");
+  // Slots beyond the reservation were necessarily drawn from spare.
+  if (e.queued > e.reserved) {
+    require(spare_in_use_ > 0, "quota spare accounting underflow");
+    --spare_in_use_;
+  }
+  --e.queued;
+}
+
+std::size_t TenantQuotas::reserved_slots(const std::string& tenant) const {
+  const auto it = entries_.find(tenant);
+  return it == entries_.end() ? 0 : it->second.reserved;
+}
+
+std::vector<TenantCounters> TenantQuotas::snapshot() const {
+  std::vector<TenantCounters> rows;
+  rows.reserve(order_.size());
+  for (const std::string& name : order_) {
+    const Entry& e = entries_.at(name);
+    TenantCounters row;
+    row.name = name;
+    row.weight = e.weight;
+    row.reserved = e.reserved;
+    row.queued = e.queued;
+    row.admitted = e.admitted;
+    row.shed = e.shed;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+AdaptiveLimiter::AdaptiveLimiter(const AdaptiveLimitOptions& options)
+    : options_(options), limit_(options.initial_limit) {
+  require(options_.min_limit >= 1, "adaptive limit min_limit must be >= 1");
+  require(options_.max_limit >= options_.min_limit,
+          "adaptive limit max_limit must be >= min_limit");
+  require(options_.decrease_factor > 0.0 && options_.decrease_factor < 1.0,
+          "adaptive limit decrease_factor must be in (0, 1)");
+  require(options_.epoch_samples >= 1, "adaptive limit epoch_samples must be >= 1");
+  limit_ = std::clamp(limit_, options_.min_limit, options_.max_limit);
+  epoch_.reserve(options_.epoch_samples);
+}
+
+bool AdaptiveLimiter::try_acquire() {
+  if (!options_.enabled) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (in_flight_ >= limit_) return false;
+  ++in_flight_;
+  return true;
+}
+
+void AdaptiveLimiter::decrease_locked() {
+  const auto next = static_cast<std::size_t>(
+      std::floor(static_cast<double>(limit_) * options_.decrease_factor));
+  limit_ = std::max(options_.min_limit, next);
+  ++decreases_;
+  epoch_.clear();  // the old epoch's samples predate the new limit
+}
+
+void AdaptiveLimiter::release(double seconds, bool deadline_expired) {
+  if (!options_.enabled) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (in_flight_ > 0) --in_flight_;
+  if (deadline_expired) {
+    decrease_locked();
+    return;
+  }
+  epoch_.push_back(seconds);
+  if (epoch_.size() < options_.epoch_samples) return;
+  // Nearest-rank p95 of the completed epoch.
+  std::sort(epoch_.begin(), epoch_.end());
+  const double p95 =
+      epoch_[static_cast<std::size_t>(0.95 * static_cast<double>(epoch_.size() - 1))];
+  if (p95 > options_.target_p95_seconds) {
+    decrease_locked();
+  } else {
+    limit_ = std::min(options_.max_limit, limit_ + 1);
+    ++increases_;
+    epoch_.clear();
+  }
+}
+
+std::size_t AdaptiveLimiter::limit() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return limit_;
+}
+
+std::size_t AdaptiveLimiter::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+std::uint64_t AdaptiveLimiter::increases() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return increases_;
+}
+
+std::uint64_t AdaptiveLimiter::decreases() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return decreases_;
+}
+
+}  // namespace hrf::serve

@@ -1,0 +1,158 @@
+#pragma once
+
+// Multi-tenant quality of service for the serving layer (docs/cluster.md).
+//
+// Two mechanisms, two layers:
+//
+//   TenantQuotas     per-server admission quotas: the bounded request queue
+//                    is carved into reserved per-tenant shares (weighted
+//                    max-min over the configured weights) plus a shared
+//                    spare pool. A tenant that exceeds its share is shed
+//                    with QuotaError *before* it can displace a single
+//                    queued request from a well-behaved tenant — victim
+//                    protection is structural, not reactive.
+//
+//   AdaptiveLimiter  router-level AIMD concurrency limiting: the in-flight
+//                    request ceiling grows additively (+1 per healthy
+//                    epoch) and shrinks multiplicatively when the observed
+//                    epoch p95 breaches the target or a deadline expires,
+//                    so the fleet backs off *before* shard queues saturate
+//                    instead of after timeouts cascade.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hrf::serve {
+
+/// One configured tenant: a stable name and a relative weight.
+struct TenantQuota {
+  std::string name;
+  double weight = 1.0;
+};
+
+struct TenantQuotaOptions {
+  /// Tenants with reserved queue shares. Empty = quotas disabled (every
+  /// request competes for the whole queue, PR-2 behavior). Tenants not
+  /// listed here — including the anonymous "" tenant — are admitted from
+  /// the spare pool only.
+  std::vector<TenantQuota> tenants;
+
+  bool enabled() const { return !tenants.empty(); }
+};
+
+/// Point-in-time accounting for one tenant (configured or first-seen).
+struct TenantCounters {
+  std::string name;
+  double weight = 0.0;        // 0 for unconfigured tenants
+  std::size_t reserved = 0;   // queue slots reserved for this tenant
+  std::size_t queued = 0;     // slots currently held (reserved + spare)
+  std::uint64_t admitted = 0; // requests admitted, cumulative
+  std::uint64_t shed = 0;     // quota rejections, cumulative
+};
+
+/// Weighted max-min sharing of a bounded queue's capacity.
+///
+/// Each configured tenant t reserves floor(capacity * w_t / sum(w)) slots;
+/// the remainder is a spare pool any tenant (known or not) may draw from
+/// first-come-first-served. Acquire takes a reserved slot when one is
+/// free, else a spare slot, else fails — so a surging tenant can consume
+/// at most (its reservation + the whole spare pool) and can never starve
+/// another tenant's reservation.
+///
+/// NOT internally synchronized: the owner (ForestServer) already holds its
+/// queue mutex across admission and dequeue, and quota state must stay
+/// consistent with the queue it meters, so it shares that lock.
+class TenantQuotas {
+ public:
+  /// Throws ConfigError on duplicate names, empty names, or non-positive
+  /// weights.
+  TenantQuotas(const TenantQuotaOptions& options, std::size_t queue_capacity);
+
+  /// Takes one queue slot for `tenant`: its reserved share first, then
+  /// the spare pool. Returns false (and counts a shed) when both are
+  /// exhausted — the caller throws QuotaError without enqueueing.
+  bool try_acquire(const std::string& tenant);
+
+  /// Returns the slot taken by the oldest outstanding acquire for
+  /// `tenant` (spare first while the tenant holds spare slots, keeping
+  /// reserved occupancy maximal). Called at dequeue and at shutdown
+  /// queue-clear, under the same lock as try_acquire.
+  void release(const std::string& tenant);
+
+  std::size_t reserved_slots(const std::string& tenant) const;
+  std::size_t spare_capacity() const { return spare_capacity_; }
+  std::size_t spare_in_use() const { return spare_in_use_; }
+
+  /// One row per tenant ever seen (configured first, then first-seen
+  /// order for unknowns), suitable for MetricsSnapshot::tenants.
+  std::vector<TenantCounters> snapshot() const;
+
+ private:
+  struct Entry {
+    double weight = 0.0;
+    std::size_t reserved = 0;
+    std::size_t queued = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t shed = 0;
+  };
+
+  Entry& entry(const std::string& tenant);
+
+  std::size_t spare_capacity_ = 0;
+  std::size_t spare_in_use_ = 0;
+  std::map<std::string, Entry> entries_;
+  std::vector<std::string> order_;  // configured then first-seen
+};
+
+struct AdaptiveLimitOptions {
+  bool enabled = false;
+  std::size_t initial_limit = 32;
+  std::size_t min_limit = 2;
+  std::size_t max_limit = 4096;
+  /// Epoch p95 above this backs the limit off multiplicatively.
+  double target_p95_seconds = 0.05;
+  /// Multiplicative-decrease factor, applied on breach or deadline.
+  double decrease_factor = 0.7;
+  /// Completed requests per AIMD evaluation epoch.
+  std::size_t epoch_samples = 32;
+};
+
+/// AIMD concurrency limiter. Thread-safe; one mutex guards the limit,
+/// the in-flight count, and the epoch's latency samples (all cheap next
+/// to the classifications being limited).
+class AdaptiveLimiter {
+ public:
+  explicit AdaptiveLimiter(const AdaptiveLimitOptions& options);
+
+  /// Admission: true reserves one in-flight slot; false means the caller
+  /// must reject (the limit is reached).
+  bool try_acquire();
+
+  /// Completes an admitted request. `seconds` is the observed end-to-end
+  /// latency; `deadline_expired` triggers an immediate multiplicative
+  /// decrease (a timeout is the strongest congestion signal there is).
+  void release(double seconds, bool deadline_expired);
+
+  std::size_t limit() const;
+  std::size_t in_flight() const;
+  std::uint64_t increases() const;
+  std::uint64_t decreases() const;
+
+  const AdaptiveLimitOptions& options() const { return options_; }
+
+ private:
+  void decrease_locked();
+
+  AdaptiveLimitOptions options_;
+  mutable std::mutex mu_;
+  std::size_t limit_;
+  std::size_t in_flight_ = 0;
+  std::vector<double> epoch_;
+  std::uint64_t increases_ = 0;
+  std::uint64_t decreases_ = 0;
+};
+
+}  // namespace hrf::serve

@@ -116,6 +116,7 @@ ForestServer::ForestServer(Forest forest, ClassifierOptions classifier_options,
       breaker_(options.breaker),
       tracer_({options.trace_sampling, options.trace_capacity}) {
   validate_options();
+  if (options_.quotas.enabled()) quotas_.emplace(options_.quotas, options_.queue_capacity);
   auto health = std::make_shared<ModelHealth>();
   for (std::size_t w = 0; w < options_.num_workers; ++w) {
     install_model(w, build_worker_model(forest, nullptr, nullptr, 0, health));
@@ -131,6 +132,7 @@ ForestServer::ForestServer(const ModelStore& store, ClassifierOptions classifier
       breaker_(options.breaker),
       tracer_({options.trace_sampling, options.trace_capacity}) {
   validate_options();
+  if (options_.quotas.enabled()) quotas_.emplace(options_.quotas, options_.queue_capacity);
   const std::optional<std::uint64_t> cur = store.current();
   if (!cur) {
     throw ConfigError("model store has no complete generation to serve: " + store.dir());
@@ -159,14 +161,21 @@ std::future<ServeResult> ForestServer::submit(Dataset queries) {
 }
 
 std::future<ServeResult> ForestServer::submit(Dataset queries, double deadline_seconds) {
+  return submit(std::move(queries), deadline_seconds, std::string());
+}
+
+std::future<ServeResult> ForestServer::submit(Dataset queries, double deadline_seconds,
+                                              const std::string& tenant) {
   counters_.add("requests.submitted");
   Request req;
   req.span = tracer_.start_trace("request");
   if (req.span.active()) {
     req.span.set_attr("queries", static_cast<std::uint64_t>(queries.num_samples()));
     if (deadline_seconds > 0.0) req.span.set_attr("deadline_s", deadline_seconds);
+    if (!tenant.empty()) req.span.set_attr("tenant", tenant);
   }
   req.queries = std::move(queries);
+  req.tenant = tenant;
   req.enqueued = SteadyClock::now();
   req.has_deadline = deadline_seconds > 0.0;
   if (req.has_deadline) req.deadline = req.enqueued + to_duration(deadline_seconds);
@@ -178,7 +187,20 @@ std::future<ServeResult> ForestServer::submit(Dataset queries, double deadline_s
       req.span.set_attr("outcome", "rejected_shutdown");
       throw ShutdownError("server is shutting down; submission rejected");
     }
-    if (queue_.size() >= options_.queue_capacity) {
+    if (quotas_) {
+      // Quotas subsume the plain capacity check: every queued request
+      // holds exactly one slot, and the slots sum to queue_capacity — so
+      // a failed acquire always means *this tenant* is past its share,
+      // never that another tenant's traffic displaced it.
+      if (!quotas_->try_acquire(req.tenant)) {
+        counters_.add("requests.rejected_quota");
+        req.span.set_attr("outcome", "rejected_quota");
+        throw QuotaError("tenant '" + (req.tenant.empty() ? "<anonymous>" : req.tenant) +
+                         "' exceeded its admission quota (" +
+                         std::to_string(quotas_->reserved_slots(req.tenant)) +
+                         " reserved slots + shared spare exhausted); back off and retry");
+      }
+    } else if (queue_.size() >= options_.queue_capacity) {
       counters_.add("requests.rejected_overload");
       req.span.set_attr("outcome", "rejected_overload");
       throw OverloadError("request queue full (capacity " +
@@ -223,6 +245,7 @@ DrainReport ForestServer::shutdown(double drain_deadline_seconds) {
   rep.abandoned = queue_.size();
   rep.deadline_hit = !queue_.empty();
   for (Request& r : queue_) {
+    if (quotas_) quotas_->release(r.tenant);
     r.promise.set_exception(std::make_exception_ptr(ShutdownError(
         "request abandoned: drain deadline (" + format_seconds(drain_deadline_seconds) +
         "s) passed during shutdown")));
@@ -268,7 +291,22 @@ obs::MetricsSnapshot ForestServer::metrics_snapshot() const {
   snap.rollups = rollups_.snapshot();
   snap.traces = tracer_.summary();
   snap.has_traces = true;
+  for (const TenantCounters& t : tenant_stats()) {
+    obs::TenantStat row;
+    row.name = t.name;
+    row.weight = t.weight;
+    row.reserved = t.reserved;
+    row.queued = t.queued;
+    row.admitted = t.admitted;
+    row.shed = t.shed;
+    snap.tenants.push_back(std::move(row));
+  }
   return snap;
+}
+
+std::vector<TenantCounters> ForestServer::tenant_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quotas_ ? quotas_->snapshot() : std::vector<TenantCounters>{};
 }
 
 LatencyStats ForestServer::latency() const {
@@ -300,6 +338,7 @@ ServerStats ForestServer::stats() const {
   s.breaker_probes = breaker_.probes();
   s.submitted = counters_.value("requests.submitted");
   s.rejected_overload = counters_.value("requests.rejected_overload");
+  s.rejected_quota = counters_.value("requests.rejected_quota");
   s.rejected_shutdown = counters_.value("requests.rejected_shutdown");
   s.shed_deadline = counters_.value("requests.shed_deadline");
   s.deadline_expired = counters_.value("requests.deadline_expired");
@@ -359,6 +398,9 @@ void ForestServer::worker_loop(std::size_t w) {
         if (queue_.empty()) continue;
         req = std::move(queue_.front());
         queue_.pop_front();
+        // The quota slot meters *queued* requests; it frees at dequeue so
+        // a tenant's share caps its backlog, not its lifetime throughput.
+        if (quotas_) quotas_->release(req.tenant);
       }
       process(w, std::move(req));
     }
@@ -377,6 +419,14 @@ void ForestServer::process(std::size_t w, Request req) {
   // has to absorb (docs/cluster.md).
   if (FaultInjector::global().enabled() && FaultInjector::global().consume("freeze:shard")) {
     std::this_thread::sleep_for(to_duration(options_.inject_freeze_seconds));
+  }
+  // Chaos site: requests from the configured surge tenant stall their
+  // worker — a noisy neighbor whose requests are heavy as well as
+  // frequent, so QoS tests get a deterministic hog.
+  if (FaultInjector::global().enabled() && !options_.surge_tenant.empty() &&
+      req.tenant == options_.surge_tenant &&
+      FaultInjector::global().consume("surge:tenant")) {
+    std::this_thread::sleep_for(to_duration(options_.inject_surge_seconds));
   }
   const SteadyClock::time_point now = SteadyClock::now();
   const double queue_s = std::chrono::duration<double>(now - req.enqueued).count();

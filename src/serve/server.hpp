@@ -51,6 +51,8 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -58,6 +60,7 @@
 #include "obs/exporter.hpp"
 #include "obs/rollup.hpp"
 #include "serve/circuit_breaker.hpp"
+#include "serve/qos.hpp"
 #include "serve/reload.hpp"
 #include "util/histogram.hpp"
 #include "util/metrics.hpp"
@@ -118,6 +121,14 @@ struct ServerOptions {
   /// deadline-shed path, which is the point: a wedged shard that the
   /// cluster router's hedging and probes must route around.
   double inject_freeze_seconds = 0.25;
+  /// Per-tenant admission quotas (serve/qos.hpp): weighted reserved
+  /// shares of queue_capacity plus a shared spare pool. Empty = disabled.
+  TenantQuotaOptions quotas{};
+  /// Tenant whose requests the `surge:tenant` fault site stalls, and for
+  /// how long per charge (chaos only — a deterministic noisy neighbor
+  /// whose requests are heavy as well as frequent).
+  std::string surge_tenant;
+  double inject_surge_seconds = 0.05;
 };
 
 /// One served request's outcome.
@@ -136,6 +147,7 @@ struct ServerStats {
   CircuitState breaker = CircuitState::Closed;
   std::uint64_t submitted = 0;
   std::uint64_t rejected_overload = 0;
+  std::uint64_t rejected_quota = 0;  // tenant exceeded its share (QuotaError)
   std::uint64_t rejected_shutdown = 0;
   std::uint64_t shed_deadline = 0;     // expired while queued
   std::uint64_t deadline_expired = 0;  // expired during execution/backoff
@@ -201,8 +213,13 @@ class ForestServer {
   /// ShutdownError once shutdown began; otherwise returns a future that
   /// yields the result or the request's failure exception. The deadline
   /// (seconds from now; <= 0 = none) bounds queue wait + execution.
+  /// With tenant quotas configured, `tenant` names the admission bucket
+  /// — a tenant past its reserved share and the spare pool is shed with
+  /// QuotaError (never displacing other tenants' queued requests).
   std::future<ServeResult> submit(Dataset queries);
   std::future<ServeResult> submit(Dataset queries, double deadline_seconds);
+  std::future<ServeResult> submit(Dataset queries, double deadline_seconds,
+                                  const std::string& tenant);
 
   /// Starts paused workers (no-op when already running).
   void resume();
@@ -222,6 +239,8 @@ class ForestServer {
 
   std::size_t queue_depth() const;
   ServerStats stats() const;
+  /// Per-tenant quota accounting; empty when quotas are disabled.
+  std::vector<TenantCounters> tenant_stats() const;
   /// Point-in-time snapshot of the per-stage latency histograms.
   LatencyStats latency() const;
   const CounterRegistry& counters() const { return counters_; }
@@ -267,6 +286,7 @@ class ForestServer {
   struct Request {
     Dataset queries;
     std::promise<ServeResult> promise;
+    std::string tenant;  // admission bucket ("" = anonymous)
     TimePoint enqueued;
     TimePoint deadline;  // meaningful only when has_deadline
     bool has_deadline = false;
@@ -357,10 +377,13 @@ class ForestServer {
   mutable std::mutex reload_history_mu_;
   std::vector<ReloadReport> reload_history_;
 
-  mutable std::mutex mu_;     // guards queue + lifecycle flags
+  mutable std::mutex mu_;     // guards queue + lifecycle flags + quotas
   std::mutex shutdown_mu_;    // serializes shutdown() callers (join once)
   std::condition_variable cv_;
   std::deque<Request> queue_;
+  /// Engaged when options_.quotas has tenants. Shares mu_ with the queue
+  /// it meters: every queued request holds exactly one quota slot.
+  std::optional<TenantQuotas> quotas_;
   bool accepting_ = true;
   bool started_ = false;
   bool shut_down_ = false;

@@ -66,6 +66,17 @@ class OverloadError : public Error {
   explicit OverloadError(const std::string& what) : Error(what) {}
 };
 
+/// Raised when multi-tenant admission control sheds a request because its
+/// tenant exhausted both its reserved queue share and the spare pool.
+/// Derives from OverloadError — clients that back off on overload keep
+/// working unchanged — but stays a distinct type (and a distinct
+/// `requests.rejected_quota` counter) so a surging tenant's shedding is
+/// never mistaken for fleet-wide saturation.
+class QuotaError : public OverloadError {
+ public:
+  explicit QuotaError(const std::string& what) : OverloadError(what) {}
+};
+
 /// Raised when a request's deadline expires — either while queued (shed
 /// before dispatch) or mid-execution (time-boxed chunked run abandoned).
 /// Not retryable as-is: the answer would arrive too late by definition.

@@ -22,6 +22,10 @@ constexpr std::array<const char*, 1> kCorruptTargets = {"node"};
 constexpr std::array<const char*, 3> kCrashTargets = {"publish", "manifest", "route"};
 // A shard worker stalls mid-dispatch (deadline storms / hedging trigger).
 constexpr std::array<const char*, 1> kFreezeTargets = {"shard"};
+// One tenant's requests stall their workers (noisy-neighbor QoS trigger).
+constexpr std::array<const char*, 1> kSurgeTargets = {"tenant"};
+// One autoscaler evaluation wedges; the fleet must keep serving as-is.
+constexpr std::array<const char*, 1> kStallTargets = {"autoscaler"};
 
 template <std::size_t N>
 bool known_target(const std::array<const char*, N>& targets, const std::string& t) {
@@ -32,7 +36,7 @@ bool known_target(const std::array<const char*, N>& targets, const std::string& 
   throw ConfigError("bad fault spec '" + spec + "': " + why +
                     " (valid: resource:{gpu|gpu-smem|fpga|fpga-bram}, bitflip:layout, "
                     "corrupt:node, crash:{publish|manifest|route}, freeze:shard, "
-                    "each with an optional :count)");
+                    "surge:tenant, stall:autoscaler, each with an optional :count)");
 }
 
 }  // namespace
@@ -76,7 +80,9 @@ void FaultInjector::arm_spec(const std::string& spec) {
                   (kind == "bitflip" && known_target(kBitflipTargets, target)) ||
                   (kind == "corrupt" && known_target(kCorruptTargets, target)) ||
                   (kind == "crash" && known_target(kCrashTargets, target)) ||
-                  (kind == "freeze" && known_target(kFreezeTargets, target));
+                  (kind == "freeze" && known_target(kFreezeTargets, target)) ||
+                  (kind == "surge" && known_target(kSurgeTargets, target)) ||
+                  (kind == "stall" && known_target(kStallTargets, target));
   if (!ok) bad_spec(spec, "unknown site '" + kind + ":" + target + "'");
   arm(kind + ":" + target, count);
 }

@@ -31,6 +31,15 @@
 //                       continuing — simulates a wedged shard so deadline
 //                       storms and router hedging have a deterministic
 //                       trigger
+//   surge:tenant        a request from ServerOptions::surge_tenant stalls
+//                       its worker for ServerOptions::inject_surge_seconds
+//                       — simulates a noisy neighbor whose requests are
+//                       heavy as well as frequent, so QoS tests can pin
+//                       victim-tenant SLOs against a deterministic hog
+//   stall:autoscaler    one autoscaler evaluation sleeps for
+//                       AutoscalerOptions::inject_stall_seconds before
+//                       acting — the fleet must keep serving at its
+//                       current size while the control loop is wedged
 //
 // Thread safety: every member is safe to call concurrently. Charges are
 // atomic, so N armed charges fire exactly N times no matter how many

@@ -33,11 +33,29 @@ else
   FAILURES=$((FAILURES + 1))
 fi
 check "serve banner shows configuration" "serving gpu-sim/hybrid: 3 workers" "$DIR/serve.log"
-check "all requests completed" "24 ok (0 degraded), 0 overload-rejected, 0 deadline, 0 failed" "$DIR/serve.log"
+check "all requests completed" "24 ok (0 degraded), 0 overload-rejected, 0 quota-shed, 0 deadline, 0 failed" "$DIR/serve.log"
 check "counters are reported" "requests.completed" "$DIR/serve.log"
 check "breaker stayed closed" "breaker: state=closed trips=0" "$DIR/serve.log"
 check "drain abandoned nothing" "abandoned=0" "$DIR/serve.log"
 check "clean shutdown reported" "serve: clean shutdown" "$DIR/serve.log"
+
+# --- Tenant quotas: clients round-robin across three weighted tenants; --
+# an unloaded run admits everyone, and the per-tenant accounting table
+# (weight, reserved slots, admitted, shed) is printed on drain.
+if "$CLI" --mode serve --model "$DIR/m.hrff" --data "$DIR/d.hrfd" \
+       --backend gpu-sim --variant hybrid --sd 4 \
+       --workers 2 --clients 3 --requests 4 --batch 128 --queue-cap 12 \
+       --tenants gold,silver,bronze --tenant-weights 3,2,1 \
+       > "$DIR/tenants.log" 2>&1; then
+  echo "ok: tenant-quota serve exits 0"
+else
+  echo "FAIL: tenant-quota serve exited nonzero"
+  FAILURES=$((FAILURES + 1))
+fi
+check "quota run admits everyone" "12 ok (0 degraded), 0 overload-rejected, 0 quota-shed" "$DIR/tenants.log"
+check "tenant table printed" "Tenant quotas" "$DIR/tenants.log"
+check "tenant rows carry reserved shares" "gold" "$DIR/tenants.log"
+check "tenant quota serve shuts down cleanly" "serve: clean shutdown" "$DIR/tenants.log"
 
 # --- Breaker scenario: persistent GPU faults, fallback off in the -------
 # classifier so failures drive the server's retry + breaker. Every request

@@ -125,6 +125,36 @@ TEST_F(ClusterTest, RendezvousRemovalOnlyRemapsKeysThatRankedTheLostShard) {
   }
 }
 
+TEST_F(ClusterTest, RendezvousSubsetCombinedResizeOnlyRemapsAffectedKeys) {
+  // The autoscaler resizes by activating/deactivating slot ids, so the
+  // property that matters is over arbitrary subsets: after a combined
+  // add+remove (drop slot 1, add slots 5 and 6), every key whose old
+  // first choice survived must keep it — only keys that ranked the
+  // removed slot first, or that a new slot legitimately wins, move.
+  const std::vector<std::size_t> before = {0, 1, 2, 3, 4};
+  const std::vector<std::size_t> after = {0, 2, 3, 4, 5, 6};
+  std::size_t moved_to_new = 0;
+  for (std::uint64_t key = 0; key < 1024; ++key) {
+    const std::size_t old_first = rendezvous_order_subset(key, before, 9)[0];
+    const std::size_t new_first = rendezvous_order_subset(key, after, 9)[0];
+    if (new_first == old_first) continue;
+    // A remap is only legitimate if the old choice vanished or a new
+    // slot outscored it — never a reshuffle among surviving slots.
+    EXPECT_TRUE(old_first == 1 || new_first == 5 || new_first == 6)
+        << "key " << key << " moved " << old_first << " -> " << new_first;
+    if (new_first == 5 || new_first == 6) ++moved_to_new;
+  }
+  // The new slots actually take a share of the keyspace (they are not
+  // just present-but-cold), roughly 2/7 of 1024 keys.
+  EXPECT_GT(moved_to_new, 150u);
+
+  // Subset scoring is consistent with the dense ranking: a contiguous
+  // prefix subset is exactly the dense order.
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    EXPECT_EQ(rendezvous_order_subset(key, before, 3), rendezvous_order(key, 5, 3));
+  }
+}
+
 TEST_F(ClusterTest, RendezvousSpreadsKeysAcrossShards) {
   std::vector<int> hits(4, 0);
   for (std::uint64_t key = 0; key < 1000; ++key) {
@@ -369,6 +399,118 @@ TEST_F(ClusterTest, MetricsSnapshotPassesTheSchemaGate) {
   EXPECT_GE(snap.counters.at("requests.submitted"), 4u);
   EXPECT_EQ(snap.gauges.at("cluster_shards"), 2.0);
   EXPECT_EQ(snap.gauges.at("cluster_shards_available"), 2.0);
+}
+
+TEST_F(ClusterTest, TenantQuotaShedPropagatesWithoutFeedingTheBreaker) {
+  serve::ServerOptions so = fast_server();
+  so.queue_capacity = 2;        // 1 reserved slot per tenant, no spare
+  so.start_paused = true;       // nothing dequeues until resume()
+  so.quotas.tenants = {{"victim", 1.0}, {"surger", 1.0}};
+  ClusterRouter router(forest_, cpu_options(), so, quiet_cluster(1));
+
+  QueryOptions surge;
+  surge.tenant = "surger";
+  std::thread surge_thread([&] { (void)router.query(queries_, surge); });
+  WallTimer t;
+  while (router.shard(0).queue_depth() < 1 && t.seconds() < 5.0) std::this_thread::yield();
+  ASSERT_EQ(router.shard(0).queue_depth(), 1u);
+
+  // The surger's second request finds its reserved share and the (empty)
+  // spare pool exhausted: the quota-specific error reaches the client.
+  EXPECT_THROW(router.query(queries_, surge), QuotaError);
+  EXPECT_EQ(router.stats().quota_shed, 1u);
+  // Quota shedding is not shard sickness: no breaker verdict, no failover.
+  EXPECT_EQ(router.shard_breaker_state(0), serve::CircuitState::Closed);
+  EXPECT_EQ(router.stats().failovers, 0u);
+
+  // The victim's reserved slot is untouched by the surge.
+  QueryOptions victim;
+  victim.tenant = "victim";
+  std::thread victim_thread([&] { (void)router.query(queries_, victim); });
+  while (router.shard(0).queue_depth() < 2 && t.seconds() < 5.0) std::this_thread::yield();
+  router.shard(0).resume();
+  surge_thread.join();
+  victim_thread.join();
+  EXPECT_EQ(router.stats().completed, 2u);
+
+  // The shed shows up per tenant in the fleet snapshot.
+  const obs::MetricsSnapshot snap = router.metrics_snapshot();
+  ASSERT_EQ(snap.tenants.size(), 2u);
+  EXPECT_EQ(snap.tenants[1].name, "surger");
+  EXPECT_EQ(snap.tenants[1].shed, 1u);
+  EXPECT_EQ(snap.counters.at("cluster.quota_shed"), 1u);
+  EXPECT_NO_THROW(obs::check_metrics_schema(obs::to_prometheus(snap),
+                                            obs::snapshot_to_json(snap).dump(2)));
+  router.shutdown();
+}
+
+TEST_F(ClusterTest, ShedThenServedRequestRecordsAQuotaDegradation) {
+  serve::ServerOptions so = fast_server();
+  so.queue_capacity = 2;   // 1 reserved slot per tenant, no spare
+  so.start_paused = true;  // nothing dequeues until resume()
+  so.quotas.tenants = {{"victim", 1.0}, {"surger", 1.0}};
+  const ClusterOptions co = quiet_cluster(2);
+  ClusterRouter router(forest_, cpu_options(), so, co);
+  router.shard(1).resume();  // only shard 0 holds requests
+
+  // Park a surger request in shard 0's only surger slot.
+  QueryOptions surge;
+  surge.tenant = "surger";
+  surge.key = key_for_shard(co, 0);
+  std::thread holder([&] { (void)router.query(queries_, surge); });
+  WallTimer t;
+  while (router.shard(0).queue_depth() < 1 && t.seconds() < 5.0) std::this_thread::yield();
+  ASSERT_EQ(router.shard(0).queue_depth(), 1u);
+
+  // The same tenant's next request sheds at shard 0 and fails over to
+  // shard 1, which has a free surger slot: a degraded success, and the
+  // trail says quota — distinct from an overload or failover note.
+  const ClusterResult res = router.query(queries_, surge);
+  EXPECT_EQ(res.shard, 1u);
+  ASSERT_TRUE(res.result.report.degraded());
+  EXPECT_NE(res.result.report.degradations.back().find("tenant 'surger' quota-shed"),
+            std::string::npos)
+      << res.result.report.degradations.back();
+  EXPECT_EQ(router.stats().quota_shed, 1u);
+  EXPECT_EQ(router.stats().failovers, 0u);  // nothing failed, nothing sick
+
+  router.shard(0).resume();
+  holder.join();
+  router.shutdown();
+}
+
+TEST_F(ClusterTest, AdaptiveLimiterRefusesExcessConcurrencyAtTheDoor) {
+  serve::ServerOptions so = fast_server();
+  so.start_paused = true;
+  ClusterOptions copt = quiet_cluster(1);
+  copt.limit.enabled = true;
+  copt.limit.initial_limit = 2;
+  copt.limit.min_limit = 1;
+  ClusterRouter router(forest_, cpu_options(), so, copt);
+
+  std::vector<std::thread> in_flight;
+  for (int i = 0; i < 2; ++i) {
+    in_flight.emplace_back([&] { (void)router.query(queries_); });
+  }
+  WallTimer t;
+  while (router.limiter_in_flight() < 2 && t.seconds() < 5.0) std::this_thread::yield();
+  ASSERT_EQ(router.limiter_in_flight(), 2u);
+  EXPECT_EQ(router.concurrency_limit(), 2u);
+
+  // Third concurrent request: refused before it touches a shard queue.
+  EXPECT_THROW(router.query(queries_), OverloadError);
+  EXPECT_EQ(router.stats().limited, 1u);
+  EXPECT_EQ(router.stats().submitted, 2u);  // the refusal never counted as submitted
+
+  router.shard(0).resume();
+  for (std::thread& th : in_flight) th.join();
+  EXPECT_EQ(router.stats().completed, 2u);
+  EXPECT_EQ(router.limiter_in_flight(), 0u);
+
+  const obs::MetricsSnapshot snap = router.metrics_snapshot();
+  EXPECT_EQ(snap.gauges.at("cluster_concurrency_limit"), 2.0);
+  EXPECT_EQ(snap.counters.at("cluster.limited"), 1u);
+  router.shutdown();
 }
 
 }  // namespace

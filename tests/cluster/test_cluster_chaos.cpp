@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/autoscaler.hpp"
 #include "cluster/cluster.hpp"
 #include "data/synthetic.hpp"
 #include "forest/random_forest_gen.hpp"
@@ -80,6 +81,366 @@ PhaseScore drive(ClusterRouter& router, const Dataset& queries, std::size_t requ
     score.p95_seconds = all[static_cast<std::size_t>(0.95 * static_cast<double>(all.size() - 1))];
   }
   return score;
+}
+
+/// Per-tenant outcome tally: quota sheds and deadline misses are counted
+/// apart so the noisy-neighbor gate can assert the surger was rejected
+/// by admission (QuotaError) rather than timed out in a queue.
+struct TenantScore {
+  std::uint64_t ok = 0;
+  std::uint64_t quota_shed = 0;
+  std::uint64_t deadline = 0;
+  std::uint64_t other = 0;
+  double p95_seconds = 0.0;
+
+  std::uint64_t total() const { return ok + quota_shed + deadline + other; }
+  double success_rate() const {
+    return total() > 0 ? static_cast<double>(ok) / static_cast<double>(total()) : 0.0;
+  }
+};
+
+/// drive(), but every request carries `tenant` and failures are
+/// classified by error type.
+TenantScore drive_tenant(ClusterRouter& router, const Dataset& queries,
+                         const std::string& tenant, std::size_t requests,
+                         std::size_t clients, std::uint64_t key_base) {
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::uint64_t> ok{0}, quota{0}, deadline{0}, other{0};
+  std::vector<std::vector<double>> lat(clients);
+  std::vector<std::thread> pool;
+  pool.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    pool.emplace_back([&, c] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= requests) return;
+        QueryOptions qopt;
+        qopt.key = key_base + i;
+        qopt.tenant = tenant;
+        WallTimer t;
+        try {
+          (void)router.query(queries, qopt);
+          lat[c].push_back(t.seconds());
+          ok.fetch_add(1, std::memory_order_relaxed);
+        } catch (const QuotaError&) {
+          quota.fetch_add(1, std::memory_order_relaxed);
+        } catch (const DeadlineError&) {
+          deadline.fetch_add(1, std::memory_order_relaxed);
+        } catch (const Error&) {
+          other.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+
+  std::vector<double> all;
+  for (const auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  TenantScore score;
+  score.ok = ok.load();
+  score.quota_shed = quota.load();
+  score.deadline = deadline.load();
+  score.other = other.load();
+  if (!all.empty()) {
+    score.p95_seconds = all[static_cast<std::size_t>(0.95 * static_cast<double>(all.size() - 1))];
+  }
+  return score;
+}
+
+// ISSUE acceptance scenario: one tenant surges to >= 10x its normal rate
+// against a 4-shard fleet with per-tenant quotas. The victims must hold
+// success >= 99% and p95 <= 2x their healthy baseline; the surger must be
+// shed with QuotaError (admission saying no), never DeadlineError (a
+// queue saying too-late) — victim protection is structural, so it holds
+// even while the surge runs hot.
+TEST(ClusterChaos, NoisyNeighborSurgeIsShedWhileVictimsHoldSlo) {
+  FaultInjector::global().disarm_all();
+  RandomForestSpec spec;
+  spec.num_trees = 8;
+  spec.max_depth = 8;
+  spec.num_features = 7;
+  spec.seed = 43;
+  const Forest forest = make_random_forest(spec);
+  const Dataset queries = make_random_queries(64, 7, 5);
+
+  ClassifierOptions copt;
+  copt.backend = Backend::CpuNative;
+  copt.variant = Variant::Independent;
+  copt.fallback.enabled = false;
+  serve::ServerOptions sopt;
+  sopt.num_workers = 2;
+  // Capacity 5 at weights 2:2:1 reserves 2+2 victim slots per shard and
+  // exactly 1 for the surger, with no spare pool: the surge's per-shard
+  // backlog is capped at one request no matter how hard it pushes.
+  sopt.queue_capacity = 5;
+  sopt.quotas.tenants = {{"victim-a", 2.0}, {"victim-b", 2.0}, {"surger", 1.0}};
+  sopt.surge_tenant = "surger";
+  sopt.inject_surge_seconds = 0.0003;  // admitted surge requests also hog a worker
+  sopt.retry.max_retries = 0;
+  sopt.breaker.failure_threshold = 1000;
+  ClusterOptions clopt;
+  clopt.num_shards = 4;
+  clopt.start_probes = false;
+  clopt.hedge.enabled = false;
+  ClusterRouter router(forest, copt, sopt, clopt);
+
+  // --- healthy baseline: both victims, no surge --------------------------
+  TenantScore healthy_a, healthy_b;
+  {
+    std::thread tb([&] { healthy_b = drive_tenant(router, queries, "victim-b", 100, 2, 5'000); });
+    healthy_a = drive_tenant(router, queries, "victim-a", 100, 2, 0);
+    tb.join();
+  }
+  ASSERT_EQ(healthy_a.total(), healthy_a.ok);
+  ASSERT_EQ(healthy_b.total(), healthy_b.ok);
+  // Same floor as tools/chaos.sh: the degraded-mode bound is 2x healthy
+  // or 10ms, whichever is larger, so a sub-millisecond baseline (or a
+  // sanitizer-instrumented build) doesn't turn scheduler jitter into a
+  // false breach.
+  const double p95_limit = std::max(
+      2.0 * std::max({healthy_a.p95_seconds, healthy_b.p95_seconds, 1e-3}), 0.010);
+
+  // --- surge: 4 spinning clients vs 2+2 victim clients -------------------
+  // The >= 10x attempt ratio is enforced by the post-victim drain loop
+  // below, not by the client count, so four surgers suffice; more would
+  // only add scheduler contention that muddies the victims' p95.
+  FaultInjector::global().arm("surge:tenant", -1);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> surge_ok{0}, surge_shed{0}, surge_deadline{0}, surge_other{0};
+  std::atomic<std::uint64_t> surge_key{100'000};
+  std::vector<std::thread> surgers;
+  for (int c = 0; c < 4; ++c) {
+    surgers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        QueryOptions qopt;
+        qopt.key = surge_key.fetch_add(1, std::memory_order_relaxed);
+        qopt.tenant = "surger";
+        try {
+          (void)router.query(queries, qopt);
+          surge_ok.fetch_add(1, std::memory_order_relaxed);
+        } catch (const QuotaError&) {
+          surge_shed.fetch_add(1, std::memory_order_relaxed);
+          // Shed is instant; don't melt the host with a hot exception loop.
+          std::this_thread::sleep_for(std::chrono::microseconds(20));
+        } catch (const DeadlineError&) {
+          surge_deadline.fetch_add(1, std::memory_order_relaxed);
+        } catch (const Error&) {
+          surge_other.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  TenantScore victim_a, victim_b;
+  {
+    std::thread tb([&] { victim_b = drive_tenant(router, queries, "victim-b", 150, 2, 25'000); });
+    victim_a = drive_tenant(router, queries, "victim-a", 150, 2, 15'000);
+    tb.join();
+  }
+  // Keep the surge running until it has provably attempted >= 10x the
+  // victims' combined traffic, so the "10x surge" ratio is by
+  // construction, not a wall-clock accident.
+  const std::uint64_t victim_total = victim_a.total() + victim_b.total();
+  WallTimer surge_timer;
+  while (surge_ok.load() + surge_shed.load() + surge_deadline.load() + surge_other.load() <
+             10 * victim_total &&
+         surge_timer.seconds() < 10.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : surgers) t.join();
+  FaultInjector::global().disarm_all();
+
+  // Victims: full success, zero sheds, p95 within 2x healthy.
+  EXPECT_GE(victim_a.success_rate(), 0.99) << "shed=" << victim_a.quota_shed
+                                           << " other=" << victim_a.other;
+  EXPECT_GE(victim_b.success_rate(), 0.99) << "shed=" << victim_b.quota_shed
+                                           << " other=" << victim_b.other;
+  EXPECT_EQ(victim_a.quota_shed, 0u);
+  EXPECT_EQ(victim_b.quota_shed, 0u);
+  EXPECT_LE(victim_a.p95_seconds, p95_limit);
+  EXPECT_LE(victim_b.p95_seconds, p95_limit);
+
+  // The surger was shed by admission, not by deadline or anything else.
+  EXPECT_GE(surge_ok.load() + surge_shed.load(), 10 * victim_total);
+  EXPECT_GT(surge_shed.load(), 0u);
+  EXPECT_GT(surge_ok.load(), 0u);  // its reserved slot still serves it
+  EXPECT_EQ(surge_deadline.load(), 0u);
+  EXPECT_EQ(surge_other.load(), 0u);
+
+  // The story is visible in the fleet snapshot, schema-clean.
+  const obs::MetricsSnapshot snap = router.metrics_snapshot();
+  EXPECT_GE(snap.counters.at("cluster.quota_shed"), 1u);
+  EXPECT_GE(snap.counters.at("requests.rejected_quota"), 1u);
+  ASSERT_EQ(snap.tenants.size(), 3u);
+  for (const auto& row : snap.tenants) {
+    if (row.name == "surger") {
+      EXPECT_GT(row.shed, 0u);
+    } else {
+      EXPECT_EQ(row.shed, 0u) << row.name;
+      EXPECT_GT(row.admitted, 0u) << row.name;
+    }
+  }
+  EXPECT_NO_THROW(obs::check_metrics_schema(obs::to_prometheus(snap),
+                                            obs::snapshot_to_json(snap).dump(2)));
+  router.shutdown();
+}
+
+// ISSUE acceptance scenario: the autoscaler walks an elastic fleet
+// through a 2 -> 4 -> 2 wave under live clients with ZERO
+// resize-attributable failures, then repeats the scale-up with a shard
+// killed the moment it activates — clients must still hold >= 99%
+// success and 2x-healthy p95 while probes quarantine the corpse.
+TEST(ClusterChaos, AutoscaleWaveServesThroughResizesAndAKill) {
+  FaultInjector::global().disarm_all();
+  RandomForestSpec spec;
+  spec.num_trees = 8;
+  spec.max_depth = 8;
+  spec.num_features = 7;
+  spec.seed = 47;
+  const Forest forest = make_random_forest(spec);
+  const Dataset queries = make_random_queries(64, 7, 5);
+
+  ClassifierOptions copt;
+  copt.backend = Backend::CpuNative;
+  copt.variant = Variant::Independent;
+  copt.fallback.enabled = false;
+  serve::ServerOptions sopt;
+  sopt.num_workers = 1;
+  sopt.queue_capacity = 64;
+  sopt.retry.max_retries = 0;
+  sopt.breaker.failure_threshold = 1000;
+  ClusterOptions clopt;
+  clopt.num_shards = 2;
+  clopt.max_shards = 4;
+  clopt.probe_interval_seconds = 0.01;
+  clopt.shard_breaker.open_seconds = 0.05;
+  clopt.hedge.enabled = false;
+  ClusterRouter router(forest, copt, sopt, clopt);
+
+  // Deterministic control loop: the test is the clock and the metrics.
+  double now = 0.0;
+  AutoscalerSample sample;
+  AutoscalerOptions aopt;
+  aopt.min_shards = 2;
+  aopt.max_shards = 4;
+  aopt.hysteresis_evaluations = 2;
+  aopt.cooldown_seconds = 0.0;
+  aopt.start_thread = false;
+  ClusterAutoscaler scaler(router, aopt, [&] { return now; }, [&] { return sample; });
+
+  // --- healthy baseline on the 2-shard fleet -----------------------------
+  const PhaseScore healthy = drive(router, queries, 80, 4, 0);
+  ASSERT_EQ(healthy.failed, 0u);
+  const double p95_limit = 2.0 * std::max(healthy.p95_seconds, 1e-3);
+
+  // A background pump that keeps clients scoring across every resize.
+  struct Pump {
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> ok{0}, failed{0};
+    std::atomic<std::uint64_t> key{0};
+    std::vector<std::thread> pool;
+    std::vector<std::vector<double>> lat;
+
+    void start(ClusterRouter& router, const Dataset& queries, std::uint64_t key_base) {
+      lat.resize(4);
+      key.store(key_base, std::memory_order_relaxed);
+      for (std::size_t c = 0; c < 4; ++c) {
+        pool.emplace_back([this, &router, &queries, c] {
+          while (!stop.load(std::memory_order_relaxed)) {
+            QueryOptions qopt;
+            qopt.key = key.fetch_add(1, std::memory_order_relaxed);
+            WallTimer t;
+            try {
+              (void)router.query(queries, qopt);
+              lat[c].push_back(t.seconds());
+              ok.fetch_add(1, std::memory_order_relaxed);
+            } catch (const Error&) {
+              failed.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        });
+      }
+    }
+    PhaseScore finish() {
+      stop.store(true, std::memory_order_relaxed);
+      for (std::thread& t : pool) t.join();
+      pool.clear();
+      std::vector<double> all;
+      for (const auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+      std::sort(all.begin(), all.end());
+      PhaseScore score;
+      score.ok = ok.load();
+      score.failed = failed.load();
+      if (!all.empty()) {
+        score.p95_seconds =
+            all[static_cast<std::size_t>(0.95 * static_cast<double>(all.size() - 1))];
+      }
+      return score;
+    }
+  };
+
+  // --- wave 1: clean 2 -> 4 -> 2, zero failures allowed ------------------
+  Pump wave1;
+  wave1.start(router, queries, 1'000'000);
+  sample.route_p95_seconds = 1.0;  // breach: grow
+  scaler.evaluate();
+  scaler.evaluate();
+  ASSERT_EQ(router.active_shards(), 3u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  scaler.evaluate();
+  scaler.evaluate();
+  ASSERT_EQ(router.active_shards(), 4u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  sample.route_p95_seconds = 0.001;  // idle: shrink
+  sample.avg_queue_depth = 0.0;
+  scaler.evaluate();
+  scaler.evaluate();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  scaler.evaluate();
+  scaler.evaluate();
+  ASSERT_EQ(router.active_shards(), 2u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const PhaseScore wave1_score = wave1.finish();
+  ASSERT_GT(wave1_score.ok, 0u);
+  EXPECT_EQ(wave1_score.failed, 0u);  // zero resize-attributable failures
+  EXPECT_LE(wave1_score.p95_seconds, p95_limit)
+      << "healthy p95 " << healthy.p95_seconds << "s";
+
+  // --- wave 2: scale up again, kill the first new shard as it lands ------
+  Pump wave2;
+  wave2.start(router, queries, 2'000'000);
+  sample.route_p95_seconds = 1.0;
+  sample.avg_queue_depth = 8.0;
+  scaler.evaluate();
+  scaler.evaluate();
+  ASSERT_EQ(router.active_shards(), 3u);
+  router.kill_shard(2);  // chaos lands mid-scale-up
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  scaler.evaluate();
+  scaler.evaluate();
+  ASSERT_EQ(router.active_shards(), 4u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  const PhaseScore wave2_score = wave2.finish();
+  ASSERT_GT(wave2_score.ok, 0u);
+  EXPECT_GE(wave2_score.success_rate(), 0.99)
+      << "ok=" << wave2_score.ok << " failed=" << wave2_score.failed;
+  EXPECT_LE(wave2_score.p95_seconds, p95_limit)
+      << "healthy p95 " << healthy.p95_seconds << "s";
+
+  // The wave's bookkeeping exports schema-clean: four scale-ups, two
+  // scale-downs, and the killed slot visibly down.
+  const obs::MetricsSnapshot snap = router.metrics_snapshot();
+  EXPECT_EQ(snap.counters.at("cluster.scale_ups"), 4u);
+  EXPECT_EQ(snap.counters.at("cluster.scale_downs"), 2u);
+  EXPECT_EQ(snap.counters.at("autoscaler.scale_ups"), 4u);
+  EXPECT_EQ(snap.counters.at("autoscaler.scale_downs"), 2u);
+  ASSERT_EQ(snap.shards.size(), 4u);
+  EXPECT_FALSE(snap.shards[2].up);
+  EXPECT_NO_THROW(obs::check_metrics_schema(obs::to_prometheus(snap),
+                                            obs::snapshot_to_json(snap).dump(2)));
+  router.shutdown();
 }
 
 TEST(ClusterChaos, DegradedModeStaysWithinSlo) {

@@ -1,0 +1,262 @@
+// Multi-tenant QoS units: weighted max-min admission quotas (TenantQuotas)
+// and the router-side AIMD concurrency limiter (AdaptiveLimiter), plus the
+// ForestServer integration — a surging tenant is shed with QuotaError and a
+// distinct rejected_quota counter while well-behaved tenants keep their
+// reserved share. Runs under ThreadSanitizer via tools/check.sh.
+
+#include "serve/qos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "forest/random_forest_gen.hpp"
+#include "obs/exporter.hpp"
+#include "serve/server.hpp"
+#include "util/error.hpp"
+
+namespace hrf::serve {
+namespace {
+
+TenantQuotaOptions three_tenants() {
+  TenantQuotaOptions q;
+  q.tenants = {{"alpha", 2.0}, {"beta", 1.0}, {"gamma", 1.0}};
+  return q;
+}
+
+TEST(TenantQuotas, ReservationsFloorWeightedSharesAndLeaveSpare) {
+  // capacity 10, weights 2:1:1 -> floor(5), floor(2.5)=2, floor(2.5)=2;
+  // the remaining slot is the shared spare pool.
+  TenantQuotas quotas(three_tenants(), 10);
+  EXPECT_EQ(quotas.reserved_slots("alpha"), 5u);
+  EXPECT_EQ(quotas.reserved_slots("beta"), 2u);
+  EXPECT_EQ(quotas.reserved_slots("gamma"), 2u);
+  EXPECT_EQ(quotas.spare_capacity(), 1u);
+  EXPECT_EQ(quotas.reserved_slots("unknown"), 0u);
+}
+
+TEST(TenantQuotas, SurgingTenantIsShedBeforeVictimsLoseASlot) {
+  TenantQuotas quotas(three_tenants(), 10);
+  // alpha floods: 5 reserved + the single spare slot, then shed.
+  for (int i = 0; i < 6; ++i) EXPECT_TRUE(quotas.try_acquire("alpha"));
+  EXPECT_FALSE(quotas.try_acquire("alpha"));
+  EXPECT_FALSE(quotas.try_acquire("alpha"));
+  // The victims' reserved shares are untouched by the surge.
+  for (int i = 0; i < 2; ++i) EXPECT_TRUE(quotas.try_acquire("beta"));
+  for (int i = 0; i < 2; ++i) EXPECT_TRUE(quotas.try_acquire("gamma"));
+  // ...but spare is gone, so beyond reserved they shed too.
+  EXPECT_FALSE(quotas.try_acquire("beta"));
+
+  const std::vector<TenantCounters> rows = quotas.snapshot();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].name, "alpha");
+  EXPECT_EQ(rows[0].admitted, 6u);
+  EXPECT_EQ(rows[0].shed, 2u);
+  EXPECT_EQ(rows[1].name, "beta");
+  EXPECT_EQ(rows[1].admitted, 2u);
+  EXPECT_EQ(rows[1].shed, 1u);
+}
+
+TEST(TenantQuotas, ReleaseReturnsSpareSlotsFirst) {
+  TenantQuotas quotas(three_tenants(), 10);
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(quotas.try_acquire("alpha"));  // 5 reserved + spare
+  EXPECT_EQ(quotas.spare_in_use(), 1u);
+  quotas.release("alpha");  // over-reservation slot goes back to spare
+  EXPECT_EQ(quotas.spare_in_use(), 0u);
+  // Anonymous traffic can now take the spare slot again.
+  EXPECT_TRUE(quotas.try_acquire(""));
+  EXPECT_FALSE(quotas.try_acquire(""));  // spare-pool-only, no reservation
+}
+
+TEST(TenantQuotas, UnknownTenantsLiveOffSpareAndShowUpInSnapshots) {
+  TenantQuotaOptions q;
+  q.tenants = {{"paid", 1.0}};
+  TenantQuotas quotas(q, 4);  // reserved 4, spare 0
+  EXPECT_FALSE(quotas.try_acquire("freeloader"));
+  const std::vector<TenantCounters> rows = quotas.snapshot();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1].name, "freeloader");
+  EXPECT_EQ(rows[1].weight, 0.0);
+  EXPECT_EQ(rows[1].reserved, 0u);
+  EXPECT_EQ(rows[1].shed, 1u);
+}
+
+TEST(TenantQuotas, RejectsBadConfig) {
+  TenantQuotaOptions empty_name;
+  empty_name.tenants = {{"", 1.0}};
+  EXPECT_THROW(TenantQuotas(empty_name, 8), ConfigError);
+
+  TenantQuotaOptions bad_weight;
+  bad_weight.tenants = {{"a", 0.0}};
+  EXPECT_THROW(TenantQuotas(bad_weight, 8), ConfigError);
+
+  TenantQuotaOptions dup;
+  dup.tenants = {{"a", 1.0}, {"a", 2.0}};
+  EXPECT_THROW(TenantQuotas(dup, 8), ConfigError);
+
+  EXPECT_THROW(TenantQuotas(three_tenants(), 0), ConfigError);
+}
+
+TEST(TenantQuotas, ReleaseWithoutAcquireIsAnError) {
+  TenantQuotas quotas(three_tenants(), 10);
+  EXPECT_THROW(quotas.release("alpha"), ConfigError);
+}
+
+AdaptiveLimitOptions small_limiter() {
+  AdaptiveLimitOptions o;
+  o.enabled = true;
+  o.initial_limit = 4;
+  o.min_limit = 2;
+  o.max_limit = 8;
+  o.target_p95_seconds = 0.05;
+  o.decrease_factor = 0.5;
+  o.epoch_samples = 4;
+  return o;
+}
+
+TEST(AdaptiveLimiter, DisabledIsANoOp) {
+  AdaptiveLimiter limiter(AdaptiveLimitOptions{});  // enabled = false
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(limiter.try_acquire());
+  limiter.release(10.0, true);
+  EXPECT_EQ(limiter.in_flight(), 0u);
+  EXPECT_EQ(limiter.decreases(), 0u);
+}
+
+TEST(AdaptiveLimiter, CapsInFlightAtTheCurrentLimit) {
+  AdaptiveLimiter limiter(small_limiter());
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(limiter.try_acquire());
+  EXPECT_FALSE(limiter.try_acquire());
+  EXPECT_EQ(limiter.in_flight(), 4u);
+  limiter.release(0.01, false);
+  EXPECT_TRUE(limiter.try_acquire());
+}
+
+TEST(AdaptiveLimiter, HealthyEpochsGrowTheLimitAdditively) {
+  AdaptiveLimiter limiter(small_limiter());
+  // Two full epochs below the p95 target: +1 each.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(limiter.try_acquire());
+    limiter.release(0.01, false);
+  }
+  EXPECT_EQ(limiter.limit(), 6u);
+  EXPECT_EQ(limiter.increases(), 2u);
+  EXPECT_EQ(limiter.decreases(), 0u);
+}
+
+TEST(AdaptiveLimiter, BreachingEpochShrinksMultiplicatively) {
+  AdaptiveLimiter limiter(small_limiter());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(limiter.try_acquire());
+    limiter.release(0.2, false);  // p95 over the 0.05 target
+  }
+  EXPECT_EQ(limiter.limit(), 2u);  // floor(4 * 0.5)
+  EXPECT_EQ(limiter.decreases(), 1u);
+}
+
+TEST(AdaptiveLimiter, DeadlineExpiryCutsImmediatelyAndClampsAtMin) {
+  AdaptiveLimiter limiter(small_limiter());
+  ASSERT_TRUE(limiter.try_acquire());
+  limiter.release(1.0, /*deadline_expired=*/true);
+  EXPECT_EQ(limiter.limit(), 2u);
+  // Already at min_limit: further punishment cannot go below it.
+  ASSERT_TRUE(limiter.try_acquire());
+  limiter.release(1.0, true);
+  EXPECT_EQ(limiter.limit(), 2u);
+  EXPECT_EQ(limiter.decreases(), 2u);
+}
+
+TEST(AdaptiveLimiter, GrowthClampsAtMaxLimit) {
+  AdaptiveLimitOptions o = small_limiter();
+  o.initial_limit = 8;  // == max_limit
+  AdaptiveLimiter limiter(o);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(limiter.try_acquire());
+    limiter.release(0.001, false);
+  }
+  EXPECT_EQ(limiter.limit(), 8u);
+}
+
+// ---- ForestServer integration -----------------------------------------
+
+Forest small_forest() {
+  RandomForestSpec spec;
+  spec.num_trees = 6;
+  spec.max_depth = 8;
+  spec.num_features = 7;
+  spec.seed = 33;
+  return make_random_forest(spec);
+}
+
+TEST(ServerTenantQuotas, SurgerGetsQuotaErrorWhileVictimKeepsItsShare) {
+  const Forest forest = small_forest();
+  const Dataset queries = make_random_queries(16, 7, 5);
+
+  ServerOptions opt;
+  opt.num_workers = 1;
+  opt.queue_capacity = 4;
+  opt.start_paused = true;  // deterministic backlog: nothing dequeues yet
+  opt.retry.max_retries = 0;
+  opt.breaker.failure_threshold = 1000;
+  opt.quotas.tenants = {{"victim", 1.0}, {"surger", 1.0}};  // 2 slots each
+
+  ForestServer server(forest, ClassifierOptions{}, opt);
+  std::vector<std::future<ServeResult>> futures;
+  futures.push_back(server.submit(queries, 0.0, "surger"));
+  futures.push_back(server.submit(queries, 0.0, "surger"));
+  // Reserved share + spare (none) exhausted: the surger is shed with the
+  // quota-specific error, not generic overload.
+  EXPECT_THROW(server.submit(queries, 0.0, "surger"), QuotaError);
+  // The victim's reserved slots are untouched by the surge.
+  futures.push_back(server.submit(queries, 0.0, "victim"));
+  futures.push_back(server.submit(queries, 0.0, "victim"));
+  EXPECT_THROW(server.submit(queries, 0.0, "victim"), QuotaError);
+
+  server.resume();
+  for (auto& f : futures) EXPECT_NO_THROW(f.get());
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.rejected_quota, 2u);
+  EXPECT_EQ(stats.rejected_overload, 0u);  // quota shedding is its own reason
+  EXPECT_EQ(stats.completed, 4u);
+
+  const std::vector<TenantCounters> rows = server.tenant_stats();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].name, "victim");
+  EXPECT_EQ(rows[0].admitted, 2u);
+  EXPECT_EQ(rows[0].shed, 1u);
+  EXPECT_EQ(rows[1].name, "surger");
+  EXPECT_EQ(rows[1].admitted, 2u);
+  EXPECT_EQ(rows[1].shed, 1u);
+  EXPECT_EQ(rows[0].queued + rows[1].queued, 0u);  // drained after resume
+}
+
+TEST(ServerTenantQuotas, MetricsExportCarriesTenantFamiliesAndPassesSchema) {
+  const Forest forest = small_forest();
+  const Dataset queries = make_random_queries(8, 7, 5);
+
+  ServerOptions opt;
+  opt.num_workers = 1;
+  opt.queue_capacity = 8;
+  opt.quotas.tenants = {{"alpha", 3.0}, {"beta", 1.0}};
+
+  ForestServer server(forest, ClassifierOptions{}, opt);
+  server.submit(queries, 0.0, "alpha").get();
+  server.submit(queries, 0.0, "beta").get();
+
+  const obs::MetricsSnapshot snap = server.metrics_snapshot();
+  ASSERT_EQ(snap.tenants.size(), 2u);
+  EXPECT_EQ(snap.tenants[0].name, "alpha");
+  EXPECT_EQ(snap.tenants[0].admitted, 1u);
+  ASSERT_NE(snap.counters.find("requests.rejected_quota"), snap.counters.end());
+
+  const std::string prom = obs::to_prometheus(snap);
+  EXPECT_NE(prom.find("hrf_tenant_weight{tenant=\"alpha\"}"), std::string::npos);
+  EXPECT_NE(prom.find("hrf_tenant_quota_shed_total{tenant=\"beta\"}"), std::string::npos);
+  const std::string json = obs::snapshot_to_json(snap).dump();
+  EXPECT_NO_THROW(obs::check_metrics_schema(prom, json));
+}
+
+}  // namespace
+}  // namespace hrf::serve

@@ -13,7 +13,11 @@
 # partition scenarios) plus the tools/chaos.sh CLI harness
 # (docs/cluster.md). The TSan build also runs the cluster suites.
 #
-# Usage: tools/check.sh [--plain-only|--sanitize-only|--tsan-only|--cluster-chaos]
+# A qos-chaos step runs the multi-tenant QoS + autoscaler chaos gates
+# (noisy-neighbor surge, autoscale waves) under ThreadSanitizer.
+#
+# Usage: tools/check.sh [--plain-only|--sanitize-only|--tsan-only|
+#                        --cluster-chaos|--qos-chaos]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -92,14 +96,27 @@ metrics_schema() {  # metrics_schema <build-dir>
 
 cluster_chaos() {  # cluster_chaos <build-dir>
   echo "=== cluster-chaos ($1) ==="
-  # The chaos-labeled gtest suite: kill-shard-mid-rolling-reload and
-  # partition-with-heal against the degraded-mode SLOs (success >= 99%,
-  # p95 within 2x the healthy baseline).
+  # The chaos-labeled gtest suite: kill-shard-mid-rolling-reload,
+  # partition-with-heal, noisy-neighbor surge, and autoscale waves,
+  # all against the degraded-mode SLOs (success >= 99%, p95 within 2x
+  # the healthy baseline).
   ctest --test-dir "$1" --output-on-failure -L chaos
   # The CLI-driven harness exercises the same scenarios end to end
   # (plus freeze/hedging) through hrf_cli --mode cluster.
   tools/chaos.sh "$1/tools/hrf_cli"
   echo "cluster-chaos: degraded-mode SLOs held"
+}
+
+qos_chaos() {  # qos_chaos: the QoS/autoscaler chaos gates under TSan
+  echo "=== configure build-tsan (qos-chaos) ==="
+  cmake -B build-tsan -S . -DHRF_BUILD_BENCHES=OFF "-DHRF_SANITIZE=thread"
+  echo "=== build build-tsan (qos-chaos) ==="
+  cmake --build build-tsan -j "$JOBS" --target test_qos test_autoscaler test_cluster_chaos
+  echo "=== test build-tsan (qos-chaos: quotas, limiter, autoscaler, chaos SLOs) ==="
+  OMP_NUM_THREADS=1 TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-tsan --output-on-failure \
+          -R '(TenantQuotas|AdaptiveLimiter|Autoscaler|ClusterChaos)'
+  echo "qos-chaos: QoS + autoscaler SLOs held under TSan"
 }
 
 case "$MODE" in
@@ -129,17 +146,22 @@ case "$MODE" in
     echo "=== configure build-tsan ==="
     cmake -B build-tsan -S . -DHRF_BUILD_BENCHES=OFF "-DHRF_SANITIZE=thread"
     echo "=== build build-tsan ==="
-    cmake --build build-tsan -j "$JOBS" --target test_server test_circuit_breaker test_fault test_metrics test_histogram test_model_store test_reload test_trace test_obs test_cluster test_cluster_chaos
+    cmake --build build-tsan -j "$JOBS" --target test_server test_circuit_breaker test_fault test_metrics test_histogram test_model_store test_reload test_trace test_obs test_cluster test_qos test_autoscaler test_cluster_chaos
     echo "=== test build-tsan (concurrency suites) ==="
     OMP_NUM_THREADS=1 TSAN_OPTIONS="halt_on_error=1" \
       ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-            -R '(ForestServer|CircuitBreaker|FaultInjector|CounterRegistry|LatencyHistogram|ModelStore|ModelReload|Tracer|Span\.|Trace\.|RollupRegistry|BackendRollup|Cluster)'
+            -R '(ForestServer|CircuitBreaker|FaultInjector|CounterRegistry|LatencyHistogram|ModelStore|ModelReload|Tracer|Span\.|Trace\.|RollupRegistry|BackendRollup|Cluster|TenantQuotas|AdaptiveLimiter|Autoscaler)'
     ;;&
-  all|--plain-only|--sanitize-only|--tsan-only|--cluster-chaos)
+  all|--qos-chaos)
+    if [ "$MODE" = --qos-chaos ]; then
+      qos_chaos
+    fi
+    ;;&
+  all|--plain-only|--sanitize-only|--tsan-only|--cluster-chaos|--qos-chaos)
     echo "check.sh: all requested suites passed"
     ;;
   *)
-    echo "usage: tools/check.sh [--plain-only|--sanitize-only|--tsan-only|--cluster-chaos]" >&2
+    echo "usage: tools/check.sh [--plain-only|--sanitize-only|--tsan-only|--cluster-chaos|--qos-chaos]" >&2
     exit 2
     ;;
 esac

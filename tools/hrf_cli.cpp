@@ -46,15 +46,19 @@
 // case's p95 ns/query regressed past --tolerance — the perf gate every
 // optimization PR runs against the recorded baseline.
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/harness.hpp"
+#include "cluster/autoscaler.hpp"
 #include "cluster/cluster.hpp"
 #include "core/hrf.hpp"
 #include "forest/importance.hpp"
@@ -94,6 +98,28 @@ std::vector<std::string> split_commas(const std::string& s) {
     start = comma + 1;
   }
   return out;
+}
+
+// Parses --tenants a,b,c [--tenant-weights 2,2,1] into per-tenant
+// admission quotas (docs/cluster.md). Returns the tenant names in order;
+// empty means quotas stay off and all traffic is anonymous.
+std::vector<std::string> parse_tenant_quotas(const CliArgs& args, serve::ServerOptions& sopt) {
+  const std::string list = args.get("tenants", "");
+  if (list.empty()) return {};
+  const std::vector<std::string> names = split_commas(list);
+  std::vector<std::string> weights;
+  const std::string wlist = args.get("tenant-weights", "");
+  if (!wlist.empty()) weights = split_commas(wlist);
+  if (!weights.empty() && weights.size() != names.size()) {
+    throw ConfigError("--tenant-weights wants exactly one weight per --tenants entry");
+  }
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    serve::TenantQuota q;
+    q.name = names[i];
+    q.weight = weights.empty() ? 1.0 : std::stod(weights[i]);
+    sopt.quotas.tenants.push_back(q);
+  }
+  return names;
 }
 
 int mode_gen(const CliArgs& args) {
@@ -316,6 +342,20 @@ int mode_bench(const CliArgs& args) {
                 report.cluster->qps);
   }
 
+  if (args.get_flag("noisy-bench")) {
+    bench::NoisyNeighborOptions nopt;
+    nopt.shards = static_cast<std::size_t>(args.get_int("shards", 4));
+    nopt.requests = static_cast<std::size_t>(args.get_int("requests", 120));
+    nopt.query_seed = opt.query_seed;
+    report.noisy = bench::measure_noisy_neighbor(nopt);
+    std::printf("noisy bench: %zu shards, %zu victim requests under surge -> "
+                "victim p95 %.0f ns, success %.4f, surger shed %llu, %.0f qps\n",
+                report.noisy->shards, report.noisy->requests, report.noisy->victim_p95_ns,
+                report.noisy->victim_success,
+                static_cast<unsigned long long>(report.noisy->surger_shed),
+                report.noisy->victim_qps);
+  }
+
   Table t({"variant", "backend", "batch", "p50 ns/q", "p95 ns/q", "p99 ns/q", "qps"});
   for (const bench::CaseResult& c : report.cases) {
     t.row()
@@ -445,6 +485,7 @@ int mode_serve(const CliArgs& args) {
   sopt.breaker.open_seconds = args.get_double("breaker-open-ms", 100.0) / 1e3;
   sopt.drain_deadline_seconds = args.get_double("drain-s", 5.0);
   sopt.trace_sampling = args.get_double("trace-sample", 0.0);
+  const std::vector<std::string> tenants = parse_tenant_quotas(args, sopt);
 
   // Model source: a direct model file, or a versioned store (the
   // lifecycle path — docs/model-lifecycle.md).
@@ -535,21 +576,26 @@ int mode_serve(const CliArgs& args) {
     });
   }
 
-  std::atomic<std::uint64_t> ok{0}, degraded{0}, overload{0}, deadline{0}, wrong{0}, failed{0};
+  std::atomic<std::uint64_t> ok{0}, degraded{0}, overload{0}, quota_shed{0}, deadline{0},
+      wrong{0}, failed{0};
   std::atomic<bool> client_stop{false};
   std::mutex sample_mu;
   std::vector<std::string> sample_degradations;
   std::vector<std::thread> pool;
   pool.reserve(clients);
   for (std::size_t c = 0; c < clients; ++c) {
-    pool.emplace_back([&] {
+    // With quotas on, clients round-robin the configured tenants so every
+    // admission bucket sees traffic; without, everything is anonymous.
+    const std::string tenant = tenants.empty() ? "" : tenants[c % tenants.size()];
+    pool.emplace_back([&, tenant] {
       // Fixed request count normally; in lifecycle mode clients hammer the
       // server until the orchestration below says stop.
       for (std::size_t r = 0; lifecycle ? !client_stop.load(std::memory_order_acquire)
                                         : r < per_client;
            ++r) {
         try {
-          serve::ServeResult res = server->submit(queries).get();
+          serve::ServeResult res =
+              server->submit(queries, sopt.default_deadline_seconds, tenant).get();
           ++ok;
           if (res.report.predictions != reference) ++wrong;
           if (res.report.degraded()) {
@@ -557,6 +603,8 @@ int mode_serve(const CliArgs& args) {
             std::lock_guard<std::mutex> lock(sample_mu);
             if (sample_degradations.empty()) sample_degradations = res.report.degradations;
           }
+        } catch (const QuotaError&) {
+          ++quota_shed;  // distinct from overload: the tenant was over its share
         } catch (const OverloadError&) {
           ++overload;
         } catch (const DeadlineError&) {
@@ -640,12 +688,25 @@ int mode_serve(const CliArgs& args) {
   }
 
   std::printf("clients done: %llu ok (%llu degraded), %llu overload-rejected, "
-              "%llu deadline, %llu failed\n",
+              "%llu quota-shed, %llu deadline, %llu failed\n",
               static_cast<unsigned long long>(ok.load()),
               static_cast<unsigned long long>(degraded.load()),
               static_cast<unsigned long long>(overload.load()),
+              static_cast<unsigned long long>(quota_shed.load()),
               static_cast<unsigned long long>(deadline.load()),
               static_cast<unsigned long long>(failed.load()));
+  if (!tenants.empty()) {
+    Table tt({"tenant", "weight", "reserved", "admitted", "shed"});
+    for (const serve::TenantCounters& tc : server->tenant_stats()) {
+      tt.row()
+          .cell(tc.name.empty() ? "(anonymous)" : tc.name)
+          .cell(tc.weight, 1)
+          .cell(static_cast<std::uint64_t>(tc.reserved))
+          .cell(tc.admitted)
+          .cell(tc.shed);
+    }
+    print_table(std::cout, "Tenant quotas", tt);
+  }
   std::printf("prediction mismatches: %llu\n",
               static_cast<unsigned long long>(wrong.load()));
   for (const std::string& step : sample_degradations) {
@@ -712,12 +773,53 @@ int mode_cluster(const CliArgs& args) {
   sopt.retry.backoff_base_seconds = 1e-4;
   sopt.drain_deadline_seconds = args.get_double("drain-s", 5.0);
 
+  // Multi-tenant QoS (docs/cluster.md): --tenants carves every shard's
+  // queue into weighted reserved shares; --surge marks one tenant as the
+  // noisy neighbor (its clients send --surge-factor x the traffic and its
+  // requests hog a worker for --surge-ms via the surge:tenant site).
+  const std::vector<std::string> tenants = parse_tenant_quotas(args, sopt);
+  const std::string surge_tenant = args.get("surge", "");
+  const std::size_t surge_factor = static_cast<std::size_t>(args.get_int("surge-factor", 10));
+  if (!surge_tenant.empty()) {
+    if (std::find(tenants.begin(), tenants.end(), surge_tenant) == tenants.end()) {
+      throw ConfigError("--surge tenant '" + surge_tenant + "' is not in --tenants");
+    }
+    sopt.surge_tenant = surge_tenant;
+    sopt.inject_surge_seconds = args.get_double("surge-ms", 0.5) / 1e3;
+    FaultInjector::global().arm("surge:tenant", -1);
+  }
+
   cluster::ClusterOptions clopt;
   clopt.num_shards = static_cast<std::size_t>(args.get_int("shards", 4));
   clopt.policy = cluster::routing_policy_from_name(args.get("router-policy", "hash"));
   clopt.max_failovers = static_cast<int>(args.get_int("failovers", 2));
   clopt.hedge.min_seconds = args.get_double("hedge-ms", 10.0) / 1e3;
   clopt.probe_interval_seconds = args.get_double("probe-interval-ms", 20.0) / 1e3;
+  // Adaptive admission: --adaptive-limit N starts the router's AIMD
+  // concurrency limiter at N in-flight requests.
+  const long long limit0 = args.get_int("adaptive-limit", 0);
+  if (limit0 > 0) {
+    clopt.limit.enabled = true;
+    clopt.limit.initial_limit = static_cast<std::size_t>(limit0);
+    clopt.limit.target_p95_seconds = args.get_double("limit-p95-ms", 50.0) / 1e3;
+  }
+  // Histogram-driven autoscaling: --autoscale lets the fleet grow to
+  // --autoscale-max shards on route-p95 / queue-depth pressure and shrink
+  // back to --autoscale-min when idle.
+  const bool autoscale = args.get_flag("autoscale");
+  cluster::AutoscalerOptions aopt;
+  if (autoscale) {
+    aopt.min_shards = static_cast<std::size_t>(args.get_int("autoscale-min", 1));
+    aopt.max_shards = static_cast<std::size_t>(
+        args.get_int("autoscale-max", static_cast<long long>(clopt.num_shards * 2)));
+    aopt.evaluation_interval_seconds = args.get_double("autoscale-interval-ms", 20.0) / 1e3;
+    aopt.scale_up_p95_seconds = args.get_double("autoscale-up-p95-ms", 5.0) / 1e3;
+    // Default the shrink threshold well under the grow threshold so a
+    // bare --autoscale-up-p95-ms never trips the down < up validation.
+    aopt.scale_down_p95_seconds =
+        args.get_double("autoscale-down-p95-ms", aopt.scale_up_p95_seconds * 1e3 / 5.0) / 1e3;
+    clopt.max_shards = aopt.max_shards;
+  }
 
   const std::size_t clients = static_cast<std::size_t>(args.get_int("clients", 4));
   const std::size_t per_client = static_cast<std::size_t>(args.get_int("requests", 32));
@@ -756,23 +858,72 @@ int mode_cluster(const CliArgs& args) {
               "%zu clients x %zu requests of %zu queries\n",
               router->num_shards(), cluster::to_string(clopt.policy), clopt.max_failovers,
               clopt.hedge.min_seconds * 1e3, clients, per_client, batch);
+  if (autoscale) {
+    std::printf("autoscaler: %zu..%zu shards, eval every %.0f ms, up p95 %.1f ms, "
+                "down p95 %.1f ms\n",
+                aopt.min_shards, aopt.max_shards, aopt.evaluation_interval_seconds * 1e3,
+                aopt.scale_up_p95_seconds * 1e3, aopt.scale_down_p95_seconds * 1e3);
+  }
+  std::optional<cluster::ClusterAutoscaler> scaler;
+  if (autoscale) scaler.emplace(*router, aopt);
+
+  // One outcome ledger per tenant (a single anonymous one without
+  // --tenants); the surge tenant's quota sheds are expected, every other
+  // tenant is a victim whose success rate the SLO gate protects.
+  struct TenantOutcome {
+    std::string name;
+    std::atomic<std::uint64_t> ok{0}, quota_shed{0}, deadline{0}, failed{0}, wrong{0};
+
+    std::uint64_t total() const {
+      return ok.load() + quota_shed.load() + deadline.load() + failed.load();
+    }
+    double success_rate() const {
+      const std::uint64_t t = total();
+      return t > 0 ? static_cast<double>(ok.load()) / static_cast<double>(t) : 1.0;
+    }
+  };
+  std::vector<std::unique_ptr<TenantOutcome>> outcomes;
+  if (tenants.empty()) {
+    outcomes.push_back(std::make_unique<TenantOutcome>());
+  } else {
+    for (const std::string& name : tenants) {
+      outcomes.push_back(std::make_unique<TenantOutcome>());
+      outcomes.back()->name = name;
+    }
+  }
 
   std::atomic<std::uint64_t> ok{0}, failed{0}, wrong{0};
   std::vector<std::thread> pool;
-  pool.reserve(clients);
-  for (std::size_t c = 0; c < clients; ++c) {
-    pool.emplace_back([&, c] {
-      for (std::size_t r = 0; r < per_client; ++r) {
-        try {
-          const cluster::ClusterResult res =
-              router->query(queries, {.key = c * 1000003ULL + r});
-          ++ok;
-          if (res.result.report.predictions != reference) ++wrong;
-        } catch (const Error&) {
-          ++failed;
+  for (std::size_t t = 0; t < outcomes.size(); ++t) {
+    TenantOutcome& outcome = *outcomes[t];
+    const bool surging = !outcome.name.empty() && outcome.name == surge_tenant;
+    const std::size_t requests = per_client * (surging ? surge_factor : 1);
+    for (std::size_t c = 0; c < clients; ++c) {
+      pool.emplace_back([&, t, c, requests] {
+        for (std::size_t r = 0; r < requests; ++r) {
+          cluster::QueryOptions qopt;
+          qopt.key = (t * 977 + c) * 1000003ULL + r;
+          qopt.tenant = outcome.name;
+          try {
+            const cluster::ClusterResult res = router->query(queries, qopt);
+            ++outcome.ok;
+            ++ok;
+            if (res.result.report.predictions != reference) {
+              ++outcome.wrong;
+              ++wrong;
+            }
+          } catch (const QuotaError&) {
+            ++outcome.quota_shed;  // admission said no; not a shard failure
+          } catch (const DeadlineError&) {
+            ++outcome.deadline;
+            ++failed;
+          } catch (const Error&) {
+            ++outcome.failed;
+            ++failed;
+          }
         }
-      }
-    });
+      });
+    }
   }
 
   // Chaos orchestration: wait out the healthy warmup, then inject.
@@ -838,6 +989,17 @@ int mode_cluster(const CliArgs& args) {
   }
 
   for (std::thread& t : pool) t.join();
+  if (!surge_tenant.empty()) FaultInjector::global().disarm("surge:tenant");
+  if (scaler) {
+    scaler->stop();
+    const cluster::AutoscalerStats as = scaler->stats();
+    std::printf("autoscaler: %llu evaluations, %llu scale-ups, %llu scale-downs, "
+                "%llu stalled; fleet ends at %zu shards\n",
+                static_cast<unsigned long long>(as.evaluations),
+                static_cast<unsigned long long>(as.scale_ups),
+                static_cast<unsigned long long>(as.scale_downs),
+                static_cast<unsigned long long>(as.stalled), as.active_shards);
+  }
 
   const cluster::ClusterStats stats = router->stats();
   const HistogramSnapshot route = router->route_latency();
@@ -862,9 +1024,23 @@ int mode_cluster(const CliArgs& args) {
                 static_cast<unsigned long long>(s.routed),
                 static_cast<unsigned long long>(s.failures));
   }
+  if (!tenants.empty()) {
+    Table tt({"tenant", "ok", "quota-shed", "deadline", "failed", "success"});
+    for (const auto& o : outcomes) {
+      tt.row()
+          .cell(o->name + (o->name == surge_tenant ? " (surge)" : ""))
+          .cell(o->ok.load())
+          .cell(o->quota_shed.load())
+          .cell(o->deadline.load())
+          .cell(o->failed.load())
+          .cell(o->success_rate(), 4);
+    }
+    print_table(std::cout, "Per-tenant outcomes", tt);
+  }
   std::printf("cluster summary: shards=%zu available=%zu ok=%llu failed=%llu wrong=%llu "
               "success=%.4f p95_ms=%.3f failovers=%llu hedged=%llu hedge_wins=%llu "
-              "no_shard=%llu probes=%llu rollbacks=%llu\n",
+              "no_shard=%llu probes=%llu rollbacks=%llu quota_shed=%llu limited=%llu "
+              "scale_ups=%llu scale_downs=%llu\n",
               stats.shards, stats.available, static_cast<unsigned long long>(ok.load()),
               static_cast<unsigned long long>(failed.load()),
               static_cast<unsigned long long>(wrong.load()), success, p95_ms,
@@ -873,12 +1049,28 @@ int mode_cluster(const CliArgs& args) {
               static_cast<unsigned long long>(stats.hedge_wins),
               static_cast<unsigned long long>(stats.no_shard_available),
               static_cast<unsigned long long>(stats.probes),
-              static_cast<unsigned long long>(stats.shard_rollbacks));
+              static_cast<unsigned long long>(stats.shard_rollbacks),
+              static_cast<unsigned long long>(stats.quota_shed),
+              static_cast<unsigned long long>(stats.limited),
+              static_cast<unsigned long long>(stats.scale_ups),
+              static_cast<unsigned long long>(stats.scale_downs));
 
   const double slo_success = args.get_double("slo-success", 0.99);
   const double slo_p95_ms = args.get_double("slo-p95-ms", 0.0);
   bool clean = wrong.load() == 0 && reload_as_expected;
-  if (success < slo_success) {
+  // With a designated surge tenant, the SLO protects the victims: each
+  // non-surge tenant must hold the success floor on its own (its quota
+  // sheds count against it), while the surger is expected to be shed.
+  for (const auto& o : outcomes) {
+    if (o->name == surge_tenant) continue;
+    if (o->success_rate() < slo_success) {
+      std::printf("SLO VIOLATION: tenant %s success %.4f < %.4f\n",
+                  o->name.empty() ? "(anonymous)" : o->name.c_str(), o->success_rate(),
+                  slo_success);
+      clean = false;
+    }
+  }
+  if (surge_tenant.empty() && success < slo_success) {
     std::printf("SLO VIOLATION: success %.4f < %.4f\n", success, slo_success);
     clean = false;
   }
@@ -1032,9 +1224,26 @@ int main(int argc, char** argv) {
                                "(publishes --publish-live to --model-store first)")
       .allow("slo-success", "cluster: minimum aggregate success rate (default 0.99)")
       .allow("slo-p95-ms", "cluster: maximum router p95 in ms (0 = ungated)")
+      .allow("tenants", "serve/cluster: comma-separated tenant names with reserved "
+                        "queue shares (empty = quotas off)")
+      .allow("tenant-weights", "serve/cluster: comma-separated weights, one per tenant "
+                               "(default: equal)")
+      .allow("surge", "cluster: tenant that surges --surge-factor x the normal rate "
+                      "(arms surge:tenant; victims' SLOs are gated per tenant)")
+      .allow("surge-factor", "cluster: surge traffic multiplier (default 10)")
+      .allow("surge-ms", "cluster: worker stall per surging request (default 0.5)")
+      .allow("adaptive-limit", "cluster: initial AIMD in-flight limit (0 = limiter off)")
+      .allow("limit-p95-ms", "cluster: AIMD target route p95 (default 50)")
+      .allow("autoscale", "cluster: scale the fleet on route-p95/queue-depth pressure")
+      .allow("autoscale-min", "cluster: autoscaler floor (default 1)")
+      .allow("autoscale-max", "cluster: autoscaler ceiling (default 2x --shards)")
+      .allow("autoscale-interval-ms", "cluster: autoscaler evaluation cadence (default 20)")
+      .allow("autoscale-up-p95-ms", "cluster: route p95 that grows the fleet (default 5)")
+      .allow("autoscale-down-p95-ms", "cluster: route p95 floor that shrinks it (default 1)")
       .allow("inject-fault", "fault spec(s): resource:{gpu|gpu-smem|fpga|fpga-bram}[:n], "
                              "bitflip:layout, corrupt:node, "
-                             "crash:{publish|manifest|route}, freeze:shard")
+                             "crash:{publish|manifest|route}, freeze:shard, "
+                             "surge:tenant, stall:autoscaler")
       .allow("inject-seed", "fault injector RNG seed")
       .allow("variants", "bench: comma-separated variant sweep list")
       .allow("backends", "bench: comma-separated backend sweep list")
@@ -1049,6 +1258,7 @@ int main(int argc, char** argv) {
       .allow("trace-tolerance", "bench: allowed fractional trace-overhead p95 cost "
                                 "(default 0.05)")
       .allow("cluster-bench", "bench: measure routed p95 + qps over a healthy shard fleet")
+      .allow("noisy-bench", "bench: measure victim p95 under a quota-shed tenant surge")
       .allow("out", "gen/train/predict/compile/bench: output path");
   if (!args.validate()) return 1;
 
