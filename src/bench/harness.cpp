@@ -398,6 +398,80 @@ NoisyNeighborResult measure_noisy_neighbor(const NoisyNeighborOptions& options) 
   return result;
 }
 
+BatchBenchResult measure_batch(const BatchBenchOptions& options) {
+  require(options.clients >= 1, "batch bench needs at least one client");
+  require(options.requests >= 1, "batch bench needs at least one request");
+  require(options.rows >= 1, "batch bench rows must be >= 1");
+  require(options.workers >= 1, "batch bench needs >= 1 worker");
+  require(options.batch_max >= 2, "batch bench needs micro-batching on (batch_max >= 2)");
+
+  const Forest forest = make_random_forest(options.forest);
+  const Dataset queries =
+      make_random_queries(options.rows, options.forest.num_features, options.query_seed);
+
+  // The paper's amortization case: hybrid on the simulated GPU, where
+  // every classify pays the same stage-1 root-subtree staging whether it
+  // carries 8 rows or a full warp's worth — exactly the per-dispatch
+  // fixed cost micro-batching exists to share.
+  ClassifierOptions copt;
+  copt.variant = Variant::Hybrid;
+  copt.backend = Backend::GpuSim;
+  copt.layout.subtree_depth = 4;
+
+  // One identical run per configuration; only the batching knobs differ.
+  const auto run = [&](const serve::BatchOptions& batching, double* p95_ns, double* qps) {
+    serve::ServerOptions sopt;
+    sopt.num_workers = options.workers;
+    sopt.queue_capacity = std::max<std::size_t>(16, options.clients * 2);
+    sopt.default_deadline_seconds = 30.0;
+    sopt.batching = batching;
+    serve::ForestServer server(forest, copt, sopt);
+    for (std::size_t i = 0; i < options.workers; ++i) (void)server.submit(queries).get();
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::uint64_t> completed{0};
+    std::vector<std::vector<double>> latencies(options.clients);
+    WallTimer wall;
+    std::vector<std::thread> clients;
+    clients.reserve(options.clients);
+    for (std::size_t c = 0; c < options.clients; ++c) {
+      clients.emplace_back([&, c] {
+        latencies[c].reserve(options.requests / options.clients + 1);
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= options.requests) return;
+          WallTimer t;
+          (void)server.submit(queries).get();
+          latencies[c].push_back(t.seconds() * 1e9);
+          completed.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    const double seconds = wall.seconds();
+    server.shutdown();
+
+    std::vector<double> all;
+    for (const std::vector<double>& v : latencies) all.insert(all.end(), v.begin(), v.end());
+    *p95_ns = all.empty() ? 0.0 : percentile(all, 95.0);
+    *qps = seconds > 0.0 ? static_cast<double>(completed.load()) / seconds : 0.0;
+  };
+
+  BatchBenchResult result;
+  result.clients = options.clients;
+  result.requests = options.requests;
+  result.rows = options.rows;
+  result.batch_max = options.batch_max;
+  serve::BatchOptions off;  // max_requests 1: batching disabled
+  run(off, &result.p95_unbatched_ns, &result.qps_unbatched);
+  serve::BatchOptions on;
+  on.max_requests = options.batch_max;
+  on.max_wait_seconds = options.batch_wait_seconds;
+  run(on, &result.p95_batched_ns, &result.qps_batched);
+  result.speedup = result.qps_unbatched > 0.0 ? result.qps_batched / result.qps_unbatched : 0.0;
+  return result;
+}
+
 json::Value to_json(const BenchReport& report) {
   json::Value root = json::Value::object();
   root["schema"] = kSchemaName;
@@ -466,6 +540,20 @@ json::Value to_json(const BenchReport& report) {
     n["surger_shed"] = report.noisy->surger_shed;
     n["victim_qps"] = report.noisy->victim_qps;
     root["noisy"] = std::move(n);
+  }
+
+  if (report.batch) {
+    json::Value b = json::Value::object();
+    b["clients"] = report.batch->clients;
+    b["requests"] = report.batch->requests;
+    b["rows"] = report.batch->rows;
+    b["batch_max"] = report.batch->batch_max;
+    b["p95_unbatched_ns"] = report.batch->p95_unbatched_ns;
+    b["p95_batched_ns"] = report.batch->p95_batched_ns;
+    b["qps_unbatched"] = report.batch->qps_unbatched;
+    b["qps_batched"] = report.batch->qps_batched;
+    b["speedup"] = report.batch->speedup;
+    root["batch"] = std::move(b);
   }
   return root;
 }
@@ -546,6 +634,20 @@ BenchReport report_from_json(const json::Value& v) {
     res.victim_qps = n->get("victim_qps").as_number();
     report.noisy = res;
   }
+
+  if (const json::Value* b = v.find("batch")) {
+    BatchBenchResult res;
+    res.clients = static_cast<std::size_t>(b->get("clients").as_number());
+    res.requests = static_cast<std::size_t>(b->get("requests").as_number());
+    res.rows = static_cast<std::size_t>(b->get("rows").as_number());
+    res.batch_max = static_cast<std::size_t>(b->get("batch_max").as_number());
+    res.p95_unbatched_ns = b->get("p95_unbatched_ns").as_number();
+    res.p95_batched_ns = b->get("p95_batched_ns").as_number();
+    res.qps_unbatched = b->get("qps_unbatched").as_number();
+    res.qps_batched = b->get("qps_batched").as_number();
+    res.speedup = b->get("speedup").as_number();
+    report.batch = res;
+  }
   return report;
 }
 
@@ -596,6 +698,19 @@ CompareResult compare_reports(const BenchReport& baseline, const BenchReport& cu
         result.regressions.push_back(
             {"noisy", baseline.noisy->victim_p95_ns, current.noisy->victim_p95_ns,
              current.noisy->victim_p95_ns / baseline.noisy->victim_p95_ns});
+      }
+    }
+  }
+  if (baseline.batch) {
+    if (!current.batch) {
+      result.missing_cases.push_back("batch");
+    } else {
+      ++result.compared;
+      if (baseline.batch->p95_batched_ns > 0.0 &&
+          current.batch->p95_batched_ns > baseline.batch->p95_batched_ns * (1.0 + tolerance)) {
+        result.regressions.push_back(
+            {"batch", baseline.batch->p95_batched_ns, current.batch->p95_batched_ns,
+             current.batch->p95_batched_ns / baseline.batch->p95_batched_ns});
       }
     }
   }

@@ -182,6 +182,41 @@ struct NoisyNeighborResult {
 
 NoisyNeighborResult measure_noisy_neighbor(const NoisyNeighborOptions& options);
 
+/// Micro-batching serving benchmark (docs/serving.md, "Dynamic
+/// micro-batching"): one ForestServer absorbs many small concurrent
+/// requests twice — batching off, then batching on with `batch_max` —
+/// and the end-to-end p95 plus throughput of each run are reported. The
+/// batched run's p95 is the number under gate (key "batch"); `speedup`
+/// (batched qps / unbatched qps) is the paper's amortization story made
+/// measurable at the serving layer. Wall-clock numbers — gate with the
+/// CpuNative tolerance.
+struct BatchBenchOptions {
+  std::size_t clients = 32;    // concurrent client threads
+  std::size_t requests = 320;  // total per run, split across clients
+  /// Rows per request: a small warp fraction, so unbatched dispatch
+  /// under-fills the simulated device and batching has headroom.
+  std::size_t rows = 4;
+  std::size_t workers = 2;
+  std::size_t batch_max = 16;  // members per formed batch in the batched run
+  double batch_wait_seconds = 500e-6;
+  RandomForestSpec forest{.num_trees = 20, .max_depth = 10, .num_features = 16};
+  std::uint64_t query_seed = 42;
+};
+
+struct BatchBenchResult {
+  std::size_t clients = 0;
+  std::size_t requests = 0;
+  std::size_t rows = 0;
+  std::size_t batch_max = 0;
+  double p95_unbatched_ns = 0.0;  // end-to-end p95, batching off
+  double p95_batched_ns = 0.0;    // end-to-end p95, batching on (gated)
+  double qps_unbatched = 0.0;
+  double qps_batched = 0.0;
+  double speedup = 0.0;  // qps_batched / qps_unbatched
+};
+
+BatchBenchResult measure_batch(const BatchBenchOptions& options);
+
 struct BenchReport {
   int schema_version = kSchemaVersion;
   EnvFingerprint env;
@@ -199,6 +234,9 @@ struct BenchReport {
   /// Present when the sweep ran with the noisy-neighbor QoS case; the
   /// victim p95 is compared under the key "noisy".
   std::optional<NoisyNeighborResult> noisy;
+  /// Present when the sweep ran with the micro-batching serve case; the
+  /// batched p95 is compared under the key "batch".
+  std::optional<BatchBenchResult> batch;
 };
 
 /// Runs the sweep, skipping invalid combinations (collaborative/hybrid
@@ -239,9 +277,10 @@ struct CompareResult {
 /// new coverage, not failures; cases only in `baseline` are missing.
 /// trace_tolerance gates the current report's own trace_overhead ratio
 /// (tracing everything must cost < 5% serve p95 by default).
-/// A baseline cluster case is matched under the key "cluster" and a
-/// baseline noisy-neighbor case under the key "noisy" (victim p95), both
-/// with the same p95 gate (missing from `current` = missing case).
+/// A baseline cluster case is matched under the key "cluster", a
+/// baseline noisy-neighbor case under the key "noisy" (victim p95), and
+/// a baseline micro-batching case under the key "batch" (batched p95),
+/// all with the same p95 gate (missing from `current` = missing case).
 CompareResult compare_reports(const BenchReport& baseline, const BenchReport& current,
                               double tolerance, double trace_tolerance = 0.05);
 

@@ -501,7 +501,8 @@ const std::vector<std::string>& counter_catalogue() {
       "requests.rejected_quota",  "requests.rejected_shutdown",
       "requests.shed_deadline",   "requests.deadline_expired",
       "requests.retried",         "requests.abandoned",
-      "fallback.served",
+      "requests.batched",         "batch.formed",
+      "batch.flush_deadline",     "fallback.served",
       "breaker.short_circuited",  "breaker.trips",
       "breaker.probes",           "reload.promoted",
       "reload.rejected",          "reload.rolled_back",

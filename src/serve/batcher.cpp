@@ -1,0 +1,79 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hrf::serve {
+
+namespace {
+
+std::chrono::steady_clock::duration to_duration(double seconds) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(std::max(0.0, seconds)));
+}
+
+}  // namespace
+
+std::size_t backend_batch_granularity(Backend backend, const gpusim::DeviceConfig& gpu) {
+  switch (backend) {
+    case Backend::GpuSim:
+      // One warp of lock-step lanes: the smallest unit the SIMT model
+      // schedules, and the paper's natural fill target — a 7-row request
+      // occupies a whole warp either way.
+      return static_cast<std::size_t>(std::max(1, gpu.warp_size));
+    case Backend::FpgaSim:
+      // The pipeline's fill/drain overhead amortizes over a burst of
+      // queries; one warp-equivalent keeps the two simulated backends'
+      // batch shapes comparable in the bench sweeps.
+      return 32;
+    case Backend::CpuNative:
+      // An OpenMP chunk's worth — enough rows that the parallel-for
+      // fork/join is amortized, small enough not to inflate latency.
+      return 16;
+  }
+  return 1;
+}
+
+BatchFormer::BatchFormer(const BatchOptions& options, std::size_t granularity) {
+  require(granularity >= 1, "batch granularity must be >= 1");
+  require(options.max_wait_seconds >= 0.0, "batching.max_wait_seconds must be >= 0");
+  require(options.deadline_fraction >= 0.0 && options.deadline_fraction <= 1.0,
+          "batching.deadline_fraction must be in [0, 1]");
+  max_requests_ = std::max<std::size_t>(1, options.max_requests);
+  max_rows_ = options.max_rows != 0 ? options.max_rows : max_requests_ * granularity;
+  max_wait_ = to_duration(options.max_wait_seconds);
+  deadline_fraction_ = options.deadline_fraction;
+}
+
+bool BatchFormer::fits(std::size_t rows) const {
+  if (members_ == 0) return true;  // never starve an oversized request
+  return members_ < max_requests_ && rows_ + rows <= max_rows_;
+}
+
+void BatchFormer::add(TimePoint now, std::size_t rows, bool has_deadline, TimePoint deadline) {
+  // This member's wait grant: the hard cap, tightened by its remaining
+  // deadline budget. An already-expired member grants zero further wait —
+  // should_flush(now) turns true immediately and the server sheds it at
+  // dispatch rather than letting it rot while batchmates trickle in.
+  std::chrono::steady_clock::duration grant = max_wait_;
+  if (has_deadline) {
+    const auto remaining = deadline > now ? deadline - now : std::chrono::steady_clock::duration{};
+    const auto budget = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(
+            std::chrono::duration<double>(remaining).count() * deadline_fraction_));
+    grant = std::min(grant, budget);
+  }
+  const TimePoint member_flush = now + grant;
+  flush_deadline_ = members_ == 0 ? member_flush : std::min(flush_deadline_, member_flush);
+  ++members_;
+  rows_ += rows;
+}
+
+void BatchFormer::reset() {
+  members_ = 0;
+  rows_ = 0;
+  flush_deadline_ = TimePoint{};
+}
+
+}  // namespace hrf::serve

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <sstream>
 
 #include "serve/model_store.hpp"
@@ -58,6 +59,11 @@ void ForestServer::validate_options() const {
           "retry backoff seconds must be >= 0");
   require(options_.retry.jitter_fraction >= 0.0 && options_.retry.jitter_fraction <= 1.0,
           "retry.jitter_fraction must be in [0, 1]");
+  require(options_.batching.max_wait_seconds >= 0.0,
+          "batching.max_wait_seconds must be >= 0");
+  require(options_.batching.deadline_fraction >= 0.0 &&
+              options_.batching.deadline_fraction <= 1.0,
+          "batching.deadline_fraction must be in [0, 1]");
 }
 
 std::shared_ptr<const ForestServer::WorkerModel> ForestServer::build_worker_model(
@@ -116,6 +122,8 @@ ForestServer::ForestServer(Forest forest, ClassifierOptions classifier_options,
       breaker_(options.breaker),
       tracer_({options.trace_sampling, options.trace_capacity}) {
   validate_options();
+  batch_granularity_ = backend_batch_granularity(classifier_options_.backend,
+                                                 classifier_options_.gpu);
   if (options_.quotas.enabled()) quotas_.emplace(options_.quotas, options_.queue_capacity);
   auto health = std::make_shared<ModelHealth>();
   for (std::size_t w = 0; w < options_.num_workers; ++w) {
@@ -132,6 +140,8 @@ ForestServer::ForestServer(const ModelStore& store, ClassifierOptions classifier
       breaker_(options.breaker),
       tracer_({options.trace_sampling, options.trace_capacity}) {
   validate_options();
+  batch_granularity_ = backend_batch_granularity(classifier_options_.backend,
+                                                 classifier_options_.gpu);
   if (options_.quotas.enabled()) quotas_.emplace(options_.quotas, options_.queue_capacity);
   const std::optional<std::uint64_t> cur = store.current();
   if (!cur) {
@@ -287,7 +297,8 @@ obs::MetricsSnapshot ForestServer::metrics_snapshot() const {
   snap.histograms = {{"queue_wait", hist_queue_wait_.snapshot()},
                      {"execute", hist_execute_.snapshot()},
                      {"end_to_end", hist_end_to_end_.snapshot()},
-                     {"reload", hist_reload_.snapshot()}};
+                     {"reload", hist_reload_.snapshot()},
+                     {"batch_size", hist_batch_size_.snapshot()}};
   snap.rollups = rollups_.snapshot();
   snap.traces = tracer_.summary();
   snap.has_traces = true;
@@ -315,6 +326,7 @@ LatencyStats ForestServer::latency() const {
   s.execute = hist_execute_.snapshot();
   s.end_to_end = hist_end_to_end_.snapshot();
   s.reload = hist_reload_.snapshot();
+  s.batch_size = hist_batch_size_.snapshot();
   return s;
 }
 
@@ -382,10 +394,21 @@ void ForestServer::record_reload(const ReloadReport& rep) {
   reload_history_.push_back(rep);
 }
 
+ForestServer::Request ForestServer::pop_front_locked() {
+  Request req = std::move(queue_.front());
+  queue_.pop_front();
+  // The quota slot meters *queued* requests; it frees at dequeue so
+  // a tenant's share caps its backlog, not its lifetime throughput.
+  if (quotas_) quotas_->release(req.tenant);
+  return req;
+}
+
 void ForestServer::worker_loop(std::size_t w) {
   try {
+    const bool batching = options_.batching.enabled();
     for (;;) {
-      Request req;
+      std::vector<Request> batch;
+      bool deadline_flush = false;
       {
         std::unique_lock<std::mutex> lock(mu_);
         cv_.wait(lock, [&] {
@@ -396,13 +419,64 @@ void ForestServer::worker_loop(std::size_t w) {
           if (SteadyClock::now() >= drain_deadline_) return;  // budget exhausted
         }
         if (queue_.empty()) continue;
-        req = std::move(queue_.front());
-        queue_.pop_front();
-        // The quota slot meters *queued* requests; it frees at dequeue so
-        // a tenant's share caps its backlog, not its lifetime throughput.
-        if (quotas_) quotas_->release(req.tenant);
+        batch.push_back(pop_front_locked());
+        if (batching) {
+          // Coalesce consecutive shape-compatible requests until the
+          // former is full or its flush deadline passes (batcher.hpp).
+          BatchFormer former(options_.batching, batch_granularity_);
+          // Snapshot the head's shape: push_back below may reallocate
+          // `batch`, so holding a reference into it would dangle.
+          const auto head_features = batch.front().queries.num_features();
+          const auto head_classes = batch.front().queries.num_classes();
+          former.add(SteadyClock::now(), batch.front().queries.num_samples(),
+                     batch.front().has_deadline, batch.front().deadline);
+          for (;;) {
+            if (former.should_flush(SteadyClock::now())) {
+              // Closed by the wait deadline, not by filling up.
+              deadline_flush = !former.full();
+              break;
+            }
+            if (!queue_.empty()) {
+              const Request& next = queue_.front();
+              // Only shape-compatible neighbours join: a mismatched
+              // request runs (or fails validation) alone rather than
+              // poisoning a combined batch.
+              if (next.queries.num_features() != head_features ||
+                  next.queries.num_classes() != head_classes ||
+                  !former.fits(next.queries.num_samples())) {
+                break;
+              }
+              former.add(SteadyClock::now(), next.queries.num_samples(), next.has_deadline,
+                         next.deadline);
+              batch.push_back(pop_front_locked());
+              continue;
+            }
+            if (stopping_.load(std::memory_order_acquire)) break;  // drain: flush now
+            // Empty queue: sleep until an arrival or the flush deadline —
+            // never a spin.
+            if (!cv_.wait_until(lock, former.flush_deadline(), [&] {
+                  return stopping_.load(std::memory_order_acquire) || !queue_.empty();
+                })) {
+              deadline_flush = true;
+              break;
+            }
+          }
+        }
       }
-      process(w, std::move(req));
+      if (batching) {
+        hist_batch_size_.record_ns(static_cast<std::uint64_t>(batch.size()));
+        CounterDeltas delta;
+        ++delta["batch.formed"];
+        if (deadline_flush) ++delta["batch.flush_deadline"];
+        if (batch.size() >= 2) delta["requests.batched"] += batch.size();
+        counters_.add_batch(delta);
+      }
+      if (batch.size() == 1) {
+        // Batches of one take the exact PR-2 single-request path.
+        process(w, std::move(batch.front()));
+      } else {
+        process_batch(w, std::move(batch));
+      }
     }
   } catch (...) {
     // Per-request failures are delivered through promises; only an
@@ -444,6 +518,10 @@ void ForestServer::process(std::size_t w, Request req) {
         "deadline expired after " + format_seconds(queue_s) + "s in queue; shed before dispatch")));
     return;
   }
+  finish_one(w, std::move(req), queue_s, std::move(delta));
+}
+
+void ForestServer::finish_one(std::size_t w, Request req, double queue_s, CounterDeltas delta) {
   try {
     WallTimer timer;
     trace::Span exec_span = req.span.child("execute");
@@ -472,6 +550,257 @@ void ForestServer::process(std::size_t w, Request req) {
     req.span.end();
     req.promise.set_exception(std::current_exception());
   }
+}
+
+void ForestServer::process_batch(std::size_t w, std::vector<Request> batch) {
+  // Chaos site: stall the whole formed batch at dispatch — the batcher
+  // analogue of freeze:shard, driving deadline-shed of *formed* batches
+  // in the chaos suite without touching single-request dispatch.
+  if (FaultInjector::global().enabled() && FaultInjector::global().consume("freeze:batcher")) {
+    std::this_thread::sleep_for(to_duration(options_.inject_freeze_seconds));
+  }
+  const SteadyClock::time_point now = SteadyClock::now();
+  std::vector<Member> live;
+  live.reserve(batch.size());
+  CounterDeltas delta;
+  for (Request& req : batch) {
+    const double queue_s = std::chrono::duration<double>(now - req.enqueued).count();
+    hist_queue_wait_.record_seconds(queue_s);
+    if (req.queue_span.active()) req.queue_span.set_attr("seconds", queue_s);
+    req.queue_span.end();
+    if (req.has_deadline && now >= req.deadline) {
+      // Shed this member alone; its batchmates proceed unharmed.
+      ++delta["requests.shed_deadline"];
+      ++delta["requests.failed"];
+      req.span.set_attr("outcome", "shed_deadline");
+      req.span.end();
+      req.promise.set_exception(std::make_exception_ptr(DeadlineError(
+          "deadline expired after " + format_seconds(queue_s) +
+          "s in queue; shed before dispatch")));
+      continue;
+    }
+    live.push_back(Member{std::move(req), queue_s});
+  }
+  counters_.add_batch(delta);
+  if (live.empty()) return;
+  if (live.size() == 1) {
+    Member m = std::move(live.front());
+    finish_one(w, std::move(m.req), m.queue_seconds, CounterDeltas{});
+    return;
+  }
+  execute_members(w, std::move(live));
+}
+
+void ForestServer::execute_members(std::size_t w, std::vector<Member> live) {
+  // One model snapshot, one breaker verdict, one retry chain for the
+  // whole batch: the members were coalesced precisely so they share a
+  // backend run, so they share its routing decisions too.
+  const std::shared_ptr<const WorkerModel> m = model_for(w);
+
+  const Dataset& first = live.front().req.queries;
+  std::size_t rows = 0;
+  for (const Member& mem : live) rows += mem.req.queries.num_samples();
+  Dataset all(rows, first.num_features(), first.num_classes());
+  for (const Member& mem : live) {
+    for (std::size_t i = 0; i < mem.req.queries.num_samples(); ++i) {
+      all.push_back(mem.req.queries.sample(i), mem.req.queries.label(i));
+    }
+  }
+
+  // The first member's trace hosts the combined execution spans; every
+  // member's own root span still records the batch shape and outcome.
+  for (Member& mem : live) {
+    if (mem.req.span.active()) {
+      mem.req.span.set_attr("batch_members", static_cast<std::uint64_t>(live.size()));
+      mem.req.span.set_attr("batch_rows", static_cast<std::uint64_t>(rows));
+    }
+  }
+  trace::Span exec_span = live.front().req.span.child("execute");
+  if (exec_span.active()) exec_span.set_attr("worker", static_cast<std::uint64_t>(w));
+
+  SteadyClock::time_point tightest{};
+  bool has_tightest = false;
+  for (const Member& mem : live) {
+    if (!mem.req.has_deadline) continue;
+    if (!has_tightest || mem.req.deadline < tightest) tightest = mem.req.deadline;
+    has_tightest = true;
+  }
+
+  CounterDeltas delta;
+  WallTimer timer;
+  ServeResult base;  // shared skeleton: report + retries + via_fallback
+  bool have = false;
+  try {
+    const std::string primary_desc = std::string(to_string(m->primary->options().backend)) +
+                                     "/" + to_string(m->primary->options().variant);
+    if (exec_span.active()) {
+      exec_span.set_attr("generation", m->generation);
+      exec_span.set_attr("primary", primary_desc);
+    }
+    std::string primary_note;
+    bool primary_errored = false;
+    const bool allowed = breaker_.allow_request();
+    if (exec_span.active()) exec_span.set_attr("breaker", to_string(breaker_.state()));
+    if (allowed) {
+      const int tries = 1 + options_.retry.max_retries;
+      std::string last_error;
+      for (int attempt = 0; attempt < tries && !have; ++attempt) {
+        trace::Span attempt_span = exec_span.child("attempt-" + std::to_string(attempt));
+        try {
+          base.report = run_batch(*m->primary, all, live, attempt_span);
+          breaker_.record_success();
+          m->health->completed.fetch_add(live.size(), std::memory_order_relaxed);
+          record_run(*m->primary, m->generation, base.report);
+          have = true;
+        } catch (const DeadlineError&) {
+          // Resolve a possible HalfOpen probe charge (see execute()).
+          breaker_.record_timeout();
+          throw;
+        } catch (const ResourceError& e) {
+          breaker_.record_failure();
+          last_error = e.what();
+          attempt_span.set_attr("error", last_error);
+          if (attempt + 1 < tries) {
+            ++base.retries;
+            ++delta["requests.retried"];  // one backend attempt retried, N members aboard
+            // Backoff gated on the tightest member deadline: if any member
+            // would expire during the nap, skip straight to the fallback.
+            const double backoff = retry_backoff_seconds(options_.retry, attempt, jitter_[w]);
+            if (has_tightest && SteadyClock::now() + to_duration(backoff) >= tightest) break;
+            if (backoff > 0.0) {
+              std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+            }
+          }
+        }
+      }
+      if (!have) {
+        primary_errored = true;  // retries exhausted: this model's primary is sick
+        primary_note = "primary " + primary_desc + " failed after " +
+                       std::to_string(base.retries + 1) + " attempt(s) (" + last_error + ")";
+      }
+    } else {
+      ++delta["breaker.short_circuited"];  // one verdict covers the whole batch
+      if (exec_span.active()) exec_span.set_attr("short_circuited", true);
+      primary_note = "breaker open: skipped primary " + primary_desc;
+    }
+    if (!have) {
+      trace::Span fallback_span = exec_span.child("fallback");
+      base.report = run_batch(*m->fallback, all, live, fallback_span);
+      fallback_span.end();
+      record_run(*m->fallback, m->generation, base.report);
+      base.via_fallback = true;
+      delta["fallback.served"] += live.size();
+      std::string note = "serve: " + primary_note + " -> cpu-native fallback";
+      if (m->generation > 0) note += " [gen " + std::to_string(m->generation) + "]";
+      base.report.degradations.push_back(std::move(note));
+      if (primary_errored) m->health->primary_errors.fetch_add(1, std::memory_order_relaxed);
+      m->health->completed.fetch_add(live.size(), std::memory_order_relaxed);
+    }
+  } catch (const DeadlineError& e) {
+    // The combined run was cancelled — only possible when every member
+    // carries a deadline and the *loosest* one passed (run_batch), so
+    // every member is expired. Fail them all individually.
+    exec_span.end();
+    delta["requests.deadline_expired"] += live.size();
+    delta["requests.failed"] += live.size();
+    counters_.add_batch(delta);
+    const std::string what = e.what();
+    for (Member& mem : live) {
+      mem.req.span.set_attr("outcome", "failed");
+      mem.req.span.end();
+      mem.req.promise.set_exception(std::make_exception_ptr(DeadlineError(what)));
+    }
+    return;
+  } catch (...) {
+    // A fault the batch cannot pin on one member — typically ConfigError
+    // from combined validation (one malformed row). Re-run each member
+    // alone: the poison request fails with its own error and batchmates
+    // complete normally. No promise was fulfilled yet, so no double-set.
+    exec_span.end();
+    counters_.add_batch(delta);
+    for (Member& mem : live) {
+      finish_one(w, std::move(mem.req), mem.queue_seconds, CounterDeltas{});
+    }
+    return;
+  }
+  exec_span.end();
+
+  // Demultiplex: each member takes its slice of the predictions plus a
+  // copy of the shared timing / degradation / backend-counter trail.
+  const double service_s = timer.seconds();
+  delta["requests.completed"] += live.size();
+  counters_.add_batch(delta);
+  const bool stopping = stopping_.load(std::memory_order_relaxed);
+  std::size_t offset = 0;
+  for (Member& mem : live) {
+    const std::size_t n = mem.req.queries.num_samples();
+    ServeResult res;
+    res.report.predictions.assign(base.report.predictions.begin() + offset,
+                                  base.report.predictions.begin() + offset + n);
+    offset += n;
+    res.report.seconds = base.report.seconds;
+    res.report.simulated = base.report.simulated;
+    res.report.degradations = base.report.degradations;
+    res.report.latency = base.report.latency;
+    res.report.gpu_counters = base.report.gpu_counters;
+    res.report.fpga_report = base.report.fpga_report;
+    res.retries = base.retries;
+    res.via_fallback = base.via_fallback;
+    res.queue_seconds = mem.queue_seconds;
+    res.service_seconds = service_s;
+    hist_execute_.record_seconds(service_s);
+    hist_end_to_end_.record_seconds(mem.queue_seconds + service_s);
+    mem.req.span.set_attr("outcome", "completed");
+    if (stopping) drained_after_stop_.fetch_add(1, std::memory_order_relaxed);
+    mem.req.span.end();
+    mem.req.promise.set_value(std::move(res));
+  }
+}
+
+RunReport ForestServer::run_batch(const Classifier& clf, const Dataset& all,
+                                  const std::vector<Member>& live, const trace::Span& span) {
+  // Cancellation policy: a combined run may only be cancelled when every
+  // member carries a deadline, and then at the *loosest* of them — at
+  // that instant every member is past its own deadline, so failing the
+  // whole batch strands nobody who still had budget. One deadline-less
+  // member pins the run to completion (its batchmates shed at dispatch
+  // or simply receive their answer late, same as a slow single request).
+  bool all_deadlined = true;
+  SteadyClock::time_point loosest{};
+  for (const Member& mem : live) {
+    if (!mem.req.has_deadline) {
+      all_deadlined = false;
+      break;
+    }
+    loosest = std::max(loosest, mem.req.deadline);
+  }
+  std::function<bool()> cancel = [] { return false; };
+  if (all_deadlined) {
+    const SteadyClock::time_point deadline = loosest;
+    cancel = [deadline] { return SteadyClock::now() >= deadline; };
+  }
+  Classifier::StreamReport s =
+      clf.classify_stream(all, options_.deadline_chunk_size, cancel, span);
+  if (!s.completed) {
+    throw DeadlineError("deadline expired during batched execution (" +
+                        std::to_string(s.predictions.size()) + " of " +
+                        std::to_string(all.num_samples()) + " queries done)");
+  }
+  RunReport r;
+  r.predictions = std::move(s.predictions);
+  r.seconds = s.total_seconds;
+  r.simulated = s.simulated;
+  r.degradations = std::move(s.degradations);
+  r.latency = std::move(s.chunk_latency);
+  r.gpu_counters = std::move(s.gpu_counters);
+  r.fpga_report = std::move(s.fpga_report);
+  if (span.active()) {
+    span.set_attr("seconds", r.seconds);
+    span.set_attr("chunks", static_cast<std::uint64_t>(s.chunks));
+    span.set_attr("batch_rows", static_cast<std::uint64_t>(all.num_samples()));
+    set_backend_span_attrs(span, r);
+  }
+  return r;
 }
 
 ServeResult ForestServer::execute(std::size_t w, Request& req, const trace::Span& span,

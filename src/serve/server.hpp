@@ -59,6 +59,7 @@
 #include "core/classifier.hpp"
 #include "obs/exporter.hpp"
 #include "obs/rollup.hpp"
+#include "serve/batcher.hpp"
 #include "serve/circuit_breaker.hpp"
 #include "serve/qos.hpp"
 #include "serve/reload.hpp"
@@ -129,6 +130,12 @@ struct ServerOptions {
   /// whose requests are heavy as well as frequent).
   std::string surge_tenant;
   double inject_surge_seconds = 0.05;
+  /// Dynamic micro-batching (serve/batcher.hpp, docs/serving.md): a
+  /// worker coalesces consecutive shape-compatible queued requests into
+  /// one backend-native classify_stream batch and demultiplexes the
+  /// responses. Disabled by default (max_requests <= 1); batches of one
+  /// take the exact unbatched dispatch path.
+  BatchOptions batching{};
 };
 
 /// One served request's outcome.
@@ -177,8 +184,13 @@ struct LatencyStats {
   HistogramSnapshot execute;
   HistogramSnapshot end_to_end;
   HistogramSnapshot reload;  // total seconds of each reload attempt
+  /// Members per dispatched batch when micro-batching is enabled (the
+  /// value recorded is a member count, not nanoseconds — one sample per
+  /// formed batch, including batches of one). Empty with batching off.
+  HistogramSnapshot batch_size;
 
-  /// "stage | count | mean | p50 | p95 | p99 | max" markdown table.
+  /// "stage | count | mean | p50 | p95 | p99 | max" markdown table
+  /// (time-domain stages only; batch_size is a count distribution).
   std::string to_markdown() const;
 };
 
@@ -343,7 +355,35 @@ class ForestServer {
   /// request instead of one per counter.
   using CounterDeltas = std::map<std::string, std::uint64_t>;
 
+  /// A dequeued batch member with its dispatch-time queue wait.
+  struct Member {
+    Request req;
+    double queue_seconds = 0.0;
+  };
+
   void worker_loop(std::size_t w);
+  /// Pops the queue head (mu_ must be held), releasing its quota slot.
+  Request pop_front_locked();
+  /// Multi-member dispatch for a formed batch (size >= 2): sheds expired
+  /// members individually, executes the survivors as one concatenated
+  /// classify run, and demultiplexes per-member responses.
+  void process_batch(std::size_t w, std::vector<Request> batch);
+  /// The execute/fulfill tail shared by process() and single-survivor
+  /// batches (queue wait already recorded, pre-dispatch shed already done).
+  void finish_one(std::size_t w, Request req, double queue_s, CounterDeltas delta);
+  /// Runs `live` (size >= 2) as one combined classify on worker w's
+  /// replica pair — breaker verdict, retry chain, and fallback decided
+  /// once for the whole batch — then fulfills every member promise. A
+  /// non-resource fault the batch cannot attribute to one member (e.g. a
+  /// malformed row failing combined validation) re-runs each member
+  /// alone, so a poison request never fails its batchmates.
+  void execute_members(std::size_t w, std::vector<Member> live);
+  /// One combined classify of `all` on `clf` for the members in `live`:
+  /// chunked and cancellable at the *loosest* member deadline when every
+  /// member carries one (cancelling then strands no member that still
+  /// had budget), one-shot otherwise. Throws DeadlineError on cancel.
+  RunReport run_batch(const Classifier& clf, const Dataset& all,
+                      const std::vector<Member>& live, const trace::Span& span);
   void process(std::size_t w, Request req);
   ServeResult execute(std::size_t w, Request& req, const trace::Span& span,
                       CounterDeltas& delta);
@@ -371,6 +411,10 @@ class ForestServer {
   LatencyHistogram hist_execute_;      // completed requests only
   LatencyHistogram hist_end_to_end_;   // completed requests only
   LatencyHistogram hist_reload_;       // per reload attempt (total seconds)
+  LatencyHistogram hist_batch_size_;   // members per formed batch (count, not ns)
+  /// Backend-native batch granularity in rows (warp size on GpuSim);
+  /// resolved once at construction for the batch former's row budget.
+  std::size_t batch_granularity_ = 1;
 
   std::atomic<std::uint64_t> current_generation_{0};
   std::mutex reload_mu_;  // serializes reload state machines

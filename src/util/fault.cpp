@@ -20,8 +20,10 @@ constexpr std::array<const char*, 1> kCorruptTargets = {"node"};
 // recovery tests. route: the cluster router's dispatch link dies
 // (ResourceError + failover), consumed by client dispatches only.
 constexpr std::array<const char*, 3> kCrashTargets = {"publish", "manifest", "route"};
-// A shard worker stalls mid-dispatch (deadline storms / hedging trigger).
-constexpr std::array<const char*, 1> kFreezeTargets = {"shard"};
+// shard: a worker stalls mid-dispatch (deadline storms / hedging trigger).
+// batcher: a worker stalls at formed-batch dispatch, so every member of a
+// coalesced batch ages past its deadline together (batch chaos trigger).
+constexpr std::array<const char*, 2> kFreezeTargets = {"shard", "batcher"};
 // One tenant's requests stall their workers (noisy-neighbor QoS trigger).
 constexpr std::array<const char*, 1> kSurgeTargets = {"tenant"};
 // One autoscaler evaluation wedges; the fleet must keep serving as-is.
@@ -35,7 +37,7 @@ bool known_target(const std::array<const char*, N>& targets, const std::string& 
 [[noreturn]] void bad_spec(const std::string& spec, const std::string& why) {
   throw ConfigError("bad fault spec '" + spec + "': " + why +
                     " (valid: resource:{gpu|gpu-smem|fpga|fpga-bram}, bitflip:layout, "
-                    "corrupt:node, crash:{publish|manifest|route}, freeze:shard, "
+                    "corrupt:node, crash:{publish|manifest|route}, freeze:{shard|batcher}, "
                     "surge:tenant, stall:autoscaler, each with an optional :count)");
 }
 

@@ -31,6 +31,10 @@
 //                       continuing — simulates a wedged shard so deadline
 //                       storms and router hedging have a deterministic
 //                       trigger
+//   freeze:batcher      a worker stalls for inject_freeze_seconds at
+//                       formed-batch dispatch (micro-batching only), so
+//                       every member of one coalesced batch ages together
+//                       — the batch chaos suite's deterministic trigger
 //   surge:tenant        a request from ServerOptions::surge_tenant stalls
 //                       its worker for ServerOptions::inject_surge_seconds
 //                       — simulates a noisy neighbor whose requests are

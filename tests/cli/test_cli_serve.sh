@@ -39,6 +39,22 @@ check "breaker stayed closed" "breaker: state=closed trips=0" "$DIR/serve.log"
 check "drain abandoned nothing" "abandoned=0" "$DIR/serve.log"
 check "clean shutdown reported" "serve: clean shutdown" "$DIR/serve.log"
 
+# --- Dynamic micro-batching: concurrent clients against --batch-max 8 ---
+# coalesce into backend-native batches; responses stay per-request, the
+# drain is clean, and the batch counters appear in the report.
+if "$CLI" --mode serve --model "$DIR/m.hrff" --data "$DIR/d.hrfd" \
+       --backend gpu-sim --variant hybrid --sd 4 \
+       --batch-max 8 --batch-wait-us 2000 \
+       --workers 2 --clients 6 --requests 5 --batch 32 > "$DIR/batched.log" 2>&1; then
+  echo "ok: batched serve exits 0"
+else
+  echo "FAIL: batched serve exited nonzero"
+  FAILURES=$((FAILURES + 1))
+fi
+check "batched run answers every request" "30 ok (0 degraded), 0 overload-rejected, 0 quota-shed, 0 deadline, 0 failed" "$DIR/batched.log"
+check "batches were formed" "batch.formed" "$DIR/batched.log"
+check "batched serve shuts down cleanly" "serve: clean shutdown" "$DIR/batched.log"
+
 # --- Tenant quotas: clients round-robin across three weighted tenants; --
 # an unloaded run admits everyone, and the per-tenant accounting table
 # (weight, reserved slots, admitted, shed) is printed on drain.

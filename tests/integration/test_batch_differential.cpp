@@ -1,0 +1,126 @@
+// Differential property test for dynamic micro-batching (docs/serving.md):
+// for many randomized configurations, a ForestServer with batching ON must
+// return byte-for-byte the same per-request predictions as (a) the same
+// server with batching OFF and (b) the Forest::classify_batch CPU oracle —
+// swept over variant x backend x batch-size, including the warp-boundary
+// member counts {1, warp-1, warp, warp+1, max}. Batching bugs (mis-sliced
+// demultiplex, cross-request row bleed, reordering that leaks into
+// results) are exactly the silently-wrong-answer class this oracle
+// pattern exists to catch; the serving counterpart of
+// test_variant_backend_matrix.cpp.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "core/hrf.hpp"
+#include "serve/server.hpp"
+#include "util/rng.hpp"
+
+namespace hrf {
+namespace {
+
+struct Combo {
+  Variant variant;
+  Backend backend;
+};
+
+// Every valid variant x backend pair (collaborative/hybrid model on-chip
+// memory, absent on the native CPU path; fil is GPU-only).
+constexpr Combo kCombos[] = {
+    {Variant::Csr, Backend::CpuNative},           {Variant::Csr, Backend::GpuSim},
+    {Variant::Csr, Backend::FpgaSim},             {Variant::Independent, Backend::CpuNative},
+    {Variant::Independent, Backend::GpuSim},      {Variant::Independent, Backend::FpgaSim},
+    {Variant::Collaborative, Backend::GpuSim},    {Variant::Collaborative, Backend::FpgaSim},
+    {Variant::Hybrid, Backend::GpuSim},           {Variant::Hybrid, Backend::FpgaSim},
+    {Variant::FilBaseline, Backend::GpuSim},
+};
+
+// Member-count sweep around the GpuSim warp granularity (32): a batch of
+// one, both warp boundaries, and "max" well past the request count so the
+// row budget / drain path closes the batch instead of the member budget.
+constexpr std::size_t kBatchMax[] = {1, 31, 32, 33, 64};
+
+class BatchDifferential : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BatchDifferential, BatchedEqualsUnbatchedEqualsOracle) {
+  const std::uint64_t seed = GetParam();
+  Xoshiro256 rng(seed * 41 + 5);
+
+  RandomForestSpec spec;
+  spec.num_trees = 1 + static_cast<int>(rng.bounded(6));
+  spec.max_depth = 1 + static_cast<int>(rng.bounded(8));
+  spec.branch_prob = rng.uniform(0.3, 1.0);
+  spec.num_features = 1 + static_cast<int>(rng.bounded(12));
+  spec.num_classes = 2 + static_cast<int>(rng.bounded(4));
+  spec.seed = seed * 7 + 1;
+  const Forest forest = make_random_forest(spec);
+
+  // A backlog of small distinct requests: different rows per request, so
+  // a demultiplex off-by-one anywhere surfaces as a prediction mismatch.
+  const std::size_t num_requests = 6 + rng.bounded(7);
+  std::vector<Dataset> requests;
+  std::vector<std::vector<std::uint8_t>> oracle;
+  for (std::size_t r = 0; r < num_requests; ++r) {
+    requests.push_back(make_random_queries(1 + rng.bounded(8), spec.num_features,
+                                           seed * 1009 + r * 13 + 3));
+    oracle.push_back(
+        forest.classify_batch(requests.back().features(), requests.back().num_samples()));
+  }
+
+  // One combo and one batch-size per seed; 100 seeds cover the whole
+  // matrix many times over while each CTest case stays sub-second.
+  const Combo combo = kCombos[seed % std::size(kCombos)];
+  const std::size_t batch_max = kBatchMax[(seed / std::size(kCombos)) % std::size(kBatchMax)];
+  const std::string label = std::string(to_string(combo.variant)) + "/" +
+                            to_string(combo.backend) + " batch_max=" +
+                            std::to_string(batch_max) + " seed=" + std::to_string(seed);
+
+  ClassifierOptions copt;
+  copt.variant = combo.variant;
+  copt.backend = combo.backend;
+  copt.layout.subtree_depth = 1 + static_cast<int>(rng.bounded(6));
+  copt.gpu.num_sms = 2;  // small simulated device keeps the sweep fast
+
+  const auto serve_all = [&](std::size_t max_requests) {
+    serve::ServerOptions sopt;
+    sopt.num_workers = 1;  // deterministic coalescing of the paused backlog
+    sopt.queue_capacity = num_requests + 2;
+    sopt.start_paused = true;
+    sopt.batching.max_requests = max_requests;
+    sopt.batching.max_wait_seconds = 50e-3;  // patient: size/drain closes batches
+    serve::ForestServer server(forest, copt, sopt);
+    std::vector<std::future<serve::ServeResult>> futures;
+    futures.reserve(num_requests);
+    for (const Dataset& req : requests) futures.push_back(server.submit(req));
+    server.resume();
+    std::vector<std::vector<std::uint8_t>> out;
+    out.reserve(num_requests);
+    for (std::future<serve::ServeResult>& f : futures) {
+      serve::ServeResult res = f.get();
+      EXPECT_FALSE(res.via_fallback) << label;
+      out.push_back(std::move(res.report.predictions));
+    }
+    server.shutdown();
+    return out;
+  };
+
+  const std::vector<std::vector<std::uint8_t>> batched = serve_all(batch_max);
+  const std::vector<std::vector<std::uint8_t>> unbatched = serve_all(1);
+
+  ASSERT_EQ(batched.size(), num_requests) << label;
+  ASSERT_EQ(unbatched.size(), num_requests) << label;
+  for (std::size_t r = 0; r < num_requests; ++r) {
+    ASSERT_EQ(batched[r], oracle[r]) << label << " request=" << r;
+    ASSERT_EQ(unbatched[r], oracle[r]) << label << " request=" << r;
+  }
+}
+
+// 100 seeds; the combo and batch-size rotate with the seed, so the full
+// variant x backend x {1, warp-1, warp, warp+1, max} grid is covered and a
+// failing configuration pinpoints its seed.
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchDifferential, testing::Range<std::uint64_t>(1, 101));
+
+}  // namespace
+}  // namespace hrf

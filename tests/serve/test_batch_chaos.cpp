@@ -1,0 +1,136 @@
+// Batching chaos gate (docs/serving.md, "Dynamic micro-batching"):
+// 8 concurrent clients across mixed tenants hammer a micro-batching
+// ForestServer while the freeze:batcher fault site repeatedly wedges
+// formed batches at dispatch. The gate: no response is lost or
+// duplicated (every submission resolves exactly once, with the
+// bit-exact oracle predictions when it succeeds), per-tenant QoS
+// counters balance (admitted = completed + shed, per tenant), and zero
+// deadline-SLO violations are attributable to batch waiting — the
+// deadlines are generous multiples of the batch wait budget, so any
+// shed/expiry here would mean the batcher held requests past its
+// contract. Labeled "chaos" (ctest -L chaos; also run under TSan by
+// tools/check.sh --batch-chaos) — wall-clock heavy, so not tier1.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "forest/random_forest_gen.hpp"
+#include "serve/server.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+
+namespace hrf::serve {
+namespace {
+
+TEST(BatchChaos, NoLostOrDuplicatedResponsesAndQuotasBalanceUnderFreeze) {
+  FaultInjector::global().disarm_all();
+
+  RandomForestSpec spec;
+  spec.num_trees = 6;
+  spec.max_depth = 8;
+  spec.num_features = 9;
+  spec.seed = 77;
+  const Forest forest = make_random_forest(spec);
+  const Dataset queries = make_random_queries(8, 9, 21);
+  const std::vector<std::uint8_t> reference =
+      forest.classify_batch(queries.features(), queries.num_samples());
+
+  ClassifierOptions copt;
+  copt.backend = Backend::GpuSim;
+  copt.variant = Variant::Hybrid;
+  copt.layout.subtree_depth = 4;
+  copt.gpu.num_sms = 4;
+
+  ServerOptions sopt;
+  sopt.num_workers = 2;
+  // Tight queue (alpha reserves 4 slots, beta 2, no spare) so the 5+3
+  // client mix actually trips quota shedding while batches form.
+  sopt.queue_capacity = 6;
+  sopt.batching.max_requests = 8;
+  sopt.batching.max_wait_seconds = 200e-6;
+  sopt.quotas.tenants = {{"alpha", 2.0}, {"beta", 1.0}};
+  // Freezes stall a batch ~10ms; the 5s deadline is ~25000x the batch
+  // wait budget, so any deadline shed would be the batcher's fault.
+  sopt.default_deadline_seconds = 5.0;
+  sopt.inject_freeze_seconds = 0.01;
+  ForestServer server(forest, copt, sopt);
+
+  FaultInjector::global().arm("freeze:batcher", 40);
+
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 30;
+  std::mutex mu;
+  std::map<std::string, std::uint64_t> client_ok, client_quota_shed;
+  std::atomic<std::uint64_t> other_failures{0}, wrong{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    // Mixed tenants: 5 alpha clients, 3 beta clients.
+    const std::string tenant = c < 5 ? "alpha" : "beta";
+    clients.emplace_back([&, tenant] {
+      std::uint64_t ok = 0, shed = 0;
+      for (int i = 0; i < kPerClient; ++i) {
+        try {
+          ServeResult res = server.submit(queries, 0.0, tenant).get();
+          if (res.report.predictions == reference) {
+            ++ok;
+          } else {
+            wrong.fetch_add(1);
+          }
+        } catch (const QuotaError&) {
+          ++shed;
+        } catch (const Error&) {
+          other_failures.fetch_add(1);
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      client_ok[tenant] += ok;
+      client_quota_shed[tenant] += shed;
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  // Every response carried the oracle predictions — a mis-sliced or
+  // cross-wired demultiplex under the freeze storm would land here.
+  EXPECT_EQ(wrong.load(), 0u);
+  // Nothing but quota shedding may fail: zero deadline-SLO violations
+  // attributable to batch waiting.
+  EXPECT_EQ(other_failures.load(), 0u);
+  EXPECT_EQ(server.counters().value("requests.shed_deadline"), 0u);
+  EXPECT_EQ(server.counters().value("requests.deadline_expired"), 0u);
+
+  // No lost or duplicated responses: per tenant, every submission
+  // resolved exactly once, and the server-side admission counters agree
+  // with what the clients observed (admitted = completed + shed).
+  std::uint64_t total_ok = 0;
+  const std::vector<TenantCounters> rows = server.tenant_stats();
+  ASSERT_EQ(rows.size(), 2u);
+  for (const TenantCounters& t : rows) {
+    const std::uint64_t submissions = t.name == "alpha" ? 5u * kPerClient : 3u * kPerClient;
+    EXPECT_EQ(client_ok[t.name] + client_quota_shed[t.name], submissions) << t.name;
+    EXPECT_EQ(t.admitted, client_ok[t.name]) << t.name;
+    EXPECT_EQ(t.shed, client_quota_shed[t.name]) << t.name;
+    total_ok += client_ok[t.name];
+  }
+  EXPECT_EQ(server.counters().value("requests.completed"), total_ok);
+  EXPECT_EQ(server.counters().value("requests.failed"), 0u);
+
+  // The freeze site actually fired into formed batches.
+  EXPECT_GT(FaultInjector::global().fired("freeze:batcher"), 0u);
+  EXPECT_GT(server.counters().value("batch.formed"), 0u);
+
+  const DrainReport drain = server.shutdown();
+  EXPECT_EQ(drain.abandoned, 0u);
+  EXPECT_TRUE(server.healthy());
+  FaultInjector::global().disarm_all();
+}
+
+}  // namespace
+}  // namespace hrf::serve

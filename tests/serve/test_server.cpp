@@ -140,6 +140,10 @@ TEST_F(ForestServerTest, AdmissionControlRejectsWhenQueueFull) {
   EXPECT_EQ(server.stats().completed, 4u);
 }
 
+// Unbatched shedding semantics; order-robust (no assumption about which
+// queue position dispatches first). The batched counterpart — an expired
+// member shed at dispatch without poisoning batchmates — is
+// BatchedServerTest.ExpiredMemberIsShedWithoutPoisoningBatchmates.
 TEST_F(ForestServerTest, ExpiredQueuedRequestsAreShedBeforeDispatch) {
   ServerOptions sopt = fast_server(1);
   sopt.start_paused = true;
@@ -473,7 +477,7 @@ TEST_F(ForestServerTest, MetricsSnapshotCarriesTheFullTelemetrySurface) {
   }
   EXPECT_EQ(snap.counters.at("requests.completed"), static_cast<std::uint64_t>(kRequests));
   EXPECT_EQ(snap.gauges.at("workers"), 2.0);
-  ASSERT_EQ(snap.histograms.size(), 4u);
+  ASSERT_EQ(snap.histograms.size(), 5u);  // queue_wait/execute/end_to_end/reload/batch_size
   EXPECT_EQ(snap.histograms[0].second.total, static_cast<std::uint64_t>(kRequests));
 
   ASSERT_EQ(snap.rollups.size(), 1u);

@@ -16,8 +16,13 @@
 # A qos-chaos step runs the multi-tenant QoS + autoscaler chaos gates
 # (noisy-neighbor surge, autoscale waves) under ThreadSanitizer.
 #
+# A batch-chaos step runs the micro-batching suites (BatchFormer units,
+# batched-server integration, freeze:batcher storm) under ThreadSanitizer:
+# no lost/duplicated responses and balanced per-tenant QoS counters while
+# formed batches are wedged at dispatch (docs/serving.md).
+#
 # Usage: tools/check.sh [--plain-only|--sanitize-only|--tsan-only|
-#                        --cluster-chaos|--qos-chaos]
+#                        --cluster-chaos|--qos-chaos|--batch-chaos]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -119,6 +124,18 @@ qos_chaos() {  # qos_chaos: the QoS/autoscaler chaos gates under TSan
   echo "qos-chaos: QoS + autoscaler SLOs held under TSan"
 }
 
+batch_chaos() {  # batch_chaos: the micro-batching gates under TSan
+  echo "=== configure build-tsan (batch-chaos) ==="
+  cmake -B build-tsan -S . -DHRF_BUILD_BENCHES=OFF "-DHRF_SANITIZE=thread"
+  echo "=== build build-tsan (batch-chaos) ==="
+  cmake --build build-tsan -j "$JOBS" --target test_batcher test_batch_chaos
+  echo "=== test build-tsan (batch-chaos: former units, batched serving, freeze storm) ==="
+  OMP_NUM_THREADS=1 TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-tsan --output-on-failure \
+          -R '(BackendBatchGranularity|BatchOptions|BatchFormer|BatchedServer|BatchChaos)'
+  echo "batch-chaos: no lost or duplicated responses under freeze:batcher"
+}
+
 case "$MODE" in
   all|--plain-only)
     run_suite build
@@ -146,22 +163,27 @@ case "$MODE" in
     echo "=== configure build-tsan ==="
     cmake -B build-tsan -S . -DHRF_BUILD_BENCHES=OFF "-DHRF_SANITIZE=thread"
     echo "=== build build-tsan ==="
-    cmake --build build-tsan -j "$JOBS" --target test_server test_circuit_breaker test_fault test_metrics test_histogram test_model_store test_reload test_trace test_obs test_cluster test_qos test_autoscaler test_cluster_chaos
+    cmake --build build-tsan -j "$JOBS" --target test_server test_circuit_breaker test_fault test_metrics test_histogram test_model_store test_reload test_trace test_obs test_cluster test_qos test_autoscaler test_cluster_chaos test_batcher test_batch_chaos
     echo "=== test build-tsan (concurrency suites) ==="
     OMP_NUM_THREADS=1 TSAN_OPTIONS="halt_on_error=1" \
       ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-            -R '(ForestServer|CircuitBreaker|FaultInjector|CounterRegistry|LatencyHistogram|ModelStore|ModelReload|Tracer|Span\.|Trace\.|RollupRegistry|BackendRollup|Cluster|TenantQuotas|AdaptiveLimiter|Autoscaler)'
+            -R '(ForestServer|CircuitBreaker|FaultInjector|CounterRegistry|LatencyHistogram|ModelStore|ModelReload|Tracer|Span\.|Trace\.|RollupRegistry|BackendRollup|Cluster|TenantQuotas|AdaptiveLimiter|Autoscaler|BackendBatchGranularity|BatchOptions|BatchFormer|BatchedServer|BatchChaos)'
     ;;&
   all|--qos-chaos)
     if [ "$MODE" = --qos-chaos ]; then
       qos_chaos
     fi
     ;;&
-  all|--plain-only|--sanitize-only|--tsan-only|--cluster-chaos|--qos-chaos)
+  all|--batch-chaos)
+    if [ "$MODE" = --batch-chaos ]; then
+      batch_chaos
+    fi
+    ;;&
+  all|--plain-only|--sanitize-only|--tsan-only|--cluster-chaos|--qos-chaos|--batch-chaos)
     echo "check.sh: all requested suites passed"
     ;;
   *)
-    echo "usage: tools/check.sh [--plain-only|--sanitize-only|--tsan-only|--cluster-chaos|--qos-chaos]" >&2
+    echo "usage: tools/check.sh [--plain-only|--sanitize-only|--tsan-only|--cluster-chaos|--qos-chaos|--batch-chaos]" >&2
     exit 2
     ;;
 esac

@@ -356,6 +356,19 @@ int mode_bench(const CliArgs& args) {
                 report.noisy->victim_qps);
   }
 
+  if (args.get_flag("batch-bench")) {
+    bench::BatchBenchOptions bopt;
+    bopt.clients = static_cast<std::size_t>(args.get_int("batch-clients", 32));
+    bopt.requests = bopt.clients * 10;
+    bopt.query_seed = opt.query_seed;
+    report.batch = bench::measure_batch(bopt);
+    std::printf("batch bench: %zu clients x %zu-row requests, batch-max %zu -> "
+                "%.0f qps unbatched, %.0f qps batched (%.2fx), p95 %.0f -> %.0f ns\n",
+                report.batch->clients, report.batch->rows, report.batch->batch_max,
+                report.batch->qps_unbatched, report.batch->qps_batched, report.batch->speedup,
+                report.batch->p95_unbatched_ns, report.batch->p95_batched_ns);
+  }
+
   Table t({"variant", "backend", "batch", "p50 ns/q", "p95 ns/q", "p99 ns/q", "qps"});
   for (const bench::CaseResult& c : report.cases) {
     t.row()
@@ -485,6 +498,11 @@ int mode_serve(const CliArgs& args) {
   sopt.breaker.open_seconds = args.get_double("breaker-open-ms", 100.0) / 1e3;
   sopt.drain_deadline_seconds = args.get_double("drain-s", 5.0);
   sopt.trace_sampling = args.get_double("trace-sample", 0.0);
+  // Dynamic micro-batching (docs/serving.md): --batch-max > 1 lets each
+  // worker coalesce queued requests into one backend-native batch,
+  // waiting at most --batch-wait-us for batchmates.
+  sopt.batching.max_requests = static_cast<std::size_t>(args.get_int("batch-max", 1));
+  sopt.batching.max_wait_seconds = args.get_double("batch-wait-us", 500.0) / 1e6;
   const std::vector<std::string> tenants = parse_tenant_quotas(args, sopt);
 
   // Model source: a direct model file, or a versioned store (the
@@ -772,6 +790,10 @@ int mode_cluster(const CliArgs& args) {
   sopt.default_deadline_seconds = args.get_double("deadline-ms", 0.0) / 1e3;
   sopt.retry.backoff_base_seconds = 1e-4;
   sopt.drain_deadline_seconds = args.get_double("drain-s", 5.0);
+  // Per-shard micro-batching: every shard's workers coalesce their own
+  // queue; the router is oblivious (it already spreads load across shards).
+  sopt.batching.max_requests = static_cast<std::size_t>(args.get_int("batch-max", 1));
+  sopt.batching.max_wait_seconds = args.get_double("batch-wait-us", 500.0) / 1e6;
 
   // Multi-tenant QoS (docs/cluster.md): --tenants carves every shard's
   // queue into weighted reserved shares; --surge marks one tenant as the
@@ -1200,6 +1222,10 @@ int main(int argc, char** argv) {
       .allow("requests", "serve: requests per client")
       .allow("batch", "serve: queries per request")
       .allow("deadline-ms", "serve: per-request deadline (0 = none)")
+      .allow("batch-max", "serve/cluster: max requests coalesced per dispatch "
+                          "(<= 1 = micro-batching off)")
+      .allow("batch-wait-us", "serve/cluster: max batch-forming wait per member "
+                              "(default 500)")
       .allow("retries", "serve: max server-level retries per request")
       .allow("breaker-threshold", "serve: consecutive failures to trip the breaker")
       .allow("breaker-open-ms", "serve: breaker cooldown before half-open")
@@ -1242,7 +1268,7 @@ int main(int argc, char** argv) {
       .allow("autoscale-down-p95-ms", "cluster: route p95 floor that shrinks it (default 1)")
       .allow("inject-fault", "fault spec(s): resource:{gpu|gpu-smem|fpga|fpga-bram}[:n], "
                              "bitflip:layout, corrupt:node, "
-                             "crash:{publish|manifest|route}, freeze:shard, "
+                             "crash:{publish|manifest|route}, freeze:{shard|batcher}, "
                              "surge:tenant, stall:autoscaler")
       .allow("inject-seed", "fault injector RNG seed")
       .allow("variants", "bench: comma-separated variant sweep list")
@@ -1259,6 +1285,8 @@ int main(int argc, char** argv) {
                                 "(default 0.05)")
       .allow("cluster-bench", "bench: measure routed p95 + qps over a healthy shard fleet")
       .allow("noisy-bench", "bench: measure victim p95 under a quota-shed tenant surge")
+      .allow("batch-bench", "bench: measure serve qps + p95 batched vs unbatched")
+      .allow("batch-clients", "bench: concurrent clients for --batch-bench (default 32)")
       .allow("out", "gen/train/predict/compile/bench: output path");
   if (!args.validate()) return 1;
 
