@@ -231,6 +231,61 @@ TraceOverheadResult measure_trace_overhead(const TraceOverheadOptions& options) 
   return result;
 }
 
+AuditOverheadResult measure_audit_overhead(const AuditOverheadOptions& options) {
+  require(options.requests >= 1, "audit overhead needs at least one request");
+  require(options.batch >= 1, "audit overhead batch must be >= 1");
+  require(options.num_workers >= 1, "audit overhead needs at least one worker");
+  require(options.sample_every >= 1, "audit overhead sample_every must be >= 1");
+
+  const Forest forest = make_random_forest(options.forest);
+  const Dataset queries =
+      make_random_queries(options.batch, options.forest.num_features, options.query_seed);
+
+  // Same measurement shape as the tracing case: identical execution path
+  // both runs, wall clock at the submit().get() boundary, and the audit
+  // sampling rate is the only variable. The "on" run also carries the
+  // integrity monitor thread, so its (tiny) wakeup cost is in the number.
+  const auto serve_p95_ns = [&](std::size_t sample_every) {
+    ClassifierOptions copt;
+    copt.variant = Variant::Independent;
+    copt.backend = Backend::CpuNative;
+    serve::ServerOptions sopt;
+    sopt.num_workers = options.num_workers;
+    sopt.queue_capacity = std::max<std::size_t>(8, options.num_workers * 2);
+    sopt.default_deadline_seconds = 30.0;
+    sopt.integrity.audit_sample_every = sample_every;
+    serve::ForestServer server(forest, copt, sopt);
+    for (std::size_t r = 0; r < options.requests / 4; ++r) {
+      (void)server.submit(queries).get();  // warmup: page-in, pool spin-up
+    }
+    std::vector<double> samples;
+    samples.reserve(options.requests);
+    for (std::size_t r = 0; r < options.requests; ++r) {
+      WallTimer t;
+      (void)server.submit(queries).get();
+      samples.push_back(t.seconds() * 1e9);
+    }
+    server.shutdown();
+    std::sort(samples.begin(), samples.end());
+    return samples[static_cast<std::size_t>(0.95 * static_cast<double>(samples.size() - 1))];
+  };
+
+  AuditOverheadResult result;
+  result.requests = options.requests;
+  result.batch = options.batch;
+  result.sample_every = options.sample_every;
+  // Interleaved best-of-5 min, for the same upward-spike-only reason as
+  // the tracing case.
+  result.p95_off_ns = std::numeric_limits<double>::infinity();
+  result.p95_on_ns = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 5; ++rep) {
+    result.p95_off_ns = std::min(result.p95_off_ns, serve_p95_ns(0));
+    result.p95_on_ns = std::min(result.p95_on_ns, serve_p95_ns(options.sample_every));
+  }
+  result.ratio = result.p95_off_ns > 0.0 ? result.p95_on_ns / result.p95_off_ns : 0.0;
+  return result;
+}
+
 ClusterBenchResult measure_cluster(const ClusterBenchOptions& options) {
   require(options.shards >= 1, "cluster bench needs at least one shard");
   require(options.requests >= 1, "cluster bench needs at least one request");
@@ -520,6 +575,17 @@ json::Value to_json(const BenchReport& report) {
     root["trace_overhead"] = std::move(t);
   }
 
+  if (report.audit_overhead) {
+    json::Value a = json::Value::object();
+    a["requests"] = report.audit_overhead->requests;
+    a["batch"] = report.audit_overhead->batch;
+    a["sample_every"] = report.audit_overhead->sample_every;
+    a["p95_off_ns"] = report.audit_overhead->p95_off_ns;
+    a["p95_on_ns"] = report.audit_overhead->p95_on_ns;
+    a["ratio"] = report.audit_overhead->ratio;
+    root["audit_overhead"] = std::move(a);
+  }
+
   if (report.cluster) {
     json::Value c = json::Value::object();
     c["shards"] = report.cluster->shards;
@@ -613,6 +679,17 @@ BenchReport report_from_json(const json::Value& v) {
     report.trace_overhead = res;
   }
 
+  if (const json::Value* a = v.find("audit_overhead")) {
+    AuditOverheadResult res;
+    res.requests = static_cast<std::size_t>(a->get("requests").as_number());
+    res.batch = static_cast<std::size_t>(a->get("batch").as_number());
+    res.sample_every = static_cast<std::size_t>(a->get("sample_every").as_number());
+    res.p95_off_ns = a->get("p95_off_ns").as_number();
+    res.p95_on_ns = a->get("p95_on_ns").as_number();
+    res.ratio = a->get("ratio").as_number();
+    report.audit_overhead = res;
+  }
+
   if (const json::Value* c = v.find("cluster")) {
     ClusterBenchResult res;
     res.shards = static_cast<std::size_t>(c->get("shards").as_number());
@@ -674,6 +751,10 @@ CompareResult compare_reports(const BenchReport& baseline, const BenchReport& cu
   if (current.trace_overhead) {
     result.trace_overhead_ratio = current.trace_overhead->ratio;
     result.trace_overhead_ok = result.trace_overhead_ratio <= 1.0 + trace_tolerance;
+  }
+  if (current.audit_overhead) {
+    result.audit_overhead_ratio = current.audit_overhead->ratio;
+    result.audit_overhead_ok = result.audit_overhead_ratio <= 1.0 + trace_tolerance;
   }
   if (baseline.cluster) {
     if (!current.cluster) {

@@ -112,6 +112,36 @@ struct TraceOverheadResult {
 
 TraceOverheadResult measure_trace_overhead(const TraceOverheadOptions& options);
 
+/// Shadow-audit overhead micro-benchmark (docs/robustness.md): the same
+/// serving workload is driven twice through a ForestServer — integrity
+/// audits off, then sampling every `sample_every`-th request through the
+/// CPU-oracle re-execution + compare path — and the end-to-end p95s are
+/// compared. An audited request pays a full oracle pass, so the *sampled*
+/// rate is what keeps the p95 flat; this case pins that claim the same
+/// way the tracing case pins the tracer's cost.
+struct AuditOverheadOptions {
+  std::size_t requests = 200;
+  std::size_t batch = 1024;
+  std::size_t num_workers = 2;
+  /// Every Nth request is shadow-audited in the "on" run. At 1/32 the
+  /// audited tail sits above the 95th percentile, so the gate measures
+  /// the steady-state cost of the machinery, not the oracle itself.
+  std::size_t sample_every = 32;
+  RandomForestSpec forest{.num_trees = 20, .max_depth = 10, .num_features = 16};
+  std::uint64_t query_seed = 42;
+};
+
+struct AuditOverheadResult {
+  std::size_t requests = 0;
+  std::size_t batch = 0;
+  std::size_t sample_every = 0;
+  double p95_off_ns = 0.0;  // end-to-end p95, audits off
+  double p95_on_ns = 0.0;   // end-to-end p95, audits sampled 1/sample_every
+  double ratio = 0.0;       // on / off; <= 1 + tolerance to pass the gate
+};
+
+AuditOverheadResult measure_audit_overhead(const AuditOverheadOptions& options);
+
 /// Cluster serving micro-benchmark (docs/cluster.md): a ClusterRouter
 /// fronting `shards` healthy ForestServer shards absorbs `requests`
 /// routed requests from `clients` concurrent client threads, and the
@@ -228,6 +258,9 @@ struct BenchReport {
   /// Present when the sweep ran with the tracing-overhead case; optional
   /// so older baselines stay readable under the same schema version.
   std::optional<TraceOverheadResult> trace_overhead;
+  /// Present when the sweep ran with the shadow-audit overhead case;
+  /// gated like trace_overhead (ratio vs 1 + trace_tolerance).
+  std::optional<AuditOverheadResult> audit_overhead;
   /// Present when the sweep ran with the cluster serving case; compared
   /// like a regular case under the key "cluster".
   std::optional<ClusterBenchResult> cluster;
@@ -266,17 +299,23 @@ struct CompareResult {
   /// trace_overhead case whose on/off p95 ratio exceeds 1 + trace_tolerance.
   bool trace_overhead_ok = true;
   double trace_overhead_ratio = 0.0;  // 0 when the case is absent
+  /// Shadow-audit overhead gate: same shape and tolerance as the tracing
+  /// gate, applied to the current report's audit_overhead ratio.
+  bool audit_overhead_ok = true;
+  double audit_overhead_ratio = 0.0;  // 0 when the case is absent
 
   bool passed() const {
-    return regressions.empty() && missing_cases.empty() && trace_overhead_ok;
+    return regressions.empty() && missing_cases.empty() && trace_overhead_ok &&
+           audit_overhead_ok;
   }
 };
 
 /// Flags current cases whose p95 ns/query exceeds baseline * (1 + tolerance).
 /// tolerance 0.25 = fail on >25% p95 growth. Cases only in `current` are
 /// new coverage, not failures; cases only in `baseline` are missing.
-/// trace_tolerance gates the current report's own trace_overhead ratio
-/// (tracing everything must cost < 5% serve p95 by default).
+/// trace_tolerance gates the current report's own trace_overhead AND
+/// audit_overhead ratios (tracing everything / sampled shadow audits must
+/// each cost < 5% serve p95 by default).
 /// A baseline cluster case is matched under the key "cluster", a
 /// baseline noisy-neighbor case under the key "noisy" (victim p95), and
 /// a baseline micro-batching case under the key "batch" (batched p95),

@@ -683,6 +683,9 @@ ClusterStats ClusterRouter::stats() const {
     st.generation = server->generation();
     st.routed = sh.routed.load(std::memory_order_relaxed);
     st.failures = sh.failures.load(std::memory_order_relaxed);
+    const serve::SelfHealStats heal = server->self_heal();
+    st.repairs = heal.scrub_repairs;
+    st.worker_restarts = heal.watchdog_worker_restarts;
     out.shard_status.push_back(st);
   }
   return out;
@@ -777,6 +780,9 @@ obs::MetricsSnapshot ClusterRouter::metrics_snapshot() const {
     health.generation = server->generation();
     health.routed = sh.routed.load(std::memory_order_relaxed);
     health.failures = sh.failures.load(std::memory_order_relaxed);
+    const serve::SelfHealStats heal = server->self_heal();
+    health.repairs = heal.scrub_repairs;
+    health.worker_restarts = heal.watchdog_worker_restarts;
     snap.shards.push_back(health);
   }
 
@@ -800,6 +806,9 @@ obs::MetricsSnapshot ClusterRouter::metrics_snapshot() const {
   snap.rollups.assign(merged_rollups.begin(), merged_rollups.end());
   snap.traces = traces;
   snap.has_traces = any_traces;
+  // The injector is process-global, so take its counts once here rather
+  // than summing per-shard snapshots (which would multiply them).
+  snap.fault_fired = FaultInjector::global().fired_counts();
   return snap;
 }
 

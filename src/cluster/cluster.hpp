@@ -50,7 +50,10 @@
 // `surge:tenant` inflates one tenant's service time (noisy neighbor);
 // `stall:autoscaler` wedges the control loop (cluster/autoscaler.hpp).
 // tools/chaos.sh and tests/cluster drive all four against the
-// degraded-mode SLOs in docs/cluster.md.
+// degraded-mode SLOs in docs/cluster.md. Shard-internal integrity faults
+// (`corrupt:replica`, `hang:worker` — serve/integrity.hpp) fire inside
+// individual shard servers; the router surfaces each shard's self-heal
+// outcome (repairs, worker restarts) in ShardStatus / ShardHealth rows.
 
 #include <atomic>
 #include <condition_variable>
@@ -165,6 +168,8 @@ struct ShardStatus {
   std::uint64_t generation = 0;
   std::uint64_t routed = 0;    // requests dispatched to this shard
   std::uint64_t failures = 0;  // dispatch failures the router observed
+  std::uint64_t repairs = 0;   // replicas quarantined + rebuilt in the shard
+  std::uint64_t worker_restarts = 0;  // watchdog thread replacements
 };
 
 struct ClusterStats {

@@ -153,6 +153,10 @@ std::string to_prometheus(const MetricsSnapshot& snapshot) {
          [](const ShardHealth& s) { return static_cast<double>(s.routed); }},
         {"hrf_shard_failures_total", "counter",
          [](const ShardHealth& s) { return static_cast<double>(s.failures); }},
+        {"hrf_shard_repairs_total", "counter",
+         [](const ShardHealth& s) { return static_cast<double>(s.repairs); }},
+        {"hrf_shard_worker_restarts_total", "counter",
+         [](const ShardHealth& s) { return static_cast<double>(s.worker_restarts); }},
     };
     for (const ShardMetric& m : kShardMetrics) {
       emit_type(out, m.family, m.type);
@@ -189,6 +193,16 @@ std::string to_prometheus(const MetricsSnapshot& snapshot) {
         out += std::string(m.family) + "{tenant=\"" + escape_label(t.name) + "\"} " +
                format_value(m.get(t)) + "\n";
       }
+    }
+  }
+
+  if (!snapshot.fault_fired.empty()) {
+    // Fired-zero sites are emitted too: "armed but never fired" is
+    // exactly what a failing chaos run needs to see.
+    emit_type(out, "hrf_fault_fired_total", "counter");
+    for (const auto& [site, count] : snapshot.fault_fired) {
+      out += "hrf_fault_fired_total{site=\"" + escape_label(site) + "\"} " +
+             std::to_string(count) + "\n";
     }
   }
 
@@ -298,9 +312,17 @@ json::Value snapshot_to_json(const MetricsSnapshot& snapshot) {
       row["generation"] = s.generation;
       row["routed"] = s.routed;
       row["failures"] = s.failures;
+      row["repairs"] = s.repairs;
+      row["worker_restarts"] = s.worker_restarts;
       shards.push_back(std::move(row));
     }
     doc["shards"] = std::move(shards);
+  }
+
+  if (!snapshot.fault_fired.empty()) {
+    json::Value faults = json::Value::object();
+    for (const auto& [site, count] : snapshot.fault_fired) faults[site] = count;
+    doc["fault_fired"] = std::move(faults);
   }
 
   if (snapshot.has_traces) {
@@ -481,11 +503,14 @@ const std::vector<MetricInfo>& metric_catalogue() {
     v.push_back({"hrf_shard_model_generation", "gauge", false, true});
     v.push_back({"hrf_shard_routed_total", "counter", false, true});
     v.push_back({"hrf_shard_failures_total", "counter", false, true});
+    v.push_back({"hrf_shard_repairs_total", "counter", false, true});
+    v.push_back({"hrf_shard_worker_restarts_total", "counter", false, true});
     v.push_back({"hrf_tenant_weight", "gauge", false, false, true});
     v.push_back({"hrf_tenant_reserved_slots", "gauge", false, false, true});
     v.push_back({"hrf_tenant_queue_depth", "gauge", false, false, true});
     v.push_back({"hrf_tenant_admitted_total", "counter", false, false, true});
     v.push_back({"hrf_tenant_quota_shed_total", "counter", false, false, true});
+    v.push_back({"hrf_fault_fired_total", "counter", false, false, false, true});
     return v;
   }();
   return kCatalogue;
@@ -506,6 +531,10 @@ const std::vector<std::string>& counter_catalogue() {
       "breaker.short_circuited",  "breaker.trips",
       "breaker.probes",           "reload.promoted",
       "reload.rejected",          "reload.rolled_back",
+      "scrub.passes",             "scrub.corruptions",
+      "scrub.repairs",            "audit.sampled",
+      "audit.mismatches",         "watchdog.missed_heartbeats",
+      "watchdog.worker_restarts",
   };
   return kCounters;
 }
@@ -550,10 +579,12 @@ void check_metrics_schema(const std::string& prometheus_text, const std::string&
   // come and go together with the quota configuration.
   const bool have_cluster = has_family("hrf_cluster_shards");
   const bool have_tenants = has_family("hrf_tenant_weight");
+  const bool have_faults = has_family("hrf_fault_fired_total");
   for (const MetricInfo& info : metric_catalogue()) {
     if (info.per_rollup_key && !have_rollups) continue;
     if (info.cluster_only && !have_cluster) continue;
     if (info.tenant_only && !have_tenants) continue;
+    if (info.fault_only && !have_faults) continue;
     if (info.type == "histogram") {
       for (const char* suffix : {"_bucket", "_sum", "_count"}) {
         if (!has_family(info.name + suffix)) {
@@ -603,6 +634,19 @@ void check_metrics_schema(const std::string& prometheus_text, const std::string&
       s.get("generation").as_number();
       s.get("routed").as_number();
       s.get("failures").as_number();
+      s.get("repairs").as_number();
+      s.get("worker_restarts").as_number();
+    }
+  }
+  if (have_faults) {
+    const json::Value* faults = doc.find("fault_fired");
+    if (!faults) schema_fail("fault families exported without a JSON fault_fired object");
+    for (const PromSample& s : families.at("hrf_fault_fired_total").samples) {
+      const auto site = s.labels.find("site");
+      if (site == s.labels.end()) schema_fail("hrf_fault_fired_total sample without site label");
+      if (!faults->find(site->second)) {
+        schema_fail("JSON fault_fired missing site '" + site->second + "'");
+      }
     }
   }
   if (have_tenants) {

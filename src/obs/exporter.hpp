@@ -36,6 +36,8 @@ struct ShardHealth {
   std::uint64_t generation = 0;  // shard's live model generation
   std::uint64_t routed = 0;      // requests the router dispatched to it
   std::uint64_t failures = 0;    // dispatch failures the router observed
+  std::uint64_t repairs = 0;     // replicas quarantined + rebuilt (scrub.repairs)
+  std::uint64_t worker_restarts = 0;  // watchdog thread replacements
 };
 
 /// One tenant's admission-quota row (serve/qos.hpp TenantCounters,
@@ -71,6 +73,11 @@ struct MetricsSnapshot {
   /// Per-tenant quota rows; empty unless tenant quotas are configured
   /// (exported as hrf_tenant_* families, {tenant="name"}).
   std::vector<TenantStat> tenants;
+  /// Cumulative fault-injector fire counts by site (FaultInjector::
+  /// fired_counts()); empty when no site was ever armed. Exported as
+  /// hrf_fault_fired_total{site="kind:target"} so chaos runs are
+  /// debuggable from the snapshot alone.
+  std::map<std::string, std::uint64_t> fault_fired;
 };
 
 /// Sanitizes a registry name into a Prometheus metric name component:
@@ -123,6 +130,9 @@ struct MetricInfo {
   /// True for tenant families, which only exist when tenant quotas are
   /// configured (detected via the hrf_tenant_weight gauge).
   bool tenant_only = false;
+  /// True for the fault-injection family, which only exists when some
+  /// fault site was armed during the process lifetime.
+  bool fault_only = false;
 };
 
 /// The documented Prometheus metric catalogue, in docs order.

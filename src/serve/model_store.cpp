@@ -149,6 +149,19 @@ void write_manifest(const std::string& store_dir, std::optional<std::uint64_t> c
   write_file_atomic(store_dir + "/" + kManifestName, doc.dump(2) + "\n");
 }
 
+/// Renames a damaged generation aside with a unique suffix (repeated
+/// recoveries never collide). Returns the post-rename path, or the
+/// original when the rename itself failed (data still never deleted).
+std::string quarantine_dir(const std::string& gdir) {
+  std::string target = gdir + kQuarantineSuffix;
+  for (int n = 2; fs::exists(target); ++n) {
+    target = gdir + kQuarantineSuffix + "." + std::to_string(n);
+  }
+  std::error_code ec;
+  fs::rename(gdir, target, ec);
+  return ec ? gdir : target;
+}
+
 /// All generation ids ever used in this store — complete, damaged, or
 /// quarantined — so a fresh publish never reuses a quarantined id.
 std::uint64_t max_seen_id(const std::string& store_dir) {
@@ -202,15 +215,8 @@ StoreReport ModelStore::recover() {
     try {
       rep.generations.push_back(validate_generation(gdir, id));
     } catch (const Error& e) {
-      // Damaged: set aside with the reason, never delete. A unique suffix
-      // keeps repeated recoveries from colliding.
-      std::string target = gdir + kQuarantineSuffix;
-      for (int n = 2; fs::exists(target); ++n) {
-        target = gdir + kQuarantineSuffix + "." + std::to_string(n);
-      }
-      std::error_code ec;
-      fs::rename(gdir, target, ec);
-      rep.quarantined.push_back({ec ? gdir : target, e.what()});
+      // Damaged: set aside with the reason, never delete.
+      rep.quarantined.push_back({quarantine_dir(gdir), e.what()});
     }
   }
   if (!rep.generations.empty()) rep.current = rep.generations.back().id;
@@ -238,15 +244,24 @@ std::optional<std::uint64_t> ModelStore::current() const {
   // Fast path: a valid manifest naming a complete generation. The
   // completeness re-check means a reader never acts on a pointer whose
   // generation rotted after publication.
+  std::optional<std::uint64_t> pointed;
   try {
-    if (const auto id = read_manifest_current(dir_)) {
-      validate_generation(dir_ + "/" + gen_dir_name(*id), *id);
-      return id;
+    pointed = read_manifest_current(dir_);
+    if (!pointed) return std::nullopt;
+    validate_generation(dir_ + "/" + gen_dir_name(*pointed), *pointed);
+    return pointed;
+  } catch (const Error& e) {
+    // The pointed-at generation rotted after open() (or the manifest
+    // tore). Quarantine the damage right here rather than leaving it for
+    // a reload to trip over: the reload would re-validate, reject, and
+    // keep polling into the same rot forever.
+    if (pointed) {
+      const std::string gdir = dir_ + "/" + gen_dir_name(*pointed);
+      if (fs::is_directory(gdir)) {
+        std::lock_guard<std::mutex> lock(read_quarantine_log_->mu);
+        read_quarantine_log_->items.push_back({quarantine_dir(gdir), e.what()});
+      }
     }
-    return std::nullopt;
-  } catch (const Error&) {
-    // Torn manifest or damaged current generation: fall back to a
-    // read-only scan (no quarantining from a polling path).
   }
   std::optional<std::uint64_t> newest;
   for (const fs::directory_entry& e : fs::directory_iterator(dir_)) {
@@ -260,7 +275,19 @@ std::optional<std::uint64_t> ModelStore::current() const {
       // incomplete — recover() will quarantine it; keep scanning
     }
   }
+  // Repoint the store at what is actually servable so the next poll is
+  // back on the fast path (best-effort: a read-only filesystem just
+  // means the scan repeats next time).
+  try {
+    write_manifest(dir_, newest);
+  } catch (const Error&) {
+  }
   return newest;
+}
+
+std::vector<QuarantinedGeneration> ModelStore::read_quarantined() const {
+  std::lock_guard<std::mutex> lock(read_quarantine_log_->mu);
+  return read_quarantine_log_->items;
 }
 
 std::vector<Generation> ModelStore::generations() const {

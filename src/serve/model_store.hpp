@@ -27,11 +27,15 @@
 // newest complete generation wins as current.
 //
 // Concurrency model: one publisher at a time; any number of readers.
-// current() is a cheap poll (one small JSON read) that never mutates the
-// store, which is what the serving watcher loop uses.
+// current() is a cheap poll (one small JSON read + completeness check) on
+// the happy path; when the pointed-at generation is found damaged it
+// quarantines the rot and repoints the manifest, so a reload never
+// receives a generation that decayed after open().
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -104,11 +108,20 @@ class ModelStore {
   /// Re-runs the open()-time recovery scan against current disk state.
   StoreReport recover();
 
-  /// Cheap read-only poll of the current generation: the manifest pointer
-  /// when it names a complete generation, else the newest complete
-  /// generation found by scanning (without quarantining anything).
-  /// nullopt for an empty store. This is the watcher's polling call.
+  /// Poll of the current generation: the manifest pointer when it names a
+  /// still-complete generation (one small JSON read + CRC manifest check,
+  /// the happy path). When the pointed-at generation was damaged *after*
+  /// open() — silent on-disk corruption — the rot is quarantined on the
+  /// spot (renamed aside, recorded in read_quarantined()) and the
+  /// manifest is repointed at the newest surviving complete generation,
+  /// so the watcher never hands a decayed generation to a reload.
+  /// nullopt for an empty store.
   std::optional<std::uint64_t> current() const;
+
+  /// Generations quarantined by current() polls (damage detected after
+  /// open), oldest first. open()/recover()-time quarantines are in
+  /// report().quarantined instead.
+  std::vector<QuarantinedGeneration> read_quarantined() const;
 
   /// Complete generations on disk, ascending id (fresh scan).
   std::vector<Generation> generations() const;
@@ -145,8 +158,18 @@ class ModelStore {
   std::uint64_t publish_with(const std::function<std::string(const std::string&)>& write_blobs,
                              const std::string& note);
 
+  /// current() is const but must record the quarantines it performs, and
+  /// multiple watcher threads may poll; shared_ptr keeps ModelStore
+  /// movable (open() returns by value) despite the mutex.
+  struct ReadQuarantineLog {
+    std::mutex mu;
+    std::vector<QuarantinedGeneration> items;
+  };
+
   std::string dir_;
   StoreReport report_;
+  std::shared_ptr<ReadQuarantineLog> read_quarantine_log_ =
+      std::make_shared<ReadQuarantineLog>();
 };
 
 }  // namespace hrf::serve

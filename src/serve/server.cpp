@@ -44,6 +44,26 @@ std::string format_seconds(double s) {
   return out.str();
 }
 
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(SteadyClock::now().time_since_epoch())
+          .count());
+}
+
+/// Reference CRC of a replica's resident layout (serve/integrity.hpp).
+/// Disengaged for FilBaseline, which builds its layout inside the kernel
+/// per call — nothing resident for the scrubber to verify.
+std::optional<std::uint32_t> classifier_layout_crc(const Classifier& clf) {
+  switch (clf.options().variant) {
+    case Variant::Csr:
+      return layout_crc32(clf.csr());
+    case Variant::FilBaseline:
+      return std::nullopt;
+    default:
+      return layout_crc32(clf.hierarchical());
+  }
+}
+
 }  // namespace
 
 void ForestServer::validate_options() const {
@@ -64,6 +84,16 @@ void ForestServer::validate_options() const {
   require(options_.batching.deadline_fraction >= 0.0 &&
               options_.batching.deadline_fraction <= 1.0,
           "batching.deadline_fraction must be in [0, 1]");
+  require(options_.integrity.scrub_interval_seconds >= 0.0,
+          "integrity.scrub_interval_seconds must be >= 0");
+  require(options_.integrity.hang_timeout_seconds >= 0.0,
+          "integrity.hang_timeout_seconds must be >= 0");
+  require(options_.integrity.audit_mismatch_threshold >= 1,
+          "integrity.audit_mismatch_threshold must be >= 1");
+  require(options_.integrity.monitor_poll_seconds > 0.0,
+          "integrity.monitor_poll_seconds must be > 0");
+  require(options_.integrity.inject_hang_seconds >= 0.0,
+          "integrity.inject_hang_seconds must be >= 0");
 }
 
 std::shared_ptr<const ForestServer::WorkerModel> ForestServer::build_worker_model(
@@ -88,6 +118,9 @@ std::shared_ptr<const ForestServer::WorkerModel> ForestServer::build_worker_mode
   model->fallback = std::make_shared<const Classifier>(forest, fb);
   model->generation = generation;
   model->health = std::move(health);
+  // Scrubber reference: recaptured on every legitimate install (ctor,
+  // reload, repair) because they all build their models right here.
+  model->layout_crc = classifier_layout_crc(*model->primary);
   return model;
 }
 
@@ -107,11 +140,16 @@ void ForestServer::start_workers() {
   for (std::size_t w = 0; w < options_.num_workers; ++w) {
     jitter_.push_back(jitter_base.split(static_cast<int>(w) + 1));
   }
+  runtimes_.reserve(options_.num_workers);
+  for (std::size_t w = 0; w < options_.num_workers; ++w) {
+    runtimes_.push_back(std::make_unique<WorkerRuntime>());
+  }
   started_ = !options_.start_paused;
   workers_.reserve(options_.num_workers);
   for (std::size_t w = 0; w < options_.num_workers; ++w) {
     workers_.emplace_back([this, w] { worker_loop(w); });
   }
+  if (integrity_enabled()) monitor_ = std::thread([this] { monitor_loop(); });
 }
 
 ForestServer::ForestServer(Forest forest, ClassifierOptions classifier_options,
@@ -246,8 +284,15 @@ DrainReport ForestServer::shutdown(double drain_deadline_seconds) {
     stopping_.store(true, std::memory_order_release);
   }
   cv_.notify_all();
+  // The monitor joins first: workers_/zombies_ are mutated only by it, so
+  // once it is gone the join loops below race nothing. Any in-flight hang
+  // is finite (inject_hang_seconds), so losing the watchdog here cannot
+  // wedge the drain.
+  monitor_stop_.store(true, std::memory_order_release);
+  if (monitor_.joinable()) monitor_.join();
   WallTimer timer;
   for (std::thread& t : workers_) t.join();
+  for (std::thread& t : zombies_) t.join();
 
   DrainReport rep;
   rep.drain_seconds = timer.seconds();
@@ -302,6 +347,9 @@ obs::MetricsSnapshot ForestServer::metrics_snapshot() const {
   snap.rollups = rollups_.snapshot();
   snap.traces = tracer_.summary();
   snap.has_traces = true;
+  // Fault-injector fire counts by site (empty unless chaos armed some):
+  // a failing chaos run is debuggable from the snapshot alone.
+  snap.fault_fired = FaultInjector::global().fired_counts();
   for (const TenantCounters& t : tenant_stats()) {
     obs::TenantStat row;
     row.name = t.name;
@@ -407,6 +455,8 @@ void ForestServer::worker_loop(std::size_t w) {
   try {
     const bool batching = options_.batching.enabled();
     for (;;) {
+      // Liveness heartbeat for the watchdog (one relaxed store per loop).
+      runtimes_[w]->heartbeat_ns.store(steady_ns(), std::memory_order_relaxed);
       std::vector<Request> batch;
       bool deadline_flush = false;
       {
@@ -472,8 +522,10 @@ void ForestServer::worker_loop(std::size_t w) {
         counters_.add_batch(delta);
       }
       if (batch.size() == 1) {
-        // Batches of one take the exact PR-2 single-request path.
-        process(w, std::move(batch.front()));
+        // Batches of one take the exact PR-2 single-request path, wrapped
+        // in the watchdog's claim window. A false return means the
+        // watchdog declared this thread hung and already replaced it.
+        if (!dispatch_one(w, std::move(batch.front()))) return;
       } else {
         process_batch(w, std::move(batch));
       }
@@ -829,6 +881,7 @@ ServeResult ForestServer::execute(std::size_t w, Request& req, const trace::Span
         breaker_.record_success();
         m->health->completed.fetch_add(1, std::memory_order_relaxed);
         record_run(*m->primary, m->generation, out.report);
+        maybe_audit(w, *m, req.queries, out.report, delta);
         return out;
       } catch (const DeadlineError&) {
         // The attempt outlived the request's deadline: not a backend
@@ -910,6 +963,301 @@ RunReport ForestServer::run_one(const Classifier& clf, const Request& req,
     set_backend_span_attrs(span, r);
   }
   return r;
+}
+
+// --- Integrity monitor (scrubber / shadow audits / watchdog) ------------
+
+bool ForestServer::integrity_enabled() const {
+  const IntegrityOptions& i = options_.integrity;
+  return i.scrub_interval_seconds > 0.0 || i.hang_timeout_seconds > 0.0 ||
+         i.audit_sample_every > 0;
+}
+
+SelfHealStats ForestServer::self_heal() const {
+  SelfHealStats s;
+  s.scrub_passes = counters_.value("scrub.passes");
+  s.scrub_corruptions = counters_.value("scrub.corruptions");
+  s.scrub_repairs = counters_.value("scrub.repairs");
+  s.audit_sampled = counters_.value("audit.sampled");
+  s.audit_mismatches = counters_.value("audit.mismatches");
+  s.watchdog_missed_heartbeats = counters_.value("watchdog.missed_heartbeats");
+  s.watchdog_worker_restarts = counters_.value("watchdog.worker_restarts");
+  return s;
+}
+
+bool ForestServer::install_model_if(std::size_t w,
+                                    const std::shared_ptr<const WorkerModel>& expected,
+                                    std::shared_ptr<const WorkerModel> next) {
+  std::lock_guard<std::mutex> lock(slots_[w].mu);
+  if (slots_[w].model != expected) return false;
+  slots_[w].model = std::move(next);
+  return true;
+}
+
+bool ForestServer::dispatch_one(std::size_t w, Request req) {
+  FaultInjector& inj = FaultInjector::global();
+  if (options_.integrity.hang_timeout_seconds <= 0.0) {
+    // No watchdog: an injected hang degenerates to a finite stall (the
+    // sleep is bounded precisely so undefended runs still drain).
+    if (inj.enabled() && inj.consume("hang:worker")) {
+      std::this_thread::sleep_for(to_duration(options_.integrity.inject_hang_seconds));
+    }
+    process(w, std::move(req));
+    return true;
+  }
+  // Publish the request so the watchdog can rescue it, then (possibly)
+  // wedge at the hang:worker site, then race the watchdog for the claim.
+  // Whoever flips `claimed` first owns the promise — exactly one side
+  // fulfils it, so a rescue is never a lost or duplicate response.
+  auto inf = std::make_shared<InFlight>();
+  inf->dispatched = SteadyClock::now();
+  inf->req.emplace(std::move(req));
+  {
+    std::lock_guard<std::mutex> lock(runtimes_[w]->mu);
+    runtimes_[w]->inflight = inf;
+  }
+  if (inj.enabled() && inj.consume("hang:worker")) {
+    std::this_thread::sleep_for(to_duration(options_.integrity.inject_hang_seconds));
+  }
+  std::optional<Request> claimed;
+  {
+    std::lock_guard<std::mutex> lock(inf->mu);
+    if (!inf->claimed) {
+      inf->claimed = true;
+      claimed.emplace(std::move(*inf->req));
+      inf->req.reset();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(runtimes_[w]->mu);
+    if (runtimes_[w]->inflight == inf) runtimes_[w]->inflight.reset();
+  }
+  if (!claimed) return false;  // rescued: this thread was declared hung
+  process(w, std::move(*claimed));
+  return true;
+}
+
+void ForestServer::maybe_audit(std::size_t w, const WorkerModel& m, const Dataset& queries,
+                               RunReport& report, CounterDeltas& delta) {
+  const std::size_t every = options_.integrity.audit_sample_every;
+  if (every == 0) return;
+  if (audit_tick_.fetch_add(1, std::memory_order_relaxed) % every != 0) return;
+  ++delta["audit.sampled"];
+  RunReport oracle;
+  try {
+    oracle = m.fallback->classify(queries);
+  } catch (...) {
+    return;  // an oracle failure is its own incident, not replica evidence
+  }
+  if (oracle.predictions == report.predictions) {
+    runtimes_[w]->audit_streak.store(0, std::memory_order_relaxed);
+    return;
+  }
+  ++delta["audit.mismatches"];
+  // The oracle is authoritative — every variant/backend agrees
+  // bit-for-bit on an uncorrupted layout (the cross-backend equivalence
+  // the tier-1 suite pins) — so serve its answer and note the divergence.
+  report.predictions = oracle.predictions;
+  report.degradations.push_back("audit: worker " + std::to_string(w) +
+                                " diverged from the cpu oracle -> served oracle result");
+  const int streak = runtimes_[w]->audit_streak.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (streak >= options_.integrity.audit_mismatch_threshold) {
+    // One mismatch could be the audit racing something legitimate; K in a
+    // row on one replica cannot. Hand the repair to the monitor thread.
+    runtimes_[w]->repair_requested.store(true, std::memory_order_release);
+  }
+}
+
+void ForestServer::monitor_loop() {
+  FaultInjector& inj = FaultInjector::global();
+  const IntegrityOptions& iopt = options_.integrity;
+  TimePoint last_scrub = SteadyClock::now();
+  while (!monitor_stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(to_duration(iopt.monitor_poll_seconds));
+    if (monitor_stop_.load(std::memory_order_acquire)) break;
+    // Chaos: corrupt one replica copy-and-swap (readers never race the
+    // flip; only the scrubber's CRC or an audit can tell).
+    if (inj.enabled() && inj.consume("corrupt:replica")) inject_replica_corruption();
+    if (iopt.hang_timeout_seconds > 0.0) watchdog_scan();
+    for (std::size_t w = 0; w < options_.num_workers; ++w) {
+      if (runtimes_[w]->repair_requested.exchange(false, std::memory_order_acq_rel)) {
+        repair_replica(w, model_for(w));
+      }
+    }
+    if (iopt.scrub_interval_seconds > 0.0 &&
+        SteadyClock::now() - last_scrub >= to_duration(iopt.scrub_interval_seconds)) {
+      last_scrub = SteadyClock::now();
+      scrub_pass();
+    }
+  }
+}
+
+void ForestServer::watchdog_scan() {
+  const TimePoint now = SteadyClock::now();
+  const SteadyClock::duration threshold = to_duration(options_.integrity.hang_timeout_seconds);
+  const std::uint64_t now_ns = steady_ns();
+  for (std::size_t w = 0; w < options_.num_workers; ++w) {
+    std::shared_ptr<InFlight> inf;
+    {
+      std::lock_guard<std::mutex> lock(runtimes_[w]->mu);
+      inf = runtimes_[w]->inflight;
+    }
+    if (!inf || now - inf->dispatched < threshold) continue;
+    // Corroborate with the loop heartbeat: a worker that stamped recently
+    // is alive (mid-claim), whatever the in-flight timestamp says.
+    const std::uint64_t beat = runtimes_[w]->heartbeat_ns.load(std::memory_order_relaxed);
+    if (now_ns - beat < static_cast<std::uint64_t>(
+                            std::chrono::duration_cast<std::chrono::nanoseconds>(threshold)
+                                .count())) {
+      continue;
+    }
+    std::optional<Request> rescued;
+    {
+      std::lock_guard<std::mutex> lock(inf->mu);
+      if (!inf->claimed) {
+        inf->claimed = true;
+        rescued.emplace(std::move(*inf->req));
+        inf->req.reset();
+      }
+    }
+    if (!rescued) continue;  // the worker woke up and claimed first
+    counters_.add("watchdog.missed_heartbeats");
+    watchdog_answer(w, std::move(*rescued));
+    // The wedged thread fails its claim and exits; park its handle and
+    // run a replacement in its slot (joined with everyone at shutdown).
+    zombies_.push_back(std::move(workers_[w]));
+    workers_[w] = std::thread([this, w] { worker_loop(w); });
+    counters_.add("watchdog.worker_restarts");
+    {
+      std::lock_guard<std::mutex> lock(runtimes_[w]->mu);
+      if (runtimes_[w]->inflight == inf) runtimes_[w]->inflight.reset();
+    }
+  }
+}
+
+void ForestServer::watchdog_answer(std::size_t w, Request req) {
+  const std::shared_ptr<const WorkerModel> m = model_for(w);
+  const double queue_s = std::chrono::duration<double>(SteadyClock::now() - req.enqueued).count();
+  hist_queue_wait_.record_seconds(queue_s);
+  if (req.queue_span.active()) req.queue_span.set_attr("seconds", queue_s);
+  req.queue_span.end();
+  CounterDeltas delta;
+  try {
+    WallTimer timer;
+    trace::Span exec_span = req.span.child("execute");
+    if (exec_span.active()) {
+      exec_span.set_attr("worker", static_cast<std::uint64_t>(w));
+      exec_span.set_attr("watchdog_rescue", true);
+    }
+    ServeResult res;
+    res.report = m->fallback->classify(req.queries);
+    exec_span.end();
+    record_run(*m->fallback, m->generation, res.report);
+    res.via_fallback = true;
+    ++delta["fallback.served"];
+    std::string note = "watchdog: worker " + std::to_string(w) +
+                       " hung past hang_timeout -> answered on cpu-native fallback";
+    if (m->generation > 0) note += " [gen " + std::to_string(m->generation) + "]";
+    res.report.degradations.push_back(std::move(note));
+    res.queue_seconds = queue_s;
+    res.service_seconds = timer.seconds();
+    hist_execute_.record_seconds(res.service_seconds);
+    hist_end_to_end_.record_seconds(queue_s + res.service_seconds);
+    ++delta["requests.completed"];
+    counters_.add_batch(delta);
+    m->health->completed.fetch_add(1, std::memory_order_relaxed);
+    req.span.set_attr("outcome", "completed");
+    if (stopping_.load(std::memory_order_relaxed)) {
+      drained_after_stop_.fetch_add(1, std::memory_order_relaxed);
+    }
+    req.span.end();
+    req.promise.set_value(std::move(res));
+  } catch (...) {
+    ++delta["requests.failed"];
+    counters_.add_batch(delta);
+    req.span.set_attr("outcome", "failed");
+    req.span.end();
+    req.promise.set_exception(std::current_exception());
+  }
+}
+
+void ForestServer::scrub_pass() {
+  for (std::size_t w = 0; w < options_.num_workers; ++w) {
+    const std::shared_ptr<const WorkerModel> m = model_for(w);
+    if (!m->layout_crc) continue;  // FilBaseline: nothing resident to scrub
+    counters_.add("scrub.passes");
+    const std::optional<std::uint32_t> live = classifier_layout_crc(*m->primary);
+    if (live && *live == *m->layout_crc) continue;
+    counters_.add("scrub.corruptions");
+    repair_replica(w, m);
+  }
+}
+
+void ForestServer::repair_replica(std::size_t w, std::shared_ptr<const WorkerModel> suspect) {
+  // Quarantine first: the CPU oracle replica (never corrupted — audits
+  // and rescues already trust it) takes over as primary, so this worker
+  // keeps answering correctly for the whole rebuild.
+  auto degraded = std::make_shared<WorkerModel>();
+  degraded->primary = suspect->fallback;
+  degraded->fallback = suspect->fallback;
+  degraded->generation = suspect->generation;
+  degraded->health = suspect->health;
+  degraded->layout_crc = classifier_layout_crc(*suspect->fallback);
+  if (!install_model_if(w, suspect, degraded)) return;  // a reload got there first
+  runtimes_[w]->audit_streak.store(0, std::memory_order_relaxed);
+
+  // Rebuild. Preferred source: the store's current generation, whose blob
+  // CRCs are re-verified on read; otherwise recompile from the pristine
+  // in-memory forest the fallback replica carries.
+  std::shared_ptr<const WorkerModel> fresh;
+  if (!options_.integrity.rebuild_store_dir.empty()) {
+    try {
+      const ModelStore store = ModelStore::open(options_.integrity.rebuild_store_dir);
+      const std::optional<std::uint64_t> cur = store.current();
+      if (cur && *cur == suspect->generation) {
+        const LoadedModel lm = store.load(*cur);
+        fresh = build_worker_model(lm.forest, lm.csr ? &*lm.csr : nullptr,
+                                   lm.hier ? &*lm.hier : nullptr, lm.generation, suspect->health);
+      }
+    } catch (const std::exception&) {
+      fresh = nullptr;  // unusable store: recompile below instead
+    }
+  }
+  if (!fresh) {
+    try {
+      fresh = build_worker_model(suspect->fallback->forest(), nullptr, nullptr,
+                                 suspect->generation, suspect->health);
+    } catch (const std::exception&) {
+      return;  // keep serving degraded-but-correct on the oracle
+    }
+  }
+  if (install_model_if(w, degraded, std::move(fresh))) counters_.add("scrub.repairs");
+}
+
+void ForestServer::inject_replica_corruption() {
+  const std::size_t w = corrupt_rr_++ % options_.num_workers;
+  const std::shared_ptr<const WorkerModel> m = model_for(w);
+  if (!m->layout_crc) return;  // FilBaseline: no resident layout to corrupt
+  auto poisoned = std::make_shared<WorkerModel>();
+  try {
+    if (m->primary->options().variant == Variant::Csr) {
+      poisoned->primary = std::make_shared<const Classifier>(
+          m->primary->forest(), corrupt_replica_copy(m->primary->csr()), classifier_options_);
+    } else {
+      poisoned->primary = std::make_shared<const Classifier>(
+          m->primary->forest(), corrupt_replica_copy(m->primary->hierarchical()),
+          classifier_options_);
+    }
+  } catch (const std::exception&) {
+    return;  // e.g. a stump forest with no internal node: nothing to flip
+  }
+  poisoned->fallback = m->fallback;
+  poisoned->generation = m->generation;
+  poisoned->health = m->health;
+  // Keep the pristine reference CRC: the whole point is that the live
+  // layout now drifts from it, which only the scrubber/audits can see.
+  poisoned->layout_crc = m->layout_crc;
+  install_model_if(w, m, std::move(poisoned));
 }
 
 double retry_backoff_seconds(const RetryPolicy& policy, int attempt, Xoshiro256& rng) {

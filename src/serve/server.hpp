@@ -29,6 +29,15 @@
 //               promoted via an atomic per-worker slot flip — with
 //               automatic rollback on any failure (serve/reload.hpp,
 //               docs/model-lifecycle.md).
+//   integrity   runtime silent-corruption defense (serve/integrity.hpp):
+//               a background scrubber re-verifies each replica's layout
+//               CRC against the value captured at install; sampled shadow
+//               audits re-execute every Nth request on the CPU oracle
+//               (serving the oracle's answer on divergence); a watchdog
+//               answers a hung worker's in-flight request on the oracle
+//               and replaces the thread. A corrupted replica is
+//               quarantined (the oracle serves as primary) and rebuilt in
+//               place while the other workers keep serving.
 //
 // Composition with the fault-injection harness (util/fault): injection
 // sites fire inside worker threads, driving the retry and breaker paths
@@ -61,6 +70,7 @@
 #include "obs/rollup.hpp"
 #include "serve/batcher.hpp"
 #include "serve/circuit_breaker.hpp"
+#include "serve/integrity.hpp"
 #include "serve/qos.hpp"
 #include "serve/reload.hpp"
 #include "util/histogram.hpp"
@@ -136,6 +146,10 @@ struct ServerOptions {
   /// responses. Disabled by default (max_requests <= 1); batches of one
   /// take the exact unbatched dispatch path.
   BatchOptions batching{};
+  /// Runtime integrity monitor (serve/integrity.hpp): replica scrubber,
+  /// sampled shadow audits, worker watchdog. All off by default — an
+  /// unconfigured server starts no monitor thread and audits nothing.
+  IntegrityOptions integrity{};
 };
 
 /// One served request's outcome.
@@ -258,6 +272,9 @@ class ForestServer {
   const CounterRegistry& counters() const { return counters_; }
   CircuitState breaker_state() const { return breaker_.state(); }
   const ServerOptions& options() const { return options_; }
+  /// Self-heal ledger: scrubber passes/repairs, shadow-audit samples and
+  /// mismatches, watchdog rescues. All zero with integrity off.
+  SelfHealStats self_heal() const;
 
   /// The request tracer (sampling per options().trace_sampling). Read
   /// retained traces with tracer().slowest(n) / traces().
@@ -324,6 +341,12 @@ class ForestServer {
     std::shared_ptr<const Classifier> fallback;
     std::uint64_t generation = 0;
     std::shared_ptr<ModelHealth> health;
+    /// Reference CRC of the primary's resident layout, captured when the
+    /// model is built (so every legitimate install — ctor, reload, repair
+    /// — recaptures it for free). The scrubber recomputes the live CRC
+    /// and compares. Disengaged for FilBaseline, whose layout is built
+    /// inside the kernel with nothing resident to scrub.
+    std::optional<std::uint32_t> layout_crc;
   };
 
   /// One worker's swap point. The mutex is uncontended except during a
@@ -399,6 +422,63 @@ class ForestServer {
   /// the remaining budget on a nap.
   bool backoff_sleep(std::size_t w, int attempt, const Request& req);
 
+  // --- Integrity monitor (scrubber / audits / watchdog) -----------------
+
+  /// A request published by its worker before dispatch so the watchdog
+  /// can rescue it. Whoever flips `claimed` first owns the promise: the
+  /// worker claims it back after the (possibly injected-hang) dispatch
+  /// window, or the watchdog claims it past the hang threshold.
+  struct InFlight {
+    std::mutex mu;
+    bool claimed = false;
+    std::optional<Request> req;
+    TimePoint dispatched{};
+  };
+
+  /// Per-worker liveness/audit state, stable for the server's lifetime
+  /// (worker threads may be replaced; their runtime record is not).
+  struct WorkerRuntime {
+    std::mutex mu;                       // guards inflight
+    std::shared_ptr<InFlight> inflight;  // engaged while a rescue is possible
+    std::atomic<std::uint64_t> heartbeat_ns{0};  // last worker_loop activity
+    std::atomic<int> audit_streak{0};            // consecutive oracle mismatches
+    std::atomic<bool> repair_requested{false};   // audit streak hit K
+  };
+
+  bool integrity_enabled() const;
+  /// Single-request dispatch with the watchdog's claim window around it.
+  /// Returns false when the watchdog claimed the request — the calling
+  /// worker thread was declared hung and replaced, so it must exit.
+  bool dispatch_one(std::size_t w, Request req);
+  /// Every Nth successful primary run: re-execute on the CPU oracle and
+  /// compare. On divergence the oracle's predictions are served (with a
+  /// degradation note) and K consecutive mismatches flag the replica for
+  /// quarantine-and-rebuild.
+  void maybe_audit(std::size_t w, const WorkerModel& m, const Dataset& queries,
+                   RunReport& report, CounterDeltas& delta);
+  /// The shared monitor thread: corrupt:replica injection, watchdog
+  /// scans, audit-requested repairs, and timed scrub passes.
+  void monitor_loop();
+  void watchdog_scan();
+  /// Fulfils a rescued request on worker w's CPU fallback replica, with
+  /// the full counter/histogram/trace treatment of a normal completion
+  /// plus a degradation note — never a lost response.
+  void watchdog_answer(std::size_t w, Request req);
+  /// Re-verifies every replica's layout CRC against its reference.
+  void scrub_pass();
+  /// Quarantines worker w's replica (the CPU oracle serves as primary)
+  /// and rebuilds the real primary — from the configured store's current
+  /// generation when possible, else recompiled from the pristine forest
+  /// the fallback replica holds. No-op if the slot moved on (a reload).
+  void repair_replica(std::size_t w, std::shared_ptr<const WorkerModel> suspect);
+  /// corrupt:replica payload: copy-clobber-swap one worker's layout,
+  /// keeping the reference CRC so the scrubber sees the drift.
+  void inject_replica_corruption();
+  /// Compare-and-swap install: replaces worker w's model only when the
+  /// slot still holds `expected` (repairs never clobber a fresh reload).
+  bool install_model_if(std::size_t w, const std::shared_ptr<const WorkerModel>& expected,
+                        std::shared_ptr<const WorkerModel> next);
+
   ServerOptions options_;
   ClassifierOptions classifier_options_;  // replica recipe, reused by reload
   std::vector<Slot> slots_;               // one per worker, never resized
@@ -438,6 +518,16 @@ class ForestServer {
   std::atomic<bool> worker_failed_{false};
   std::atomic<std::uint64_t> drained_after_stop_{0};
   std::vector<std::thread> workers_;
+
+  /// Integrity monitor state. workers_ and zombies_ are mutated only by
+  /// the monitor thread after construction; shutdown() joins the monitor
+  /// before touching either, so no lock is needed.
+  std::vector<std::unique_ptr<WorkerRuntime>> runtimes_;  // one per worker
+  std::thread monitor_;
+  std::atomic<bool> monitor_stop_{false};
+  std::vector<std::thread> zombies_;  // superseded workers, joined at shutdown
+  std::size_t corrupt_rr_ = 0;        // round-robin corruption victim picker
+  std::atomic<std::uint64_t> audit_tick_{0};  // global audit sampling counter
 };
 
 }  // namespace hrf::serve

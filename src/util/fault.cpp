@@ -14,7 +14,10 @@ namespace {
 // silently injecting nothing.
 constexpr std::array<const char*, 4> kResourceTargets = {"gpu", "gpu-smem", "fpga", "fpga-bram"};
 constexpr std::array<const char*, 1> kBitflipTargets = {"layout"};
-constexpr std::array<const char*, 1> kCorruptTargets = {"node"};
+// node: one node field corrupted after a blob parses (load-time defense).
+// replica: a serving worker's resident layout bit-flipped mid-traffic; the
+// runtime integrity subsystem (scrubber / shadow audits) must catch it.
+constexpr std::array<const char*, 2> kCorruptTargets = {"node", "replica"};
 // publish/manifest: hard process death (std::_Exit, kill -9 semantics)
 // inside the model store's publish sequence; drives the torn-write
 // recovery tests. route: the cluster router's dispatch link dies
@@ -28,6 +31,9 @@ constexpr std::array<const char*, 2> kFreezeTargets = {"shard", "batcher"};
 constexpr std::array<const char*, 1> kSurgeTargets = {"tenant"};
 // One autoscaler evaluation wedges; the fleet must keep serving as-is.
 constexpr std::array<const char*, 1> kStallTargets = {"autoscaler"};
+// A serving worker wedges indefinitely at dispatch; the watchdog must
+// answer its in-flight request and replace the thread.
+constexpr std::array<const char*, 1> kHangTargets = {"worker"};
 
 template <std::size_t N>
 bool known_target(const std::array<const char*, N>& targets, const std::string& t) {
@@ -37,8 +43,9 @@ bool known_target(const std::array<const char*, N>& targets, const std::string& 
 [[noreturn]] void bad_spec(const std::string& spec, const std::string& why) {
   throw ConfigError("bad fault spec '" + spec + "': " + why +
                     " (valid: resource:{gpu|gpu-smem|fpga|fpga-bram}, bitflip:layout, "
-                    "corrupt:node, crash:{publish|manifest|route}, freeze:{shard|batcher}, "
-                    "surge:tenant, stall:autoscaler, each with an optional :count)");
+                    "corrupt:{node|replica}, crash:{publish|manifest|route}, "
+                    "freeze:{shard|batcher}, surge:tenant, stall:autoscaler, hang:worker, "
+                    "each with an optional :count)");
 }
 
 }  // namespace
@@ -84,7 +91,8 @@ void FaultInjector::arm_spec(const std::string& spec) {
                   (kind == "crash" && known_target(kCrashTargets, target)) ||
                   (kind == "freeze" && known_target(kFreezeTargets, target)) ||
                   (kind == "surge" && known_target(kSurgeTargets, target)) ||
-                  (kind == "stall" && known_target(kStallTargets, target));
+                  (kind == "stall" && known_target(kStallTargets, target)) ||
+                  (kind == "hang" && known_target(kHangTargets, target));
   if (!ok) bad_spec(spec, "unknown site '" + kind + ":" + target + "'");
   arm(kind + ":" + target, count);
 }
@@ -132,6 +140,13 @@ int FaultInjector::remaining(const std::string& site) const {
 std::uint64_t FaultInjector::fired(const std::string& site) const {
   const Site* s = find_site(site);
   return s ? s->fired.load(std::memory_order_acquire) : 0;
+}
+
+std::map<std::string, std::uint64_t> FaultInjector::fired_counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, s] : sites_) out[name] = s.fired.load(std::memory_order_acquire);
+  return out;
 }
 
 bool FaultInjector::consume(const std::string& site) {

@@ -16,6 +16,15 @@
 //   resource:fpga-bram  collaborative/hybrid FPGA BRAM reservation fails
 //   bitflip:layout      layout blob bytes are bit-flipped before parsing
 //   corrupt:node        a node field is corrupted after a layout blob parses
+//   corrupt:replica     one serving worker's resident layout is bit-flipped
+//                       in place mid-traffic (a copy is corrupted and
+//                       swapped in, so readers never race the flip) — the
+//                       integrity scrubber / shadow audits must detect,
+//                       quarantine, and rebuild the replica
+//   hang:worker         a serving worker wedges indefinitely at dispatch
+//                       (until the watchdog's hang threshold); the watchdog
+//                       must answer the stuck request on the CPU oracle and
+//                       replace the worker thread
 //   crash:publish       model-store publisher dies (std::_Exit, kill -9
 //                       semantics) after the blobs, before the generation
 //                       manifest — leaves a partial generation on disk
@@ -96,6 +105,11 @@ class FaultInjector {
   /// Times `site` has fired since construction (cumulative across
   /// re-arms). Lets concurrency tests assert exact fire counts.
   std::uint64_t fired(const std::string& site) const;
+
+  /// Cumulative fired counts for every site ever armed (fired-zero sites
+  /// included). Feeds the `fault.fired` labeled metric family so chaos
+  /// runs are debuggable from a metrics snapshot alone.
+  std::map<std::string, std::uint64_t> fired_counts() const;
 
   /// Spends one charge of `site`; returns true when the site fired.
   /// Atomic: concurrent callers collectively fire exactly min(hits,

@@ -167,6 +167,46 @@ TEST(BenchHarness, MeasureTraceOverheadProducesSaneNumbers) {
   EXPECT_GT(r.ratio, 0.0);
 }
 
+TEST(BenchHarness, AuditOverheadRoundTripsThroughJson) {
+  BenchReport report = run_sweep(tiny_sweep());
+  AuditOverheadResult a;
+  a.requests = 200;
+  a.batch = 1024;
+  a.sample_every = 32;
+  a.p95_off_ns = 500'000.0;
+  a.p95_on_ns = 515'000.0;
+  a.ratio = 1.03;
+  report.audit_overhead = a;
+  const BenchReport back = report_from_json(to_json(report));
+  ASSERT_TRUE(back.audit_overhead.has_value());
+  EXPECT_EQ(back.audit_overhead->requests, 200u);
+  EXPECT_EQ(back.audit_overhead->batch, 1024u);
+  EXPECT_EQ(back.audit_overhead->sample_every, 32u);
+  EXPECT_DOUBLE_EQ(back.audit_overhead->p95_on_ns, 515'000.0);
+  EXPECT_DOUBLE_EQ(back.audit_overhead->ratio, 1.03);
+
+  // A report without the case stays readable (older baselines).
+  report.audit_overhead.reset();
+  EXPECT_FALSE(report_from_json(to_json(report)).audit_overhead.has_value());
+}
+
+TEST(BenchHarness, MeasureAuditOverheadProducesSaneNumbers) {
+  AuditOverheadOptions opt;
+  opt.requests = 8;  // smoke-scale; the real gate runs via ctest -L bench
+  opt.batch = 64;
+  opt.num_workers = 1;
+  opt.sample_every = 4;
+  opt.forest.num_trees = 4;
+  opt.forest.max_depth = 5;
+  opt.forest.num_features = 8;
+  const AuditOverheadResult r = measure_audit_overhead(opt);
+  EXPECT_EQ(r.requests, 8u);
+  EXPECT_EQ(r.sample_every, 4u);
+  EXPECT_GT(r.p95_off_ns, 0.0);
+  EXPECT_GT(r.p95_on_ns, 0.0);
+  EXPECT_GT(r.ratio, 0.0);
+}
+
 TEST(BenchCompare, IdenticalReportsPass) {
   const BenchReport r = two_case_report();
   const CompareResult cmp = compare_reports(r, r, 0.25);
@@ -219,6 +259,34 @@ TEST(BenchCompare, TraceOverheadAbsentOrWithinToleranceIsOk) {
   cur.trace_overhead = t;
   const CompareResult cmp = compare_reports(base, cur, 0.25);
   EXPECT_TRUE(cmp.trace_overhead_ok);
+  EXPECT_TRUE(cmp.passed());
+}
+
+TEST(BenchCompare, AuditOverheadGateTripsPastTolerance) {
+  const BenchReport base = two_case_report();
+  BenchReport cur = base;
+  AuditOverheadResult a;
+  a.p95_off_ns = 100'000.0;
+  a.p95_on_ns = 109'000.0;
+  a.ratio = 1.09;  // 9% > 5% default
+  cur.audit_overhead = a;
+  const CompareResult cmp = compare_reports(base, cur, 0.25);
+  EXPECT_FALSE(cmp.passed());
+  EXPECT_FALSE(cmp.audit_overhead_ok);
+  EXPECT_NEAR(cmp.audit_overhead_ratio, 1.09, 1e-12);
+  // Within a widened tolerance the same report passes.
+  EXPECT_TRUE(compare_reports(base, cur, 0.25, 0.10).passed());
+}
+
+TEST(BenchCompare, AuditOverheadAbsentOrWithinToleranceIsOk) {
+  const BenchReport base = two_case_report();
+  EXPECT_TRUE(compare_reports(base, base, 0.25).audit_overhead_ok);
+  BenchReport cur = base;
+  AuditOverheadResult a;
+  a.ratio = 1.02;
+  cur.audit_overhead = a;
+  const CompareResult cmp = compare_reports(base, cur, 0.25);
+  EXPECT_TRUE(cmp.audit_overhead_ok);
   EXPECT_TRUE(cmp.passed());
 }
 

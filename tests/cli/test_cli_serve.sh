@@ -108,6 +108,35 @@ fi
 check "classifier degradations reach responses" "sample degradation:" "$DIR/transient.log"
 check "transient run shuts down cleanly" "serve: clean shutdown" "$DIR/transient.log"
 
+# --- Silent corruption: corrupt:replica poisons a live replica; the ------
+# scrubber's CRC pass detects it and rebuilds the replica in place while
+# audits (every request) guarantee no client ever saw a wrong answer.
+if "$CLI" --mode serve --model "$DIR/m.hrff" --data "$DIR/d.hrfd" \
+       --backend gpu-sim --variant hybrid --sd 4 \
+       --inject-fault corrupt:replica --scrub-interval-ms 2 --audit-sample 1 \
+       --workers 2 --clients 4 --requests 25 --batch 128 > "$DIR/integrity.log" 2>&1; then
+  echo "ok: corrupted serve exits 0"
+else
+  echo "FAIL: corrupted serve exited nonzero"
+  FAILURES=$((FAILURES + 1))
+fi
+check "every request answered despite corruption" "100 ok" "$DIR/integrity.log"
+check "no request failed during repair" "0 failed" "$DIR/integrity.log"
+check "self-heal summary printed" "Self-heal summary" "$DIR/integrity.log"
+if grep -E '\| scrub corruptions +\| [1-9]' "$DIR/integrity.log" > /dev/null; then
+  echo "ok: scrubber caught the injected corruption"
+else
+  echo "FAIL: scrubber never flagged a corruption"
+  FAILURES=$((FAILURES + 1))
+fi
+if grep -E '\| replica repairs +\| [1-9]' "$DIR/integrity.log" > /dev/null; then
+  echo "ok: corrupted replica was rebuilt in place"
+else
+  echo "FAIL: no replica repair recorded"
+  FAILURES=$((FAILURES + 1))
+fi
+check "corrupted run still drains cleanly" "serve: clean shutdown" "$DIR/integrity.log"
+
 # --- Telemetry surface: traced serve + metrics export + schema check -----
 if "$CLI" --mode serve --model "$DIR/m.hrff" --data "$DIR/d.hrfd" \
        --backend gpu-sim --variant hybrid --sd 4 \

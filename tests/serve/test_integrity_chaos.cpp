@@ -1,0 +1,113 @@
+// Integrity chaos gate (docs/robustness.md, "Silent-corruption defense"):
+// 8 concurrent clients hammer a ForestServer while the corrupt:replica
+// site repeatedly poisons worker replicas and hang:worker wedges
+// dispatches past the watchdog timeout. The gate: every submission
+// resolves exactly once with the bit-exact oracle predictions (audits
+// sample every request here, so a corrupted replica can never leak a
+// wrong answer to a client), success is 100% — comfortably above the
+// 99% SLO — the scrubber/audit pipeline actually repaired replicas, the
+// watchdog actually replaced workers, and the drain abandons nothing.
+// Labeled "chaos" (ctest -L chaos; also run under TSan by tools/check.sh
+// --integrity-chaos) — wall-clock heavy, so not tier1.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "forest/random_forest_gen.hpp"
+#include "serve/server.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+
+namespace hrf::serve {
+namespace {
+
+TEST(IntegrityChaos, SelfHealsUnderCorruptionAndHangsWithoutWrongOrLostAnswers) {
+  FaultInjector::global().disarm_all();
+
+  RandomForestSpec spec;
+  spec.num_trees = 6;
+  spec.max_depth = 8;
+  spec.num_features = 9;
+  spec.seed = 78;
+  const Forest forest = make_random_forest(spec);
+  const Dataset queries = make_random_queries(8, 9, 22);
+  const std::vector<std::uint8_t> reference =
+      forest.classify_batch(queries.features(), queries.num_samples());
+
+  ClassifierOptions copt;
+  copt.backend = Backend::GpuSim;
+  copt.variant = Variant::Hybrid;
+  copt.layout.subtree_depth = 4;
+  copt.gpu.num_sms = 4;
+
+  ServerOptions sopt;
+  sopt.num_workers = 4;
+  sopt.queue_capacity = 16;
+  sopt.integrity.scrub_interval_seconds = 0.01;
+  sopt.integrity.audit_sample_every = 1;  // every answer oracle-checked
+  sopt.integrity.audit_mismatch_threshold = 2;
+  sopt.integrity.hang_timeout_seconds = 0.05;
+  sopt.integrity.inject_hang_seconds = 0.2;
+  ForestServer server(forest, copt, sopt);
+
+  // Poison replicas round-robin (consumed by the monitor poll) while
+  // hangs wedge dispatches; both storms overlap the client load.
+  FaultInjector::global().arm("corrupt:replica", 6);
+  FaultInjector::global().arm("hang:worker", 3);
+
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 30;
+  std::atomic<std::uint64_t> ok{0}, wrong{0}, failed{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < kPerClient; ++i) {
+        try {
+          const ServeResult res = server.submit(queries).get();
+          if (res.report.predictions == reference) {
+            ok.fetch_add(1);
+          } else {
+            wrong.fetch_add(1);
+          }
+        } catch (const Error&) {
+          failed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  // Audit authority: even mid-corruption, no client ever saw a wrong
+  // prediction; nothing failed, nothing was lost or duplicated.
+  constexpr std::uint64_t kTotal = std::uint64_t{kClients} * kPerClient;
+  EXPECT_EQ(wrong.load(), 0u);
+  EXPECT_EQ(failed.load(), 0u);
+  EXPECT_EQ(ok.load(), kTotal);
+  EXPECT_EQ(server.counters().value("requests.completed"), kTotal);
+  EXPECT_EQ(server.counters().value("requests.failed"), 0u);
+
+  // Both fault sites genuinely fired, and the defenses genuinely healed:
+  // corrupted replicas were detected (by CRC scrub or audit streak) and
+  // rebuilt; hung workers were rescued and replaced.
+  EXPECT_GT(FaultInjector::global().fired("corrupt:replica"), 0u);
+  EXPECT_GT(FaultInjector::global().fired("hang:worker"), 0u);
+  const SelfHealStats heal = server.self_heal();
+  EXPECT_GT(heal.scrub_passes, 0u);
+  EXPECT_GT(heal.scrub_repairs, 0u);
+  EXPECT_GT(heal.audit_sampled, 0u);
+  EXPECT_GT(heal.watchdog_worker_restarts, 0u);
+
+  const DrainReport drain = server.shutdown();
+  EXPECT_EQ(drain.abandoned, 0u);
+  EXPECT_TRUE(server.healthy());
+  FaultInjector::global().disarm_all();
+}
+
+}  // namespace
+}  // namespace hrf::serve

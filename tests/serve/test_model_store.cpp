@@ -200,17 +200,28 @@ TEST_F(ModelStoreTest, LoadDetectsDamageAfterOpen) {
   EXPECT_THROW(store.load(1), FormatError);
 }
 
-TEST_F(ModelStoreTest, CurrentIsReadOnlyEvenOverDamage) {
+TEST_F(ModelStoreTest, CurrentQuarantinesDamageDetectedAfterOpen) {
   ModelStore store = ModelStore::open(dir_);
   store.publish(forest_, CsrForest::build(forest_));
   store.publish(forest_, CsrForest::build(forest_));
   corrupt_file(dir_ + "/gen-000002/layout.hrfl");
 
-  // The polling path must fall back to the newest complete generation
-  // without quarantining anything — that is recover()'s job.
+  // The polling path re-verifies the pointed-at generation on every read:
+  // rot that lands after open() is quarantined on the spot (renamed
+  // aside, recorded in read_quarantined()) and the poll falls back to the
+  // newest complete generation instead of handing the damage to a reload
+  // that would re-validate, reject, and poll into the same rot forever.
   EXPECT_EQ(*store.current(), 1u);
-  EXPECT_TRUE(fs::exists(dir_ + "/gen-000002"));
-  EXPECT_FALSE(fs::exists(dir_ + "/gen-000002.quarantined"));
+  EXPECT_FALSE(fs::exists(dir_ + "/gen-000002"));
+  EXPECT_TRUE(fs::exists(dir_ + "/gen-000002.quarantined"));
+  ASSERT_EQ(store.read_quarantined().size(), 1u);
+  EXPECT_NE(store.read_quarantined()[0].reason.find("checksum mismatch"),
+            std::string::npos);
+
+  // The manifest was repointed at the survivor, so the next poll takes
+  // the fast path and nothing is quarantined twice.
+  EXPECT_EQ(*store.current(), 1u);
+  EXPECT_EQ(store.read_quarantined().size(), 1u);
 }
 
 TEST_F(ModelStoreTest, QuarantinedIdIsNeverReused) {

@@ -20,6 +20,12 @@
 #                   and shrinks it back, with zero client failures
 #   scale-wave-kill the same wave with a shard killed mid-scale-up;
 #                   failover + probes keep the victims inside the SLOs
+#   scrub-storm     corrupt:replica repeatedly poisons live replicas
+#                   across the fleet; CRC scrubbing + shadow audits
+#                   detect and rebuild them with zero wrong answers
+#   hung-worker     hang:worker wedges dispatches past the watchdog
+#                   timeout; every request is rescued and the hung
+#                   threads are replaced
 #
 # Every scenario runs even when an earlier one fails; each one's exit
 # code is reported individually and the harness exits nonzero if any
@@ -123,6 +129,26 @@ scenario_scale_wave_kill() {
   expect scale-wave-kill "shard 1: down" "killed shard not reported down"
 }
 
+# Scrub storm: gated on success (audits serve the oracle answer on any
+# divergence, so a wrong prediction is impossible), not the 2x p95 bound —
+# auditing every request reshapes the latency profile by design. The
+# fleet must actually detect and rebuild poisoned replicas.
+scenario_scrub_storm() {
+  run scrub-storm 0 --model "$DIR/m.hrff" \
+      --inject-fault corrupt:replica:6 \
+      --scrub-interval-ms 5 --audit-sample 1 &&
+  expect scrub-storm "replica_repairs=[1-9]" "no corrupted replica was ever repaired"
+}
+
+# Hung workers: same success-only gate (a rescue's floor is the watchdog
+# timeout, which dwarfs a sub-millisecond healthy p95). Every wedged
+# dispatch must be answered by the watchdog and the thread replaced.
+scenario_hung_worker() {
+  run hung-worker 0 --model "$DIR/m.hrff" \
+      --inject-fault hang:worker:3 --hang-timeout-ms 20 &&
+  expect hung-worker "worker_restarts=[1-9]" "no hung worker was ever replaced"
+}
+
 "$CLI" --mode gen --dataset susy --samples 2000 --out "$DIR/d.hrfd" > /dev/null
 "$CLI" --mode train --data "$DIR/d.hrfd" --trees 8 --depth 8 --out "$DIR/m.hrff" > /dev/null
 "$CLI" --mode publish --store "$DIR/store" --model "$DIR/m.hrff" \
@@ -143,7 +169,7 @@ echo "chaos: healthy p95 ${P95_MS} ms -> degraded-mode SLO ${SLO_P95} ms"
 # propagate the worst one.
 OVERALL=0
 for sc in kill freeze partition kill-mid-reload noisy-neighbor \
-          scale-wave scale-wave-kill; do
+          scale-wave scale-wave-kill scrub-storm hung-worker; do
   rc=0
   "scenario_${sc//-/_}" || rc=$?
   if [ "$rc" -eq 0 ]; then

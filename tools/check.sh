@@ -21,8 +21,15 @@
 # no lost/duplicated responses and balanced per-tenant QoS counters while
 # formed batches are wedged at dispatch (docs/serving.md).
 #
+# An integrity-chaos step runs the silent-corruption suites (CRC
+# cross-check property, scrubber/audit/watchdog units, corrupt:replica +
+# hang:worker storm) under ThreadSanitizer: corrupted replicas must be
+# detected and rebuilt and hung workers rescued with zero wrong, lost, or
+# duplicated answers (docs/robustness.md).
+#
 # Usage: tools/check.sh [--plain-only|--sanitize-only|--tsan-only|
-#                        --cluster-chaos|--qos-chaos|--batch-chaos]
+#                        --cluster-chaos|--qos-chaos|--batch-chaos|
+#                        --integrity-chaos]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -136,6 +143,18 @@ batch_chaos() {  # batch_chaos: the micro-batching gates under TSan
   echo "batch-chaos: no lost or duplicated responses under freeze:batcher"
 }
 
+integrity_chaos() {  # integrity_chaos: the silent-corruption gates under TSan
+  echo "=== configure build-tsan (integrity-chaos) ==="
+  cmake -B build-tsan -S . -DHRF_BUILD_BENCHES=OFF "-DHRF_SANITIZE=thread"
+  echo "=== build build-tsan (integrity-chaos) ==="
+  cmake --build build-tsan -j "$JOBS" --target test_integrity test_integrity_chaos
+  echo "=== test build-tsan (integrity-chaos: CRC cross-check, scrubber, audits, watchdog, storm) ==="
+  OMP_NUM_THREADS=1 TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-tsan --output-on-failure \
+          -R '(IntegrityCrc|IntegrityCorrupt|IntegrityServer|IntegrityChaos)'
+  echo "integrity-chaos: corruption detected and repaired, hung workers rescued, under TSan"
+}
+
 case "$MODE" in
   all|--plain-only)
     run_suite build
@@ -163,11 +182,11 @@ case "$MODE" in
     echo "=== configure build-tsan ==="
     cmake -B build-tsan -S . -DHRF_BUILD_BENCHES=OFF "-DHRF_SANITIZE=thread"
     echo "=== build build-tsan ==="
-    cmake --build build-tsan -j "$JOBS" --target test_server test_circuit_breaker test_fault test_metrics test_histogram test_model_store test_reload test_trace test_obs test_cluster test_qos test_autoscaler test_cluster_chaos test_batcher test_batch_chaos
+    cmake --build build-tsan -j "$JOBS" --target test_server test_circuit_breaker test_fault test_metrics test_histogram test_model_store test_reload test_trace test_obs test_cluster test_qos test_autoscaler test_cluster_chaos test_batcher test_batch_chaos test_integrity test_integrity_chaos
     echo "=== test build-tsan (concurrency suites) ==="
     OMP_NUM_THREADS=1 TSAN_OPTIONS="halt_on_error=1" \
       ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-            -R '(ForestServer|CircuitBreaker|FaultInjector|CounterRegistry|LatencyHistogram|ModelStore|ModelReload|Tracer|Span\.|Trace\.|RollupRegistry|BackendRollup|Cluster|TenantQuotas|AdaptiveLimiter|Autoscaler|BackendBatchGranularity|BatchOptions|BatchFormer|BatchedServer|BatchChaos)'
+            -R '(ForestServer|CircuitBreaker|FaultInjector|CounterRegistry|LatencyHistogram|ModelStore|ModelReload|Tracer|Span\.|Trace\.|RollupRegistry|BackendRollup|Cluster|TenantQuotas|AdaptiveLimiter|Autoscaler|BackendBatchGranularity|BatchOptions|BatchFormer|BatchedServer|BatchChaos|IntegrityCrc|IntegrityCorrupt|IntegrityServer|IntegrityChaos)'
     ;;&
   all|--qos-chaos)
     if [ "$MODE" = --qos-chaos ]; then
@@ -179,11 +198,16 @@ case "$MODE" in
       batch_chaos
     fi
     ;;&
-  all|--plain-only|--sanitize-only|--tsan-only|--cluster-chaos|--qos-chaos|--batch-chaos)
+  all|--integrity-chaos)
+    if [ "$MODE" = --integrity-chaos ]; then
+      integrity_chaos
+    fi
+    ;;&
+  all|--plain-only|--sanitize-only|--tsan-only|--cluster-chaos|--qos-chaos|--batch-chaos|--integrity-chaos)
     echo "check.sh: all requested suites passed"
     ;;
   *)
-    echo "usage: tools/check.sh [--plain-only|--sanitize-only|--tsan-only|--cluster-chaos|--qos-chaos|--batch-chaos]" >&2
+    echo "usage: tools/check.sh [--plain-only|--sanitize-only|--tsan-only|--cluster-chaos|--qos-chaos|--batch-chaos|--integrity-chaos]" >&2
     exit 2
     ;;
 esac

@@ -19,7 +19,10 @@
 // Robustness tooling (docs/robustness.md): `--inject-fault spec[,spec]`
 // arms the deterministic fault injector (e.g. resource:gpu, bitflip:layout)
 // and predict degrades along the fallback chain unless --no-fallback is
-// given; every degradation step is printed.
+// given; every degradation step is printed. At the serving layer,
+// --scrub-interval-ms / --audit-sample / --hang-timeout-ms turn on the
+// integrity monitor (replica CRC scrubbing, sampled CPU-oracle shadow
+// audits, worker watchdog); a self-heal summary prints on drain.
 //
 // Serving (docs/serving.md): `serve` stands up a ForestServer (worker
 // pool, bounded queue, deadlines, retry, circuit breaker) and drives it
@@ -330,6 +333,18 @@ int mode_bench(const CliArgs& args) {
                 report.trace_overhead->ratio);
   }
 
+  if (args.get_flag("audit-bench")) {
+    bench::AuditOverheadOptions aopt;
+    aopt.requests = static_cast<std::size_t>(args.get_int("audit-requests", 200));
+    aopt.sample_every = static_cast<std::size_t>(args.get_int("audit-sample-every", 32));
+    aopt.query_seed = opt.query_seed;
+    report.audit_overhead = bench::measure_audit_overhead(aopt);
+    std::printf("audit overhead: serve p95 %.0f ns (audits off) -> %.0f ns (every %zuth "
+                "request), ratio %.3f\n",
+                report.audit_overhead->p95_off_ns, report.audit_overhead->p95_on_ns,
+                report.audit_overhead->sample_every, report.audit_overhead->ratio);
+  }
+
   if (args.get_flag("cluster-bench")) {
     bench::ClusterBenchOptions copt;
     copt.shards = static_cast<std::size_t>(args.get_int("shards", 4));
@@ -400,6 +415,10 @@ int mode_bench(const CliArgs& args) {
   if (!cmp.trace_overhead_ok) {
     std::printf("TRACE OVERHEAD: full sampling costs %.1f%% serve p95 (> %.0f%% allowed)\n",
                 (cmp.trace_overhead_ratio - 1.0) * 100.0, trace_tolerance * 100.0);
+  }
+  if (!cmp.audit_overhead_ok) {
+    std::printf("AUDIT OVERHEAD: sampled audits cost %.1f%% serve p95 (> %.0f%% allowed)\n",
+                (cmp.audit_overhead_ratio - 1.0) * 100.0, trace_tolerance * 100.0);
   }
   for (const bench::Regression& r : cmp.regressions) {
     std::printf("REGRESSION %s: p95 %.0f -> %.0f ns/query (%.2fx > %.2fx allowed)\n",
@@ -503,6 +522,12 @@ int mode_serve(const CliArgs& args) {
   // waiting at most --batch-wait-us for batchmates.
   sopt.batching.max_requests = static_cast<std::size_t>(args.get_int("batch-max", 1));
   sopt.batching.max_wait_seconds = args.get_double("batch-wait-us", 500.0) / 1e6;
+  // Integrity monitor (docs/robustness.md): background replica scrubbing,
+  // sampled shadow audits against the CPU oracle, and the worker watchdog.
+  sopt.integrity.scrub_interval_seconds = args.get_double("scrub-interval-ms", 0.0) / 1e3;
+  sopt.integrity.audit_sample_every =
+      static_cast<std::size_t>(args.get_int("audit-sample", 0));
+  sopt.integrity.hang_timeout_seconds = args.get_double("hang-timeout-ms", 0.0) / 1e3;
   const std::vector<std::string> tenants = parse_tenant_quotas(args, sopt);
 
   // Model source: a direct model file, or a versioned store (the
@@ -538,6 +563,9 @@ int mode_serve(const CliArgs& args) {
     // bit-identical across the hot swap and one reference validates all.
     const serve::LoadedModel m = store->load(*cur);
     reference = m.forest.classify_batch(queries.features(), queries.num_samples());
+    // Repairs of a corrupted replica re-load the generation from disk
+    // when the store still serves it (blob CRCs re-verified on read).
+    sopt.integrity.rebuild_store_dir = store_dir;
     server.emplace(*store, opt, sopt);
     std::printf("serving generation %llu from store %s\n",
                 static_cast<unsigned long long>(server->generation()), store_dir.c_str());
@@ -749,6 +777,19 @@ int mode_serve(const CliArgs& args) {
   std::printf("breaker: state=%s trips=%llu probes=%llu\n", to_string(stats.breaker),
               static_cast<unsigned long long>(stats.breaker_trips),
               static_cast<unsigned long long>(stats.breaker_probes));
+  if (sopt.integrity.scrub_interval_seconds > 0.0 || sopt.integrity.audit_sample_every > 0 ||
+      sopt.integrity.hang_timeout_seconds > 0.0) {
+    const serve::SelfHealStats heal = server->self_heal();
+    Table ht({"integrity", "count"});
+    ht.row().cell("scrub passes").cell(heal.scrub_passes);
+    ht.row().cell("scrub corruptions").cell(heal.scrub_corruptions);
+    ht.row().cell("replica repairs").cell(heal.scrub_repairs);
+    ht.row().cell("audits sampled").cell(heal.audit_sampled);
+    ht.row().cell("audit mismatches").cell(heal.audit_mismatches);
+    ht.row().cell("missed heartbeats").cell(heal.watchdog_missed_heartbeats);
+    ht.row().cell("worker restarts").cell(heal.watchdog_worker_restarts);
+    print_table(std::cout, "Self-heal summary", ht);
+  }
   if (store) {
     std::printf("reloads: promoted=%llu rejected=%llu rolled_back=%llu (serving gen %llu)\n",
                 static_cast<unsigned long long>(stats.reloads_promoted),
@@ -794,6 +835,13 @@ int mode_cluster(const CliArgs& args) {
   // queue; the router is oblivious (it already spreads load across shards).
   sopt.batching.max_requests = static_cast<std::size_t>(args.get_int("batch-max", 1));
   sopt.batching.max_wait_seconds = args.get_double("batch-wait-us", 500.0) / 1e6;
+  // Per-shard integrity monitor (docs/robustness.md): each shard scrubs,
+  // audits, and watchdogs its own replicas; the router just reports the
+  // per-shard self-heal outcomes.
+  sopt.integrity.scrub_interval_seconds = args.get_double("scrub-interval-ms", 0.0) / 1e3;
+  sopt.integrity.audit_sample_every =
+      static_cast<std::size_t>(args.get_int("audit-sample", 0));
+  sopt.integrity.hang_timeout_seconds = args.get_double("hang-timeout-ms", 0.0) / 1e3;
 
   // Multi-tenant QoS (docs/cluster.md): --tenants carves every shard's
   // queue into weighted reserved shares; --surge marks one tenant as the
@@ -870,6 +918,7 @@ int mode_cluster(const CliArgs& args) {
     }
     const serve::LoadedModel m = store->load(*cur);
     reference = m.forest.classify_batch(queries.features(), queries.num_samples());
+    sopt.integrity.rebuild_store_dir = store_dir;
     router.emplace(*store, opt, sopt, clopt);
   } else {
     Forest forest = Forest::load(args.get("model", "model.hrff"));
@@ -1039,12 +1088,18 @@ int mode_cluster(const CliArgs& args) {
   router->shutdown();
 
   std::printf("latency percentiles (per stage):\n%s", router->latency().to_markdown().c_str());
+  std::uint64_t total_repairs = 0, total_restarts = 0;
   for (const cluster::ShardStatus& s : stats.shard_status) {
-    std::printf("shard %zu: %s%s breaker=%s gen=%llu routed=%llu failures=%llu\n", s.index,
-                s.alive ? "up" : "down", s.partitioned ? " (partitioned)" : "",
+    total_repairs += s.repairs;
+    total_restarts += s.worker_restarts;
+    std::printf("shard %zu: %s%s breaker=%s gen=%llu routed=%llu failures=%llu "
+                "repairs=%llu restarts=%llu\n",
+                s.index, s.alive ? "up" : "down", s.partitioned ? " (partitioned)" : "",
                 serve::to_string(s.breaker), static_cast<unsigned long long>(s.generation),
                 static_cast<unsigned long long>(s.routed),
-                static_cast<unsigned long long>(s.failures));
+                static_cast<unsigned long long>(s.failures),
+                static_cast<unsigned long long>(s.repairs),
+                static_cast<unsigned long long>(s.worker_restarts));
   }
   if (!tenants.empty()) {
     Table tt({"tenant", "ok", "quota-shed", "deadline", "failed", "success"});
@@ -1076,6 +1131,11 @@ int mode_cluster(const CliArgs& args) {
               static_cast<unsigned long long>(stats.limited),
               static_cast<unsigned long long>(stats.scale_ups),
               static_cast<unsigned long long>(stats.scale_downs));
+  if (total_repairs > 0 || total_restarts > 0) {
+    std::printf("cluster self-heal: replica_repairs=%llu worker_restarts=%llu\n",
+                static_cast<unsigned long long>(total_repairs),
+                static_cast<unsigned long long>(total_restarts));
+  }
 
   const double slo_success = args.get_double("slo-success", 0.99);
   const double slo_p95_ms = args.get_double("slo-p95-ms", 0.0);
@@ -1230,6 +1290,10 @@ int main(int argc, char** argv) {
       .allow("breaker-threshold", "serve: consecutive failures to trip the breaker")
       .allow("breaker-open-ms", "serve: breaker cooldown before half-open")
       .allow("drain-s", "serve: graceful shutdown drain deadline")
+      .allow("scrub-interval-ms", "serve/cluster: replica CRC scrub cadence (0 = off)")
+      .allow("audit-sample", "serve/cluster: shadow-audit every Nth request on the CPU "
+                             "oracle (0 = off)")
+      .allow("hang-timeout-ms", "serve/cluster: worker watchdog hang threshold (0 = off)")
       .allow("trace-sample", "serve: fraction of requests to trace (0..1, default 0)")
       .allow("trace-top", "serve/trace: slowest trace trees to print after drain")
       .allow("chunk", "trace: queries per cancellable execution chunk")
@@ -1267,9 +1331,9 @@ int main(int argc, char** argv) {
       .allow("autoscale-up-p95-ms", "cluster: route p95 that grows the fleet (default 5)")
       .allow("autoscale-down-p95-ms", "cluster: route p95 floor that shrinks it (default 1)")
       .allow("inject-fault", "fault spec(s): resource:{gpu|gpu-smem|fpga|fpga-bram}[:n], "
-                             "bitflip:layout, corrupt:node, "
+                             "bitflip:layout, corrupt:{node|replica}, "
                              "crash:{publish|manifest|route}, freeze:{shard|batcher}, "
-                             "surge:tenant, stall:autoscaler")
+                             "hang:worker, surge:tenant, stall:autoscaler")
       .allow("inject-seed", "fault injector RNG seed")
       .allow("variants", "bench: comma-separated variant sweep list")
       .allow("backends", "bench: comma-separated backend sweep list")
@@ -1281,6 +1345,10 @@ int main(int argc, char** argv) {
       .allow("tolerance", "bench: allowed fractional p95 growth (default 0.25)")
       .allow("trace-overhead", "bench: measure serve p95 at trace sampling 0.0 vs 1.0")
       .allow("trace-requests", "bench: requests per trace-overhead run (default 200)")
+      .allow("audit-bench", "bench: measure serve p95 with shadow audits off vs sampled")
+      .allow("audit-requests", "bench: requests per audit-overhead run (default 200)")
+      .allow("audit-sample-every", "bench: audit sampling rate for --audit-bench "
+                                   "(default 32)")
       .allow("trace-tolerance", "bench: allowed fractional trace-overhead p95 cost "
                                 "(default 0.05)")
       .allow("cluster-bench", "bench: measure routed p95 + qps over a healthy shard fleet")
