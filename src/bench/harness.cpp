@@ -10,11 +10,13 @@
 #include <ctime>
 #include <fstream>
 #include <limits>
+#include <optional>
 #include <sstream>
 #include <thread>
 
 #include "cluster/cluster.hpp"
 #include "data/synthetic.hpp"
+#include "obs/monitor.hpp"
 #include "serve/server.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
@@ -281,6 +283,72 @@ AuditOverheadResult measure_audit_overhead(const AuditOverheadOptions& options) 
   for (int rep = 0; rep < 5; ++rep) {
     result.p95_off_ns = std::min(result.p95_off_ns, serve_p95_ns(0));
     result.p95_on_ns = std::min(result.p95_on_ns, serve_p95_ns(options.sample_every));
+  }
+  result.ratio = result.p95_off_ns > 0.0 ? result.p95_on_ns / result.p95_off_ns : 0.0;
+  return result;
+}
+
+ObsOverheadResult measure_obs_overhead(const ObsOverheadOptions& options) {
+  require(options.requests >= 1, "obs overhead needs at least one request");
+  require(options.batch >= 1, "obs overhead batch must be >= 1");
+  require(options.num_workers >= 1, "obs overhead needs at least one worker");
+  require(options.interval_seconds > 0.0, "obs overhead interval must be > 0");
+
+  const Forest forest = make_random_forest(options.forest);
+  const Dataset queries =
+      make_random_queries(options.batch, options.forest.num_features, options.query_seed);
+
+  // Same measurement shape as the tracing/audit cases: identical
+  // execution path both runs, wall clock at the submit().get() boundary.
+  // The "on" run wires a FlightRecorder into the server and runs a live
+  // Monitor thread (windowed sampling + armed SLO engine, no incident
+  // dir) — the full production observability configuration.
+  const auto serve_p95_ns = [&](bool armed) {
+    ClassifierOptions copt;
+    copt.variant = Variant::Independent;
+    copt.backend = Backend::CpuNative;
+    serve::ServerOptions sopt;
+    sopt.num_workers = options.num_workers;
+    sopt.queue_capacity = std::max<std::size_t>(8, options.num_workers * 2);
+    sopt.default_deadline_seconds = 30.0;
+    obs::FlightRecorder recorder(512);
+    if (armed) sopt.flight_recorder = &recorder;
+    serve::ForestServer server(forest, copt, sopt);
+    std::optional<obs::Monitor> monitor;
+    if (armed) {
+      obs::MonitorOptions mopt;
+      mopt.interval_seconds = options.interval_seconds;
+      mopt.slo_enabled = true;
+      monitor.emplace(std::move(mopt), [&server] { return server.metrics_snapshot(); },
+                      &recorder);
+    }
+    for (std::size_t r = 0; r < options.requests / 4; ++r) {
+      (void)server.submit(queries).get();  // warmup: page-in, pool spin-up
+    }
+    std::vector<double> samples;
+    samples.reserve(options.requests);
+    for (std::size_t r = 0; r < options.requests; ++r) {
+      WallTimer t;
+      (void)server.submit(queries).get();
+      samples.push_back(t.seconds() * 1e9);
+    }
+    if (monitor) monitor->stop();
+    server.shutdown();
+    std::sort(samples.begin(), samples.end());
+    return samples[static_cast<std::size_t>(0.95 * static_cast<double>(samples.size() - 1))];
+  };
+
+  ObsOverheadResult result;
+  result.requests = options.requests;
+  result.batch = options.batch;
+  result.interval_seconds = options.interval_seconds;
+  // Interleaved best-of-5 min, for the same upward-spike-only reason as
+  // the tracing case.
+  result.p95_off_ns = std::numeric_limits<double>::infinity();
+  result.p95_on_ns = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 5; ++rep) {
+    result.p95_off_ns = std::min(result.p95_off_ns, serve_p95_ns(false));
+    result.p95_on_ns = std::min(result.p95_on_ns, serve_p95_ns(true));
   }
   result.ratio = result.p95_off_ns > 0.0 ? result.p95_on_ns / result.p95_off_ns : 0.0;
   return result;
@@ -586,6 +654,17 @@ json::Value to_json(const BenchReport& report) {
     root["audit_overhead"] = std::move(a);
   }
 
+  if (report.obs_overhead) {
+    json::Value o = json::Value::object();
+    o["requests"] = report.obs_overhead->requests;
+    o["batch"] = report.obs_overhead->batch;
+    o["interval_seconds"] = report.obs_overhead->interval_seconds;
+    o["p95_off_ns"] = report.obs_overhead->p95_off_ns;
+    o["p95_on_ns"] = report.obs_overhead->p95_on_ns;
+    o["ratio"] = report.obs_overhead->ratio;
+    root["obs_overhead"] = std::move(o);
+  }
+
   if (report.cluster) {
     json::Value c = json::Value::object();
     c["shards"] = report.cluster->shards;
@@ -690,6 +769,17 @@ BenchReport report_from_json(const json::Value& v) {
     report.audit_overhead = res;
   }
 
+  if (const json::Value* o = v.find("obs_overhead")) {
+    ObsOverheadResult res;
+    res.requests = static_cast<std::size_t>(o->get("requests").as_number());
+    res.batch = static_cast<std::size_t>(o->get("batch").as_number());
+    res.interval_seconds = o->get("interval_seconds").as_number();
+    res.p95_off_ns = o->get("p95_off_ns").as_number();
+    res.p95_on_ns = o->get("p95_on_ns").as_number();
+    res.ratio = o->get("ratio").as_number();
+    report.obs_overhead = res;
+  }
+
   if (const json::Value* c = v.find("cluster")) {
     ClusterBenchResult res;
     res.shards = static_cast<std::size_t>(c->get("shards").as_number());
@@ -755,6 +845,10 @@ CompareResult compare_reports(const BenchReport& baseline, const BenchReport& cu
   if (current.audit_overhead) {
     result.audit_overhead_ratio = current.audit_overhead->ratio;
     result.audit_overhead_ok = result.audit_overhead_ratio <= 1.0 + trace_tolerance;
+  }
+  if (current.obs_overhead) {
+    result.obs_overhead_ratio = current.obs_overhead->ratio;
+    result.obs_overhead_ok = result.obs_overhead_ratio <= 1.0 + trace_tolerance;
   }
   if (baseline.cluster) {
     if (!current.cluster) {

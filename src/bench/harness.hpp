@@ -142,6 +142,36 @@ struct AuditOverheadResult {
 
 AuditOverheadResult measure_audit_overhead(const AuditOverheadOptions& options);
 
+/// Observability-overhead micro-benchmark (docs/observability.md): the
+/// same serving workload is driven twice through a ForestServer — bare,
+/// and with the full third pillar armed (flight recorder wired into the
+/// server, a Monitor thread sampling windows on `interval_seconds`
+/// cadence, SLO burn-rate engine evaluating every window) — and the
+/// end-to-end p95s are compared. The monitor runs on its own thread, but
+/// each tick snapshots the same counter/histogram state the workers
+/// write, so the ratio measures the contention the pillar adds to the
+/// serving path.
+struct ObsOverheadOptions {
+  std::size_t requests = 200;
+  std::size_t batch = 1024;
+  std::size_t num_workers = 2;
+  /// Monitor cadence for the "on" run: the documented production default.
+  double interval_seconds = 0.25;
+  RandomForestSpec forest{.num_trees = 20, .max_depth = 10, .num_features = 16};
+  std::uint64_t query_seed = 42;
+};
+
+struct ObsOverheadResult {
+  std::size_t requests = 0;
+  std::size_t batch = 0;
+  double interval_seconds = 0.0;
+  double p95_off_ns = 0.0;  // end-to-end p95, monitor off
+  double p95_on_ns = 0.0;   // end-to-end p95, recorder + monitor + SLO engine on
+  double ratio = 0.0;       // on / off; <= 1 + tolerance to pass the gate
+};
+
+ObsOverheadResult measure_obs_overhead(const ObsOverheadOptions& options);
+
 /// Cluster serving micro-benchmark (docs/cluster.md): a ClusterRouter
 /// fronting `shards` healthy ForestServer shards absorbs `requests`
 /// routed requests from `clients` concurrent client threads, and the
@@ -261,6 +291,9 @@ struct BenchReport {
   /// Present when the sweep ran with the shadow-audit overhead case;
   /// gated like trace_overhead (ratio vs 1 + trace_tolerance).
   std::optional<AuditOverheadResult> audit_overhead;
+  /// Present when the sweep ran with the observability-overhead case;
+  /// gated like trace_overhead (ratio vs 1 + trace_tolerance).
+  std::optional<ObsOverheadResult> obs_overhead;
   /// Present when the sweep ran with the cluster serving case; compared
   /// like a regular case under the key "cluster".
   std::optional<ClusterBenchResult> cluster;
@@ -303,10 +336,15 @@ struct CompareResult {
   /// gate, applied to the current report's audit_overhead ratio.
   bool audit_overhead_ok = true;
   double audit_overhead_ratio = 0.0;  // 0 when the case is absent
+  /// Observability-overhead gate: same shape and tolerance again, applied
+  /// to the current report's obs_overhead ratio (monitor + recorder +
+  /// SLO engine must cost <= trace_tolerance of serve p95).
+  bool obs_overhead_ok = true;
+  double obs_overhead_ratio = 0.0;  // 0 when the case is absent
 
   bool passed() const {
     return regressions.empty() && missing_cases.empty() && trace_overhead_ok &&
-           audit_overhead_ok;
+           audit_overhead_ok && obs_overhead_ok;
   }
 };
 

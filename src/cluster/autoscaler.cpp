@@ -20,23 +20,6 @@ double steady_now_seconds() {
       .count();
 }
 
-/// Element-wise difference of two cumulative snapshots: the distribution
-/// of observations recorded between `prev` and `cur`. max_ns carries the
-/// cumulative maximum (a per-interval max is not recoverable), which
-/// only affects the p100 clamp — interval p95 is what scaling reads.
-HistogramSnapshot interval_between(const HistogramSnapshot& prev, const HistogramSnapshot& cur) {
-  HistogramSnapshot out;
-  out.counts.assign(cur.counts.size(), 0);
-  for (std::size_t i = 0; i < cur.counts.size(); ++i) {
-    const std::uint64_t before = i < prev.counts.size() ? prev.counts[i] : 0;
-    out.counts[i] = cur.counts[i] >= before ? cur.counts[i] - before : 0;
-  }
-  out.total = cur.total >= prev.total ? cur.total - prev.total : 0;
-  out.sum_ns = cur.sum_ns >= prev.sum_ns ? cur.sum_ns - prev.sum_ns : 0;
-  out.max_ns = cur.max_ns;
-  return out;
-}
-
 }  // namespace
 
 ClusterAutoscaler::ClusterAutoscaler(ClusterRouter& router, AutoscalerOptions options,
@@ -88,7 +71,7 @@ void ClusterAutoscaler::loop() {
 AutoscalerSample ClusterAutoscaler::sample_from_router() {
   AutoscalerSample s;
   const HistogramSnapshot cur = router_.route_latency();
-  const HistogramSnapshot interval = interval_between(prev_route_, cur);
+  const HistogramSnapshot interval = cur.delta_since(prev_route_);
   prev_route_ = cur;
   if (!interval.empty()) s.route_p95_seconds = interval.percentile_ns(95) / 1e9;
   const ClusterStats stats = router_.stats();
@@ -113,6 +96,10 @@ void ClusterAutoscaler::evaluate() {
       ++stalled_;
     }
     router_.add_counter("autoscaler.stalled");
+    if (obs::FlightRecorder* rec = router_.flight_recorder()) {
+      rec->record("autoscaler", "evaluation_stalled", "",
+                  std::to_string(options_.inject_stall_seconds) + "s stall consumed");
+    }
     std::this_thread::sleep_for(to_duration(options_.inject_stall_seconds));
   }
 
@@ -152,6 +139,11 @@ void ClusterAutoscaler::evaluate() {
     if (router_.active_shards() < options_.max_shards && router_.scale_up()) {
       ++scale_ups_;
       router_.add_counter("autoscaler.scale_ups");
+      if (obs::FlightRecorder* rec = router_.flight_recorder()) {
+        rec->record("autoscaler", "scale_up", "",
+                    "p95=" + std::to_string(s.route_p95_seconds) +
+                        "s queue=" + std::to_string(s.avg_queue_depth));
+      }
       cooldown_until_ = now + options_.cooldown_seconds;
     }
   } else if (down_streak_ >= options_.hysteresis_evaluations) {
@@ -159,6 +151,11 @@ void ClusterAutoscaler::evaluate() {
     if (router_.active_shards() > options_.min_shards && router_.scale_down().has_value()) {
       ++scale_downs_;
       router_.add_counter("autoscaler.scale_downs");
+      if (obs::FlightRecorder* rec = router_.flight_recorder()) {
+        rec->record("autoscaler", "scale_down", "",
+                    "p95=" + std::to_string(s.route_p95_seconds) +
+                        "s queue=" + std::to_string(s.avg_queue_depth));
+      }
       cooldown_until_ = now + options_.cooldown_seconds;
     }
   }

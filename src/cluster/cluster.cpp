@@ -23,6 +23,25 @@ std::chrono::steady_clock::duration to_duration(double seconds) {
       std::chrono::duration<double>(std::max(0.0, seconds)));
 }
 
+/// Router-side shard breaker options with a transition -> flight
+/// recorder bridge attached (scope "shard:N", names router_breaker_*,
+/// distinct from the in-server breaker_* events).
+serve::CircuitBreakerOptions wire_router_breaker(serve::CircuitBreakerOptions breaker,
+                                                 obs::FlightRecorder* recorder,
+                                                 std::size_t shard) {
+  if (recorder != nullptr && !breaker.on_transition) {
+    breaker.on_transition = [recorder, scope = "shard:" + std::to_string(shard)](
+                                serve::CircuitState from, serve::CircuitState to) {
+      const char* name = to == serve::CircuitState::Open      ? "router_breaker_open"
+                         : to == serve::CircuitState::HalfOpen ? "router_breaker_probe"
+                                                                : "router_breaker_closed";
+      recorder->record("breaker", name, scope,
+                       std::string(serve::to_string(from)) + " -> " + serve::to_string(to));
+    };
+  }
+  return breaker;
+}
+
 /// The probe request: one all-zeros row. Predictions are irrelevant —
 /// the probe only proves the dispatch path and a worker are alive.
 Dataset make_probe_queries(std::size_t num_features, int num_classes) {
@@ -158,7 +177,8 @@ void ClusterRouter::init_shards(const ClassifierOptions& /*classifier_options*/,
   shards_.reserve(options_.max_shards);
   for (std::size_t s = 0; s < options_.max_shards; ++s) {
     auto shard = std::make_unique<Shard>();
-    shard->breaker = std::make_unique<serve::CircuitBreaker>(options_.shard_breaker);
+    shard->breaker = std::make_unique<serve::CircuitBreaker>(
+        wire_router_breaker(options_.shard_breaker, options_.flight_recorder, s));
     if (s < options_.num_shards) {
       shard->server = make_server_(slot_options(s));
       shard->active.store(true, std::memory_order_release);
@@ -174,7 +194,18 @@ serve::ServerOptions ClusterRouter::slot_options(std::size_t s) const {
   serve::ServerOptions per_shard = shard_options_;
   // Distinct jitter streams per slot, same reproducibility per seed.
   per_shard.seed = shard_options_.seed + 7919 * s;
+  // Every shard server shares the fleet's flight recorder; its scope
+  // names the slot so bundle readers can tell shards apart.
+  per_shard.flight_recorder = options_.flight_recorder;
+  per_shard.flight_scope = "shard:" + std::to_string(s);
   return per_shard;
+}
+
+void ClusterRouter::flight_event(const char* category, const char* name, std::string scope,
+                                 std::string detail) const {
+  if (options_.flight_recorder != nullptr) {
+    options_.flight_recorder->record(category, name, std::move(scope), std::move(detail));
+  }
 }
 
 std::shared_ptr<serve::ForestServer> ClusterRouter::server_of(std::size_t s) const {
@@ -230,13 +261,15 @@ bool ClusterRouter::scale_up() {
       std::lock_guard<std::mutex> slot_lock(sh.mu);
       sh.server = std::move(server);
     }
-    sh.breaker = std::make_unique<serve::CircuitBreaker>(options_.shard_breaker);
+    sh.breaker = std::make_unique<serve::CircuitBreaker>(
+        wire_router_breaker(options_.shard_breaker, options_.flight_recorder, s));
     sh.alive.store(true, std::memory_order_release);
     sh.partitioned.store(false, std::memory_order_release);
     // Publish last: candidate orders only list the slot once the server
     // and breaker above are in place.
     sh.active.store(true, std::memory_order_release);
     counters_.add("cluster.scale_ups");
+    flight_event("cluster", "scale_up", "shard:" + std::to_string(s));
     return true;
   }
   return false;  // every slot already active
@@ -255,6 +288,7 @@ std::optional<serve::DrainReport> ClusterRouter::scale_down() {
   sh.active.store(false, std::memory_order_release);
   const std::shared_ptr<serve::ForestServer> server = server_of(ids.back());
   counters_.add("cluster.scale_downs");
+  flight_event("cluster", "scale_down", "shard:" + std::to_string(ids.back()));
   return server->shutdown();
 }
 
@@ -300,7 +334,8 @@ std::vector<std::size_t> ClusterRouter::candidate_order(std::uint64_t key) const
 }
 
 std::future<serve::ServeResult> ClusterRouter::dispatch(std::size_t shard, const Dataset& queries,
-                                                        const QueryOptions& qopt, bool is_probe) {
+                                                        const QueryOptions& qopt, bool is_probe,
+                                                        std::uint64_t router_request) {
   Shard& sh = *shards_[shard];
   if (!is_probe) fault_point("crash:route");
   if (sh.partitioned.load(std::memory_order_acquire)) {
@@ -316,7 +351,7 @@ std::future<serve::ServeResult> ClusterRouter::dispatch(std::size_t shard, const
   const double deadline = qopt.deadline_seconds > 0.0
                               ? qopt.deadline_seconds
                               : server->options().default_deadline_seconds;
-  return server->submit(queries, deadline, qopt.tenant);
+  return server->submit(queries, deadline, qopt.tenant, router_request);
 }
 
 void ClusterRouter::shard_failed(std::size_t shard) {
@@ -358,6 +393,7 @@ ClusterResult ClusterRouter::query_routed(const Dataset& queries, const QueryOpt
   const std::vector<std::size_t> order = candidate_order(qopt.key);
 
   ClusterResult out;
+  out.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
   std::size_t next = 0;
   int started = 0;
   int quota_sheds = 0;
@@ -374,7 +410,7 @@ ClusterResult ClusterRouter::query_routed(const Dataset& queries, const QueryOpt
       if (!routable(s)) continue;
       ++started;
       try {
-        Attempt a{s, dispatch(s, queries, qopt, /*is_probe=*/false)};
+        Attempt a{s, dispatch(s, queries, qopt, /*is_probe=*/false, out.request_id)};
         shards_[s]->routed.fetch_add(1, std::memory_order_relaxed);
         return a;
       } catch (const QuotaError&) {
@@ -393,6 +429,8 @@ ClusterResult ClusterRouter::query_routed(const Dataset& queries, const QueryOpt
         shard_failed(s);
         ++out.failovers;
         counters_.add("cluster.failovers");
+        flight_event("cluster", "failover", "shard:" + std::to_string(s),
+                     "dispatch refused");
       }
     }
     return std::nullopt;
@@ -421,6 +459,7 @@ ClusterResult ClusterRouter::query_routed(const Dataset& queries, const QueryOpt
       if (hedge) {
         out.hedged = true;
         counters_.add("cluster.hedged");
+        flight_event("cluster", "hedge_started", "shard:" + std::to_string(hedge->shard));
       }
     }
 
@@ -462,12 +501,15 @@ ClusterResult ClusterRouter::query_routed(const Dataset& queries, const QueryOpt
         shard_failed(att.shard);
         last_error = std::current_exception();
       }
+      const std::size_t failed_shard = att.shard;
       slot->reset();
       if (!is_hedge) {
         primary = next_attempt();
         if (primary) {
           ++out.failovers;
           counters_.add("cluster.failovers");
+          flight_event("cluster", "failover", "shard:" + std::to_string(failed_shard),
+                       "attempt failed -> shard:" + std::to_string(primary->shard));
           hedge_timer.reset();  // the hedge clock restarts with the attempt
         }
       }
@@ -501,6 +543,7 @@ RollingReloadReport ClusterRouter::rolling_reload(const serve::ModelStore& store
     rep.reason = "shard " + std::to_string(s) + ": " +
                  (bad.reason.empty() ? std::string(serve::to_string(bad.outcome)) : bad.reason);
     counters_.add("cluster.reload_waves_halted");
+    flight_event("reload", "wave_halted", "shard:" + std::to_string(s), rep.reason);
     if (opts.rollback_wave) {
       // Most recently promoted shard reverts first, so at every instant
       // the fleet is a contiguous mix of exactly two generations.
@@ -515,6 +558,7 @@ RollingReloadReport ClusterRouter::rolling_reload(const serve::ModelStore& store
         serve::ReloadReport undo =
             server_of(done.shard)->reload(store, done.report.from_generation, rollback);
         counters_.add("cluster.shard_rollbacks");
+        flight_event("reload", "shard_rolled_back", "shard:" + std::to_string(done.shard));
         rep.rollbacks.push_back({done.shard, std::move(undo)});
       }
     }
@@ -532,6 +576,7 @@ void ClusterRouter::kill_shard(std::size_t shard) {
   const std::shared_ptr<serve::ForestServer> server = server_of(shard);
   require(server != nullptr, "kill_shard: slot has no server");
   shards_[shard]->alive.store(false, std::memory_order_release);
+  flight_event("chaos", "shard_killed", "shard:" + std::to_string(shard));
   // Zero drain budget: queued requests fail with ShutdownError, as close
   // to kill -9 as an in-process shard gets.
   server->shutdown(0.0);

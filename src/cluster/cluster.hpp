@@ -138,6 +138,11 @@ struct ClusterOptions {
   bool start_probes = true;
   /// Salt folded into rendezvous hashing (fleet identity).
   std::uint64_t hash_salt = 0x9e3779b97f4a7c15ULL;
+  /// Incident flight recorder (obs/flight_recorder.hpp): handed down to
+  /// every shard server (scope "shard:N") and fed router-level events —
+  /// router breaker transitions, failovers, hedges, scale ops, reload
+  /// waves, kills. Not owned; must outlive the router. Null disables.
+  obs::FlightRecorder* flight_recorder = nullptr;
 };
 
 /// Per-request routing inputs.
@@ -156,6 +161,10 @@ struct ClusterResult {
   int failovers = 0;       // attempts rerouted past a failed shard
   bool hedged = false;     // a hedge attempt was launched
   bool hedge_won = false;  // ... and it answered first
+  /// Router-assigned id for this query, stamped as the "router_request"
+  /// attribute on every shard-level root span the query touched — the
+  /// correlation key for failover/hedge traces across shard tracers.
+  std::uint64_t request_id = 0;
 };
 
 struct ShardStatus {
@@ -262,6 +271,9 @@ class ClusterRouter {
   /// Autoscaler hook: folds a control-loop counter (autoscaler.*) into
   /// the router registry so it exports with the cluster families.
   void add_counter(const std::string& name, std::uint64_t delta = 1);
+  /// The flight recorder the fleet shares (options().flight_recorder);
+  /// null when none was configured. The autoscaler records through this.
+  obs::FlightRecorder* flight_recorder() const { return options_.flight_recorder; }
   /// Adaptive admission observability (0 / 0 when the limiter is off).
   std::size_t concurrency_limit() const;
   std::size_t limiter_in_flight() const;
@@ -347,10 +359,14 @@ class ClusterRouter {
   /// flag for client dispatches only (probes must not spend chaos
   /// charges armed for clients — fired counts stay deterministic).
   std::future<serve::ServeResult> dispatch(std::size_t shard, const Dataset& queries,
-                                           const QueryOptions& qopt, bool is_probe);
+                                           const QueryOptions& qopt, bool is_probe,
+                                           std::uint64_t router_request = 0);
   /// query() minus the admission limiter (which wraps it).
   ClusterResult query_routed(const Dataset& queries, const QueryOptions& qopt);
   void shard_failed(std::size_t shard);
+  /// Router-level event into options_.flight_recorder (no-op when null).
+  void flight_event(const char* category, const char* name, std::string scope,
+                    std::string detail = "") const;
   void probe_loop();
   void probe_shard(std::size_t shard);
   double effective_hedge_delay() const;
@@ -363,6 +379,9 @@ class ClusterRouter {
   CounterRegistry counters_;
   LatencyHistogram hist_route_;
   Dataset probe_queries_;
+  /// Router-assigned query ids ("router_request" span attribute); starts
+  /// at 1 so 0 always means "not router-dispatched".
+  std::atomic<std::uint64_t> next_request_id_{1};
 
   std::mutex scale_mu_;   // serializes scale_up()/scale_down()
   std::mutex reload_mu_;  // serializes rolling-reload waves

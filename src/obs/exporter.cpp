@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
@@ -12,6 +13,10 @@
 namespace hrf::obs {
 
 namespace {
+
+// Captured at static-init time so uptime_seconds() measures from process
+// start, not from the first snapshot.
+const std::chrono::steady_clock::time_point kProcessStart = std::chrono::steady_clock::now();
 
 std::string format_value(double v) {
   char buf[64];
@@ -58,9 +63,50 @@ std::string prometheus_name(const std::string& name) {
   return out;
 }
 
+const BuildInfo& build_info() {
+  static const BuildInfo kInfo = [] {
+    BuildInfo b;
+#ifdef HRF_VERSION_STRING
+    b.version = HRF_VERSION_STRING;
+#else
+    b.version = "unknown";
+#endif
+#ifdef HRF_GIT_COMMIT
+    b.commit = HRF_GIT_COMMIT;
+#else
+    b.commit = "unknown";
+#endif
+#if defined(__clang__)
+    b.compiler = "clang " + std::to_string(__clang_major__) + "." +
+                 std::to_string(__clang_minor__);
+#elif defined(__GNUC__)
+    b.compiler = "gcc " + std::to_string(__GNUC__) + "." + std::to_string(__GNUC_MINOR__);
+#else
+    b.compiler = "unknown";
+#endif
+    return b;
+  }();
+  return kInfo;
+}
+
+double uptime_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - kProcessStart)
+      .count();
+}
+
 std::string to_prometheus(const MetricsSnapshot& snapshot) {
   std::string out;
   out.reserve(4096);
+
+  // Build attribution + uptime lead every exposition: scrapes and
+  // incident bundles are attributable to a build before anything else.
+  const BuildInfo& build = build_info();
+  emit_type(out, "hrf_build_info", "gauge");
+  out += "hrf_build_info{version=\"" + escape_label(build.version) + "\",commit=\"" +
+         escape_label(build.commit) + "\",compiler=\"" + escape_label(build.compiler) +
+         "\"} 1\n";
+  emit_type(out, "hrf_uptime_seconds", "gauge");
+  out += "hrf_uptime_seconds " + format_value(uptime_seconds()) + "\n";
 
   for (const auto& [name, value] : snapshot.counters) {
     const std::string family = "hrf_" + prometheus_name(name) + "_total";
@@ -206,6 +252,37 @@ std::string to_prometheus(const MetricsSnapshot& snapshot) {
     }
   }
 
+  if (snapshot.has_slo) {
+    // Same block contract as the shard/tenant families: every SLO family
+    // is emitted for every (objective, scope) pair, and the sentinel
+    // gauge hrf_slo_objectives marks the export as SLO-armed even when
+    // the pair list is momentarily empty.
+    emit_type(out, "hrf_slo_objectives", "gauge");
+    out += "hrf_slo_objectives " + std::to_string(snapshot.slo.size()) + "\n";
+    struct SloMetric {
+      const char* family;
+      const char* type;
+      double (*get)(const SloAlertState&);
+    };
+    static const SloMetric kSloMetrics[] = {
+        {"hrf_slo_state", "gauge",
+         [](const SloAlertState& a) { return a.firing ? 1.0 : 0.0; }},
+        {"hrf_slo_burn_rate_fast", "gauge", [](const SloAlertState& a) { return a.fast_burn; }},
+        {"hrf_slo_burn_rate_slow", "gauge", [](const SloAlertState& a) { return a.slow_burn; }},
+        {"hrf_slo_alerts_fired_total", "counter",
+         [](const SloAlertState& a) { return static_cast<double>(a.fired_total); }},
+        {"hrf_slo_alerts_cleared_total", "counter",
+         [](const SloAlertState& a) { return static_cast<double>(a.cleared_total); }},
+    };
+    for (const SloMetric& m : kSloMetrics) {
+      emit_type(out, m.family, m.type);
+      for (const SloAlertState& a : snapshot.slo) {
+        out += std::string(m.family) + "{objective=\"" + escape_label(a.objective) +
+               "\",scope=\"" + escape_label(a.scope) + "\"} " + format_value(m.get(a)) + "\n";
+      }
+    }
+  }
+
   if (snapshot.has_traces) {
     const trace::TracerSummary& t = snapshot.traces;
     emit_type(out, "hrf_traces_started_total", "counter");
@@ -225,10 +302,21 @@ std::string to_prometheus(const MetricsSnapshot& snapshot) {
   return out;
 }
 
+json::Value build_info_json() {
+  const BuildInfo& build = build_info();
+  json::Value b = json::Value::object();
+  b["version"] = build.version;
+  b["commit"] = build.commit;
+  b["compiler"] = build.compiler;
+  return b;
+}
+
 json::Value snapshot_to_json(const MetricsSnapshot& snapshot) {
   json::Value doc = json::Value::object();
   doc["schema"] = "hrf-metrics";
   doc["version"] = 1;
+  doc["build"] = build_info_json();
+  doc["uptime_seconds"] = uptime_seconds();
 
   json::Value counters = json::Value::object();
   for (const auto& [name, value] : snapshot.counters) counters[name] = value;
@@ -323,6 +411,22 @@ json::Value snapshot_to_json(const MetricsSnapshot& snapshot) {
     json::Value faults = json::Value::object();
     for (const auto& [site, count] : snapshot.fault_fired) faults[site] = count;
     doc["fault_fired"] = std::move(faults);
+  }
+
+  if (snapshot.has_slo) {
+    json::Value alerts = json::Value::array();
+    for (const SloAlertState& a : snapshot.slo) {
+      json::Value row = json::Value::object();
+      row["objective"] = a.objective;
+      row["scope"] = a.scope;
+      row["firing"] = a.firing;
+      row["fast_burn"] = a.fast_burn;
+      row["slow_burn"] = a.slow_burn;
+      row["fired"] = a.fired_total;
+      row["cleared"] = a.cleared_total;
+      alerts.push_back(std::move(row));
+    }
+    doc["slo"] = std::move(alerts);
   }
 
   if (snapshot.has_traces) {
@@ -467,6 +571,8 @@ const std::vector<MetricInfo>& metric_catalogue() {
     for (const std::string& name : counter_catalogue()) {
       v.push_back({"hrf_" + prometheus_name(name) + "_total", "counter", false});
     }
+    v.push_back({"hrf_build_info", "gauge", false});
+    v.push_back({"hrf_uptime_seconds", "gauge", false});
     v.push_back({"hrf_queue_depth", "gauge", false});
     v.push_back({"hrf_workers", "gauge", false});
     v.push_back({"hrf_breaker_state", "gauge", false});
@@ -511,6 +617,12 @@ const std::vector<MetricInfo>& metric_catalogue() {
     v.push_back({"hrf_tenant_admitted_total", "counter", false, false, true});
     v.push_back({"hrf_tenant_quota_shed_total", "counter", false, false, true});
     v.push_back({"hrf_fault_fired_total", "counter", false, false, false, true});
+    v.push_back({"hrf_slo_objectives", "gauge", false, false, false, false, true});
+    v.push_back({"hrf_slo_state", "gauge", false, false, false, false, true});
+    v.push_back({"hrf_slo_burn_rate_fast", "gauge", false, false, false, false, true});
+    v.push_back({"hrf_slo_burn_rate_slow", "gauge", false, false, false, false, true});
+    v.push_back({"hrf_slo_alerts_fired_total", "counter", false, false, false, false, true});
+    v.push_back({"hrf_slo_alerts_cleared_total", "counter", false, false, false, false, true});
     return v;
   }();
   return kCatalogue;
@@ -580,11 +692,13 @@ void check_metrics_schema(const std::string& prometheus_text, const std::string&
   const bool have_cluster = has_family("hrf_cluster_shards");
   const bool have_tenants = has_family("hrf_tenant_weight");
   const bool have_faults = has_family("hrf_fault_fired_total");
+  const bool have_slo = has_family("hrf_slo_objectives");
   for (const MetricInfo& info : metric_catalogue()) {
     if (info.per_rollup_key && !have_rollups) continue;
     if (info.cluster_only && !have_cluster) continue;
     if (info.tenant_only && !have_tenants) continue;
     if (info.fault_only && !have_faults) continue;
+    if (info.slo_only && !have_slo) continue;
     if (info.type == "histogram") {
       for (const char* suffix : {"_bucket", "_sum", "_count"}) {
         if (!has_family(info.name + suffix)) {
@@ -613,6 +727,11 @@ void check_metrics_schema(const std::string& prometheus_text, const std::string&
     schema_fail("JSON schema tag is not 'hrf-metrics'");
   }
   if (doc.get("version").as_number() != 1) schema_fail("unsupported JSON schema version");
+  const json::Value& build = doc.get("build");
+  build.get("version").as_string();
+  build.get("commit").as_string();
+  build.get("compiler").as_string();
+  doc.get("uptime_seconds").as_number();
   const json::Value& counters = doc.get("counters");
   for (const std::string& name : counter_catalogue()) {
     if (!counters.find(name)) schema_fail("JSON counters missing '" + name + "'");
@@ -647,6 +766,22 @@ void check_metrics_schema(const std::string& prometheus_text, const std::string&
       if (!faults->find(site->second)) {
         schema_fail("JSON fault_fired missing site '" + site->second + "'");
       }
+    }
+  }
+  if (have_slo) {
+    const json::Value* slo = doc.find("slo");
+    if (!slo || slo->size() == 0) {
+      schema_fail("SLO families exported without a JSON slo alert array");
+    }
+    for (std::size_t i = 0; i < slo->size(); ++i) {
+      const json::Value& a = slo->at(i);
+      a.get("objective").as_string();
+      a.get("scope").as_string();
+      a.get("firing").as_bool();
+      a.get("fast_burn").as_number();
+      a.get("slow_burn").as_number();
+      a.get("fired").as_number();
+      a.get("cleared").as_number();
     }
   }
   if (have_tenants) {

@@ -52,6 +52,20 @@ struct TenantStat {
   std::uint64_t shed = 0;      // quota rejections, cumulative
 };
 
+/// One SLO alert's exported state (docs/observability.md, "Time series,
+/// SLOs, and incident bundles"). Plain data for the same layering reason
+/// as ShardHealth: the obs::SloEngine produces these and whoever owns the
+/// engine (obs::Monitor) folds them into the snapshot it exports.
+struct SloAlertState {
+  std::string objective;  // "success_rate" | "p95_latency"
+  std::string scope;      // "server" | "shard:N" | "tenant:NAME"
+  bool firing = false;
+  double fast_burn = 0.0;  // burn rate over the fast (~1 min) window
+  double slow_burn = 0.0;  // burn rate over the slow (~30 min) window
+  std::uint64_t fired_total = 0;    // fire transitions, cumulative
+  std::uint64_t cleared_total = 0;  // clear transitions, cumulative
+};
+
 /// Point-in-time view of every exported metric. Build one with
 /// ForestServer::metrics_snapshot() / ClusterRouter::metrics_snapshot()
 /// or assemble by hand in tests.
@@ -78,7 +92,30 @@ struct MetricsSnapshot {
   /// hrf_fault_fired_total{site="kind:target"} so chaos runs are
   /// debuggable from the snapshot alone.
   std::map<std::string, std::uint64_t> fault_fired;
+  /// SLO burn-rate alert states, one per (objective, scope) pair; empty
+  /// unless an SloEngine is armed (exported as hrf_slo_* families labeled
+  /// {objective,scope}, gated on the hrf_slo_objectives sentinel gauge).
+  std::vector<SloAlertState> slo;
+  bool has_slo = false;
 };
+
+/// Build attribution (satellite of docs/observability.md): compiled-in
+/// version/commit/compiler identity, exported as hrf_build_info{...} 1
+/// and stamped into incident bundles so every artifact names its build.
+struct BuildInfo {
+  std::string version;   // project version (CMake)
+  std::string commit;    // git short hash at configure time, or "unknown"
+  std::string compiler;  // compiler id + version
+};
+const BuildInfo& build_info();
+
+/// Seconds since process start (steady clock); exported as
+/// hrf_uptime_seconds on every snapshot.
+double uptime_seconds();
+
+/// build_info() as a JSON object ({version, commit, compiler}); shared by
+/// the metrics export and the incident-bundle writer.
+json::Value build_info_json();
 
 /// Sanitizes a registry name into a Prometheus metric name component:
 /// '.', '-', and any other non-[a-zA-Z0-9_] become '_'.
@@ -133,6 +170,9 @@ struct MetricInfo {
   /// True for the fault-injection family, which only exists when some
   /// fault site was armed during the process lifetime.
   bool fault_only = false;
+  /// True for SLO families, which only exist when an SloEngine is armed
+  /// (detected via the hrf_slo_objectives gauge).
+  bool slo_only = false;
 };
 
 /// The documented Prometheus metric catalogue, in docs order.

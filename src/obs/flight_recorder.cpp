@@ -1,0 +1,58 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/error.hpp"
+
+namespace hrf::obs {
+
+FlightRecorder::FlightRecorder(std::size_t capacity, double (*now)()) : now_(now) {
+  require(capacity >= 1, "flight recorder capacity must be >= 1");
+  slots_.reserve(capacity);
+  for (std::size_t i = 0; i < capacity; ++i) slots_.push_back(std::make_unique<Slot>());
+}
+
+double FlightRecorder::now_seconds() const {
+  if (now_ != nullptr) return now_();
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void FlightRecorder::record(std::string category, std::string name, std::string scope,
+                            std::string detail) {
+  const double t = now_seconds();
+  const std::uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = *slots_[seq % slots_.size()];
+  std::lock_guard<std::mutex> lock(slot.mu);
+  slot.used = true;
+  slot.event.sequence = seq;
+  slot.event.seconds = t;
+  slot.event.category = std::move(category);
+  slot.event.name = std::move(name);
+  slot.event.scope = std::move(scope);
+  slot.event.detail = std::move(detail);
+}
+
+std::vector<FlightEvent> FlightRecorder::events() const {
+  std::vector<FlightEvent> out;
+  out.reserve(slots_.size());
+  for (const auto& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    if (slot->used) out.push_back(slot->event);
+  }
+  // Slots fill in claim order but wrap, so the flat scan is rotated;
+  // sequence restores global record order. A slot mid-overwrite holds
+  // either the old or the new event, never a torn mix.
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& a, const FlightEvent& b) { return a.sequence < b.sequence; });
+  return out;
+}
+
+std::uint64_t FlightRecorder::dropped() const {
+  const std::uint64_t n = next_.load(std::memory_order_relaxed);
+  return n > slots_.size() ? n - slots_.size() : 0;
+}
+
+}  // namespace hrf::obs

@@ -1,0 +1,75 @@
+#pragma once
+
+// Incident flight recorder (docs/observability.md).
+//
+// A bounded ring of structured events fed from every serving subsystem:
+// breaker transitions, reload phases, replica quarantines/repairs,
+// watchdog restarts, autoscaler actions, quota sheds, failovers, and SLO
+// alert fire/clear. The record path is lock-cheap — writers claim a slot
+// with one relaxed fetch_add and then take only that slot's own mutex,
+// so concurrent writers contend only when the ring wraps onto the same
+// slot — which is what lets the hot serving paths log transitions
+// without a global lock. Readers assemble a consistent oldest->newest
+// view at any time; the ring keeps the last `capacity` events and counts
+// what it overwrote.
+//
+// This module is intentionally below serve in the layer graph (plain
+// strings and doubles, no serve/cluster types): subsystems push events
+// into a FlightRecorder* handed down through their options structs.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hrf::obs {
+
+/// One recorded event. `seconds` is the recorder's monotonic clock
+/// (steady_clock by default; injectable for deterministic tests).
+struct FlightEvent {
+  std::uint64_t sequence = 0;  // global record order, starts at 0
+  double seconds = 0.0;        // monotonic timestamp
+  std::string category;        // "breaker" | "reload" | "integrity" | ...
+  std::string name;            // e.g. "breaker_open", "reload_promoted"
+  std::string scope;           // "" | "shard:2" | "tenant:acme" | ...
+  std::string detail;          // freeform context, may be empty
+};
+
+class FlightRecorder {
+ public:
+  /// `now` overrides the timestamp source (tests); default reads
+  /// steady_clock seconds.
+  explicit FlightRecorder(std::size_t capacity = 512, double (*now)() = nullptr);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Records one event; safe from any thread.
+  void record(std::string category, std::string name, std::string scope = "",
+              std::string detail = "");
+
+  /// Consistent copy of the retained events, oldest -> newest.
+  std::vector<FlightEvent> events() const;
+
+  std::uint64_t recorded() const { return next_.load(std::memory_order_relaxed); }
+  /// Events overwritten by the ring wrapping.
+  std::uint64_t dropped() const;
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    mutable std::mutex mu;
+    bool used = false;
+    FlightEvent event;
+  };
+
+  double now_seconds() const;
+
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::atomic<std::uint64_t> next_{0};
+  double (*now_)() = nullptr;
+};
+
+}  // namespace hrf::obs

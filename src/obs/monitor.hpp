@@ -1,0 +1,136 @@
+#pragma once
+
+// Observability monitor: the owner of the third pillar (docs/
+// observability.md, "Time series, SLOs, and incident bundles").
+//
+// A Monitor periodically pulls a MetricsSnapshot from its source (a
+// ForestServer or ClusterRouter, handed in as a plain callable so obs
+// stays below serve in the layer graph), feeds it into a
+// TimeSeriesRegistry for windowed rates/percentiles, runs the resulting
+// windows through an SloEngine, and — when an alert fires, a signal
+// arrives, or trigger_incident() is called — atomically dumps an
+// *incident bundle*: one schema-versioned JSON file capturing the recent
+// windows, active alerts, the flight-recorder event ring, the slowest
+// retained traces, and the self-healing counters. The bundle is the
+// post-mortem artifact: everything needed to reconstruct the minutes
+// before an incident, written at the moment it happened.
+//
+// Determinism hooks mirror cluster/autoscaler.hpp: the clock is
+// injectable and tick() is public, so tests drive the whole loop with a
+// fake clock — no background thread, no sleeps. Production uses
+// start_thread=true.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/exporter.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
+#include "util/json.hpp"
+#include "util/trace.hpp"
+
+namespace hrf::obs {
+
+struct MonitorOptions {
+  /// Sampling cadence (thread mode) and window-ring size; together they
+  /// bound the lookback (240 x 0.25 s = one minute by default).
+  double interval_seconds = 0.25;
+  std::size_t window_capacity = 240;
+  /// SLO policy; `slo_enabled` false leaves the engine unarmed (windows
+  /// are still recorded, hrf_slo_* families are not exported).
+  bool slo_enabled = false;
+  SloObjectives slo{};
+  /// Directory for incident bundles; empty disables bundle writing
+  /// (alerts still fire and export). Created on first write.
+  std::string incident_dir;
+  /// Caps inside each bundle.
+  std::size_t bundle_windows = 64;
+  std::size_t bundle_events = 256;
+  std::size_t bundle_traces = 4;
+  /// False = no background thread; the owner calls tick() (tests).
+  bool start_thread = true;
+};
+
+class Monitor {
+ public:
+  using MetricsSource = std::function<MetricsSnapshot()>;
+  using Clock = std::function<double()>;
+
+  /// `recorder` and `tracer` may be null; both enrich snapshots and
+  /// bundles when present. `clock` overrides steady-clock seconds.
+  Monitor(MonitorOptions options, MetricsSource source, FlightRecorder* recorder = nullptr,
+          const trace::Tracer* tracer = nullptr, Clock clock = {});
+  ~Monitor();
+
+  Monitor(const Monitor&) = delete;
+  Monitor& operator=(const Monitor&) = delete;
+
+  /// Stops the sampling thread (idempotent; the destructor calls it).
+  void stop();
+
+  /// One sampling step at `now`: snapshot the source, record a window,
+  /// evaluate SLOs, write a bundle if an alert fired or a trigger is
+  /// pending. Thread mode calls this on the cadence; tests call it
+  /// directly with a fake clock.
+  void tick(double now);
+
+  /// The source's snapshot with the SLO alert rows folded in — what the
+  /// metrics writer should export once a Monitor owns the SLO engine.
+  MetricsSnapshot snapshot() const;
+
+  /// Requests an incident bundle outside the alert path (CLI `incident
+  /// --trigger`, SIGUSR1). Written on the next tick; returns immediately.
+  void trigger_incident(const std::string& reason);
+
+  /// Current alert rows (empty when SLOs are disabled).
+  std::vector<SloAlertState> alerts() const;
+
+  std::uint64_t windows_recorded() const;
+  std::uint64_t bundles_written() const;
+  std::string last_bundle_path() const;
+  std::uint64_t alerts_fired_total() const;
+  const MonitorOptions& options() const { return options_; }
+
+ private:
+  void loop();
+  void write_bundle_locked(const std::string& reason, double now);
+  json::Value build_bundle_locked(const std::string& reason, double now) const;
+
+  MonitorOptions options_;
+  MetricsSource source_;
+  FlightRecorder* recorder_ = nullptr;
+  const trace::Tracer* tracer_ = nullptr;
+  Clock clock_;
+
+  mutable std::mutex mu_;  // guards registry/engine/bundle state
+  TimeSeriesRegistry registry_;
+  MetricsSnapshot last_snapshot_;  // latest source snapshot (self-heal ledger)
+  std::unique_ptr<SloEngine> engine_;  // null when SLOs are disabled
+  std::uint64_t fed_windows_ = 0;
+  std::vector<std::string> pending_reasons_;
+  std::uint64_t bundles_written_ = 0;
+  std::uint64_t bundle_seq_ = 0;
+  std::string last_bundle_path_;
+
+  std::atomic<bool> stopping_{false};
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::thread thread_;
+};
+
+/// Validates a parsed incident bundle against the documented schema
+/// ("hrf-incident" v1): tag/version/reason/build/alert rows/window
+/// rows/event rows all present with the right shapes. Throws FormatError
+/// describing the first violation — the CLI `incident` mode and the CI
+/// schema gate both call this.
+void check_incident_bundle(const json::Value& bundle);
+
+}  // namespace hrf::obs

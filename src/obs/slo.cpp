@@ -1,0 +1,219 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hrf::obs {
+
+namespace {
+
+/// Samples in `h` strictly over `threshold_ns`, resolved at bucket
+/// granularity. A bucket straddling the threshold counts as under —
+/// optimistic on purpose, so a target sitting mid-bucket cannot fire a
+/// latency alert while every sample is actually under it; gross
+/// violations land in higher buckets and are always counted.
+std::uint64_t count_over(const HistogramSnapshot& h, std::uint64_t threshold_ns) {
+  std::uint64_t over = 0;
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    const std::uint64_t lower = i == 0 ? 0 : LatencyHistogram::bucket_upper_bound(static_cast<int>(i) - 1);
+    if (lower > threshold_ns) over += h.counts[i];
+  }
+  return over;
+}
+
+}  // namespace
+
+SloEngine::SloEngine(SloObjectives objectives, FlightRecorder* recorder, FireFn on_fire)
+    : objectives_(std::move(objectives)), recorder_(recorder), on_fire_(std::move(on_fire)) {
+  require(objectives_.success_target > 0.0 && objectives_.success_target < 1.0,
+          "SLO success target must be in (0, 1)");
+  require(objectives_.fast_window_seconds > 0.0 &&
+              objectives_.slow_window_seconds >= objectives_.fast_window_seconds,
+          "SLO windows must be positive with slow >= fast");
+  require(objectives_.hysteresis_evaluations >= 1, "SLO hysteresis must be >= 1");
+}
+
+void SloEngine::push_window(ScopeState& state, ScopeWindow window) {
+  state.history.push_back(window);
+  const double horizon = window.end_seconds - objectives_.slow_window_seconds;
+  while (!state.history.empty() && state.history.front().end_seconds <= horizon) {
+    state.history.pop_front();
+  }
+}
+
+double SloEngine::burn_over(const ScopeState& state, double window_seconds, double now,
+                            bool success_objective, double budget) const {
+  std::uint64_t errors = 0;
+  std::uint64_t attempts = 0;
+  for (const ScopeWindow& w : state.history) {
+    if (w.end_seconds <= now - window_seconds) continue;
+    if (success_objective) {
+      errors += w.errors;
+      attempts += w.attempts;
+    } else {
+      errors += w.lat_over;
+      attempts += w.lat_total;
+    }
+  }
+  if (attempts == 0) return 0.0;
+  const double ratio = static_cast<double>(errors) / static_cast<double>(attempts);
+  return ratio / budget;
+}
+
+SloAlertState SloEngine::row_state(const std::string& scope, const std::string& objective,
+                                   const AlertRow& row) const {
+  SloAlertState s;
+  s.objective = objective;
+  s.scope = scope;
+  s.firing = row.firing;
+  s.fast_burn = row.fast_burn;
+  s.slow_burn = row.slow_burn;
+  s.fired_total = row.fired_total;
+  s.cleared_total = row.cleared_total;
+  return s;
+}
+
+void SloEngine::evaluate(const std::string& scope, const std::string& objective,
+                         ScopeState& state, AlertRow& row, bool success_objective, double now) {
+  const double budget =
+      success_objective ? 1.0 - objectives_.success_target : 0.05;  // p95 => 5% allowed over
+  row.fast_burn = burn_over(state, objectives_.fast_window_seconds, now, success_objective, budget);
+  row.slow_burn = burn_over(state, objectives_.slow_window_seconds, now, success_objective, budget);
+  const bool breach = row.fast_burn >= objectives_.fast_burn_threshold &&
+                      row.slow_burn >= objectives_.slow_burn_threshold;
+  if (breach) {
+    row.clear_streak = 0;
+    row.breach_streak += 1;
+    if (!row.firing && row.breach_streak >= objectives_.hysteresis_evaluations &&
+        now >= row.cooldown_until) {
+      row.firing = true;
+      row.fired_total += 1;
+      const SloAlertState fired = row_state(scope, objective, row);
+      if (recorder_ != nullptr) {
+        recorder_->record("alert", "slo_fired", scope,
+                          objective + " fast=" + std::to_string(row.fast_burn) +
+                              " slow=" + std::to_string(row.slow_burn));
+      }
+      if (on_fire_) on_fire_(fired);
+    }
+  } else {
+    row.breach_streak = 0;
+    row.clear_streak += 1;
+    if (row.firing && row.clear_streak >= objectives_.hysteresis_evaluations) {
+      row.firing = false;
+      row.cleared_total += 1;
+      row.cooldown_until = now + objectives_.cooldown_seconds;
+      if (recorder_ != nullptr) {
+        recorder_->record("alert", "slo_cleared", scope, objective);
+      }
+    }
+  }
+}
+
+void SloEngine::observe(const WindowSample& window) {
+  const double now = window.end_seconds;
+  evaluations_ += 1;
+
+  // Server scope: counter deltas are already per-window.
+  {
+    ScopeWindow w;
+    w.end_seconds = now;
+    w.errors = window.delta("requests.failed");
+    w.attempts = w.errors + window.delta("requests.completed");
+    if (const HistogramSnapshot* h = window.histogram("end_to_end")) {
+      w.lat_total = h->total;
+      if (objectives_.p95_target_seconds > 0.0) {
+        const auto threshold_ns =
+            static_cast<std::uint64_t>(objectives_.p95_target_seconds * 1e9);
+        w.lat_over = count_over(*h, threshold_ns);
+      }
+    }
+    push_window(server_, w);
+    evaluate("server", "success_rate", server_, server_.success, true, now);
+    if (objectives_.p95_target_seconds > 0.0) {
+      evaluate("server", "p95_latency", server_, server_.latency, false, now);
+    }
+  }
+
+  // Shard scopes: the window carries cumulative router-observed counts,
+  // so delta against the previous reading. A downed shard burns budget
+  // at ratio 1.0 regardless of traffic — failover hides it from the
+  // client-visible success rate, but losing a replica is exactly what
+  // the shard-scope objective exists to page on.
+  if (objectives_.shard_scopes) {
+    for (const ShardHealth& shard : window.shards) {
+      const std::string scope = "shard:" + std::to_string(shard.index);
+      ScopeState& state = shards_[scope];
+      std::uint64_t errors = 0;
+      std::uint64_t attempts = 0;
+      if (state.primed) {
+        errors = shard.failures >= state.prev_errors ? shard.failures - state.prev_errors : 0;
+        attempts = shard.routed >= state.prev_attempts ? shard.routed - state.prev_attempts : 0;
+      }
+      state.prev_errors = shard.failures;
+      state.prev_attempts = shard.routed;
+      state.primed = true;
+      if (!shard.up) {
+        attempts = std::max<std::uint64_t>(attempts, 1);
+        errors = attempts;
+      }
+      ScopeWindow w;
+      w.end_seconds = now;
+      w.errors = errors;
+      w.attempts = attempts;
+      push_window(state, w);
+      evaluate(scope, "success_rate", state, state.success, true, now);
+    }
+  }
+
+  // Tenant scopes: quota sheds against admitted+shed attempts.
+  if (objectives_.tenant_scopes) {
+    for (const TenantStat& tenant : window.tenants) {
+      const std::string scope = "tenant:" + tenant.name;
+      ScopeState& state = tenants_[scope];
+      const std::uint64_t shed_cum = tenant.shed;
+      const std::uint64_t attempts_cum = tenant.admitted + tenant.shed;
+      std::uint64_t errors = 0;
+      std::uint64_t attempts = 0;
+      if (state.primed) {
+        errors = shed_cum >= state.prev_errors ? shed_cum - state.prev_errors : 0;
+        attempts = attempts_cum >= state.prev_attempts ? attempts_cum - state.prev_attempts : 0;
+      }
+      state.prev_errors = shed_cum;
+      state.prev_attempts = attempts_cum;
+      state.primed = true;
+      ScopeWindow w;
+      w.end_seconds = now;
+      w.errors = errors;
+      w.attempts = attempts;
+      push_window(state, w);
+      evaluate(scope, "success_rate", state, state.success, true, now);
+    }
+  }
+}
+
+std::vector<SloAlertState> SloEngine::alerts() const {
+  std::vector<SloAlertState> out;
+  out.push_back(row_state("server", "success_rate", server_.success));
+  if (objectives_.p95_target_seconds > 0.0) {
+    out.push_back(row_state("server", "p95_latency", server_.latency));
+  }
+  for (const auto& [scope, state] : shards_) {
+    out.push_back(row_state(scope, "success_rate", state.success));
+  }
+  for (const auto& [scope, state] : tenants_) {
+    out.push_back(row_state(scope, "success_rate", state.success));
+  }
+  return out;
+}
+
+std::uint64_t SloEngine::fired_total() const {
+  std::uint64_t n = server_.success.fired_total + server_.latency.fired_total;
+  for (const auto& [scope, state] : shards_) n += state.success.fired_total;
+  for (const auto& [scope, state] : tenants_) n += state.success.fired_total;
+  return n;
+}
+
+}  // namespace hrf::obs

@@ -1,0 +1,140 @@
+#pragma once
+
+// SLO burn-rate engine (docs/observability.md, "Time series, SLOs, and
+// incident bundles").
+//
+// Consumes the windowed samples the TimeSeriesRegistry produces and
+// maintains multi-window burn-rate alerts in the Google-SRE style: an
+// alert fires only when BOTH a fast (~1 min) and a slow (~30 min) window
+// burn their error budget faster than the configured thresholds, which
+// keeps one bad sample from paging while still catching fast burns
+// quickly. Objectives:
+//
+//   success_rate  - fraction of requests that fail, per server scope
+//                   (requests.failed vs completed+failed), per shard
+//                   (router-observed failures vs routed, with a downed
+//                   shard counting as a 100% error ratio so losing a
+//                   shard is alertable even when client-visible success
+//                   stays high through failover), and per tenant (quota
+//                   sheds vs admitted+shed).
+//   p95_latency   - fraction of end_to_end samples over the target; the
+//                   budget is the 5% a "95% under T" objective allows.
+//
+// Fire/clear transitions use a consecutive-evaluation hysteresis and a
+// post-clear cooldown so a burn hovering at the threshold cannot flap.
+// Transitions are pushed into the FlightRecorder and surfaced through
+// an optional on_fire callback (the Monitor uses it to dump an incident
+// bundle). The engine is passive and single-threaded by design: the
+// owner calls observe() for every window, from one thread.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/exporter.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/timeseries.hpp"
+
+namespace hrf::obs {
+
+/// Objectives and alerting policy for one SloEngine.
+struct SloObjectives {
+  /// Success-rate objective (e.g. 0.99 = "99% of requests succeed");
+  /// the error budget is 1 - target.
+  double success_target = 0.99;
+  /// Latency objective: target for the end_to_end p95, in seconds.
+  /// 0 disables the latency objective. The error budget is the 5% of
+  /// samples a p95 objective allows over the target.
+  double p95_target_seconds = 0.0;
+  /// Fast / slow burn windows (seconds). Both must breach to fire.
+  double fast_window_seconds = 60.0;
+  double slow_window_seconds = 1800.0;
+  /// Burn-rate thresholds: a burn of N means the scope is consuming its
+  /// error budget N times faster than the objective allows.
+  double fast_burn_threshold = 14.0;
+  double slow_burn_threshold = 6.0;
+  /// Consecutive breaching (clearing) evaluations before a fire (clear).
+  int hysteresis_evaluations = 2;
+  /// After a clear, the alert may not re-fire for this long.
+  double cooldown_seconds = 60.0;
+  /// Track per-shard / per-tenant scopes from the window's health rows.
+  bool shard_scopes = true;
+  bool tenant_scopes = true;
+};
+
+class SloEngine {
+ public:
+  using FireFn = std::function<void(const SloAlertState&)>;
+
+  /// `recorder` (optional) receives "alert" category events on every
+  /// fire/clear; `on_fire` (optional) runs synchronously inside
+  /// observe() on each fire transition.
+  explicit SloEngine(SloObjectives objectives, FlightRecorder* recorder = nullptr,
+                     FireFn on_fire = {});
+
+  /// Feeds one window (oldest first). The window's end time is the
+  /// engine's clock: cooldowns and burn windows are measured against it.
+  void observe(const WindowSample& window);
+
+  /// Current alert rows, one per (objective, scope): server scope first,
+  /// then shards, then tenants. Never empty once observe() ran — the
+  /// server-scope rows exist even with zero traffic, so the hrf_slo_*
+  /// exposition block is complete whenever the engine is armed.
+  std::vector<SloAlertState> alerts() const;
+
+  std::uint64_t evaluations() const { return evaluations_; }
+  std::uint64_t fired_total() const;
+  const SloObjectives& objectives() const { return objectives_; }
+
+ private:
+  struct ScopeWindow {
+    double end_seconds = 0.0;
+    std::uint64_t errors = 0;
+    std::uint64_t attempts = 0;
+    std::uint64_t lat_over = 0;
+    std::uint64_t lat_total = 0;
+  };
+
+  struct AlertRow {
+    bool firing = false;
+    int breach_streak = 0;
+    int clear_streak = 0;
+    double cooldown_until = 0.0;
+    double fast_burn = 0.0;
+    double slow_burn = 0.0;
+    std::uint64_t fired_total = 0;
+    std::uint64_t cleared_total = 0;
+  };
+
+  struct ScopeState {
+    std::deque<ScopeWindow> history;
+    AlertRow success;
+    AlertRow latency;
+    // Previous cumulative readings for scopes whose window rows are
+    // point-in-time cumulative (shard failures/routed, tenant sheds).
+    std::uint64_t prev_errors = 0;
+    std::uint64_t prev_attempts = 0;
+    bool primed = false;
+  };
+
+  void push_window(ScopeState& state, ScopeWindow window);
+  void evaluate(const std::string& scope, const std::string& objective, ScopeState& state,
+                AlertRow& row, bool success_objective, double now);
+  double burn_over(const ScopeState& state, double window_seconds, double now,
+                   bool success_objective, double budget) const;
+  SloAlertState row_state(const std::string& scope, const std::string& objective,
+                          const AlertRow& row) const;
+
+  SloObjectives objectives_;
+  FlightRecorder* recorder_ = nullptr;
+  FireFn on_fire_;
+  ScopeState server_;
+  std::map<std::string, ScopeState> shards_;   // key "shard:N"
+  std::map<std::string, ScopeState> tenants_;  // key "tenant:NAME"
+  std::uint64_t evaluations_ = 0;
+};
+
+}  // namespace hrf::obs

@@ -1,0 +1,85 @@
+#include "obs/timeseries.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hrf::obs {
+
+std::uint64_t WindowSample::delta(const std::string& counter) const {
+  const auto it = counter_deltas.find(counter);
+  return it == counter_deltas.end() ? 0 : it->second;
+}
+
+double WindowSample::rate_per_second(const std::string& counter) const {
+  const double s = seconds();
+  if (s <= 0.0) return 0.0;
+  return static_cast<double>(delta(counter)) / s;
+}
+
+const HistogramSnapshot* WindowSample::histogram(const std::string& stage) const {
+  for (const auto& [name, snap] : histogram_deltas) {
+    if (name == stage) return &snap;
+  }
+  return nullptr;
+}
+
+TimeSeriesRegistry::TimeSeriesRegistry() : TimeSeriesRegistry(Options{}) {}
+
+TimeSeriesRegistry::TimeSeriesRegistry(Options options) : options_(options) {
+  require(options_.capacity >= 1, "time-series capacity must be >= 1");
+  require(options_.interval_seconds > 0.0, "time-series interval must be > 0");
+}
+
+void TimeSeriesRegistry::sample(const MetricsSnapshot& snapshot, double now_seconds) {
+  if (!primed_) {
+    prev_ = snapshot;
+    prev_time_ = now_seconds;
+    primed_ = true;
+    return;
+  }
+
+  WindowSample w;
+  w.index = next_index_++;
+  w.start_seconds = prev_time_;
+  w.end_seconds = now_seconds;
+
+  for (const auto& [name, value] : snapshot.counters) {
+    const auto it = prev_.counters.find(name);
+    const std::uint64_t before = it == prev_.counters.end() ? 0 : it->second;
+    w.counter_deltas[name] = value >= before ? value - before : 0;
+  }
+  for (const auto& [stage, cur] : snapshot.histograms) {
+    const HistogramSnapshot* before = nullptr;
+    for (const auto& [pname, psnap] : prev_.histograms) {
+      if (pname == stage) {
+        before = &psnap;
+        break;
+      }
+    }
+    w.histogram_deltas.emplace_back(
+        stage, before ? cur.delta_since(*before) : cur.delta_since(HistogramSnapshot{}));
+  }
+  w.gauges = snapshot.gauges;
+  w.shards = snapshot.shards;
+  w.tenants = snapshot.tenants;
+
+  ring_.push_back(std::move(w));
+  if (ring_.size() > options_.capacity) {
+    const std::size_t excess = ring_.size() - options_.capacity;
+    ring_.erase(ring_.begin(), ring_.begin() + static_cast<std::ptrdiff_t>(excess));
+    evicted_ += excess;
+  }
+
+  prev_ = snapshot;
+  prev_time_ = now_seconds;
+}
+
+std::vector<WindowSample> TimeSeriesRegistry::windows() const { return ring_; }
+
+std::vector<WindowSample> TimeSeriesRegistry::recent(std::size_t n) const {
+  const std::size_t take = std::min(n, ring_.size());
+  return {ring_.end() - static_cast<std::ptrdiff_t>(take), ring_.end()};
+}
+
+}  // namespace hrf::obs

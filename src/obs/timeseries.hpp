@@ -1,0 +1,94 @@
+#pragma once
+
+// Windowed telemetry time-series (docs/observability.md).
+//
+// Every signal the exporter renders is cumulative-at-"now": counters
+// only grow, histograms only accumulate. TimeSeriesRegistry turns that
+// into operable rates: it samples a MetricsSnapshot on a fixed cadence
+// and retains a bounded ring of *windows*, each carrying the per-window
+// counter deltas (and derived per-second rates) plus per-window
+// HistogramSnapshot deltas (HistogramSnapshot::delta_since), so windowed
+// p50/p95/p99 are one percentile_ns() call away. The registry is
+// passive and clock-agnostic — callers push (snapshot, now) pairs, which
+// is what makes it fake-clock testable and lets the obs::Monitor thread,
+// tests, and the bench harness share one implementation.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/exporter.hpp"
+#include "util/histogram.hpp"
+
+namespace hrf::obs {
+
+/// One closed sampling window: everything that happened between two
+/// consecutive samples of the same snapshot source.
+struct WindowSample {
+  std::uint64_t index = 0;       // monotone window number (never reused)
+  double start_seconds = 0.0;    // clock value at the window's opening sample
+  double end_seconds = 0.0;      // clock value at the closing sample
+  /// Counter increments inside the window. Counters are monotone, so
+  /// every delta is >= 0 (a counter that shrank — snapshot source swap —
+  /// clamps to 0 rather than going negative).
+  std::map<std::string, std::uint64_t> counter_deltas;
+  /// Per-window latency distributions, one per snapshot histogram stage
+  /// ("queue_wait", "execute", "end_to_end", ...).
+  std::vector<std::pair<std::string, HistogramSnapshot>> histogram_deltas;
+  /// Point-in-time gauge values at the closing sample.
+  std::map<std::string, double> gauges;
+  /// Per-shard / per-tenant rows at the closing sample (point-in-time;
+  /// the SLO engine derives per-scope deltas across windows itself).
+  std::vector<ShardHealth> shards;
+  std::vector<TenantStat> tenants;
+
+  double seconds() const { return end_seconds - start_seconds; }
+  /// Delta for one counter; 0 when the counter is absent.
+  std::uint64_t delta(const std::string& counter) const;
+  /// delta / window seconds; 0 for an empty or zero-length window.
+  double rate_per_second(const std::string& counter) const;
+  /// Windowed delta for one histogram stage; nullptr when absent.
+  const HistogramSnapshot* histogram(const std::string& stage) const;
+};
+
+class TimeSeriesRegistry {
+ public:
+  struct Options {
+    /// Nominal sampling cadence; informational (the caller's clock
+    /// drives actual window edges) but exported for bundle readers.
+    double interval_seconds = 0.25;
+    /// Windows retained in the ring; older windows are evicted.
+    std::size_t capacity = 240;
+  };
+
+  TimeSeriesRegistry();
+  explicit TimeSeriesRegistry(Options options);
+
+  /// Feeds one fresh snapshot at clock value `now_seconds`. The first
+  /// call only opens window 0; every later call closes the current
+  /// window (delta vs the previous sample) and opens the next.
+  void sample(const MetricsSnapshot& snapshot, double now_seconds);
+
+  /// Closed windows, oldest -> newest (at most `capacity`).
+  std::vector<WindowSample> windows() const;
+  /// The newest `n` closed windows, oldest -> newest.
+  std::vector<WindowSample> recent(std::size_t n) const;
+  /// Closed windows ever produced (>= windows().size()).
+  std::uint64_t total_windows() const { return next_index_; }
+  /// Windows evicted from the ring.
+  std::uint64_t evicted() const { return evicted_; }
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  bool primed_ = false;
+  double prev_time_ = 0.0;
+  MetricsSnapshot prev_;
+  std::vector<WindowSample> ring_;  // oldest -> newest
+  std::uint64_t next_index_ = 0;
+  std::uint64_t evicted_ = 0;
+};
+
+}  // namespace hrf::obs

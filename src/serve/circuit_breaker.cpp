@@ -1,6 +1,8 @@
 #include "serve/circuit_breaker.hpp"
 
 #include <chrono>
+#include <optional>
+#include <utility>
 
 #include "util/error.hpp"
 
@@ -20,6 +22,8 @@ double steady_seconds() {
   return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+using Transition = std::optional<std::pair<CircuitState, CircuitState>>;
 }  // namespace
 
 CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options, Clock clock)
@@ -30,48 +34,75 @@ CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options, Clock clock)
 }
 
 bool CircuitBreaker::allow_request() {
-  std::lock_guard<std::mutex> lock(mu_);
-  switch (state_) {
-    case CircuitState::Closed:
-      return true;
-    case CircuitState::Open:
-      if (clock_() < open_until_) return false;
-      state_ = CircuitState::HalfOpen;
-      probes_left_ = options_.half_open_probes;
-      [[fallthrough]];
-    case CircuitState::HalfOpen:
-      if (probes_left_ <= 0) return false;  // probes already in flight
-      --probes_left_;
-      ++probes_;
-      return true;
+  Transition t;
+  bool admitted = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (state_) {
+      case CircuitState::Closed:
+        admitted = true;
+        break;
+      case CircuitState::Open:
+        if (clock_() < open_until_) break;
+        state_ = CircuitState::HalfOpen;
+        probes_left_ = options_.half_open_probes;
+        t = {{CircuitState::Open, CircuitState::HalfOpen}};
+        [[fallthrough]];
+      case CircuitState::HalfOpen:
+        if (probes_left_ <= 0) break;  // probes already in flight
+        --probes_left_;
+        ++probes_;
+        admitted = true;
+        break;
+    }
   }
-  return false;
+  if (t && options_.on_transition) options_.on_transition(t->first, t->second);
+  return admitted;
 }
 
 void CircuitBreaker::record_success() {
-  std::lock_guard<std::mutex> lock(mu_);
-  consecutive_failures_ = 0;
-  if (state_ == CircuitState::HalfOpen) state_ = CircuitState::Closed;
+  Transition t;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    consecutive_failures_ = 0;
+    if (state_ == CircuitState::HalfOpen) {
+      state_ = CircuitState::Closed;
+      t = {{CircuitState::HalfOpen, CircuitState::Closed}};
+    }
+  }
+  if (t && options_.on_transition) options_.on_transition(t->first, t->second);
 }
 
 void CircuitBreaker::record_failure() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (state_ == CircuitState::HalfOpen) {
-    trip_locked();
-    return;
+  Transition t;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ == CircuitState::HalfOpen) {
+      t = {{state_, CircuitState::Open}};
+      trip_locked();
+    } else if (state_ == CircuitState::Closed &&
+               ++consecutive_failures_ >= options_.failure_threshold) {
+      t = {{state_, CircuitState::Open}};
+      trip_locked();
+    }
+    // Open: a straggler that was admitted before the trip; nothing to add.
   }
-  if (state_ == CircuitState::Closed && ++consecutive_failures_ >= options_.failure_threshold) {
-    trip_locked();
-  }
-  // Open: a straggler that was admitted before the trip; nothing to add.
+  if (t && options_.on_transition) options_.on_transition(t->first, t->second);
 }
 
 void CircuitBreaker::record_timeout() {
-  std::lock_guard<std::mutex> lock(mu_);
-  // Only a HalfOpen probe must be resolved; exactly one transition, so a
-  // straggler record_failure() for the same request (arriving once the
-  // breaker is already Open again) cannot double-count the probe.
-  if (state_ == CircuitState::HalfOpen) trip_locked();
+  Transition t;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Only a HalfOpen probe must be resolved; exactly one transition, so a
+    // straggler record_failure() for the same request (arriving once the
+    // breaker is already Open again) cannot double-count the probe.
+    if (state_ == CircuitState::HalfOpen) {
+      t = {{state_, CircuitState::Open}};
+      trip_locked();
+    }
+  }
+  if (t && options_.on_transition) options_.on_transition(t->first, t->second);
 }
 
 void CircuitBreaker::trip_locked() {

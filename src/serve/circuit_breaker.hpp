@@ -37,6 +37,10 @@ struct CircuitBreakerOptions {
   double open_seconds = 1.0;
   /// Probe budget per HalfOpen episode.
   int half_open_probes = 1;
+  /// Invoked on every state transition, outside the breaker mutex (so it
+  /// may call back into anything, e.g. an obs::FlightRecorder). Multiple
+  /// transitions report in the order they happened.
+  std::function<void(CircuitState from, CircuitState to)> on_transition = {};
 };
 
 /// Thread-safe; all transitions happen under one mutex (the protected

@@ -152,12 +152,43 @@ void ForestServer::start_workers() {
   if (integrity_enabled()) monitor_ = std::thread([this] { monitor_loop(); });
 }
 
+namespace {
+
+/// Attaches a breaker-transition -> flight-recorder bridge when a
+/// recorder is configured and the caller did not install its own hook.
+/// Captures the recorder pointer and scope by value: the callback must
+/// not depend on the server object (it can fire during construction).
+CircuitBreakerOptions wire_breaker_events(CircuitBreakerOptions breaker,
+                                          obs::FlightRecorder* recorder, std::string scope) {
+  if (recorder != nullptr && !breaker.on_transition) {
+    breaker.on_transition = [recorder, scope = std::move(scope)](CircuitState from,
+                                                                CircuitState to) {
+      const char* name = to == CircuitState::Open      ? "breaker_open"
+                         : to == CircuitState::HalfOpen ? "breaker_probe"
+                                                         : "breaker_closed";
+      recorder->record("breaker", name, scope,
+                       std::string(to_string(from)) + " -> " + to_string(to));
+    };
+  }
+  return breaker;
+}
+
+}  // namespace
+
+void ForestServer::flight_event(const char* category, const char* name,
+                                std::string detail) const {
+  if (options_.flight_recorder != nullptr) {
+    options_.flight_recorder->record(category, name, options_.flight_scope, std::move(detail));
+  }
+}
+
 ForestServer::ForestServer(Forest forest, ClassifierOptions classifier_options,
                            ServerOptions options)
     : options_(options),
       classifier_options_(classifier_options),
       slots_(options.num_workers),
-      breaker_(options.breaker),
+      breaker_(wire_breaker_events(options.breaker, options.flight_recorder,
+                                   options.flight_scope)),
       tracer_({options.trace_sampling, options.trace_capacity}) {
   validate_options();
   batch_granularity_ = backend_batch_granularity(classifier_options_.backend,
@@ -175,7 +206,8 @@ ForestServer::ForestServer(const ModelStore& store, ClassifierOptions classifier
     : options_(options),
       classifier_options_(classifier_options),
       slots_(options.num_workers),
-      breaker_(options.breaker),
+      breaker_(wire_breaker_events(options.breaker, options.flight_recorder,
+                                   options.flight_scope)),
       tracer_({options.trace_sampling, options.trace_capacity}) {
   validate_options();
   batch_granularity_ = backend_batch_granularity(classifier_options_.backend,
@@ -213,7 +245,8 @@ std::future<ServeResult> ForestServer::submit(Dataset queries, double deadline_s
 }
 
 std::future<ServeResult> ForestServer::submit(Dataset queries, double deadline_seconds,
-                                              const std::string& tenant) {
+                                              const std::string& tenant,
+                                              std::uint64_t router_request) {
   counters_.add("requests.submitted");
   Request req;
   req.span = tracer_.start_trace("request");
@@ -221,6 +254,7 @@ std::future<ServeResult> ForestServer::submit(Dataset queries, double deadline_s
     req.span.set_attr("queries", static_cast<std::uint64_t>(queries.num_samples()));
     if (deadline_seconds > 0.0) req.span.set_attr("deadline_s", deadline_seconds);
     if (!tenant.empty()) req.span.set_attr("tenant", tenant);
+    if (router_request != 0) req.span.set_attr("router_request", router_request);
   }
   req.queries = std::move(queries);
   req.tenant = tenant;
@@ -243,6 +277,8 @@ std::future<ServeResult> ForestServer::submit(Dataset queries, double deadline_s
       if (!quotas_->try_acquire(req.tenant)) {
         counters_.add("requests.rejected_quota");
         req.span.set_attr("outcome", "rejected_quota");
+        flight_event("quota", "quota_shed",
+                     "tenant " + (req.tenant.empty() ? "<anonymous>" : req.tenant));
         throw QuotaError("tenant '" + (req.tenant.empty() ? "<anonymous>" : req.tenant) +
                          "' exceeded its admission quota (" +
                          std::to_string(quotas_->reserved_slots(req.tenant)) +
@@ -251,6 +287,8 @@ std::future<ServeResult> ForestServer::submit(Dataset queries, double deadline_s
     } else if (queue_.size() >= options_.queue_capacity) {
       counters_.add("requests.rejected_overload");
       req.span.set_attr("outcome", "rejected_overload");
+      flight_event("overload", "overload_shed",
+                   "queue full at " + std::to_string(options_.queue_capacity));
       throw OverloadError("request queue full (capacity " +
                           std::to_string(options_.queue_capacity) +
                           "); back off and retry");
@@ -422,9 +460,12 @@ std::vector<ReloadReport> ForestServer::reload_history() const {
 
 void ForestServer::record_reload(const ReloadReport& rep) {
   hist_reload_.record_seconds(rep.total_seconds);
+  const std::string gens =
+      "gen " + std::to_string(rep.from_generation) + " -> " + std::to_string(rep.to_generation);
   switch (rep.outcome) {
     case ReloadOutcome::Promoted:
       counters_.add("reload.promoted");
+      flight_event("reload", "reload_promoted", gens);
       break;
     case ReloadOutcome::NoOp:
       break;
@@ -432,10 +473,12 @@ void ForestServer::record_reload(const ReloadReport& rep) {
     case ReloadOutcome::RejectedValidation:
     case ReloadOutcome::RejectedShadow:
       counters_.add("reload.rejected");
+      flight_event("reload", "reload_rejected", gens + ": " + rep.reason);
       break;
     case ReloadOutcome::RolledBackCanary:
     case ReloadOutcome::RolledBackPostPromotion:
       counters_.add("reload.rolled_back");
+      flight_event("reload", "reload_rolled_back", gens + ": " + rep.reason);
       break;
   }
   std::lock_guard<std::mutex> lock(reload_history_mu_);
@@ -1054,6 +1097,7 @@ void ForestServer::maybe_audit(std::size_t w, const WorkerModel& m, const Datase
     return;
   }
   ++delta["audit.mismatches"];
+  flight_event("integrity", "audit_mismatch", "worker " + std::to_string(w));
   // The oracle is authoritative — every variant/backend agrees
   // bit-for-bit on an uncorrupted layout (the cross-backend equivalence
   // the tier-1 suite pins) — so serve its answer and note the divergence.
@@ -1128,6 +1172,7 @@ void ForestServer::watchdog_scan() {
     zombies_.push_back(std::move(workers_[w]));
     workers_[w] = std::thread([this, w] { worker_loop(w); });
     counters_.add("watchdog.worker_restarts");
+    flight_event("integrity", "watchdog_restart", "worker " + std::to_string(w));
     {
       std::lock_guard<std::mutex> lock(runtimes_[w]->mu);
       if (runtimes_[w]->inflight == inf) runtimes_[w]->inflight.reset();
@@ -1189,6 +1234,7 @@ void ForestServer::scrub_pass() {
     const std::optional<std::uint32_t> live = classifier_layout_crc(*m->primary);
     if (live && *live == *m->layout_crc) continue;
     counters_.add("scrub.corruptions");
+    flight_event("integrity", "scrub_corruption", "worker " + std::to_string(w));
     repair_replica(w, m);
   }
 }
@@ -1204,6 +1250,7 @@ void ForestServer::repair_replica(std::size_t w, std::shared_ptr<const WorkerMod
   degraded->health = suspect->health;
   degraded->layout_crc = classifier_layout_crc(*suspect->fallback);
   if (!install_model_if(w, suspect, degraded)) return;  // a reload got there first
+  flight_event("integrity", "replica_quarantined", "worker " + std::to_string(w));
   runtimes_[w]->audit_streak.store(0, std::memory_order_relaxed);
 
   // Rebuild. Preferred source: the store's current generation, whose blob
@@ -1231,7 +1278,10 @@ void ForestServer::repair_replica(std::size_t w, std::shared_ptr<const WorkerMod
       return;  // keep serving degraded-but-correct on the oracle
     }
   }
-  if (install_model_if(w, degraded, std::move(fresh))) counters_.add("scrub.repairs");
+  if (install_model_if(w, degraded, std::move(fresh))) {
+    counters_.add("scrub.repairs");
+    flight_event("integrity", "replica_repaired", "worker " + std::to_string(w));
+  }
 }
 
 void ForestServer::inject_replica_corruption() {

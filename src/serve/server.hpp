@@ -67,6 +67,7 @@
 
 #include "core/classifier.hpp"
 #include "obs/exporter.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/rollup.hpp"
 #include "serve/batcher.hpp"
 #include "serve/circuit_breaker.hpp"
@@ -150,6 +151,14 @@ struct ServerOptions {
   /// sampled shadow audits, worker watchdog. All off by default — an
   /// unconfigured server starts no monitor thread and audits nothing.
   IntegrityOptions integrity{};
+  /// Incident flight recorder (obs/flight_recorder.hpp): when set, the
+  /// server pushes structured events — breaker transitions, reload
+  /// outcomes, quota sheds, watchdog restarts, scrub repairs — tagged
+  /// with `flight_scope` ("" for a standalone server, "shard:N" when a
+  /// cluster router owns this server). Not owned; must outlive the
+  /// server. Null disables event recording entirely.
+  obs::FlightRecorder* flight_recorder = nullptr;
+  std::string flight_scope;
 };
 
 /// One served request's outcome.
@@ -244,8 +253,12 @@ class ForestServer {
   /// QuotaError (never displacing other tenants' queued requests).
   std::future<ServeResult> submit(Dataset queries);
   std::future<ServeResult> submit(Dataset queries, double deadline_seconds);
+  /// `router_request` (nonzero when a cluster router dispatched this
+  /// submission) is stamped on the request's root span as the
+  /// "router_request" attribute, so one routed query's spans correlate
+  /// across every shard tracer it touched (failover, hedging).
   std::future<ServeResult> submit(Dataset queries, double deadline_seconds,
-                                  const std::string& tenant);
+                                  const std::string& tenant, std::uint64_t router_request = 0);
 
   /// Starts paused workers (no-op when already running).
   void resume();
@@ -372,6 +385,10 @@ class ForestServer {
   void record_run(const Classifier& clf, std::uint64_t generation, const RunReport& report);
 
   void record_reload(const ReloadReport& rep);
+
+  /// Pushes one structured event into options_.flight_recorder (no-op
+  /// when none is configured), tagged with options_.flight_scope.
+  void flight_event(const char* category, const char* name, std::string detail = "") const;
 
   /// Per-request counter deltas, applied in one CounterRegistry
   /// add_batch() at the end of process() — one lock acquisition per

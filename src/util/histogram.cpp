@@ -54,6 +54,33 @@ void HistogramSnapshot::merge(const HistogramSnapshot& other) {
   max_ns = std::max(max_ns, other.max_ns);
 }
 
+HistogramSnapshot HistogramSnapshot::delta_since(const HistogramSnapshot& earlier) const {
+  HistogramSnapshot out;
+  out.counts.assign(counts.size(), 0);
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t before = i < earlier.counts.size() ? earlier.counts[i] : 0;
+    out.counts[i] = counts[i] >= before ? counts[i] - before : 0;
+    if (out.counts[i] != 0) last = i + 1;
+    out.total += out.counts[i];
+  }
+  out.counts.resize(last);
+  out.sum_ns = sum_ns >= earlier.sum_ns ? sum_ns - earlier.sum_ns : 0;
+  if (out.total == 0) return out;
+  // Provable window max: the cumulative max belongs to this window only
+  // if its bucket gained a count; otherwise fall back to the top occupied
+  // delta bucket's inclusive upper bound.
+  const std::uint64_t top =
+      LatencyHistogram::bucket_upper_bound(static_cast<int>(last) - 1) - 1;
+  if (max_ns <= top && LatencyHistogram::bucket_index(max_ns) ==
+                           static_cast<int>(last) - 1) {
+    out.max_ns = max_ns;
+  } else {
+    out.max_ns = top;
+  }
+  return out;
+}
+
 std::string format_ns(double ns) {
   char buf[32];
   if (ns < 1e3) {

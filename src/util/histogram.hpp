@@ -47,6 +47,18 @@ struct HistogramSnapshot {
   /// counts/total/sum/max.
   void merge(const HistogramSnapshot& other);
 
+  /// Windowed delta: the distribution of observations recorded between
+  /// `earlier` and this snapshot of the *same* live histogram (counts are
+  /// monotone, so the element-wise difference is a valid histogram; any
+  /// bucket that would go negative — a reset between snapshots — clamps
+  /// to zero). Percentiles of the delta are the windowed p50/p95/p99 the
+  /// time-series layer reports. The exact per-window maximum is not
+  /// recoverable from two cumulative snapshots (the live max is global),
+  /// so delta max_ns is the tightest provable bound: the cumulative max
+  /// when the window still occupies its bucket, else the upper bound of
+  /// the highest occupied delta bucket.
+  HistogramSnapshot delta_since(const HistogramSnapshot& earlier) const;
+
   /// One Prometheus-style cumulative bucket: `cumulative` observations
   /// were <= `le_ns` (the bucket's inclusive upper bound).
   struct CumulativeBucket {

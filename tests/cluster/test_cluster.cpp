@@ -513,5 +513,55 @@ TEST_F(ClusterTest, AdaptiveLimiterRefusesExcessConcurrencyAtTheDoor) {
   router.shutdown();
 }
 
+TEST_F(ClusterTest, RouterRequestIdCorrelatesSpansAcrossShardTracers) {
+  // Every routed query carries one router-assigned id stamped as the
+  // "router_request" attribute on the shard-side root span — the
+  // correlation key that stitches a request's spans back together across
+  // tracers, including after a failover reroute.
+  const ClusterOptions copt = quiet_cluster(2);
+  serve::ServerOptions sopt = fast_server();
+  sopt.trace_sampling = 1.0;  // record every request on every shard
+  ClusterRouter router(forest_, cpu_options(), sopt, copt);
+  const std::uint64_t key0 = key_for_shard(copt, 0);
+  const std::uint64_t key1 = key_for_shard(copt, 1);
+
+  const ClusterResult r0 = router.query(queries_, {.key = key0});
+  const ClusterResult r1 = router.query(queries_, {.key = key1});
+  ASSERT_EQ(r0.shard, 0u);
+  ASSERT_EQ(r1.shard, 1u);
+  EXPECT_NE(r0.request_id, 0u);
+  EXPECT_NE(r1.request_id, 0u);
+  EXPECT_NE(r0.request_id, r1.request_id);  // fleet-unique, not per-shard
+
+  // Failover: the id assigned at admission survives the reroute, so the
+  // surviving shard's trace still correlates with the router's view.
+  router.kill_shard(0);
+  const ClusterResult rerouted = router.query(queries_, {.key = key0});
+  ASSERT_EQ(rerouted.shard, 1u);
+
+  const auto router_request_attr =
+      [](const std::shared_ptr<const trace::Trace>& t) -> std::string {
+    for (const auto& [key, value] : t->root().attributes) {
+      if (key == "router_request") return value;
+    }
+    return {};
+  };
+  std::set<std::string> shard0_ids;
+  for (const auto& t : router.shard(0).tracer().traces()) {
+    shard0_ids.insert(router_request_attr(t));
+  }
+  std::set<std::string> shard1_ids;
+  for (const auto& t : router.shard(1).tracer().traces()) {
+    shard1_ids.insert(router_request_attr(t));
+  }
+  EXPECT_TRUE(shard0_ids.count(std::to_string(r0.request_id)));
+  EXPECT_TRUE(shard1_ids.count(std::to_string(r1.request_id)));
+  EXPECT_TRUE(shard1_ids.count(std::to_string(rerouted.request_id)));
+  // No shard-side trace is missing the correlation attribute.
+  EXPECT_FALSE(shard0_ids.count(""));
+  EXPECT_FALSE(shard1_ids.count(""));
+  router.shutdown();
+}
+
 }  // namespace
 }  // namespace hrf::cluster

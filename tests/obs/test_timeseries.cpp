@@ -1,0 +1,159 @@
+// TimeSeriesRegistry: cumulative snapshots in, closed windows out. All
+// driven with a fake clock — the registry is passive, so the tests own
+// every window edge.
+
+#include "obs/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+
+namespace hrf::obs {
+namespace {
+
+MetricsSnapshot snap_with_counter(const std::string& name, std::uint64_t value) {
+  MetricsSnapshot s;
+  s.counters[name] = value;
+  return s;
+}
+
+TEST(TimeSeriesRegistry, FirstSampleOnlyPrimes) {
+  TimeSeriesRegistry reg;
+  reg.sample(snap_with_counter("requests.completed", 10), 0.0);
+  EXPECT_TRUE(reg.windows().empty());
+  EXPECT_EQ(reg.total_windows(), 0u);
+}
+
+TEST(TimeSeriesRegistry, CounterDeltasArePerWindow) {
+  TimeSeriesRegistry reg;
+  reg.sample(snap_with_counter("requests.completed", 10), 0.0);
+  reg.sample(snap_with_counter("requests.completed", 25), 0.25);
+  reg.sample(snap_with_counter("requests.completed", 25), 0.50);
+  reg.sample(snap_with_counter("requests.completed", 31), 0.75);
+
+  const std::vector<WindowSample> w = reg.windows();
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_EQ(w[0].delta("requests.completed"), 15u);
+  EXPECT_EQ(w[1].delta("requests.completed"), 0u);
+  EXPECT_EQ(w[2].delta("requests.completed"), 6u);
+  EXPECT_EQ(w[0].index, 0u);
+  EXPECT_EQ(w[2].index, 2u);
+  EXPECT_DOUBLE_EQ(w[0].start_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(w[0].end_seconds, 0.25);
+  EXPECT_DOUBLE_EQ(w[2].rate_per_second("requests.completed"), 24.0);
+  // Absent counters read as zero, not as an error.
+  EXPECT_EQ(w[0].delta("no.such.counter"), 0u);
+  EXPECT_DOUBLE_EQ(w[0].rate_per_second("no.such.counter"), 0.0);
+}
+
+TEST(TimeSeriesRegistry, MonotoneCountersNeverProduceNegativeDeltas) {
+  // Counters only grow; a snapshot-source swap (reload, test fixture)
+  // can make one shrink, and the window must clamp to 0 rather than
+  // wrapping to ~2^64.
+  TimeSeriesRegistry reg;
+  Xoshiro256 rng(3);
+  std::uint64_t value = 0;
+  reg.sample(snap_with_counter("c", value), 0.0);
+  for (int i = 1; i <= 50; ++i) {
+    value += rng.next() % 100;
+    reg.sample(snap_with_counter("c", value), 0.25 * i);
+  }
+  reg.sample(snap_with_counter("c", 0), 0.25 * 51);  // source swapped
+  for (const WindowSample& w : reg.windows()) {
+    EXPECT_GE(w.delta("c"), 0u);  // uint64, so this really checks no wrap
+    EXPECT_LT(w.delta("c"), 1000u);
+  }
+}
+
+TEST(TimeSeriesRegistry, HistogramDeltaPercentilesMatchFreshHistogram) {
+  // The window's histogram delta must be indistinguishable from a
+  // histogram that only ever saw the window's own samples.
+  LatencyHistogram cumulative;
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 2000; ++i) cumulative.record_ns(rng.next() % 100'000);
+
+  TimeSeriesRegistry reg;
+  MetricsSnapshot s0;
+  s0.histograms.emplace_back("end_to_end", cumulative.snapshot());
+  reg.sample(s0, 0.0);
+
+  LatencyHistogram fresh;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.next() % 100'000;
+    cumulative.record_ns(v);
+    fresh.record_ns(v);
+  }
+  MetricsSnapshot s1;
+  s1.histograms.emplace_back("end_to_end", cumulative.snapshot());
+  reg.sample(s1, 0.25);
+
+  const std::vector<WindowSample> w = reg.windows();
+  ASSERT_EQ(w.size(), 1u);
+  const HistogramSnapshot* delta = w[0].histogram("end_to_end");
+  ASSERT_NE(delta, nullptr);
+  const HistogramSnapshot expect = fresh.snapshot();
+  EXPECT_EQ(delta->total, expect.total);
+  for (const double p : {50.0, 95.0, 99.0}) {
+    EXPECT_EQ(delta->percentile_ns(p), expect.percentile_ns(p)) << "p" << p;
+  }
+  EXPECT_EQ(w[0].histogram("no_such_stage"), nullptr);
+}
+
+TEST(TimeSeriesRegistry, GaugesAndScopeRowsArePointInTime) {
+  TimeSeriesRegistry reg;
+  MetricsSnapshot s0;
+  s0.gauges["queue_depth"] = 3.0;
+  reg.sample(s0, 0.0);
+
+  MetricsSnapshot s1;
+  s1.gauges["queue_depth"] = 7.0;
+  ShardHealth sh;
+  sh.index = 2;
+  sh.up = false;
+  s1.shards.push_back(sh);
+  TenantStat ten;
+  ten.name = "acme";
+  ten.shed = 4;
+  s1.tenants.push_back(ten);
+  reg.sample(s1, 0.25);
+
+  const std::vector<WindowSample> w = reg.windows();
+  ASSERT_EQ(w.size(), 1u);
+  // The closing sample's values, not a delta.
+  EXPECT_DOUBLE_EQ(w[0].gauges.at("queue_depth"), 7.0);
+  ASSERT_EQ(w[0].shards.size(), 1u);
+  EXPECT_EQ(w[0].shards[0].index, 2u);
+  EXPECT_FALSE(w[0].shards[0].up);
+  ASSERT_EQ(w[0].tenants.size(), 1u);
+  EXPECT_EQ(w[0].tenants[0].shed, 4u);
+}
+
+TEST(TimeSeriesRegistry, RingEvictsOldestAndCountsEvictions) {
+  TimeSeriesRegistry::Options opt;
+  opt.capacity = 4;
+  TimeSeriesRegistry reg(opt);
+  reg.sample(snap_with_counter("c", 0), 0.0);
+  for (int i = 1; i <= 10; ++i) {
+    reg.sample(snap_with_counter("c", static_cast<std::uint64_t>(i)), 0.25 * i);
+  }
+  const std::vector<WindowSample> w = reg.windows();
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.front().index, 6u);  // windows 0..5 evicted
+  EXPECT_EQ(w.back().index, 9u);
+  EXPECT_EQ(reg.total_windows(), 10u);
+  EXPECT_EQ(reg.evicted(), 6u);
+
+  const std::vector<WindowSample> recent = reg.recent(2);
+  ASSERT_EQ(recent.size(), 2u);
+  EXPECT_EQ(recent.front().index, 8u);
+  EXPECT_EQ(recent.back().index, 9u);
+  // Asking for more than retained returns everything retained.
+  EXPECT_EQ(reg.recent(100).size(), 4u);
+}
+
+}  // namespace
+}  // namespace hrf::obs

@@ -283,6 +283,89 @@ TEST(LatencyHistogram, ResetClears) {
   EXPECT_TRUE(h.snapshot().empty());
 }
 
+// --- Delta snapshots (windowed telemetry primitive) ----------------------
+
+TEST(HistogramDelta, DeltaMatchesFreshHistogramOfNewSamples) {
+  // The windowed-telemetry contract: recording A, snapshotting, recording
+  // B, and subtracting must reproduce a histogram built from B alone —
+  // counts, total, sum, and therefore every percentile.
+  LatencyHistogram cumulative;
+  LatencyHistogram fresh;
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    cumulative.record_ns(rng.next() % 1'000'000);
+  }
+  const HistogramSnapshot before = cumulative.snapshot();
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.next() % 1'000'000;
+    cumulative.record_ns(v);
+    fresh.record_ns(v);
+  }
+  const HistogramSnapshot delta = cumulative.snapshot().delta_since(before);
+  const HistogramSnapshot expect = fresh.snapshot();
+
+  ASSERT_EQ(delta.counts.size(), expect.counts.size());
+  for (std::size_t b = 0; b < expect.counts.size(); ++b) {
+    EXPECT_EQ(delta.counts[b], expect.counts[b]) << "bucket " << b;
+  }
+  EXPECT_EQ(delta.total, expect.total);
+  EXPECT_EQ(delta.sum_ns, expect.sum_ns);
+  for (const double p : {50.0, 90.0, 95.0, 99.0, 99.9}) {
+    EXPECT_EQ(delta.percentile_ns(p), expect.percentile_ns(p)) << "p" << p;
+  }
+}
+
+TEST(HistogramDelta, MaxIsExactWhenTopBucketStillOccupied) {
+  LatencyHistogram h;
+  h.record_ns(100);
+  const HistogramSnapshot before = h.snapshot();
+  h.record_ns(50'000);  // new max lands in a strictly higher bucket
+  const HistogramSnapshot delta = h.snapshot().delta_since(before);
+  EXPECT_EQ(delta.total, 1u);
+  // The cumulative max belongs to the delta's own top occupied bucket, so
+  // the exact value carries over.
+  EXPECT_EQ(delta.max_ns, 50'000u);
+}
+
+TEST(HistogramDelta, MaxFallsBackToBucketBoundWhenOldMaxLeft) {
+  LatencyHistogram h;
+  h.record_ns(900'000);  // the all-time max, entirely inside `before`
+  const HistogramSnapshot before = h.snapshot();
+  h.record_ns(100);
+  const HistogramSnapshot delta = h.snapshot().delta_since(before);
+  EXPECT_EQ(delta.total, 1u);
+  // The cumulative max's bucket has a zero delta count, so the window max
+  // degrades to the top occupied delta bucket's inclusive upper bound —
+  // never the stale 900us value.
+  EXPECT_LT(delta.max_ns, 900'000u);
+  const int idx = LatencyHistogram::bucket_index(100);
+  EXPECT_EQ(delta.max_ns, LatencyHistogram::bucket_upper_bound(idx) - 1);
+}
+
+TEST(HistogramDelta, EmptyWindowIsEmpty) {
+  LatencyHistogram h;
+  h.record_ns(123);
+  const HistogramSnapshot s = h.snapshot();
+  const HistogramSnapshot delta = s.delta_since(s);
+  EXPECT_TRUE(delta.empty());
+  EXPECT_EQ(delta.total, 0u);
+  EXPECT_EQ(delta.sum_ns, 0u);
+}
+
+TEST(HistogramDelta, ClampsWhenEarlierIsAhead) {
+  // A reset between samples makes "earlier" read ahead of "current";
+  // deltas clamp at zero instead of underflowing.
+  LatencyHistogram a;
+  a.record_ns(1000);
+  a.record_ns(1000);
+  const HistogramSnapshot big = a.snapshot();
+  LatencyHistogram b;
+  b.record_ns(1000);
+  const HistogramSnapshot delta = b.snapshot().delta_since(big);
+  EXPECT_EQ(delta.total, 0u);
+  for (const std::uint64_t c : delta.counts) EXPECT_EQ(c, 0u);
+}
+
 // --- Rendering -----------------------------------------------------------
 
 TEST(FormatNs, HumanUnits) {

@@ -7,6 +7,9 @@
 #
 #   baseline        healthy 4-shard fleet (also sets the p95 reference)
 #   kill            a shard killed mid-traffic; failover absorbs it
+#   kill-slo        the same kill with the SLO burn-rate engine armed: the
+#                   shard-scope alert must fire and the incident bundle it
+#                   drops must pass `--mode incident` schema validation
 #   freeze          a shard worker wedged mid-dispatch (freeze:shard fault
 #                   site); the hedge covers the stalled request
 #   partition       a shard cut off from the router, healed mid-run; the
@@ -67,6 +70,46 @@ expect() {  # expect <scenario> <pattern> <message>
 scenario_kill() {
   run kill "$SLO_P95" --model "$DIR/m.hrff" --kill-shard 1 --chaos-delay-ms 5 &&
   expect kill "shard 1: down" "killed shard not reported down"
+}
+
+# The kill scenario with the SLO burn-rate engine armed: failover keeps
+# client-visible success perfect, so only the shard-scope objective can
+# page on the dead shard. The alert must fire, the monitor must drop an
+# incident bundle, and `--mode incident` must accept the bundle from
+# disk with the breaker transition and the alert both on the event tape.
+# Traffic is sized to outlast the kill: breaker events only exist if
+# requests (or probes) hit the corpse after it died.
+scenario_kill_slo() {
+  REQUESTS=400 run kill-slo "$SLO_P95" --model "$DIR/m.hrff" \
+      --kill-shard 1 --chaos-delay-ms 20 \
+      --slo-target-success 0.999 --obs-interval-ms 20 \
+      --slo-window-fast-ms 200 --slo-window-slow-ms 1000 \
+      --slo-burn-fast 10 --slo-burn-slow 2 \
+      --incident-dir "$DIR/incidents" &&
+  expect kill-slo "slo alert fired: objective=success_rate scope=shard:1" \
+      "the dead shard never fired its SLO alert" &&
+  expect kill-slo "incident bundle written:" "no incident bundle was written" &&
+  "$CLI" --mode incident --bundle "$DIR/incidents/incident-000000.json" \
+      > "$DIR/kill-slo-check.log" 2>&1 || {
+    echo "chaos: incident bundle failed schema validation" >&2
+    cat "$DIR/kill-slo-check.log" >&2
+    return 1
+  }
+  grep -q "incident-check: .* ok" "$DIR/kill-slo-check.log" || {
+    echo "chaos: incident-check did not report ok" >&2
+    cat "$DIR/kill-slo-check.log" >&2
+    return 1
+  }
+  grep -q "event: \[breaker\]" "$DIR/kill-slo-check.log" || {
+    echo "chaos: bundle is missing the breaker transition event" >&2
+    cat "$DIR/kill-slo-check.log" >&2
+    return 1
+  }
+  grep -q "event: \[alert\] slo_fired" "$DIR/kill-slo-check.log" || {
+    echo "chaos: bundle is missing the slo_fired alert event" >&2
+    cat "$DIR/kill-slo-check.log" >&2
+    return 1
+  }
 }
 
 # Freeze is gated on success + hedging, not the 2x p95 bound: a hedged
@@ -168,7 +211,7 @@ echo "chaos: healthy p95 ${P95_MS} ms -> degraded-mode SLO ${SLO_P95} ms"
 # Run every scenario even after a failure; report each exit code and
 # propagate the worst one.
 OVERALL=0
-for sc in kill freeze partition kill-mid-reload noisy-neighbor \
+for sc in kill kill-slo freeze partition kill-mid-reload noisy-neighbor \
           scale-wave scale-wave-kill scrub-storm hung-worker; do
   rc=0
   "scenario_${sc//-/_}" || rc=$?

@@ -27,6 +27,13 @@
 # detected and rebuilt and hung workers rescued with zero wrong, lost, or
 # duplicated answers (docs/robustness.md).
 #
+# The TSan matrix also covers the third observability pillar: the
+# flight-recorder ring's concurrent writers/readers stress, the Monitor's
+# tick/snapshot/trigger surfaces, and the SLO engine + windowed registry
+# units (docs/observability.md, "Time series, SLOs, and incident
+# bundles"). The plain build's CI pipeline (tools/ci.sh) additionally
+# gates the incident-bundle schema end to end.
+#
 # Usage: tools/check.sh [--plain-only|--sanitize-only|--tsan-only|
 #                        --cluster-chaos|--qos-chaos|--batch-chaos|
 #                        --integrity-chaos]
@@ -182,11 +189,11 @@ case "$MODE" in
     echo "=== configure build-tsan ==="
     cmake -B build-tsan -S . -DHRF_BUILD_BENCHES=OFF "-DHRF_SANITIZE=thread"
     echo "=== build build-tsan ==="
-    cmake --build build-tsan -j "$JOBS" --target test_server test_circuit_breaker test_fault test_metrics test_histogram test_model_store test_reload test_trace test_obs test_cluster test_qos test_autoscaler test_cluster_chaos test_batcher test_batch_chaos test_integrity test_integrity_chaos
+    cmake --build build-tsan -j "$JOBS" --target test_server test_circuit_breaker test_fault test_metrics test_histogram test_model_store test_reload test_trace test_obs test_cluster test_qos test_autoscaler test_cluster_chaos test_batcher test_batch_chaos test_integrity test_integrity_chaos test_flight_recorder test_monitor test_slo test_timeseries
     echo "=== test build-tsan (concurrency suites) ==="
     OMP_NUM_THREADS=1 TSAN_OPTIONS="halt_on_error=1" \
       ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-            -R '(ForestServer|CircuitBreaker|FaultInjector|CounterRegistry|LatencyHistogram|ModelStore|ModelReload|Tracer|Span\.|Trace\.|RollupRegistry|BackendRollup|Cluster|TenantQuotas|AdaptiveLimiter|Autoscaler|BackendBatchGranularity|BatchOptions|BatchFormer|BatchedServer|BatchChaos|IntegrityCrc|IntegrityCorrupt|IntegrityServer|IntegrityChaos)'
+            -R '(ForestServer|CircuitBreaker|FaultInjector|CounterRegistry|LatencyHistogram|HistogramDelta|ModelStore|ModelReload|Tracer|Span\.|Trace\.|RollupRegistry|BackendRollup|Cluster|TenantQuotas|AdaptiveLimiter|Autoscaler|BackendBatchGranularity|BatchOptions|BatchFormer|BatchedServer|BatchChaos|IntegrityCrc|IntegrityCorrupt|IntegrityServer|IntegrityChaos|FlightRecorder|MonitorTest|SloEngine|TimeSeriesRegistry)'
     ;;&
   all|--qos-chaos)
     if [ "$MODE" = --qos-chaos ]; then

@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Single-entry CI pipeline: builds the plain tree, then runs the tier-1
-# correctness gate, the metrics-schema gate, the chaos matrix (ctest -L
-# chaos plus the tools/chaos.sh CLI harness), and the ThreadSanitizer
-# concurrency suites — and emits a machine-readable JSON report with one
-# pass/fail entry per step, so a CI job can publish structured results
-# instead of scraping logs.
+# correctness gate, the metrics-schema gate, the incident-bundle schema
+# gate, the chaos matrix (ctest -L chaos plus the tools/chaos.sh CLI
+# harness), and the ThreadSanitizer concurrency suites — and emits a
+# machine-readable JSON report with one pass/fail entry per step, so a
+# CI job can publish structured results instead of scraping logs.
 #
 # Every step runs even when an earlier one fails (the report then shows
 # exactly which gates broke); the script exits nonzero if any step failed.
@@ -69,6 +69,30 @@ step_metrics_schema() {
   return "$rc"
 }
 
+# Incident-bundle schema gate (docs/observability.md, "Time series,
+# SLOs, and incident bundles"): a serve run with the monitor armed and a
+# deterministic --trigger-incident must drop a bundle that --mode
+# incident accepts against the "hrf-incident" v1 schema.
+step_incident_schema() {
+  local cli=build/tools/hrf_cli dir rc=0
+  dir="$(mktemp -d)"
+  {
+    "$cli" --mode gen --dataset susy --samples 1500 --out "$dir/d.hrfd" > /dev/null &&
+    "$cli" --mode train --data "$dir/d.hrfd" --trees 6 --depth 7 \
+           --out "$dir/m.hrff" > /dev/null &&
+    "$cli" --mode serve --data "$dir/d.hrfd" --model "$dir/m.hrff" \
+           --workers 2 --clients 2 --requests 5 --batch 64 \
+           --slo-target-success 0.99 --obs-interval-ms 20 \
+           --incident-dir "$dir/incidents" --trigger-incident \
+           > "$dir/serve.log" 2>&1 &&
+    grep -q "incident bundle written:" "$dir/serve.log" &&
+    "$cli" --mode incident --bundle "$dir/incidents/incident-000000.json"
+  } || rc=$?
+  if [ "$rc" -ne 0 ]; then cat "$dir/serve.log" >&2 || true; fi
+  rm -rf "$dir"
+  return "$rc"
+}
+
 # The chaos matrix: every chaos-labeled gtest gate (cluster degraded-mode
 # SLOs, batching freeze storm, integrity corruption/hang storm) plus the
 # scenario-driven CLI harness.
@@ -84,6 +108,7 @@ step_tsan() {
 run_step build step_build
 run_step tier1 step_tier1
 run_step metrics-schema step_metrics_schema
+run_step incident-schema step_incident_schema
 run_step chaos step_chaos
 run_step tsan step_tsan
 

@@ -51,6 +51,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -66,7 +67,10 @@
 #include "core/hrf.hpp"
 #include "forest/importance.hpp"
 #include "obs/exporter.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/monitor.hpp"
 #include "serve/model_store.hpp"
+#include "util/json.hpp"
 #include "util/atomic_file.hpp"
 #include "util/cli.hpp"
 #include "util/fault.hpp"
@@ -345,6 +349,18 @@ int mode_bench(const CliArgs& args) {
                 report.audit_overhead->sample_every, report.audit_overhead->ratio);
   }
 
+  if (args.get_flag("obs-bench")) {
+    bench::ObsOverheadOptions oopt;
+    oopt.requests = static_cast<std::size_t>(args.get_int("obs-requests", 200));
+    oopt.interval_seconds = args.get_double("obs-interval-ms", 250.0) / 1e3;
+    oopt.query_seed = opt.query_seed;
+    report.obs_overhead = bench::measure_obs_overhead(oopt);
+    std::printf("obs overhead: serve p95 %.0f ns (monitor off) -> %.0f ns (windows + SLO "
+                "engine every %.0f ms), ratio %.3f\n",
+                report.obs_overhead->p95_off_ns, report.obs_overhead->p95_on_ns,
+                report.obs_overhead->interval_seconds * 1e3, report.obs_overhead->ratio);
+  }
+
   if (args.get_flag("cluster-bench")) {
     bench::ClusterBenchOptions copt;
     copt.shards = static_cast<std::size_t>(args.get_int("shards", 4));
@@ -420,6 +436,11 @@ int mode_bench(const CliArgs& args) {
     std::printf("AUDIT OVERHEAD: sampled audits cost %.1f%% serve p95 (> %.0f%% allowed)\n",
                 (cmp.audit_overhead_ratio - 1.0) * 100.0, trace_tolerance * 100.0);
   }
+  if (!cmp.obs_overhead_ok) {
+    std::printf("OBS OVERHEAD: monitor + SLO engine cost %.1f%% serve p95 (> %.0f%% "
+                "allowed)\n",
+                (cmp.obs_overhead_ratio - 1.0) * 100.0, trace_tolerance * 100.0);
+  }
   for (const bench::Regression& r : cmp.regressions) {
     std::printf("REGRESSION %s: p95 %.0f -> %.0f ns/query (%.2fx > %.2fx allowed)\n",
                 r.key.c_str(), r.baseline_p95, r.current_p95, r.ratio, 1.0 + tolerance);
@@ -494,6 +515,78 @@ int mode_store(const CliArgs& args) {
   return 0;
 }
 
+// --- Observability monitor wiring shared by serve and cluster -------------
+//
+// The SLO burn-rate engine + incident flight recorder arm whenever any
+// objective flag or an incident dir is given (docs/observability.md,
+// "Time series, SLOs, and incident bundles"). SIGUSR1 requests an
+// on-demand incident bundle from a live process; the handler only flips
+// a flag and a poller thread hands it to the Monitor.
+
+volatile std::sig_atomic_t g_incident_signal = 0;
+extern "C" void on_incident_signal(int) { g_incident_signal = 1; }
+
+bool monitor_armed(const CliArgs& args) {
+  return args.has("slo-target-success") || args.has("slo-target-p95-ms") ||
+         !args.get("incident-dir", "").empty();
+}
+
+obs::MonitorOptions make_monitor_options(const CliArgs& args) {
+  obs::MonitorOptions mopt;
+  mopt.interval_seconds = args.get_double("obs-interval-ms", 250.0) / 1e3;
+  mopt.slo_enabled = true;
+  mopt.slo.success_target = args.get_double("slo-target-success", 0.99);
+  mopt.slo.p95_target_seconds = args.get_double("slo-target-p95-ms", 0.0) / 1e3;
+  mopt.slo.fast_window_seconds = args.get_double("slo-window-fast-ms", 60'000.0) / 1e3;
+  mopt.slo.slow_window_seconds = args.get_double("slo-window-slow-ms", 1'800'000.0) / 1e3;
+  mopt.slo.fast_burn_threshold = args.get_double("slo-burn-fast", 14.0);
+  mopt.slo.slow_burn_threshold = args.get_double("slo-burn-slow", 6.0);
+  mopt.slo.cooldown_seconds = args.get_double("slo-cooldown-ms", 60'000.0) / 1e3;
+  mopt.incident_dir = args.get("incident-dir", "");
+  return mopt;
+}
+
+// Drain-time digest: one line per (objective, scope) pair, plus the
+// grep-able "slo alert fired:" / "incident bundle written:" lines the
+// chaos harness asserts on.
+void print_monitor_summary(const obs::Monitor& monitor, const obs::FlightRecorder& flight) {
+  for (const obs::SloAlertState& a : monitor.alerts()) {
+    std::printf("slo: objective=%s scope=%s firing=%s fast_burn=%.2f slow_burn=%.2f "
+                "fired=%llu cleared=%llu\n",
+                a.objective.c_str(), a.scope.empty() ? "server" : a.scope.c_str(),
+                a.firing ? "yes" : "no", a.fast_burn, a.slow_burn,
+                static_cast<unsigned long long>(a.fired_total),
+                static_cast<unsigned long long>(a.cleared_total));
+    if (a.fired_total > 0) {
+      std::printf("slo alert fired: objective=%s scope=%s fired=%llu\n", a.objective.c_str(),
+                  a.scope.empty() ? "server" : a.scope.c_str(),
+                  static_cast<unsigned long long>(a.fired_total));
+    }
+  }
+  std::printf("obs: windows=%llu events=%llu (dropped %llu) bundles=%llu\n",
+              static_cast<unsigned long long>(monitor.windows_recorded()),
+              static_cast<unsigned long long>(flight.recorded()),
+              static_cast<unsigned long long>(flight.dropped()),
+              static_cast<unsigned long long>(monitor.bundles_written()));
+  if (monitor.bundles_written() > 0) {
+    std::printf("incident bundle written: %s\n", monitor.last_bundle_path().c_str());
+  }
+}
+
+// Poller that turns a SIGUSR1 into a bundle trigger. Joined on drain.
+std::thread start_incident_poller(obs::Monitor& monitor, std::atomic<bool>& stop) {
+  std::signal(SIGUSR1, on_incident_signal);
+  return std::thread([&monitor, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      if (g_incident_signal) {
+        g_incident_signal = 0;
+        monitor.trigger_incident("signal:SIGUSR1");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+}
+
 int mode_serve(const CliArgs& args) {
   const Dataset data = Dataset::load(args.get("data", "data.hrfd"));
 
@@ -529,6 +622,10 @@ int mode_serve(const CliArgs& args) {
       static_cast<std::size_t>(args.get_int("audit-sample", 0));
   sopt.integrity.hang_timeout_seconds = args.get_double("hang-timeout-ms", 0.0) / 1e3;
   const std::vector<std::string> tenants = parse_tenant_quotas(args, sopt);
+  // Flight recorder: always on in serve mode (the ring is cheap and the
+  // incident bundle wants breaker/reload/integrity events when armed).
+  obs::FlightRecorder flight(512);
+  sopt.flight_recorder = &flight;
 
   // Model source: a direct model file, or a versioned store (the
   // lifecycle path — docs/model-lifecycle.md).
@@ -579,6 +676,24 @@ int mode_serve(const CliArgs& args) {
               sopt.queue_capacity, clients,
               lifecycle ? "open-ended" : std::to_string(per_client).c_str(), batch);
 
+  // SLO burn-rate engine + incident bundles (docs/observability.md).
+  std::optional<obs::Monitor> monitor;
+  std::atomic<bool> incident_stop{false};
+  std::thread incident_poll;
+  if (monitor_armed(args)) {
+    monitor.emplace(make_monitor_options(args), [&] { return server->metrics_snapshot(); },
+                    &flight, &server->tracer());
+    incident_poll = start_incident_poller(*monitor, incident_stop);
+    std::printf("slo engine armed: success>=%.4f p95<=%.1fms windows %.0fms/%.0fms "
+                "burn %g/%g\n",
+                monitor->options().slo.success_target,
+                monitor->options().slo.p95_target_seconds * 1e3,
+                monitor->options().slo.fast_window_seconds * 1e3,
+                monitor->options().slo.slow_window_seconds * 1e3,
+                monitor->options().slo.fast_burn_threshold,
+                monitor->options().slo.slow_burn_threshold);
+  }
+
   // Store watcher: polls current() and hot-reloads each newly published
   // generation exactly once (a rejected generation is not retried).
   serve::ReloadOptions ropts;
@@ -615,7 +730,8 @@ int mode_serve(const CliArgs& args) {
   if (!metrics_out.empty() && metrics_interval_ms > 0) {
     metrics_writer = std::thread([&] {
       while (!metrics_stop.load(std::memory_order_acquire)) {
-        obs::write_metrics_files(server->metrics_snapshot(), metrics_out);
+        obs::write_metrics_files(
+            monitor ? monitor->snapshot() : server->metrics_snapshot(), metrics_out);
         std::this_thread::sleep_for(
             std::chrono::duration<double, std::milli>(metrics_interval_ms));
       }
@@ -722,13 +838,26 @@ int mode_serve(const CliArgs& args) {
   for (std::thread& t : pool) t.join();
   watch_stop.store(true, std::memory_order_release);
   if (watcher.joinable()) watcher.join();
+  // --trigger-incident: deterministic bundle for the CI schema gate — no
+  // signal racing, the bundle is on disk before the summary prints.
+  if (monitor && args.get_flag("trigger-incident")) {
+    monitor->trigger_incident("cli:trigger-incident");
+    WallTimer bundle_wait;
+    while (monitor->bundles_written() == 0 && bundle_wait.seconds() < 5.0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
   metrics_stop.store(true, std::memory_order_release);
   if (metrics_writer.joinable()) metrics_writer.join();
+  incident_stop.store(true, std::memory_order_release);
+  if (incident_poll.joinable()) incident_poll.join();
+  if (monitor) monitor->stop();
 
   const serve::DrainReport drain = server->shutdown();
   const serve::ServerStats stats = server->stats();
   if (!metrics_out.empty()) {
-    obs::write_metrics_files(server->metrics_snapshot(), metrics_out);
+    obs::write_metrics_files(monitor ? monitor->snapshot() : server->metrics_snapshot(),
+                             metrics_out);
     std::printf("metrics written to %s and %s.json\n", metrics_out.c_str(),
                 metrics_out.c_str());
   }
@@ -774,6 +903,7 @@ int mode_serve(const CliArgs& args) {
       std::printf("%s", tr->to_string().c_str());
     }
   }
+  if (monitor) print_monitor_summary(*monitor, flight);
   std::printf("breaker: state=%s trips=%llu probes=%llu\n", to_string(stats.breaker),
               static_cast<unsigned long long>(stats.breaker_trips),
               static_cast<unsigned long long>(stats.breaker_probes));
@@ -891,6 +1021,11 @@ int mode_cluster(const CliArgs& args) {
     clopt.max_shards = aopt.max_shards;
   }
 
+  // Flight recorder: shared by the router, every shard, and the
+  // autoscaler; sized up because a fleet emits more transitions.
+  obs::FlightRecorder flight(1024);
+  clopt.flight_recorder = &flight;
+
   const std::size_t clients = static_cast<std::size_t>(args.get_int("clients", 4));
   const std::size_t per_client = static_cast<std::size_t>(args.get_int("requests", 32));
   const std::size_t batch =
@@ -937,6 +1072,27 @@ int mode_cluster(const CliArgs& args) {
   }
   std::optional<cluster::ClusterAutoscaler> scaler;
   if (autoscale) scaler.emplace(*router, aopt);
+
+  // SLO burn-rate engine + incident bundles over the whole fleet: the
+  // per-shard scopes come from the snapshot's shard health rows, so a
+  // killed shard raises hrf_slo_* even while failover keeps the
+  // client-visible success rate high (docs/observability.md).
+  std::optional<obs::Monitor> monitor;
+  std::atomic<bool> incident_stop{false};
+  std::thread incident_poll;
+  if (monitor_armed(args)) {
+    monitor.emplace(make_monitor_options(args), [&] { return router->metrics_snapshot(); },
+                    &flight);
+    incident_poll = start_incident_poller(*monitor, incident_stop);
+    std::printf("slo engine armed: success>=%.4f p95<=%.1fms windows %.0fms/%.0fms "
+                "burn %g/%g\n",
+                monitor->options().slo.success_target,
+                monitor->options().slo.p95_target_seconds * 1e3,
+                monitor->options().slo.fast_window_seconds * 1e3,
+                monitor->options().slo.slow_window_seconds * 1e3,
+                monitor->options().slo.fast_burn_threshold,
+                monitor->options().slo.slow_burn_threshold);
+  }
 
   // One outcome ledger per tenant (a single anonymous one without
   // --tenants); the surge tenant's quota sheds are expected, every other
@@ -1061,6 +1217,21 @@ int mode_cluster(const CliArgs& args) {
 
   for (std::thread& t : pool) t.join();
   if (!surge_tenant.empty()) FaultInjector::global().disarm("surge:tenant");
+  // A killed shard keeps burning its error budget after traffic ends (a
+  // down shard is a 100% error ratio per window), so wait for the
+  // multi-window alert to mature instead of racing the drain — this is
+  // what the chaos kill_shard scenario asserts on.
+  if (monitor && kill >= 0) {
+    WallTimer alert_wait;
+    while (monitor->alerts_fired_total() == 0 && alert_wait.seconds() < 5.0) {
+      nap(0.02);
+    }
+  }
+  if (monitor && args.get_flag("trigger-incident")) {
+    monitor->trigger_incident("cli:trigger-incident");
+    WallTimer bundle_wait;
+    while (monitor->bundles_written() == 0 && bundle_wait.seconds() < 5.0) nap(0.01);
+  }
   if (scaler) {
     scaler->stop();
     const cluster::AutoscalerStats as = scaler->stats();
@@ -1081,10 +1252,14 @@ int mode_cluster(const CliArgs& args) {
 
   const std::string metrics_out = args.get("metrics-out", "");
   if (!metrics_out.empty()) {
-    obs::write_metrics_files(router->metrics_snapshot(), metrics_out);
+    obs::write_metrics_files(monitor ? monitor->snapshot() : router->metrics_snapshot(),
+                             metrics_out);
     std::printf("metrics written to %s and %s.json\n", metrics_out.c_str(),
                 metrics_out.c_str());
   }
+  incident_stop.store(true, std::memory_order_release);
+  if (incident_poll.joinable()) incident_poll.join();
+  if (monitor) monitor->stop();
   router->shutdown();
 
   std::printf("latency percentiles (per stage):\n%s", router->latency().to_markdown().c_str());
@@ -1101,6 +1276,7 @@ int mode_cluster(const CliArgs& args) {
                 static_cast<unsigned long long>(s.repairs),
                 static_cast<unsigned long long>(s.worker_restarts));
   }
+  if (monitor) print_monitor_summary(*monitor, flight);
   if (!tenants.empty()) {
     Table tt({"tenant", "ok", "quota-shed", "deadline", "failed", "success"});
     for (const auto& o : outcomes) {
@@ -1243,13 +1419,55 @@ int mode_metrics_check(const CliArgs& args) {
   return 0;
 }
 
+// Incident-bundle inspector + schema gate (tools/ci.sh): parses a bundle
+// written by the Monitor, validates it against the "hrf-incident" v1
+// schema, and prints a digest — reason, firing alerts, window/event/trace
+// counts, and the tail of the event ring.
+int mode_incident(const CliArgs& args) {
+  const std::string path = args.get("bundle", "incident.json");
+  json::Value bundle;
+  try {
+    bundle = json::Value::parse(read_file_text(path));
+    obs::check_incident_bundle(bundle);
+  } catch (const Error& e) {
+    std::printf("incident-check: FAILED: %s\n", e.what());
+    return 1;
+  }
+  std::printf("incident bundle %s: reason=\"%s\"\n", path.c_str(),
+              bundle.get("reason").as_string().c_str());
+  const json::Value& alerts = bundle.get("alerts");
+  std::size_t firing = 0;
+  for (std::size_t i = 0; i < alerts.size(); ++i) {
+    const json::Value& a = alerts.at(i);
+    if (a.get("firing").as_bool()) {
+      ++firing;
+      std::printf("  firing: %s %s fast_burn=%.2f slow_burn=%.2f\n",
+                  a.get("objective").as_string().c_str(), a.get("scope").as_string().c_str(),
+                  a.get("fast_burn").as_number(), a.get("slow_burn").as_number());
+    }
+  }
+  const json::Value& events = bundle.get("events");
+  const std::size_t tail = std::min<std::size_t>(events.size(), 8);
+  for (std::size_t i = events.size() - tail; i < events.size(); ++i) {
+    const json::Value& e = events.at(i);
+    std::printf("  event: [%s] %s %s %s\n", e.get("category").as_string().c_str(),
+                e.get("name").as_string().c_str(), e.get("scope").as_string().c_str(),
+                e.get("detail").as_string().c_str());
+  }
+  std::printf("incident-check: %s ok (%zu alerts, %zu firing, %zu windows, %zu events, "
+              "%zu traces)\n",
+              path.c_str(), alerts.size(), firing, bundle.get("windows").size(),
+              events.size(), bundle.get("traces").size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   args.allow("mode",
              "gen | train | info | layout | predict | compile | publish | store | serve | "
-             "cluster | bench | trace | metrics-check")
+             "cluster | bench | trace | metrics-check | incident")
       .allow("dataset", "gen: covertype | susy | higgs")
       .allow("samples", "gen: sample count")
       .allow("data", "train/predict: dataset file (.hrfd)")
@@ -1301,6 +1519,20 @@ int main(int argc, char** argv) {
       .allow("metrics-interval-ms", "serve: periodic metrics export interval (0 = final only)")
       .allow("metrics", "metrics-check: Prometheus text file to validate")
       .allow("json", "metrics-check: JSON metrics file (default <metrics>.json)")
+      .allow("obs-interval-ms", "serve/cluster: monitor sampling cadence (default 250)")
+      .allow("slo-target-success", "serve/cluster: arm the SLO burn-rate engine with this "
+                                   "success objective (e.g. 0.99)")
+      .allow("slo-target-p95-ms", "serve/cluster: end-to-end p95 objective in ms "
+                                  "(0 = latency objective off)")
+      .allow("slo-window-fast-ms", "serve/cluster: fast burn window (default 60000)")
+      .allow("slo-window-slow-ms", "serve/cluster: slow burn window (default 1800000)")
+      .allow("slo-burn-fast", "serve/cluster: fast-window burn threshold (default 14)")
+      .allow("slo-burn-slow", "serve/cluster: slow-window burn threshold (default 6)")
+      .allow("slo-cooldown-ms", "serve/cluster: post-clear alert cooldown (default 60000)")
+      .allow("incident-dir", "serve/cluster: directory for incident bundles "
+                             "(empty = bundles off; also arms the monitor)")
+      .allow("trigger-incident", "serve/cluster: dump one bundle on drain (CI schema gate)")
+      .allow("bundle", "incident: bundle JSON file to validate and summarize")
       .allow("shards", "cluster/bench: number of ForestServer shards")
       .allow("router-policy", "cluster: hash | least-loaded")
       .allow("hedge-ms", "cluster: hedge delay floor (p95-derived above it)")
@@ -1349,6 +1581,9 @@ int main(int argc, char** argv) {
       .allow("audit-requests", "bench: requests per audit-overhead run (default 200)")
       .allow("audit-sample-every", "bench: audit sampling rate for --audit-bench "
                                    "(default 32)")
+      .allow("obs-bench", "bench: measure serve p95 with the monitor + SLO engine "
+                          "off vs armed")
+      .allow("obs-requests", "bench: requests per obs-overhead run (default 200)")
       .allow("trace-tolerance", "bench: allowed fractional trace-overhead p95 cost "
                                 "(default 0.05)")
       .allow("cluster-bench", "bench: measure routed p95 + qps over a healthy shard fleet")
@@ -1379,6 +1614,7 @@ int main(int argc, char** argv) {
     if (mode == "bench") return mode_bench(args);
     if (mode == "trace") return mode_trace(args);
     if (mode == "metrics-check") return mode_metrics_check(args);
+    if (mode == "incident") return mode_incident(args);
     std::fprintf(stderr, "missing or unknown --mode (try --help)\n");
     return 1;
   } catch (const hrf::Error& e) {
